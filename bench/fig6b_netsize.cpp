@@ -1,0 +1,72 @@
+// Figure 6(b): RouteLeakFree runtime vs. network size (region1..region4,
+// full old, full new) — Minesweeper* vs Expresso vs Expresso-.
+#include <cstdio>
+
+#include "baselines/minesweeper_star.hpp"
+#include "bench_util.hpp"
+#include "config/parser.hpp"
+#include "expresso/verifier.hpp"
+#include "gen/datasets.hpp"
+
+int main() {
+  using namespace expresso;
+  benchutil::header(
+      "Figure 6(b): runtime vs. network size (RouteLeakFree)",
+      "paper: Expresso at least 1 order of magnitude faster than "
+      "Minesweeper* at every size; Minesweeper* times out on the full "
+      "snapshots");
+
+  const bool full = benchutil::full_scale();
+  const double ms_budget = full ? 600 : 60;
+
+  struct Item {
+    std::string name;
+    std::string text;
+  };
+  std::vector<Item> items;
+  const auto specs = gen::csp_region_specs(gen::Snapshot::kOld);
+  for (int r = 0; r < static_cast<int>(specs.size()); ++r) {
+    const auto d = gen::make_region(specs[r], r, 7);
+    items.push_back({d.name, d.config_text});
+  }
+  items.push_back(
+      {"full(old)",
+       gen::make_csp_wan(gen::Snapshot::kOld, 7, full ? 0 : 30).config_text});
+  items.push_back(
+      {"full(new)",
+       gen::make_csp_wan(gen::Snapshot::kNew, 7, full ? 0 : 30).config_text});
+
+  std::printf("%-12s %14s %14s %18s\n", "dataset", "Expresso", "Expresso-",
+              "Minesweeper*");
+  for (const auto& item : items) {
+    Stopwatch sw;
+    Verifier v(item.text);
+    (void)v.check_route_leak_free();
+    const double t_expresso = sw.seconds();
+
+    sw.reset();
+    epvp::Options minus;
+    minus.aspath_mode = automaton::AsPathMode::kConcrete;
+    Verifier vm(item.text, minus);
+    (void)vm.check_route_leak_free();
+    const double t_minus = sw.seconds();
+
+    auto net = net::Network::build(config::parse_configs(item.text));
+    baselines::MinesweeperOptions opt;
+    opt.timeout_seconds = ms_budget;
+    baselines::MinesweeperStar ms(net, opt);
+    const auto res = ms.check_route_leak_free();
+    const bool ms_timeout =
+        res.status == baselines::MinesweeperResult::Status::kTimeout;
+
+    std::printf("%-12s %13.3fs %13.3fs %18s\n", item.name.c_str(), t_expresso,
+                t_minus,
+                benchutil::fmt_time(res.seconds, ms_timeout, ms_budget)
+                    .c_str());
+  }
+  if (!full) {
+    std::printf("note: full snapshots capped at 30 neighbors; set "
+                "EXPRESSO_BENCH_FULL=1 for all neighbors.\n");
+  }
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Figure 6(c): Expresso runtime by modeled protocol features, 10 external
+// neighbors, checking RouteLeakFree and TrafficHijackFree:
+//
+//   none    no route policies applied
+//   t       policies, concrete communities and AS paths
+//   t+c     policies + symbolic communities
+//   t+c+a   policies + symbolic communities + symbolic AS paths (full)
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "expresso/verifier.hpp"
+#include "gen/datasets.hpp"
+
+int main() {
+  using namespace expresso;
+  benchutil::header(
+      "Figure 6(c): runtime vs. modeled protocol features (10 neighbors, "
+      "RouteLeakFree + TrafficHijackFree)",
+      "paper: community modeling dominates the added cost; 'none' < 't' < "
+      "'t+c' ~ 't+c+a'");
+
+  struct Feature {
+    const char* name;
+    epvp::Options opt;
+  };
+  epvp::Options none;
+  none.apply_policies = false;
+  none.model_communities = false;
+  none.aspath_mode = automaton::AsPathMode::kConcrete;
+  epvp::Options t = none;
+  t.apply_policies = true;
+  epvp::Options tc = t;
+  tc.model_communities = true;
+  epvp::Options tca = tc;
+  tca.aspath_mode = automaton::AsPathMode::kSymbolic;
+  const Feature features[] = {{"none", none}, {"t", t}, {"t+c", tc},
+                              {"t+c+a", tca}};
+
+  std::printf("%-12s %10s %10s %10s %10s\n", "dataset", "none", "t", "t+c",
+              "t+c+a");
+  for (const auto snap : {gen::Snapshot::kOld, gen::Snapshot::kNew}) {
+    const auto d = gen::make_csp_wan(snap, 7, 10);
+    std::printf("%-12s", snap == gen::Snapshot::kOld ? "full(old)"
+                                                     : "full(new)");
+    for (const auto& f : features) {
+      Stopwatch sw;
+      Verifier v(d.config_text, f.opt);
+      (void)v.check_route_leak_free();
+      (void)v.check_traffic_hijack_free();
+      std::printf(" %9.3fs", sw.seconds());
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,106 @@
+// Figure 8: memory usage of Minesweeper*, Expresso, and Expresso- for the
+// figure 6 experiments.  Each configuration runs in a fresh child process
+// so peak-RSS measurements do not contaminate each other.
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+
+#include "baselines/minesweeper_star.hpp"
+#include "bench_util.hpp"
+#include "config/parser.hpp"
+#include "expresso/verifier.hpp"
+#include "gen/datasets.hpp"
+
+namespace {
+
+using namespace expresso;
+
+enum class Tool { kExpresso, kExpressoMinus, kMinesweeper };
+
+// Runs one (tool, dataset) measurement in a forked child; returns peak RSS
+// in MB, or -1 on baseline timeout.
+double measure(Tool tool, const std::string& text, double budget) {
+  int fds[2];
+  if (pipe(fds) != 0) return 0;
+  const pid_t pid = fork();
+  if (pid == 0) {
+    close(fds[0]);
+    double result = 0;
+    switch (tool) {
+      case Tool::kExpresso: {
+        Verifier v(text);
+        (void)v.check_route_leak_free();
+        result = benchutil::mb(peak_rss_bytes());
+        break;
+      }
+      case Tool::kExpressoMinus: {
+        epvp::Options opt;
+        opt.aspath_mode = automaton::AsPathMode::kConcrete;
+        Verifier v(text, opt);
+        (void)v.check_route_leak_free();
+        result = benchutil::mb(peak_rss_bytes());
+        break;
+      }
+      case Tool::kMinesweeper: {
+        auto net = net::Network::build(config::parse_configs(text));
+        baselines::MinesweeperOptions opt;
+        opt.timeout_seconds = budget;
+        baselines::MinesweeperStar ms(net, opt);
+        const auto res = ms.check_route_leak_free();
+        result = res.status == baselines::MinesweeperResult::Status::kTimeout
+                     ? -benchutil::mb(peak_rss_bytes())
+                     : benchutil::mb(peak_rss_bytes());
+        break;
+      }
+    }
+    (void)!write(fds[1], &result, sizeof(result));
+    _exit(0);
+  }
+  close(fds[1]);
+  double result = 0;
+  (void)!read(fds[0], &result, sizeof(result));
+  close(fds[0]);
+  waitpid(pid, nullptr, 0);
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  benchutil::header(
+      "Figure 8: peak memory (RouteLeakFree, per-process measurements)",
+      "paper: Expresso uses roughly an order of magnitude less memory than "
+      "Minesweeper* (e.g. 12GB vs 45GB on Internet2)");
+
+  const bool full = benchutil::full_scale();
+  const double budget = full ? 600 : 45;
+
+  std::printf("(a) vs. number of neighbors (old snapshot)\n");
+  std::printf("%-10s %12s %12s %14s\n", "neighbors", "Expresso", "Expresso-",
+              "Minesweeper*");
+  for (const int n : full ? std::vector<int>{10, 30, 50, 70, 90}
+                          : std::vector<int>{10, 20, 30}) {
+    const auto d = gen::make_csp_wan(gen::Snapshot::kOld, 7, n);
+    const double e = measure(Tool::kExpresso, d.config_text, budget);
+    const double m = measure(Tool::kExpressoMinus, d.config_text, budget);
+    const double s = measure(Tool::kMinesweeper, d.config_text, budget);
+    std::printf("%-10d %10.1fMB %10.1fMB %12.1fMB%s\n", n, e, m,
+                s < 0 ? -s : s, s < 0 ? " (timeout)" : "");
+  }
+
+  std::printf("\n(b) vs. network size\n");
+  std::printf("%-12s %12s %12s %14s\n", "dataset", "Expresso", "Expresso-",
+              "Minesweeper*");
+  const auto specs = gen::csp_region_specs(gen::Snapshot::kOld);
+  for (int r = 0; r < static_cast<int>(specs.size()); ++r) {
+    const auto d = gen::make_region(specs[r], r, 7);
+    const double e = measure(Tool::kExpresso, d.config_text, budget);
+    const double m = measure(Tool::kExpressoMinus, d.config_text, budget);
+    const double s = measure(Tool::kMinesweeper, d.config_text, budget);
+    std::printf("%-12s %10.1fMB %10.1fMB %12.1fMB%s\n", d.name.c_str(), e, m,
+                s < 0 ? -s : s, s < 0 ? " (timeout)" : "");
+  }
+  return 0;
+}

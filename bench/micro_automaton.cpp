@@ -1,0 +1,90 @@
+// Micro-benchmarks for the AS-path automaton substrate: the operations EPVP
+// performs per transfer — prepend (concatenation), regex filtering
+// (intersection), loop exclusion (complement+intersection), and the
+// preference representative (shortest accepted word).
+#include <benchmark/benchmark.h>
+
+#include "automaton/aspath.hpp"
+#include "automaton/dfa.hpp"
+#include "automaton/regex.hpp"
+
+namespace {
+
+using namespace expresso::automaton;
+
+AsAlphabet alphabet(std::uint32_t n) {
+  AsAlphabet a;
+  for (std::uint32_t i = 0; i < n; ++i) a.intern(1000 + i);
+  a.freeze();
+  return a;
+}
+
+void BM_RegexCompile(benchmark::State& state) {
+  const auto a = alphabet(static_cast<std::uint32_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(compile_regex("1000 (1001|1002).* 1003", a));
+  }
+}
+BENCHMARK(BM_RegexCompile)->Arg(8)->Arg(32)->Arg(128);
+
+void BM_Prepend(benchmark::State& state) {
+  const auto a = alphabet(static_cast<std::uint32_t>(state.range(0)));
+  const AsPath base = AsPath::any(a);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(base.prepend(0));
+  }
+}
+BENCHMARK(BM_Prepend)->Arg(8)->Arg(32)->Arg(128);
+
+void BM_FilterIntersect(benchmark::State& state) {
+  const auto a = alphabet(static_cast<std::uint32_t>(state.range(0)));
+  const Dfa filter = compile_regex("1000.*", a);
+  const AsPath path = AsPath::any(a).prepend(*a.lookup(1000)).prepend(
+      *a.lookup(1001));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(path.filter(filter));
+  }
+}
+BENCHMARK(BM_FilterIntersect)->Arg(8)->Arg(32)->Arg(128);
+
+void BM_LoopExclusion(benchmark::State& state) {
+  const auto a = alphabet(static_cast<std::uint32_t>(state.range(0)));
+  const AsPath path = AsPath::any(a);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(path.without_as(3));
+  }
+}
+BENCHMARK(BM_LoopExclusion)->Arg(8)->Arg(32)->Arg(128);
+
+void BM_ShortestWord(benchmark::State& state) {
+  const auto a = alphabet(32);
+  AsPath p = AsPath::any(a);
+  for (int i = 0; i < 6; ++i) p = p.prepend(i);
+  const Dfa d = compile_regex(".*1000.*", a);
+  const AsPath filtered = p.filter(d);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(filtered.min_length());
+    benchmark::DoNotOptimize(filtered.witness());
+  }
+}
+BENCHMARK(BM_ShortestWord);
+
+// Chained policy application: the per-hop automaton work of a long transit
+// path.
+void BM_TransferChain(benchmark::State& state) {
+  const auto a = alphabet(16);
+  const Dfa filt = compile_regex(".*(1000|1001).*", a);
+  for (auto _ : state) {
+    AsPath p = AsPath::any(a);
+    for (Symbol s = 0; s < 8; ++s) {
+      p = p.without_as(s).prepend(s).filter(filt.complement());
+      if (p.is_empty()) break;
+    }
+    benchmark::DoNotOptimize(p);
+  }
+}
+BENCHMARK(BM_TransferChain);
+
+}  // namespace
+
+BENCHMARK_MAIN();

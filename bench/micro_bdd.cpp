@@ -1,0 +1,106 @@
+// Micro-benchmarks for the BDD substrate (google-benchmark): the operations
+// the symbolic pipeline leans on — prefix predicates, conjunction chains of
+// per-length advertiser clauses (the pattern that motivated the length-major
+// variable layout), quantification, and renaming.
+#include <benchmark/benchmark.h>
+
+#include "bdd/bdd.hpp"
+#include "net/prefix.hpp"
+#include "symbolic/encoding.hpp"
+
+namespace {
+
+using namespace expresso;
+
+void BM_PrefixExact(benchmark::State& state) {
+  symbolic::Encoding enc(8, 4);
+  const auto p = *net::Ipv4Prefix::parse("10.42.0.0/16");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(enc.prefix_exact(p));
+  }
+}
+BENCHMARK(BM_PrefixExact);
+
+void BM_PrefixMatchWindow(benchmark::State& state) {
+  symbolic::Encoding enc(8, 4);
+  const auto pm = net::PrefixMatch::range(
+      *net::Ipv4Prefix::parse("10.0.0.0/8"), 8, 32);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(enc.prefix_match(pm));
+  }
+}
+BENCHMARK(BM_PrefixMatchWindow);
+
+// The per-length LPM chain: remaining ∧= ¬(n_a^j ∧ ¬n_b^j) over all j.
+// Length-major layout keeps this linear; this is the pattern that was
+// exponential under a neighbor-major layout.
+void BM_LpmRemainingChain(benchmark::State& state) {
+  const int neighbors = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    symbolic::Encoding enc(neighbors, 0);
+    auto& m = enc.mgr();
+    bdd::NodeId remaining = bdd::kTrue;
+    for (std::uint8_t j = 0; j <= 32; ++j) {
+      bdd::NodeId covered = bdd::kFalse;
+      for (int i = 0; i + 1 < neighbors; i += 2) {
+        covered = m.or_(covered,
+                        m.and_(m.var(enc.dp_adv_var(i, j)),
+                               m.nvar(enc.dp_adv_var(i + 1, j))));
+      }
+      remaining = m.diff(remaining, covered);
+    }
+    benchmark::DoNotOptimize(remaining);
+    state.counters["nodes"] =
+        static_cast<double>(m.node_count(remaining));
+  }
+}
+BENCHMARK(BM_LpmRemainingChain)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_ExistsPrefixVars(benchmark::State& state) {
+  symbolic::Encoding enc(8, 0);
+  auto& m = enc.mgr();
+  // A condition mixing prefix and advertiser variables.
+  bdd::NodeId f = bdd::kFalse;
+  for (int i = 0; i < 8; ++i) {
+    const auto p = net::Ipv4Prefix::make(0x0a000000u + (i << 16), 16);
+    f = m.or_(f, m.and_(enc.prefix_exact(p), enc.adv(i)));
+  }
+  const auto vars = enc.prefix_vars();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(m.exists(f, vars));
+  }
+}
+BENCHMARK(BM_ExistsPrefixVars);
+
+void BM_RenameAdvToDataPlane(benchmark::State& state) {
+  symbolic::Encoding enc(8, 0);
+  auto& m = enc.mgr();
+  bdd::NodeId f = bdd::kTrue;
+  for (int i = 0; i < 8; ++i) {
+    f = m.and_(f, i % 2 ? m.var(enc.adv_var(i)) : m.nvar(enc.adv_var(i)));
+  }
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> ren;
+  for (int i = 0; i < 8; ++i) {
+    ren.push_back({enc.adv_var(i), enc.dp_adv_var(i, 24)});
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(m.rename(f, ren));
+  }
+}
+BENCHMARK(BM_RenameAdvToDataPlane);
+
+void BM_SatCount(benchmark::State& state) {
+  bdd::Manager m(64);
+  bdd::NodeId f = bdd::kFalse;
+  for (int i = 0; i < 32; i += 2) {
+    f = m.or_(f, m.and_(m.var(i), m.nvar(i + 1)));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(m.sat_count(f));
+  }
+}
+BENCHMARK(BM_SatCount);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,43 @@
+// Table 1: statistics of the datasets.
+//
+// The paper reports order-of-magnitude statistics for two proprietary CSP
+// WAN snapshots and the public Internet2 snapshot; this prints the same
+// rows for the synthetic stand-ins (see DESIGN.md for the substitution).
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "gen/datasets.hpp"
+
+int main() {
+  using namespace expresso::gen;
+  benchutil::header("Table 1: dataset statistics",
+                    "CSP old: O(30) nodes / O(100) links / O(90) peers / "
+                    "O(3k) prefixes / O(54k) lines; CSP new: O(130)/O(330)/"
+                    "O(220)/O(10k)/O(220k); Internet2: O(10)/O(100)/O(300)/"
+                    "O(32k)/O(100k)");
+
+  std::printf("%-12s %8s %8s %8s %10s %12s %9s\n", "dataset", "nodes",
+              "links", "peers", "prefixes", "config-lines", "planted");
+
+  const auto specs = csp_region_specs(Snapshot::kOld);
+  for (int r = 0; r < static_cast<int>(specs.size()); ++r) {
+    const Dataset d = make_region(specs[r], r, 7);
+    std::printf("%-12s %8zu %8zu %8zu %10zu %12zu %9zu\n", d.name.c_str(),
+                d.nodes, d.links, d.peers, d.prefixes, d.config_lines,
+                d.planted.size());
+  }
+  for (const auto snap : {Snapshot::kOld, Snapshot::kNew}) {
+    const Dataset d = make_csp_wan(snap, 7);
+    std::printf("%-12s %8zu %8zu %8zu %10zu %12zu %9zu\n", d.name.c_str(),
+                d.nodes, d.links, d.peers, d.prefixes, d.config_lines,
+                d.planted.size());
+  }
+  {
+    const int peers = benchutil::full_scale() ? 266 : 266;
+    const Dataset d = make_internet2(3, peers, 2000);
+    std::printf("%-12s %8zu %8zu %8zu %10zu %12zu %9zu\n", d.name.c_str(),
+                d.nodes, d.links, d.peers, d.prefixes, d.config_lines,
+                d.planted.size());
+  }
+  return 0;
+}

@@ -1,0 +1,83 @@
+// Table 2: property violations Expresso finds on the old and new CSP WAN
+// snapshots (RouteLeakFree / RouteHijackFree / TrafficHijackFree).
+//
+// Counts depend on the planted-misconfiguration manifest of the synthetic
+// snapshots; the paper's counts (from the real WAN) are printed alongside
+// for shape comparison.  Violations are reported both raw (one per
+// route/PEC, which is what the analyzer emits) and deduplicated per
+// affected node — the latter approximates the paper's counting.
+#include <cstdio>
+#include <set>
+
+#include "bench_util.hpp"
+#include "expresso/verifier.hpp"
+#include "gen/datasets.hpp"
+
+namespace {
+
+struct Counts {
+  std::size_t raw = 0;
+  std::size_t nodes = 0;
+};
+
+Counts count(const std::vector<expresso::properties::Violation>& v) {
+  std::set<expresso::net::NodeIndex> nodes;
+  for (const auto& x : v) nodes.insert(x.node);
+  return {v.size(), nodes.size()};
+}
+
+}  // namespace
+
+int main() {
+  using namespace expresso;
+  benchutil::header(
+      "Table 2: violations found on the CSP snapshots",
+      "paper (old): RouteLeak 3, RouteHijack 53, TrafficHijack 7; "
+      "paper (new): RouteLeak 36, RouteHijack 70, TrafficHijack 18");
+
+  const bool full = benchutil::full_scale();
+  struct Row {
+    const char* name;
+    gen::Snapshot snap;
+    int peer_limit;
+  };
+  const Row rows[] = {
+      {"old", gen::Snapshot::kOld, full ? 0 : 20},
+      {"new", gen::Snapshot::kNew, full ? 0 : 24},
+  };
+
+  std::printf("%-6s %-16s %10s %14s %10s\n", "snap", "property", "raw",
+              "nodes-affected", "planted");
+  for (const auto& row : rows) {
+    const auto d = gen::make_csp_wan(row.snap, 7, row.peer_limit);
+    std::size_t planted_leak = 0, planted_hijack = 0, planted_traffic = 0;
+    for (const auto& p : d.planted) {
+      if (p.kind == properties::Property::kRouteLeakFree) ++planted_leak;
+      if (p.kind == properties::Property::kRouteHijackFree) ++planted_hijack;
+      if (p.kind == properties::Property::kTrafficHijackFree) {
+        ++planted_traffic;
+      }
+    }
+    SplitMix64 timer_seed(0);
+    (void)timer_seed;
+    Stopwatch sw;
+    Verifier v(d.config_text);
+    const auto leaks = count(v.check_route_leak_free());
+    const auto hijacks = count(v.check_route_hijack_free());
+    const auto traffic = count(v.check_traffic_hijack_free());
+    std::printf("%-6s %-16s %10zu %14zu %10zu\n", row.name, "RouteLeak",
+                leaks.raw, leaks.nodes, planted_leak);
+    std::printf("%-6s %-16s %10zu %14zu %10zu\n", row.name, "RouteHijack",
+                hijacks.raw, hijacks.nodes, planted_hijack);
+    std::printf("%-6s %-16s %10zu %14zu %10zu\n", row.name, "TrafficHijack",
+                traffic.raw, traffic.nodes, planted_traffic);
+    std::printf("%-6s (peers=%zu, total %.1fs, SRC %.2fs, SPF %.2fs)\n\n",
+                row.name, d.peers, sw.seconds(), v.stats().src_seconds,
+                v.stats().spf_seconds);
+  }
+  if (!full) {
+    std::printf("note: peer counts capped for bench wall-time; set "
+                "EXPRESSO_BENCH_FULL=1 for the full snapshots.\n");
+  }
+  return 0;
+}

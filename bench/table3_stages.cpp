@@ -1,0 +1,44 @@
+// Table 3: per-stage runtime — symbolic route computation (SRC), routing
+// property analysis, symbolic packet forwarding (SPF), and forwarding
+// property analysis — with 10 external neighbors, the paper's methodology.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "expresso/verifier.hpp"
+#include "gen/datasets.hpp"
+
+int main() {
+  using namespace expresso;
+  benchutil::header(
+      "Table 3: runtime of SRC, routing analysis, SPF, forwarding analysis "
+      "(10 random external neighbors)",
+      "paper: region1 1.028/0.025/0.552/0.006s ... full(new) "
+      "10.030/0.182/4.054/0.011s");
+
+  std::printf("%-12s %10s %14s %10s %14s %8s\n", "dataset", "SRC",
+              "routing-prop", "SPF", "forwarding-prop", "PECs");
+
+  auto run = [&](const std::string& name, const std::string& text) {
+    Verifier v(text);
+    v.run_src();
+    (void)v.check_route_leak_free();
+    (void)v.check_route_hijack_free();
+    v.run_spf();
+    (void)v.check_traffic_hijack_free();
+    const auto& st = v.stats();
+    std::printf("%-12s %9.3fs %13.3fs %9.3fs %13.3fs %8zu\n", name.c_str(),
+                st.src_seconds, st.routing_analysis_seconds, st.spf_seconds,
+                st.forwarding_analysis_seconds, st.total_pecs);
+  };
+
+  const auto specs = gen::csp_region_specs(gen::Snapshot::kOld);
+  for (int r = 0; r < static_cast<int>(specs.size()); ++r) {
+    auto spec = specs[r];
+    spec.num_peers = 10;
+    const auto d = gen::make_region(spec, r, 7);
+    run(d.name, d.config_text);
+  }
+  run("full(old)", gen::make_csp_wan(gen::Snapshot::kOld, 7, 10).config_text);
+  run("full(new)", gen::make_csp_wan(gen::Snapshot::kNew, 7, 10).config_text);
+  return 0;
+}

@@ -1,0 +1,107 @@
+// Case 1 from the paper (section 2.1, figure 1): an internal blackhole in a
+// cloud provider's WAN caused by an unexpected external advertisement.
+//
+// Routers A and B connect the PoP to ISPs; router C connects the datacenter
+// (private AS 65500), which announces 10.1.0.0/16.  ISP B reaches the prefix
+// through a static route pointing at B, so B must keep a BGP route towards C.
+// Originally A advertised only a default route to C (`advertise-default`).
+// After the operators removed that command, a single unexpected event —
+// ISP A advertising the WAN's own prefix 10.1.0.0/16 — creates a blackhole:
+//
+//   * A prefers ISP A's route (import policy sets local-preference 200),
+//   * C learns it from A over iBGP and drops its datacenter route,
+//   * iBGP forbids C from re-advertising an iBGP-learned route to B,
+//   * B loses its route, and traffic from ISP B is dropped at B.
+//
+// Expresso finds this *before* deployment by checking BlackholeFree for the
+// internal prefix under arbitrary external routes.
+#include <iostream>
+
+#include "expresso/verifier.hpp"
+
+namespace {
+
+std::string make_config(bool advertise_default_only) {
+  std::string a_to_c = advertise_default_only
+                           ? "bgp peer C AS 100 advertise-default\n"
+                           : "bgp peer C AS 100 advertise-community\n";
+  return R"(
+router A
+ bgp as 100
+ route-policy im_ispa permit node 10
+  set-local-preference 200
+  add-community 100:301
+ route-policy ex_ispa deny node 10
+  if-match community 100:301
+ route-policy ex_ispa permit node 20
+ bgp peer ISPA AS 300 import im_ispa export ex_ispa
+ )" + a_to_c + R"(router B
+ bgp as 100
+ bgp peer ISPB AS 400
+ bgp peer C AS 100 advertise-community
+router C
+ bgp as 100
+ route-policy im_dc permit node 10
+  if-match prefix 10.1.0.0/16
+ bgp peer DC AS 65500 import im_dc
+ bgp peer A AS 100 advertise-community
+ bgp peer B AS 100 advertise-community
+)";
+}
+
+}  // namespace
+
+namespace {
+
+// Blackholes for `prefix` that manifest WHILE the datacenter announces it —
+// the interesting ones (if nobody announces a prefix, unreachability is
+// expected, not an outage).
+std::vector<expresso::properties::Violation> dc_announced_blackholes(
+    expresso::Verifier& v, const expresso::net::Ipv4Prefix& prefix) {
+  auto all = v.check_blackhole_free({prefix});
+  auto& enc = v.engine().encoding();
+  const auto dc = *v.network().find("DC");
+  const auto dc_announces = enc.mgr().var(enc.dp_adv_var(
+      v.network().node(dc).external_index, prefix.len));
+  std::vector<expresso::properties::Violation> out;
+  for (auto& viol : all) {
+    viol.condition = enc.mgr().and_(viol.condition, dc_announces);
+    if (viol.condition != expresso::bdd::kFalse) out.push_back(std::move(viol));
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  using namespace expresso;
+  const auto prefix = *net::Ipv4Prefix::parse("10.1.0.0/16");
+
+  std::cout << "=== Case 1: internal blackhole after a config update ===\n";
+
+  // Before the update: A only advertises a default route to C.
+  {
+    Verifier v(make_config(/*advertise_default_only=*/true));
+    const auto blackholes = dc_announced_blackholes(v, prefix);
+    std::cout << "\nBefore the update (advertise-default on A->C): "
+              << blackholes.size() << " blackhole(s) for "
+              << prefix.to_string() << " while the DC announces it\n";
+  }
+
+  // After the update: A advertises everything it hears to C.
+  {
+    Verifier v(make_config(/*advertise_default_only=*/false));
+    const auto blackholes = dc_announced_blackholes(v, prefix);
+    std::cout << "\nAfter the update: " << blackholes.size()
+              << " blackhole(s) for " << prefix.to_string()
+              << " while the DC announces it\n";
+    for (const auto& viol : blackholes) {
+      std::cout << v.describe(viol) << "\n";
+    }
+    std::cout << "\nThe blackhole manifests when ISPA also advertises the "
+                 "/16 — exactly the incident the operators hit: A prefers "
+                 "ISPA's route, C learns it over iBGP and goes quiet "
+                 "towards B, and B drops the ISP-B traffic.\n";
+    return blackholes.empty() ? 1 : 0;
+  }
+}

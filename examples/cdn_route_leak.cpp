@@ -1,0 +1,82 @@
+// Case 2 from the paper (section 2.1, figure 2): the CDN route leak that
+// disconnected a national ISP [Google/Verizon-Japan-style incident].
+//
+// ISP2 announces 10.1.0.0/16 to ISP1 and hands de-aggregated /24s to a CDN
+// at two PoPs (routers A and B) for traffic engineering.  The CDN must not
+// export those peer routes to other peers.  A misconfiguration (the missing
+// no-transit deny on the export policy towards ISP1) leaks the /24s — and
+// because they are MORE SPECIFIC than ISP2's own /16, longest-prefix match
+// pulls all of ISP1's traffic for those customers through the CDN.
+//
+// Here the CDN is the network under verification: Expresso's RouteLeakFree
+// flags the leak for every environment in which ISP2 de-aggregates.
+#include <iostream>
+
+#include "expresso/verifier.hpp"
+
+namespace {
+
+std::string make_config(bool with_deny) {
+  std::string deny = with_deny ? " route-policy ex1 deny node 10\n"
+                                 "  if-match community 30:20\n"
+                               : "";
+  return R"(
+router A
+ bgp as 30
+ route-policy im2 permit node 10
+  if-match prefix 10.1.0.0/16 ge 24 le 24
+  add-community 30:20
+)" + deny + R"( route-policy ex1 permit node 20
+ bgp peer ISP2 AS 20 import im2 export ex1
+ bgp peer ISP1 AS 10 export ex1
+ bgp peer B AS 30 advertise-community
+router B
+ bgp as 30
+ route-policy im2 permit node 10
+  if-match prefix 10.1.0.0/16 ge 24 le 24
+  add-community 30:20
+)" + deny + R"( route-policy ex1 permit node 20
+ bgp peer ISP2 AS 20 import im2 export ex1
+ bgp peer A AS 30 advertise-community
+)";
+}
+
+}  // namespace
+
+int main() {
+  using namespace expresso;
+  std::cout << "=== Case 2: a CDN leaking de-aggregated /24 routes ===\n";
+
+  {
+    Verifier v(make_config(/*with_deny=*/true));
+    std::cout << "\nWith the no-transit deny: "
+              << v.check_route_leak_free().size() << " leak(s)\n";
+  }
+
+  Verifier v(make_config(/*with_deny=*/false));
+  const auto leaks = v.check_route_leak_free();
+  std::cout << "\nWithout it: " << leaks.size() << " leak(s)\n";
+  for (const auto& viol : leaks) std::cout << v.describe(viol) << "\n";
+
+  // Show the leaked routes are the traffic-attracting /24s.
+  auto& eng = v.engine();
+  auto& enc = eng.encoding();
+  const auto isp1 = *v.network().find("ISP1");
+  const auto isp2 = *v.network().find("ISP2");
+  std::vector<net::Ipv4Prefix> probes = {
+      *net::Ipv4Prefix::parse("10.1.0.0/16"),
+      *net::Ipv4Prefix::parse("10.1.0.0/24"),
+      *net::Ipv4Prefix::parse("10.1.7.0/24"),
+  };
+  std::cout << "\nPrefixes ISP1 can receive from the CDN (originated by "
+               "ISP2):\n";
+  for (const auto& r : eng.external_rib(isp1)) {
+    if (r.attrs.originator != isp2) continue;
+    for (const auto& p : enc.materialize_prefixes(r.d, probes)) {
+      std::cout << "  " << p.to_string()
+                << "  <- more specific than ISP2's /16: LPM pulls ISP1's "
+                   "traffic through the CDN\n";
+    }
+  }
+  return leaks.empty() ? 1 : 0;
+}

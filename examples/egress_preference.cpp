@@ -1,0 +1,65 @@
+// EgressPreference (section 6.3): when multiple neighbors can reach an
+// Internet destination block, traffic must leave through the preferred
+// neighbor whenever it advertises.
+//
+// The subtle failure mode is NOT local preference — it is longest-prefix
+// match: a less-preferred peer advertising a *more-specific* slice of the
+// block captures that slice in the data plane no matter what the
+// control-plane preference says (the mechanism behind the paper's CDN
+// incident, section 2.1 case 2).  The guarded config forces the peer to
+// the same /15 the transit advertises, so local preference settles it;
+// the sloppy config accepts the peer's /16 slice and is violated: in the
+// environment where both advertise, half the block exits via PEER while
+// the other half exits via TRANSIT.
+#include <iostream>
+
+#include "expresso/verifier.hpp"
+
+namespace {
+
+std::string make_config(bool allow_slice) {
+  const char* pinned = "  if-match prefix 198.18.0.0/15\n";
+  const char* sloppy = "  if-match prefix 198.18.0.0/15 198.18.0.0/16\n";
+  return std::string(R"(
+router BR
+ bgp as 100
+ route-policy im_transit permit node 10
+  if-match prefix 198.18.0.0/15
+  set-local-preference 200
+ route-policy im_peer permit node 10
+)") + (allow_slice ? sloppy : pinned) +
+         R"(  set-local-preference 100
+ bgp peer TRANSIT AS 7018 import im_transit
+ bgp peer PEER AS 6939 import im_peer
+)";
+}
+
+}  // namespace
+
+int main() {
+  using namespace expresso;
+  const auto dest = *net::Ipv4Prefix::parse("198.18.0.0/15");
+
+  std::cout << "=== EgressPreference: prefer TRANSIT over PEER for "
+            << dest.to_string() << " ===\n";
+  {
+    Verifier v(make_config(/*allow_slice=*/false));
+    const auto viols =
+        v.check_egress_preference("BR", dest, {"TRANSIT", "PEER"});
+    std::cout << "\nPEER pinned to the same /15: " << viols.size()
+              << " violation(s) — local preference settles every tie.\n";
+  }
+  {
+    Verifier v(make_config(/*allow_slice=*/true));
+    const auto viols =
+        v.check_egress_preference("BR", dest, {"TRANSIT", "PEER"});
+    std::cout << "\nPEER may advertise the 198.18.0.0/16 slice: "
+              << viols.size() << " violation(s)\n";
+    for (const auto& viol : viols) std::cout << v.describe(viol) << "\n";
+    std::cout << "\nLongest-prefix match sends the more-specific slice "
+                 "through PEER even while TRANSIT advertises the whole "
+                 "block — preference alone cannot protect against a "
+                 "peer's more-specifics; only the import filter can.\n";
+    return viols.empty() ? 1 : 0;
+  }
+}

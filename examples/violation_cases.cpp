@@ -1,0 +1,138 @@
+// The three violations Expresso found in the cloud provider's WAN
+// (section 7.1, figure 5), each reconstructed as a miniature PoP.
+#include <iostream>
+
+#include "expresso/verifier.hpp"
+
+namespace {
+using namespace expresso;
+
+void report(Verifier& v, const std::vector<properties::Violation>& viols) {
+  if (viols.empty()) {
+    std::cout << "  (no violations)\n";
+    return;
+  }
+  for (const auto& viol : viols) std::cout << "  " << v.describe(viol) << "\n";
+}
+
+// Figure 5(a): a route leak.  ISPa's /18 is permitted by PR1's import
+// (a missing deny entry for external routes), reflected by the RR, and
+// PR2's export towards ISPb permits it — free transit from ISPb to ISPa.
+void route_leak() {
+  const char* cfg = R"(
+router PR1
+ bgp as 100
+ route-policy im_a permit node 10
+  if-match prefix 203.0.0.0/16 ge 18 le 18
+ bgp peer ISPa AS 200 import im_a
+ bgp peer RR AS 100 advertise-community
+router PR2
+ bgp as 100
+ route-policy ex_b permit node 10
+ bgp peer ISPb AS 300 export ex_b
+ bgp peer RR AS 100 advertise-community
+router RR
+ bgp as 100
+ bgp peer PR1 AS 100 rr-client advertise-community
+ bgp peer PR2 AS 100 rr-client advertise-community
+)";
+  std::cout << "\n--- Violation 1 (figure 5a): route leak ---\n";
+  Verifier v(cfg);
+  report(v, v.check_route_leak_free());
+}
+
+// Figure 5(b): a route hijack.  PR2's interface /31 is redistributed into
+// BGP with default local preference 100; PR1's import from ISPa sets 200
+// and fails to deny the internal /31 — the RR then prefers the external
+// route for the provider's own address space.
+void route_hijack() {
+  const char* cfg = R"(
+router PR1
+ bgp as 100
+ route-policy im_a permit node 10
+  set-local-preference 200
+ bgp peer ISPa AS 200 import im_a
+ bgp peer RR AS 100 advertise-community
+router PR2
+ bgp as 100
+ interface prefix 10.0.9.0/31
+ bgp import-route connected
+ bgp peer RR AS 100 advertise-community
+router RR
+ bgp as 100
+ bgp peer PR1 AS 100 rr-client advertise-community
+ bgp peer PR2 AS 100 rr-client advertise-community
+)";
+  std::cout << "\n--- Violation 2 (figure 5b): route hijack ---\n";
+  Verifier v(cfg);
+  report(v, v.check_route_hijack_free());
+  std::cout << "  Fix (as the operators did): add the /31 to PR1's inbound "
+               "deny list against ISPa.\n";
+  const char* fixed = R"(
+router PR1
+ bgp as 100
+ route-policy im_a deny node 5
+  if-match prefix 10.0.9.0/31
+ route-policy im_a permit node 10
+  set-local-preference 200
+ bgp peer ISPa AS 200 import im_a
+ bgp peer RR AS 100 advertise-community
+router PR2
+ bgp as 100
+ interface prefix 10.0.9.0/31
+ bgp import-route connected
+ bgp peer RR AS 100 advertise-community
+router RR
+ bgp as 100
+ bgp peer PR1 AS 100 rr-client advertise-community
+ bgp peer PR2 AS 100 rr-client advertise-community
+)";
+  Verifier vf(fixed);
+  std::cout << "  After the fix: " << vf.check_route_hijack_free().size()
+            << " hijack(s)\n";
+}
+
+// Figure 5(c): a traffic hijack.  The RR's export policy towards PR1
+// deliberately withholds an internal /24 (traffic should enter at PR2),
+// but PR1 holds a default route towards ISPa — so packets for the /24
+// that reach PR1 exit the network.
+void traffic_hijack() {
+  const char* cfg = R"(
+router PR1
+ bgp as 100
+ static 0.0.0.0/0 next-hop ISPa
+ bgp peer ISPa AS 200
+ bgp peer RR AS 100 advertise-community
+router PR2
+ bgp as 100
+ bgp peer RR AS 100 advertise-community
+router DR2
+ bgp as 65500
+ bgp network 10.7.7.0/24
+ bgp peer RR AS 100
+router RR
+ bgp as 100
+ route-policy te deny node 10
+  if-match prefix 10.7.7.0/24
+ route-policy te permit node 20
+ bgp peer PR1 AS 100 rr-client advertise-community export te
+ bgp peer PR2 AS 100 rr-client advertise-community
+ bgp peer DR2 AS 65500
+)";
+  std::cout << "\n--- Violation 3 (figure 5c): traffic hijack ---\n";
+  Verifier v(cfg);
+  report(v, v.check_traffic_hijack_free());
+  std::cout << "  (The operators deemed this intentional TE, but noted the "
+               "config violates best practice — PR1 should accept the route "
+               "and simply not export it.)\n";
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== Reproducing the section 7.1 violations (figure 5) ===\n";
+  route_leak();
+  route_hijack();
+  traffic_hijack();
+  return 0;
+}

@@ -1,0 +1,127 @@
+#include "automaton/aspath.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace expresso::automaton {
+
+AsPath AsPath::any(const AsAlphabet& alphabet) {
+  return symbolic(Dfa::universe(alphabet.size()));
+}
+
+AsPath AsPath::empty_path(AsPathMode mode, std::uint32_t alphabet_size) {
+  if (mode == AsPathMode::kSymbolic) {
+    return symbolic(Dfa::epsilon(alphabet_size));
+  }
+  return concrete({}, alphabet_size);
+}
+
+AsPath AsPath::concrete(std::vector<Symbol> word,
+                        std::uint32_t alphabet_size) {
+  AsPath p{Blank{}};
+  p.mode_ = AsPathMode::kConcrete;
+  p.word_ = std::move(word);
+  p.alphabet_size_ = alphabet_size;
+  p.min_length_ = static_cast<int>(p.word_.size());
+  return p;
+}
+
+AsPath AsPath::symbolic(Dfa dfa) {
+  AsPath p{Blank{}};
+  p.mode_ = AsPathMode::kSymbolic;
+  p.alphabet_size_ = dfa.alphabet_size();
+  p.min_length_ = dfa.shortest_word_length();
+  p.dfa_ = std::make_shared<const Dfa>(std::move(dfa));
+  return p;
+}
+
+bool AsPath::is_empty() const {
+  if (mode_ == AsPathMode::kConcrete) return concrete_empty_;
+  return min_length_ < 0;
+}
+
+AsPath AsPath::prepend(Symbol asn) const {
+  if (is_empty()) return *this;
+  if (mode_ == AsPathMode::kConcrete) {
+    std::vector<Symbol> w;
+    w.reserve(word_.size() + 1);
+    w.push_back(asn);
+    w.insert(w.end(), word_.begin(), word_.end());
+    return concrete(std::move(w), alphabet_size_);
+  }
+  return symbolic(dfa_->prepend(asn));
+}
+
+AsPath AsPath::filter(const Dfa& regex) const {
+  if (is_empty()) return *this;
+  if (mode_ == AsPathMode::kConcrete) {
+    if (regex.accepts(word_)) return *this;
+    AsPath p = *this;
+    p.concrete_empty_ = true;
+    p.min_length_ = -1;
+    return p;
+  }
+  return symbolic(dfa_->intersect(regex));
+}
+
+AsPath AsPath::without_as(Symbol asn) const {
+  if (is_empty()) return *this;
+  if (mode_ == AsPathMode::kConcrete) {
+    if (std::find(word_.begin(), word_.end(), asn) == word_.end()) {
+      return *this;
+    }
+    AsPath p = *this;
+    p.concrete_empty_ = true;
+    p.min_length_ = -1;
+    return p;
+  }
+  const Dfa bad = Dfa::containing(alphabet_size_, asn);
+  return symbolic(dfa_->intersect(bad.complement()));
+}
+
+int AsPath::min_length() const { return min_length_; }
+
+std::vector<Symbol> AsPath::witness() const {
+  if (is_empty()) return {};
+  if (mode_ == AsPathMode::kConcrete) return word_;
+  return dfa_->shortest_word();
+}
+
+bool AsPath::operator==(const AsPath& other) const {
+  if (mode_ != other.mode_) return false;
+  if (mode_ == AsPathMode::kConcrete) {
+    return concrete_empty_ == other.concrete_empty_ && word_ == other.word_;
+  }
+  if (dfa_ == other.dfa_) return true;
+  return *dfa_ == *other.dfa_;
+}
+
+std::uint64_t AsPath::hash() const {
+  if (mode_ == AsPathMode::kConcrete) {
+    std::uint64_t h = concrete_empty_ ? 99991 : 7;
+    for (Symbol s : word_) h = h * 1099511628211ULL + s + 1;
+    return h;
+  }
+  return dfa_->hash();
+}
+
+std::string AsPath::to_string(const std::vector<std::string>& names) const {
+  if (is_empty()) return "(denied)";
+  if (mode_ == AsPathMode::kConcrete) {
+    std::ostringstream os;
+    os << "[";
+    for (std::size_t i = 0; i < word_.size(); ++i) {
+      if (i) os << " ";
+      if (word_[i] < names.size()) {
+        os << names[word_[i]];
+      } else {
+        os << word_[i];
+      }
+    }
+    os << "]";
+    return os.str();
+  }
+  return dfa_->to_string(names);
+}
+
+}  // namespace expresso::automaton

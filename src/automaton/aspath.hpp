@@ -1,0 +1,78 @@
+// Symbolic AS paths.
+//
+// An AsPath value denotes a *set* of concrete AS paths.  Two representations
+// are provided, selected per verification run:
+//
+//   * kSymbolic — a canonical DFA over the interned AS alphabet.  This is
+//     Expresso's representation (paper section 4.2).
+//   * kConcrete — a single concrete word.  This is the "Expresso-" variant
+//     evaluated in the paper (section 7.2), which forgoes arbitrary external
+//     AS paths and instead uses a concrete representative per neighbor.
+//
+// The empty set (`is_empty()`) denotes a route denied by an AS-path filter.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "automaton/dfa.hpp"
+#include "automaton/regex.hpp"
+
+namespace expresso::automaton {
+
+enum class AsPathMode { kSymbolic, kConcrete };
+
+class AsPath {
+ public:
+  // Default-constructed value is the empty (denied) set in concrete mode;
+  // assign a factory result before use.
+  AsPath() : mode_(AsPathMode::kConcrete), concrete_empty_(true) {}
+
+  // The universe ".*" (symbolic mode).
+  static AsPath any(const AsAlphabet& alphabet);
+  // The set containing only the empty path (either mode).
+  static AsPath empty_path(AsPathMode mode, std::uint32_t alphabet_size);
+  // A single concrete word (concrete mode).
+  static AsPath concrete(std::vector<Symbol> word, std::uint32_t alphabet_size);
+  // Wraps an explicit DFA (symbolic mode).
+  static AsPath symbolic(Dfa dfa);
+
+  AsPathMode mode() const { return mode_; }
+  bool is_empty() const;
+
+  // {k·w : w in this} — eBGP export prepends the local AS.
+  AsPath prepend(Symbol asn) const;
+
+  // Intersection with a filter regex's language; may become empty.
+  AsPath filter(const Dfa& regex) const;
+
+  // Removes every path containing `asn` (eBGP loop prevention).
+  AsPath without_as(Symbol asn) const;
+
+  // Shortest member length; -1 if empty.  Used as the preference
+  // representative (paper sections 4.3 and 8).
+  int min_length() const;
+
+  // A shortest member (for violation reports).
+  std::vector<Symbol> witness() const;
+
+  bool operator==(const AsPath& other) const;
+  std::uint64_t hash() const;
+
+  std::string to_string(const std::vector<std::string>& names = {}) const;
+
+ private:
+  struct Blank {};
+  explicit AsPath(Blank) {}
+
+  AsPathMode mode_ = AsPathMode::kSymbolic;
+  std::shared_ptr<const Dfa> dfa_;  // symbolic mode
+  std::vector<Symbol> word_;        // concrete mode
+  bool concrete_empty_ = false;     // concrete mode: denied
+  std::uint32_t alphabet_size_ = 0;
+  int min_length_ = -1;  // cached
+};
+
+}  // namespace expresso::automaton

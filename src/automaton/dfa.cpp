@@ -1,0 +1,427 @@
+#include "automaton/dfa.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+#include <map>
+#include <numeric>
+#include <queue>
+#include <set>
+#include <sstream>
+#include <unordered_map>
+
+namespace expresso::automaton {
+
+// --- construction ----------------------------------------------------------
+
+Dfa::Dfa(std::uint32_t alphabet_size, [[maybe_unused]] std::uint32_t num_states,
+         State start,
+         std::vector<State> next, std::vector<bool> accepting)
+    : alphabet_size_(alphabet_size),
+      start_(start),
+      next_(std::move(next)),
+      accepting_(std::move(accepting)) {
+  assert(next_.size() ==
+         static_cast<std::size_t>(num_states) * alphabet_size_);
+  assert(accepting_.size() == num_states);
+}
+
+Dfa Dfa::empty(std::uint32_t k) {
+  return Dfa(k, 1, 0, std::vector<State>(k, 0), {false});
+}
+
+Dfa Dfa::universe(std::uint32_t k) {
+  return Dfa(k, 1, 0, std::vector<State>(k, 0), {true});
+}
+
+Dfa Dfa::epsilon(std::uint32_t k) {
+  // state 0: accepting start; state 1: sink.
+  std::vector<State> next(2 * k, 1);
+  return Dfa(k, 2, 0, std::move(next), {true, false});
+}
+
+Dfa Dfa::single(std::uint32_t k, Symbol s) {
+  // 0 --s--> 1(acc); everything else -> 2 (sink).
+  std::vector<State> next(3 * k, 2);
+  next[0 * k + s] = 1;
+  return Dfa(k, 3, 0, std::move(next), {false, true, false});
+}
+
+Dfa Dfa::containing(std::uint32_t k, Symbol s) {
+  // 0: haven't seen s; 1: have (accepting, absorbing).
+  std::vector<State> next(2 * k, 0);
+  next[0 * k + s] = 1;
+  for (Symbol a = 0; a < k; ++a) next[1 * k + a] = 1;
+  return Dfa(k, 2, 0, std::move(next), {false, true});
+}
+
+bool Dfa::accepts(std::span<const Symbol> word) const {
+  State q = start_;
+  for (Symbol s : word) {
+    assert(s < alphabet_size_);
+    q = next(q, s);
+  }
+  return accepting_[q];
+}
+
+// --- canonicalization ------------------------------------------------------
+
+namespace {
+
+// Moore minimization: iteratively refine the accepting/non-accepting
+// partition by transition signatures.  O(n^2 k) worst case, fine at the
+// automaton sizes routing policies produce.
+std::vector<std::uint32_t> moore_classes(const Dfa& d) {
+  const std::uint32_t n = d.num_states();
+  const std::uint32_t k = d.alphabet_size();
+  std::vector<std::uint32_t> cls(n);
+  for (std::uint32_t q = 0; q < n; ++q) cls[q] = d.is_accepting(q) ? 1 : 0;
+
+  std::vector<std::uint32_t> next_cls(n);
+  while (true) {
+    // Signature: (class, class of successor per symbol).
+    std::map<std::vector<std::uint32_t>, std::uint32_t> sig_to_class;
+    for (std::uint32_t q = 0; q < n; ++q) {
+      std::vector<std::uint32_t> sig;
+      sig.reserve(k + 1);
+      sig.push_back(cls[q]);
+      for (Symbol s = 0; s < k; ++s) sig.push_back(cls[d.next(q, s)]);
+      auto [it, _] = sig_to_class.try_emplace(
+          std::move(sig), static_cast<std::uint32_t>(sig_to_class.size()));
+      next_cls[q] = it->second;
+    }
+    if (next_cls == cls) break;
+    cls = next_cls;
+  }
+  return cls;
+}
+
+}  // namespace
+
+void Dfa::canonicalize() {
+  const std::uint32_t k = alphabet_size_;
+  // 1. Drop unreachable states (BFS from start).
+  std::vector<std::int64_t> reach(num_states(), -1);
+  std::deque<State> bfs{start_};
+  reach[start_] = 0;
+  std::uint32_t count = 1;
+  std::vector<State> order{start_};
+  while (!bfs.empty()) {
+    State q = bfs.front();
+    bfs.pop_front();
+    for (Symbol s = 0; s < k; ++s) {
+      State t = next(q, s);
+      if (reach[t] < 0) {
+        reach[t] = count++;
+        order.push_back(t);
+        bfs.push_back(t);
+      }
+    }
+  }
+  if (count != num_states()) {
+    std::vector<State> nn(static_cast<std::size_t>(count) * k);
+    std::vector<bool> na(count);
+    for (State q : order) {
+      const State nq = static_cast<State>(reach[q]);
+      na[nq] = accepting_[q];
+      for (Symbol s = 0; s < k; ++s)
+        nn[nq * k + s] = static_cast<State>(reach[next(q, s)]);
+    }
+    next_ = std::move(nn);
+    accepting_ = std::move(na);
+    start_ = 0;
+  }
+
+  // 2. Minimize.
+  const auto cls = moore_classes(*this);
+  const std::uint32_t num_cls =
+      cls.empty() ? 0 : *std::max_element(cls.begin(), cls.end()) + 1;
+  std::vector<State> rep(num_cls, 0);
+  for (std::uint32_t q = 0; q < num_states(); ++q) rep[cls[q]] = q;
+  std::vector<State> mn(static_cast<std::size_t>(num_cls) * k);
+  std::vector<bool> ma(num_cls);
+  for (std::uint32_t c = 0; c < num_cls; ++c) {
+    ma[c] = accepting_[rep[c]];
+    for (Symbol s = 0; s < k; ++s) mn[c * k + s] = cls[next(rep[c], s)];
+  }
+  const State mstart = cls[start_];
+
+  // 3. BFS renumber for a unique canonical form.
+  std::vector<std::int64_t> ren(num_cls, -1);
+  std::deque<State> q2{mstart};
+  ren[mstart] = 0;
+  std::uint32_t c2 = 1;
+  std::vector<State> order2{mstart};
+  while (!q2.empty()) {
+    State q = q2.front();
+    q2.pop_front();
+    for (Symbol s = 0; s < k; ++s) {
+      State t = mn[q * k + s];
+      if (ren[t] < 0) {
+        ren[t] = c2++;
+        order2.push_back(t);
+        q2.push_back(t);
+      }
+    }
+  }
+  std::vector<State> fn(static_cast<std::size_t>(c2) * k);
+  std::vector<bool> fa(c2);
+  for (State q : order2) {
+    const State nq = static_cast<State>(ren[q]);
+    fa[nq] = ma[q];
+    for (Symbol s = 0; s < k; ++s)
+      fn[nq * k + s] = static_cast<State>(ren[mn[q * k + s]]);
+  }
+  next_ = std::move(fn);
+  accepting_ = std::move(fa);
+  start_ = 0;
+}
+
+// --- algebra ----------------------------------------------------------------
+
+Dfa Dfa::intersect(const Dfa& other) const {
+  assert(alphabet_size_ == other.alphabet_size_);
+  const std::uint32_t k = alphabet_size_;
+  // Product construction, exploring reachable pairs only.
+  std::unordered_map<std::uint64_t, State> id;
+  std::vector<std::pair<State, State>> pairs;
+  auto intern = [&](State a, State b) {
+    const std::uint64_t key = (static_cast<std::uint64_t>(a) << 32) | b;
+    auto [it, fresh] = id.try_emplace(key, static_cast<State>(pairs.size()));
+    if (fresh) pairs.push_back({a, b});
+    return it->second;
+  };
+  intern(start_, other.start_);
+  std::vector<State> next;
+  std::vector<bool> acc;
+  for (std::size_t i = 0; i < pairs.size(); ++i) {
+    const auto [a, b] = pairs[i];
+    acc.push_back(accepting_[a] && other.accepting_[b]);
+    for (Symbol s = 0; s < k; ++s) {
+      next.push_back(intern(this->next(a, s), other.next(b, s)));
+    }
+  }
+  Dfa out(k, static_cast<std::uint32_t>(pairs.size()), 0, std::move(next),
+          std::move(acc));
+  out.canonicalize();
+  return out;
+}
+
+Dfa Dfa::union_(const Dfa& other) const {
+  // De Morgan over complement keeps the code tiny; sizes stay small.
+  return complement().intersect(other.complement()).complement();
+}
+
+Dfa Dfa::complement() const {
+  Dfa out = *this;
+  out.accepting_.flip();
+  out.canonicalize();
+  return out;
+}
+
+Dfa Dfa::prepend(Symbol s) const { return single(alphabet_size_, s).concat(*this); }
+
+Dfa Dfa::append(Symbol s) const { return concat(single(alphabet_size_, s)); }
+
+Dfa Dfa::concat(const Dfa& other) const {
+  Nfa a = Nfa::from_dfa(*this);
+  const Nfa b = Nfa::from_dfa(other);
+  // Splice b into a: renumber b's states after a's.
+  const State offset = static_cast<State>(a.edges_.size());
+  for (std::size_t q = 0; q < b.edges_.size(); ++q) {
+    State nq = a.add_state();
+    (void)nq;
+  }
+  for (std::size_t q = 0; q < b.edges_.size(); ++q) {
+    for (const auto& e : b.edges_[q])
+      a.add_edge(offset + static_cast<State>(q), e.symbol, offset + e.to);
+    for (State t : b.epsilon_[q])
+      a.add_epsilon(offset + static_cast<State>(q), offset + t);
+  }
+  // a's accepting states epsilon to b's start; only b's accepting remain.
+  for (std::size_t q = 0; q < a.accepting_.size(); ++q) {
+    if (q < offset && a.accepting_[q]) {
+      a.add_epsilon(static_cast<State>(q), offset + b.start_);
+      a.accepting_[q] = false;
+    }
+  }
+  for (std::size_t q = 0; q < b.accepting_.size(); ++q) {
+    if (b.accepting_[q]) a.add_accepting(offset + static_cast<State>(q));
+  }
+  return a.determinize();
+}
+
+bool Dfa::is_empty() const {
+  // Canonical DFAs have only reachable states.
+  return std::none_of(accepting_.begin(), accepting_.end(),
+                      [](bool b) { return b; });
+}
+
+int Dfa::shortest_word_length() const {
+  std::vector<int> dist(num_states(), -1);
+  std::deque<State> q{start_};
+  dist[start_] = 0;
+  while (!q.empty()) {
+    State u = q.front();
+    q.pop_front();
+    if (accepting_[u]) return dist[u];
+    for (Symbol s = 0; s < alphabet_size_; ++s) {
+      State v = next(u, s);
+      if (dist[v] < 0) {
+        dist[v] = dist[u] + 1;
+        q.push_back(v);
+      }
+    }
+  }
+  return -1;
+}
+
+std::vector<Symbol> Dfa::shortest_word() const {
+  std::vector<int> dist(num_states(), -1);
+  std::vector<std::pair<State, Symbol>> parent(num_states(), {0, 0});
+  std::deque<State> q{start_};
+  dist[start_] = 0;
+  State hit = start_;
+  bool found = accepting_[start_];
+  while (!q.empty() && !found) {
+    State u = q.front();
+    q.pop_front();
+    for (Symbol s = 0; s < alphabet_size_ && !found; ++s) {
+      State v = next(u, s);
+      if (dist[v] < 0) {
+        dist[v] = dist[u] + 1;
+        parent[v] = {u, s};
+        if (accepting_[v]) {
+          hit = v;
+          found = true;
+        }
+        q.push_back(v);
+      }
+    }
+  }
+  std::vector<Symbol> word;
+  if (!found) return word;
+  for (State v = hit; dist[v] > 0;) {
+    auto [u, s] = parent[v];
+    word.push_back(s);
+    v = u;
+  }
+  std::reverse(word.begin(), word.end());
+  return word;
+}
+
+std::uint64_t Dfa::hash() const {
+  std::uint64_t h = 1469598103934665603ULL ^ alphabet_size_;
+  auto mix = [&](std::uint64_t x) {
+    h ^= x;
+    h *= 1099511628211ULL;
+  };
+  mix(start_);
+  for (State t : next_) mix(t);
+  for (std::size_t i = 0; i < accepting_.size(); ++i)
+    mix(accepting_[i] ? i * 2 + 1 : i * 2);
+  return h;
+}
+
+std::string Dfa::to_string(const std::vector<std::string>& names) const {
+  if (is_empty()) return "{}";
+  std::ostringstream os;
+  os << "{";
+  const auto w = shortest_word();
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    if (i) os << " ";
+    if (w[i] < names.size()) {
+      os << names[w[i]];
+    } else {
+      os << "s" << w[i];
+    }
+  }
+  os << (*this == universe(alphabet_size_) ? " (=.*)" : " ...") << "}";
+  return os.str();
+}
+
+// --- NFA ---------------------------------------------------------------------
+
+State Nfa::add_state() {
+  edges_.emplace_back();
+  epsilon_.emplace_back();
+  accepting_.push_back(false);
+  return static_cast<State>(edges_.size() - 1);
+}
+
+void Nfa::add_edge(State from, Symbol s, State to) {
+  edges_[from].push_back({s, to});
+}
+
+void Nfa::add_epsilon(State from, State to) { epsilon_[from].push_back(to); }
+
+void Nfa::add_accepting(State q) { accepting_[q] = true; }
+
+Nfa Nfa::from_dfa(const Dfa& d) {
+  Nfa n(d.alphabet_size());
+  for (std::uint32_t q = 0; q < d.num_states(); ++q) n.add_state();
+  n.set_start(d.start());
+  for (std::uint32_t q = 0; q < d.num_states(); ++q) {
+    if (d.is_accepting(q)) n.add_accepting(q);
+    for (Symbol s = 0; s < d.alphabet_size(); ++s)
+      n.add_edge(q, s, d.next(q, s));
+  }
+  return n;
+}
+
+namespace {
+using StateSet = std::vector<State>;  // sorted unique
+
+void eps_close(const std::vector<std::vector<State>>& eps, StateSet& set) {
+  std::vector<State> stack(set.begin(), set.end());
+  std::set<State> seen(set.begin(), set.end());
+  while (!stack.empty()) {
+    State q = stack.back();
+    stack.pop_back();
+    for (State t : eps[q]) {
+      if (seen.insert(t).second) stack.push_back(t);
+    }
+  }
+  set.assign(seen.begin(), seen.end());
+}
+}  // namespace
+
+Dfa Nfa::determinize() const {
+  const std::uint32_t k = alphabet_size_;
+  std::map<StateSet, State> id;
+  std::vector<StateSet> sets;
+  auto intern = [&](StateSet s) {
+    auto [it, fresh] = id.try_emplace(s, static_cast<State>(sets.size()));
+    if (fresh) sets.push_back(std::move(s));
+    return it->second;
+  };
+  StateSet init{start_};
+  eps_close(epsilon_, init);
+  intern(std::move(init));
+
+  std::vector<State> next;
+  std::vector<bool> acc;
+  for (std::size_t i = 0; i < sets.size(); ++i) {
+    const StateSet cur = sets[i];  // copy: sets may reallocate below
+    bool a = false;
+    for (State q : cur) a = a || accepting_[q];
+    acc.push_back(a);
+    for (Symbol s = 0; s < k; ++s) {
+      std::set<State> tgt;
+      for (State q : cur) {
+        for (const auto& e : edges_[q]) {
+          if (e.symbol == s) tgt.insert(e.to);
+        }
+      }
+      StateSet t(tgt.begin(), tgt.end());
+      eps_close(epsilon_, t);
+      next.push_back(intern(std::move(t)));
+    }
+  }
+  Dfa out(k, static_cast<std::uint32_t>(sets.size()), 0, std::move(next),
+          std::move(acc));
+  out.canonicalize();
+  return out;
+}
+
+}  // namespace expresso::automaton

@@ -1,0 +1,135 @@
+// Finite automata over a small interned alphabet.
+//
+// Expresso represents a *symbolic AS path* — a set of concrete AS paths — as
+// a finite automaton (paper section 4.2: "Expresso uses automaton (a form
+// equivalent to regexes) to represent symbolic AS paths").  The operations
+// the verifier needs map onto standard automata algebra:
+//
+//   prepend AS k      -> concatenation with the single-word language {k}
+//   AS-path filter    -> intersection with the filter regex's automaton
+//   eBGP loop check   -> intersection with complement of ".* k .*"
+//   route preference  -> length of the shortest accepted word
+//   attribute compare -> language equivalence (canonical minimized DFA)
+//
+// DFAs are kept *total* (every state has a transition on every symbol; a
+// non-accepting sink absorbs dead transitions) and are canonicalized by
+// Moore minimization followed by BFS state renumbering, so two DFAs denote
+// the same language iff their state tables compare equal.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace expresso::automaton {
+
+using Symbol = std::uint32_t;
+using State = std::uint32_t;
+
+// A deterministic, total finite automaton.
+class Dfa {
+ public:
+  // The empty language over `alphabet_size` symbols.
+  static Dfa empty(std::uint32_t alphabet_size);
+  // The language of all words (".*").
+  static Dfa universe(std::uint32_t alphabet_size);
+  // The language containing exactly the empty word ("").
+  static Dfa epsilon(std::uint32_t alphabet_size);
+  // The language containing exactly the one-symbol word {s}.
+  static Dfa single(std::uint32_t alphabet_size, Symbol s);
+  // All words that contain symbol s anywhere (".* s .*").
+  static Dfa containing(std::uint32_t alphabet_size, Symbol s);
+
+  std::uint32_t alphabet_size() const { return alphabet_size_; }
+  std::uint32_t num_states() const {
+    return static_cast<std::uint32_t>(accepting_.size());
+  }
+  State start() const { return start_; }
+  bool is_accepting(State q) const { return accepting_[q]; }
+  State next(State q, Symbol s) const { return next_[q * alphabet_size_ + s]; }
+
+  bool accepts(std::span<const Symbol> word) const;
+
+  // Language algebra.  All results are canonical (minimized + renumbered).
+  Dfa intersect(const Dfa& other) const;
+  Dfa union_(const Dfa& other) const;
+  Dfa complement() const;
+  // { s·w : w in L(this) }
+  Dfa prepend(Symbol s) const;
+  // { w·s : w in L(this) }  (used to model right-append semantics)
+  Dfa append(Symbol s) const;
+  // Concatenation with another language.
+  Dfa concat(const Dfa& other) const;
+
+  bool is_empty() const;
+  // Length of the shortest accepted word; -1 if the language is empty.
+  // This is the "shortest AS path length" representative the paper uses for
+  // route preference (section 4.3 / limitation in section 8).
+  int shortest_word_length() const;
+  // A shortest accepted word (empty vector if language empty or L={""}).
+  std::vector<Symbol> shortest_word() const;
+
+  // Canonical-form equality is structural equality.
+  bool operator==(const Dfa& other) const = default;
+
+  // Stable hash of the canonical table (memoization key).
+  std::uint64_t hash() const;
+
+  // Debug rendering: lists a few accepted words.
+  std::string to_string(
+      const std::vector<std::string>& symbol_names = {}) const;
+
+  // Canonicalizes in place: minimize + BFS renumber.  Factories and algebra
+  // always return canonical DFAs; only needed after manual construction.
+  void canonicalize();
+
+  // Manual construction (used by the regex compiler and by tests).
+  Dfa(std::uint32_t alphabet_size, std::uint32_t num_states, State start,
+      std::vector<State> next, std::vector<bool> accepting);
+
+ private:
+  Dfa() = default;
+
+  std::uint32_t alphabet_size_ = 0;
+  State start_ = 0;
+  std::vector<State> next_;       // num_states x alphabet_size
+  std::vector<bool> accepting_;  // per state
+};
+
+// --- NFA (Thompson construction target) -----------------------------------
+
+// A nondeterministic automaton with epsilon transitions; only used as an
+// intermediate form by the regex compiler and by concatenation.
+class Nfa {
+ public:
+  explicit Nfa(std::uint32_t alphabet_size) : alphabet_size_(alphabet_size) {}
+
+  State add_state();
+  void add_edge(State from, Symbol s, State to);
+  void add_epsilon(State from, State to);
+  void set_start(State q) { start_ = q; }
+  void add_accepting(State q);
+
+  std::uint32_t alphabet_size() const { return alphabet_size_; }
+
+  // Subset construction -> canonical DFA.
+  Dfa determinize() const;
+
+  // Builds an NFA equivalent to the given DFA (for concatenation).
+  static Nfa from_dfa(const Dfa& d);
+
+ private:
+  friend class Dfa;
+  struct Edge {
+    Symbol symbol;
+    State to;
+  };
+  std::uint32_t alphabet_size_;
+  State start_ = 0;
+  std::vector<std::vector<Edge>> edges_;
+  std::vector<std::vector<State>> epsilon_;
+  std::vector<bool> accepting_;
+};
+
+}  // namespace expresso::automaton

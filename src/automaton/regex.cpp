@@ -1,0 +1,224 @@
+#include "automaton/regex.hpp"
+
+#include <cctype>
+
+namespace expresso::automaton {
+
+Symbol AsAlphabet::intern(std::uint32_t asn) {
+  auto it = index_.find(asn);
+  if (it != index_.end()) return it->second;
+  if (frozen_) {
+    throw RegexError("AS " + std::to_string(asn) +
+                     " interned after alphabet was frozen");
+  }
+  const Symbol s = static_cast<Symbol>(asns_.size());
+  index_.emplace(asn, s);
+  asns_.push_back(asn);
+  return s;
+}
+
+std::optional<Symbol> AsAlphabet::lookup(std::uint32_t asn) const {
+  auto it = index_.find(asn);
+  if (it == index_.end()) return std::nullopt;
+  return it->second;
+}
+
+Symbol AsAlphabet::symbol_for(std::uint32_t asn) const {
+  auto s = lookup(asn);
+  return s ? *s : other();
+}
+
+std::string AsAlphabet::name(Symbol s) const {
+  if (s == other()) return "OTHER";
+  return std::to_string(asns_.at(s));
+}
+
+std::vector<std::string> AsAlphabet::names() const {
+  std::vector<std::string> out;
+  out.reserve(size());
+  for (std::uint32_t asn : asns_) out.push_back(std::to_string(asn));
+  out.push_back("OTHER");
+  return out;
+}
+
+namespace {
+
+enum class TokKind { kNumber, kDot, kStar, kBar, kLParen, kRParen, kEnd };
+
+struct Token {
+  TokKind kind;
+  std::uint32_t number = 0;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& s) : s_(s) { advance(); }
+  const Token& peek() const { return tok_; }
+  Token take() {
+    Token t = tok_;
+    advance();
+    return t;
+  }
+
+ private:
+  void advance() {
+    while (pos_ < s_.size() &&
+           (std::isspace(static_cast<unsigned char>(s_[pos_])) ||
+            s_[pos_] == ',')) {
+      ++pos_;
+    }
+    if (pos_ >= s_.size()) {
+      tok_ = {TokKind::kEnd};
+      return;
+    }
+    const char c = s_[pos_];
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::uint64_t v = 0;
+      while (pos_ < s_.size() &&
+             std::isdigit(static_cast<unsigned char>(s_[pos_]))) {
+        v = v * 10 + (s_[pos_] - '0');
+        ++pos_;
+      }
+      tok_ = {TokKind::kNumber, static_cast<std::uint32_t>(v)};
+      return;
+    }
+    ++pos_;
+    switch (c) {
+      case '.': tok_ = {TokKind::kDot}; return;
+      case '*': tok_ = {TokKind::kStar}; return;
+      case '|': tok_ = {TokKind::kBar}; return;
+      case '(': tok_ = {TokKind::kLParen}; return;
+      case ')': tok_ = {TokKind::kRParen}; return;
+      default:
+        throw RegexError(std::string("unexpected character '") + c +
+                         "' in AS-path regex");
+    }
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+  Token tok_{TokKind::kEnd};
+};
+
+// Thompson-construction fragments: NFA pieces with one start and one accept.
+struct Frag {
+  State start;
+  State accept;
+};
+
+class Compiler {
+ public:
+  Compiler(Lexer& lex, const AsAlphabet& alpha)
+      : lex_(lex), alpha_(alpha), nfa_(alpha.size()) {}
+
+  Dfa run() {
+    Frag f = alternation();
+    if (lex_.peek().kind != TokKind::kEnd) {
+      throw RegexError("trailing tokens in AS-path regex");
+    }
+    nfa_.set_start(f.start);
+    nfa_.add_accepting(f.accept);
+    return nfa_.determinize();
+  }
+
+ private:
+  Frag alternation() {
+    Frag left = sequence();
+    while (lex_.peek().kind == TokKind::kBar) {
+      lex_.take();
+      Frag right = sequence();
+      const State s = nfa_.add_state();
+      const State a = nfa_.add_state();
+      nfa_.add_epsilon(s, left.start);
+      nfa_.add_epsilon(s, right.start);
+      nfa_.add_epsilon(left.accept, a);
+      nfa_.add_epsilon(right.accept, a);
+      left = {s, a};
+    }
+    return left;
+  }
+
+  Frag sequence() {
+    // Possibly-empty concatenation.
+    Frag acc = epsilon_frag();
+    while (true) {
+      const TokKind k = lex_.peek().kind;
+      if (k != TokKind::kNumber && k != TokKind::kDot &&
+          k != TokKind::kLParen) {
+        break;
+      }
+      Frag next = repetition();
+      nfa_.add_epsilon(acc.accept, next.start);
+      acc = {acc.start, next.accept};
+    }
+    return acc;
+  }
+
+  Frag repetition() {
+    Frag inner = atom();
+    if (lex_.peek().kind == TokKind::kStar) {
+      lex_.take();
+      const State s = nfa_.add_state();
+      const State a = nfa_.add_state();
+      nfa_.add_epsilon(s, inner.start);
+      nfa_.add_epsilon(s, a);
+      nfa_.add_epsilon(inner.accept, inner.start);
+      nfa_.add_epsilon(inner.accept, a);
+      inner = {s, a};
+    }
+    return inner;
+  }
+
+  Frag atom() {
+    const Token t = lex_.take();
+    switch (t.kind) {
+      case TokKind::kNumber: {
+        auto sym = alpha_.lookup(t.number);
+        if (!sym) {
+          throw RegexError("AS " + std::to_string(t.number) +
+                           " not present in the alphabet");
+        }
+        const State s = nfa_.add_state();
+        const State a = nfa_.add_state();
+        nfa_.add_edge(s, *sym, a);
+        return {s, a};
+      }
+      case TokKind::kDot: {
+        const State s = nfa_.add_state();
+        const State a = nfa_.add_state();
+        for (Symbol sym = 0; sym < alpha_.size(); ++sym) {
+          nfa_.add_edge(s, sym, a);
+        }
+        return {s, a};
+      }
+      case TokKind::kLParen: {
+        Frag f = alternation();
+        if (lex_.take().kind != TokKind::kRParen) {
+          throw RegexError("missing ')' in AS-path regex");
+        }
+        return f;
+      }
+      default:
+        throw RegexError("unexpected token in AS-path regex");
+    }
+  }
+
+  Frag epsilon_frag() {
+    const State s = nfa_.add_state();
+    return {s, s};
+  }
+
+  Lexer& lex_;
+  const AsAlphabet& alpha_;
+  Nfa nfa_;
+};
+
+}  // namespace
+
+Dfa compile_regex(const std::string& pattern, const AsAlphabet& alphabet) {
+  Lexer lex(pattern);
+  Compiler c(lex, alphabet);
+  return c.run();
+}
+
+}  // namespace expresso::automaton

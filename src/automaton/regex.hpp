@@ -1,0 +1,66 @@
+// Regex compiler for AS-path expressions.
+//
+// The dialect matches what the paper writes in route policies and examples:
+//
+//     ".*"            any AS path
+//     "100.*"         paths beginning with AS 100
+//     ".*400"         paths ending with AS 400
+//     "200,200.*"     200 200 followed by anything (',' is a separator)
+//     "(100|200).*"   alternation and grouping
+//
+// Tokens: AS numbers, '.' (any one AS), postfix '*', '|', parentheses.
+// Whitespace and ',' separate tokens.  The expression is anchored (it must
+// match the whole AS path), mirroring the paper's usage.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "automaton/dfa.hpp"
+
+namespace expresso::automaton {
+
+// The interned alphabet of AS numbers mentioned anywhere in a configuration
+// set, plus a trailing OTHER symbol standing for every unmentioned AS.  All
+// automata in one verification run share one frozen alphabet.
+class AsAlphabet {
+ public:
+  // Registers an AS number (no-op when frozen and already present).
+  Symbol intern(std::uint32_t asn);
+  std::optional<Symbol> lookup(std::uint32_t asn) const;
+  // Symbol an AS number maps to once the alphabet is frozen: its own symbol
+  // if interned, OTHER otherwise.
+  Symbol symbol_for(std::uint32_t asn) const;
+
+  void freeze() { frozen_ = true; }
+  bool frozen() const { return frozen_; }
+
+  // Alphabet size including OTHER.  Only valid once frozen.
+  std::uint32_t size() const {
+    return static_cast<std::uint32_t>(asns_.size()) + 1;
+  }
+  Symbol other() const { return static_cast<Symbol>(asns_.size()); }
+
+  std::string name(Symbol s) const;
+  std::vector<std::string> names() const;
+
+ private:
+  std::unordered_map<std::uint32_t, Symbol> index_;
+  std::vector<std::uint32_t> asns_;
+  bool frozen_ = false;
+};
+
+struct RegexError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+// Compiles `pattern` to a canonical DFA over the frozen alphabet.
+// Throws RegexError on syntax errors or AS numbers missing from the
+// alphabet (callers intern all config-mentioned ASes before freezing).
+Dfa compile_regex(const std::string& pattern, const AsAlphabet& alphabet);
+
+}  // namespace expresso::automaton

@@ -1,0 +1,103 @@
+#include "baselines/aspath_atomizer.hpp"
+
+#include <deque>
+#include <map>
+#include <set>
+
+#include "automaton/regex.hpp"
+#include "support/util.hpp"
+
+namespace expresso::baselines {
+
+using automaton::AsAlphabet;
+using automaton::Dfa;
+using automaton::Symbol;
+
+AspathAtomizerResult atomize_aspath_regexes(const net::Network& net,
+                                            std::size_t max_states,
+                                            double timeout_seconds) {
+  AspathAtomizerResult res;
+  Stopwatch sw;
+
+  // Collect regexes and build the alphabet they need.
+  AsAlphabet alphabet;
+  for (const auto& node : net.nodes()) alphabet.intern(node.asn);
+  std::set<std::string> regexes;
+  for (const auto& cfg : net.configs()) {
+    for (const auto& p : cfg.peers) alphabet.intern(p.peer_as);
+    for (const auto& [name, pol] : cfg.policies) {
+      (void)name;
+      for (const auto& clause : pol) {
+        if (!clause.match_as_path) continue;
+        regexes.insert(*clause.match_as_path);
+        std::uint64_t v = 0;
+        bool in_num = false;
+        const std::string& s = *clause.match_as_path;
+        for (std::size_t i = 0; i <= s.size(); ++i) {
+          if (i < s.size() && isdigit(static_cast<unsigned char>(s[i]))) {
+            v = v * 10 + (s[i] - '0');
+            in_num = true;
+          } else {
+            if (in_num) alphabet.intern(static_cast<std::uint32_t>(v));
+            v = 0;
+            in_num = false;
+          }
+        }
+      }
+    }
+  }
+  alphabet.freeze();
+  res.num_regexes = regexes.size();
+  if (regexes.empty()) {
+    res.seconds = sw.seconds();
+    return res;
+  }
+
+  std::vector<Dfa> dfas;
+  for (const auto& r : regexes) {
+    dfas.push_back(automaton::compile_regex(r, alphabet));
+  }
+
+  // Explore the synchronous product by BFS; an atom is a distinct vector of
+  // per-DFA acceptance bits among reachable product states.
+  using ProductState = std::vector<automaton::State>;
+  std::map<ProductState, std::size_t> seen;
+  std::deque<ProductState> queue;
+  std::set<std::vector<bool>> signatures;
+
+  ProductState init;
+  for (const auto& d : dfas) init.push_back(d.start());
+  seen.emplace(init, 0);
+  queue.push_back(init);
+
+  while (!queue.empty()) {
+    if (seen.size() > max_states || sw.seconds() > timeout_seconds) {
+      res.timed_out = true;
+      break;
+    }
+    ProductState cur = queue.front();
+    queue.pop_front();
+    std::vector<bool> sig;
+    sig.reserve(dfas.size());
+    for (std::size_t i = 0; i < dfas.size(); ++i) {
+      sig.push_back(dfas[i].is_accepting(cur[i]));
+    }
+    signatures.insert(std::move(sig));
+    for (Symbol s = 0; s < alphabet.size(); ++s) {
+      ProductState next;
+      next.reserve(dfas.size());
+      for (std::size_t i = 0; i < dfas.size(); ++i) {
+        next.push_back(dfas[i].next(cur[i], s));
+      }
+      if (seen.emplace(next, seen.size()).second) {
+        queue.push_back(std::move(next));
+      }
+    }
+  }
+  res.product_states = seen.size();
+  res.num_atoms = signatures.size();
+  res.seconds = sw.seconds();
+  return res;
+}
+
+}  // namespace expresso::baselines

@@ -1,0 +1,70 @@
+#include "baselines/enumerator.hpp"
+
+#include <set>
+
+#include "support/util.hpp"
+
+namespace expresso::baselines {
+
+using net::NodeIndex;
+
+EnumerationResult enumerate_environments(const net::Network& net,
+                                         std::size_t count,
+                                         std::uint64_t seed) {
+  EnumerationResult res;
+  SplitMix64 rng(seed);
+
+  // Candidate pool: every prefix mentioned in any prefix list or originated
+  // anywhere (what a careful operator would enumerate first).
+  std::set<net::Ipv4Prefix> pool_set;
+  for (const auto& cfg : net.configs()) {
+    for (const auto& [name, pol] : cfg.policies) {
+      (void)name;
+      for (const auto& clause : pol) {
+        for (const auto& pm : clause.match_prefixes) pool_set.insert(pm.base);
+      }
+    }
+    for (const auto& p : cfg.networks) pool_set.insert(p);
+  }
+  // Plus a few generic Internet prefixes: enumerating only the prefixes the
+  // configs mention would miss bugs triggered by unrelated address space.
+  for (const char* p : {"8.8.8.0/24", "203.0.113.0/24", "198.51.100.0/24",
+                        "100.64.0.0/16"}) {
+    pool_set.insert(*net::Ipv4Prefix::parse(p));
+  }
+  const std::vector<net::Ipv4Prefix> pool(pool_set.begin(), pool_set.end());
+  res.log2_full_coverage =
+      static_cast<double>(net.num_external()) * pool.size();
+
+  routing::SpvpEngine spvp(net);
+  Stopwatch sw;
+  for (std::size_t i = 0; i < count; ++i) {
+    routing::Environment env;
+    for (NodeIndex x : net.external_nodes()) {
+      auto& anns = env[x];
+      for (const auto& p : pool) {
+        if (!rng.chance(1, 2)) continue;
+        routing::Announcement a;
+        a.prefix = p;
+        a.as_path = {net.node(x).asn};
+        anns.push_back(std::move(a));
+      }
+    }
+    spvp.run(env);
+    bool violation = false;
+    for (NodeIndex x : net.external_nodes()) {
+      for (const auto& r : spvp.external_rib(x)) {
+        const auto& org = net.node(r.originator);
+        violation = violation || (org.external && r.originator != x);
+      }
+    }
+    if (violation) ++res.violating_environments;
+    ++res.environments_checked;
+  }
+  res.seconds = sw.seconds();
+  res.seconds_per_environment =
+      count ? res.seconds / static_cast<double>(count) : 0;
+  return res;
+}
+
+}  // namespace expresso::baselines

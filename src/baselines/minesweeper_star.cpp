@@ -1,0 +1,648 @@
+#include "baselines/minesweeper_star.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <set>
+
+#include "support/util.hpp"
+
+namespace expresso::baselines {
+
+using net::NodeIndex;
+using net::SessionEdge;
+using sat::Lit;
+using sat::Result;
+using sat::Solver;
+
+namespace {
+
+// One SAT instance: the stable routing state for one symbolic prefix and
+// one target external neighbor's property assertion.
+class Query {
+ public:
+  Query(const net::Network& net, const symbolic::CommunityAtomizer& atoms,
+        const std::vector<std::uint32_t>& lps)
+      : net_(net), atoms_(atoms), lps_(lps) {
+    true_ = Lit::pos(s_.new_var());
+    s_.add_unit(true_);
+    build_prefix_vars();
+    build_records();
+    build_transfer_constraints();
+  }
+
+  Solver& solver() { return s_; }
+
+  // Assertion: target neighbor receives a route originated by a different
+  // external neighbor.
+  void assert_route_leak(NodeIndex target) {
+    std::vector<Lit> any;
+    for (std::uint32_t ei : net_.in_edges()[target]) {
+      const SessionEdge& e = net_.edges()[ei];
+      if (net_.node(e.from).external) continue;
+      const Exported ex = exported_record(e);
+      std::vector<Lit> foreign;
+      for (NodeIndex y : net_.external_nodes()) {
+        if (y == target) continue;
+        foreign.push_back(rec_[e.from].orig[y]);
+      }
+      if (foreign.empty()) continue;
+      any.push_back(land({ex.exists, lor(foreign)}));
+    }
+    s_.add_clause(any.empty() ? std::vector<Lit>{~true_} : any);
+  }
+
+  // Assertion: target neighbor receives a route carrying the given atom.
+  void assert_bte(NodeIndex target, std::uint32_t bte_atom) {
+    std::vector<Lit> any;
+    for (std::uint32_t ei : net_.in_edges()[target]) {
+      const SessionEdge& e = net_.edges()[ei];
+      if (net_.node(e.from).external) continue;
+      const Exported ex = exported_record(e);
+      any.push_back(land({ex.exists, ex.comm[bte_atom]}));
+    }
+    s_.add_clause(any.empty() ? std::vector<Lit>{~true_} : any);
+  }
+
+ private:
+  static constexpr std::uint32_t kPlenBits = 8;
+
+  struct Record {
+    Lit ex;
+    std::vector<Lit> lp;    // one-hot over lps_
+    std::vector<Lit> plen;  // LSB-first bitvector
+    std::vector<Lit> comm;  // per atom
+    std::vector<Lit> orig;  // one-hot over all nodes
+    std::vector<Lit> hop;   // LSB-first bitvector
+    Lit learned_ebgp;       // learned via eBGP or locally originated
+    Lit learned_client;     // learned over iBGP from an RR client
+  };
+
+  struct Candidate {
+    Lit ex;
+    std::vector<Lit> lp;
+    std::vector<Lit> plen;
+    std::vector<Lit> comm;
+    std::vector<Lit> orig;
+    std::vector<Lit> hop;
+    Lit learned_ebgp;
+    Lit learned_client;
+  };
+
+  struct Exported {
+    Lit exists;
+    std::vector<Lit> comm;
+  };
+
+  struct PolicyOut {
+    Lit permits;
+    std::vector<Lit> comm;
+    std::vector<Lit> lp;
+  };
+
+  // --- tiny gate library ----------------------------------------------------
+  Lit fresh() { return Lit::pos(s_.new_var()); }
+  Lit cfalse() { return ~true_; }
+
+  Lit land(std::vector<Lit> xs) {
+    xs.erase(std::remove(xs.begin(), xs.end(), true_), xs.end());
+    for (const Lit x : xs) {
+      if (x == cfalse()) return cfalse();
+    }
+    if (xs.empty()) return true_;
+    if (xs.size() == 1) return xs[0];
+    const Lit y = fresh();
+    std::vector<Lit> big{y};
+    for (const Lit x : xs) {
+      s_.add_clause({~y, x});
+      big.push_back(~x);
+    }
+    s_.add_clause(big);
+    return y;
+  }
+
+  Lit lor(std::vector<Lit> xs) {
+    xs.erase(std::remove(xs.begin(), xs.end(), cfalse()), xs.end());
+    for (const Lit x : xs) {
+      if (x == true_) return true_;
+    }
+    if (xs.empty()) return cfalse();
+    if (xs.size() == 1) return xs[0];
+    const Lit y = fresh();
+    std::vector<Lit> big{~y};
+    for (const Lit x : xs) {
+      s_.add_clause({y, ~x});
+      big.push_back(x);
+    }
+    s_.add_clause(big);
+    return y;
+  }
+
+  Lit lite(Lit c, Lit a, Lit b) {  // c ? a : b
+    if (c == true_) return a;
+    if (c == cfalse()) return b;
+    return lor({land({c, a}), land({~c, b})});
+  }
+
+  Lit liff(Lit a, Lit b) { return lor({land({a, b}), land({~a, ~b})}); }
+
+  // x + inc (inc in {0,1}); overflow is forbidden.
+  std::vector<Lit> add_inc(const std::vector<Lit>& x, bool inc) {
+    if (!inc) return x;
+    std::vector<Lit> out(x.size(), cfalse());
+    Lit carry = true_;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      out[i] = lor({land({x[i], ~carry}), land({~x[i], carry})});
+      carry = land({x[i], carry});
+    }
+    s_.add_unit(~carry);  // no overflow
+    return out;
+  }
+
+  Lit ult(const std::vector<Lit>& a, const std::vector<Lit>& b) {  // a < b
+    Lit lt = cfalse();
+    for (std::size_t i = 0; i < a.size(); ++i) {  // LSB to MSB
+      lt = lor({land({~a[i], b[i]}), land({liff(a[i], b[i]), lt})});
+    }
+    return lt;
+  }
+
+  Lit veq(const std::vector<Lit>& a, const std::vector<Lit>& b) {
+    std::vector<Lit> eqs;
+    for (std::size_t i = 0; i < a.size(); ++i) eqs.push_back(liff(a[i], b[i]));
+    return land(eqs);
+  }
+
+  void bind_if(Lit guard, const std::vector<Lit>& field,
+               const std::vector<Lit>& value) {
+    for (std::size_t i = 0; i < field.size(); ++i) {
+      s_.add_clause({~guard, ~field[i], value[i]});
+      s_.add_clause({~guard, field[i], ~value[i]});
+    }
+  }
+
+  // --- prefix variables -------------------------------------------------------
+  void build_prefix_vars() {
+    pbit_.resize(32);
+    for (auto& l : pbit_) l = fresh();
+    lenv_.resize(33);
+    std::vector<Lit> all;
+    for (auto& l : lenv_) {
+      l = fresh();
+      all.push_back(l);
+    }
+    s_.add_clause(all);  // exactly one length
+    s_.add_at_most_one(all);
+    adv_.resize(net_.num_external());
+    for (auto& l : adv_) l = fresh();
+  }
+
+  // Gate: the symbolic prefix equals concrete prefix p.
+  Lit prefix_is(const net::Ipv4Prefix& p) {
+    std::vector<Lit> xs{lenv_[p.len]};
+    for (std::uint32_t b = 0; b < p.len; ++b) {
+      const bool set = (p.addr >> (31 - b)) & 1;
+      xs.push_back(set ? pbit_[b] : ~pbit_[b]);
+    }
+    return land(xs);
+  }
+
+  // Gate: the symbolic prefix falls inside a prefix-list entry.
+  Lit prefix_matches(const net::PrefixMatch& m) {
+    std::vector<Lit> lens;
+    for (std::uint32_t v = m.ge; v <= m.le && v <= 32; ++v) {
+      lens.push_back(lenv_[v]);
+    }
+    std::vector<Lit> xs{lor(lens)};
+    for (std::uint32_t b = 0; b < m.base.len; ++b) {
+      const bool set = (m.base.addr >> (31 - b)) & 1;
+      xs.push_back(set ? pbit_[b] : ~pbit_[b]);
+    }
+    return land(xs);
+  }
+
+  std::vector<Lit> lp_const(std::uint32_t value) {
+    std::vector<Lit> out(lps_.size(), cfalse());
+    for (std::size_t i = 0; i < lps_.size(); ++i) {
+      if (lps_[i] == value) out[i] = true_;
+    }
+    return out;
+  }
+
+  std::vector<Lit> const_bits(std::uint64_t value, std::size_t width) {
+    std::vector<Lit> out(width, cfalse());
+    for (std::size_t i = 0; i < width; ++i) {
+      if ((value >> i) & 1) out[i] = true_;
+    }
+    return out;
+  }
+
+  // --- node records -------------------------------------------------------------
+  void build_records() {
+    const std::size_t n = net_.nodes().size();
+    const std::size_t nat = atoms_.num_atoms();
+    hop_bits_ = 1;
+    while ((1u << hop_bits_) < n + 2) ++hop_bits_;
+    ++hop_bits_;
+
+    rec_.resize(n);
+    for (NodeIndex u = 0; u < n; ++u) {
+      Record& r = rec_[u];
+      const auto& node = net_.node(u);
+      if (node.external) {
+        // The neighbor announces the symbolic prefix iff its advertise bit
+        // holds; attributes are free (arbitrary external routes).
+        r.ex = adv_[node.external_index];
+        r.lp = lp_const(100);
+        r.plen.resize(kPlenBits);
+        for (auto& l : r.plen) l = fresh();
+        r.comm.resize(nat);
+        for (auto& l : r.comm) l = fresh();
+        r.orig.assign(n, cfalse());
+        r.orig[u] = true_;
+        r.hop = const_bits(0, hop_bits_);
+        r.learned_ebgp = true_;
+        r.learned_client = cfalse();
+      } else {
+        r.ex = fresh();
+        r.lp.resize(lps_.size());
+        for (auto& l : r.lp) l = fresh();
+        s_.add_at_most_one(r.lp);
+        {
+          std::vector<Lit> c{~r.ex};
+          c.insert(c.end(), r.lp.begin(), r.lp.end());
+          s_.add_clause(c);  // ex -> some lp value
+        }
+        r.plen.resize(kPlenBits);
+        for (auto& l : r.plen) l = fresh();
+        r.comm.resize(nat);
+        for (auto& l : r.comm) l = fresh();
+        r.orig.resize(n);
+        for (auto& l : r.orig) l = fresh();
+        s_.add_at_most_one(r.orig);
+        {
+          std::vector<Lit> c{~r.ex};
+          c.insert(c.end(), r.orig.begin(), r.orig.end());
+          s_.add_clause(c);
+        }
+        r.hop.resize(hop_bits_);
+        for (auto& l : r.hop) l = fresh();
+        r.learned_ebgp = fresh();
+        r.learned_client = fresh();
+      }
+    }
+  }
+
+  // Compiles a policy into a circuit over the symbolic prefix and an input
+  // community/lp record (first-match, default deny, AS-path matches never
+  // match — Minesweeper does not model path contents).
+  PolicyOut policy_circuit(const config::RoutePolicy& pol,
+                           const std::vector<Lit>& in_comm,
+                           const std::vector<Lit>& in_lp) {
+    PolicyOut out;
+    out.comm.assign(in_comm.size(), cfalse());
+    out.lp.assign(in_lp.size(), cfalse());
+    Lit prior = cfalse();  // some earlier clause matched
+    std::vector<Lit> permit_terms;
+    for (const auto& clause : pol) {
+      std::vector<Lit> conds;
+      if (!clause.match_prefixes.empty()) {
+        std::vector<Lit> any;
+        for (const auto& pm : clause.match_prefixes) {
+          any.push_back(prefix_matches(pm));
+        }
+        conds.push_back(lor(any));
+      }
+      if (!clause.match_communities.empty()) {
+        std::vector<Lit> any;
+        for (const auto& m : clause.match_communities) {
+          for (const std::uint32_t a : atoms_.atoms_of(m)) {
+            any.push_back(in_comm[a]);
+          }
+        }
+        conds.push_back(lor(any));
+      }
+      if (clause.match_as_path) conds.push_back(cfalse());
+      const Lit matched = land(conds);
+      const Lit active = land({matched, ~prior});
+      prior = lor({prior, matched});
+      if (!clause.permit) continue;
+      permit_terms.push_back(active);
+
+      // Community transform for this clause.
+      for (std::size_t a = 0; a < in_comm.size(); ++a) {
+        Lit bit = in_comm[a];
+        for (const auto& c : clause.add_communities) {
+          if (atoms_.atom_of(c) == a) bit = true_;
+        }
+        for (const auto& c : clause.delete_communities) {
+          if (atoms_.atom_of(c) == a) bit = cfalse();
+        }
+        out.comm[a] = lor({out.comm[a], land({active, bit})});
+      }
+      // Local preference.
+      const std::vector<Lit> lp_val =
+          clause.set_local_preference ? lp_const(*clause.set_local_preference)
+                                      : in_lp;
+      for (std::size_t i = 0; i < in_lp.size(); ++i) {
+        out.lp[i] = lor({out.lp[i], land({active, lp_val[i]})});
+      }
+    }
+    out.permits = lor(permit_terms);
+    return out;
+  }
+
+  // Session-rule gate: may `from`'s best route be advertised over e?
+  Lit session_allows(const SessionEdge& e) {
+    const auto& from = net_.node(e.from);
+    if (from.external || e.ebgp) return true_;
+    const bool reflect_to_client = e.export_stmt && e.export_stmt->rr_client;
+    // iBGP: eBGP/origin and client-learned routes go everywhere; plain
+    // iBGP-learned routes only towards our RR clients.
+    if (reflect_to_client) return true_;
+    return lor({rec_[e.from].learned_ebgp, rec_[e.from].learned_client});
+  }
+
+  // Export-side record as seen on the wire of edge e (after export policy,
+  // AS prepend, community stripping).
+  struct Wire {
+    Lit exists;
+    std::vector<Lit> comm;
+    std::vector<Lit> lp;
+    std::vector<Lit> plen;
+  };
+
+  Wire wire_record(const SessionEdge& e) {
+    const auto& from = net_.node(e.from);
+    const Record& rv = rec_[e.from];
+    Wire w;
+    w.exists = land({rv.ex, session_allows(e)});
+    w.comm = rv.comm;
+    w.lp = rv.lp;
+    w.plen = rv.plen;
+    if (!from.external && e.export_stmt && e.export_stmt->export_policy) {
+      const auto& cfg = net_.config_of(e.from);
+      auto it = cfg.policies.find(*e.export_stmt->export_policy);
+      if (it == cfg.policies.end()) {
+        w.exists = cfalse();
+      } else {
+        PolicyOut po = policy_circuit(it->second, w.comm, w.lp);
+        w.exists = land({w.exists, po.permits});
+        w.comm = po.comm;
+        w.lp = po.lp;
+      }
+    }
+    if (!from.external) {
+      if (e.ebgp) w.plen = add_inc(w.plen, true);  // AS prepend
+      if (!(e.export_stmt && e.export_stmt->advertise_community)) {
+        for (auto& bit : w.comm) bit = cfalse();  // stripped
+      }
+    }
+    return w;
+  }
+
+  Exported exported_record(const SessionEdge& e) {
+    if (e.export_stmt && e.export_stmt->advertise_default) {
+      // The session carries only an originated default route.
+      Exported ex;
+      ex.exists = cfalse();
+      ex.comm.assign(atoms_.num_atoms(), cfalse());
+      return ex;
+    }
+    const Wire w = wire_record(e);
+    return Exported{w.exists, w.comm};
+  }
+
+  Candidate edge_candidate(const SessionEdge& e) {
+    Candidate c;
+    const std::size_t nat = atoms_.num_atoms();
+    if (e.export_stmt && e.export_stmt->advertise_default &&
+        !net_.node(e.from).external) {
+      // default-originate: prefix must be 0.0.0.0/0.
+      c.ex = prefix_is(net::Ipv4Prefix{0, 0});
+      c.lp = lp_const(100);
+      c.plen = const_bits(e.ebgp ? 1 : 0, kPlenBits);
+      c.comm.assign(nat, cfalse());
+      c.orig.assign(net_.nodes().size(), cfalse());
+      c.orig[e.from] = true_;
+      c.hop = const_bits(1, hop_bits_);
+      c.learned_ebgp = e.ebgp ? true_ : cfalse();
+      c.learned_client =
+          (!e.ebgp && e.import_stmt && e.import_stmt->rr_client) ? true_
+                                                                 : cfalse();
+      return c;
+    }
+
+    Wire w = wire_record(e);
+    // Import side.
+    std::vector<Lit> lp_in = e.ebgp ? lp_const(100) : w.lp;
+    Lit permits = w.exists;
+    std::vector<Lit> comm = w.comm;
+    if (e.import_stmt && e.import_stmt->import_policy) {
+      const auto& cfg = net_.config_of(e.to);
+      auto it = cfg.policies.find(*e.import_stmt->import_policy);
+      if (it == cfg.policies.end()) {
+        permits = cfalse();
+      } else {
+        PolicyOut po = policy_circuit(it->second, comm, lp_in);
+        permits = land({permits, po.permits});
+        comm = po.comm;
+        lp_in = po.lp;
+      }
+    }
+    c.ex = permits;
+    c.lp = lp_in;
+    c.plen = w.plen;
+    c.comm = comm;
+    c.orig = rec_[e.from].orig;
+    c.hop = add_inc(rec_[e.from].hop, true);
+    c.learned_ebgp = e.ebgp ? true_ : cfalse();
+    c.learned_client =
+        (!e.ebgp && e.import_stmt && e.import_stmt->rr_client) ? true_
+                                                               : cfalse();
+    return c;
+  }
+
+  // cand strictly better than the chosen record at u?
+  Lit better_than_record(const Candidate& c, const Record& r) {
+    // One-hot local-pref comparison (constants sorted ascending).
+    std::vector<Lit> gt_terms, eq_terms;
+    for (std::size_t i = 0; i < lps_.size(); ++i) {
+      for (std::size_t j = 0; j < lps_.size(); ++j) {
+        if (i > j) gt_terms.push_back(land({c.lp[i], r.lp[j]}));
+        if (i == j) eq_terms.push_back(land({c.lp[i], r.lp[j]}));
+      }
+    }
+    const Lit lp_gt = lor(gt_terms);
+    const Lit lp_eq = lor(eq_terms);
+    const Lit plen_lt = ult(c.plen, r.plen);
+    const Lit plen_eq = veq(c.plen, r.plen);
+    const Lit ebgp_gt = land({c.learned_ebgp, ~r.learned_ebgp});
+    return lor({lp_gt, land({lp_eq, plen_lt}),
+                land({lp_eq, plen_eq, ebgp_gt})});
+  }
+
+  void build_transfer_constraints() {
+    for (NodeIndex u : net_.internal_nodes()) {
+      const auto& cfg = net_.config_of(u);
+      Record& r = rec_[u];
+
+      std::vector<Candidate> cands;
+      // Origination candidates.
+      std::vector<net::Ipv4Prefix> originated = cfg.networks;
+      if (cfg.redistribute_connected) {
+        originated.insert(originated.end(), cfg.connected.begin(),
+                          cfg.connected.end());
+      }
+      if (cfg.redistribute_static) {
+        for (const auto& s : cfg.statics) originated.push_back(s.prefix);
+      }
+      for (const auto& p : originated) {
+        Candidate c;
+        c.ex = prefix_is(p);
+        c.lp = lp_const(100);
+        c.plen = const_bits(0, kPlenBits);
+        c.comm.assign(atoms_.num_atoms(), cfalse());
+        c.orig.assign(net_.nodes().size(), cfalse());
+        c.orig[u] = true_;
+        c.hop = const_bits(0, hop_bits_);
+        c.learned_ebgp = true_;
+        c.learned_client = cfalse();
+        cands.push_back(std::move(c));
+      }
+      // Session candidates.
+      for (std::uint32_t ei : net_.in_edges()[u]) {
+        cands.push_back(edge_candidate(net_.edges()[ei]));
+      }
+
+      // Choice variables.
+      std::vector<Lit> choices;
+      for (const auto& c : cands) {
+        const Lit ch = fresh();
+        choices.push_back(ch);
+        s_.add_implies(ch, c.ex);
+        bind_if(ch, r.lp, c.lp);
+        bind_if(ch, r.plen, c.plen);
+        bind_if(ch, r.comm, c.comm);
+        bind_if(ch, r.orig, c.orig);
+        bind_if(ch, r.hop, c.hop);
+        bind_if(ch, {r.learned_ebgp}, {c.learned_ebgp});
+        bind_if(ch, {r.learned_client}, {c.learned_client});
+      }
+      s_.add_at_most_one(choices);
+      // ex <-> some choice; a route exists whenever any candidate exists.
+      {
+        std::vector<Lit> c{~r.ex};
+        c.insert(c.end(), choices.begin(), choices.end());
+        s_.add_clause(c);
+      }
+      for (std::size_t i = 0; i < cands.size(); ++i) {
+        s_.add_implies(choices[i], r.ex);
+        s_.add_implies(cands[i].ex, r.ex);
+        // Maximality: an existing candidate is never better than the
+        // chosen record.
+        const Lit btr = better_than_record(cands[i], r);
+        s_.add_clause({~cands[i].ex, ~r.ex, ~btr});
+      }
+    }
+  }
+
+  const net::Network& net_;
+  const symbolic::CommunityAtomizer& atoms_;
+  const std::vector<std::uint32_t>& lps_;
+
+  Solver s_;
+  Lit true_{0};
+  std::vector<Lit> pbit_;
+  std::vector<Lit> lenv_;
+  std::vector<Lit> adv_;
+  std::vector<Record> rec_;
+  std::uint32_t hop_bits_ = 4;
+};
+
+}  // namespace
+
+MinesweeperStar::MinesweeperStar(const net::Network& network, Options options)
+    : net_(network), options_(options), atomizer_(network.configs()) {
+  std::set<std::uint32_t> lps{100};
+  for (const auto& cfg : net_.configs()) {
+    for (const auto& [name, pol] : cfg.policies) {
+      (void)name;
+      for (const auto& clause : pol) {
+        if (clause.set_local_preference) lps.insert(*clause.set_local_preference);
+      }
+    }
+  }
+  lp_constants_.assign(lps.begin(), lps.end());
+}
+
+MinesweeperResult MinesweeperStar::check_route_leak_free() {
+  MinesweeperResult res;
+  Stopwatch sw;
+  for (NodeIndex x : net_.external_nodes()) {
+    if (options_.timeout_seconds > 0 && sw.seconds() > options_.timeout_seconds) {
+      res.status = MinesweeperResult::Status::kTimeout;
+      break;
+    }
+    Query q(net_, atomizer_, lp_constants_);
+    q.assert_route_leak(x);
+    ++res.queries;
+    res.total_clauses += q.solver().num_clauses();
+    res.total_vars += q.solver().num_vars();
+    const double remain =
+        options_.timeout_seconds > 0
+            ? std::max(1.0, options_.timeout_seconds - sw.seconds())
+            : 0.0;
+    const Result r =
+        q.solver().solve({}, options_.max_conflicts_per_query, remain);
+    res.total_conflicts += q.solver().conflicts();
+    if (r == Result::kSat) ++res.violations;
+    if (r == Result::kUnknown) {
+      res.status = MinesweeperResult::Status::kTimeout;
+      break;
+    }
+  }
+  res.seconds = sw.seconds();
+  if (res.status != MinesweeperResult::Status::kTimeout) {
+    res.status = res.violations ? MinesweeperResult::Status::kViolation
+                                : MinesweeperResult::Status::kClean;
+  }
+  return res;
+}
+
+MinesweeperResult MinesweeperStar::check_block_to_external(
+    const net::Community& bte) {
+  MinesweeperResult res;
+  Stopwatch sw;
+  const std::uint32_t atom = atomizer_.atom_of(bte);
+  for (NodeIndex x : net_.external_nodes()) {
+    if (options_.timeout_seconds > 0 && sw.seconds() > options_.timeout_seconds) {
+      res.status = MinesweeperResult::Status::kTimeout;
+      break;
+    }
+    Query q(net_, atomizer_, lp_constants_);
+    q.assert_bte(x, atom);
+    ++res.queries;
+    res.total_clauses += q.solver().num_clauses();
+    res.total_vars += q.solver().num_vars();
+    const double remain =
+        options_.timeout_seconds > 0
+            ? std::max(1.0, options_.timeout_seconds - sw.seconds())
+            : 0.0;
+    const Result r =
+        q.solver().solve({}, options_.max_conflicts_per_query, remain);
+    res.total_conflicts += q.solver().conflicts();
+    if (r == Result::kSat) ++res.violations;
+    if (r == Result::kUnknown) {
+      res.status = MinesweeperResult::Status::kTimeout;
+      break;
+    }
+  }
+  res.seconds = sw.seconds();
+  if (res.status != MinesweeperResult::Status::kTimeout) {
+    res.status = res.violations ? MinesweeperResult::Status::kViolation
+                                : MinesweeperResult::Status::kClean;
+  }
+  return res;
+}
+
+}  // namespace expresso::baselines

@@ -1,0 +1,80 @@
+// Minesweeper*-style baseline: stable-state constraint encoding + SAT.
+//
+// Minesweeper [SIGCOMM'17] encodes the network's converged routing state as
+// SMT constraints over booleans and small bitvectors and asks Z3 whether a
+// property-violating model exists; the paper's comparison extends it
+// (appendix C) with routing-property queries and a corrected longest-prefix
+// match, and calls the result Minesweeper*.  Bitvector SMT formulas of this
+// shape bit-blast to propositional SAT, which is what this encoder emits
+// for the from-scratch CDCL solver in src/sat.
+//
+// Faithfulness notes (mirroring the published Minesweeper* model):
+//   * one symbolic prefix (32 address bits + one-hot length) per query,
+//   * one advertise boolean per external neighbor,
+//   * per-router best-route records: existence, local-pref (one-hot over
+//     the constants appearing in configs), AS-path LENGTH (bitvector — the
+//     path itself is not modeled, hence "Expresso-" is the fair Expresso
+//     configuration to compare against), community atom bits, originator
+//     (one-hot), hop counter (excludes ghost cycles),
+//   * per-session candidate records derived through the compiled policy
+//     circuits (first-match, default deny), iBGP/RR re-advertisement rules,
+//     community stripping without advertise-community,
+//   * best-route maximality constraints per router,
+//   * as-path regex matches are unsupported (treated as never matching) —
+//     exactly the modeling gap the paper attributes to Minesweeper.
+//
+// A query is solved per external neighbor (RouteLeakFree: does some
+// neighbor receive a route originated by a different neighbor;
+// BlockToExternal: does some neighbor receive a route carrying the BTE
+// community).  A conflict budget turns long searches into TIMEOUT rows.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/network.hpp"
+#include "sat/solver.hpp"
+#include "symbolic/community_set.hpp"
+
+namespace expresso::baselines {
+
+struct MinesweeperResult {
+  enum class Status { kViolation, kClean, kTimeout };
+  Status status = Status::kClean;
+  std::size_t violations = 0;       // number of neighbors with a SAT query
+  std::size_t queries = 0;          // neighbors checked
+  std::uint64_t total_conflicts = 0;
+  std::size_t total_clauses = 0;    // summed over queries (formula size)
+  std::size_t total_vars = 0;
+  double seconds = 0;
+};
+
+struct MinesweeperOptions {
+  // Conflict budget per neighbor query; 0 = unlimited.
+  std::uint64_t max_conflicts_per_query = 2'000'000;
+  // Wall-clock budget for the whole check; 0 = unlimited.
+  double timeout_seconds = 0;
+};
+
+class MinesweeperStar {
+ public:
+  using Options = MinesweeperOptions;
+
+  explicit MinesweeperStar(const net::Network& network,
+                           Options options = Options());
+
+  // Does any neighbor receive a route originated by another neighbor?
+  MinesweeperResult check_route_leak_free();
+  // Does any neighbor receive a route tagged with `bte`?
+  MinesweeperResult check_block_to_external(const net::Community& bte);
+
+ private:
+  const net::Network& net_;
+  Options options_;
+  symbolic::CommunityAtomizer atomizer_;
+  std::vector<std::uint32_t> lp_constants_;  // sorted ascending
+};
+
+}  // namespace expresso::baselines

@@ -1,0 +1,362 @@
+#include "bdd/bdd.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace expresso::bdd {
+
+namespace {
+constexpr std::uint32_t kTerminalVar = 0xffffffffu;  // sorts after all vars
+constexpr std::size_t kIteCacheSize = 1u << 18;
+constexpr std::size_t kQuantCacheSize = 1u << 16;
+
+inline std::uint64_t mix(std::uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33;
+  return x;
+}
+inline std::uint64_t hash3(std::uint64_t a, std::uint64_t b, std::uint64_t c) {
+  return mix(a * 0x9e3779b97f4a7c15ULL + b * 0xc2b2ae3d27d4eb4fULL + c);
+}
+}  // namespace
+
+Manager::Manager(std::uint32_t num_vars) : num_vars_(num_vars) {
+  nodes_.reserve(1 << 16);
+  nodes_.push_back({kTerminalVar, kFalse, kFalse});  // FALSE
+  nodes_.push_back({kTerminalVar, kTrue, kTrue});    // TRUE
+  unique_table_.assign(1 << 16, 0);
+  ite_cache_.resize(kIteCacheSize);
+  quant_cache_.resize(kQuantCacheSize);
+}
+
+std::uint32_t Manager::add_var() { return num_vars_++; }
+
+std::uint32_t Manager::top_var(NodeId f) const { return nodes_[f].var; }
+
+std::size_t Manager::unique_slot(std::uint32_t var, NodeId lo,
+                                 NodeId hi) const {
+  return hash3(var, lo, hi) & (unique_table_.size() - 1);
+}
+
+void Manager::unique_rehash(std::size_t new_cap) {
+  std::vector<NodeId> fresh(new_cap, 0);
+  const std::size_t mask = new_cap - 1;
+  for (NodeId id : unique_table_) {
+    if (id == 0) continue;
+    const Node& n = nodes_[id];
+    std::size_t slot = hash3(n.var, n.lo, n.hi) & mask;
+    while (fresh[slot] != 0) slot = (slot + 1) & mask;
+    fresh[slot] = id;
+  }
+  unique_table_ = std::move(fresh);
+}
+
+NodeId Manager::mk(std::uint32_t var, NodeId lo, NodeId hi) {
+  if (lo == hi) return lo;  // reduction rule
+  std::size_t slot = unique_slot(var, lo, hi);
+  const std::size_t mask = unique_table_.size() - 1;
+  while (true) {
+    NodeId id = unique_table_[slot];
+    if (id == 0) break;
+    const Node& n = nodes_[id];
+    if (n.var == var && n.lo == lo && n.hi == hi) return id;
+    slot = (slot + 1) & mask;
+  }
+  const NodeId id = static_cast<NodeId>(nodes_.size());
+  nodes_.push_back({var, lo, hi});
+  unique_table_[slot] = id;
+  if (++unique_count_ * 4 > unique_table_.size() * 3) {
+    unique_rehash(unique_table_.size() * 2);
+  }
+  return id;
+}
+
+NodeId Manager::var(std::uint32_t v) {
+  assert(v < num_vars_);
+  return mk(v, kFalse, kTrue);
+}
+
+NodeId Manager::nvar(std::uint32_t v) {
+  assert(v < num_vars_);
+  return mk(v, kTrue, kFalse);
+}
+
+NodeId Manager::ite(NodeId f, NodeId g, NodeId h) { return ite_rec(f, g, h); }
+
+NodeId Manager::ite_rec(NodeId f, NodeId g, NodeId h) {
+  // Terminal cases.
+  if (f == kTrue) return g;
+  if (f == kFalse) return h;
+  if (g == h) return g;
+  if (g == kTrue && h == kFalse) return f;
+
+  IteEntry& e = ite_cache_[hash3(f, g, h) & (kIteCacheSize - 1)];
+  if (e.valid && e.f == f && e.g == g && e.h == h) return e.result;
+
+  const std::uint32_t vf = top_var(f);
+  const std::uint32_t vg = top_var(g);
+  const std::uint32_t vh = top_var(h);
+  const std::uint32_t v = std::min({vf, vg, vh});
+
+  const NodeId f0 = (vf == v) ? nodes_[f].lo : f;
+  const NodeId f1 = (vf == v) ? nodes_[f].hi : f;
+  const NodeId g0 = (vg == v) ? nodes_[g].lo : g;
+  const NodeId g1 = (vg == v) ? nodes_[g].hi : g;
+  const NodeId h0 = (vh == v) ? nodes_[h].lo : h;
+  const NodeId h1 = (vh == v) ? nodes_[h].hi : h;
+
+  const NodeId lo = ite_rec(f0, g0, h0);
+  const NodeId hi = ite_rec(f1, g1, h1);
+  const NodeId result = mk(v, lo, hi);
+
+  e = {f, g, h, result, true};
+  return result;
+}
+
+NodeId Manager::and_all(const std::vector<NodeId>& xs) {
+  NodeId acc = kTrue;
+  for (NodeId x : xs) acc = and_(acc, x);
+  return acc;
+}
+
+NodeId Manager::or_all(const std::vector<NodeId>& xs) {
+  NodeId acc = kFalse;
+  for (NodeId x : xs) acc = or_(acc, x);
+  return acc;
+}
+
+NodeId Manager::exists(NodeId f, const std::vector<std::uint32_t>& vars) {
+  if (vars.empty() || f <= kTrue) return f;
+  std::vector<std::uint32_t> sorted = vars;
+  std::sort(sorted.begin(), sorted.end());
+  sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+  ++quant_gen_;
+  return exists_rec(f, sorted);
+}
+
+NodeId Manager::exists_rec(NodeId f,
+                           const std::vector<std::uint32_t>& sorted_vars) {
+  if (f <= kTrue) return f;
+  const std::uint32_t v = top_var(f);
+  // Nothing left to quantify below this level?
+  if (v > sorted_vars.back()) return f;
+
+  QuantEntry& e = quant_cache_[mix(f) & (kQuantCacheSize - 1)];
+  if (e.valid && e.f == f && e.gen == quant_gen_) return e.result;
+
+  const NodeId lo = exists_rec(nodes_[f].lo, sorted_vars);
+  const NodeId hi = exists_rec(nodes_[f].hi, sorted_vars);
+  NodeId result;
+  if (std::binary_search(sorted_vars.begin(), sorted_vars.end(), v)) {
+    result = or_(lo, hi);
+  } else {
+    result = mk(v, lo, hi);
+  }
+  e = {f, result, quant_gen_, true};
+  return result;
+}
+
+NodeId Manager::forall(NodeId f, const std::vector<std::uint32_t>& vars) {
+  return not_(exists(not_(f), vars));
+}
+
+NodeId Manager::restrict_(NodeId f, std::uint32_t v, bool value) {
+  // restrict(f, v=b) = ∃v. f ∧ (v = b)
+  const NodeId lit = value ? var(v) : nvar(v);
+  return exists(and_(f, lit), {v});
+}
+
+NodeId Manager::rename(
+    NodeId f,
+    const std::vector<std::pair<std::uint32_t, std::uint32_t>>& m) {
+  if (m.empty()) return f;
+  NodeId g = f;
+  std::vector<std::uint32_t> from_vars;
+  from_vars.reserve(m.size());
+  for (const auto& [from, to] : m) {
+    g = and_(g, iff(var(from), var(to)));
+    from_vars.push_back(from);
+  }
+  return exists(g, from_vars);
+}
+
+bool Manager::sat_one(NodeId f, std::vector<std::int8_t>& assignment) {
+  assignment.assign(num_vars_, -1);
+  if (f == kFalse) return false;
+  NodeId cur = f;
+  while (cur > kTrue) {
+    const Node& n = nodes_[cur];
+    if (n.hi != kFalse) {
+      assignment[n.var] = 1;
+      cur = n.hi;
+    } else {
+      assignment[n.var] = 0;
+      cur = n.lo;
+    }
+  }
+  return true;
+}
+
+double Manager::density(NodeId f) {
+  std::unordered_map<NodeId, double> memo;
+  memo[kFalse] = 0.0;
+  memo[kTrue] = 1.0;
+  // Iterative post-order over reachable nodes.
+  std::vector<NodeId> stack{f};
+  while (!stack.empty()) {
+    NodeId cur = stack.back();
+    if (memo.count(cur)) {
+      stack.pop_back();
+      continue;
+    }
+    const Node& n = nodes_[cur];
+    auto lo_it = memo.find(n.lo);
+    auto hi_it = memo.find(n.hi);
+    if (lo_it != memo.end() && hi_it != memo.end()) {
+      memo[cur] = 0.5 * (lo_it->second + hi_it->second);
+      stack.pop_back();
+    } else {
+      if (lo_it == memo.end()) stack.push_back(n.lo);
+      if (hi_it == memo.end()) stack.push_back(n.hi);
+    }
+  }
+  return memo[f];
+}
+
+double Manager::sat_count(NodeId f) {
+  return density(f) * std::pow(2.0, static_cast<double>(num_vars_));
+}
+
+std::vector<std::uint32_t> Manager::support(NodeId f) {
+  std::unordered_set<NodeId> seen;
+  std::unordered_set<std::uint32_t> vars;
+  std::vector<NodeId> stack{f};
+  while (!stack.empty()) {
+    NodeId cur = stack.back();
+    stack.pop_back();
+    if (cur <= kTrue || !seen.insert(cur).second) continue;
+    const Node& n = nodes_[cur];
+    vars.insert(n.var);
+    stack.push_back(n.lo);
+    stack.push_back(n.hi);
+  }
+  std::vector<std::uint32_t> out(vars.begin(), vars.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<std::vector<std::int8_t>> Manager::cubes(NodeId f,
+                                                     std::size_t max_cubes) {
+  std::vector<std::vector<std::int8_t>> out;
+  std::vector<std::int8_t> path(num_vars_, -1);
+  // DFS enumerating root-to-TRUE paths.
+  struct Frame {
+    NodeId node;
+    int stage;  // 0 = enter, 1 = after lo, 2 = after hi
+  };
+  std::vector<Frame> stack{{f, 0}};
+  std::vector<std::pair<std::uint32_t, std::int8_t>> trail;
+  while (!stack.empty() && out.size() < max_cubes) {
+    Frame& fr = stack.back();
+    if (fr.node == kFalse) {
+      stack.pop_back();
+      continue;
+    }
+    if (fr.node == kTrue) {
+      out.push_back(path);
+      stack.pop_back();
+      continue;
+    }
+    const Node& n = nodes_[fr.node];
+    if (fr.stage == 0) {
+      fr.stage = 1;
+      path[n.var] = 0;
+      trail.push_back({n.var, 0});
+      stack.push_back({n.lo, 0});
+    } else if (fr.stage == 1) {
+      // Undo lo branch marker, take hi.
+      while (!trail.empty() && trail.back().first != n.var) {
+        path[trail.back().first] = -1;
+        trail.pop_back();
+      }
+      fr.stage = 2;
+      path[n.var] = 1;
+      if (!trail.empty() && trail.back().first == n.var) {
+        trail.back().second = 1;
+      }
+      stack.push_back({n.hi, 0});
+    } else {
+      while (!trail.empty() && trail.back().first != n.var) {
+        path[trail.back().first] = -1;
+        trail.pop_back();
+      }
+      if (!trail.empty() && trail.back().first == n.var) {
+        path[n.var] = -1;
+        trail.pop_back();
+      }
+      stack.pop_back();
+    }
+  }
+  return out;
+}
+
+std::size_t Manager::node_count(NodeId f) {
+  std::unordered_set<NodeId> seen;
+  std::vector<NodeId> stack{f};
+  while (!stack.empty()) {
+    NodeId cur = stack.back();
+    stack.pop_back();
+    if (!seen.insert(cur).second) continue;
+    if (cur <= kTrue) continue;
+    stack.push_back(nodes_[cur].lo);
+    stack.push_back(nodes_[cur].hi);
+  }
+  return seen.size();
+}
+
+std::size_t Manager::approx_bytes() const {
+  return nodes_.capacity() * sizeof(Node) +
+         unique_table_.capacity() * sizeof(NodeId) +
+         ite_cache_.capacity() * sizeof(IteEntry) +
+         quant_cache_.capacity() * sizeof(QuantEntry);
+}
+
+void Manager::clear_caches() {
+  std::fill(ite_cache_.begin(), ite_cache_.end(), IteEntry{});
+  std::fill(quant_cache_.begin(), quant_cache_.end(), QuantEntry{});
+}
+
+std::string Manager::to_string(NodeId f,
+                               const std::vector<std::string>& var_names) {
+  if (f == kFalse) return "false";
+  if (f == kTrue) return "true";
+  auto name = [&](std::uint32_t v) {
+    if (v < var_names.size() && !var_names[v].empty()) return var_names[v];
+    return "x" + std::to_string(v);
+  };
+  std::ostringstream os;
+  const auto cs = cubes(f, 8);
+  for (std::size_t i = 0; i < cs.size(); ++i) {
+    if (i) os << " | ";
+    bool first = true;
+    for (std::uint32_t v = 0; v < num_vars_; ++v) {
+      if (cs[i][v] < 0) continue;
+      if (!first) os << "&";
+      first = false;
+      if (cs[i][v] == 0) os << "!";
+      os << name(v);
+    }
+    if (first) os << "true";
+  }
+  if (cs.size() == 8) os << " | ...";
+  return os.str();
+}
+
+}  // namespace expresso::bdd

@@ -1,0 +1,160 @@
+// A from-scratch reduced ordered binary decision diagram (ROBDD) library.
+//
+// This replaces the JDD Java library used by the paper's implementation.  It
+// provides exactly the operations Expresso's symbolic simulation needs:
+//
+//   * boolean connectives via a memoized ITE (if-then-else) kernel,
+//   * existential/universal quantification over variable sets,
+//   * cofactor (restrict) and variable renaming (used when converting control
+//     plane advertiser variables n_i into per-prefix-length data plane
+//     variables n_i^j, paper section 5.1),
+//   * model extraction and model counting (used by property analysis to
+//     report concrete violating environments),
+//   * node accounting (used as the memory proxy in the fig8 benchmarks).
+//
+// Nodes are hash-consed in a unique table, so structural equality of the
+// NodeId handles is semantic equivalence of the functions — the canonical
+// form property Expresso relies on when comparing advertiser conditions.
+//
+// The manager owns all nodes; NodeId handles are plain indices and remain
+// valid for the manager's lifetime (there is no garbage collection — the
+// verifier's working sets are bounded by the run, matching JDD's default
+// usage in the paper).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace expresso::bdd {
+
+// Handle to a BDD node.  Values 0 and 1 are the FALSE and TRUE terminals.
+using NodeId = std::uint32_t;
+
+inline constexpr NodeId kFalse = 0;
+inline constexpr NodeId kTrue = 1;
+
+class Manager {
+ public:
+  // Creates a manager with `num_vars` boolean variables, ordered by index
+  // (variable 0 closest to the root).
+  explicit Manager(std::uint32_t num_vars);
+
+  Manager(const Manager&) = delete;
+  Manager& operator=(const Manager&) = delete;
+
+  std::uint32_t num_vars() const { return num_vars_; }
+
+  // Grows the variable universe (new variables order after existing ones).
+  // Existing nodes are unaffected.  Used for lazily allocated data-plane
+  // advertiser variables.
+  std::uint32_t add_var();
+
+  // --- Literals -----------------------------------------------------------
+  NodeId var(std::uint32_t v);   // the function "v"
+  NodeId nvar(std::uint32_t v);  // the function "not v"
+
+  // --- Connectives --------------------------------------------------------
+  NodeId ite(NodeId f, NodeId g, NodeId h);
+  NodeId and_(NodeId a, NodeId b) { return ite(a, b, kFalse); }
+  NodeId or_(NodeId a, NodeId b) { return ite(a, kTrue, b); }
+  NodeId not_(NodeId a) { return ite(a, kFalse, kTrue); }
+  NodeId xor_(NodeId a, NodeId b) { return ite(a, not_(b), b); }
+  NodeId diff(NodeId a, NodeId b) { return ite(b, kFalse, a); }  // a ∧ ¬b
+  NodeId implies(NodeId a, NodeId b) { return ite(a, b, kTrue); }
+  NodeId iff(NodeId a, NodeId b) { return ite(a, b, not_(b)); }
+
+  // n-ary conveniences.
+  NodeId and_all(const std::vector<NodeId>& xs);
+  NodeId or_all(const std::vector<NodeId>& xs);
+
+  // --- Quantification / substitution --------------------------------------
+  // Existentially quantifies every variable in `vars` (need not be sorted).
+  NodeId exists(NodeId f, const std::vector<std::uint32_t>& vars);
+  NodeId forall(NodeId f, const std::vector<std::uint32_t>& vars);
+  // Cofactor: f with variable v fixed to `value`.
+  NodeId restrict_(NodeId f, std::uint32_t v, bool value);
+  // Renames variables: pairs (from, to).  Every `to` variable must be absent
+  // from f's support and all from/to variables must be distinct.  Implemented
+  // as exists(from, f ∧ (from ↔ to)) chained, so it is order-safe.
+  NodeId rename(NodeId f,
+                const std::vector<std::pair<std::uint32_t, std::uint32_t>>& m);
+
+  // --- Inspection ---------------------------------------------------------
+  bool is_false(NodeId f) const { return f == kFalse; }
+  bool is_true(NodeId f) const { return f == kTrue; }
+
+  // One satisfying assignment.  Returns false if f is unsatisfiable;
+  // otherwise fills `assignment` (size num_vars) with 0, 1 or -1 (don't
+  // care).
+  bool sat_one(NodeId f, std::vector<std::int8_t>& assignment);
+
+  // Number of satisfying assignments over the full variable universe,
+  // as a double (exact for < 2^53).
+  double sat_count(NodeId f);
+  // Fraction of the full assignment space that satisfies f, in [0,1].
+  double density(NodeId f);
+
+  // Variables appearing in f, ascending.
+  std::vector<std::uint32_t> support(NodeId f);
+
+  // Enumerates up to `max_cubes` disjoint cubes covering f.  Each cube is a
+  // num_vars-sized vector of {0,1,-1}.  Used for human-readable reports.
+  std::vector<std::vector<std::int8_t>> cubes(NodeId f,
+                                              std::size_t max_cubes = 16);
+
+  // Nodes reachable from f (including terminals).
+  std::size_t node_count(NodeId f);
+  // Total nodes ever allocated in this manager (memory proxy).
+  std::size_t total_nodes() const { return nodes_.size(); }
+  // Approximate heap bytes held by the manager's tables.
+  std::size_t approx_bytes() const;
+
+  // Drops the operation caches (unique table and nodes are kept).
+  void clear_caches();
+
+  // Pretty-prints f as a disjunction of cubes using `var_name` to label
+  // variables; "⊤"/"⊥" for terminals.  For tests and examples.
+  std::string to_string(NodeId f,
+                        const std::vector<std::string>& var_names = {});
+
+ private:
+  struct Node {
+    std::uint32_t var;
+    NodeId lo;
+    NodeId hi;
+  };
+
+  NodeId mk(std::uint32_t var, NodeId lo, NodeId hi);
+  NodeId ite_rec(NodeId f, NodeId g, NodeId h);
+  NodeId exists_rec(NodeId f, const std::vector<std::uint32_t>& sorted_vars);
+  std::uint32_t top_var(NodeId f) const;
+
+  // Unique table: open addressing, power-of-two capacity.
+  void unique_rehash(std::size_t new_cap);
+  std::size_t unique_slot(std::uint32_t var, NodeId lo, NodeId hi) const;
+
+  std::uint32_t num_vars_;
+  std::vector<Node> nodes_;
+
+  std::vector<NodeId> unique_table_;  // 0 = empty (terminal ids never stored)
+  std::size_t unique_count_ = 0;
+
+  // Computed table for ITE: direct-mapped cache.
+  struct IteEntry {
+    NodeId f = kFalse, g = kFalse, h = kFalse, result = kFalse;
+    bool valid = false;
+  };
+  std::vector<IteEntry> ite_cache_;
+
+  // Cache for exists (keyed by node + quantified set generation).
+  struct QuantEntry {
+    NodeId f = kFalse, result = kFalse;
+    std::uint64_t gen = 0;
+    bool valid = false;
+  };
+  std::vector<QuantEntry> quant_cache_;
+  std::uint64_t quant_gen_ = 0;
+};
+
+}  // namespace expresso::bdd

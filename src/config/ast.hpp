@@ -1,0 +1,107 @@
+// Configuration AST for the router policy dialect used throughout the paper
+// (figure 4 and the section 7 case studies).  The dialect is Huawei-flavoured:
+//
+//   router PR1
+//    bgp as 300
+//    bgp network 10.0.0.0/16
+//    bgp import-route static
+//    bgp import-route connected
+//    route-policy im1 permit node 100
+//     if-match prefix 100.0.0.0/8 110.0.0.0/8
+//     if-match community 300:100
+//     if-match as-path "100.*"
+//     set-local-preference 200
+//     add-community 300:100
+//     delete-community 300:100
+//     prepend-as 300
+//    route-policy ex1 deny node 100
+//     if-match community 300:100
+//    bgp peer ISP1 AS 100 import im1 export ex1
+//    bgp peer PR2 AS 300 advertise-community
+//    bgp peer DC AS 65500 advertise-default
+//    bgp peer PRx AS 300 rr-client
+//    static 10.1.0.0/16 next-hop PR2
+//    interface prefix 10.0.9.0/31
+//
+// Route-policy semantics (matching the paper's Appendix B): clauses of one
+// policy are tried in file order; the first clause whose if-match conditions
+// all hold decides permit/deny (permit additionally applies the set/add
+// actions); a route matching no clause is denied.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/community.hpp"
+#include "net/prefix.hpp"
+
+namespace expresso::config {
+
+// One `route-policy NAME permit|deny node N` clause.
+struct PolicyClause {
+  bool permit = true;
+  std::uint32_t node = 0;  // clause sequence number (ordering key)
+
+  // --- match conditions (conjunction; empty sub-list = no constraint) ------
+  std::vector<net::PrefixMatch> match_prefixes;       // disjunction inside
+  std::vector<net::CommunityMatcher> match_communities;  // disjunction inside
+  std::optional<std::string> match_as_path;           // regex
+
+  // --- actions (permit clauses only) ---------------------------------------
+  std::optional<std::uint32_t> set_local_preference;
+  std::vector<net::Community> add_communities;
+  std::vector<net::Community> delete_communities;
+  std::optional<std::uint32_t> prepend_as;  // prepend once
+};
+
+using RoutePolicy = std::vector<PolicyClause>;
+
+// One `bgp peer` statement.
+struct PeerStmt {
+  std::string peer;          // peer node name
+  std::uint32_t peer_as = 0;
+  std::optional<std::string> import_policy;
+  std::optional<std::string> export_policy;
+  bool advertise_community = false;  // keep communities on export
+  bool rr_client = false;            // the peer is this router's RR client
+  bool advertise_default = false;    // export only an originated default route
+};
+
+struct StaticRoute {
+  net::Ipv4Prefix prefix;
+  std::string next_hop;  // node name
+};
+
+struct RouterConfig {
+  std::string name;
+  std::uint32_t asn = 0;
+
+  std::vector<net::Ipv4Prefix> networks;   // `bgp network`
+  // `bgp aggregate`: originated whenever a more-specific component route is
+  // present in the RIB (the route-aggregation dependency of paper §3.1).
+  std::vector<net::Ipv4Prefix> aggregates;
+  std::vector<StaticRoute> statics;        // `static ... next-hop ...`
+  std::vector<net::Ipv4Prefix> connected;  // `interface prefix`
+  bool redistribute_static = false;        // `bgp import-route static`
+  bool redistribute_connected = false;     // `bgp import-route connected`
+
+  std::map<std::string, RoutePolicy> policies;
+  std::vector<PeerStmt> peers;
+
+  const PeerStmt* find_peer(const std::string& peer_name) const {
+    for (const auto& p : peers) {
+      if (p.peer == peer_name) return &p;
+    }
+    return nullptr;
+  }
+};
+
+// Renders a config back to the dialect text (generators emit text so that
+// the verifier always exercises the parser).
+std::string serialize(const RouterConfig& cfg);
+std::string serialize(const std::vector<RouterConfig>& cfgs);
+
+}  // namespace expresso::config

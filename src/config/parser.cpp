@@ -1,0 +1,305 @@
+#include "config/parser.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+
+#include "support/util.hpp"
+
+namespace expresso::config {
+
+namespace {
+
+// Strips comments and splits into tokens; respects double-quoted strings
+// (used by `if-match as-path ".*"`).
+std::vector<std::string> tokenize(const std::string& line, std::size_t lineno) {
+  std::vector<std::string> out;
+  std::size_t i = 0;
+  while (i < line.size()) {
+    const char c = line[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    if (c == '#' || (c == '/' && i + 1 < line.size() && line[i + 1] == '/')) {
+      break;  // comment to end of line
+    }
+    if (c == '"') {
+      const std::size_t end = line.find('"', i + 1);
+      if (end == std::string::npos) {
+        throw ParseError(lineno, "unterminated string");
+      }
+      out.push_back(line.substr(i + 1, end - i - 1));
+      i = end + 1;
+      continue;
+    }
+    std::size_t j = i;
+    while (j < line.size() &&
+           !std::isspace(static_cast<unsigned char>(line[j]))) {
+      ++j;
+    }
+    out.push_back(line.substr(i, j - i));
+    i = j;
+  }
+  return out;
+}
+
+std::uint32_t parse_u32(const std::string& tok, std::size_t lineno) {
+  std::uint64_t v = 0;
+  if (tok.empty()) throw ParseError(lineno, "expected a number");
+  for (char c : tok) {
+    if (!std::isdigit(static_cast<unsigned char>(c))) {
+      throw ParseError(lineno, "expected a number, got '" + tok + "'");
+    }
+    v = v * 10 + (c - '0');
+    if (v > 0xffffffffULL) throw ParseError(lineno, "number too large");
+  }
+  return static_cast<std::uint32_t>(v);
+}
+
+net::Ipv4Prefix parse_prefix(const std::string& tok, std::size_t lineno) {
+  auto p = net::Ipv4Prefix::parse(tok);
+  if (!p) throw ParseError(lineno, "malformed prefix '" + tok + "'");
+  return *p;
+}
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  std::vector<RouterConfig> run() {
+    std::istringstream in(text_);
+    std::string raw;
+    while (std::getline(in, raw)) {
+      ++lineno_;
+      const auto toks = tokenize(raw, lineno_);
+      if (toks.empty()) continue;
+      dispatch(toks);
+    }
+    finish_router();
+    return std::move(routers_);
+  }
+
+ private:
+  RouterConfig& cur() {
+    if (!current_) throw ParseError(lineno_, "statement outside any router");
+    return *current_;
+  }
+
+  PolicyClause& cur_clause() {
+    if (!current_policy_) {
+      throw ParseError(lineno_, "if-match/set outside any route-policy");
+    }
+    return current_policy_->back();
+  }
+
+  void finish_router() {
+    current_policy_ = nullptr;
+    if (current_) {
+      routers_.push_back(std::move(*current_));
+      current_.reset();
+    }
+  }
+
+  void dispatch(const std::vector<std::string>& t) {
+    const std::string& k = t[0];
+    if (k == "router") {
+      need(t, 2);
+      finish_router();
+      current_.emplace();
+      current_->name = t[1];
+      return;
+    }
+    if (k == "route-policy") return route_policy(t);
+    if (k == "if-match") return if_match(t);
+    if (k == "set-local-preference") {
+      need(t, 2);
+      cur_clause().set_local_preference = parse_u32(t[1], lineno_);
+      return;
+    }
+    if (k == "add-community") return communities(t, /*add=*/true);
+    if (k == "delete-community") return communities(t, /*add=*/false);
+    if (k == "prepend-as") {
+      need(t, 2);
+      cur_clause().prepend_as = parse_u32(t[1], lineno_);
+      return;
+    }
+    if (k == "bgp") return bgp(t);
+    if (k == "static") {
+      current_policy_ = nullptr;
+      return static_route(t);
+    }
+    if (k == "interface") {
+      current_policy_ = nullptr;
+      need(t, 3);
+      if (t[1] != "prefix") throw ParseError(lineno_, "expected 'prefix'");
+      cur().connected.push_back(parse_prefix(t[2], lineno_));
+      return;
+    }
+    throw ParseError(lineno_, "unknown statement '" + k + "'");
+  }
+
+  void route_policy(const std::vector<std::string>& t) {
+    // route-policy NAME permit|deny node N
+    need(t, 5);
+    if (t[3] != "node") throw ParseError(lineno_, "expected 'node'");
+    PolicyClause clause;
+    if (t[2] == "permit") {
+      clause.permit = true;
+    } else if (t[2] == "deny") {
+      clause.permit = false;
+    } else {
+      throw ParseError(lineno_, "expected permit or deny");
+    }
+    clause.node = parse_u32(t[4], lineno_);
+    auto& policy = cur().policies[t[1]];
+    policy.push_back(clause);
+    current_policy_ = &policy;
+  }
+
+  void if_match(const std::vector<std::string>& t) {
+    need(t, 3);
+    PolicyClause& c = cur_clause();
+    if (t[1] == "prefix") {
+      // prefixes, each optionally followed by `ge N` / `le N`.
+      std::size_t i = 2;
+      while (i < t.size()) {
+        const net::Ipv4Prefix base = parse_prefix(t[i++], lineno_);
+        std::uint8_t ge = base.len, le = base.len;
+        while (i + 1 < t.size() && (t[i] == "ge" || t[i] == "le")) {
+          const std::uint32_t v = parse_u32(t[i + 1], lineno_);
+          if (v > 32) throw ParseError(lineno_, "prefix length > 32");
+          if (t[i] == "ge") {
+            ge = static_cast<std::uint8_t>(v);
+            if (le == base.len) le = 32;  // `ge N` alone implies `le 32`
+          } else {
+            le = static_cast<std::uint8_t>(v);
+          }
+          i += 2;
+        }
+        if (ge < base.len || le < ge) {
+          throw ParseError(lineno_, "invalid ge/le window");
+        }
+        c.match_prefixes.push_back(net::PrefixMatch::range(base, ge, le));
+      }
+      return;
+    }
+    if (t[1] == "community") {
+      for (std::size_t i = 2; i < t.size(); ++i) {
+        auto m = net::CommunityMatcher::parse(t[i]);
+        if (!m) {
+          throw ParseError(lineno_, "bad community pattern '" + t[i] + "'");
+        }
+        c.match_communities.push_back(*m);
+      }
+      return;
+    }
+    if (t[1] == "as-path") {
+      c.match_as_path = t[2];
+      return;
+    }
+    throw ParseError(lineno_, "unknown if-match kind '" + t[1] + "'");
+  }
+
+  void communities(const std::vector<std::string>& t, bool add) {
+    need(t, 2);
+    for (std::size_t i = 1; i < t.size(); ++i) {
+      auto comm = net::Community::parse(t[i]);
+      if (!comm) throw ParseError(lineno_, "bad community '" + t[i] + "'");
+      if (add) {
+        cur_clause().add_communities.push_back(*comm);
+      } else {
+        cur_clause().delete_communities.push_back(*comm);
+      }
+    }
+  }
+
+  void bgp(const std::vector<std::string>& t) {
+    need(t, 2);
+    current_policy_ = nullptr;  // `bgp` ends any open route-policy block
+    if (t[1] == "as") {
+      need(t, 3);
+      cur().asn = parse_u32(t[2], lineno_);
+      return;
+    }
+    if (t[1] == "network") {
+      need(t, 3);
+      cur().networks.push_back(parse_prefix(t[2], lineno_));
+      return;
+    }
+    if (t[1] == "aggregate") {
+      need(t, 3);
+      cur().aggregates.push_back(parse_prefix(t[2], lineno_));
+      return;
+    }
+    if (t[1] == "import-route") {
+      need(t, 3);
+      if (t[2] == "static") {
+        cur().redistribute_static = true;
+      } else if (t[2] == "connected") {
+        cur().redistribute_connected = true;
+      } else {
+        throw ParseError(lineno_, "unknown import-route source");
+      }
+      return;
+    }
+    if (t[1] == "peer") return peer(t);
+    throw ParseError(lineno_, "unknown bgp statement '" + t[1] + "'");
+  }
+
+  void peer(const std::vector<std::string>& t) {
+    // bgp peer NAME AS N [import P] [export P] [advertise-community]
+    //                    [rr-client] [advertise-default]
+    need(t, 5);
+    if (t[3] != "AS") throw ParseError(lineno_, "expected 'AS'");
+    PeerStmt p;
+    p.peer = t[2];
+    p.peer_as = parse_u32(t[4], lineno_);
+    std::size_t i = 5;
+    while (i < t.size()) {
+      const std::string& opt = t[i];
+      if (opt == "import") {
+        need(t, i + 2);
+        p.import_policy = t[++i];
+      } else if (opt == "export") {
+        need(t, i + 2);
+        p.export_policy = t[++i];
+      } else if (opt == "advertise-community") {
+        p.advertise_community = true;
+      } else if (opt == "rr-client") {
+        p.rr_client = true;
+      } else if (opt == "advertise-default") {
+        p.advertise_default = true;
+      } else {
+        throw ParseError(lineno_, "unknown peer option '" + opt + "'");
+      }
+      ++i;
+    }
+    cur().peers.push_back(std::move(p));
+  }
+
+  void static_route(const std::vector<std::string>& t) {
+    // static PREFIX next-hop NAME
+    need(t, 4);
+    if (t[2] != "next-hop") throw ParseError(lineno_, "expected 'next-hop'");
+    cur().statics.push_back({parse_prefix(t[1], lineno_), t[3]});
+  }
+
+  void need(const std::vector<std::string>& t, std::size_t n) {
+    if (t.size() < n) throw ParseError(lineno_, "too few arguments");
+  }
+
+  const std::string& text_;
+  std::size_t lineno_ = 0;
+  std::vector<RouterConfig> routers_;
+  std::optional<RouterConfig> current_;
+  RoutePolicy* current_policy_ = nullptr;
+};
+
+}  // namespace
+
+std::vector<RouterConfig> parse_configs(const std::string& text) {
+  return Parser(text).run();
+}
+
+}  // namespace expresso::config

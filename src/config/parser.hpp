@@ -1,0 +1,24 @@
+// Parser for the router configuration dialect (see ast.hpp for the grammar).
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "config/ast.hpp"
+
+namespace expresso::config {
+
+struct ParseError : std::runtime_error {
+  ParseError(std::size_t line, const std::string& msg)
+      : std::runtime_error("line " + std::to_string(line) + ": " + msg),
+        line_number(line) {}
+  std::size_t line_number;
+};
+
+// Parses a multi-router configuration file.  Each router begins with a
+// `router NAME` line; `//` and `#` start comments; indentation is
+// insignificant.  Throws ParseError on malformed input.
+std::vector<RouterConfig> parse_configs(const std::string& text);
+
+}  // namespace expresso::config

@@ -1,0 +1,134 @@
+#include "dataplane/fib.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace expresso::dataplane {
+
+using net::NodeIndex;
+using symbolic::Source;
+
+FibBuilder::FibBuilder(epvp::Engine& engine) : engine_(engine) {
+  const auto& net = engine_.network();
+  fibs_.resize(net.nodes().size());
+  ports_.resize(net.nodes().size());
+  for (NodeIndex u : net.internal_nodes()) build_router(u);
+}
+
+std::vector<std::pair<std::uint8_t, bdd::NodeId>> FibBuilder::split_by_length(
+    bdd::NodeId d) {
+  auto& enc = engine_.encoding();
+  auto& mgr = enc.mgr();
+  std::vector<std::pair<std::uint8_t, bdd::NodeId>> out;
+  // Lengths actually present: check the 33 valid values.  RIB predicates
+  // constrain the length bits, so most probes are constant-false.
+  for (std::uint32_t j = 0; j <= 32; ++j) {
+    const bdd::NodeId at_j = mgr.and_(d, enc.len_eq(static_cast<std::uint8_t>(j)));
+    if (at_j == bdd::kFalse) continue;
+    bdd::NodeId flat = mgr.exists(at_j, enc.len_vars());
+    // Rename every control-plane advertiser variable to its per-length
+    // data-plane twin n_i^j.
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> ren;
+    for (std::uint32_t v : mgr.support(flat)) {
+      for (std::uint32_t i = 0; i < enc.num_neighbors(); ++i) {
+        if (v == enc.adv_var(i)) {
+          ren.push_back({v, enc.dp_adv_var(i, static_cast<std::uint8_t>(j))});
+        }
+      }
+    }
+    flat = mgr.rename(flat, ren);
+    out.push_back({static_cast<std::uint8_t>(j), flat});
+  }
+  return out;
+}
+
+void FibBuilder::build_router(NodeIndex u) {
+  const auto& net = engine_.network();
+  const auto& cfg = net.config_of(u);
+  auto& enc = engine_.encoding();
+  auto& mgr = enc.mgr();
+  auto& fib = fibs_[u];
+
+  // Connected interfaces: local delivery, strongest preference.
+  for (const auto& p : cfg.connected) {
+    fib.push_back({p.len, enc.addr_in(p), /*local=*/true, u,
+                   Source::kConnected});
+  }
+  // Static routes.
+  for (const auto& s : cfg.statics) {
+    const auto nh = net.find(s.next_hop);
+    if (!nh) continue;  // dangling next hop: ignore (no reachability)
+    fib.push_back({s.prefix.len, enc.addr_in(s.prefix), /*local=*/false, *nh,
+                   Source::kStatic});
+  }
+  // BGP best routes, split per prefix length.
+  for (const auto& r : engine_.rib(u)) {
+    if (r.attrs.source != Source::kBgp) continue;
+    const bool local = r.attrs.next_hop == u;  // self-originated prefix
+    for (const auto& [len, pred] : split_by_length(r.d)) {
+      fib.push_back({len, pred, local, r.attrs.next_hop, Source::kBgp});
+    }
+  }
+
+  // Longest length first; stable by source preference within a length.
+  std::stable_sort(fib.begin(), fib.end(),
+                   [](const FibEntry& a, const FibEntry& b) {
+                     if (a.len != b.len) return a.len > b.len;
+                     return a.source < b.source;
+                   });
+
+  // --- Resolve LPM + administrative distance into port predicates ---------
+  PortPredicates& pp = ports_[u];
+  std::map<NodeIndex, bdd::NodeId> per_peer;
+  bdd::NodeId remaining = bdd::kTrue;  // space not yet claimed by longer len
+
+  std::size_t i = 0;
+  while (i < fib.size()) {
+    // One length level [i, end).
+    std::size_t end = i;
+    const std::uint8_t len = fib[i].len;
+    while (end < fib.size() && fib[end].len == len) ++end;
+
+    // Within a level, lower Source values shadow higher ones.
+    bdd::NodeId conn = bdd::kFalse;
+    bdd::NodeId stat = bdd::kFalse;
+    bdd::NodeId covered = bdd::kFalse;
+    for (std::size_t k = i; k < end; ++k) {
+      covered = mgr.or_(covered, fib[k].pred);
+      if (fib[k].source == Source::kConnected) {
+        conn = mgr.or_(conn, fib[k].pred);
+      } else if (fib[k].source == Source::kStatic) {
+        stat = mgr.or_(stat, fib[k].pred);
+      }
+    }
+    for (std::size_t k = i; k < end; ++k) {
+      bdd::NodeId eff = fib[k].pred;
+      if (fib[k].source == Source::kStatic) eff = mgr.diff(eff, conn);
+      if (fib[k].source == Source::kBgp) {
+        eff = mgr.diff(mgr.diff(eff, conn), stat);
+      }
+      eff = mgr.and_(eff, remaining);
+      if (eff == bdd::kFalse) continue;
+      if (fib[k].local) {
+        pp.local = mgr.or_(pp.local, eff);
+      } else {
+        auto [it, _] = per_peer.try_emplace(fib[k].out, bdd::kFalse);
+        it->second = mgr.or_(it->second, eff);
+      }
+    }
+    remaining = mgr.diff(remaining, covered);
+    i = end;
+  }
+  pp.drop = remaining;
+  for (const auto& [peer, pred] : per_peer) {
+    if (pred != bdd::kFalse) pp.to_peer.push_back({peer, pred});
+  }
+}
+
+std::size_t FibBuilder::total_entries() const {
+  std::size_t n = 0;
+  for (const auto& f : fibs_) n += f.size();
+  return n;
+}
+
+}  // namespace expresso::dataplane

@@ -1,0 +1,67 @@
+// Symbolic FIB generation (paper section 5.1).
+//
+// A control-plane symbolic route holds prefixes of many lengths under one
+// advertiser variable n_i.  Longest-prefix-match makes different lengths
+// interact, so each RIB entry is split per concrete prefix length j, the
+// length bits are projected away, and each control-plane advertiser variable
+// n_i is renamed to the data-plane variable n_i^j.  The result is an ordered
+// (by length) list of forwarding rules whose match predicates range over
+// 32 destination-address bits plus the lazily allocated n_i^j variables.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "epvp/engine.hpp"
+#include "net/network.hpp"
+#include "symbolic/route.hpp"
+
+namespace expresso::dataplane {
+
+struct FibEntry {
+  std::uint8_t len = 0;
+  // Match predicate over destination-address bits and n_i^j variables.
+  bdd::NodeId pred = bdd::kFalse;
+  // Local delivery (connected / self-originated prefix) when true; otherwise
+  // forward towards `out`.
+  bool local = false;
+  net::NodeIndex out = 0;
+  symbolic::Source source = symbolic::Source::kBgp;
+};
+
+// Port predicates after resolving LPM and administrative distance: for a
+// router u, the set of (packet ⨯ environment) points forwarded to each peer,
+// delivered locally, or dropped.  The three families partition the space.
+struct PortPredicates {
+  // peer node -> predicate (only peers with a non-false predicate appear).
+  std::vector<std::pair<net::NodeIndex, bdd::NodeId>> to_peer;
+  bdd::NodeId local = bdd::kFalse;
+  bdd::NodeId drop = bdd::kTrue;
+};
+
+class FibBuilder {
+ public:
+  // Converts the engine's converged symbolic RIBs (plus static and connected
+  // routes) into symbolic FIBs and LPM-resolved port predicates.
+  explicit FibBuilder(epvp::Engine& engine);
+
+  const std::vector<FibEntry>& fib(net::NodeIndex u) const {
+    return fibs_[u];
+  }
+  const PortPredicates& ports(net::NodeIndex u) const { return ports_[u]; }
+
+  // Total FIB entries across the network (reporting).
+  std::size_t total_entries() const;
+
+ private:
+  void build_router(net::NodeIndex u);
+  // Splits one control-plane D into per-length data-plane predicates.
+  std::vector<std::pair<std::uint8_t, bdd::NodeId>> split_by_length(
+      bdd::NodeId d);
+
+  epvp::Engine& engine_;
+  std::vector<std::vector<FibEntry>> fibs_;
+  std::vector<PortPredicates> ports_;
+};
+
+}  // namespace expresso::dataplane

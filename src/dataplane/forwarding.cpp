@@ -1,0 +1,88 @@
+#include "dataplane/forwarding.hpp"
+
+#include <algorithm>
+
+namespace expresso::dataplane {
+
+using net::NodeIndex;
+
+const char* to_string(FinalState s) {
+  switch (s) {
+    case FinalState::kArrive: return "ARRIVE";
+    case FinalState::kExit: return "EXIT";
+    case FinalState::kBlackhole: return "BLACKHOLE";
+    case FinalState::kLoop: return "LOOP";
+  }
+  return "?";
+}
+
+Forwarder::Forwarder(epvp::Engine& engine, const FibBuilder& fibs)
+    : engine_(engine), fibs_(fibs) {}
+
+void Forwarder::walk(NodeIndex u, bdd::NodeId pred,
+                     std::vector<NodeIndex>& path,
+                     std::vector<Pec>& out) const {
+  auto& mgr = engine_.encoding().mgr();
+  const auto& pp = fibs_.ports(u);
+  path.push_back(u);
+
+  // Local delivery.
+  const bdd::NodeId arrive = mgr.and_(pred, pp.local);
+  if (arrive != bdd::kFalse) {
+    out.push_back({arrive, path, FinalState::kArrive});
+  }
+  // Drop.
+  const bdd::NodeId drop = mgr.and_(pred, pp.drop);
+  if (drop != bdd::kFalse) {
+    out.push_back({drop, path, FinalState::kBlackhole});
+  }
+  // Forwarded replicas.
+  for (const auto& [peer, port_pred] : pp.to_peer) {
+    const bdd::NodeId next = mgr.and_(pred, port_pred);
+    if (next == bdd::kFalse) continue;
+    if (engine_.network().node(peer).external) {
+      auto p2 = path;
+      p2.push_back(peer);
+      out.push_back({next, std::move(p2), FinalState::kExit});
+      continue;
+    }
+    if (std::find(path.begin(), path.end(), peer) != path.end()) {
+      auto p2 = path;
+      p2.push_back(peer);
+      out.push_back({next, std::move(p2), FinalState::kLoop});
+      continue;
+    }
+    walk(peer, next, path, out);
+  }
+  path.pop_back();
+}
+
+std::vector<Pec> Forwarder::pecs_from(NodeIndex start) const {
+  std::vector<Pec> out;
+  std::vector<NodeIndex> path;
+  const auto& net = engine_.network();
+  if (!net.node(start).external) {
+    walk(start, bdd::kTrue, path, out);
+    return out;
+  }
+  // External injection: the packet enters at each internal peer of `start`.
+  for (std::uint32_t ei : net.out_edges()[start]) {
+    const auto& e = net.edges()[ei];
+    if (net.node(e.to).external) continue;
+    path = {start};
+    walk(e.to, bdd::kTrue, path, out);
+  }
+  return out;
+}
+
+std::vector<Pec> Forwarder::all_pecs() const {
+  std::vector<Pec> out;
+  for (NodeIndex u = 0; u < engine_.network().nodes().size(); ++u) {
+    auto pecs = pecs_from(u);
+    out.insert(out.end(), std::make_move_iterator(pecs.begin()),
+               std::make_move_iterator(pecs.end()));
+  }
+  return out;
+}
+
+}  // namespace expresso::dataplane

@@ -1,0 +1,57 @@
+// Symbolic packet forwarding and packet equivalence classes (section 5.2).
+//
+// A symbolic packet — a predicate over destination-address bits and the
+// per-length advertiser variables n_i^j — is injected at each router and
+// replicated through the LPM-resolved port predicates until every replica
+// reaches a final state:
+//
+//   kArrive     delivered to a locally attached / originated prefix
+//   kExit       crossed a session towards an external neighbor
+//   kBlackhole  no forwarding rule matched
+//   kLoop       revisited a router already on the forwarding path
+//
+// Every surviving (predicate, path, state) triple is one PEC.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dataplane/fib.hpp"
+
+namespace expresso::dataplane {
+
+enum class FinalState { kArrive, kExit, kBlackhole, kLoop };
+
+struct Pec {
+  // Predicate over packet destination bits and n_i^j environment variables.
+  bdd::NodeId pkt = bdd::kFalse;
+  // Forwarding path (router indices); for kExit the last element is the
+  // external node the packet left through.
+  std::vector<net::NodeIndex> path;
+  FinalState state = FinalState::kBlackhole;
+};
+
+const char* to_string(FinalState s);
+
+class Forwarder {
+ public:
+  Forwarder(epvp::Engine& engine, const FibBuilder& fibs);
+
+  // PECs for packets injected at `start`.  Internal start: the packet begins
+  // on the router.  External start: one replica enters at each internal
+  // router peering with the neighbor (packets arriving from that neighbor).
+  std::vector<Pec> pecs_from(net::NodeIndex start) const;
+
+  // PECs from every node (the paper's full SPF stage).  Each PEC's path
+  // begins at its injection point.
+  std::vector<Pec> all_pecs() const;
+
+ private:
+  void walk(net::NodeIndex u, bdd::NodeId pred,
+            std::vector<net::NodeIndex>& path, std::vector<Pec>& out) const;
+
+  epvp::Engine& engine_;
+  const FibBuilder& fibs_;
+};
+
+}  // namespace expresso::dataplane

@@ -1,0 +1,375 @@
+#include "epvp/engine.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+
+namespace expresso::epvp {
+
+using automaton::AsPath;
+using automaton::AsPathMode;
+using net::NodeIndex;
+using net::SessionEdge;
+using symbolic::CommunitySet;
+using symbolic::Learned;
+using symbolic::Source;
+using symbolic::SymbolicRoute;
+
+Engine::Engine(const net::Network& network, Options options)
+    : net_(network), options_(options) {
+  build_alphabet();
+  atomizer_ = std::make_unique<symbolic::CommunityAtomizer>(net_.configs());
+  enc_ = std::make_unique<symbolic::Encoding>(net_.num_external(),
+                                              atomizer_->num_atoms());
+  initialize();
+}
+
+void Engine::build_alphabet() {
+  for (const auto& node : net_.nodes()) alphabet_.intern(node.asn);
+  for (const auto& cfg : net_.configs()) {
+    for (const auto& p : cfg.peers) alphabet_.intern(p.peer_as);
+    for (const auto& [name, pol] : cfg.policies) {
+      (void)name;
+      for (const auto& clause : pol) {
+        if (clause.prepend_as) alphabet_.intern(*clause.prepend_as);
+        if (clause.match_as_path) {
+          // Intern every number in the regex.
+          const std::string& s = *clause.match_as_path;
+          std::uint64_t v = 0;
+          bool in_num = false;
+          for (std::size_t i = 0; i <= s.size(); ++i) {
+            if (i < s.size() && std::isdigit(static_cast<unsigned char>(s[i]))) {
+              v = v * 10 + (s[i] - '0');
+              in_num = true;
+            } else {
+              if (in_num) alphabet_.intern(static_cast<std::uint32_t>(v));
+              v = 0;
+              in_num = false;
+            }
+          }
+        }
+      }
+    }
+  }
+  alphabet_.freeze();
+}
+
+void Engine::initialize() {
+  const std::size_t n = net_.nodes().size();
+  origin_.assign(n, {});
+  ribs_.assign(n, {});
+  external_rib_.assign(n, {});
+
+  for (NodeIndex u = 0; u < n; ++u) {
+    const auto& node = net_.node(u);
+    if (node.external) {
+      // One wildcard symbolic route: any prefix (valid length), advertised
+      // iff n_u holds, arbitrary attributes (section 4.3, initialization 2).
+      SymbolicRoute r;
+      r.d = enc_->mgr().and_(enc_->adv(node.external_index),
+                             enc_->len_valid());
+      if (options_.aspath_mode == AsPathMode::kSymbolic) {
+        r.attrs.aspath = AsPath::any(alphabet_);
+      } else {
+        // Expresso-: a concrete representative per neighbor.
+        r.attrs.aspath = AsPath::concrete({alphabet_.symbol_for(node.asn)},
+                                          alphabet_.size());
+      }
+      r.attrs.comm = options_.model_communities
+                         ? CommunitySet::universal(*enc_, options_.comm_rep)
+                         : CommunitySet::none(*enc_, options_.comm_rep);
+      r.attrs.learned = Learned::kOrigin;
+      r.attrs.source = Source::kBgp;
+      r.attrs.next_hop = u;
+      r.attrs.originator = u;
+      r.prop_path = {u};
+      origin_[u].push_back(std::move(r));
+    } else {
+      const auto& cfg = net_.config_of(u);
+      std::vector<net::Ipv4Prefix> originated = cfg.networks;
+      if (cfg.redistribute_connected) {
+        originated.insert(originated.end(), cfg.connected.begin(),
+                          cfg.connected.end());
+      }
+      if (cfg.redistribute_static) {
+        for (const auto& s : cfg.statics) originated.push_back(s.prefix);
+      }
+      for (const auto& p : originated) {
+        SymbolicRoute r;
+        r.d = enc_->prefix_exact(p);  // environment True: always announced
+        r.attrs.aspath =
+            AsPath::empty_path(options_.aspath_mode, alphabet_.size());
+        r.attrs.comm = CommunitySet::none(*enc_, options_.comm_rep);
+        r.attrs.learned = Learned::kOrigin;
+        r.attrs.source = Source::kBgp;
+        r.attrs.next_hop = u;
+        r.attrs.originator = u;
+        r.prop_path = {u};
+        origin_[u].push_back(std::move(r));
+      }
+    }
+    ribs_[u] = origin_[u];
+  }
+}
+
+const policy::CompiledPolicy* Engine::find_policy(NodeIndex router,
+                                                  const std::string& name) {
+  const auto key = std::make_pair(router, name);
+  auto it = policies_.find(key);
+  if (it != policies_.end()) return &it->second;
+  const auto& cfg = net_.config_of(router);
+  auto pit = cfg.policies.find(name);
+  if (pit == cfg.policies.end()) return nullptr;  // undefined policy: deny
+  config::RoutePolicy ast = pit->second;
+  if (!options_.model_communities) {
+    // Feature ablation: drop community matching and actions.
+    config::RoutePolicy stripped;
+    for (auto clause : ast) {
+      if (!clause.match_communities.empty()) continue;  // never matches
+      clause.add_communities.clear();
+      clause.delete_communities.clear();
+      stripped.push_back(std::move(clause));
+    }
+    ast = std::move(stripped);
+  }
+  auto compiled = policy::compile_policy(ast, *enc_, *atomizer_, alphabet_);
+  auto [ins, _] = policies_.emplace(key, std::move(compiled));
+  return &ins->second;
+}
+
+SymbolicRoute Engine::make_default_route(const SessionEdge& e) {
+  // default-originate on the session from e.from to e.to.
+  const auto& from = net_.node(e.from);
+  SymbolicRoute r;
+  r.d = enc_->prefix_exact(net::Ipv4Prefix{0, 0});
+  r.attrs.aspath = AsPath::empty_path(options_.aspath_mode, alphabet_.size());
+  if (e.ebgp) {
+    r.attrs.aspath = r.attrs.aspath.prepend(alphabet_.symbol_for(from.asn));
+  }
+  r.attrs.comm = CommunitySet::none(*enc_, options_.comm_rep);
+  r.attrs.learned = e.ebgp ? Learned::kEbgp
+                   : (e.import_stmt && e.import_stmt->rr_client)
+                       ? Learned::kIbgpClient
+                       : Learned::kIbgp;
+  r.attrs.source = Source::kBgp;
+  r.attrs.next_hop = e.from;
+  r.attrs.originator = e.from;
+  r.prop_path = {e.from, e.to};
+  return r;
+}
+
+std::vector<SymbolicRoute> Engine::transfer_edge(const SessionEdge& e,
+                                                 const SymbolicRoute& in) {
+  const auto& from = net_.node(e.from);
+  const auto& to = net_.node(e.to);
+
+  // Only BGP routes propagate over BGP sessions.
+  if (in.attrs.source != Source::kBgp) return {};
+
+  // --- export side (from) ---------------------------------------------------
+  if (!from.external) {
+    // iBGP re-advertisement / route reflection rules.
+    if (!e.ebgp) {
+      switch (in.attrs.learned) {
+        case Learned::kOrigin:
+        case Learned::kEbgp:
+          break;  // advertised to every iBGP peer
+        case Learned::kIbgpClient:
+          break;  // reflected to clients and non-clients
+        case Learned::kIbgp:
+          // Only reflected towards our RR clients.
+          if (!(e.export_stmt && e.export_stmt->rr_client)) return {};
+          break;
+      }
+    }
+    // advertise-default sessions carry nothing else (handled by caller).
+    if (e.export_stmt && e.export_stmt->advertise_default) return {};
+  }
+
+  std::vector<SymbolicRoute> routes{in};
+
+  if (!from.external && options_.apply_policies && e.export_stmt &&
+      e.export_stmt->export_policy) {
+    const auto* pol = find_policy(e.from, *e.export_stmt->export_policy);
+    if (!pol) return {};  // undefined policy: deny everything
+    std::vector<SymbolicRoute> out;
+    for (const auto& r : routes) {
+      auto applied = policy::apply_policy(*pol, r, *enc_);
+      out.insert(out.end(), applied.begin(), applied.end());
+    }
+    routes = std::move(out);
+  }
+
+  for (auto& r : routes) {
+    if (e.ebgp && !from.external) {
+      // eBGP export: prepend our AS; local preference is not transitive.
+      r.attrs.aspath = r.attrs.aspath.prepend(alphabet_.symbol_for(from.asn));
+    }
+    // Communities are stripped unless the session advertises them.
+    if (!from.external &&
+        !(e.export_stmt && e.export_stmt->advertise_community)) {
+      r.attrs.comm = r.attrs.comm.erased(*enc_);
+    }
+  }
+
+  // --- import side (to) -------------------------------------------------------
+  if (!to.external) {
+    for (auto& r : routes) {
+      if (e.ebgp) {
+        r.attrs.local_pref = 100;  // reset before the import policy runs
+        if (from.external) {
+          // First-AS: paths from this neighbor begin with its AS number
+          // (matches the paper's "100.*" in figure 4's RIB entries).
+          const automaton::Symbol s = alphabet_.symbol_for(from.asn);
+          auto it = first_as_cache_.find(s);
+          if (it == first_as_cache_.end()) {
+            it = first_as_cache_
+                     .emplace(s, automaton::Dfa::universe(alphabet_.size())
+                                     .prepend(s))
+                     .first;
+          }
+          r.attrs.aspath = r.attrs.aspath.filter(it->second);
+        }
+        // AS-loop prevention: drop paths already containing our AS.
+        r.attrs.aspath =
+            r.attrs.aspath.without_as(alphabet_.symbol_for(to.asn));
+      }
+    }
+    routes.erase(std::remove_if(routes.begin(), routes.end(),
+                                [](const SymbolicRoute& r) {
+                                  return r.vacuous();
+                                }),
+                 routes.end());
+    if (options_.apply_policies && e.import_stmt &&
+        e.import_stmt->import_policy) {
+      const auto* pol = find_policy(e.to, *e.import_stmt->import_policy);
+      if (!pol) return {};
+      std::vector<SymbolicRoute> out;
+      for (const auto& r : routes) {
+        auto applied = policy::apply_policy(*pol, r, *enc_);
+        out.insert(out.end(), applied.begin(), applied.end());
+      }
+      routes = std::move(out);
+    }
+  }
+
+  const Learned learned =
+      e.ebgp ? Learned::kEbgp
+      : (e.import_stmt && e.import_stmt->rr_client) ? Learned::kIbgpClient
+                                                    : Learned::kIbgp;
+  for (auto& r : routes) {
+    r.attrs.learned = learned;
+    r.attrs.next_hop = e.from;
+    r.prop_path.push_back(e.to);
+  }
+  routes.erase(std::remove_if(routes.begin(), routes.end(),
+                              [](const SymbolicRoute& r) {
+                                return r.vacuous();
+                              }),
+               routes.end());
+  return routes;
+}
+
+bool Engine::run() {
+  const int max_iters = options_.max_iterations;
+  bool converged = false;
+  for (iterations_ = 0; iterations_ < max_iters; ++iterations_) {
+    bool changed = false;
+    std::vector<std::vector<SymbolicRoute>> next = ribs_;
+    for (NodeIndex u : net_.internal_nodes()) {
+      std::vector<SymbolicRoute> candidates = origin_[u];
+      // Route aggregation (paper section 3.1): the aggregate is originated
+      // under exactly the advertiser conditions that produce some strictly
+      // more-specific component route in the previous round's RIB.
+      for (const auto& agg : net_.config_of(u).aggregates) {
+        if (agg.len >= 32) continue;
+        const bdd::NodeId within = enc_->prefix_match(net::PrefixMatch::range(
+            agg, static_cast<std::uint8_t>(agg.len + 1), 32));
+        bdd::NodeId any = bdd::kFalse;
+        for (const auto& r : ribs_[u]) {
+          if (r.attrs.source != Source::kBgp) continue;
+          any = enc_->mgr().or_(any, enc_->mgr().and_(r.d, within));
+        }
+        const bdd::NodeId cond = enc_->cond(any);
+        if (cond == bdd::kFalse) continue;
+        SymbolicRoute r;
+        r.d = enc_->mgr().and_(enc_->prefix_exact(agg), cond);
+        r.attrs.aspath =
+            AsPath::empty_path(options_.aspath_mode, alphabet_.size());
+        r.attrs.comm = CommunitySet::none(*enc_, options_.comm_rep);
+        r.attrs.learned = Learned::kOrigin;
+        r.attrs.source = Source::kBgp;
+        r.attrs.next_hop = u;
+        r.attrs.originator = u;
+        r.prop_path = {u};
+        candidates.push_back(std::move(r));
+      }
+      for (std::uint32_t ei : net_.in_edges()[u]) {
+        const SessionEdge& e = net_.edges()[ei];
+        if (e.export_stmt && e.export_stmt->advertise_default &&
+            !net_.node(e.from).external) {
+          candidates.push_back(make_default_route(e));
+          continue;
+        }
+        for (const auto& r : ribs_[e.from]) {
+          auto tr = transfer_edge(e, r);
+          candidates.insert(candidates.end(),
+                            std::make_move_iterator(tr.begin()),
+                            std::make_move_iterator(tr.end()));
+        }
+      }
+      next[u] = symbolic::merge_routes(*enc_, std::move(candidates));
+      if (!symbolic::same_rib(next[u], ribs_[u])) changed = true;
+    }
+    ribs_ = std::move(next);
+    if (!changed) {
+      converged = true;
+      break;
+    }
+  }
+
+  // Routes the network exports to each external neighbor.
+  for (NodeIndex u : net_.external_nodes()) {
+    std::vector<SymbolicRoute> received;
+    for (std::uint32_t ei : net_.in_edges()[u]) {
+      const SessionEdge& e = net_.edges()[ei];
+      if (net_.node(e.from).external) continue;
+      if (e.export_stmt && e.export_stmt->advertise_default) {
+        received.push_back(make_default_route(e));
+        continue;
+      }
+      for (const auto& r : ribs_[e.from]) {
+        auto tr = transfer_edge(e, r);
+        received.insert(received.end(), std::make_move_iterator(tr.begin()),
+                        std::make_move_iterator(tr.end()));
+      }
+    }
+    external_rib_[u] = std::move(received);
+  }
+  return converged;
+}
+
+const std::vector<SymbolicRoute>& Engine::external_rib(NodeIndex u) const {
+  return external_rib_[u];
+}
+
+std::optional<std::uint32_t> Engine::atom_of(const net::Community& c) const {
+  return atomizer_->atom_of(c);
+}
+
+std::string Engine::route_to_string(const SymbolicRoute& r) {
+  std::vector<std::string> nbr_names;
+  for (NodeIndex e : net_.external_nodes()) {
+    nbr_names.push_back(net_.node(e).name);
+  }
+  std::ostringstream os;
+  os << "(" << enc_->mgr().to_string(r.d, enc_->var_names(nbr_names)) << ", "
+     << "asp=" << r.attrs.aspath.to_string(alphabet_.names()) << ", "
+     << "comm=" << r.attrs.comm.to_string(*enc_, atomizer_->atom_names())
+     << ", lp=" << r.attrs.local_pref << ", nh="
+     << net_.node(r.attrs.next_hop).name << ", o="
+     << net_.node(r.attrs.originator).name << ")";
+  return os.str();
+}
+
+}  // namespace expresso::epvp

@@ -1,0 +1,115 @@
+// EPVP — the Expresso Path Vector Protocol (paper section 4.3).
+//
+// A symbolic variant of the Simple Path Vector Protocol: every external
+// neighbor originates one wildcard symbolic route (any prefix, advertised
+// iff the neighbor's n_i variable holds, any AS path, any community list),
+// and the engine iterates synchronous transfer+merge rounds until the
+// symbolic RIBs reach a fixed point.  The fixed point unfolds to the stable
+// state of concrete SPVP under *every* external route environment at once
+// (paper Appendix D, Theorem 3 — checked against a concrete oracle in
+// tests/epvp_oracle_test.cpp).
+//
+// Session semantics modeled (section 3.2's dialect):
+//   * first-match route policies on import/export (default deny),
+//   * eBGP: AS prepend on export, first-AS constraint and AS-loop filter on
+//     import, local-preference reset,
+//   * iBGP: no re-advertisement of iBGP-learned routes except through
+//     route-reflector client/non-client rules,
+//   * advertise-community: communities are stripped on sessions without it,
+//   * advertise-default: the session carries only an originated default.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "automaton/aspath.hpp"
+#include "net/network.hpp"
+#include "policy/transfer.hpp"
+#include "symbolic/community_set.hpp"
+#include "symbolic/encoding.hpp"
+#include "symbolic/route.hpp"
+
+namespace expresso::epvp {
+
+struct Options {
+  automaton::AsPathMode aspath_mode = automaton::AsPathMode::kSymbolic;
+  symbolic::CommunityRep comm_rep = symbolic::CommunityRep::kAtomBdd;
+  // Feature levels of figure 6(c): policies at all ('t'), symbolic
+  // communities ('c'; off treats community-matching clauses as
+  // never-matching and drops community actions), symbolic AS paths ('a';
+  // off = the Expresso- concrete representative mode).
+  bool apply_policies = true;
+  bool model_communities = true;
+  int max_iterations = 100;
+};
+
+class Engine {
+ public:
+  Engine(const net::Network& network, Options options);
+
+  // Runs symbolic route computation to the fixed point.
+  // Returns false if the iteration cap was hit (possible dispute wheel —
+  // paper section 8's schedule limitation).
+  bool run();
+
+  const net::Network& network() const { return net_; }
+  symbolic::Encoding& encoding() { return *enc_; }
+  const automaton::AsAlphabet& alphabet() const { return alphabet_; }
+  const symbolic::CommunityAtomizer& atomizer() const { return *atomizer_; }
+  const Options& options() const { return options_; }
+
+  // Symbolic RIB of an internal node: its best routes.
+  const std::vector<symbolic::SymbolicRoute>& rib(net::NodeIndex u) const {
+    return ribs_[u];
+  }
+  // Symbolic RIB of an external node: the routes the network exports to it
+  // (the RIB(u) of the paper's section 6.1 property definitions).
+  const std::vector<symbolic::SymbolicRoute>& external_rib(
+      net::NodeIndex u) const;
+
+  int iterations() const { return iterations_; }
+
+  // The atom index of a community, if it appears in the configs (used by
+  // the BlockToExternal property).
+  std::optional<std::uint32_t> atom_of(const net::Community& c) const;
+
+  // Pretty-printing helpers for examples.
+  std::string route_to_string(const symbolic::SymbolicRoute& r);
+
+ private:
+  void build_alphabet();
+  void initialize();
+  std::vector<symbolic::SymbolicRoute> transfer_edge(
+      const net::SessionEdge& e, const symbolic::SymbolicRoute& r);
+  symbolic::SymbolicRoute make_default_route(const net::SessionEdge& e);
+  const policy::CompiledPolicy* find_policy(net::NodeIndex router,
+                                            const std::string& name);
+
+  const net::Network& net_;
+  Options options_;
+
+  automaton::AsAlphabet alphabet_;
+  std::unique_ptr<symbolic::CommunityAtomizer> atomizer_;
+  std::unique_ptr<symbolic::Encoding> enc_;
+
+  // (router node, policy name) -> compiled policy.
+  std::map<std::pair<net::NodeIndex, std::string>, policy::CompiledPolicy>
+      policies_;
+
+  // Per-node origination (internal: bgp network/redistribution; external:
+  // the wildcard symbolic route).
+  std::vector<std::vector<symbolic::SymbolicRoute>> origin_;
+  // Per-node best routes (externals hold just their origination here).
+  std::vector<std::vector<symbolic::SymbolicRoute>> ribs_;
+  // Routes exported to each external node, filled after convergence.
+  std::vector<std::vector<symbolic::SymbolicRoute>> external_rib_;
+
+  // Cached "first AS is k" automata per symbol.
+  std::map<automaton::Symbol, automaton::Dfa> first_as_cache_;
+
+  int iterations_ = 0;
+};
+
+}  // namespace expresso::epvp

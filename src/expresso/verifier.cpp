@@ -1,0 +1,119 @@
+#include "expresso/verifier.hpp"
+
+#include "config/parser.hpp"
+#include "support/util.hpp"
+
+namespace expresso {
+
+Verifier::Verifier(const std::string& config_text, epvp::Options options)
+    : Verifier(config::parse_configs(config_text), options) {}
+
+Verifier::Verifier(std::vector<config::RouterConfig> configs,
+                   epvp::Options options) {
+  net_ = std::make_unique<net::Network>(net::Network::build(std::move(configs)));
+  engine_ = std::make_unique<epvp::Engine>(*net_, options);
+  analyzer_ = std::make_unique<properties::Analyzer>(*engine_);
+}
+
+void Verifier::run_src() {
+  if (src_done_) return;
+  Stopwatch sw;
+  stats_.converged = engine_->run();
+  stats_.src_seconds = sw.seconds();
+  stats_.epvp_iterations = engine_->iterations();
+  for (const auto& n : net_->nodes()) {
+    const auto idx = net_->find(n.name);
+    if (!idx) continue;
+    stats_.total_rib_routes += n.external
+                                   ? engine_->external_rib(*idx).size()
+                                   : engine_->rib(*idx).size();
+  }
+  src_done_ = true;
+}
+
+void Verifier::run_spf() {
+  run_src();
+  if (pecs_) return;
+  Stopwatch sw;
+  fibs_ = std::make_unique<dataplane::FibBuilder>(*engine_);
+  dataplane::Forwarder fwd(*engine_, *fibs_);
+  pecs_ = fwd.all_pecs();
+  stats_.spf_seconds = sw.seconds();
+  stats_.total_fib_entries = fibs_->total_entries();
+  stats_.total_pecs = pecs_->size();
+  stats_.dp_variables = engine_->encoding().num_dp_vars();
+  stats_.bdd_nodes = engine_->encoding().mgr().total_nodes();
+}
+
+const std::vector<dataplane::Pec>& Verifier::pecs() {
+  run_spf();
+  return *pecs_;
+}
+
+std::vector<properties::Violation> Verifier::check_route_leak_free() {
+  run_src();
+  Stopwatch sw;
+  auto out = analyzer_->route_leak_free();
+  stats_.routing_analysis_seconds += sw.seconds();
+  return out;
+}
+
+std::vector<properties::Violation> Verifier::check_route_hijack_free() {
+  run_src();
+  Stopwatch sw;
+  auto out = analyzer_->route_hijack_free();
+  stats_.routing_analysis_seconds += sw.seconds();
+  return out;
+}
+
+std::vector<properties::Violation> Verifier::check_block_to_external(
+    const net::Community& bte) {
+  run_src();
+  Stopwatch sw;
+  auto out = analyzer_->block_to_external(bte);
+  stats_.routing_analysis_seconds += sw.seconds();
+  return out;
+}
+
+std::vector<properties::Violation> Verifier::check_traffic_hijack_free() {
+  run_spf();
+  Stopwatch sw;
+  auto out = analyzer_->traffic_hijack_free(*pecs_);
+  stats_.forwarding_analysis_seconds += sw.seconds();
+  return out;
+}
+
+std::vector<properties::Violation> Verifier::check_blackhole_free(
+    const std::vector<net::Ipv4Prefix>& prefixes) {
+  run_spf();
+  Stopwatch sw;
+  auto out = analyzer_->blackhole_free(*pecs_, prefixes);
+  stats_.forwarding_analysis_seconds += sw.seconds();
+  return out;
+}
+
+std::vector<properties::Violation> Verifier::check_loop_free() {
+  run_spf();
+  Stopwatch sw;
+  auto out = analyzer_->loop_free(*pecs_);
+  stats_.forwarding_analysis_seconds += sw.seconds();
+  return out;
+}
+
+std::vector<properties::Violation> Verifier::check_egress_preference(
+    const std::string& node, const net::Ipv4Prefix& d,
+    const std::vector<std::string>& neighbor_order) {
+  run_spf();
+  Stopwatch sw;
+  const auto n = net_->find(node);
+  std::vector<net::NodeIndex> order;
+  for (const auto& name : neighbor_order) {
+    if (auto idx = net_->find(name)) order.push_back(*idx);
+  }
+  std::vector<properties::Violation> out;
+  if (n) out = analyzer_->egress_preference(*pecs_, *n, d, order);
+  stats_.forwarding_analysis_seconds += sw.seconds();
+  return out;
+}
+
+}  // namespace expresso

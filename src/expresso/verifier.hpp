@@ -1,0 +1,82 @@
+// Public façade: the full Expresso pipeline (paper section 3.2).
+//
+//   expresso::Verifier v(config_text);        // or (configs, options)
+//   v.run_src();                               // 1. symbolic route computation
+//   v.run_spf();                               // 2. symbolic packet forwarding
+//   auto leaks = v.check_route_leak_free();    // 3. property analysis
+//
+// Stage timings are recorded for the Table 3 reproduction.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "dataplane/forwarding.hpp"
+#include "epvp/engine.hpp"
+#include "properties/analyzer.hpp"
+
+namespace expresso {
+
+struct VerifierStats {
+  double src_seconds = 0;        // symbolic route computation
+  double spf_seconds = 0;        // symbolic packet forwarding
+  double routing_analysis_seconds = 0;
+  double forwarding_analysis_seconds = 0;
+  int epvp_iterations = 0;
+  bool converged = false;
+  std::size_t total_rib_routes = 0;
+  std::size_t total_fib_entries = 0;
+  std::size_t total_pecs = 0;
+  std::size_t bdd_nodes = 0;        // memory proxy
+  std::uint32_t dp_variables = 0;   // lazily allocated n_i^j count
+};
+
+class Verifier {
+ public:
+  // Parses configuration text, builds the topology, prepares the engine.
+  explicit Verifier(const std::string& config_text,
+                    epvp::Options options = {});
+  Verifier(std::vector<config::RouterConfig> configs,
+           epvp::Options options = {});
+
+  // Stage 1: run EPVP to the fixed point.  Idempotent.
+  void run_src();
+  // Stage 2: build symbolic FIBs and compute all PECs.  Runs SRC if needed.
+  void run_spf();
+
+  // Stage 3 — routing properties (need SRC only).
+  std::vector<properties::Violation> check_route_leak_free();
+  std::vector<properties::Violation> check_route_hijack_free();
+  std::vector<properties::Violation> check_block_to_external(
+      const net::Community& bte);
+
+  // Stage 3 — forwarding properties (need SPF).
+  std::vector<properties::Violation> check_traffic_hijack_free();
+  std::vector<properties::Violation> check_blackhole_free(
+      const std::vector<net::Ipv4Prefix>& prefixes);
+  std::vector<properties::Violation> check_loop_free();
+  std::vector<properties::Violation> check_egress_preference(
+      const std::string& node, const net::Ipv4Prefix& d,
+      const std::vector<std::string>& neighbor_order);
+
+  const net::Network& network() const { return *net_; }
+  epvp::Engine& engine() { return *engine_; }
+  const std::vector<dataplane::Pec>& pecs();
+  const VerifierStats& stats() const { return stats_; }
+  std::string describe(const properties::Violation& v) {
+    return analyzer_->describe(v);
+  }
+
+ private:
+  std::unique_ptr<net::Network> net_;
+  std::unique_ptr<epvp::Engine> engine_;
+  std::unique_ptr<properties::Analyzer> analyzer_;
+  std::unique_ptr<dataplane::FibBuilder> fibs_;
+  std::optional<std::vector<dataplane::Pec>> pecs_;
+  bool src_done_ = false;
+  VerifierStats stats_;
+};
+
+}  // namespace expresso

@@ -1,0 +1,436 @@
+#include "gen/datasets.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <set>
+#include <sstream>
+
+#include "config/parser.hpp"
+#include "support/util.hpp"
+
+namespace expresso::gen {
+
+using properties::Property;
+
+namespace {
+
+std::size_t count_lines(const std::string& s) {
+  return static_cast<std::size_t>(std::count(s.begin(), s.end(), '\n'));
+}
+
+std::size_t count_prefixes(const std::string& s) {
+  // Distinct "a.b.c.d/len" tokens.
+  std::set<std::string> seen;
+  std::istringstream in(s);
+  std::string tok;
+  while (in >> tok) {
+    if (tok.find('/') != std::string::npos &&
+        net::Ipv4Prefix::parse(tok)) {
+      seen.insert(tok);
+    }
+  }
+  return seen.size();
+}
+
+struct RegionBuilder {
+  const RegionSpec& spec;
+  int region;
+  SplitMix64 rng;
+  std::ostringstream os;
+  std::vector<PlantedViolation> planted;
+  std::size_t links = 0;
+
+  RegionBuilder(const RegionSpec& s, int r, std::uint64_t seed)
+      : spec(s), region(r), rng(seed ^ (0x9e37u * (r + 1))) {}
+
+  std::string pr(int i) const {
+    return "pr" + std::to_string(region) + "_" + std::to_string(i);
+  }
+  std::string rr(int i) const {
+    return "rr" + std::to_string(region) + "_" + std::to_string(i);
+  }
+  std::string dr(int i) const {
+    return "dr" + std::to_string(region) + "_" + std::to_string(i);
+  }
+  std::string isp(int p) const {
+    return "isp" + std::to_string(region) + "_" + std::to_string(p);
+  }
+  std::uint32_t isp_as(int p) const { return 1000 + region * 100 + p; }
+  std::uint32_t dr_as(int k) const { return 64512 + region * 8 + k; }
+
+  // The i-th internal /24 of this region: 10.(16+region*16+q/256).(q%256).0/24.
+  std::string internal_prefix(int q) const {
+    const int hi = 16 + region * 16 + q / 256;
+    return "10." + std::to_string(hi & 255) + "." + std::to_string(q % 256) +
+           ".0/24";
+  }
+
+  void build() {
+    // Which plants go where (deterministic).
+    const int leak_deny_pr = 0;                 // PR hosting a permissive export
+    const int hijack_pr = spec.num_pr > 1 ? 1 : 0;
+    const int adv_comm_pr = spec.num_pr > 2 ? 2 : 0;
+    const int thijack_pr = spec.num_pr - 1;     // static-default PR (fig 5c)
+    const bool want_thijack =
+        spec.traffic_hijack_default > 0 && spec.num_pr >= 3 && spec.num_rr > 0;
+
+    // --- peering routers ---------------------------------------------------
+    for (int i = 0; i < spec.num_pr; ++i) {
+      os << "router " << pr(i) << "\n bgp as 100\n";
+      os << " bgp import-route connected\n";
+      // Interface prefixes: inside the protected 10.200/16 space, except the
+      // planted hijack victim which lives in unprotected 172.31/16 space
+      // (the "missing deny entry" of section 7.1, Violation 2).
+      if (spec.hijacks_unfiltered_iface > 0 && i == hijack_pr) {
+        os << " interface prefix 172.31." << region << "." << 2 * i << "/31\n";
+        planted.push_back({Property::kRouteHijackFree, pr(i),
+                           "redistributed interface 172.31." +
+                               std::to_string(region) + "." +
+                               std::to_string(2 * i) +
+                               "/31 missing from inbound deny lists"});
+      } else {
+        os << " interface prefix 10.200." << region << "." << 2 * i << "/31\n";
+      }
+
+      // Per-ISP policies + sessions for ISPs homed at this PR.
+      for (int p = 0; p < spec.num_peers; ++p) {
+        const bool primary = p % spec.num_pr == i;
+        const bool secondary =
+            spec.num_pr > 1 && p % 3 == 0 &&
+            (p + 1) % spec.num_pr == i;  // multi-PoP neighbors
+        if (!primary && !secondary) continue;
+        const std::string im = "im_" + isp(p);
+        const std::string ex = "ex_" + isp(p);
+        // Import: enumerate a sample of internal /24s (the realistic long
+        // deny lists that dominate real config line counts), then the
+        // aggregate, then a bogon AS-path filter, then permit+tag.
+        os << " route-policy " << im << " deny node 10\n";
+        const int sample = std::min(spec.num_prefixes, 128);
+        for (int q = 0; q < sample; ++q) {
+          os << "  if-match prefix " << internal_prefix(q)
+             << " ge 24 le 32\n";
+        }
+        os << " route-policy " << im << " deny node 11\n";
+        os << "  if-match prefix 10.0.0.0/8 ge 8 le 32\n";
+        // Per-peer bogon-AS path filter (distinct regexes are what make
+        // AS-path atomic predicates explode — figure 7(b)).
+        os << " route-policy " << im << " deny node 15\n";
+        os << "  if-match as-path \".*" << (666000 + p % 24) << ".*\"\n";
+        os << " route-policy " << im << " permit node 20\n";
+        os << "  set-local-preference " << (p % 2 ? 200 : 100) << "\n";
+        os << "  add-community 100:" << (1000 + region * 100 + p) << "\n";
+        // Export: no-transit deny (unless this is the planted leak), permit.
+        const bool plant_leak =
+            spec.leaks_missing_deny > 0 && i == leak_deny_pr && primary &&
+            p == leak_deny_pr;
+        if (!plant_leak) {
+          os << " route-policy " << ex << " deny node 10\n";
+          os << "  if-match community 100:*\n";
+        } else {
+          planted.push_back({Property::kRouteLeakFree, pr(i),
+                             "export policy towards " + isp(p) +
+                                 " is missing the no-transit community deny"});
+        }
+        os << " route-policy " << ex << " permit node 20\n";
+        os << " bgp peer " << isp(p) << " AS " << isp_as(p) << " import "
+           << im << " export " << ex << "\n";
+        ++links;
+      }
+
+      // iBGP to the region's RRs.
+      for (int j = 0; j < spec.num_rr; ++j) {
+        const bool plant_strip =
+            spec.leaks_missing_adv_comm > 0 && i == adv_comm_pr && j == 0;
+        os << " bgp peer " << rr(j) << " AS 100";
+        if (!plant_strip) os << " advertise-community";
+        os << "\n";
+        if (plant_strip) {
+          planted.push_back({Property::kRouteLeakFree, pr(i),
+                             "session to " + rr(j) +
+                                 " lacks advertise-community: peer tags are "
+                                 "stripped and no-transit denies stop firing "
+                                 "(figure 4's misconfiguration)"});
+        }
+        ++links;
+      }
+
+      // The traffic-hijack PR: a static default towards its first ISP.
+      if (want_thijack && i == thijack_pr) {
+        // Find the first ISP homed here.
+        for (int p = 0; p < spec.num_peers; ++p) {
+          if (p % spec.num_pr == i) {
+            os << " static 0.0.0.0/0 next-hop " << isp(p) << "\n";
+            break;
+          }
+        }
+        planted.push_back(
+            {Property::kTrafficHijackFree, pr(i),
+             "static default plus RR export deny for " + internal_prefix(0) +
+                 ": traffic to that internal prefix exits via the ISP "
+                 "(figure 5(c))"});
+      }
+    }
+
+    // --- route reflectors ---------------------------------------------------
+    for (int j = 0; j < spec.num_rr; ++j) {
+      os << "router " << rr(j) << "\n bgp as 100\n";
+      if (want_thijack) {
+        // Export policy towards the static-default PR that withholds the
+        // victim prefix (the operators' traffic-engineering intent in
+        // Violation 3).
+        os << " route-policy te_deny deny node 10\n";
+        os << "  if-match prefix " << internal_prefix(0) << "\n";
+        os << " route-policy te_deny permit node 20\n";
+      }
+      for (int i = 0; i < spec.num_pr; ++i) {
+        os << " bgp peer " << pr(i) << " AS 100 rr-client advertise-community";
+        if (want_thijack && i == spec.num_pr - 1) os << " export te_deny";
+        os << "\n";
+      }
+      for (int k = 0; k < spec.num_rr; ++k) {
+        if (k == j) continue;
+        os << " bgp peer " << rr(k) << " AS 100 advertise-community\n";
+        if (k > j) ++links;
+      }
+      // DR sessions terminate at the RRs' region: DRs peer with PRs below.
+    }
+
+    // --- datacenter routers -------------------------------------------------
+    const int per_dr =
+        spec.num_dr > 0 ? (spec.num_prefixes + spec.num_dr - 1) / spec.num_dr
+                        : 0;
+    for (int k = 0; k < spec.num_dr; ++k) {
+      os << "router " << dr(k) << "\n bgp as " << dr_as(k) << "\n";
+      for (int q = k * per_dr; q < (k + 1) * per_dr && q < spec.num_prefixes;
+           ++q) {
+        os << " bgp network " << internal_prefix(q) << "\n";
+      }
+      // Each DR homes to two PRs (except the traffic-hijack PR, which must
+      // not hear the victim prefix directly).
+      const int exclude = want_thijack ? spec.num_pr - 1 : -1;
+      int homed = 0;
+      for (int off = 0; off < spec.num_pr && homed < 2; ++off) {
+        const int i = (k + off) % spec.num_pr;
+        if (i == exclude) continue;
+        os << " bgp peer " << pr(i) << " AS 100\n";
+        ++homed;
+        ++links;
+      }
+    }
+  }
+};
+
+// Appends `bgp peer` lines for DR sessions to the PR blocks.  The simple
+// stream-based builder above cannot revisit earlier router blocks, so PR->DR
+// statements are emitted as a textual post-pass.
+std::string add_pr_dr_sessions(const std::string& text, const RegionSpec& spec,
+                               int region, bool want_thijack) {
+  std::vector<config::RouterConfig> cfgs = config::parse_configs(text);
+  for (int k = 0; k < spec.num_dr; ++k) {
+    const int exclude = want_thijack ? spec.num_pr - 1 : -1;
+    int homed = 0;
+    for (int off = 0; off < spec.num_pr && homed < 2; ++off) {
+      const int i = (k + off) % spec.num_pr;
+      if (i == exclude) continue;
+      const std::string pr_name =
+          "pr" + std::to_string(region) + "_" + std::to_string(i);
+      const std::string dr_name =
+          "dr" + std::to_string(region) + "_" + std::to_string(k);
+      for (auto& cfg : cfgs) {
+        if (cfg.name != pr_name) continue;
+        config::PeerStmt p;
+        p.peer = dr_name;
+        p.peer_as = 64512 + region * 8 + k;
+        p.advertise_default = true;
+        cfg.peers.push_back(std::move(p));
+      }
+      ++homed;
+    }
+  }
+  return config::serialize(cfgs);
+}
+
+}  // namespace
+
+Dataset make_region(const RegionSpec& spec, int region_index,
+                    std::uint64_t seed) {
+  RegionBuilder b(spec, region_index, seed);
+  b.build();
+  const bool want_thijack = spec.traffic_hijack_default > 0 &&
+                            spec.num_pr >= 3 && spec.num_rr > 0;
+  Dataset d;
+  d.name = spec.name;
+  d.config_text =
+      add_pr_dr_sessions(b.os.str(), spec, region_index, want_thijack);
+  d.planted = std::move(b.planted);
+  d.nodes = static_cast<std::size_t>(spec.num_pr + spec.num_rr + spec.num_dr);
+  d.links = b.links;
+  d.peers = static_cast<std::size_t>(spec.num_peers);
+  d.prefixes = count_prefixes(d.config_text);
+  d.config_lines = count_lines(d.config_text);
+  return d;
+}
+
+std::vector<RegionSpec> csp_region_specs(Snapshot snap) {
+  std::vector<RegionSpec> specs;
+  if (snap == Snapshot::kOld) {
+    specs.push_back({"region1", 4, 2, 2, 10, 200, 1, 0, 0, 0});
+    specs.push_back({"region2", 3, 1, 1, 20, 400, 0, 0, 1, 0});
+    specs.push_back({"region3", 5, 2, 2, 20, 600, 0, 1, 1, 1});
+    specs.push_back({"region4", 6, 2, 3, 40, 2000, 1, 0, 1, 1});
+  } else {
+    // The two-years-later snapshot: more regions, more of everything.
+    for (int r = 0; r < 8; ++r) {
+      RegionSpec s;
+      s.name = "nregion" + std::to_string(r + 1);
+      s.num_pr = 8;
+      s.num_rr = 3;
+      s.num_dr = 4;
+      s.num_peers = 27 + (r % 3);
+      s.num_prefixes = 1250;
+      s.leaks_missing_deny = r % 2;
+      s.leaks_missing_adv_comm = (r == 3) ? 1 : 0;
+      s.hijacks_unfiltered_iface = (r % 3 == 0) ? 1 : 0;
+      s.traffic_hijack_default = (r % 4 == 0) ? 1 : 0;
+      specs.push_back(std::move(s));
+    }
+  }
+  return specs;
+}
+
+Dataset make_csp_wan(Snapshot snap, std::uint64_t seed, int peer_limit) {
+  auto specs = csp_region_specs(snap);
+  Dataset full;
+  full.name = snap == Snapshot::kOld ? "full(old)" : "full(new)";
+  std::ostringstream text;
+  std::vector<std::string> all_rrs;
+  // Distribute a peer cap proportionally so every region keeps some
+  // neighbors (and its planted misconfigurations stay observable).
+  int kept_peers = 0;
+  const int nregions = static_cast<int>(specs.size());
+  for (int r = 0; r < nregions; ++r) {
+    RegionSpec spec = specs[r];
+    if (peer_limit > 0) {
+      const int share = std::max(1, peer_limit / nregions);
+      const int remaining = peer_limit - kept_peers;
+      spec.num_peers =
+          std::max(0, std::min({spec.num_peers, share, remaining}));
+    }
+    kept_peers += spec.num_peers;
+    Dataset d = make_region(spec, r, seed);
+    text << d.config_text << "\n";
+    full.planted.insert(full.planted.end(), d.planted.begin(),
+                        d.planted.end());
+    full.nodes += d.nodes;
+    full.links += d.links;
+    full.peers += d.peers;
+    for (int j = 0; j < spec.num_rr; ++j) {
+      all_rrs.push_back("rr" + std::to_string(r) + "_" + std::to_string(j));
+    }
+  }
+  // Global RR mesh across regions.
+  auto cfgs = config::parse_configs(text.str());
+  for (auto& cfg : cfgs) {
+    if (std::find(all_rrs.begin(), all_rrs.end(), cfg.name) == all_rrs.end()) {
+      continue;
+    }
+    for (const auto& other : all_rrs) {
+      if (other == cfg.name || cfg.find_peer(other)) continue;
+      config::PeerStmt p;
+      p.peer = other;
+      p.peer_as = 100;
+      p.advertise_community = true;
+      cfg.peers.push_back(std::move(p));
+      ++full.links;  // counted twice, halved below
+    }
+  }
+  full.links -= (all_rrs.size() * (all_rrs.size() - 1)) / 2 -
+                0;  // de-duplicate the double-counted mesh edges
+  full.config_text = config::serialize(cfgs);
+  full.prefixes = count_prefixes(full.config_text);
+  full.config_lines = count_lines(full.config_text);
+  return full;
+}
+
+net::Community internet2_bte() { return {11537, 888}; }
+
+Dataset make_internet2(std::uint64_t seed, int num_peers, int num_prefixes) {
+  SplitMix64 rng(seed);
+  const std::vector<std::string> routers = {"seat", "losa", "salt", "kans",
+                                            "hous", "chic", "atla", "wash",
+                                            "newy", "clev"};
+  Dataset d;
+  d.name = "internet2";
+  std::ostringstream os;
+
+  // Sensitive destinations whose routes get the BTE tag on import.
+  const std::vector<std::string> sensitive = {
+      "192.0.2.0/24", "198.51.100.0/24", "203.0.113.0/24", "100.64.0.0/16"};
+
+  // Four sessions whose export policy forgets the BTE deny (reachable
+  // violations), plus one that also strips communities (only policy-local
+  // checkers flag it — the Bagpipe-vs-Expresso count gap of Table 4).
+  // Indices scale with the peer count so small test instances still carry
+  // all five plants.
+  const std::set<int> missing_deny = {num_peers / 8, num_peers / 3,
+                                      num_peers / 2, (4 * num_peers) / 5};
+  const int stripped_session = (9 * num_peers) / 10;
+
+  for (std::size_t ri = 0; ri < routers.size(); ++ri) {
+    os << "router " << routers[ri] << "\n bgp as 11537\n";
+    // Backbone prefixes.
+    for (int q = static_cast<int>(ri); q < num_prefixes;
+         q += static_cast<int>(routers.size())) {
+      os << " bgp network 64." << (56 + q / 256) << "." << (q % 256)
+         << ".0/24\n";
+    }
+    // iBGP full mesh.
+    for (std::size_t rj = 0; rj < routers.size(); ++rj) {
+      if (ri == rj) continue;
+      os << " bgp peer " << routers[rj] << " AS 11537 advertise-community\n";
+      if (rj > ri) ++d.links;
+    }
+    // External peers homed here.
+    for (int p = 0; p < num_peers; ++p) {
+      if (p % static_cast<int>(routers.size()) != static_cast<int>(ri)) {
+        continue;
+      }
+      const std::string peer = "peer" + std::to_string(p);
+      const std::string im = "im_" + peer;
+      const std::string ex = "ex_" + peer;
+      os << " route-policy " << im << " permit node 5\n";
+      os << "  if-match prefix";
+      for (const auto& s : sensitive) os << " " << s;
+      os << "\n  add-community 11537:888\n";
+      os << " route-policy " << im << " permit node 10\n";
+      os << "  add-community 11537:" << (100 + p % 60000) << "\n";
+      const bool plant = missing_deny.count(p) || p == stripped_session;
+      if (!plant) {
+        os << " route-policy " << ex << " deny node 5\n";
+        os << "  if-match community 11537:888\n";
+      } else {
+        d.planted.push_back(
+            {Property::kBlockToExternal, routers[ri],
+             "export policy towards " + peer + " lacks the BTE deny" +
+                 (p == stripped_session
+                      ? " (but the session strips communities: only "
+                        "policy-local checkers report it)"
+                      : "")});
+      }
+      os << " route-policy " << ex << " permit node 10\n";
+      os << " bgp peer " << peer << " AS " << (3000 + p) << " import " << im
+         << " export " << ex;
+      if (p != stripped_session) os << " advertise-community";
+      os << "\n";
+      ++d.links;
+    }
+  }
+  d.config_text = os.str();
+  d.nodes = routers.size();
+  d.peers = static_cast<std::size_t>(num_peers);
+  d.prefixes = count_prefixes(d.config_text);
+  d.config_lines = count_lines(d.config_text);
+  return d;
+}
+
+}  // namespace expresso::gen

@@ -1,0 +1,90 @@
+// Synthetic dataset generators standing in for the paper's proprietary
+// configuration snapshots (see DESIGN.md section 1 for the substitution
+// argument).  Both generators emit configuration *text*, which callers parse
+// through the normal pipeline, and a manifest of deliberately planted
+// misconfigurations so tests can assert the verifier finds exactly the bug
+// classes the paper reports (section 7.1, Violations 1-3; section 3.2).
+//
+// CSP WAN shape (figure 5): one WAN AS; per region, peering routers (PR)
+// that talk eBGP to external ISPs, route reflectors (RR) with the PRs and
+// datacenter routers as clients, and private-AS datacenter routers (DR)
+// originating internal prefixes.  Regional RRs form the global mesh.
+// Best-practice policies: PR imports deny the internal address space, tag
+// routes with a per-peer community and set a local preference tier; PR
+// exports deny routes carrying any peer community (no free transit).
+//
+// Internet2 shape: 10 backbone routers, one AS, iBGP full mesh, hundreds of
+// external peers, and the Bagpipe BlockToExternal convention: routes tagged
+// with the BTE community must never be exported to a neighbor.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "config/ast.hpp"
+#include "net/community.hpp"
+#include "properties/analyzer.hpp"
+
+namespace expresso::gen {
+
+struct RegionSpec {
+  std::string name = "region";
+  int num_pr = 4;        // peering routers
+  int num_rr = 2;        // route reflectors
+  int num_dr = 2;        // datacenter routers
+  int num_peers = 10;    // external neighbors
+  int num_prefixes = 200;  // internal prefixes originated by the DRs
+  // Planted misconfigurations.
+  int leaks_missing_deny = 0;          // export policy without the no-transit deny
+  int leaks_missing_adv_comm = 0;      // PR->RR session without advertise-community
+  int hijacks_unfiltered_iface = 0;    // redistributed /31 missing from deny lists
+  int traffic_hijack_default = 0;      // static default + RR export deny (fig 5c)
+};
+
+struct PlantedViolation {
+  properties::Property kind;
+  std::string node;         // router carrying the misconfiguration
+  std::string description;
+};
+
+struct Dataset {
+  std::string name;
+  std::string config_text;
+  std::vector<PlantedViolation> planted;
+  // Table 1 statistics.
+  std::size_t nodes = 0;       // internal routers
+  std::size_t links = 0;       // sessions (undirected)
+  std::size_t peers = 0;       // external neighbors
+  std::size_t prefixes = 0;    // distinct prefixes mentioned
+  std::size_t config_lines = 0;
+};
+
+// One region.  `region_index` offsets names/address blocks so regions can be
+// combined into a full-WAN snapshot.
+Dataset make_region(const RegionSpec& spec, int region_index,
+                    std::uint64_t seed);
+
+enum class Snapshot { kOld, kNew };
+
+// Per-region specs matching Table 1's order-of-magnitude statistics; the
+// returned vector has 4 entries for kOld (region1..region4).
+std::vector<RegionSpec> csp_region_specs(Snapshot snap);
+
+// The full WAN snapshot: all regions plus the global RR mesh.  `peer_limit`
+// (>0) keeps only the first N external neighbors — the paper's "randomly
+// choose 10 external neighbors" methodology for figure 6(c)/Table 3 and the
+// figure 6(a) neighbor sweep.
+Dataset make_csp_wan(Snapshot snap, std::uint64_t seed, int peer_limit = 0);
+
+// Internet2-like snapshot: `num_peers` neighbors (paper: Expresso recognized
+// 266) and exactly 4 reachable BTE-export violations, plus one
+// policy-permits-but-session-strips case that policy-local checkers
+// (Bagpipe-style) report as a 5th.
+Dataset make_internet2(std::uint64_t seed, int num_peers = 266,
+                       int num_prefixes = 1000);
+
+// The BTE community used by the Internet2 generator.
+net::Community internet2_bte();
+
+}  // namespace expresso::gen

@@ -1,0 +1,92 @@
+#include "net/community.hpp"
+
+#include <cctype>
+#include <cstdio>
+#include <sstream>
+
+namespace expresso::net {
+
+std::optional<Community> Community::parse(const std::string& text) {
+  unsigned hi = 0, lo = 0;
+  char extra = 0;
+  if (std::sscanf(text.c_str(), "%u:%u%c", &hi, &lo, &extra) != 2 ||
+      hi > 0xffff || lo > 0xffff) {
+    return std::nullopt;
+  }
+  return Community{static_cast<std::uint16_t>(hi),
+                   static_cast<std::uint16_t>(lo)};
+}
+
+std::string Community::to_string() const {
+  std::ostringstream os;
+  os << high << ":" << low;
+  return os.str();
+}
+
+std::optional<CommunityMatcher> CommunityMatcher::parse(
+    const std::string& pattern) {
+  // Validate the pattern: HIGH ':' LOWPAT where HIGH is digits and LOWPAT is
+  // a sequence of digits, '*', or single "[a-b]" digit classes.
+  const auto colon = pattern.find(':');
+  if (colon == std::string::npos || colon == 0) return std::nullopt;
+  for (std::size_t i = 0; i < colon; ++i) {
+    if (!std::isdigit(static_cast<unsigned char>(pattern[i]))) {
+      return std::nullopt;
+    }
+  }
+  std::size_t i = colon + 1;
+  if (i >= pattern.size()) return std::nullopt;
+  while (i < pattern.size()) {
+    const char c = pattern[i];
+    if (std::isdigit(static_cast<unsigned char>(c)) || c == '*') {
+      ++i;
+    } else if (c == '[') {
+      if (i + 4 >= pattern.size() || pattern[i + 2] != '-' ||
+          pattern[i + 4] != ']' ||
+          !std::isdigit(static_cast<unsigned char>(pattern[i + 1])) ||
+          !std::isdigit(static_cast<unsigned char>(pattern[i + 3]))) {
+        return std::nullopt;
+      }
+      i += 5;
+    } else {
+      return std::nullopt;
+    }
+  }
+  return CommunityMatcher(pattern);
+}
+
+namespace {
+// Matches `text` against the low-part pattern starting at `pi`.
+bool match_low(const std::string& pat, std::size_t pi, const std::string& text,
+               std::size_t ti) {
+  while (pi < pat.size()) {
+    const char c = pat[pi];
+    if (c == '*') {
+      // '*' consumes the remainder (only one '*' makes sense in practice).
+      return true;
+    }
+    if (c == '[') {
+      if (ti >= text.size()) return false;
+      const char lo = pat[pi + 1];
+      const char hi = pat[pi + 3];
+      if (text[ti] < lo || text[ti] > hi) return false;
+      pi += 5;
+      ++ti;
+      continue;
+    }
+    if (ti >= text.size() || text[ti] != c) return false;
+    ++pi;
+    ++ti;
+  }
+  return ti == text.size();
+}
+}  // namespace
+
+bool CommunityMatcher::matches(const Community& c) const {
+  const auto colon = pattern_.find(':');
+  const std::string hi = std::to_string(c.high);
+  if (pattern_.compare(0, colon, hi) != 0) return false;
+  return match_low(pattern_, colon + 1, std::to_string(c.low), 0);
+}
+
+}  // namespace expresso::net

@@ -1,0 +1,43 @@
+// BGP communities and community matchers.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace expresso::net {
+
+// A standard 32-bit BGP community written "high:low".
+struct Community {
+  std::uint16_t high = 0;
+  std::uint16_t low = 0;
+
+  static std::optional<Community> parse(const std::string& text);
+  std::string to_string() const;
+  auto operator<=>(const Community&) const = default;
+};
+
+// A community matcher as it appears in `if-match community`:
+//   "300:100"      exact
+//   "300:*"        any low part
+//   "300:[1-9]00"  a digit class in the low part (the paper's own example)
+// The pattern is matched against the community's textual form.
+class CommunityMatcher {
+ public:
+  static std::optional<CommunityMatcher> parse(const std::string& pattern);
+
+  bool matches(const Community& c) const;
+  const std::string& pattern() const { return pattern_; }
+
+  bool operator==(const CommunityMatcher& other) const {
+    return pattern_ == other.pattern_;
+  }
+
+ private:
+  explicit CommunityMatcher(std::string pattern)
+      : pattern_(std::move(pattern)) {}
+
+  std::string pattern_;
+};
+
+}  // namespace expresso::net

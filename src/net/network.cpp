@@ -1,0 +1,116 @@
+#include "net/network.hpp"
+
+#include <set>
+#include <stdexcept>
+
+namespace expresso::net {
+
+Network Network::build(std::vector<config::RouterConfig> configs) {
+  Network net;
+  net.configs_ = std::move(configs);
+
+  std::map<std::string, NodeIndex> index;
+  // Internal routers first.
+  for (std::uint32_t ci = 0; ci < net.configs_.size(); ++ci) {
+    const auto& cfg = net.configs_[ci];
+    if (cfg.name.empty()) {
+      throw std::runtime_error("router without a name");
+    }
+    if (index.count(cfg.name)) {
+      throw std::runtime_error("duplicate router name: " + cfg.name);
+    }
+    Node n;
+    n.name = cfg.name;
+    n.asn = cfg.asn;
+    n.external = false;
+    n.config_index = ci;
+    const NodeIndex id = static_cast<NodeIndex>(net.nodes_.size());
+    index.emplace(cfg.name, id);
+    net.nodes_.push_back(std::move(n));
+    net.internal_.push_back(id);
+  }
+  net.num_internal_ = static_cast<std::uint32_t>(net.internal_.size());
+
+  // External neighbors: peer names that are not configured routers.  One
+  // node per distinct name even when it peers at multiple routers.
+  for (const auto& cfg : net.configs_) {
+    for (const auto& p : cfg.peers) {
+      if (index.count(p.peer)) continue;
+      Node n;
+      n.name = p.peer;
+      n.asn = p.peer_as;
+      n.external = true;
+      n.external_index = net.num_external_++;
+      const NodeIndex id = static_cast<NodeIndex>(net.nodes_.size());
+      index.emplace(p.peer, id);
+      net.nodes_.push_back(std::move(n));
+      net.external_.push_back(id);
+    }
+  }
+
+  // Directed edges.  For each internal router u with a peer statement for v:
+  //   u -> v carries u's statement as export side,
+  //   v -> u carries u's statement as import side.
+  // Deduplicate: when both ends configure the session, each direction gets
+  // both statements.
+  std::set<std::pair<NodeIndex, NodeIndex>> seen;
+  auto add_edge = [&](NodeIndex from, NodeIndex to,
+                      const config::PeerStmt* exp,
+                      const config::PeerStmt* imp) {
+    const auto key = std::make_pair(from, to);
+    if (seen.count(key)) return;
+    seen.insert(key);
+    SessionEdge e;
+    e.from = from;
+    e.to = to;
+    e.ebgp = net.nodes_[from].asn != net.nodes_[to].asn;
+    e.export_stmt = exp;
+    e.import_stmt = imp;
+    net.edges_.push_back(e);
+  };
+
+  for (std::uint32_t ci = 0; ci < net.configs_.size(); ++ci) {
+    const auto& cfg = net.configs_[ci];
+    const NodeIndex u = index.at(cfg.name);
+    for (const auto& p : cfg.peers) {
+      const NodeIndex v = index.at(p.peer);
+      // The reverse statement, if the peer also configures the session.
+      const config::PeerStmt* reverse = nullptr;
+      if (!net.nodes_[v].external) {
+        reverse = net.configs_[net.nodes_[v].config_index].find_peer(cfg.name);
+      }
+      add_edge(u, v, &p, reverse);
+      add_edge(v, u, reverse, &p);
+    }
+  }
+
+  net.in_edges_.resize(net.nodes_.size());
+  net.out_edges_.resize(net.nodes_.size());
+  for (std::uint32_t ei = 0; ei < net.edges_.size(); ++ei) {
+    net.in_edges_[net.edges_[ei].to].push_back(ei);
+    net.out_edges_[net.edges_[ei].from].push_back(ei);
+  }
+  return net;
+}
+
+std::optional<NodeIndex> Network::find(const std::string& name) const {
+  for (NodeIndex i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i].name == name) return i;
+  }
+  return std::nullopt;
+}
+
+std::vector<Ipv4Prefix> Network::internal_prefixes() const {
+  std::set<Ipv4Prefix> out;
+  for (const auto& cfg : configs_) {
+    for (const auto& p : cfg.networks) out.insert(p);
+    for (const auto& p : cfg.aggregates) out.insert(p);
+    for (const auto& p : cfg.connected) out.insert(p);
+    if (cfg.redistribute_static) {
+      for (const auto& s : cfg.statics) out.insert(s.prefix);
+    }
+  }
+  return {out.begin(), out.end()};
+}
+
+}  // namespace expresso::net

@@ -1,0 +1,89 @@
+// Network assembly: turns a set of parsed router configurations into the
+// verification topology — internal routers, external neighbor nodes (one per
+// peer *name*, so a neighbor peering at several PoPs is a single advertiser
+// with a single n_i variable, as in the paper's CDN example), and directed
+// BGP sessions.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "config/ast.hpp"
+#include "net/prefix.hpp"
+
+namespace expresso::net {
+
+using NodeIndex = std::uint32_t;
+
+struct Node {
+  std::string name;
+  std::uint32_t asn = 0;
+  bool external = false;
+  // Index into Network::configs_ for internal nodes; unused for externals.
+  std::uint32_t config_index = 0;
+  // Index among external nodes (the advertiser variable index n_i);
+  // unused for internal nodes.
+  std::uint32_t external_index = 0;
+};
+
+// A directed session edge u -> v: u exports, v imports.
+struct SessionEdge {
+  NodeIndex from = 0;
+  NodeIndex to = 0;
+  bool ebgp = false;
+  // `from`'s peer statement for `to` (null when `from` is external).
+  const config::PeerStmt* export_stmt = nullptr;
+  // `to`'s peer statement for `from` (null when `to` is external).
+  const config::PeerStmt* import_stmt = nullptr;
+};
+
+class Network {
+ public:
+  // Builds the topology.  Throws std::runtime_error on unnamed routers or
+  // duplicate router names.
+  static Network build(std::vector<config::RouterConfig> configs);
+
+  const std::vector<Node>& nodes() const { return nodes_; }
+  const Node& node(NodeIndex i) const { return nodes_[i]; }
+  std::optional<NodeIndex> find(const std::string& name) const;
+
+  const config::RouterConfig& config_of(NodeIndex i) const {
+    return configs_[nodes_[i].config_index];
+  }
+  const std::vector<config::RouterConfig>& configs() const { return configs_; }
+
+  std::uint32_t num_internal() const { return num_internal_; }
+  std::uint32_t num_external() const { return num_external_; }
+  const std::vector<NodeIndex>& internal_nodes() const { return internal_; }
+  const std::vector<NodeIndex>& external_nodes() const { return external_; }
+
+  // All session edges, and per-node incoming edge lists (edges whose `to` is
+  // the node) — the shape EPVP iterates over.
+  const std::vector<SessionEdge>& edges() const { return edges_; }
+  const std::vector<std::vector<std::uint32_t>>& in_edges() const {
+    return in_edges_;
+  }
+  const std::vector<std::vector<std::uint32_t>>& out_edges() const {
+    return out_edges_;
+  }
+
+  // Prefixes the network itself originates (bgp network + connected +
+  // redistributed statics) — the paper's P_I.
+  std::vector<Ipv4Prefix> internal_prefixes() const;
+
+ private:
+  std::vector<config::RouterConfig> configs_;
+  std::vector<Node> nodes_;
+  std::vector<NodeIndex> internal_;
+  std::vector<NodeIndex> external_;
+  std::uint32_t num_internal_ = 0;
+  std::uint32_t num_external_ = 0;
+  std::vector<SessionEdge> edges_;
+  std::vector<std::vector<std::uint32_t>> in_edges_;
+  std::vector<std::vector<std::uint32_t>> out_edges_;
+};
+
+}  // namespace expresso::net

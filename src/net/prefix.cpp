@@ -1,0 +1,44 @@
+#include "net/prefix.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+namespace expresso::net {
+
+Ipv4Prefix Ipv4Prefix::make(std::uint32_t addr, std::uint8_t len) {
+  Ipv4Prefix p{addr, len};
+  p.addr &= p.mask();
+  return p;
+}
+
+std::optional<Ipv4Prefix> Ipv4Prefix::parse(const std::string& text) {
+  unsigned a = 0, b = 0, c = 0, d = 0, len = 0;
+  char extra = 0;
+  const int n = std::sscanf(text.c_str(), "%u.%u.%u.%u/%u%c", &a, &b, &c, &d,
+                            &len, &extra);
+  if (n != 5 || a > 255 || b > 255 || c > 255 || d > 255 || len > 32) {
+    return std::nullopt;
+  }
+  const std::uint32_t addr = (a << 24) | (b << 16) | (c << 8) | d;
+  return make(addr, static_cast<std::uint8_t>(len));
+}
+
+std::string Ipv4Prefix::to_string() const {
+  std::ostringstream os;
+  os << ((addr >> 24) & 0xff) << "." << ((addr >> 16) & 0xff) << "."
+     << ((addr >> 8) & 0xff) << "." << (addr & 0xff) << "/"
+     << static_cast<unsigned>(len);
+  return os.str();
+}
+
+std::string PrefixMatch::to_string() const {
+  std::ostringstream os;
+  os << base.to_string();
+  if (!(ge == base.len && le == base.len)) {
+    os << " ge " << static_cast<unsigned>(ge) << " le "
+       << static_cast<unsigned>(le);
+  }
+  return os.str();
+}
+
+}  // namespace expresso::net

@@ -1,0 +1,59 @@
+// IPv4 prefixes and prefix-set matchers.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace expresso::net {
+
+// A canonical IPv4 prefix: host bits beyond `len` are always zero.
+struct Ipv4Prefix {
+  std::uint32_t addr = 0;  // network byte order folded into a host u32
+  std::uint8_t len = 0;    // 0..32
+
+  static Ipv4Prefix make(std::uint32_t addr, std::uint8_t len);
+  // Parses "10.1.0.0/16"; returns nullopt on malformed input.
+  static std::optional<Ipv4Prefix> parse(const std::string& text);
+
+  std::uint32_t mask() const {
+    return len == 0 ? 0u : (0xffffffffu << (32 - len));
+  }
+  // True if `other` is equal to or more specific than this prefix.
+  bool contains(const Ipv4Prefix& other) const {
+    return other.len >= len && ((other.addr ^ addr) & mask()) == 0;
+  }
+  bool contains_addr(std::uint32_t ip) const {
+    return ((ip ^ addr) & mask()) == 0;
+  }
+
+  std::string to_string() const;
+
+  auto operator<=>(const Ipv4Prefix&) const = default;
+};
+
+// A prefix-list entry as written in `if-match prefix` / deny lists:
+// a base prefix plus an optional ge/le length window, e.g.
+// "10.0.0.0/16 ge 24 le 32" matches sub-prefixes of 10.0.0.0/16 whose
+// length is within [24, 32].  Without ge/le it matches exactly the prefix.
+struct PrefixMatch {
+  Ipv4Prefix base;
+  std::uint8_t ge = 0;  // 0 => exact-length match
+  std::uint8_t le = 0;
+
+  static PrefixMatch exact(Ipv4Prefix p) { return {p, p.len, p.len}; }
+  static PrefixMatch range(Ipv4Prefix p, std::uint8_t ge, std::uint8_t le) {
+    return {p, ge, le};
+  }
+
+  bool matches(const Ipv4Prefix& p) const {
+    return base.contains(p) && p.len >= ge && p.len <= le;
+  }
+
+  std::string to_string() const;
+
+  auto operator<=>(const PrefixMatch&) const = default;
+};
+
+}  // namespace expresso::net

@@ -1,0 +1,132 @@
+#include "policy/transfer.hpp"
+
+#include <deque>
+
+namespace expresso::policy {
+
+using symbolic::SymbolicRoute;
+
+CompiledPolicy compile_policy(const config::RoutePolicy& policy,
+                              symbolic::Encoding& enc,
+                              const symbolic::CommunityAtomizer& atomizer,
+                              const automaton::AsAlphabet& alphabet) {
+  CompiledPolicy out;
+  for (const auto& clause : policy) {
+    CompiledClause cc;
+    cc.permit = clause.permit;
+    if (!clause.match_prefixes.empty()) {
+      bdd::NodeId pred = bdd::kFalse;
+      for (const auto& pm : clause.match_prefixes) {
+        pred = enc.mgr().or_(pred, enc.prefix_match(pm));
+      }
+      cc.prefix_pred = pred;
+    }
+    if (!clause.match_communities.empty()) {
+      cc.has_comm_match = true;
+      for (const auto& m : clause.match_communities) {
+        const auto atoms = atomizer.atoms_of(m);
+        cc.comm_atoms.insert(cc.comm_atoms.end(), atoms.begin(), atoms.end());
+      }
+    }
+    if (clause.match_as_path) {
+      cc.asp = automaton::compile_regex(*clause.match_as_path, alphabet);
+    }
+    cc.set_local_pref = clause.set_local_preference;
+    for (const auto& c : clause.add_communities) {
+      cc.add_atoms.push_back(atomizer.atom_of(c));
+    }
+    for (const auto& c : clause.delete_communities) {
+      cc.del_atoms.push_back(atomizer.atom_of(c));
+    }
+    if (clause.prepend_as) {
+      cc.prepend_symbol = alphabet.symbol_for(*clause.prepend_as);
+    }
+    out.clauses.push_back(std::move(cc));
+  }
+  return out;
+}
+
+namespace {
+
+// Applies a permit clause's actions to the matched sub-route.
+SymbolicRoute apply_actions(const CompiledClause& cc, SymbolicRoute r,
+                            symbolic::Encoding& enc) {
+  if (cc.set_local_pref) r.attrs.local_pref = *cc.set_local_pref;
+  for (std::uint32_t a : cc.add_atoms) {
+    r.attrs.comm = r.attrs.comm.with_atom(enc, a);
+  }
+  for (std::uint32_t a : cc.del_atoms) {
+    r.attrs.comm = r.attrs.comm.without_atom(enc, a);
+  }
+  if (cc.prepend_symbol) {
+    r.attrs.aspath = r.attrs.aspath.prepend(*cc.prepend_symbol);
+  }
+  return r;
+}
+
+}  // namespace
+
+std::vector<SymbolicRoute> apply_policy(const CompiledPolicy& policy,
+                                        const SymbolicRoute& route,
+                                        symbolic::Encoding& enc) {
+  std::vector<SymbolicRoute> permitted;
+  // Work items: (clause index to try next, residual route).
+  struct Item {
+    std::size_t clause;
+    SymbolicRoute r;
+  };
+  std::deque<Item> work;
+  work.push_back({0, route});
+
+  while (!work.empty()) {
+    Item item = std::move(work.front());
+    work.pop_front();
+    if (item.r.vacuous()) continue;
+    if (item.clause >= policy.clauses.size()) {
+      continue;  // fell through every clause: default deny
+    }
+    const CompiledClause& cc = policy.clauses[item.clause];
+    const SymbolicRoute& r = item.r;
+
+    // --- matched portion ----------------------------------------------------
+    SymbolicRoute m = r;
+    m.d = enc.mgr().and_(r.d, cc.prefix_pred);
+    if (cc.has_comm_match) {
+      m.attrs.comm = r.attrs.comm.matching_any(enc, cc.comm_atoms);
+    }
+    if (cc.asp) {
+      m.attrs.aspath = r.attrs.aspath.filter(*cc.asp);
+    }
+    if (!m.vacuous() && cc.permit) {
+      permitted.push_back(apply_actions(cc, m, enc));
+    }
+
+    // --- residuals (disjoint cover of the unmatched remainder) --------------
+    // 1. Prefix region outside the clause's prefix predicate.
+    if (cc.prefix_pred != bdd::kTrue) {
+      SymbolicRoute r1 = r;
+      r1.d = enc.mgr().diff(r.d, cc.prefix_pred);
+      if (!r1.vacuous()) work.push_back({item.clause + 1, std::move(r1)});
+    }
+    // 2. Prefix matched but community list contains none of the atoms.
+    if (cc.has_comm_match) {
+      SymbolicRoute r2 = r;
+      r2.d = m.d;
+      r2.attrs.comm = r.attrs.comm.matching_none(enc, cc.comm_atoms);
+      if (!r2.vacuous()) work.push_back({item.clause + 1, std::move(r2)});
+    }
+    // 3. Prefix and community matched but AS path outside the regex.
+    if (cc.asp) {
+      SymbolicRoute r3 = r;
+      r3.d = m.d;
+      if (cc.has_comm_match) {
+        r3.attrs.comm = r.attrs.comm.matching_any(enc, cc.comm_atoms);
+      }
+      r3.attrs.aspath = r.attrs.aspath.filter(cc.asp->complement());
+      if (!r3.vacuous()) work.push_back({item.clause + 1, std::move(r3)});
+    }
+  }
+  return permitted;
+}
+
+}  // namespace expresso::policy

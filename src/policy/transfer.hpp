@@ -1,0 +1,63 @@
+// Compilation and application of route policies to symbolic routes.
+//
+// A route-policy is compiled once per router into an ordered clause list.
+// Application implements the unambiguous transfer-function semantics of the
+// paper's equation (4) / Appendix B Algorithm 2: a symbolic route is split
+// into the part matched by each clause (transformed by the clause's actions
+// if it permits) and the residual that falls through to later clauses; a
+// residual surviving every clause is denied (Algorithm 2's default deny).
+//
+// Rather than materializing the product predicates α_i over the combined
+// (prefix ⨯ community ⨯ AS-path) domain, application subtracts each clause's
+// match from the residual dimension-by-dimension, which yields exactly the
+// complete and non-overlapping split of equations (6)–(7).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "automaton/regex.hpp"
+#include "config/ast.hpp"
+#include "symbolic/community_set.hpp"
+#include "symbolic/encoding.hpp"
+#include "symbolic/route.hpp"
+
+namespace expresso::policy {
+
+struct CompiledClause {
+  bool permit = true;
+  // Prefix condition over address + length variables (True when the clause
+  // has no prefix match).
+  bdd::NodeId prefix_pred = bdd::kTrue;
+  // Community condition: matched when the list contains any of these atoms.
+  bool has_comm_match = false;
+  std::vector<std::uint32_t> comm_atoms;
+  // AS-path condition (nullopt when absent).
+  std::optional<automaton::Dfa> asp;
+
+  // Actions (permit clauses).
+  std::optional<std::uint32_t> set_local_pref;
+  std::vector<std::uint32_t> add_atoms;
+  std::vector<std::uint32_t> del_atoms;
+  std::optional<automaton::Symbol> prepend_symbol;
+};
+
+struct CompiledPolicy {
+  std::vector<CompiledClause> clauses;
+};
+
+// Compiles a policy AST.  The clause order follows the AST order (the
+// parser preserves file order), matching first-match semantics.
+CompiledPolicy compile_policy(const config::RoutePolicy& policy,
+                              symbolic::Encoding& enc,
+                              const symbolic::CommunityAtomizer& atomizer,
+                              const automaton::AsAlphabet& alphabet);
+
+// Applies a compiled policy to one symbolic route; the result is the set of
+// permitted transformed routes (equation (4)).  Propagation metadata
+// (next_hop, originator, prop_path, learned) is carried through unchanged.
+std::vector<symbolic::SymbolicRoute> apply_policy(
+    const CompiledPolicy& policy, const symbolic::SymbolicRoute& route,
+    symbolic::Encoding& enc);
+
+}  // namespace expresso::policy

@@ -1,0 +1,264 @@
+#include "properties/analyzer.hpp"
+
+#include <sstream>
+
+namespace expresso::properties {
+
+using dataplane::FinalState;
+using dataplane::Pec;
+using net::NodeIndex;
+using symbolic::SymbolicRoute;
+
+const char* to_string(Property p) {
+  switch (p) {
+    case Property::kRouteLeakFree: return "RouteLeakFree";
+    case Property::kRouteHijackFree: return "RouteHijackFree";
+    case Property::kTrafficHijackFree: return "TrafficHijackFree";
+    case Property::kBlockToExternal: return "BlockToExternal";
+    case Property::kEgressPreference: return "EgressPreference";
+    case Property::kBlackholeFree: return "BlackholeFree";
+    case Property::kLoopFree: return "LoopFree";
+  }
+  return "?";
+}
+
+std::vector<Violation> Analyzer::route_leak_free() {
+  std::vector<Violation> out;
+  const auto& net = engine_.network();
+  for (NodeIndex u : net.external_nodes()) {
+    for (const auto& r : engine_.external_rib(u)) {
+      const auto& org = net.node(r.attrs.originator);
+      if (!org.external || r.attrs.originator == u) continue;
+      Violation v;
+      v.property = Property::kRouteLeakFree;
+      v.node = u;
+      v.condition = engine_.encoding().cond(r.d);
+      v.path = r.prop_path;
+      v.detail = "route of " + org.name + " leaked to " + net.node(u).name;
+      out.push_back(std::move(v));
+    }
+  }
+  return out;
+}
+
+std::vector<Violation> Analyzer::route_hijack_free() {
+  std::vector<Violation> out;
+  const auto& net = engine_.network();
+  auto& enc = engine_.encoding();
+  auto& mgr = enc.mgr();
+
+  bdd::NodeId internal = bdd::kFalse;
+  for (const auto& p : net.internal_prefixes()) {
+    internal = mgr.or_(internal, enc.prefix_exact(p));
+  }
+
+  for (NodeIndex u : net.internal_nodes()) {
+    for (const auto& r : engine_.rib(u)) {
+      if (!net.node(r.attrs.originator).external) continue;
+      const bdd::NodeId overlap = mgr.and_(r.d, internal);
+      if (overlap == bdd::kFalse) continue;
+      Violation v;
+      v.property = Property::kRouteHijackFree;
+      v.node = u;
+      v.condition = enc.cond(overlap);
+      v.path = r.prop_path;
+      v.detail = "external route from " + net.node(r.attrs.originator).name +
+                 " is best for an internal prefix at " + net.node(u).name;
+      out.push_back(std::move(v));
+    }
+  }
+  return out;
+}
+
+std::vector<Violation> Analyzer::block_to_external(const net::Community& bte) {
+  std::vector<Violation> out;
+  const auto& net = engine_.network();
+  const auto atom = engine_.atom_of(bte);
+  if (!atom) return out;
+  for (NodeIndex u : net.external_nodes()) {
+    for (const auto& r : engine_.external_rib(u)) {
+      if (!r.attrs.comm.may_contain(engine_.encoding(), *atom)) continue;
+      Violation v;
+      v.property = Property::kBlockToExternal;
+      v.node = u;
+      v.condition = engine_.encoding().cond(r.d);
+      v.path = r.prop_path;
+      v.detail = "route tagged " + bte.to_string() + " exported to " +
+                 net.node(u).name;
+      out.push_back(std::move(v));
+    }
+  }
+  return out;
+}
+
+bdd::NodeId Analyzer::internal_dest_predicate() {
+  auto& enc = engine_.encoding();
+  bdd::NodeId f = bdd::kFalse;
+  for (const auto& p : engine_.network().internal_prefixes()) {
+    f = enc.mgr().or_(f, enc.addr_in(p));
+  }
+  return f;
+}
+
+std::vector<Violation> Analyzer::traffic_hijack_free(
+    const std::vector<Pec>& pecs) {
+  std::vector<Violation> out;
+  const auto& net = engine_.network();
+  auto& mgr = engine_.encoding().mgr();
+  const bdd::NodeId internal = internal_dest_predicate();
+  for (const auto& pec : pecs) {
+    if (pec.state != FinalState::kExit) continue;
+    if (pec.path.empty() || net.node(pec.path.front()).external) continue;
+    const bdd::NodeId bad = mgr.and_(pec.pkt, internal);
+    if (bad == bdd::kFalse) continue;
+    Violation v;
+    v.property = Property::kTrafficHijackFree;
+    v.node = pec.path.front();
+    v.condition = bad;
+    v.path = pec.path;
+    v.detail = "internal traffic from " + net.node(pec.path.front()).name +
+               " exits via " + net.node(pec.path.back()).name;
+    out.push_back(std::move(v));
+  }
+  return out;
+}
+
+std::vector<Violation> Analyzer::blackhole_free(
+    const std::vector<Pec>& pecs,
+    const std::vector<net::Ipv4Prefix>& prefixes) {
+  std::vector<Violation> out;
+  auto& enc = engine_.encoding();
+  auto& mgr = enc.mgr();
+  bdd::NodeId scope = bdd::kFalse;
+  for (const auto& p : prefixes) scope = mgr.or_(scope, enc.addr_in(p));
+  for (const auto& pec : pecs) {
+    if (pec.state != FinalState::kBlackhole) continue;
+    const bdd::NodeId bad = mgr.and_(pec.pkt, scope);
+    if (bad == bdd::kFalse) continue;
+    Violation v;
+    v.property = Property::kBlackholeFree;
+    v.node = pec.path.back();
+    v.condition = bad;
+    v.path = pec.path;
+    v.detail = "packets dropped at " +
+               engine_.network().node(pec.path.back()).name;
+    out.push_back(std::move(v));
+  }
+  return out;
+}
+
+std::vector<Violation> Analyzer::loop_free(const std::vector<Pec>& pecs) {
+  std::vector<Violation> out;
+  for (const auto& pec : pecs) {
+    if (pec.state != FinalState::kLoop) continue;
+    Violation v;
+    v.property = Property::kLoopFree;
+    v.node = pec.path.front();
+    v.condition = pec.pkt;
+    v.path = pec.path;
+    v.detail = "forwarding loop";
+    out.push_back(std::move(v));
+  }
+  return out;
+}
+
+std::vector<Violation> Analyzer::egress_preference(
+    const std::vector<Pec>& pecs, NodeIndex node, const net::Ipv4Prefix& d,
+    const std::vector<NodeIndex>& order) {
+  std::vector<Violation> out;
+  auto& enc = engine_.encoding();
+  auto& mgr = enc.mgr();
+  const bdd::NodeId dest = enc.addr_in(d);
+
+  // cond_i = Cond(∨ {pec.pkt ∧ dest : pec from `node` exits at order[i]}).
+  std::vector<bdd::NodeId> cond(order.size(), bdd::kFalse);
+  for (const auto& pec : pecs) {
+    if (pec.state != FinalState::kExit) continue;
+    if (pec.path.empty() || pec.path.front() != node) continue;
+    for (std::size_t i = 0; i < order.size(); ++i) {
+      if (pec.path.back() != order[i]) continue;
+      cond[i] = mgr.or_(cond[i],
+                        mgr.exists(mgr.and_(pec.pkt, dest), enc.addr_vars()));
+    }
+  }
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    for (std::size_t j = i + 1; j < order.size(); ++j) {
+      const bdd::NodeId bad = mgr.and_(cond[i], cond[j]);
+      if (bad == bdd::kFalse) continue;
+      Violation v;
+      v.property = Property::kEgressPreference;
+      v.node = node;
+      v.condition = bad;
+      v.path = {node, order[j]};
+      v.detail = "traffic for " + d.to_string() + " exits via " +
+                 engine_.network().node(order[j]).name +
+                 " although preferred egress " +
+                 engine_.network().node(order[i]).name + " is available";
+      out.push_back(std::move(v));
+    }
+  }
+  return out;
+}
+
+std::string Analyzer::describe(const Violation& v) {
+  const auto& net = engine_.network();
+  auto& enc = engine_.encoding();
+  std::ostringstream os;
+  os << to_string(v.property) << " violation at " << net.node(v.node).name
+     << ": " << v.detail;
+  if (!v.path.empty()) {
+    os << "\n  path: ";
+    for (std::size_t i = 0; i < v.path.size(); ++i) {
+      if (i) os << " -> ";
+      os << net.node(v.path[i]).name;
+    }
+  }
+
+  // Decode one witness environment into a human-readable description.
+  std::vector<std::int8_t> a;
+  if (v.condition == bdd::kFalse || !enc.mgr().sat_one(v.condition, a)) {
+    return os.str();
+  }
+  // Destination address / prefix bits, if the condition constrains them.
+  std::uint32_t addr = 0;
+  bool addr_constrained = false;
+  for (std::uint32_t bit = 0; bit < 32; ++bit) {
+    if (a[enc.addr_var(bit)] == 1) addr |= 1u << (31 - bit);
+    addr_constrained = addr_constrained || a[enc.addr_var(bit)] >= 0;
+  }
+  os << "\n  witness:";
+  if (addr_constrained) {
+    os << " destination " << net::Ipv4Prefix::make(addr, 32).to_string();
+  }
+  // Neighbor behaviour: control-plane n_i and data-plane n_i^j variables.
+  auto nbr_name = [&](std::uint32_t i) {
+    return net.node(net.external_nodes()[i]).name;
+  };
+  std::vector<std::string> advertises, withholds;
+  for (std::uint32_t i = 0; i < enc.num_neighbors(); ++i) {
+    if (a[enc.adv_var(i)] == 1) {
+      advertises.push_back(nbr_name(i) + " advertises the prefix");
+    } else if (a[enc.adv_var(i)] == 0) {
+      withholds.push_back(nbr_name(i) + " does not advertise the prefix");
+    }
+  }
+  for (const auto& [key, var] : enc.dp_var_map()) {
+    const auto [i, len] = key;
+    if (a[var] == 1) {
+      advertises.push_back(nbr_name(i) + " advertises the covering /" +
+                           std::to_string(len));
+    } else if (a[var] == 0) {
+      withholds.push_back(nbr_name(i) + " withholds the covering /" +
+                          std::to_string(len));
+    }
+  }
+  for (const auto& s : advertises) os << "\n    " << s;
+  // Negative facts are usually numerous; summarize.
+  if (!withholds.empty()) {
+    os << "\n    (" << withholds.size()
+       << " other neighbor/prefix-length advertisements absent)";
+  }
+  return os.str();
+}
+
+}  // namespace expresso::properties

@@ -1,0 +1,83 @@
+// Property analysis (paper section 6).
+//
+// Routing properties are decided on the symbolic RIBs of the SRC stage;
+// forwarding properties on the PECs of the SPF stage.  Every violation
+// carries the advertiser condition under which it manifests, plus a concrete
+// witness environment for the report.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dataplane/forwarding.hpp"
+#include "epvp/engine.hpp"
+
+namespace expresso::properties {
+
+enum class Property {
+  kRouteLeakFree,
+  kRouteHijackFree,
+  kTrafficHijackFree,
+  kBlockToExternal,
+  kEgressPreference,
+  kBlackholeFree,
+  kLoopFree,
+};
+
+const char* to_string(Property p);
+
+struct Violation {
+  Property property;
+  // Node at which the violation is observed (the leaked-to neighbor, the
+  // hijacked router, the PEC's start node, ...).
+  net::NodeIndex node = 0;
+  // Advertiser condition (or data-plane condition for forwarding
+  // properties) under which the violation manifests.
+  bdd::NodeId condition = bdd::kFalse;
+  // Propagation or forwarding path.
+  std::vector<net::NodeIndex> path;
+  std::string detail;
+};
+
+class Analyzer {
+ public:
+  explicit Analyzer(epvp::Engine& engine) : engine_(engine) {}
+
+  // --- routing properties (RIB-level, section 6.1) -------------------------
+  // Routes received by one neighbor must originate inside the network or at
+  // that neighbor itself.
+  std::vector<Violation> route_leak_free();
+  // An internal route for an internal prefix must stay best under every
+  // environment.
+  std::vector<Violation> route_hijack_free();
+  // Routes carrying `bte` must never reach an external neighbor
+  // (Bagpipe's BlockToExternal, section 6.3).
+  std::vector<Violation> block_to_external(const net::Community& bte);
+
+  // --- forwarding properties (PEC-level, sections 6.2 / 6.3) --------------
+  // Traffic from internal nodes towards internal prefixes must not exit.
+  std::vector<Violation> traffic_hijack_free(const std::vector<dataplane::Pec>& pecs);
+  // No PEC may end in a BLACKHOLE for destinations inside `prefixes`.
+  std::vector<Violation> blackhole_free(
+      const std::vector<dataplane::Pec>& pecs,
+      const std::vector<net::Ipv4Prefix>& prefixes);
+  // No PEC may end in a LOOP.
+  std::vector<Violation> loop_free(const std::vector<dataplane::Pec>& pecs);
+  // Traffic from `node` to destination `d` must leave through neighbors in
+  // the given order of preference: if neighbor order[i] can carry it, no
+  // environment may send it through order[j], j > i, while order[i]
+  // advertises (section 6.3).
+  std::vector<Violation> egress_preference(
+      const std::vector<dataplane::Pec>& pecs, net::NodeIndex node,
+      const net::Ipv4Prefix& d, const std::vector<net::NodeIndex>& order);
+
+  // Renders a violation (with a concrete witness environment).
+  std::string describe(const Violation& v);
+
+ private:
+  bdd::NodeId internal_dest_predicate();
+
+  epvp::Engine& engine_;
+};
+
+}  // namespace expresso::properties

@@ -1,0 +1,388 @@
+#include "routing/spvp.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+namespace expresso::routing {
+
+using net::NodeIndex;
+using net::SessionEdge;
+using symbolic::Learned;
+
+int compare_concrete(const ConcreteRoute& a, const ConcreteRoute& b) {
+  if (a.local_pref != b.local_pref) {
+    return a.local_pref > b.local_pref ? 1 : -1;
+  }
+  if (a.as_path.size() != b.as_path.size()) {
+    return a.as_path.size() < b.as_path.size() ? 1 : -1;
+  }
+  if (a.origin != b.origin) return a.origin < b.origin ? 1 : -1;
+  if (a.med != b.med) return a.med < b.med ? 1 : -1;
+  const bool ae = a.learned == Learned::kEbgp || a.learned == Learned::kOrigin;
+  const bool be = b.learned == Learned::kEbgp || b.learned == Learned::kOrigin;
+  if (ae != be) return ae ? 1 : -1;
+  // Router-id style tie-breaks, mirroring symbolic::compare_preference.
+  if (a.originator != b.originator) {
+    return a.originator < b.originator ? 1 : -1;
+  }
+  if (a.next_hop != b.next_hop) return a.next_hop < b.next_hop ? 1 : -1;
+  return 0;
+}
+
+SpvpEngine::SpvpEngine(const net::Network& network) : net_(network) {
+  for (const auto& node : net_.nodes()) alphabet_.intern(node.asn);
+  for (const auto& cfg : net_.configs()) {
+    for (const auto& p : cfg.peers) alphabet_.intern(p.peer_as);
+    for (const auto& [name, pol] : cfg.policies) {
+      (void)name;
+      for (const auto& clause : pol) {
+        if (clause.prepend_as) alphabet_.intern(*clause.prepend_as);
+        if (clause.match_as_path) {
+          std::uint64_t v = 0;
+          bool in_num = false;
+          const std::string& s = *clause.match_as_path;
+          for (std::size_t i = 0; i <= s.size(); ++i) {
+            if (i < s.size() &&
+                std::isdigit(static_cast<unsigned char>(s[i]))) {
+              v = v * 10 + (s[i] - '0');
+              in_num = true;
+            } else {
+              if (in_num) alphabet_.intern(static_cast<std::uint32_t>(v));
+              v = 0;
+              in_num = false;
+            }
+          }
+        }
+      }
+    }
+  }
+  alphabet_.freeze();
+}
+
+bool SpvpEngine::aspath_matches(const std::string& regex,
+                                const std::vector<std::uint32_t>& path) const {
+  auto it = regex_cache_.find(regex);
+  if (it == regex_cache_.end()) {
+    it = regex_cache_.emplace(regex, automaton::compile_regex(regex, alphabet_))
+             .first;
+  }
+  std::vector<automaton::Symbol> word;
+  word.reserve(path.size());
+  for (std::uint32_t asn : path) word.push_back(alphabet_.symbol_for(asn));
+  return it->second.accepts(word);
+}
+
+std::vector<ConcreteRoute> SpvpEngine::apply_policy_ast(
+    const config::RoutePolicy& pol, const ConcreteRoute& r) const {
+  for (const auto& clause : pol) {
+    // All present conditions must hold (first-match semantics).
+    if (!clause.match_prefixes.empty()) {
+      bool any = false;
+      for (const auto& pm : clause.match_prefixes) {
+        any = any || pm.matches(r.prefix);
+      }
+      if (!any) continue;
+    }
+    if (!clause.match_communities.empty()) {
+      bool any = false;
+      for (const auto& m : clause.match_communities) {
+        for (const auto& c : r.comms) any = any || m.matches(c);
+      }
+      if (!any) continue;
+    }
+    if (clause.match_as_path &&
+        !aspath_matches(*clause.match_as_path, r.as_path)) {
+      continue;
+    }
+    if (!clause.permit) return {};
+    ConcreteRoute out = r;
+    if (clause.set_local_preference) {
+      out.local_pref = *clause.set_local_preference;
+    }
+    for (const auto& c : clause.add_communities) out.comms.insert(c);
+    for (const auto& c : clause.delete_communities) out.comms.erase(c);
+    if (clause.prepend_as) {
+      out.as_path.insert(out.as_path.begin(), *clause.prepend_as);
+    }
+    return {out};
+  }
+  return {};  // default deny
+}
+
+std::vector<ConcreteRoute> SpvpEngine::transfer_edge(
+    const SessionEdge& e, const ConcreteRoute& in) const {
+  const auto& from = net_.node(e.from);
+  const auto& to = net_.node(e.to);
+
+  if (!from.external) {
+    if (!e.ebgp) {
+      switch (in.learned) {
+        case Learned::kOrigin:
+        case Learned::kEbgp:
+        case Learned::kIbgpClient:
+          break;
+        case Learned::kIbgp:
+          if (!(e.export_stmt && e.export_stmt->rr_client)) return {};
+          break;
+      }
+    }
+    if (e.export_stmt && e.export_stmt->advertise_default) return {};
+  }
+
+  std::vector<ConcreteRoute> routes{in};
+  if (!from.external && e.export_stmt && e.export_stmt->export_policy) {
+    const auto& cfg = net_.config_of(e.from);
+    auto pit = cfg.policies.find(*e.export_stmt->export_policy);
+    if (pit == cfg.policies.end()) return {};
+    std::vector<ConcreteRoute> out;
+    for (const auto& r : routes) {
+      auto applied = apply_policy_ast(pit->second, r);
+      out.insert(out.end(), applied.begin(), applied.end());
+    }
+    routes = std::move(out);
+  }
+  for (auto& r : routes) {
+    if (e.ebgp && !from.external) {
+      r.as_path.insert(r.as_path.begin(), from.asn);
+    }
+    if (!from.external &&
+        !(e.export_stmt && e.export_stmt->advertise_community)) {
+      r.comms.clear();
+    }
+  }
+
+  if (!to.external) {
+    for (auto& r : routes) {
+      if (e.ebgp) r.local_pref = 100;
+    }
+    if (e.ebgp) {
+      routes.erase(std::remove_if(routes.begin(), routes.end(),
+                                  [&](const ConcreteRoute& r) {
+                                    return std::find(r.as_path.begin(),
+                                                     r.as_path.end(),
+                                                     to.asn) !=
+                                           r.as_path.end();
+                                  }),
+                   routes.end());
+    }
+    if (e.import_stmt && e.import_stmt->import_policy) {
+      const auto& cfg = net_.config_of(e.to);
+      auto pit = cfg.policies.find(*e.import_stmt->import_policy);
+      if (pit == cfg.policies.end()) return {};
+      std::vector<ConcreteRoute> out;
+      for (const auto& r : routes) {
+        auto applied = apply_policy_ast(pit->second, r);
+        out.insert(out.end(), applied.begin(), applied.end());
+      }
+      routes = std::move(out);
+    }
+  }
+
+  const Learned learned =
+      e.ebgp ? Learned::kEbgp
+      : (e.import_stmt && e.import_stmt->rr_client) ? Learned::kIbgpClient
+                                                    : Learned::kIbgp;
+  for (auto& r : routes) {
+    r.learned = learned;
+    r.next_hop = e.from;
+  }
+  return routes;
+}
+
+std::vector<ConcreteRoute> SpvpEngine::merge(
+    std::vector<ConcreteRoute> cands) {
+  // Group by prefix, keep the most preferred set (ECMP) per prefix.
+  std::sort(cands.begin(), cands.end());
+  cands.erase(std::unique(cands.begin(), cands.end()), cands.end());
+  std::vector<ConcreteRoute> out;
+  std::map<net::Ipv4Prefix, std::vector<ConcreteRoute>> by_prefix;
+  for (auto& r : cands) by_prefix[r.prefix].push_back(std::move(r));
+  for (auto& [p, rs] : by_prefix) {
+    (void)p;
+    std::vector<ConcreteRoute> best;
+    for (auto& r : rs) {
+      if (best.empty()) {
+        best.push_back(std::move(r));
+        continue;
+      }
+      const int cmp = compare_concrete(r, best.front());
+      if (cmp > 0) {
+        best.clear();
+        best.push_back(std::move(r));
+      } else if (cmp == 0) {
+        best.push_back(std::move(r));
+      }
+    }
+    for (auto& r : best) out.push_back(std::move(r));
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+bool SpvpEngine::run(const Environment& env, int max_iterations) {
+  const std::size_t n = net_.nodes().size();
+  origin_.assign(n, {});
+  ribs_.assign(n, {});
+  external_rib_.assign(n, {});
+
+  for (NodeIndex u = 0; u < n; ++u) {
+    const auto& node = net_.node(u);
+    if (node.external) {
+      auto it = env.find(u);
+      if (it == env.end()) continue;
+      for (const auto& a : it->second) {
+        ConcreteRoute r;
+        r.prefix = a.prefix;
+        r.as_path = a.as_path;
+        r.comms = a.comms;
+        r.learned = Learned::kOrigin;
+        r.next_hop = u;
+        r.originator = u;
+        origin_[u].push_back(std::move(r));
+      }
+    } else {
+      const auto& cfg = net_.config_of(u);
+      std::vector<net::Ipv4Prefix> originated = cfg.networks;
+      if (cfg.redistribute_connected) {
+        originated.insert(originated.end(), cfg.connected.begin(),
+                          cfg.connected.end());
+      }
+      if (cfg.redistribute_static) {
+        for (const auto& s : cfg.statics) originated.push_back(s.prefix);
+      }
+      for (const auto& p : originated) {
+        ConcreteRoute r;
+        r.prefix = p;
+        r.learned = Learned::kOrigin;
+        r.next_hop = u;
+        r.originator = u;
+        origin_[u].push_back(std::move(r));
+      }
+    }
+    ribs_[u] = origin_[u];
+  }
+
+  bool converged = false;
+  for (int iter = 0; iter < max_iterations; ++iter) {
+    bool changed = false;
+    auto next = ribs_;
+    for (NodeIndex u : net_.internal_nodes()) {
+      std::vector<ConcreteRoute> cands = origin_[u];
+      // Route aggregation: originate the aggregate when a strictly
+      // more-specific component exists in the previous round's RIB.
+      for (const auto& agg : net_.config_of(u).aggregates) {
+        bool has_component = false;
+        for (const auto& r : ribs_[u]) {
+          has_component = has_component ||
+                          (agg.contains(r.prefix) && r.prefix.len > agg.len);
+        }
+        if (!has_component) continue;
+        ConcreteRoute r;
+        r.prefix = agg;
+        r.learned = Learned::kOrigin;
+        r.next_hop = u;
+        r.originator = u;
+        cands.push_back(std::move(r));
+      }
+      for (std::uint32_t ei : net_.in_edges()[u]) {
+        const SessionEdge& e = net_.edges()[ei];
+        if (e.export_stmt && e.export_stmt->advertise_default &&
+            !net_.node(e.from).external) {
+          ConcreteRoute def;
+          def.prefix = net::Ipv4Prefix{0, 0};
+          if (e.ebgp) def.as_path = {net_.node(e.from).asn};
+          def.learned = e.ebgp ? Learned::kEbgp
+                        : (e.import_stmt && e.import_stmt->rr_client)
+                            ? Learned::kIbgpClient
+                            : Learned::kIbgp;
+          def.next_hop = e.from;
+          def.originator = e.from;
+          cands.push_back(std::move(def));
+          continue;
+        }
+        for (const auto& r : ribs_[e.from]) {
+          auto tr = transfer_edge(e, r);
+          cands.insert(cands.end(), tr.begin(), tr.end());
+        }
+      }
+      next[u] = merge(std::move(cands));
+      if (next[u] != ribs_[u]) changed = true;
+    }
+    ribs_ = std::move(next);
+    if (!changed) {
+      converged = true;
+      break;
+    }
+  }
+
+  for (NodeIndex u : net_.external_nodes()) {
+    std::vector<ConcreteRoute> received;
+    for (std::uint32_t ei : net_.in_edges()[u]) {
+      const SessionEdge& e = net_.edges()[ei];
+      if (net_.node(e.from).external) continue;
+      if (e.export_stmt && e.export_stmt->advertise_default) {
+        ConcreteRoute def;
+        def.prefix = net::Ipv4Prefix{0, 0};
+        def.as_path = {net_.node(e.from).asn};
+        def.learned = Learned::kEbgp;
+        def.next_hop = e.from;
+        def.originator = e.from;
+        received.push_back(std::move(def));
+        continue;
+      }
+      for (const auto& r : ribs_[e.from]) {
+        auto tr = transfer_edge(e, r);
+        received.insert(received.end(), tr.begin(), tr.end());
+      }
+    }
+    std::sort(received.begin(), received.end());
+    received.erase(std::unique(received.begin(), received.end()),
+                   received.end());
+    external_rib_[u] = std::move(received);
+  }
+  return converged;
+}
+
+std::vector<NodeIndex> SpvpEngine::forward(NodeIndex u, std::uint32_t ip,
+                                           bool& local) const {
+  local = false;
+  const auto& cfg = net_.config_of(u);
+  // Candidates: (length, admin-pref, next hops, local?).
+  int best_len = -1;
+  int best_src = 99;
+  std::vector<NodeIndex> hops;
+  bool best_local = false;
+
+  auto consider = [&](int len, int src, NodeIndex hop, bool is_local) {
+    if (len < best_len) return;
+    if (len > best_len || src < best_src) {
+      best_len = len;
+      best_src = src;
+      hops.clear();
+      best_local = is_local;
+    }
+    if (src == best_src && len == best_len) {
+      if (is_local) {
+        best_local = true;
+      } else if (std::find(hops.begin(), hops.end(), hop) == hops.end()) {
+        hops.push_back(hop);
+      }
+    }
+  };
+
+  for (const auto& p : cfg.connected) {
+    if (p.contains_addr(ip)) consider(p.len, 0, u, true);
+  }
+  for (const auto& s : cfg.statics) {
+    if (!s.prefix.contains_addr(ip)) continue;
+    if (auto nh = net_.find(s.next_hop)) consider(s.prefix.len, 1, *nh, false);
+  }
+  for (const auto& r : ribs_[u]) {
+    if (!r.prefix.contains_addr(ip)) continue;
+    consider(r.prefix.len, 2, r.next_hop, r.next_hop == u);
+  }
+  local = best_local;
+  return hops;
+}
+
+}  // namespace expresso::routing

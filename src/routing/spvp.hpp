@@ -1,0 +1,99 @@
+// Concrete Simple Path Vector Protocol (paper section 4.1, Algorithm 1).
+//
+// This is the classic concrete control-plane simulation used by
+// enumeration-based verifiers (Batfish-style): given ONE concrete external
+// route environment — for each neighbor, the set of announcements it makes —
+// it computes the stable routing state.  It serves two roles here:
+//
+//   1. the enumeration baseline quoted in section 7 ("we enumerated 1000
+//      environments using Batfish and it already took 2 hours"), and
+//   2. the ground-truth oracle for EPVP: by Theorem 3, unfolding EPVP's
+//      symbolic RIBs at a concrete environment must equal SPVP's result
+//      (tests/epvp_oracle_test.cpp).
+//
+// The implementation deliberately evaluates policies directly on the config
+// AST (first-match semantics) rather than reusing the symbolic compilation,
+// so the oracle and the engine share as little code as possible.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "automaton/regex.hpp"
+#include "net/network.hpp"
+#include "symbolic/route.hpp"
+
+namespace expresso::routing {
+
+struct ConcreteRoute {
+  net::Ipv4Prefix prefix;
+  std::vector<std::uint32_t> as_path;  // AS numbers, nearest first
+  std::set<net::Community> comms;
+  std::uint32_t local_pref = 100;
+  std::uint8_t origin = 0;
+  std::uint32_t med = 0;
+  symbolic::Learned learned = symbolic::Learned::kOrigin;
+  net::NodeIndex next_hop = 0;
+  net::NodeIndex originator = 0;
+
+  bool operator==(const ConcreteRoute&) const = default;
+  auto operator<=>(const ConcreteRoute&) const = default;
+};
+
+// One announcement an external neighbor makes.
+struct Announcement {
+  net::Ipv4Prefix prefix;
+  std::vector<std::uint32_t> as_path;
+  std::set<net::Community> comms;
+};
+
+// For each external node index: its set of simultaneous announcements.
+using Environment = std::map<net::NodeIndex, std::vector<Announcement>>;
+
+// Concrete BGP preference; mirrors symbolic::compare_preference with the
+// concrete AS-path length.  Returns +1 if a preferred, -1 if b, 0 tie.
+int compare_concrete(const ConcreteRoute& a, const ConcreteRoute& b);
+
+class SpvpEngine {
+ public:
+  explicit SpvpEngine(const net::Network& network);
+
+  // Computes the stable state under `env`.  Returns false on iteration-cap
+  // hit.  RIBs are reset at each call.
+  bool run(const Environment& env, int max_iterations = 100);
+
+  // Best routes at an internal node.
+  const std::vector<ConcreteRoute>& rib(net::NodeIndex u) const {
+    return ribs_[u];
+  }
+  // Routes exported to an external node.
+  const std::vector<ConcreteRoute>& external_rib(net::NodeIndex u) const {
+    return external_rib_[u];
+  }
+
+  // Concrete LPM forwarding decision at router u for destination ip.
+  // Returns the set of (equal-cost) next hops, or empty if dropped; sets
+  // `local` if delivered locally.
+  std::vector<net::NodeIndex> forward(net::NodeIndex u, std::uint32_t ip,
+                                      bool& local) const;
+
+ private:
+  std::vector<ConcreteRoute> transfer_edge(const net::SessionEdge& e,
+                                           const ConcreteRoute& r) const;
+  std::vector<ConcreteRoute> apply_policy_ast(const config::RoutePolicy& pol,
+                                              const ConcreteRoute& r) const;
+  bool aspath_matches(const std::string& regex,
+                      const std::vector<std::uint32_t>& path) const;
+  static std::vector<ConcreteRoute> merge(std::vector<ConcreteRoute> cands);
+
+  const net::Network& net_;
+  automaton::AsAlphabet alphabet_;
+  mutable std::map<std::string, automaton::Dfa> regex_cache_;
+  std::vector<std::vector<ConcreteRoute>> ribs_;
+  std::vector<std::vector<ConcreteRoute>> external_rib_;
+  std::vector<std::vector<ConcreteRoute>> origin_;
+};
+
+}  // namespace expresso::routing

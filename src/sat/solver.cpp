@@ -1,0 +1,311 @@
+#include "sat/solver.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "support/util.hpp"
+
+namespace expresso::sat {
+
+std::uint32_t Solver::new_var() {
+  const std::uint32_t v = num_vars();
+  assign_.push_back(-1);
+  model_.push_back(-1);
+  level_.push_back(0);
+  reason_.push_back(kNoReason);
+  activity_.push_back(0.0);
+  watches_.emplace_back();
+  watches_.emplace_back();
+  return v;
+}
+
+bool Solver::add_clause(std::vector<Lit> lits) {
+  if (root_conflict_) return false;
+  std::sort(lits.begin(), lits.end(),
+            [](Lit a, Lit b) { return a.code < b.code; });
+  std::vector<Lit> out;
+  for (std::size_t i = 0; i < lits.size(); ++i) {
+    if (i + 1 < lits.size() && lits[i + 1].code == (lits[i].code ^ 1)) {
+      return true;  // tautology x ∨ ¬x
+    }
+    if (i > 0 && lits[i] == lits[i - 1]) continue;
+    const std::int8_t v = lit_value(lits[i]);
+    // Only root-level assignments exist while clauses are being added.
+    if (v == 1) return true;  // already satisfied at root
+    if (v == 0) continue;     // false at root: drop literal
+    out.push_back(lits[i]);
+  }
+  if (out.empty()) {
+    root_conflict_ = true;
+    return false;
+  }
+  if (out.size() == 1) {
+    if (!enqueue(out[0], kNoReason) || propagate() != kNoReason) {
+      root_conflict_ = true;
+      return false;
+    }
+    return true;
+  }
+  const ClauseRef cr = static_cast<ClauseRef>(clauses_.size());
+  clauses_.push_back({std::move(out), false});
+  attach(cr);
+  return true;
+}
+
+void Solver::add_iff(Lit a, Lit b) {
+  add_clause({~a, b});
+  add_clause({a, ~b});
+}
+
+void Solver::add_and_gate(Lit y, Lit a, Lit b) {
+  add_clause({~y, a});
+  add_clause({~y, b});
+  add_clause({y, ~a, ~b});
+}
+
+void Solver::add_or_gate(Lit y, Lit a, Lit b) {
+  add_clause({y, ~a});
+  add_clause({y, ~b});
+  add_clause({~y, a, b});
+}
+
+void Solver::add_at_most_one(const std::vector<Lit>& lits) {
+  for (std::size_t i = 0; i < lits.size(); ++i) {
+    for (std::size_t j = i + 1; j < lits.size(); ++j) {
+      add_clause({~lits[i], ~lits[j]});
+    }
+  }
+}
+
+void Solver::attach(ClauseRef cr) {
+  const auto& c = clauses_[cr].lits;
+  watches_[c[0].code ^ 1].push_back(cr);
+  watches_[c[1].code ^ 1].push_back(cr);
+}
+
+bool Solver::enqueue(Lit l, ClauseRef reason) {
+  const std::int8_t v = lit_value(l);
+  if (v == 0) return false;
+  if (v == 1) return true;
+  assign_[l.var()] = l.sign() ? 0 : 1;
+  level_[l.var()] = decision_level();
+  reason_[l.var()] = reason;
+  trail_.push_back(l);
+  return true;
+}
+
+Solver::ClauseRef Solver::propagate() {
+  while (qhead_ < trail_.size()) {
+    const Lit p = trail_[qhead_++];
+    ++stats_propagations_;
+    auto& ws = watches_[p.code];
+    std::size_t i = 0, j = 0;
+    ClauseRef confl = kNoReason;
+    while (i < ws.size()) {
+      const ClauseRef cr = ws[i++];
+      auto& c = clauses_[cr].lits;
+      const Lit not_p = ~p;
+      if (c[0] == not_p) std::swap(c[0], c[1]);
+      if (lit_value(c[0]) == 1) {
+        ws[j++] = cr;
+        continue;
+      }
+      bool moved = false;
+      for (std::size_t k = 2; k < c.size(); ++k) {
+        if (lit_value(c[k]) != 0) {
+          std::swap(c[1], c[k]);
+          watches_[c[1].code ^ 1].push_back(cr);
+          moved = true;
+          break;
+        }
+      }
+      if (moved) continue;
+      ws[j++] = cr;
+      if (!enqueue(c[0], cr)) {
+        confl = cr;
+        while (i < ws.size()) ws[j++] = ws[i++];
+      }
+    }
+    ws.resize(j);
+    if (confl != kNoReason) return confl;
+  }
+  return kNoReason;
+}
+
+void Solver::analyze(ClauseRef confl, std::vector<Lit>& out_learnt,
+                     std::uint32_t& out_btlevel) {
+  out_learnt.clear();
+  out_learnt.push_back({0});  // slot for the asserting literal
+  std::vector<bool> seen(num_vars(), false);
+  int counter = 0;
+  Lit p{0};
+  bool have_p = false;
+  std::size_t index = trail_.size();
+
+  ClauseRef reason = confl;
+  while (true) {
+    assert(reason != kNoReason);
+    for (const Lit q : clauses_[reason].lits) {
+      if (have_p && q == p) continue;
+      if (!seen[q.var()] && level_[q.var()] > 0) {
+        seen[q.var()] = true;
+        bump(q.var());
+        if (level_[q.var()] == decision_level()) {
+          ++counter;
+        } else {
+          out_learnt.push_back(q);
+        }
+      }
+    }
+    while (!seen[trail_[index - 1].var()]) --index;
+    p = trail_[index - 1];
+    have_p = true;
+    --index;
+    seen[p.var()] = false;
+    --counter;
+    if (counter == 0) break;
+    reason = reason_[p.var()];
+  }
+  out_learnt[0] = ~p;
+
+  out_btlevel = 0;
+  std::size_t max_i = 1;
+  for (std::size_t i = 1; i < out_learnt.size(); ++i) {
+    if (level_[out_learnt[i].var()] > out_btlevel) {
+      out_btlevel = level_[out_learnt[i].var()];
+      max_i = i;
+    }
+  }
+  // Watch invariant: the second literal carries the backtrack level.
+  if (out_learnt.size() > 1) std::swap(out_learnt[1], out_learnt[max_i]);
+}
+
+void Solver::backtrack(std::uint32_t target) {
+  while (decision_level() > target) {
+    const std::uint32_t lim = trail_lim_.back();
+    while (trail_.size() > lim) {
+      const Lit l = trail_.back();
+      trail_.pop_back();
+      assign_[l.var()] = -1;
+      reason_[l.var()] = kNoReason;
+    }
+    trail_lim_.pop_back();
+  }
+  qhead_ = std::min(qhead_, trail_.size());
+}
+
+void Solver::bump(std::uint32_t var) {
+  activity_[var] += var_inc_;
+  if (activity_[var] > 1e100) {
+    for (auto& a : activity_) a *= 1e-100;
+    var_inc_ *= 1e-100;
+  }
+}
+
+void Solver::decay() { var_inc_ /= 0.95; }
+
+std::optional<Lit> Solver::pick_branch() {
+  double best = -1.0;
+  std::uint32_t best_var = 0;
+  bool found = false;
+  for (std::uint32_t v = 0; v < num_vars(); ++v) {
+    if (assign_[v] < 0 && activity_[v] > best) {
+      best = activity_[v];
+      best_var = v;
+      found = true;
+    }
+  }
+  if (!found) return std::nullopt;
+  return Lit::neg(best_var);
+}
+
+Result Solver::solve(const std::vector<Lit>& assumptions,
+                     std::uint64_t max_conflicts, double deadline_seconds) {
+  if (root_conflict_) return Result::kUnsat;
+  const Stopwatch deadline_clock;
+  if (propagate() != kNoReason) {
+    root_conflict_ = true;
+    return Result::kUnsat;
+  }
+
+  for (const Lit a : assumptions) {
+    if (lit_value(a) == 1) continue;
+    if (lit_value(a) == 0) {
+      backtrack(0);
+      return Result::kUnsat;
+    }
+    trail_lim_.push_back(static_cast<std::uint32_t>(trail_.size()));
+    enqueue(a, kNoReason);
+    if (propagate() != kNoReason) {
+      backtrack(0);
+      return Result::kUnsat;
+    }
+  }
+  const std::uint32_t assumption_level = decision_level();
+
+  std::uint64_t conflicts_here = 0;
+  std::uint64_t restart_limit = 128;
+  std::uint64_t since_restart = 0;
+
+  while (true) {
+    const ClauseRef confl = propagate();
+    if (confl != kNoReason) {
+      ++stats_conflicts_;
+      ++conflicts_here;
+      ++since_restart;
+      if (decision_level() <= assumption_level) {
+        backtrack(0);
+        return Result::kUnsat;
+      }
+      std::vector<Lit> learnt;
+      std::uint32_t btlevel = 0;
+      analyze(confl, learnt, btlevel);
+      btlevel = std::max(btlevel, assumption_level);
+      backtrack(btlevel);
+      if (learnt.size() == 1) {
+        if (!enqueue(learnt[0], kNoReason)) {
+          backtrack(0);
+          return Result::kUnsat;
+        }
+      } else {
+        const ClauseRef cr = static_cast<ClauseRef>(clauses_.size());
+        clauses_.push_back({std::move(learnt), true});
+        attach(cr);
+        enqueue(clauses_[cr].lits[0], cr);
+      }
+      decay();
+      if (max_conflicts && conflicts_here >= max_conflicts) {
+        backtrack(0);
+        return Result::kUnknown;
+      }
+      if (deadline_seconds > 0 && (conflicts_here & 255) == 0 &&
+          deadline_clock.seconds() > deadline_seconds) {
+        backtrack(0);
+        return Result::kUnknown;
+      }
+      continue;
+    }
+    if (since_restart >= restart_limit) {
+      since_restart = 0;
+      restart_limit += restart_limit / 2;
+      backtrack(assumption_level);
+    }
+    const auto branch = pick_branch();
+    if (!branch) {
+      model_ = assign_;
+      backtrack(0);
+      return Result::kSat;
+    }
+    if (deadline_seconds > 0 && (stats_decisions_ & 1023) == 0 &&
+        deadline_clock.seconds() > deadline_seconds) {
+      backtrack(0);
+      return Result::kUnknown;
+    }
+    ++stats_decisions_;
+    trail_lim_.push_back(static_cast<std::uint32_t>(trail_.size()));
+    enqueue(*branch, kNoReason);
+  }
+}
+
+}  // namespace expresso::sat

@@ -1,0 +1,119 @@
+// A from-scratch CDCL SAT solver.
+//
+// This is the substrate for the Minesweeper*-style baseline: the paper's
+// comparison point encodes the network's stable routing state as SMT
+// constraints over booleans and small bitvectors and hands them to Z3;
+// Minesweeper's formulas bit-blast to propositional SAT, which is what this
+// solver decides.  Features: two-watched-literal propagation, first-UIP
+// clause learning, VSIDS-style activity with decay, geometric restarts, and
+// a conflict budget so benchmark harnesses can report TIMEOUT rows.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace expresso::sat {
+
+// A literal: variable index v with sign.  Encoded as 2*v (positive) or
+// 2*v+1 (negative).
+struct Lit {
+  std::uint32_t code = 0;
+
+  static Lit pos(std::uint32_t var) { return {var << 1}; }
+  static Lit neg(std::uint32_t var) { return {(var << 1) | 1}; }
+  Lit operator~() const { return {code ^ 1}; }
+  std::uint32_t var() const { return code >> 1; }
+  bool sign() const { return code & 1; }  // true = negated
+  bool operator==(const Lit&) const = default;
+};
+
+enum class Result { kSat, kUnsat, kUnknown /* budget exhausted */ };
+
+class Solver {
+ public:
+  Solver() = default;
+
+  // Creates a fresh variable; returns its index.
+  std::uint32_t new_var();
+  std::uint32_t num_vars() const {
+    return static_cast<std::uint32_t>(assign_.size());
+  }
+
+  // Adds a clause (disjunction).  An empty clause makes the instance
+  // trivially UNSAT.  Returns false if the solver is already in an
+  // unsatisfiable root state.
+  bool add_clause(std::vector<Lit> lits);
+
+  // Convenience builders.
+  void add_unit(Lit a) { add_clause({a}); }
+  void add_implies(Lit a, Lit b) { add_clause({~a, b}); }
+  void add_iff(Lit a, Lit b);
+  // y <-> (a AND b), y <-> (a OR b): Tseitin gates.
+  void add_and_gate(Lit y, Lit a, Lit b);
+  void add_or_gate(Lit y, Lit a, Lit b);
+  void add_at_most_one(const std::vector<Lit>& lits);  // pairwise encoding
+
+  // Decides satisfiability under optional assumptions.  `max_conflicts`
+  // bounds the search (0 = unlimited); `deadline_seconds` (0 = none) aborts
+  // with kUnknown once the wall clock budget is spent.
+  Result solve(const std::vector<Lit>& assumptions = {},
+               std::uint64_t max_conflicts = 0, double deadline_seconds = 0);
+
+  // Model access after kSat.
+  bool value(std::uint32_t var) const { return model_[var] == 1; }
+
+  // Statistics.
+  std::uint64_t conflicts() const { return stats_conflicts_; }
+  std::uint64_t decisions() const { return stats_decisions_; }
+  std::uint64_t propagations() const { return stats_propagations_; }
+  std::size_t num_clauses() const { return clauses_.size(); }
+
+ private:
+  struct Clause {
+    std::vector<Lit> lits;
+    bool learnt = false;
+  };
+  using ClauseRef = std::uint32_t;
+  static constexpr ClauseRef kNoReason = 0xffffffffu;
+
+  // Assignment: 0 = unassigned at lbool level; we store per-var:
+  //   assign_[v] in {-1 unassigned, 0 false, 1 true}
+  std::vector<std::int8_t> assign_;
+  std::vector<std::int8_t> model_;
+  std::vector<std::uint32_t> level_;
+  std::vector<ClauseRef> reason_;
+  std::vector<double> activity_;
+  std::vector<Clause> clauses_;
+  std::vector<std::vector<ClauseRef>> watches_;  // per literal code
+  std::vector<Lit> trail_;
+  std::vector<std::uint32_t> trail_lim_;
+  std::size_t qhead_ = 0;
+  double var_inc_ = 1.0;
+  bool root_conflict_ = false;
+
+  std::uint64_t stats_conflicts_ = 0;
+  std::uint64_t stats_decisions_ = 0;
+  std::uint64_t stats_propagations_ = 0;
+
+  std::int8_t lit_value(Lit l) const {
+    const std::int8_t a = assign_[l.var()];
+    if (a < 0) return -1;
+    return l.sign() ? static_cast<std::int8_t>(1 - a) : a;
+  }
+  std::uint32_t decision_level() const {
+    return static_cast<std::uint32_t>(trail_lim_.size());
+  }
+
+  void attach(ClauseRef cr);
+  bool enqueue(Lit l, ClauseRef reason);
+  ClauseRef propagate();
+  void analyze(ClauseRef confl, std::vector<Lit>& out_learnt,
+               std::uint32_t& out_btlevel);
+  void backtrack(std::uint32_t level);
+  void bump(std::uint32_t var);
+  void decay();
+  std::optional<Lit> pick_branch();
+};
+
+}  // namespace expresso::sat

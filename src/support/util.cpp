@@ -1,0 +1,36 @@
+#include "support/util.hpp"
+
+#include <fstream>
+#include <sstream>
+
+namespace expresso {
+
+namespace {
+std::uint64_t read_status_kb(const char* key) {
+  std::ifstream in("/proc/self/status");
+  std::string line;
+  const std::string want(key);
+  while (std::getline(in, line)) {
+    if (line.rfind(want, 0) == 0) {
+      std::istringstream ss(line.substr(want.size() + 1));
+      std::uint64_t kb = 0;
+      ss >> kb;
+      return kb;
+    }
+  }
+  return 0;
+}
+}  // namespace
+
+std::uint64_t peak_rss_bytes() { return read_status_kb("VmHWM") * 1024; }
+std::uint64_t current_rss_bytes() { return read_status_kb("VmRSS") * 1024; }
+
+std::vector<std::string> split_ws(const std::string& s) {
+  std::vector<std::string> out;
+  std::istringstream ss(s);
+  std::string tok;
+  while (ss >> tok) out.push_back(tok);
+  return out;
+}
+
+}  // namespace expresso

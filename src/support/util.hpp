@@ -1,0 +1,70 @@
+// Small shared utilities: deterministic RNG, wall-clock timer, memory meter.
+//
+// Everything here is header-only and dependency-free so that substrates
+// (bdd, automaton, ...) can use it without layering concerns.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace expresso {
+
+// SplitMix64: tiny, fast, deterministic PRNG.  All generators in src/gen seed
+// one of these so that datasets (and planted violations) are reproducible.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  // Uniform integer in [0, bound).  bound must be > 0.
+  std::uint64_t below(std::uint64_t bound) { return next() % bound; }
+
+  // Uniform integer in [lo, hi] inclusive.
+  std::uint64_t range(std::uint64_t lo, std::uint64_t hi) {
+    return lo + below(hi - lo + 1);
+  }
+
+  // Bernoulli trial with probability num/den.
+  bool chance(std::uint64_t num, std::uint64_t den) { return below(den) < num; }
+
+  double unit() {  // uniform double in [0,1)
+    return static_cast<double>(next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+// Monotonic wall-clock stopwatch.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(clock::now()) {}
+  void reset() { start_ = clock::now(); }
+  double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+  double millis() const { return seconds() * 1e3; }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+// Reads the process resident-set high-water mark (VmHWM) in bytes; used by the
+// fig8 memory benchmarks.  Returns 0 when /proc is unavailable.
+std::uint64_t peak_rss_bytes();
+// Current resident set (VmRSS), bytes.
+std::uint64_t current_rss_bytes();
+
+// Split `s` on whitespace into tokens.
+std::vector<std::string> split_ws(const std::string& s);
+
+}  // namespace expresso

@@ -1,0 +1,361 @@
+#include "symbolic/community_set.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <set>
+#include <sstream>
+
+namespace expresso::symbolic {
+
+namespace {
+
+// Expands a matcher pattern into a few sample communities that exercise its
+// distinct regions ('*' remainders, digit-class bounds).  Together with every
+// literal mentioned in the configs these samples witness all non-empty atom
+// signatures for the dialect's pattern language.
+std::vector<net::Community> samples_for(const std::string& pattern) {
+  const auto colon = pattern.find(':');
+  const std::string high = pattern.substr(0, colon);
+  std::vector<std::string> lows{""};
+  for (std::size_t i = colon + 1; i < pattern.size();) {
+    const char c = pattern[i];
+    std::vector<std::string> pieces;
+    if (c == '*') {
+      pieces = {"0", "7", "321"};
+      i = pattern.size();
+    } else if (c == '[') {
+      pieces = {std::string(1, pattern[i + 1]), std::string(1, pattern[i + 3])};
+      i += 5;
+    } else {
+      pieces = {std::string(1, c)};
+      ++i;
+    }
+    std::vector<std::string> next;
+    for (const auto& base : lows) {
+      for (const auto& piece : pieces) {
+        next.push_back(base + piece);
+        if (next.size() >= 16) break;
+      }
+      if (next.size() >= 16) break;
+    }
+    lows = std::move(next);
+  }
+  std::vector<net::Community> out;
+  for (const auto& low : lows) {
+    if (auto c = net::Community::parse(high + ":" + low)) out.push_back(*c);
+  }
+  return out;
+}
+
+}  // namespace
+
+CommunityAtomizer::CommunityAtomizer(
+    const std::vector<config::RouterConfig>& cfgs) {
+  std::set<std::string> seen_patterns;
+  std::vector<net::Community> candidates;
+  auto add_matcher = [&](const net::CommunityMatcher& m) {
+    if (seen_patterns.insert(m.pattern()).second) matchers_.push_back(m);
+  };
+  auto add_literal = [&](const net::Community& c) {
+    // Every literal gets its own exact matcher, so it is distinguishable
+    // from everything else the patterns touch.
+    auto m = net::CommunityMatcher::parse(c.to_string());
+    assert(m);
+    add_matcher(*m);
+    candidates.push_back(c);
+  };
+
+  for (const auto& cfg : cfgs) {
+    for (const auto& [name, policy] : cfg.policies) {
+      (void)name;
+      for (const auto& clause : policy) {
+        for (const auto& m : clause.match_communities) add_matcher(m);
+        for (const auto& c : clause.add_communities) add_literal(c);
+        for (const auto& c : clause.delete_communities) add_literal(c);
+      }
+    }
+  }
+  for (const auto& m : matchers_) {
+    const auto extra = samples_for(m.pattern());
+    candidates.insert(candidates.end(), extra.begin(), extra.end());
+  }
+  // A community outside every matcher: the "all other communities" atom.
+  for (std::uint16_t probe = 65001;; ++probe) {
+    const net::Community fresh{65000, probe};
+    bool hit = false;
+    for (const auto& m : matchers_) hit = hit || m.matches(fresh);
+    if (!hit) {
+      candidates.push_back(fresh);
+      break;
+    }
+    assert(probe < 65500);
+  }
+
+  // Unique signatures become atoms.
+  std::set<std::vector<bool>> seen_sigs;
+  for (const auto& c : candidates) {
+    auto sig = signature(c);
+    if (seen_sigs.insert(sig).second) {
+      atom_samples_.push_back(c);
+      atom_signatures_.push_back(std::move(sig));
+    }
+  }
+}
+
+std::vector<bool> CommunityAtomizer::signature(const net::Community& c) const {
+  std::vector<bool> sig(matchers_.size());
+  for (std::size_t i = 0; i < matchers_.size(); ++i) {
+    sig[i] = matchers_[i].matches(c);
+  }
+  return sig;
+}
+
+std::vector<std::uint32_t> CommunityAtomizer::atoms_of(
+    const net::CommunityMatcher& m) const {
+  std::vector<std::uint32_t> out;
+  for (std::uint32_t a = 0; a < num_atoms(); ++a) {
+    if (m.matches(atom_samples_[a])) out.push_back(a);
+  }
+  return out;
+}
+
+std::uint32_t CommunityAtomizer::atom_of(const net::Community& c) const {
+  const auto sig = signature(c);
+  for (std::uint32_t a = 0; a < num_atoms(); ++a) {
+    if (atom_signatures_[a] == sig) return a;
+  }
+  assert(false && "literal not covered by an atom");
+  return 0;
+}
+
+std::vector<std::string> CommunityAtomizer::atom_names() const {
+  std::vector<std::string> out;
+  out.reserve(num_atoms());
+  for (const auto& c : atom_samples_) out.push_back("~" + c.to_string());
+  return out;
+}
+
+// --- CommunitySet: automaton helpers ----------------------------------------
+
+namespace {
+
+using automaton::Dfa;
+using automaton::State;
+using automaton::Symbol;
+
+// Language of all binary words of length k.
+Dfa all_words(std::uint32_t k) {
+  const std::uint32_t n = k + 2;  // chain + sink
+  std::vector<State> next(n * 2, k + 1);
+  std::vector<bool> acc(n, false);
+  for (std::uint32_t d = 0; d < k; ++d) {
+    next[d * 2 + 0] = d + 1;
+    next[d * 2 + 1] = d + 1;
+  }
+  acc[k] = true;
+  Dfa out(2, n, 0, std::move(next), std::move(acc));
+  out.canonicalize();
+  return out;
+}
+
+// Language { w : |w| = k, w[pos] = bit }.
+Dfa bit_is(std::uint32_t k, std::uint32_t pos, bool bit) {
+  const std::uint32_t n = k + 2;
+  std::vector<State> next(n * 2, k + 1);
+  std::vector<bool> acc(n, false);
+  for (std::uint32_t d = 0; d < k; ++d) {
+    if (d == pos) {
+      next[d * 2 + (bit ? 1 : 0)] = d + 1;
+      next[d * 2 + (bit ? 0 : 1)] = k + 1;
+    } else {
+      next[d * 2 + 0] = d + 1;
+      next[d * 2 + 1] = d + 1;
+    }
+  }
+  acc[k] = true;
+  Dfa out(2, n, 0, std::move(next), std::move(acc));
+  out.canonicalize();
+  return out;
+}
+
+// The word 0^k.
+Dfa zero_word(std::uint32_t k) {
+  const std::uint32_t n = k + 2;
+  std::vector<State> next(n * 2, k + 1);
+  std::vector<bool> acc(n, false);
+  for (std::uint32_t d = 0; d < k; ++d) {
+    next[d * 2 + 0] = d + 1;
+    next[d * 2 + 1] = k + 1;
+  }
+  acc[k] = true;
+  Dfa out(2, n, 0, std::move(next), std::move(acc));
+  out.canonicalize();
+  return out;
+}
+
+// Positional substitution: { w[..pos]·bit·w[pos+1..] : w in L }.  Expands the
+// DFA into its leveled form (state x depth), merges the transitions at depth
+// `pos` into the forced bit, then re-determinizes.  This is the honest cost
+// of the automaton representation that figure 7(a) measures.
+Dfa force_bit(const Dfa& d, std::uint32_t k, std::uint32_t pos, bool bit) {
+  automaton::Nfa nfa(2);
+  // State (q, depth) -> index q * (k+1) + depth.
+  const std::uint32_t nq = d.num_states();
+  for (std::uint32_t i = 0; i < nq * (k + 1); ++i) nfa.add_state();
+  auto id = [&](State q, std::uint32_t depth) { return q * (k + 1) + depth; };
+  for (State q = 0; q < nq; ++q) {
+    for (std::uint32_t depth = 0; depth < k; ++depth) {
+      if (depth == pos) {
+        // Either original branch advances, but the emitted symbol is `bit`.
+        nfa.add_edge(id(q, depth), bit ? 1 : 0, id(d.next(q, 0), depth + 1));
+        nfa.add_edge(id(q, depth), bit ? 1 : 0, id(d.next(q, 1), depth + 1));
+      } else {
+        nfa.add_edge(id(q, depth), 0, id(d.next(q, 0), depth + 1));
+        nfa.add_edge(id(q, depth), 1, id(d.next(q, 1), depth + 1));
+      }
+    }
+    if (d.is_accepting(q)) nfa.add_accepting(id(q, k));
+  }
+  nfa.set_start(id(d.start(), 0));
+  return nfa.determinize();
+}
+
+}  // namespace
+
+CommunitySet CommunitySet::universal(Encoding& enc, CommunityRep rep) {
+  CommunitySet s;
+  s.rep_ = rep;
+  s.num_atoms_ = enc.num_atoms();
+  if (rep == CommunityRep::kAtomBdd) {
+    s.bdd_ = bdd::kTrue;
+  } else {
+    s.dfa_ = std::make_shared<const Dfa>(all_words(s.num_atoms_));
+  }
+  return s;
+}
+
+CommunitySet CommunitySet::none(Encoding& enc, CommunityRep rep) {
+  CommunitySet s;
+  s.rep_ = rep;
+  s.num_atoms_ = enc.num_atoms();
+  if (rep == CommunityRep::kAtomBdd) {
+    bdd::NodeId f = bdd::kTrue;
+    for (std::uint32_t a = 0; a < enc.num_atoms(); ++a) {
+      f = enc.mgr().and_(f, enc.mgr().nvar(enc.atom_var(a)));
+    }
+    s.bdd_ = f;
+  } else {
+    s.dfa_ = std::make_shared<const Dfa>(zero_word(s.num_atoms_));
+  }
+  return s;
+}
+
+bool CommunitySet::is_empty() const {
+  if (rep_ == CommunityRep::kAtomBdd) return bdd_ == bdd::kFalse;
+  return dfa_->is_empty();
+}
+
+CommunitySet CommunitySet::with_atom(Encoding& enc, std::uint32_t a) const {
+  CommunitySet s = *this;
+  if (rep_ == CommunityRep::kAtomBdd) {
+    const std::uint32_t v = enc.atom_var(a);
+    s.bdd_ = enc.mgr().and_(enc.mgr().exists(bdd_, {v}), enc.mgr().var(v));
+  } else {
+    s.dfa_ =
+        std::make_shared<const Dfa>(force_bit(*dfa_, num_atoms_, a, true));
+  }
+  return s;
+}
+
+CommunitySet CommunitySet::without_atom(Encoding& enc, std::uint32_t a) const {
+  CommunitySet s = *this;
+  if (rep_ == CommunityRep::kAtomBdd) {
+    const std::uint32_t v = enc.atom_var(a);
+    s.bdd_ = enc.mgr().and_(enc.mgr().exists(bdd_, {v}), enc.mgr().nvar(v));
+  } else {
+    s.dfa_ =
+        std::make_shared<const Dfa>(force_bit(*dfa_, num_atoms_, a, false));
+  }
+  return s;
+}
+
+CommunitySet CommunitySet::matching_any(
+    Encoding& enc, const std::vector<std::uint32_t>& atoms) const {
+  CommunitySet s = *this;
+  if (rep_ == CommunityRep::kAtomBdd) {
+    bdd::NodeId any = bdd::kFalse;
+    for (std::uint32_t a : atoms) {
+      any = enc.mgr().or_(any, enc.mgr().var(enc.atom_var(a)));
+    }
+    s.bdd_ = enc.mgr().and_(bdd_, any);
+  } else {
+    Dfa any = Dfa::empty(2);
+    for (std::uint32_t a : atoms) {
+      any = any.union_(bit_is(num_atoms_, a, true));
+    }
+    s.dfa_ = std::make_shared<const Dfa>(dfa_->intersect(any));
+  }
+  return s;
+}
+
+CommunitySet CommunitySet::matching_none(
+    Encoding& enc, const std::vector<std::uint32_t>& atoms) const {
+  CommunitySet s = *this;
+  if (rep_ == CommunityRep::kAtomBdd) {
+    bdd::NodeId any = bdd::kFalse;
+    for (std::uint32_t a : atoms) {
+      any = enc.mgr().or_(any, enc.mgr().var(enc.atom_var(a)));
+    }
+    s.bdd_ = enc.mgr().diff(bdd_, any);
+  } else {
+    Dfa none = all_words(num_atoms_);
+    for (std::uint32_t a : atoms) {
+      none = none.intersect(bit_is(num_atoms_, a, false));
+    }
+    s.dfa_ = std::make_shared<const Dfa>(dfa_->intersect(none));
+  }
+  return s;
+}
+
+CommunitySet CommunitySet::erased(Encoding& enc) const {
+  if (is_empty()) return *this;
+  return none(enc, rep_);
+}
+
+bool CommunitySet::may_contain(Encoding& enc, std::uint32_t a) const {
+  if (rep_ == CommunityRep::kAtomBdd) {
+    return enc.mgr().and_(bdd_, enc.mgr().var(enc.atom_var(a))) != bdd::kFalse;
+  }
+  return !dfa_->intersect(bit_is(num_atoms_, a, true)).is_empty();
+}
+
+bool CommunitySet::operator==(const CommunitySet& other) const {
+  if (rep_ != other.rep_) return false;
+  if (rep_ == CommunityRep::kAtomBdd) return bdd_ == other.bdd_;
+  if (dfa_ == other.dfa_) return true;
+  return *dfa_ == *other.dfa_;
+}
+
+std::uint64_t CommunitySet::hash() const {
+  if (rep_ == CommunityRep::kAtomBdd) {
+    return 0x9e3779b97f4a7c15ULL * (bdd_ + 1);
+  }
+  return dfa_->hash();
+}
+
+std::string CommunitySet::to_string(
+    Encoding& enc, const std::vector<std::string>& atom_names) const {
+  std::ostringstream os;
+  if (is_empty()) return "{} (denied)";
+  os << "{atoms:";
+  for (std::uint32_t a = 0; a < num_atoms_; ++a) {
+    if (may_contain(enc, a)) {
+      os << " " << (a < atom_names.size() ? atom_names[a]
+                                          : std::to_string(a));
+    }
+  }
+  os << "}";
+  return os.str();
+}
+
+}  // namespace expresso::symbolic

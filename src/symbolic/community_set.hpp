@@ -1,0 +1,107 @@
+// Community atomization and symbolic community lists (paper section 4.2).
+//
+// An *atom* is an equivalence class of communities with respect to every
+// community matcher and literal appearing in the configurations (the same
+// idea as Batfish SearchRoutePolicies' atomic predicates, which the paper
+// adopts).  A symbolic community list denotes a set of concrete community
+// lists; each concrete list is abstracted by the set of atoms it touches.
+//
+// Two representations are provided for the figure 7(a) ablation:
+//   * kAtomBdd   — a BDD over one boolean per atom; each satisfying
+//                  assignment is one concrete community list.  This is the
+//                  efficient "atomic predicate" representation.
+//   * kAutomaton — a DFA over {0,1} accepting fixed-length words (one bit
+//                  per atom).  Same semantics, automaton operations; the
+//                  paper reports this alternative is slower, and it is.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "automaton/dfa.hpp"
+#include "config/ast.hpp"
+#include "net/community.hpp"
+#include "symbolic/encoding.hpp"
+
+namespace expresso::symbolic {
+
+// Computes the community atoms of a configuration set.
+class CommunityAtomizer {
+ public:
+  // Scans every `if-match community` pattern and every add/delete literal.
+  explicit CommunityAtomizer(const std::vector<config::RouterConfig>& cfgs);
+
+  std::uint32_t num_atoms() const {
+    return static_cast<std::uint32_t>(atom_samples_.size());
+  }
+
+  // Atoms covered by a matcher: the disjunction of these atom variables is
+  // the matcher's predicate.
+  std::vector<std::uint32_t> atoms_of(const net::CommunityMatcher& m) const;
+  // The atom of a concrete community literal.
+  std::uint32_t atom_of(const net::Community& c) const;
+  // A representative community of an atom (for reports).
+  const net::Community& sample(std::uint32_t atom) const {
+    return atom_samples_[atom];
+  }
+
+  std::vector<std::string> atom_names() const;
+
+ private:
+  std::vector<bool> signature(const net::Community& c) const;
+
+  std::vector<net::CommunityMatcher> matchers_;
+  std::vector<net::Community> atom_samples_;      // one representative/atom
+  std::vector<std::vector<bool>> atom_signatures_;
+};
+
+enum class CommunityRep { kAtomBdd, kAutomaton };
+
+// A symbolic community list: a set of concrete community lists over the
+// atom universe.
+class CommunitySet {
+ public:
+  // The universal set 2^{atoms} (external wildcard routes).
+  static CommunitySet universal(Encoding& enc, CommunityRep rep);
+  // The singleton {∅} (internally originated routes carry no communities).
+  static CommunitySet none(Encoding& enc, CommunityRep rep);
+
+  bool is_empty() const;
+
+  // A new set with atom `a` added to every member list.
+  CommunitySet with_atom(Encoding& enc, std::uint32_t a) const;
+  // A new set with atom `a` removed from every member list.
+  CommunitySet without_atom(Encoding& enc, std::uint32_t a) const;
+  // Members that contain at least one of `atoms` / contain none of them.
+  CommunitySet matching_any(Encoding& enc,
+                            const std::vector<std::uint32_t>& atoms) const;
+  CommunitySet matching_none(Encoding& enc,
+                             const std::vector<std::uint32_t>& atoms) const;
+  // Erase all communities from every member (session without
+  // advertise-community): collapses to {∅}.
+  CommunitySet erased(Encoding& enc) const;
+
+  // True if some member contains atom a.
+  bool may_contain(Encoding& enc, std::uint32_t a) const;
+
+  bool operator==(const CommunitySet& other) const;
+  std::uint64_t hash() const;
+
+  CommunityRep rep() const { return rep_; }
+  // BDD over atom variables (valid in kAtomBdd mode).
+  bdd::NodeId as_bdd() const { return bdd_; }
+
+  std::string to_string(Encoding& enc,
+                        const std::vector<std::string>& atom_names) const;
+
+ private:
+  CommunityRep rep_ = CommunityRep::kAtomBdd;
+  bdd::NodeId bdd_ = bdd::kFalse;              // kAtomBdd
+  std::shared_ptr<const automaton::Dfa> dfa_;  // kAutomaton (alphabet {0,1})
+  std::uint32_t num_atoms_ = 0;
+};
+
+}  // namespace expresso::symbolic

@@ -1,0 +1,174 @@
+#include "symbolic/encoding.hpp"
+
+#include <cassert>
+
+namespace expresso::symbolic {
+
+Encoding::Encoding(std::uint32_t num_neighbors, std::uint32_t num_atoms)
+    : num_neighbors_(num_neighbors),
+      num_atoms_(num_atoms),
+      // Reserve the length-major n_i^j block up front; unused variables
+      // cost nothing in an ROBDD.
+      mgr_(38 + num_neighbors + num_atoms + 33 * num_neighbors) {}
+
+std::uint32_t Encoding::dp_adv_var(std::uint32_t neighbor, std::uint8_t len) {
+  const std::uint32_t v = 38 + num_neighbors_ + num_atoms_ +
+                          static_cast<std::uint32_t>(len) * num_neighbors_ +
+                          neighbor;
+  dp_vars_.emplace(std::make_pair(neighbor, len), v);
+  return v;
+}
+
+std::vector<std::uint32_t> Encoding::addr_vars() const {
+  std::vector<std::uint32_t> out(32);
+  for (std::uint32_t i = 0; i < 32; ++i) out[i] = addr_var(i);
+  return out;
+}
+
+std::vector<std::uint32_t> Encoding::len_vars() const {
+  std::vector<std::uint32_t> out(6);
+  for (std::uint32_t i = 0; i < 6; ++i) out[i] = len_var(i);
+  return out;
+}
+
+std::vector<std::uint32_t> Encoding::adv_vars() const {
+  std::vector<std::uint32_t> out(num_neighbors_);
+  for (std::uint32_t i = 0; i < num_neighbors_; ++i) out[i] = adv_var(i);
+  return out;
+}
+
+std::vector<std::uint32_t> Encoding::atom_vars() const {
+  std::vector<std::uint32_t> out(num_atoms_);
+  for (std::uint32_t i = 0; i < num_atoms_; ++i) out[i] = atom_var(i);
+  return out;
+}
+
+std::vector<std::uint32_t> Encoding::prefix_vars() const {
+  std::vector<std::uint32_t> out = addr_vars();
+  const auto lens = len_vars();
+  out.insert(out.end(), lens.begin(), lens.end());
+  return out;
+}
+
+bdd::NodeId Encoding::len_eq(std::uint8_t len) {
+  bdd::NodeId f = bdd::kTrue;
+  for (std::uint32_t bit = 0; bit < 6; ++bit) {
+    const bool set = (len >> (5 - bit)) & 1;  // MSB first
+    f = mgr_.and_(f, set ? mgr_.var(len_var(bit)) : mgr_.nvar(len_var(bit)));
+  }
+  return f;
+}
+
+bdd::NodeId Encoding::len_ge(std::uint8_t len) {
+  bdd::NodeId f = bdd::kFalse;
+  for (std::uint32_t v = len; v <= 32; ++v) {
+    f = mgr_.or_(f, len_eq(static_cast<std::uint8_t>(v)));
+  }
+  return f;
+}
+
+bdd::NodeId Encoding::len_le(std::uint8_t len) {
+  bdd::NodeId f = bdd::kFalse;
+  for (std::uint32_t v = 0; v <= len; ++v) {
+    f = mgr_.or_(f, len_eq(static_cast<std::uint8_t>(v)));
+  }
+  return f;
+}
+
+bdd::NodeId Encoding::prefix_exact(const net::Ipv4Prefix& p) {
+  bdd::NodeId f = len_eq(p.len);
+  for (std::uint32_t bit = 0; bit < p.len; ++bit) {
+    const bool set = (p.addr >> (31 - bit)) & 1;
+    f = mgr_.and_(f, set ? mgr_.var(addr_var(bit)) : mgr_.nvar(addr_var(bit)));
+  }
+  return f;
+}
+
+bdd::NodeId Encoding::prefix_match(const net::PrefixMatch& m) {
+  bdd::NodeId f = mgr_.and_(len_ge(m.ge), len_le(m.le));
+  for (std::uint32_t bit = 0; bit < m.base.len; ++bit) {
+    const bool set = (m.base.addr >> (31 - bit)) & 1;
+    f = mgr_.and_(f, set ? mgr_.var(addr_var(bit)) : mgr_.nvar(addr_var(bit)));
+  }
+  return f;
+}
+
+bdd::NodeId Encoding::addr_of(std::uint32_t ip) {
+  bdd::NodeId f = bdd::kTrue;
+  for (std::uint32_t bit = 0; bit < 32; ++bit) {
+    const bool set = (ip >> (31 - bit)) & 1;
+    f = mgr_.and_(f, set ? mgr_.var(addr_var(bit)) : mgr_.nvar(addr_var(bit)));
+  }
+  return f;
+}
+
+bdd::NodeId Encoding::addr_in(const net::Ipv4Prefix& p) {
+  bdd::NodeId f = bdd::kTrue;
+  for (std::uint32_t bit = 0; bit < p.len; ++bit) {
+    const bool set = (p.addr >> (31 - bit)) & 1;
+    f = mgr_.and_(f, set ? mgr_.var(addr_var(bit)) : mgr_.nvar(addr_var(bit)));
+  }
+  return f;
+}
+
+bdd::NodeId Encoding::cond(bdd::NodeId d) {
+  return mgr_.exists(d, prefix_vars());
+}
+
+std::vector<net::Ipv4Prefix> Encoding::materialize_prefixes(
+    bdd::NodeId d, const std::vector<net::Ipv4Prefix>& universe) {
+  std::vector<net::Ipv4Prefix> out;
+  for (const auto& p : universe) {
+    if (!mgr_.is_false(mgr_.and_(d, prefix_exact(p)))) out.push_back(p);
+  }
+  return out;
+}
+
+Encoding::Witness Encoding::witness(bdd::NodeId d) {
+  Witness w;
+  std::vector<std::int8_t> a;
+  const bool ok = mgr_.sat_one(d, a);
+  assert(ok);
+  (void)ok;
+  std::uint32_t addr = 0;
+  for (std::uint32_t bit = 0; bit < 32; ++bit) {
+    if (a[addr_var(bit)] == 1) addr |= 1u << (31 - bit);
+  }
+  std::uint8_t len = 0;
+  for (std::uint32_t bit = 0; bit < 6; ++bit) {
+    if (a[len_var(bit)] == 1) len |= 1u << (5 - bit);
+  }
+  if (len > 32) len = 32;  // don't-care length bits may exceed 32
+  w.prefix = net::Ipv4Prefix::make(addr, len);
+  w.advertises.resize(num_neighbors_);
+  for (std::uint32_t i = 0; i < num_neighbors_; ++i) {
+    w.advertises[i] = a[adv_var(i)];
+  }
+  return w;
+}
+
+std::vector<std::string> Encoding::var_names(
+    const std::vector<std::string>& neighbor_names) const {
+  std::vector<std::string> names(mgr_.num_vars());
+  for (std::uint32_t i = 0; i < 32; ++i) {
+    names[addr_var(i)] = "p" + std::to_string(i + 1);
+  }
+  for (std::uint32_t i = 0; i < 6; ++i) {
+    names[len_var(i)] = "l" + std::to_string(i + 1);
+  }
+  for (std::uint32_t i = 0; i < num_neighbors_; ++i) {
+    names[adv_var(i)] = i < neighbor_names.size()
+                            ? "n[" + neighbor_names[i] + "]"
+                            : "n" + std::to_string(i + 1);
+  }
+  for (std::uint32_t i = 0; i < num_atoms_; ++i) {
+    names[atom_var(i)] = "c" + std::to_string(i + 1);
+  }
+  for (const auto& [key, v] : dp_vars_) {
+    names[v] = "n" + std::to_string(key.first + 1) + "^" +
+               std::to_string(static_cast<unsigned>(key.second));
+  }
+  return names;
+}
+
+}  // namespace expresso::symbolic

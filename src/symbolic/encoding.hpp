@@ -1,0 +1,118 @@
+// Variable layout and prefix/advertiser encodings over the shared BDD
+// manager (paper sections 3.1, 4.2 and 5.1).
+//
+// Control plane universe (38 + n + k variables):
+//   [0, 32)            address bits p1..p32, MSB first
+//   [32, 38)           prefix-length bits l1..l6, MSB first (values 0..32)
+//   [38, 38+n)         advertiser bits n_i, one per external neighbor
+//   [38+n, 38+n+k)     community atom bits c_a, one per community atom
+//
+// Data plane advertiser variables n_i^j (one per neighbor x observed prefix
+// length) are allocated lazily on top, which is why real snapshots need only
+// "8 and 11 more variables on average" per neighbor (paper section 5.1).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bdd/bdd.hpp"
+#include "net/prefix.hpp"
+
+namespace expresso::symbolic {
+
+class Encoding {
+ public:
+  // `num_neighbors` external neighbors and `num_atoms` community atoms.
+  Encoding(std::uint32_t num_neighbors, std::uint32_t num_atoms);
+
+  bdd::Manager& mgr() { return mgr_; }
+  const bdd::Manager& mgr() const { return mgr_; }
+
+  std::uint32_t num_neighbors() const { return num_neighbors_; }
+  std::uint32_t num_atoms() const { return num_atoms_; }
+
+  // --- variable indices -----------------------------------------------------
+  std::uint32_t addr_var(std::uint32_t bit) const { return bit; }  // 0..31
+  std::uint32_t len_var(std::uint32_t bit) const { return 32 + bit; }  // 0..5
+  std::uint32_t adv_var(std::uint32_t neighbor) const {
+    return 38 + neighbor;
+  }
+  std::uint32_t atom_var(std::uint32_t atom) const {
+    return 38 + num_neighbors_ + atom;
+  }
+  // Data-plane advertiser variable n_i^j.  Indices are laid out
+  // length-major (all neighbors of one length adjacent): per-length port
+  // predicates conjoin clauses over same-length variables across many
+  // lengths, and a neighbor-major layout makes those conjunctions
+  // exponential in the BDD order.  Marks the variable as used (the paper's
+  // "8 and 11 more variables on average" statistic counts used variables).
+  std::uint32_t dp_adv_var(std::uint32_t neighbor, std::uint8_t len);
+  // Number of data-plane variables actually used so far.
+  std::uint32_t num_dp_vars() const {
+    return static_cast<std::uint32_t>(dp_vars_.size());
+  }
+  // All used data-plane variables: ((neighbor, length) -> var index).
+  const std::map<std::pair<std::uint32_t, std::uint8_t>, std::uint32_t>&
+  dp_var_map() const {
+    return dp_vars_;
+  }
+
+  std::vector<std::uint32_t> addr_vars() const;
+  std::vector<std::uint32_t> len_vars() const;
+  std::vector<std::uint32_t> adv_vars() const;
+  std::vector<std::uint32_t> atom_vars() const;
+  std::vector<std::uint32_t> prefix_vars() const;  // addr + len
+
+  // --- predicates -------------------------------------------------------------
+  // Prefix-length value predicates over the 6 length bits.
+  bdd::NodeId len_eq(std::uint8_t len);
+  bdd::NodeId len_ge(std::uint8_t len);
+  bdd::NodeId len_le(std::uint8_t len);
+  // Valid length (0..32): conjoin into every external wildcard.
+  bdd::NodeId len_valid() { return len_le(32); }
+
+  // Exact prefix: length fixed, the first `len` address bits fixed, trailing
+  // address bits free (the paper's don't-care convention, figure 3).
+  bdd::NodeId prefix_exact(const net::Ipv4Prefix& p);
+  // A prefix-list entry with its ge/le window.
+  bdd::NodeId prefix_match(const net::PrefixMatch& m);
+  // Destination address predicate for a concrete IP (all 32 address bits).
+  bdd::NodeId addr_of(std::uint32_t ip);
+  // Packets whose destination lies inside p (address bits only — the data
+  // plane view of a prefix).
+  bdd::NodeId addr_in(const net::Ipv4Prefix& p);
+
+  bdd::NodeId adv(std::uint32_t neighbor) { return mgr_.var(adv_var(neighbor)); }
+  bdd::NodeId atom(std::uint32_t a) { return mgr_.var(atom_var(a)); }
+
+  // Cond() from the paper (section 6.1): drops the prefix dimensions,
+  // keeping the advertiser condition.
+  bdd::NodeId cond(bdd::NodeId d);
+
+  // Enumerates the concrete prefixes denoted by d within a candidate
+  // universe (tests / violation reports): those p with d ∧ exact(p) != ⊥.
+  std::vector<net::Ipv4Prefix> materialize_prefixes(
+      bdd::NodeId d, const std::vector<net::Ipv4Prefix>& universe);
+
+  // Extracts one concrete (prefix, environment) witness from a non-empty d.
+  // The environment is reported per neighbor: 1 advertise, 0 not, -1 either.
+  struct Witness {
+    net::Ipv4Prefix prefix;
+    std::vector<std::int8_t> advertises;
+  };
+  Witness witness(bdd::NodeId d);
+
+  // Human-readable variable names (for bdd::Manager::to_string).
+  std::vector<std::string> var_names(
+      const std::vector<std::string>& neighbor_names) const;
+
+ private:
+  std::uint32_t num_neighbors_;
+  std::uint32_t num_atoms_;
+  bdd::Manager mgr_;
+  std::map<std::pair<std::uint32_t, std::uint8_t>, std::uint32_t> dp_vars_;
+};
+
+}  // namespace expresso::symbolic

@@ -1,0 +1,102 @@
+#include "symbolic/route.hpp"
+
+#include <algorithm>
+
+namespace expresso::symbolic {
+
+int compare_preference(const RouteAttrs& a, const RouteAttrs& b) {
+  // Administrative distance: connected > static > BGP.
+  if (a.source != b.source) return a.source < b.source ? 1 : -1;
+  if (a.source != Source::kBgp) {
+    // Same non-BGP source: equally preferred (distinct prefixes in practice).
+    return 0;
+  }
+  // BGP decision process.
+  if (a.local_pref != b.local_pref) {
+    return a.local_pref > b.local_pref ? 1 : -1;
+  }
+  const int la = a.aspath.min_length();
+  const int lb = b.aspath.min_length();
+  if (la != lb) return la < lb ? 1 : -1;
+  if (a.origin != b.origin) return a.origin < b.origin ? 1 : -1;
+  if (a.med != b.med) return a.med < b.med ? 1 : -1;
+  const bool ae = a.learned == Learned::kEbgp || a.learned == Learned::kOrigin;
+  const bool be = b.learned == Learned::kEbgp || b.learned == Learned::kOrigin;
+  if (ae != be) return ae ? 1 : -1;
+  // Final deterministic tie-breaks standing in for the BGP router-id step:
+  // without them every equally-preferred neighbor ties, and the ECMP
+  // replication makes PEC counts explode combinatorially.
+  if (a.originator != b.originator) {
+    return a.originator < b.originator ? 1 : -1;
+  }
+  if (a.next_hop != b.next_hop) return a.next_hop < b.next_hop ? 1 : -1;
+  return 0;
+}
+
+std::vector<SymbolicRoute> merge_routes(
+    Encoding& enc, std::vector<SymbolicRoute> candidates) {
+  auto& mgr = enc.mgr();
+  std::vector<SymbolicRoute> best;
+  for (auto& cand : candidates) {
+    if (cand.vacuous()) continue;
+    SymbolicRoute r = std::move(cand);
+    bool dead = false;
+    for (auto& b : best) {
+      if (b.d == bdd::kFalse) continue;
+      const int cmp = compare_preference(b.attrs, r.attrs);
+      if (cmp > 0) {
+        // b wins wherever both cover the same (prefix, env) point.
+        r.d = mgr.diff(r.d, b.d);
+        if (r.d == bdd::kFalse) {
+          dead = true;
+          break;
+        }
+      } else if (cmp < 0) {
+        b.d = mgr.diff(b.d, r.d);
+      }
+      // cmp == 0: equal preference, both survive everywhere (ECMP).
+    }
+    if (!dead) best.push_back(std::move(r));
+    // Purge emptied entries occasionally.
+    best.erase(std::remove_if(best.begin(), best.end(),
+                              [](const SymbolicRoute& x) {
+                                return x.d == bdd::kFalse;
+                              }),
+               best.end());
+  }
+  // Coalesce identical-attribute routes.
+  std::vector<SymbolicRoute> out;
+  for (auto& r : best) {
+    bool merged = false;
+    for (auto& o : out) {
+      if (o.attrs == r.attrs) {
+        o.d = mgr.or_(o.d, r.d);
+        merged = true;
+        break;
+      }
+    }
+    if (!merged) out.push_back(std::move(r));
+  }
+  return out;
+}
+
+bool same_rib(const std::vector<SymbolicRoute>& a,
+              const std::vector<SymbolicRoute>& b) {
+  if (a.size() != b.size()) return false;
+  // Quadratic matching; RIB entry counts per node stay small.
+  std::vector<bool> used(b.size(), false);
+  for (const auto& ra : a) {
+    bool found = false;
+    for (std::size_t j = 0; j < b.size(); ++j) {
+      if (!used[j] && ra.d == b[j].d && ra.attrs == b[j].attrs) {
+        used[j] = true;
+        found = true;
+        break;
+      }
+    }
+    if (!found) return false;
+  }
+  return true;
+}
+
+}  // namespace expresso::symbolic

@@ -1,0 +1,82 @@
+// Symbolic routes and the merge function ⊕ (paper sections 4.2–4.3).
+//
+// A SymbolicRoute is the tuple (D, ⟨asp, comm, attr⟩) of equation (1):
+// D is a BDD over prefix ⨯ advertiser-condition variables; asp and comm are
+// symbolic attribute sets; the remaining attributes are concrete and shared
+// by every concrete route in the unfolding.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "automaton/aspath.hpp"
+#include "net/network.hpp"
+#include "symbolic/community_set.hpp"
+#include "symbolic/encoding.hpp"
+
+namespace expresso::symbolic {
+
+// How a route reached the router holding it; drives iBGP re-advertisement
+// rules and the eBGP-over-iBGP preference step.
+enum class Learned : std::uint8_t {
+  kOrigin,      // locally originated (bgp network / redistribution)
+  kEbgp,        // learned over an eBGP session
+  kIbgpClient,  // learned over iBGP from one of our route-reflector clients
+  kIbgp,        // learned over plain iBGP
+};
+
+// RIB source protocol; orders route preference across protocols the way
+// administrative distance does (connected < static < BGP).
+enum class Source : std::uint8_t { kConnected = 0, kStatic = 1, kBgp = 2 };
+
+struct RouteAttrs {
+  automaton::AsPath aspath;
+  CommunitySet comm;
+  std::uint32_t local_pref = 100;
+  std::uint8_t origin = 0;  // concrete default (paper section 4.2)
+  std::uint32_t med = 0;    // concrete default
+  Learned learned = Learned::kOrigin;
+  Source source = Source::kBgp;
+  net::NodeIndex next_hop = 0;
+  net::NodeIndex originator = 0;
+
+  bool operator==(const RouteAttrs& other) const {
+    return aspath == other.aspath && comm == other.comm &&
+           local_pref == other.local_pref && origin == other.origin &&
+           med == other.med && learned == other.learned &&
+           source == other.source && next_hop == other.next_hop &&
+           originator == other.originator;
+  }
+};
+
+struct SymbolicRoute {
+  bdd::NodeId d = bdd::kFalse;
+  RouteAttrs attrs;
+  // Propagation path (node indices, origin first); reporting only, not part
+  // of route identity.
+  std::vector<net::NodeIndex> prop_path;
+
+  bool vacuous() const {
+    return d == bdd::kFalse || attrs.aspath.is_empty() ||
+           attrs.comm.is_empty();
+  }
+};
+
+// The preference order ρ (paper section 4.3): BGP decision process with the
+// symbolic AS path represented by its shortest member length.  Returns
+// +1 when a is preferred, -1 when b is preferred, 0 for an exact preference
+// tie (ECMP — both survive the merge).
+int compare_preference(const RouteAttrs& a, const RouteAttrs& b);
+
+// Merge per equation (5), lifted to sets: keeps, for every (prefix, env)
+// point, exactly the most-preferred candidate attrs, splitting D regions as
+// needed.  Routes with identical attrs are coalesced by OR-ing their D.
+std::vector<SymbolicRoute> merge_routes(Encoding& enc,
+                                        std::vector<SymbolicRoute> candidates);
+
+// Equality of RIBs up to ordering (fixed-point detection).
+bool same_rib(const std::vector<SymbolicRoute>& a,
+              const std::vector<SymbolicRoute>& b);
+
+}  // namespace expresso::symbolic

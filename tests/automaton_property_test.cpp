@@ -1,0 +1,135 @@
+// Randomized algebraic property tests for the DFA substrate: language
+// algebra laws on random automata, and canonical-form invariants.
+#include <gtest/gtest.h>
+
+#include <functional>
+
+#include "automaton/dfa.hpp"
+#include "support/util.hpp"
+
+namespace expresso::automaton {
+namespace {
+
+// A random total DFA with up to 5 states over a small alphabet.
+Dfa random_dfa(SplitMix64& rng, std::uint32_t k) {
+  const std::uint32_t n = 2 + static_cast<std::uint32_t>(rng.below(4));
+  std::vector<State> next(n * k);
+  std::vector<bool> acc(n);
+  for (std::uint32_t q = 0; q < n; ++q) {
+    acc[q] = rng.chance(1, 3);
+    for (Symbol s = 0; s < k; ++s) {
+      next[q * k + s] = static_cast<State>(rng.below(n));
+    }
+  }
+  Dfa d(k, n, 0, std::move(next), std::move(acc));
+  d.canonicalize();
+  return d;
+}
+
+// All words up to length `max_len` (for brute-force language comparison).
+void for_each_word(std::uint32_t k, std::size_t max_len,
+                   const std::function<void(const std::vector<Symbol>&)>& f) {
+  std::vector<Symbol> word;
+  std::function<void(std::size_t)> rec = [&](std::size_t depth) {
+    f(word);
+    if (depth == max_len) return;
+    for (Symbol s = 0; s < k; ++s) {
+      word.push_back(s);
+      rec(depth + 1);
+      word.pop_back();
+    }
+  };
+  rec(0);
+}
+
+class DfaAlgebraTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DfaAlgebraTest, BooleanAlgebraLaws) {
+  SplitMix64 rng(GetParam());
+  const std::uint32_t k = 2 + static_cast<std::uint32_t>(rng.below(2));
+  const Dfa a = random_dfa(rng, k);
+  const Dfa b = random_dfa(rng, k);
+  const Dfa c = random_dfa(rng, k);
+
+  // Commutativity and associativity (on canonical forms: equality is
+  // language equality).
+  EXPECT_EQ(a.intersect(b), b.intersect(a));
+  EXPECT_EQ(a.union_(b), b.union_(a));
+  EXPECT_EQ(a.intersect(b).intersect(c), a.intersect(b.intersect(c)));
+  EXPECT_EQ(a.union_(b).union_(c), a.union_(b.union_(c)));
+  // Idempotence and absorption.
+  EXPECT_EQ(a.intersect(a), a);
+  EXPECT_EQ(a.union_(a), a);
+  EXPECT_EQ(a.intersect(a.union_(b)), a);
+  EXPECT_EQ(a.union_(a.intersect(b)), a);
+  // De Morgan.
+  EXPECT_EQ(a.intersect(b).complement(),
+            a.complement().union_(b.complement()));
+  // Identity elements.
+  EXPECT_EQ(a.intersect(Dfa::universe(k)), a);
+  EXPECT_EQ(a.union_(Dfa::empty(k)), a);
+  EXPECT_TRUE(a.intersect(Dfa::empty(k)).is_empty());
+  EXPECT_EQ(a.union_(Dfa::universe(k)), Dfa::universe(k));
+  // Double complement.
+  EXPECT_EQ(a.complement().complement(), a);
+}
+
+TEST_P(DfaAlgebraTest, OperationsMatchBruteForceSemantics) {
+  SplitMix64 rng(GetParam() ^ 0x5eedULL);
+  const std::uint32_t k = 2;
+  const Dfa a = random_dfa(rng, k);
+  const Dfa b = random_dfa(rng, k);
+  const Dfa inter = a.intersect(b);
+  const Dfa uni = a.union_(b);
+  const Dfa comp = a.complement();
+  const Dfa cat = a.concat(b);
+  const Dfa pre = a.prepend(1);
+
+  for_each_word(k, 5, [&](const std::vector<Symbol>& w) {
+    const bool in_a = a.accepts(w);
+    const bool in_b = b.accepts(w);
+    EXPECT_EQ(inter.accepts(w), in_a && in_b);
+    EXPECT_EQ(uni.accepts(w), in_a || in_b);
+    EXPECT_EQ(comp.accepts(w), !in_a);
+    // Concatenation: some split puts the halves in a and b.
+    bool split_ok = false;
+    for (std::size_t i = 0; i <= w.size(); ++i) {
+      const std::vector<Symbol> left(w.begin(), w.begin() + i);
+      const std::vector<Symbol> right(w.begin() + i, w.end());
+      split_ok = split_ok || (a.accepts(left) && b.accepts(right));
+    }
+    EXPECT_EQ(cat.accepts(w), split_ok);
+    // Prepend: first symbol must be 1 and the tail in a.
+    const bool pre_ok =
+        !w.empty() && w[0] == 1 &&
+        a.accepts(std::vector<Symbol>(w.begin() + 1, w.end()));
+    EXPECT_EQ(pre.accepts(w), pre_ok);
+  });
+}
+
+TEST_P(DfaAlgebraTest, ShortestWordIsShortestAndAccepted) {
+  SplitMix64 rng(GetParam() ^ 0xabcdULL);
+  const std::uint32_t k = 2;
+  const Dfa a = random_dfa(rng, k);
+  const int len = a.shortest_word_length();
+  if (len < 0) {
+    EXPECT_TRUE(a.is_empty());
+    return;
+  }
+  const auto w = a.shortest_word();
+  EXPECT_EQ(static_cast<int>(w.size()), len);
+  EXPECT_TRUE(a.accepts(w));
+  // No shorter word is accepted.
+  for_each_word(k, static_cast<std::size_t>(len) - (len > 0 ? 1 : 0),
+                [&](const std::vector<Symbol>& shorter) {
+                  if (static_cast<int>(shorter.size()) < len) {
+                    EXPECT_FALSE(a.accepts(shorter));
+                  }
+                });
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DfaAlgebraTest,
+                         ::testing::Range<std::uint64_t>(0, 20));
+
+}  // namespace
+}  // namespace expresso::automaton

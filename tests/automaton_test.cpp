@@ -1,0 +1,228 @@
+#include "automaton/dfa.hpp"
+
+#include <gtest/gtest.h>
+
+#include "automaton/aspath.hpp"
+#include "automaton/regex.hpp"
+#include "support/util.hpp"
+
+namespace expresso::automaton {
+namespace {
+
+AsAlphabet small_alphabet() {
+  AsAlphabet a;
+  a.intern(100);
+  a.intern(200);
+  a.intern(300);
+  a.intern(400);
+  a.freeze();
+  return a;
+}
+
+TEST(DfaTest, FactoriesHaveExpectedLanguages) {
+  const std::uint32_t k = 3;
+  const Dfa e = Dfa::empty(k);
+  const Dfa u = Dfa::universe(k);
+  const Dfa eps = Dfa::epsilon(k);
+  const Dfa s1 = Dfa::single(k, 1);
+
+  EXPECT_TRUE(e.is_empty());
+  EXPECT_FALSE(u.is_empty());
+  EXPECT_EQ(u.shortest_word_length(), 0);
+  EXPECT_EQ(eps.shortest_word_length(), 0);
+  EXPECT_FALSE(eps.accepts(std::vector<Symbol>{0}));
+  EXPECT_TRUE(s1.accepts(std::vector<Symbol>{1}));
+  EXPECT_FALSE(s1.accepts(std::vector<Symbol>{0}));
+  EXPECT_FALSE(s1.accepts(std::vector<Symbol>{1, 1}));
+}
+
+TEST(DfaTest, ContainingMatchesAnywhere) {
+  const Dfa c = Dfa::containing(3, 2);
+  EXPECT_TRUE(c.accepts(std::vector<Symbol>{2}));
+  EXPECT_TRUE(c.accepts(std::vector<Symbol>{0, 2, 1}));
+  EXPECT_FALSE(c.accepts(std::vector<Symbol>{0, 1, 0}));
+  EXPECT_FALSE(c.accepts(std::vector<Symbol>{}));
+}
+
+TEST(DfaTest, CanonicalEqualityIsLanguageEquality) {
+  const std::uint32_t k = 2;
+  // Two syntactically different constructions of the same language: words
+  // containing symbol 0.
+  const Dfa a = Dfa::containing(k, 0);
+  const Dfa b = Dfa::universe(k)
+                    .concat(Dfa::single(k, 0))
+                    .concat(Dfa::universe(k));
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.hash(), b.hash());
+}
+
+TEST(DfaTest, ComplementIsInvolutive) {
+  const Dfa c = Dfa::containing(4, 1);
+  EXPECT_EQ(c.complement().complement(), c);
+  EXPECT_TRUE(c.intersect(c.complement()).is_empty());
+}
+
+TEST(DfaTest, IntersectAndUnionAlgebra) {
+  const std::uint32_t k = 3;
+  const Dfa a = Dfa::containing(k, 0);
+  const Dfa b = Dfa::containing(k, 1);
+  const Dfa both = a.intersect(b);
+  EXPECT_TRUE(both.accepts(std::vector<Symbol>{0, 1}));
+  EXPECT_FALSE(both.accepts(std::vector<Symbol>{0, 0}));
+  const Dfa either = a.union_(b);
+  EXPECT_TRUE(either.accepts(std::vector<Symbol>{0}));
+  EXPECT_TRUE(either.accepts(std::vector<Symbol>{2, 1}));
+  EXPECT_FALSE(either.accepts(std::vector<Symbol>{2, 2}));
+  // Distribution law on canonical forms.
+  EXPECT_EQ(a.intersect(either), a);
+}
+
+TEST(DfaTest, PrependAndShortestWord) {
+  const std::uint32_t k = 3;
+  const Dfa u = Dfa::universe(k);
+  const Dfa p = u.prepend(2);  // "2 .*"
+  EXPECT_EQ(p.shortest_word_length(), 1);
+  EXPECT_TRUE(p.accepts(std::vector<Symbol>{2}));
+  EXPECT_TRUE(p.accepts(std::vector<Symbol>{2, 0, 1}));
+  EXPECT_FALSE(p.accepts(std::vector<Symbol>{0, 2}));
+  const auto w = p.shortest_word();
+  ASSERT_EQ(w.size(), 1u);
+  EXPECT_EQ(w[0], 2u);
+  EXPECT_EQ(Dfa::empty(k).shortest_word_length(), -1);
+}
+
+TEST(DfaTest, AppendWorksSymmetrically) {
+  const std::uint32_t k = 2;
+  const Dfa p = Dfa::epsilon(k).append(1).append(0);
+  EXPECT_TRUE(p.accepts(std::vector<Symbol>{1, 0}));
+  EXPECT_FALSE(p.accepts(std::vector<Symbol>{0, 1}));
+}
+
+TEST(RegexTest, PaperPatterns) {
+  const AsAlphabet a = small_alphabet();
+  const Symbol s100 = *a.lookup(100);
+  const Symbol s200 = *a.lookup(200);
+  const Symbol s400 = *a.lookup(400);
+
+  const Dfa any = compile_regex(".*", a);
+  EXPECT_EQ(any, Dfa::universe(a.size()));
+
+  const Dfa starts100 = compile_regex("100.*", a);
+  EXPECT_TRUE(starts100.accepts(std::vector<Symbol>{s100}));
+  EXPECT_TRUE(starts100.accepts(std::vector<Symbol>{s100, s200}));
+  EXPECT_FALSE(starts100.accepts(std::vector<Symbol>{s200, s100}));
+
+  const Dfa ends400 = compile_regex(".*400", a);
+  EXPECT_TRUE(ends400.accepts(std::vector<Symbol>{s400}));
+  EXPECT_TRUE(ends400.accepts(std::vector<Symbol>{s100, s400}));
+  EXPECT_FALSE(ends400.accepts(std::vector<Symbol>{s400, s100}));
+
+  const Dfa two200 = compile_regex("200,200.*", a);
+  EXPECT_TRUE(two200.accepts(std::vector<Symbol>{s200, s200}));
+  EXPECT_TRUE(two200.accepts(std::vector<Symbol>{s200, s200, s100}));
+  EXPECT_FALSE(two200.accepts(std::vector<Symbol>{s200}));
+
+  const Dfa alt = compile_regex("(100|200).*", a);
+  EXPECT_TRUE(alt.accepts(std::vector<Symbol>{s100}));
+  EXPECT_TRUE(alt.accepts(std::vector<Symbol>{s200, s400}));
+  EXPECT_FALSE(alt.accepts(std::vector<Symbol>{s400}));
+}
+
+TEST(RegexTest, DotMatchesOtherSymbol) {
+  const AsAlphabet a = small_alphabet();
+  const Dfa one = compile_regex(".", a);
+  EXPECT_TRUE(one.accepts(std::vector<Symbol>{a.other()}));
+  EXPECT_FALSE(one.accepts(std::vector<Symbol>{}));
+  EXPECT_FALSE(one.accepts(std::vector<Symbol>{0, 0}));
+}
+
+TEST(RegexTest, SyntaxErrorsThrow) {
+  const AsAlphabet a = small_alphabet();
+  EXPECT_THROW(compile_regex("(100", a), RegexError);
+  EXPECT_THROW(compile_regex("100)", a), RegexError);
+  EXPECT_THROW(compile_regex("10$0", a), RegexError);
+  EXPECT_THROW(compile_regex("999.*", a), RegexError);  // unknown AS
+}
+
+TEST(AsPathTest, SymbolicLifecycle) {
+  const AsAlphabet a = small_alphabet();
+  const Symbol s100 = *a.lookup(100);
+  const Symbol s300 = *a.lookup(300);
+
+  AsPath any = AsPath::any(a);
+  EXPECT_FALSE(any.is_empty());
+  EXPECT_EQ(any.min_length(), 0);
+
+  // eBGP import at AS 300 with loop check, then export prepending 300.
+  AsPath imported = any.without_as(s300);
+  AsPath exported = imported.prepend(s300);
+  EXPECT_EQ(exported.min_length(), 1);
+  auto w = exported.witness();
+  ASSERT_FALSE(w.empty());
+  EXPECT_EQ(w[0], s300);
+
+  // A second loop check for AS 300 must now deny everything.
+  EXPECT_TRUE(exported.without_as(s300).is_empty());
+
+  // Filter "100.*" applied to "300 ·" paths: empty.
+  const Dfa f = compile_regex("100.*", a);
+  EXPECT_TRUE(exported.filter(f).is_empty());
+  EXPECT_FALSE(any.filter(f).is_empty());
+  EXPECT_EQ(any.filter(f).min_length(), 1);
+  (void)s100;
+}
+
+TEST(AsPathTest, ConcreteLifecycle) {
+  const AsAlphabet a = small_alphabet();
+  const Symbol s100 = *a.lookup(100);
+  const Symbol s300 = *a.lookup(300);
+
+  AsPath p = AsPath::concrete({s100}, a.size());
+  EXPECT_EQ(p.min_length(), 1);
+  AsPath q = p.prepend(s300);
+  EXPECT_EQ(q.min_length(), 2);
+  EXPECT_EQ(q.witness(), (std::vector<Symbol>{s300, s100}));
+
+  const Dfa f = compile_regex(".*100", a);
+  EXPECT_FALSE(q.filter(f).is_empty());
+  const Dfa g = compile_regex("100.*", a);
+  EXPECT_TRUE(q.filter(g).is_empty());
+
+  EXPECT_TRUE(q.without_as(s300).is_empty());
+  EXPECT_FALSE(p.without_as(s300).is_empty());
+}
+
+TEST(AsPathTest, EqualityAndHash) {
+  const AsAlphabet a = small_alphabet();
+  const AsPath x = AsPath::any(a).prepend(0);
+  const AsPath y = AsPath::symbolic(compile_regex("100.*", a));
+  EXPECT_EQ(x, y);
+  EXPECT_EQ(x.hash(), y.hash());
+  EXPECT_FALSE(x == AsPath::any(a));
+}
+
+// Property sweep: random sequences of prepend/filter operations agree with
+// direct word simulation.
+class AsPathRandomTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(AsPathRandomTest, PrependChainShortestLength) {
+  const AsAlphabet a = small_alphabet();
+  expresso::SplitMix64 rng(GetParam());
+  AsPath p = AsPath::any(a);
+  std::vector<Symbol> prepended;
+  const int n = 1 + static_cast<int>(rng.below(5));
+  for (int i = 0; i < n; ++i) {
+    const Symbol s = static_cast<Symbol>(rng.below(a.size()));
+    p = p.prepend(s);
+    prepended.insert(prepended.begin(), s);
+  }
+  EXPECT_EQ(p.min_length(), n);
+  // The shortest witness must be exactly the prepended sequence.
+  EXPECT_EQ(p.witness(), prepended);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AsPathRandomTest,
+                         ::testing::Range<std::uint64_t>(0, 10));
+
+}  // namespace
+}  // namespace expresso::automaton

@@ -1,0 +1,206 @@
+#include "bdd/bdd.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/util.hpp"
+
+namespace expresso::bdd {
+namespace {
+
+class BddTest : public ::testing::Test {
+ protected:
+  Manager m{8};
+};
+
+TEST_F(BddTest, TerminalsAreDistinct) {
+  EXPECT_TRUE(m.is_false(kFalse));
+  EXPECT_TRUE(m.is_true(kTrue));
+  EXPECT_NE(kFalse, kTrue);
+}
+
+TEST_F(BddTest, VarAndNvarAreComplements) {
+  for (std::uint32_t v = 0; v < m.num_vars(); ++v) {
+    EXPECT_EQ(m.not_(m.var(v)), m.nvar(v));
+    EXPECT_EQ(m.not_(m.nvar(v)), m.var(v));
+  }
+}
+
+TEST_F(BddTest, HashConsingGivesCanonicalForm) {
+  const NodeId a = m.and_(m.var(0), m.var(1));
+  const NodeId b = m.and_(m.var(1), m.var(0));
+  EXPECT_EQ(a, b);
+  const NodeId c = m.not_(m.or_(m.nvar(0), m.nvar(1)));  // De Morgan
+  EXPECT_EQ(a, c);
+}
+
+TEST_F(BddTest, BasicIdentities) {
+  const NodeId x = m.var(0), y = m.var(1);
+  EXPECT_EQ(m.and_(x, kTrue), x);
+  EXPECT_EQ(m.and_(x, kFalse), kFalse);
+  EXPECT_EQ(m.or_(x, kFalse), x);
+  EXPECT_EQ(m.or_(x, kTrue), kTrue);
+  EXPECT_EQ(m.and_(x, m.not_(x)), kFalse);
+  EXPECT_EQ(m.or_(x, m.not_(x)), kTrue);
+  EXPECT_EQ(m.xor_(x, x), kFalse);
+  EXPECT_EQ(m.xor_(x, y), m.xor_(y, x));
+  EXPECT_EQ(m.diff(x, y), m.and_(x, m.not_(y)));
+  EXPECT_EQ(m.implies(x, y), m.or_(m.not_(x), y));
+  EXPECT_EQ(m.iff(x, y), m.not_(m.xor_(x, y)));
+}
+
+TEST_F(BddTest, IteMatchesTruthTable) {
+  const NodeId f = m.ite(m.var(0), m.var(1), m.var(2));
+  // f = x0 ? x1 : x2.  Check all 8 assignments by restriction.
+  for (int a = 0; a < 2; ++a) {
+    for (int b = 0; b < 2; ++b) {
+      for (int c = 0; c < 2; ++c) {
+        NodeId r = m.restrict_(f, 0, a);
+        r = m.restrict_(r, 1, b);
+        r = m.restrict_(r, 2, c);
+        const bool expect = a ? b : c;
+        EXPECT_EQ(r, expect ? kTrue : kFalse)
+            << "a=" << a << " b=" << b << " c=" << c;
+      }
+    }
+  }
+}
+
+TEST_F(BddTest, ExistsProjectsVariableAway) {
+  const NodeId f = m.and_(m.var(0), m.var(1));
+  const NodeId g = m.exists(f, {0});
+  EXPECT_EQ(g, m.var(1));
+  EXPECT_EQ(m.exists(f, {0, 1}), kTrue);
+  EXPECT_EQ(m.exists(kFalse, {0}), kFalse);
+}
+
+TEST_F(BddTest, ForallDualOfExists) {
+  const NodeId f = m.or_(m.var(0), m.var(1));
+  EXPECT_EQ(m.forall(f, {0}), m.var(1));
+  EXPECT_EQ(m.forall(m.var(0), {0}), kFalse);
+  EXPECT_EQ(m.forall(kTrue, {0, 1, 2}), kTrue);
+}
+
+TEST_F(BddTest, RenameMovesSupport) {
+  const NodeId f = m.and_(m.var(0), m.nvar(2));
+  const NodeId g = m.rename(f, {{0, 5}, {2, 6}});
+  EXPECT_EQ(g, m.and_(m.var(5), m.nvar(6)));
+  const auto sup = m.support(g);
+  EXPECT_EQ(sup, (std::vector<std::uint32_t>{5, 6}));
+}
+
+TEST_F(BddTest, RenameToLowerIndexIsSafe) {
+  // The rename target may order before the source variable.
+  const NodeId f = m.var(5);
+  EXPECT_EQ(m.rename(f, {{5, 1}}), m.var(1));
+}
+
+TEST_F(BddTest, SatOneFindsModel) {
+  const NodeId f = m.and_(m.and_(m.var(0), m.nvar(3)), m.var(7));
+  std::vector<std::int8_t> a;
+  ASSERT_TRUE(m.sat_one(f, a));
+  EXPECT_EQ(a[0], 1);
+  EXPECT_EQ(a[3], 0);
+  EXPECT_EQ(a[7], 1);
+  EXPECT_FALSE(m.sat_one(kFalse, a));
+}
+
+TEST_F(BddTest, SatCountIsExact) {
+  EXPECT_DOUBLE_EQ(m.sat_count(kTrue), 256.0);
+  EXPECT_DOUBLE_EQ(m.sat_count(kFalse), 0.0);
+  EXPECT_DOUBLE_EQ(m.sat_count(m.var(0)), 128.0);
+  const NodeId f = m.or_(m.var(0), m.var(1));
+  EXPECT_DOUBLE_EQ(m.sat_count(f), 192.0);
+  const NodeId g = m.xor_(m.var(2), m.var(5));
+  EXPECT_DOUBLE_EQ(m.sat_count(g), 128.0);
+}
+
+TEST_F(BddTest, SupportIsSortedAndExact) {
+  const NodeId f = m.or_(m.and_(m.var(3), m.var(1)), m.var(6));
+  EXPECT_EQ(m.support(f), (std::vector<std::uint32_t>{1, 3, 6}));
+  EXPECT_TRUE(m.support(kTrue).empty());
+}
+
+TEST_F(BddTest, CubesCoverFunction) {
+  const NodeId f = m.or_(m.and_(m.var(0), m.var(1)), m.nvar(2));
+  const auto cs = m.cubes(f, 64);
+  // Rebuild f from its cubes; must be identical.
+  NodeId rebuilt = kFalse;
+  for (const auto& cube : cs) {
+    NodeId c = kTrue;
+    for (std::uint32_t v = 0; v < m.num_vars(); ++v) {
+      if (cube[v] == 1) c = m.and_(c, m.var(v));
+      if (cube[v] == 0) c = m.and_(c, m.nvar(v));
+    }
+    rebuilt = m.or_(rebuilt, c);
+  }
+  EXPECT_EQ(rebuilt, f);
+}
+
+TEST_F(BddTest, AddVarGrowsUniverse) {
+  const std::uint32_t v = m.add_var();
+  EXPECT_EQ(v, 8u);
+  EXPECT_EQ(m.num_vars(), 9u);
+  const NodeId f = m.and_(m.var(0), m.var(v));
+  EXPECT_EQ(m.support(f), (std::vector<std::uint32_t>{0, v}));
+}
+
+TEST_F(BddTest, NodeCountOfConjunctionIsLinear) {
+  NodeId f = kTrue;
+  for (std::uint32_t v = 0; v < 8; ++v) f = m.and_(f, m.var(v));
+  EXPECT_EQ(m.node_count(f), 10u);  // 8 internal + 2 terminals
+}
+
+// Property test: random 3-term DNFs, checked against brute-force evaluation.
+class BddRandomTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BddRandomTest, MatchesBruteForceSemantics) {
+  Manager m(6);
+  SplitMix64 rng(GetParam());
+
+  struct Lit {
+    std::uint32_t var;
+    bool pos;
+  };
+  // Build random DNF: 3 cubes of 2 literals.
+  std::vector<std::vector<Lit>> dnf;
+  for (int t = 0; t < 3; ++t) {
+    std::vector<Lit> cube;
+    for (int l = 0; l < 2; ++l) {
+      cube.push_back({static_cast<std::uint32_t>(rng.below(6)),
+                      rng.chance(1, 2)});
+    }
+    dnf.push_back(cube);
+  }
+  NodeId f = kFalse;
+  for (const auto& cube : dnf) {
+    NodeId c = kTrue;
+    for (const auto& lit : cube) {
+      c = m.and_(c, lit.pos ? m.var(lit.var) : m.nvar(lit.var));
+    }
+    f = m.or_(f, c);
+  }
+  // Brute-force all 64 assignments.
+  std::size_t models = 0;
+  for (std::uint32_t a = 0; a < 64; ++a) {
+    bool expect = false;
+    for (const auto& cube : dnf) {
+      bool all = true;
+      for (const auto& lit : cube) {
+        const bool val = (a >> lit.var) & 1;
+        all = all && (val == lit.pos);
+      }
+      expect = expect || all;
+    }
+    if (expect) ++models;
+    NodeId r = f;
+    for (std::uint32_t v = 0; v < 6; ++v) r = m.restrict_(r, v, (a >> v) & 1);
+    EXPECT_EQ(r, expect ? kTrue : kFalse);
+  }
+  EXPECT_DOUBLE_EQ(m.sat_count(f), static_cast<double>(models));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BddRandomTest,
+                         ::testing::Range<std::uint64_t>(0, 20));
+
+}  // namespace
+}  // namespace expresso::bdd

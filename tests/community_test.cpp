@@ -1,0 +1,211 @@
+#include "symbolic/community_set.hpp"
+
+#include <gtest/gtest.h>
+
+#include "config/parser.hpp"
+#include "net/community.hpp"
+
+namespace expresso::symbolic {
+namespace {
+
+using net::Community;
+using net::CommunityMatcher;
+
+TEST(CommunityTest, ParseAndPrint) {
+  auto c = Community::parse("300:100");
+  ASSERT_TRUE(c);
+  EXPECT_EQ(c->high, 300);
+  EXPECT_EQ(c->low, 100);
+  EXPECT_EQ(c->to_string(), "300:100");
+  EXPECT_FALSE(Community::parse("300"));
+  EXPECT_FALSE(Community::parse("300:70000"));
+  EXPECT_FALSE(Community::parse("300:100x"));
+}
+
+TEST(CommunityMatcherTest, ExactWildcardAndClass) {
+  auto exact = CommunityMatcher::parse("300:100");
+  ASSERT_TRUE(exact);
+  EXPECT_TRUE(exact->matches(*Community::parse("300:100")));
+  EXPECT_FALSE(exact->matches(*Community::parse("300:1000")));
+  EXPECT_FALSE(exact->matches(*Community::parse("301:100")));
+
+  auto any = CommunityMatcher::parse("300:*");
+  ASSERT_TRUE(any);
+  EXPECT_TRUE(any->matches(*Community::parse("300:1")));
+  EXPECT_TRUE(any->matches(*Community::parse("300:65535")));
+  EXPECT_FALSE(any->matches(*Community::parse("200:1")));
+
+  // The paper's own example: 300:[1-9]00.
+  auto cls = CommunityMatcher::parse("300:[1-9]00");
+  ASSERT_TRUE(cls);
+  EXPECT_TRUE(cls->matches(*Community::parse("300:100")));
+  EXPECT_TRUE(cls->matches(*Community::parse("300:900")));
+  EXPECT_FALSE(cls->matches(*Community::parse("300:1000")));
+  EXPECT_FALSE(cls->matches(*Community::parse("300:10")));
+
+  EXPECT_FALSE(CommunityMatcher::parse("abc"));
+  EXPECT_FALSE(CommunityMatcher::parse("300:[1-]00"));
+}
+
+std::vector<config::RouterConfig> paper_atom_configs() {
+  // Section 4.2's community-atom example: patterns 300:100 and 300:[1-9]00
+  // yield three atoms: c1 = 300:100, c2 = 300:[2-9]00, c3 = everything else.
+  const char* text = R"(
+router R
+ bgp as 1
+ route-policy p permit node 10
+  if-match community 300:100
+ route-policy p permit node 20
+  if-match community 300:[1-9]00
+  add-community 300:100
+ bgp peer E AS 2 import p
+)";
+  return config::parse_configs(text);
+}
+
+TEST(AtomizerTest, PaperExampleYieldsThreeAtoms) {
+  const auto cfgs = paper_atom_configs();
+  CommunityAtomizer atomizer(cfgs);
+  EXPECT_EQ(atomizer.num_atoms(), 3u);
+
+  const auto exact = *CommunityMatcher::parse("300:100");
+  const auto cls = *CommunityMatcher::parse("300:[1-9]00");
+  const auto a_exact = atomizer.atoms_of(exact);
+  const auto a_cls = atomizer.atoms_of(cls);
+  ASSERT_EQ(a_exact.size(), 1u);  // c1
+  ASSERT_EQ(a_cls.size(), 2u);    // c1 and c2
+  EXPECT_EQ(atomizer.atom_of(*Community::parse("300:100")), a_exact[0]);
+  // 300:500 belongs to the class atom but not the exact atom.
+  const auto a500 = atomizer.atom_of(*Community::parse("300:500"));
+  EXPECT_NE(a500, a_exact[0]);
+  EXPECT_TRUE(a500 == a_cls[0] || a500 == a_cls[1]);
+  // An unrelated community falls into the "others" atom.
+  const auto other = atomizer.atom_of(*Community::parse("17:29"));
+  EXPECT_NE(other, a_exact[0]);
+  EXPECT_NE(other, a500);
+}
+
+class CommunitySetTest : public ::testing::TestWithParam<CommunityRep> {
+ protected:
+  CommunitySetTest() : enc_(2, 3) {}
+  Encoding enc_;
+};
+
+TEST_P(CommunitySetTest, UniversalAndNone) {
+  const auto rep = GetParam();
+  auto all = CommunitySet::universal(enc_, rep);
+  auto none = CommunitySet::none(enc_, rep);
+  EXPECT_FALSE(all.is_empty());
+  EXPECT_FALSE(none.is_empty());
+  EXPECT_FALSE(all == none);
+  // The universal set may contain any atom; {∅} contains none.
+  for (std::uint32_t a = 0; a < 3; ++a) {
+    EXPECT_TRUE(all.may_contain(enc_, a));
+    EXPECT_FALSE(none.may_contain(enc_, a));
+  }
+}
+
+TEST_P(CommunitySetTest, AddRemoveAtomRoundTrip) {
+  const auto rep = GetParam();
+  auto none = CommunitySet::none(enc_, rep);
+  auto with1 = none.with_atom(enc_, 1);
+  EXPECT_TRUE(with1.may_contain(enc_, 1));
+  EXPECT_FALSE(with1.may_contain(enc_, 0));
+  auto back = with1.without_atom(enc_, 1);
+  EXPECT_TRUE(back == none);
+  // Adding twice is idempotent.
+  EXPECT_TRUE(with1.with_atom(enc_, 1) == with1);
+}
+
+TEST_P(CommunitySetTest, PaperAdditionExample) {
+  // Section 4.2: adding 300:100 (atom c1) to C = 2^{c1,c2,c3} gives every
+  // set that contains c1.
+  const auto rep = GetParam();
+  auto all = CommunitySet::universal(enc_, rep);
+  auto added = all.with_atom(enc_, 0);
+  // Every member contains c1: matching on c1 changes nothing...
+  EXPECT_TRUE(added.matching_any(enc_, {0}) == added);
+  // ...and no member is without c1.
+  EXPECT_TRUE(added.matching_none(enc_, {0}).is_empty());
+  // Other atoms remain free.
+  EXPECT_TRUE(added.may_contain(enc_, 1));
+  EXPECT_FALSE(added.matching_none(enc_, {1}).is_empty());
+}
+
+TEST_P(CommunitySetTest, MatchSplitsCompletely) {
+  const auto rep = GetParam();
+  auto all = CommunitySet::universal(enc_, rep);
+  auto hit = all.matching_any(enc_, {0, 2});
+  auto miss = all.matching_none(enc_, {0, 2});
+  EXPECT_FALSE(hit.is_empty());
+  EXPECT_FALSE(miss.is_empty());
+  // The split is disjoint: members of `hit` contain atom 0 or 2; members of
+  // `miss` contain neither.
+  EXPECT_TRUE(miss.matching_any(enc_, {0}).is_empty());
+  EXPECT_TRUE(miss.matching_any(enc_, {2}).is_empty());
+  EXPECT_TRUE(miss.may_contain(enc_, 1));
+}
+
+TEST_P(CommunitySetTest, ErasedCollapsesToEmptyList) {
+  const auto rep = GetParam();
+  auto s = CommunitySet::universal(enc_, rep).with_atom(enc_, 2);
+  auto e = s.erased(enc_);
+  EXPECT_TRUE(e == CommunitySet::none(enc_, rep));
+  // A community-matching deny clause no longer fires after erasure — the
+  // figure 4 route-leak mechanism.
+  EXPECT_TRUE(e.matching_any(enc_, {2}).is_empty());
+}
+
+TEST_P(CommunitySetTest, HashAgreesWithEquality) {
+  const auto rep = GetParam();
+  auto a = CommunitySet::none(enc_, rep).with_atom(enc_, 0).with_atom(enc_, 1);
+  auto b = CommunitySet::none(enc_, rep).with_atom(enc_, 1).with_atom(enc_, 0);
+  EXPECT_TRUE(a == b);
+  EXPECT_EQ(a.hash(), b.hash());
+}
+
+INSTANTIATE_TEST_SUITE_P(Reps, CommunitySetTest,
+                         ::testing::Values(CommunityRep::kAtomBdd,
+                                           CommunityRep::kAutomaton));
+
+// Cross-representation consistency: the two representations must agree on
+// every sequence of operations.
+TEST(CommunitySetCrossTest, RepresentationsAgree) {
+  Encoding enc(1, 4);
+  auto b = CommunitySet::universal(enc, CommunityRep::kAtomBdd);
+  auto d = CommunitySet::universal(enc, CommunityRep::kAutomaton);
+  struct Op {
+    int kind;  // 0 add, 1 del, 2 match_any, 3 match_none
+    std::uint32_t atom;
+  };
+  const std::vector<Op> script = {{0, 1}, {2, 1}, {1, 3}, {3, 3},
+                                  {0, 0}, {2, 0}, {1, 0}, {3, 0}};
+  for (const auto& op : script) {
+    switch (op.kind) {
+      case 0:
+        b = b.with_atom(enc, op.atom);
+        d = d.with_atom(enc, op.atom);
+        break;
+      case 1:
+        b = b.without_atom(enc, op.atom);
+        d = d.without_atom(enc, op.atom);
+        break;
+      case 2:
+        b = b.matching_any(enc, {op.atom});
+        d = d.matching_any(enc, {op.atom});
+        break;
+      case 3:
+        b = b.matching_none(enc, {op.atom});
+        d = d.matching_none(enc, {op.atom});
+        break;
+    }
+    EXPECT_EQ(b.is_empty(), d.is_empty());
+    for (std::uint32_t a = 0; a < 4; ++a) {
+      EXPECT_EQ(b.may_contain(enc, a), d.may_contain(enc, a))
+          << "atom " << a;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace expresso::symbolic

@@ -1,0 +1,215 @@
+#include "config/parser.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/network.hpp"
+
+namespace expresso::config {
+namespace {
+
+const char* kFig4 = R"(
+// ---------- Configuration of PR1 ----------
+router PR1
+ bgp as 300
+ route-policy im1 permit node 100
+  if-match prefix 128.0.0.0/2 192.0.0.0/2
+  set-local-preference 200
+  add-community 300:100
+ route-policy ex1 deny node 100
+  if-match community 300:100
+ route-policy ex1 permit node 200
+ bgp peer ISP1 AS 100 import im1 export ex1
+ bgp peer PR2 AS 300
+# ---------- Configuration of PR2 ----------
+router PR2
+ bgp as 300
+ route-policy im2 permit node 100
+  if-match prefix 128.0.0.0/2 192.0.0.0/2
+  add-community 300:100
+ route-policy ex2 deny node 100
+  if-match community 300:100
+ route-policy ex2 permit node 200
+ bgp network 0.0.0.0/2
+ bgp peer ISP2 AS 200 import im2 export ex2
+ bgp peer PR1 AS 300 advertise-community
+)";
+
+TEST(ParserTest, ParsesFigure4Network) {
+  const auto cfgs = parse_configs(kFig4);
+  ASSERT_EQ(cfgs.size(), 2u);
+
+  const RouterConfig& pr1 = cfgs[0];
+  EXPECT_EQ(pr1.name, "PR1");
+  EXPECT_EQ(pr1.asn, 300u);
+  ASSERT_EQ(pr1.policies.size(), 2u);
+  const auto& im1 = pr1.policies.at("im1");
+  ASSERT_EQ(im1.size(), 1u);
+  EXPECT_TRUE(im1[0].permit);
+  ASSERT_EQ(im1[0].match_prefixes.size(), 2u);
+  EXPECT_EQ(im1[0].match_prefixes[0].base.to_string(), "128.0.0.0/2");
+  EXPECT_EQ(im1[0].set_local_preference, 200u);
+  ASSERT_EQ(im1[0].add_communities.size(), 1u);
+  EXPECT_EQ(im1[0].add_communities[0].to_string(), "300:100");
+
+  const auto& ex1 = pr1.policies.at("ex1");
+  ASSERT_EQ(ex1.size(), 2u);
+  EXPECT_FALSE(ex1[0].permit);
+  ASSERT_EQ(ex1[0].match_communities.size(), 1u);
+  EXPECT_TRUE(ex1[1].permit);
+
+  ASSERT_EQ(pr1.peers.size(), 2u);
+  EXPECT_EQ(pr1.peers[0].peer, "ISP1");
+  EXPECT_EQ(pr1.peers[0].peer_as, 100u);
+  EXPECT_EQ(pr1.peers[0].import_policy, "im1");
+  EXPECT_EQ(pr1.peers[0].export_policy, "ex1");
+  EXPECT_FALSE(pr1.peers[1].advertise_community);
+
+  const RouterConfig& pr2 = cfgs[1];
+  ASSERT_EQ(pr2.networks.size(), 1u);
+  EXPECT_EQ(pr2.networks[0].to_string(), "0.0.0.0/2");
+  EXPECT_TRUE(pr2.peers[1].advertise_community);
+}
+
+TEST(ParserTest, RoundTripsThroughSerializer) {
+  const auto cfgs = parse_configs(kFig4);
+  const std::string text = serialize(cfgs);
+  const auto reparsed = parse_configs(text);
+  ASSERT_EQ(reparsed.size(), cfgs.size());
+  // Semantic spot checks survive the round trip.
+  EXPECT_EQ(serialize(reparsed), text);  // serializer is a fixed point
+  EXPECT_EQ(reparsed[0].policies.at("im1")[0].set_local_preference, 200u);
+  EXPECT_EQ(reparsed[1].peers[1].advertise_community, true);
+}
+
+TEST(ParserTest, ParsesSessionOptionsAndRoutes) {
+  const char* text = R"(
+router R
+ bgp as 65000
+ bgp import-route static
+ bgp import-route connected
+ bgp peer X AS 65000 rr-client advertise-community
+ bgp peer DC AS 65500 advertise-default
+ static 10.1.0.0/16 next-hop X
+ interface prefix 10.0.9.0/31
+)";
+  const auto cfgs = parse_configs(text);
+  ASSERT_EQ(cfgs.size(), 1u);
+  EXPECT_TRUE(cfgs[0].redistribute_static);
+  EXPECT_TRUE(cfgs[0].redistribute_connected);
+  EXPECT_TRUE(cfgs[0].peers[0].rr_client);
+  EXPECT_TRUE(cfgs[0].peers[1].advertise_default);
+  ASSERT_EQ(cfgs[0].statics.size(), 1u);
+  EXPECT_EQ(cfgs[0].statics[0].prefix.to_string(), "10.1.0.0/16");
+  EXPECT_EQ(cfgs[0].statics[0].next_hop, "X");
+  ASSERT_EQ(cfgs[0].connected.size(), 1u);
+  EXPECT_EQ(cfgs[0].connected[0].to_string(), "10.0.9.0/31");
+}
+
+TEST(ParserTest, ParsesGeLeWindows) {
+  const char* text = R"(
+router R
+ bgp as 1
+ route-policy p permit node 10
+  if-match prefix 10.0.0.0/16 ge 24 le 28 10.1.0.0/16 ge 20
+ bgp peer E AS 2 import p
+)";
+  const auto cfgs = parse_configs(text);
+  const auto& mp = cfgs[0].policies.at("p")[0].match_prefixes;
+  ASSERT_EQ(mp.size(), 2u);
+  EXPECT_EQ(mp[0].ge, 24);
+  EXPECT_EQ(mp[0].le, 28);
+  EXPECT_EQ(mp[1].ge, 20);
+  EXPECT_EQ(mp[1].le, 32);  // ge without le implies le 32
+}
+
+TEST(ParserTest, ParsesAsPathRegexAndPrepend) {
+  const char* text = R"(
+router R
+ bgp as 1
+ route-policy p permit node 10
+  if-match as-path ".*400"
+  prepend-as 1
+ bgp peer E AS 2 import p
+)";
+  const auto cfgs = parse_configs(text);
+  const auto& clause = cfgs[0].policies.at("p")[0];
+  EXPECT_EQ(clause.match_as_path, ".*400");
+  EXPECT_EQ(clause.prepend_as, 1u);
+}
+
+TEST(ParserTest, RejectsMalformedInput) {
+  EXPECT_THROW(parse_configs("bogus"), ParseError);
+  EXPECT_THROW(parse_configs("bgp as 1"), ParseError);  // outside router
+  EXPECT_THROW(parse_configs("router R\n bgp peer X 100"), ParseError);
+  EXPECT_THROW(parse_configs("router R\n static 10.0.0.0/8 via X"),
+               ParseError);
+  EXPECT_THROW(parse_configs("router R\n route-policy p permit node 1\n"
+                             "  if-match prefix 10.0.0.0/40"),
+               ParseError);
+  EXPECT_THROW(parse_configs("router R\n route-policy p permit node 1\n"
+                             "  if-match community 300"),
+               ParseError);
+  EXPECT_THROW(parse_configs("router R\n if-match prefix 1.0.0.0/8"),
+               ParseError);
+}
+
+TEST(NetworkTest, BuildsTopologyFromFigure4) {
+  auto net = net::Network::build(parse_configs(kFig4));
+  EXPECT_EQ(net.num_internal(), 2u);
+  EXPECT_EQ(net.num_external(), 2u);
+
+  const auto pr1 = net.find("PR1");
+  const auto isp1 = net.find("ISP1");
+  ASSERT_TRUE(pr1 && isp1);
+  EXPECT_FALSE(net.node(*pr1).external);
+  EXPECT_TRUE(net.node(*isp1).external);
+  EXPECT_EQ(net.node(*isp1).asn, 100u);
+
+  // 3 sessions x 2 directions.
+  EXPECT_EQ(net.edges().size(), 6u);
+  // The PR1 -> PR2 edge is iBGP and carries both statements.
+  bool found = false;
+  for (const auto& e : net.edges()) {
+    if (net.node(e.from).name == "PR1" && net.node(e.to).name == "PR2") {
+      found = true;
+      EXPECT_FALSE(e.ebgp);
+      ASSERT_NE(e.export_stmt, nullptr);
+      EXPECT_FALSE(e.export_stmt->advertise_community);  // the misconfig
+      ASSERT_NE(e.import_stmt, nullptr);
+      EXPECT_TRUE(e.import_stmt->advertise_community);
+    }
+  }
+  EXPECT_TRUE(found);
+
+  const auto prefixes = net.internal_prefixes();
+  ASSERT_EQ(prefixes.size(), 1u);
+  EXPECT_EQ(prefixes[0].to_string(), "0.0.0.0/2");
+}
+
+TEST(NetworkTest, SharedExternalNeighborIsOneNode) {
+  const char* text = R"(
+router A
+ bgp as 100
+ bgp peer CDN AS 500
+ bgp peer B AS 100
+router B
+ bgp as 100
+ bgp peer CDN AS 500
+ bgp peer A AS 100
+)";
+  auto net = net::Network::build(config::parse_configs(text));
+  EXPECT_EQ(net.num_external(), 1u);  // CDN peers at both A and B
+  const auto cdn = net.find("CDN");
+  ASSERT_TRUE(cdn);
+  // Two incoming edges into CDN, one from each PoP.
+  EXPECT_EQ(net.in_edges()[*cdn].size(), 2u);
+}
+
+TEST(NetworkTest, RejectsDuplicateRouters) {
+  const char* text = "router A\n bgp as 1\nrouter A\n bgp as 2\n";
+  EXPECT_THROW(net::Network::build(config::parse_configs(text)),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace expresso::config

@@ -1,0 +1,88 @@
+// Cross-engine agreement: the Minesweeper*-style SAT encoding and Expresso's
+// symbolic simulation answer the same question with completely different
+// machinery (stable-state constraints + CDCL vs. symbolic fixed point +
+// BDDs/automata).  On networks whose policies stay within the feature set
+// both model (prefix filters, communities, local preference — no AS-path
+// regexes, which Minesweeper cannot express), they must agree on WHICH
+// neighbors can receive leaked routes.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+
+#include "baselines/minesweeper_star.hpp"
+#include "config/parser.hpp"
+#include "expresso/verifier.hpp"
+#include "support/util.hpp"
+
+namespace expresso {
+namespace {
+
+std::string random_network(std::uint64_t seed) {
+  SplitMix64 rng(seed);
+  const std::vector<std::string> pool = {"10.0.0.0/16", "10.1.0.0/16"};
+  const std::vector<std::string> comms = {"100:1", "100:2"};
+  const int nrouters = 2 + static_cast<int>(rng.below(2));
+  std::ostringstream os;
+  for (int i = 0; i < nrouters; ++i) {
+    os << "router R" << i << "\n bgp as 65000\n";
+    if (i == 0) os << " bgp network 172.16.0.0/16\n";
+    for (int isp = 0; isp < 2; ++isp) {
+      os << " route-policy im" << isp << " permit node 10\n";
+      os << "  if-match prefix " << pool[rng.below(pool.size())] << "\n";
+      if (rng.chance(1, 2)) {
+        os << "  set-local-preference 200\n";
+      }
+      if (rng.chance(2, 3)) {
+        os << "  add-community " << comms[rng.below(comms.size())] << "\n";
+      }
+      // Export: deny one tag (sometimes the wrong one — that's the bug the
+      // engines must agree about), then permit.
+      os << " route-policy ex" << isp << " deny node 10\n";
+      os << "  if-match community " << comms[rng.below(comms.size())]
+         << "\n";
+      os << " route-policy ex" << isp << " permit node 20\n";
+    }
+    for (int j = 0; j < nrouters; ++j) {
+      if (j == i) continue;
+      os << " bgp peer R" << j << " AS 65000";
+      if (rng.chance(3, 4)) os << " advertise-community";
+      os << "\n";
+    }
+    if (i == 0) os << " bgp peer ISPa AS 100 import im0 export ex0\n";
+    if (i == nrouters - 1) {
+      os << " bgp peer ISPb AS 200 import im1 export ex1\n";
+    }
+  }
+  return os.str();
+}
+
+class CrossEngineTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CrossEngineTest, LeakExistenceAgreesPerNeighbor) {
+  const std::string text = random_network(GetParam());
+  SCOPED_TRACE(text);
+  auto network = net::Network::build(config::parse_configs(text));
+
+  // Expresso's answer: neighbors receiving foreign-originated routes.
+  Verifier v(config::parse_configs(text));
+  std::set<std::string> expresso_flagged;
+  for (const auto& viol : v.check_route_leak_free()) {
+    expresso_flagged.insert(v.network().node(viol.node).name);
+  }
+
+  // Minesweeper*'s answer, one SAT query per neighbor.
+  baselines::MinesweeperStar ms(network);
+  const auto res = ms.check_route_leak_free();
+  ASSERT_NE(res.status, baselines::MinesweeperResult::Status::kTimeout);
+
+  EXPECT_EQ(res.violations, expresso_flagged.size());
+  EXPECT_EQ(res.status == baselines::MinesweeperResult::Status::kViolation,
+            !expresso_flagged.empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CrossEngineTest,
+                         ::testing::Range<std::uint64_t>(0, 16));
+
+}  // namespace
+}  // namespace expresso

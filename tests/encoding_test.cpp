@@ -1,0 +1,134 @@
+#include "symbolic/encoding.hpp"
+
+#include <gtest/gtest.h>
+
+namespace expresso::symbolic {
+namespace {
+
+using net::Ipv4Prefix;
+using net::PrefixMatch;
+
+class EncodingTest : public ::testing::Test {
+ protected:
+  EncodingTest() : enc_(3, 2) {}
+  Encoding enc_;
+};
+
+TEST_F(EncodingTest, VariableLayout) {
+  EXPECT_EQ(enc_.addr_var(0), 0u);
+  EXPECT_EQ(enc_.addr_var(31), 31u);
+  EXPECT_EQ(enc_.len_var(0), 32u);
+  EXPECT_EQ(enc_.adv_var(0), 38u);
+  EXPECT_EQ(enc_.adv_var(2), 40u);
+  EXPECT_EQ(enc_.atom_var(0), 41u);
+  // 38 prefix + 3 advertiser + 2 atom vars, plus the reserved length-major
+  // n_i^j block (33 lengths x 3 neighbors).
+  EXPECT_EQ(enc_.mgr().num_vars(), 43u + 33u * 3u);
+  // Length-major layout: same-length variables are adjacent.
+  EXPECT_EQ(enc_.dp_adv_var(1, 7) - enc_.dp_adv_var(0, 7), 1u);
+  EXPECT_EQ(enc_.dp_adv_var(0, 8) - enc_.dp_adv_var(0, 7), 3u);
+}
+
+TEST_F(EncodingTest, DataPlaneVarsAllocatedLazily) {
+  EXPECT_EQ(enc_.num_dp_vars(), 0u);
+  const auto v1 = enc_.dp_adv_var(0, 16);
+  const auto v2 = enc_.dp_adv_var(0, 24);
+  const auto v3 = enc_.dp_adv_var(1, 16);
+  EXPECT_EQ(enc_.num_dp_vars(), 3u);
+  EXPECT_NE(v1, v2);
+  EXPECT_NE(v1, v3);
+  // Idempotent.
+  EXPECT_EQ(enc_.dp_adv_var(0, 16), v1);
+  EXPECT_EQ(enc_.num_dp_vars(), 3u);
+}
+
+TEST_F(EncodingTest, LenPredicates) {
+  auto& m = enc_.mgr();
+  // len_eq values are mutually disjoint.
+  EXPECT_EQ(m.and_(enc_.len_eq(16), enc_.len_eq(24)), bdd::kFalse);
+  // ge/le windows compose.
+  const auto w = m.and_(enc_.len_ge(8), enc_.len_le(16));
+  EXPECT_NE(m.and_(w, enc_.len_eq(12)), bdd::kFalse);
+  EXPECT_EQ(m.and_(w, enc_.len_eq(7)), bdd::kFalse);
+  EXPECT_EQ(m.and_(w, enc_.len_eq(17)), bdd::kFalse);
+  // Valid length excludes the unused 6-bit codes > 32.
+  EXPECT_EQ(m.and_(enc_.len_valid(), enc_.len_eq(33)), bdd::kFalse);
+  EXPECT_NE(m.and_(enc_.len_valid(), enc_.len_eq(32)), bdd::kFalse);
+  EXPECT_NE(m.and_(enc_.len_valid(), enc_.len_eq(0)), bdd::kFalse);
+}
+
+TEST_F(EncodingTest, ExactPrefixSemantics) {
+  const auto p16 = *Ipv4Prefix::parse("10.1.0.0/16");
+  const auto p24 = *Ipv4Prefix::parse("10.1.2.0/24");
+  const auto q16 = *Ipv4Prefix::parse("10.2.0.0/16");
+  auto& m = enc_.mgr();
+  const auto e16 = enc_.prefix_exact(p16);
+  // Same prefix intersects itself; distinct prefixes of equal length do not.
+  EXPECT_NE(m.and_(e16, e16), bdd::kFalse);
+  EXPECT_EQ(m.and_(e16, enc_.prefix_exact(q16)), bdd::kFalse);
+  // Different lengths never intersect (length bits differ).
+  EXPECT_EQ(m.and_(e16, enc_.prefix_exact(p24)), bdd::kFalse);
+}
+
+TEST_F(EncodingTest, PrefixMatchWindows) {
+  // The paper's example: a policy for 10.0.0.0/16 ge 24 covers
+  // 10.0.1.0/24 and 10.0.2.0/24 alike.
+  const auto base = *Ipv4Prefix::parse("10.0.0.0/16");
+  const auto pm = PrefixMatch::range(base, 24, 32);
+  const auto pred = enc_.prefix_match(pm);
+  auto& m = enc_.mgr();
+  EXPECT_NE(m.and_(pred, enc_.prefix_exact(*Ipv4Prefix::parse("10.0.1.0/24"))),
+            bdd::kFalse);
+  EXPECT_NE(m.and_(pred, enc_.prefix_exact(*Ipv4Prefix::parse("10.0.2.0/24"))),
+            bdd::kFalse);
+  EXPECT_NE(
+      m.and_(pred, enc_.prefix_exact(*Ipv4Prefix::parse("10.0.2.128/26"))),
+      bdd::kFalse);
+  // Too short, or outside the base prefix: no match.
+  EXPECT_EQ(m.and_(pred, enc_.prefix_exact(base)), bdd::kFalse);
+  EXPECT_EQ(m.and_(pred, enc_.prefix_exact(*Ipv4Prefix::parse("10.1.1.0/24"))),
+            bdd::kFalse);
+}
+
+TEST_F(EncodingTest, MaterializeAndWitness) {
+  const auto pa = *Ipv4Prefix::parse("128.0.0.0/2");
+  const auto pb = *Ipv4Prefix::parse("192.0.0.0/2");
+  const auto pc = *Ipv4Prefix::parse("0.0.0.0/2");
+  auto& m = enc_.mgr();
+  // d covers {pa, pb} x (n0 advertises).
+  const auto d = m.and_(m.or_(enc_.prefix_exact(pa), enc_.prefix_exact(pb)),
+                        enc_.adv(0));
+  const auto mat = enc_.materialize_prefixes(d, {pa, pb, pc});
+  ASSERT_EQ(mat.size(), 2u);
+  EXPECT_EQ(mat[0], pa);
+  EXPECT_EQ(mat[1], pb);
+
+  const auto w = enc_.witness(m.and_(d, enc_.prefix_exact(pa)));
+  EXPECT_EQ(w.prefix, pa);
+  ASSERT_EQ(w.advertises.size(), 3u);
+  EXPECT_EQ(w.advertises[0], 1);
+}
+
+TEST_F(EncodingTest, CondDropsPrefixDimensions) {
+  auto& m = enc_.mgr();
+  const auto pa = *Ipv4Prefix::parse("128.0.0.0/2");
+  // Paper section 6.1: Cond(¬p1¬p2) = ⊤, Cond(p1 ∧ n2) = n2.
+  EXPECT_EQ(enc_.cond(enc_.prefix_exact(pa)), bdd::kTrue);
+  const auto d = m.and_(enc_.prefix_exact(pa), enc_.adv(1));
+  EXPECT_EQ(enc_.cond(d), enc_.adv(1));
+  EXPECT_EQ(enc_.cond(bdd::kFalse), bdd::kFalse);
+}
+
+TEST_F(EncodingTest, AddrPredicates) {
+  auto& m = enc_.mgr();
+  const auto p = *Ipv4Prefix::parse("10.1.0.0/16");
+  const std::uint32_t inside = (10u << 24) | (1u << 16) | (2u << 8) | 3u;
+  const std::uint32_t outside = (10u << 24) | (2u << 16);
+  EXPECT_NE(m.and_(enc_.addr_in(p), enc_.addr_of(inside)), bdd::kFalse);
+  EXPECT_EQ(m.and_(enc_.addr_in(p), enc_.addr_of(outside)), bdd::kFalse);
+  // A /0 prefix matches every address.
+  EXPECT_EQ(enc_.addr_in(*Ipv4Prefix::parse("0.0.0.0/0")), bdd::kTrue);
+}
+
+}  // namespace
+}  // namespace expresso::symbolic

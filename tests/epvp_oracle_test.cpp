@@ -1,0 +1,304 @@
+// Theorem 3 in practice: EPVP's symbolic fixed point, unfolded at a concrete
+// external route environment, must equal the stable state concrete SPVP
+// computes for that environment — for every environment.
+//
+// For each random seed we generate a small network (random iBGP mesh /
+// policies / community tags / local preferences), enumerate every
+// environment (which neighbor announces which prefix of a small pool, with
+// every community-atom combination announced simultaneously), and compare:
+//   * internal RIBs (grouped by preference-relevant attributes and by the
+//     set of community atom-subsets),
+//   * routes exported to each external neighbor,
+//   * concrete LPM forwarding decisions against the symbolic port
+//     predicates evaluated under the environment's n_i^j assignment.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "dataplane/fib.hpp"
+#include "epvp/engine.hpp"
+#include "config/parser.hpp"
+#include "routing/spvp.hpp"
+#include "support/util.hpp"
+
+namespace expresso {
+namespace {
+
+using net::Ipv4Prefix;
+using net::NodeIndex;
+
+const std::vector<std::string> kPool = {"10.0.0.0/16", "10.1.0.0/16",
+                                        "192.168.0.0/24"};
+const std::vector<std::string> kComms = {"100:1", "100:2"};
+const std::vector<std::string> kLps = {"100", "200", "300"};
+
+// Generates a randomized config (2-3 routers, 2 external neighbors).
+std::string random_network(std::uint64_t seed) {
+  SplitMix64 rng(seed);
+  const int nrouters = 2 + static_cast<int>(rng.below(2));
+  std::ostringstream os;
+  for (int i = 0; i < nrouters; ++i) {
+    os << "router R" << i << "\n bgp as 65000\n";
+    // One internal origination on R0.
+    if (i == 0) os << " bgp network 172.16.0.0/16\n";
+
+    // Random import/export policies for this router's external sessions.
+    for (int isp = 0; isp < 2; ++isp) {
+      // import policy: permit a random non-empty prefix subset, random lp,
+      // random community tag; optionally a final permit-all clause.
+      os << " route-policy im" << isp << " permit node 10\n";
+      os << "  if-match prefix";
+      bool any = false;
+      for (const auto& p : kPool) {
+        if (rng.chance(1, 2)) {
+          os << " " << p;
+          any = true;
+        }
+      }
+      if (!any) os << " " << kPool[rng.below(kPool.size())];
+      os << "\n";
+      if (rng.chance(1, 2)) {
+        os << "  set-local-preference " << kLps[rng.below(kLps.size())]
+           << "\n";
+      }
+      if (rng.chance(1, 2)) {
+        os << "  add-community " << kComms[rng.below(kComms.size())] << "\n";
+      }
+      if (rng.chance(1, 3)) {
+        os << " route-policy im" << isp << " permit node 20\n";
+        if (rng.chance(1, 2)) {
+          os << "  if-match community " << kComms[rng.below(kComms.size())]
+             << "\n";
+        } else {
+          os << "  if-match prefix " << kPool[rng.below(kPool.size())]
+             << "\n";
+        }
+      }
+      // export policy: deny a community, then permit everything.
+      os << " route-policy ex" << isp << " deny node 10\n";
+      os << "  if-match community " << kComms[rng.below(kComms.size())]
+         << "\n";
+      os << " route-policy ex" << isp << " permit node 20\n";
+    }
+
+    // iBGP full mesh, advertise-community on a random subset of sessions.
+    for (int j = 0; j < nrouters; ++j) {
+      if (j == i) continue;
+      os << " bgp peer R" << j << " AS 65000";
+      if (rng.chance(2, 3)) os << " advertise-community";
+      os << "\n";
+    }
+    // External sessions: ISPa on R0, ISPb on the last router; with one
+    // chance in three, ISPb also peers here (multi-PoP neighbor).
+    if (i == 0) {
+      os << " bgp peer ISPa AS 100 import im0 export ex0\n";
+    }
+    if (i == nrouters - 1 || rng.chance(1, 3)) {
+      os << " bgp peer ISPb AS 200 import im1 export ex1\n";
+    }
+  }
+  return os.str();
+}
+
+// Preference-relevant key of a route (everything but the community set).
+struct Key {
+  std::uint32_t lp;
+  int asp_len;
+  symbolic::Learned learned;
+  NodeIndex nh;
+  NodeIndex orig;
+  auto operator<=>(const Key&) const = default;
+};
+
+using AtomSubset = std::set<std::uint32_t>;
+using Grouped = std::map<Key, std::set<AtomSubset>>;
+
+// All community-atom subsets a symbolic community set contains.
+std::set<AtomSubset> unfold_comm(epvp::Engine& eng,
+                                 const symbolic::CommunitySet& cs) {
+  auto& enc = eng.encoding();
+  auto& mgr = enc.mgr();
+  const std::uint32_t k = enc.num_atoms();
+  std::set<AtomSubset> out;
+  for (std::uint32_t mask = 0; mask < (1u << k); ++mask) {
+    bdd::NodeId a = cs.as_bdd();
+    for (std::uint32_t i = 0; i < k; ++i) {
+      a = mgr.and_(a, (mask >> i) & 1 ? mgr.var(enc.atom_var(i))
+                                      : mgr.nvar(enc.atom_var(i)));
+    }
+    if (a != bdd::kFalse) {
+      AtomSubset s;
+      for (std::uint32_t i = 0; i < k; ++i) {
+        if ((mask >> i) & 1) s.insert(i);
+      }
+      out.insert(std::move(s));
+    }
+  }
+  return out;
+}
+
+// The low parameter bit selects the engine variant: 0 = full Expresso
+// (symbolic AS paths), 1 = Expresso- (concrete representative AS paths).
+// The oracle announces exactly the concrete representative ([neighbor AS]),
+// so BOTH variants must unfold to the same concrete stable state.
+class OracleTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(OracleTest, EpvpUnfoldsToSpvp) {
+  const std::string text = random_network(GetParam() >> 1);
+  SCOPED_TRACE(text);
+  auto network = net::Network::build(config::parse_configs(text));
+
+  epvp::Options options;
+  if (GetParam() & 1) {
+    options.aspath_mode = automaton::AsPathMode::kConcrete;
+  }
+  epvp::Engine eng(network, options);
+  ASSERT_TRUE(eng.run());
+  dataplane::FibBuilder fibs(eng);
+
+  routing::SpvpEngine oracle(network);
+  auto& enc = eng.encoding();
+  auto& mgr = enc.mgr();
+  const auto& atomizer = eng.atomizer();
+  const std::uint32_t k = enc.num_atoms();
+
+  std::vector<Ipv4Prefix> pool;
+  for (const auto& s : kPool) pool.push_back(*Ipv4Prefix::parse(s));
+
+  const auto externals = network.external_nodes();
+  ASSERT_EQ(externals.size(), 2u);
+
+  // Environment: bit (e * pool.size() + p) set iff external e announces
+  // pool[p].  Enumerate all of them.
+  const std::uint32_t nbits =
+      static_cast<std::uint32_t>(externals.size() * pool.size());
+  for (std::uint32_t env_bits = 0; env_bits < (1u << nbits); ++env_bits) {
+    auto announces = [&](std::size_t e, std::size_t p) {
+      return (env_bits >> (e * pool.size() + p)) & 1;
+    };
+
+    // --- concrete side -----------------------------------------------------
+    routing::Environment env;
+    for (std::size_t e = 0; e < externals.size(); ++e) {
+      auto& anns = env[externals[e]];
+      const std::uint32_t asn = network.node(externals[e]).asn;
+      for (std::size_t p = 0; p < pool.size(); ++p) {
+        if (!announces(e, p)) continue;
+        // Announce every community-atom combination simultaneously — the
+        // concrete counterpart of EPVP's universal symbolic community set.
+        for (std::uint32_t mask = 0; mask < (1u << k); ++mask) {
+          routing::Announcement a;
+          a.prefix = pool[p];
+          a.as_path = {asn};
+          for (std::uint32_t i = 0; i < k; ++i) {
+            if ((mask >> i) & 1) a.comms.insert(atomizer.sample(i));
+          }
+          anns.push_back(std::move(a));
+        }
+      }
+    }
+    ASSERT_TRUE(oracle.run(env));
+
+    // --- compare internal RIBs per prefix ----------------------------------
+    for (std::size_t p = 0; p < pool.size(); ++p) {
+      // The environment point for this prefix.
+      bdd::NodeId point = enc.prefix_exact(pool[p]);
+      for (std::size_t e = 0; e < externals.size(); ++e) {
+        const auto v = network.node(externals[e]).external_index;
+        point = mgr.and_(point,
+                         announces(e, p) ? enc.adv(v) : mgr.not_(enc.adv(v)));
+      }
+      for (NodeIndex u : network.internal_nodes()) {
+        Grouped sym;
+        for (const auto& r : eng.rib(u)) {
+          if (mgr.and_(r.d, point) == bdd::kFalse) continue;
+          Key key{r.attrs.local_pref, r.attrs.aspath.min_length(),
+                  r.attrs.learned, r.attrs.next_hop, r.attrs.originator};
+          auto subs = unfold_comm(eng, r.attrs.comm);
+          sym[key].insert(subs.begin(), subs.end());
+        }
+        Grouped conc;
+        for (const auto& r : oracle.rib(u)) {
+          if (!(r.prefix == pool[p])) continue;
+          Key key{r.local_pref, static_cast<int>(r.as_path.size()), r.learned,
+                  r.next_hop, r.originator};
+          AtomSubset s;
+          for (const auto& c : r.comms) s.insert(atomizer.atom_of(c));
+          conc[key].insert(std::move(s));
+        }
+        EXPECT_EQ(sym, conc)
+            << "node " << network.node(u).name << " prefix "
+            << pool[p].to_string() << " env " << env_bits;
+      }
+
+      // --- compare routes exported to neighbors -----------------------------
+      for (NodeIndex x : externals) {
+        std::set<Key> sym;
+        for (const auto& r : eng.external_rib(x)) {
+          if (mgr.and_(r.d, point) == bdd::kFalse) continue;
+          sym.insert(Key{r.attrs.local_pref, r.attrs.aspath.min_length(),
+                         r.attrs.learned, r.attrs.next_hop,
+                         r.attrs.originator});
+        }
+        std::set<Key> conc;
+        for (const auto& r : oracle.external_rib(x)) {
+          if (!(r.prefix == pool[p])) continue;
+          conc.insert(Key{r.local_pref, static_cast<int>(r.as_path.size()),
+                          r.learned, r.next_hop, r.originator});
+        }
+        EXPECT_EQ(sym, conc) << "external " << network.node(x).name
+                             << " prefix " << pool[p].to_string() << " env "
+                             << env_bits;
+      }
+    }
+
+    // --- compare forwarding decisions ---------------------------------------
+    // n_i^j assignment: neighbor i advertises the length-j prefix containing
+    // the destination address.
+    std::vector<std::uint32_t> sample_ips;
+    for (const auto& pf : pool) sample_ips.push_back(pf.addr + 1);
+    sample_ips.push_back(0x01020304);  // outside every pool prefix
+
+    for (std::uint32_t ip : sample_ips) {
+      bdd::NodeId assign = enc.addr_of(ip);
+      for (const auto& [key, var] : enc.dp_var_map()) {
+        const auto [nbr, len] = key;
+        bool adv = false;
+        const Ipv4Prefix cover = Ipv4Prefix::make(ip, len);
+        for (std::size_t e = 0; e < externals.size(); ++e) {
+          if (network.node(externals[e]).external_index != nbr) continue;
+          for (std::size_t p = 0; p < pool.size(); ++p) {
+            adv = adv || (announces(e, p) && pool[p] == cover);
+          }
+        }
+        assign = mgr.and_(assign, adv ? mgr.var(var) : mgr.nvar(var));
+      }
+      for (NodeIndex u : network.internal_nodes()) {
+        const auto& pp = fibs.ports(u);
+        std::set<NodeIndex> sym_hops;
+        for (const auto& [peer, pred] : pp.to_peer) {
+          if (mgr.and_(pred, assign) != bdd::kFalse) sym_hops.insert(peer);
+        }
+        const bool sym_local = mgr.and_(pp.local, assign) != bdd::kFalse;
+
+        bool conc_local = false;
+        const auto hops = oracle.forward(u, ip, conc_local);
+        const std::set<NodeIndex> conc_hops(hops.begin(), hops.end());
+        EXPECT_EQ(sym_hops, conc_hops)
+            << "fwd at " << network.node(u).name << " ip " << ip << " env "
+            << env_bits;
+        EXPECT_EQ(sym_local, conc_local)
+            << "local at " << network.node(u).name << " ip " << ip << " env "
+            << env_bits;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OracleTest,
+                         ::testing::Range<std::uint64_t>(0, 24));
+
+}  // namespace
+}  // namespace expresso

@@ -1,0 +1,244 @@
+// End-to-end symbolic route computation on the paper's figure 4 network.
+//
+// The example uses 3-bit prefixes (100/2, 110/2, 000/2); we map them to the
+// equivalent IPv4 prefixes 128.0.0.0/2, 192.0.0.0/2 and 0.0.0.0/2.  The
+// planted misconfiguration — PR1's session towards PR2 lacks
+// advertise-community — must produce exactly the route leak the paper's
+// workflow walks through (steps 1-6 of figure 4).
+#include "epvp/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include "config/parser.hpp"
+
+namespace expresso::epvp {
+namespace {
+
+using net::Ipv4Prefix;
+using symbolic::SymbolicRoute;
+
+const char* kFig4 = R"(
+router PR1
+ bgp as 300
+ route-policy im1 permit node 100
+  if-match prefix 128.0.0.0/2 192.0.0.0/2
+  set-local-preference 200
+  add-community 300:100
+ route-policy ex1 deny node 100
+  if-match community 300:100
+ route-policy ex1 permit node 200
+ bgp peer ISP1 AS 100 import im1 export ex1
+ bgp peer PR2 AS 300
+router PR2
+ bgp as 300
+ route-policy im2 permit node 100
+  if-match prefix 128.0.0.0/2 192.0.0.0/2
+  add-community 300:100
+ route-policy ex2 deny node 100
+  if-match community 300:100
+ route-policy ex2 permit node 200
+ bgp network 0.0.0.0/2
+ bgp peer ISP2 AS 200 import im2 export ex2
+ bgp peer PR1 AS 300 advertise-community
+)";
+
+class Fig4Test : public ::testing::Test {
+ protected:
+  Fig4Test()
+      : net_(net::Network::build(config::parse_configs(kFig4))),
+        engine_(net_, Options{}) {
+    converged_ = engine_.run();
+    pr1_ = *net_.find("PR1");
+    pr2_ = *net_.find("PR2");
+    isp1_ = *net_.find("ISP1");
+    isp2_ = *net_.find("ISP2");
+    p100_ = *Ipv4Prefix::parse("128.0.0.0/2");
+    p110_ = *Ipv4Prefix::parse("192.0.0.0/2");
+    p000_ = *Ipv4Prefix::parse("0.0.0.0/2");
+  }
+
+  // Routes in `rib` covering prefix p (d ∧ exact(p) satisfiable).
+  std::vector<const SymbolicRoute*> covering(
+      const std::vector<SymbolicRoute>& rib, const Ipv4Prefix& p) {
+    std::vector<const SymbolicRoute*> out;
+    auto& enc = engine_.encoding();
+    for (const auto& r : rib) {
+      if (enc.mgr().and_(r.d, enc.prefix_exact(p)) != bdd::kFalse) {
+        out.push_back(&r);
+      }
+    }
+    return out;
+  }
+
+  net::Network net_;
+  Engine engine_;
+  bool converged_ = false;
+  net::NodeIndex pr1_{}, pr2_{}, isp1_{}, isp2_{};
+  Ipv4Prefix p100_{}, p110_{}, p000_{};
+};
+
+TEST_F(Fig4Test, Converges) {
+  EXPECT_TRUE(converged_);
+  EXPECT_LE(engine_.iterations(), 10);
+}
+
+TEST_F(Fig4Test, Pr1RibMatchesPaperFigure) {
+  const auto& rib = engine_.rib(pr1_);
+  auto& enc = engine_.encoding();
+  auto& m = enc.mgr();
+
+  // Row 1: the internal 000/2 route from PR2, environment-independent.
+  const auto internal = covering(rib, p000_);
+  ASSERT_EQ(internal.size(), 1u);
+  EXPECT_EQ((*internal[0]).attrs.originator, pr2_);
+  EXPECT_EQ(enc.cond((*internal[0]).d), bdd::kTrue);
+  EXPECT_EQ((*internal[0]).attrs.local_pref, 100u);
+
+  // Rows 2+3 cover 100/2: the ISP1 route (lp 200) under n1, and the ISP2
+  // route (via PR2, lp 100) under ¬n1 ∧ n2.
+  const auto ext = covering(rib, p100_);
+  ASSERT_EQ(ext.size(), 2u);
+  const SymbolicRoute* via_isp1 = nullptr;
+  const SymbolicRoute* via_isp2 = nullptr;
+  for (const auto* r : ext) {
+    if (r->attrs.originator == isp1_) via_isp1 = r;
+    if (r->attrs.originator == isp2_) via_isp2 = r;
+  }
+  ASSERT_NE(via_isp1, nullptr);
+  ASSERT_NE(via_isp2, nullptr);
+
+  EXPECT_EQ(via_isp1->attrs.local_pref, 200u);
+  EXPECT_EQ(via_isp1->attrs.next_hop, isp1_);
+  const auto n1 =
+      enc.adv(net_.node(isp1_).external_index);
+  const auto n2 = enc.adv(net_.node(isp2_).external_index);
+  EXPECT_EQ(enc.cond(m.and_(via_isp1->d, enc.prefix_exact(p100_))), n1);
+
+  EXPECT_EQ(via_isp2->attrs.local_pref, 100u);
+  EXPECT_EQ(via_isp2->attrs.next_hop, pr2_);
+  EXPECT_EQ(enc.cond(m.and_(via_isp2->d, enc.prefix_exact(p100_))),
+            m.and_(m.not_(n1), n2));
+
+  // Both external routes also cover 110/2, mirroring the symbolic split.
+  EXPECT_EQ(covering(rib, p110_).size(), 2u);
+
+  // The ISP1 route's AS path starts with AS 100 (figure 4: "100.*").
+  const auto w = via_isp1->attrs.aspath.witness();
+  ASSERT_FALSE(w.empty());
+  EXPECT_EQ(w[0], engine_.alphabet().symbol_for(100));
+}
+
+TEST_F(Fig4Test, CommunityErasedOnLeakPath) {
+  // The ISP1 route at PR1 carries community atom 300:100...
+  const auto a = *engine_.atom_of(*net::Community::parse("300:100"));
+  const auto& rib1 = engine_.rib(pr1_);
+  const SymbolicRoute* at_pr1 = nullptr;
+  for (const auto& r : rib1) {
+    if (r.attrs.originator == isp1_) at_pr1 = &r;
+  }
+  ASSERT_NE(at_pr1, nullptr);
+  EXPECT_TRUE(at_pr1->attrs.comm.may_contain(engine_.encoding(), a));
+  // Every member list contains the tag (added unconditionally at import).
+  EXPECT_TRUE(at_pr1->attrs.comm.matching_none(engine_.encoding(), {a})
+                  .is_empty());
+
+  // ...but at PR2 the tag is gone (PR1 -> PR2 lacks advertise-community).
+  const auto& rib2 = engine_.rib(pr2_);
+  const SymbolicRoute* at_pr2 = nullptr;
+  for (const auto& r : rib2) {
+    if (r.attrs.originator == isp1_) at_pr2 = &r;
+  }
+  ASSERT_NE(at_pr2, nullptr);
+  EXPECT_FALSE(at_pr2->attrs.comm.may_contain(engine_.encoding(), a));
+  // Local preference rides the iBGP session unchanged.
+  EXPECT_EQ(at_pr2->attrs.local_pref, 200u);
+}
+
+TEST_F(Fig4Test, RouteLeaksToIsp2ButNotIsp1) {
+  // Step 6 of the figure: ISP2 receives a route originated by ISP1.
+  bool leak_to_isp2 = false;
+  for (const auto& r : engine_.external_rib(isp2_)) {
+    if (r.attrs.originator == isp1_) {
+      leak_to_isp2 = true;
+      // The leaked path is "300 100.*": our AS prepended over eBGP.
+      const auto w = r.attrs.aspath.witness();
+      ASSERT_GE(w.size(), 2u);
+      EXPECT_EQ(w[0], engine_.alphabet().symbol_for(300));
+      EXPECT_EQ(w[1], engine_.alphabet().symbol_for(100));
+    }
+  }
+  EXPECT_TRUE(leak_to_isp2);
+
+  // The reverse direction is protected: PR2 -> PR1 advertises communities,
+  // so ex1 denies ISP2's routes towards ISP1.
+  for (const auto& r : engine_.external_rib(isp1_)) {
+    EXPECT_NE(r.attrs.originator, isp2_);
+  }
+}
+
+TEST_F(Fig4Test, FixingTheMisconfigRemovesTheLeak) {
+  // Add the missing advertise-community and re-run: no leak anywhere.
+  std::string fixed(kFig4);
+  const std::string from = "bgp peer PR2 AS 300";
+  fixed.replace(fixed.find(from), from.size(),
+                "bgp peer PR2 AS 300 advertise-community");
+  auto net = net::Network::build(config::parse_configs(fixed));
+  Engine engine(net, Options{});
+  ASSERT_TRUE(engine.run());
+  for (const auto e : net.external_nodes()) {
+    for (const auto& r : engine.external_rib(e)) {
+      EXPECT_TRUE(!net.node(r.attrs.originator).external ||
+                  r.attrs.originator == e)
+          << "unexpected leak to " << net.node(e).name;
+    }
+  }
+}
+
+TEST_F(Fig4Test, ExpressoMinusConcreteAsPaths) {
+  // The Expresso- variant also finds the leak (concrete AS paths).
+  Options opt;
+  opt.aspath_mode = automaton::AsPathMode::kConcrete;
+  Engine engine(net_, opt);
+  ASSERT_TRUE(engine.run());
+  bool leak = false;
+  for (const auto& r : engine.external_rib(isp2_)) {
+    leak = leak || r.attrs.originator == isp1_;
+  }
+  EXPECT_TRUE(leak);
+}
+
+TEST_F(Fig4Test, AutomatonCommunityRepresentationAgrees) {
+  Options opt;
+  opt.comm_rep = symbolic::CommunityRep::kAutomaton;
+  Engine engine(net_, opt);
+  ASSERT_TRUE(engine.run());
+  bool leak = false;
+  for (const auto& r : engine.external_rib(isp2_)) {
+    leak = leak || r.attrs.originator == isp1_;
+  }
+  EXPECT_TRUE(leak);
+  for (const auto& r : engine.external_rib(isp1_)) {
+    EXPECT_NE(r.attrs.originator, isp2_);
+  }
+}
+
+TEST_F(Fig4Test, NoPoliciesFeatureLevelLeaksEverywhere) {
+  // Figure 6(c)'s "none" level: without policies the network is all-permit,
+  // so both directions leak.
+  Options opt;
+  opt.apply_policies = false;
+  Engine engine(net_, opt);
+  ASSERT_TRUE(engine.run());
+  bool leak12 = false, leak21 = false;
+  for (const auto& r : engine.external_rib(isp2_)) {
+    leak12 = leak12 || r.attrs.originator == isp1_;
+  }
+  for (const auto& r : engine.external_rib(isp1_)) {
+    leak21 = leak21 || r.attrs.originator == isp2_;
+  }
+  EXPECT_TRUE(leak12);
+  EXPECT_TRUE(leak21);
+}
+
+}  // namespace
+}  // namespace expresso::epvp

@@ -1,0 +1,180 @@
+// Dataset generators: structural checks plus end-to-end verification that
+// every planted misconfiguration class is actually found by the verifier
+// (and that un-planted regions are clean).
+#include "gen/datasets.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "config/parser.hpp"
+
+#include "expresso/verifier.hpp"
+
+namespace expresso::gen {
+namespace {
+
+using properties::Property;
+
+TEST(RegionGenTest, CleanRegionHasNoViolations) {
+  RegionSpec spec;
+  spec.name = "clean";
+  spec.num_pr = 3;
+  spec.num_rr = 1;
+  spec.num_dr = 1;
+  spec.num_peers = 4;
+  spec.num_prefixes = 8;
+  const Dataset d = make_region(spec, 0, 1);
+  EXPECT_TRUE(d.planted.empty());
+
+  Verifier v(d.config_text);
+  EXPECT_TRUE(v.check_route_leak_free().empty());
+  EXPECT_TRUE(v.check_route_hijack_free().empty());
+  EXPECT_TRUE(v.check_traffic_hijack_free().empty());
+  EXPECT_TRUE(v.check_loop_free().empty());
+  EXPECT_TRUE(v.stats().converged);
+}
+
+TEST(RegionGenTest, MissingDenyLeakIsFound) {
+  RegionSpec spec;
+  spec.num_pr = 3;
+  spec.num_rr = 1;
+  spec.num_dr = 1;
+  spec.num_peers = 4;
+  spec.num_prefixes = 8;
+  spec.leaks_missing_deny = 1;
+  const Dataset d = make_region(spec, 0, 1);
+  ASSERT_EQ(d.planted.size(), 1u);
+  EXPECT_EQ(d.planted[0].kind, Property::kRouteLeakFree);
+
+  Verifier v(d.config_text);
+  const auto leaks = v.check_route_leak_free();
+  ASSERT_FALSE(leaks.empty());
+  // Every leak lands at the neighbor with the permissive export policy.
+  for (const auto& viol : leaks) {
+    EXPECT_EQ(v.network().node(viol.node).name, "isp0_0");
+  }
+  EXPECT_TRUE(v.check_route_hijack_free().empty());
+}
+
+TEST(RegionGenTest, MissingAdvertiseCommunityLeakIsFound) {
+  RegionSpec spec;
+  spec.num_pr = 3;
+  spec.num_rr = 1;
+  spec.num_dr = 1;
+  spec.num_peers = 4;
+  spec.num_prefixes = 8;
+  spec.leaks_missing_adv_comm = 1;
+  const Dataset d = make_region(spec, 0, 1);
+  ASSERT_EQ(d.planted.size(), 1u);
+
+  Verifier v(d.config_text);
+  const auto leaks = v.check_route_leak_free();
+  // The figure-4-style strip: routes imported at pr0_2 lose their tag on
+  // the way to the RR, so every other PR's no-transit deny stops firing.
+  EXPECT_FALSE(leaks.empty());
+}
+
+TEST(RegionGenTest, UnfilteredInterfaceHijackIsFound) {
+  RegionSpec spec;
+  spec.num_pr = 3;
+  spec.num_rr = 1;
+  spec.num_dr = 1;
+  spec.num_peers = 4;
+  spec.num_prefixes = 8;
+  spec.hijacks_unfiltered_iface = 1;
+  const Dataset d = make_region(spec, 0, 1);
+  ASSERT_EQ(d.planted.size(), 1u);
+  EXPECT_EQ(d.planted[0].kind, Property::kRouteHijackFree);
+
+  Verifier v(d.config_text);
+  const auto hijacks = v.check_route_hijack_free();
+  ASSERT_FALSE(hijacks.empty());
+  // The hijacked prefix is the planted 172.31/31 interface; the hijacker is
+  // always an external neighbor.
+  for (const auto& viol : hijacks) {
+    EXPECT_FALSE(v.network().node(viol.node).external);
+    EXPECT_NE(viol.condition, bdd::kFalse);
+  }
+  EXPECT_TRUE(v.check_route_leak_free().empty());
+}
+
+TEST(RegionGenTest, StaticDefaultTrafficHijackIsFound) {
+  RegionSpec spec;
+  spec.num_pr = 3;
+  spec.num_rr = 1;
+  spec.num_dr = 1;
+  spec.num_peers = 4;
+  spec.num_prefixes = 8;
+  spec.traffic_hijack_default = 1;
+  const Dataset d = make_region(spec, 0, 1);
+  ASSERT_EQ(d.planted.size(), 1u);
+  EXPECT_EQ(d.planted[0].kind, Property::kTrafficHijackFree);
+
+  Verifier v(d.config_text);
+  const auto thijacks = v.check_traffic_hijack_free();
+  ASSERT_FALSE(thijacks.empty());
+  // The hijacked traffic starts at the static-default PR (pr0_2).
+  bool from_pr2 = false;
+  for (const auto& viol : thijacks) {
+    from_pr2 = from_pr2 || v.network().node(viol.node).name == "pr0_2";
+  }
+  EXPECT_TRUE(from_pr2);
+  EXPECT_TRUE(v.check_route_leak_free().empty());
+}
+
+TEST(CspWanTest, OldSnapshotStatisticsMatchTable1Magnitudes) {
+  const Dataset d = make_csp_wan(Snapshot::kOld, 7);
+  // Table 1 reports O(30) nodes, O(100) links, O(90) peers, O(3k) prefixes,
+  // O(54k) config lines for the old full snapshot.
+  EXPECT_GE(d.nodes, 20u);
+  EXPECT_LE(d.nodes, 50u);
+  EXPECT_GE(d.peers, 70u);
+  EXPECT_LE(d.peers, 120u);
+  EXPECT_GE(d.prefixes, 2000u);
+  EXPECT_GE(d.config_lines, 10000u);
+  EXPECT_FALSE(d.planted.empty());
+  // The snapshot parses and builds.
+  auto net = net::Network::build(config::parse_configs(d.config_text));
+  EXPECT_EQ(net.num_internal(), d.nodes);
+  EXPECT_EQ(net.num_external(), d.peers);
+}
+
+TEST(CspWanTest, NewSnapshotIsLarger) {
+  const Dataset oldd = make_csp_wan(Snapshot::kOld, 7);
+  const Dataset newd = make_csp_wan(Snapshot::kNew, 7);
+  EXPECT_GT(newd.nodes, 2 * oldd.nodes);
+  EXPECT_GT(newd.peers, 2 * oldd.peers);
+  EXPECT_GT(newd.prefixes, 2 * oldd.prefixes);
+  EXPECT_GT(newd.planted.size(), oldd.planted.size());
+}
+
+TEST(CspWanTest, PeerLimitCapsNeighbors) {
+  const Dataset d = make_csp_wan(Snapshot::kOld, 7, 10);
+  auto net = net::Network::build(config::parse_configs(d.config_text));
+  EXPECT_LE(net.num_external(), 10u);
+}
+
+TEST(Internet2Test, FourReachableViolationsAndOneStripped) {
+  const Dataset d = make_internet2(3, 40, 100);
+  EXPECT_EQ(d.nodes, 10u);
+  EXPECT_EQ(d.peers, 40u);
+  // 4 reachable plants + 1 stripped-session plant.
+  ASSERT_EQ(d.planted.size(), 5u);
+
+  Verifier v(d.config_text);
+  const auto viols = v.check_block_to_external(internet2_bte());
+  ASSERT_FALSE(viols.empty());
+  // Expresso flags exactly the 4 neighbors whose sessions miss the deny AND
+  // advertise communities (table 4's Expresso count); the stripped session
+  // (peer36) is invisible to it but visible to policy-local checkers.
+  std::set<std::string> flagged;
+  for (const auto& viol : viols) {
+    flagged.insert(v.network().node(viol.node).name);
+  }
+  EXPECT_EQ(flagged,
+            (std::set<std::string>{"peer5", "peer13", "peer20", "peer32"}));
+}
+
+}  // namespace
+}  // namespace expresso::gen

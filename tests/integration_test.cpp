@@ -1,0 +1,160 @@
+// End-to-end pipeline invariants over generated snapshots, swept across
+// seeds and engine variants:
+//
+//   * EPVP converges;
+//   * per router, the LPM-resolved port predicates (local / per-peer /
+//     drop) PARTITION the packet ⨯ environment space — nothing is
+//     forwarded two ways, nothing is lost;
+//   * the PECs injected at each node partition the space as well (the SRE
+//     property Expresso inherits);
+//   * every reported violation carries a satisfiable condition;
+//   * the Expresso- and automaton-community variants agree with the
+//     default configuration on which neighbors are affected by leaks.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "dataplane/forwarding.hpp"
+#include "expresso/verifier.hpp"
+#include "gen/datasets.hpp"
+
+namespace expresso {
+namespace {
+
+struct Case {
+  std::uint64_t seed;
+  int peers;
+  bool plant;
+};
+
+class PipelineInvariantTest : public ::testing::TestWithParam<Case> {};
+
+TEST_P(PipelineInvariantTest, PortPredicatesAndPecsPartition) {
+  const auto param = GetParam();
+  gen::RegionSpec spec;
+  spec.num_pr = 3;
+  spec.num_rr = 1;
+  spec.num_dr = 2;
+  spec.num_peers = param.peers;
+  spec.num_prefixes = 24;
+  if (param.plant) {
+    spec.leaks_missing_deny = 1;
+    spec.hijacks_unfiltered_iface = 1;
+    spec.traffic_hijack_default = 1;
+  }
+  const auto d = gen::make_region(spec, 0, param.seed);
+
+  Verifier v(d.config_text);
+  v.run_spf();
+  ASSERT_TRUE(v.stats().converged);
+
+  auto& eng = v.engine();
+  auto& m = eng.encoding().mgr();
+
+  // Rebuild the FIBs to inspect port predicates directly.
+  dataplane::FibBuilder fibs(eng);
+  for (const auto u : v.network().internal_nodes()) {
+    const auto& pp = fibs.ports(u);
+    std::vector<bdd::NodeId> parts{pp.local, pp.drop};
+    for (const auto& [peer, pred] : pp.to_peer) {
+      (void)peer;
+      parts.push_back(pred);
+    }
+    bdd::NodeId all = bdd::kFalse;
+    for (std::size_t i = 0; i < parts.size(); ++i) {
+      for (std::size_t j = i + 1; j < parts.size(); ++j) {
+        EXPECT_EQ(m.and_(parts[i], parts[j]), bdd::kFalse)
+            << "overlapping port predicates at "
+            << v.network().node(u).name;
+      }
+      all = m.or_(all, parts[i]);
+    }
+    EXPECT_EQ(all, bdd::kTrue)
+        << "port predicates do not cover the space at "
+        << v.network().node(u).name;
+  }
+
+  // PEC partition per injection point.
+  dataplane::Forwarder fwd(eng, fibs);
+  for (net::NodeIndex u = 0; u < v.network().nodes().size(); ++u) {
+    const auto pecs = fwd.pecs_from(u);
+    if (v.network().node(u).external &&
+        v.network().in_edges()[u].empty()) {
+      continue;
+    }
+    bdd::NodeId all = bdd::kFalse;
+    for (std::size_t i = 0; i < pecs.size(); ++i) {
+      EXPECT_NE(pecs[i].pkt, bdd::kFalse);
+      for (std::size_t j = i + 1; j < pecs.size(); ++j) {
+        // Replicas from the same start with identical predicates cannot
+        // overlap unless they took different paths from an external
+        // multi-PoP injection (one replica per entry router).
+        if (v.network().node(u).external) continue;
+        EXPECT_EQ(m.and_(pecs[i].pkt, pecs[j].pkt), bdd::kFalse)
+            << "overlapping PECs from " << v.network().node(u).name;
+      }
+      all = m.or_(all, pecs[i].pkt);
+    }
+    if (!v.network().node(u).external && !pecs.empty()) {
+      EXPECT_EQ(all, bdd::kTrue)
+          << "PECs do not cover the space from "
+          << v.network().node(u).name;
+    }
+  }
+
+  // Violation conditions are satisfiable and well-attributed.
+  for (const auto& viol : v.check_route_leak_free()) {
+    EXPECT_NE(viol.condition, bdd::kFalse);
+    EXPECT_TRUE(v.network().node(viol.node).external);
+  }
+  for (const auto& viol : v.check_route_hijack_free()) {
+    EXPECT_NE(viol.condition, bdd::kFalse);
+    EXPECT_FALSE(v.network().node(viol.node).external);
+  }
+  if (param.plant) {
+    EXPECT_FALSE(v.check_route_leak_free().empty());
+    EXPECT_FALSE(v.check_route_hijack_free().empty());
+    EXPECT_FALSE(v.check_traffic_hijack_free().empty());
+  } else {
+    EXPECT_TRUE(v.check_route_leak_free().empty());
+    EXPECT_TRUE(v.check_route_hijack_free().empty());
+    EXPECT_TRUE(v.check_traffic_hijack_free().empty());
+  }
+}
+
+TEST_P(PipelineInvariantTest, VariantsAgreeOnAffectedNeighbors) {
+  const auto param = GetParam();
+  gen::RegionSpec spec;
+  spec.num_pr = 3;
+  spec.num_rr = 1;
+  spec.num_dr = 1;
+  spec.num_peers = param.peers;
+  spec.num_prefixes = 12;
+  if (param.plant) spec.leaks_missing_deny = 1;
+  const auto d = gen::make_region(spec, 0, param.seed);
+
+  auto affected = [&](epvp::Options opt) {
+    Verifier v(d.config_text, opt);
+    std::set<std::string> nodes;
+    for (const auto& viol : v.check_route_leak_free()) {
+      nodes.insert(v.network().node(viol.node).name);
+    }
+    return nodes;
+  };
+
+  const auto base = affected({});
+  epvp::Options minus;
+  minus.aspath_mode = automaton::AsPathMode::kConcrete;
+  EXPECT_EQ(affected(minus), base);
+  epvp::Options aut;
+  aut.comm_rep = symbolic::CommunityRep::kAutomaton;
+  EXPECT_EQ(affected(aut), base);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, PipelineInvariantTest,
+                         ::testing::Values(Case{1, 3, false}, Case{2, 3, true},
+                                           Case{3, 5, false}, Case{4, 5, true},
+                                           Case{5, 4, true}, Case{6, 6, false}));
+
+}  // namespace
+}  // namespace expresso

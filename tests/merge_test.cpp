@@ -1,0 +1,196 @@
+// The merge function ⊕ (equation 5) and preference order ρ (section 4.3).
+#include "symbolic/route.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/util.hpp"
+
+namespace expresso::symbolic {
+namespace {
+
+using automaton::AsAlphabet;
+using automaton::AsPath;
+
+class MergeTest : public ::testing::Test {
+ protected:
+  MergeTest() : enc_(4, 2) {
+    alphabet_.intern(100);
+    alphabet_.intern(200);
+    alphabet_.freeze();
+  }
+
+  SymbolicRoute route(bdd::NodeId d, std::uint32_t lp, int asp_len,
+                      net::NodeIndex nh, net::NodeIndex orig,
+                      Learned learned = Learned::kEbgp) {
+    SymbolicRoute r;
+    r.d = d;
+    r.attrs.local_pref = lp;
+    AsPath p = AsPath::any(alphabet_);
+    for (int i = 0; i < asp_len; ++i) p = p.prepend(0);
+    r.attrs.aspath = p;
+    r.attrs.comm = CommunitySet::none(enc_, CommunityRep::kAtomBdd);
+    r.attrs.next_hop = nh;
+    r.attrs.originator = orig;
+    r.attrs.learned = learned;
+    return r;
+  }
+
+  AsAlphabet alphabet_;
+  Encoding enc_;
+};
+
+TEST_F(MergeTest, PreferenceOrder) {
+  const auto base = route(bdd::kTrue, 100, 1, 0, 0).attrs;
+  // Higher local preference wins.
+  auto hi_lp = base;
+  hi_lp.local_pref = 200;
+  EXPECT_GT(compare_preference(hi_lp, base), 0);
+  EXPECT_LT(compare_preference(base, hi_lp), 0);
+  // Shorter AS path wins.
+  const auto longer = route(bdd::kTrue, 100, 3, 0, 0).attrs;
+  EXPECT_GT(compare_preference(base, longer), 0);
+  // eBGP beats iBGP.
+  auto ibgp = base;
+  ibgp.learned = Learned::kIbgp;
+  EXPECT_GT(compare_preference(base, ibgp), 0);
+  // Administrative distance dominates everything.
+  auto conn = base;
+  conn.source = Source::kConnected;
+  auto stat = base;
+  stat.source = Source::kStatic;
+  EXPECT_GT(compare_preference(conn, hi_lp), 0);
+  EXPECT_GT(compare_preference(stat, hi_lp), 0);
+  EXPECT_GT(compare_preference(conn, stat), 0);
+  // Router-id style tiebreak is deterministic and antisymmetric.
+  const auto other = route(bdd::kTrue, 100, 1, 1, 1).attrs;
+  EXPECT_EQ(compare_preference(base, other), -compare_preference(other, base));
+  EXPECT_NE(compare_preference(base, other), 0);
+  // Exact self-tie.
+  EXPECT_EQ(compare_preference(base, base), 0);
+}
+
+TEST_F(MergeTest, WinnerDisplacesLoserWhereCovered) {
+  auto& m = enc_.mgr();
+  // R1 (lp 200) covers n0; R2 (lp 100) covers n0 ∨ n1.
+  const auto r1 = route(m.var(enc_.adv_var(0)), 200, 1, 0, 0);
+  const auto r2 =
+      route(m.or_(m.var(enc_.adv_var(0)), m.var(enc_.adv_var(1))), 100, 1, 1,
+            1);
+  const auto merged = merge_routes(enc_, {r1, r2});
+  ASSERT_EQ(merged.size(), 2u);
+  // The paper's example: the loser keeps only the region the winner does
+  // not cover (¬n0 ∧ n1).
+  for (const auto& r : merged) {
+    if (r.attrs.local_pref == 200) {
+      EXPECT_EQ(r.d, m.var(enc_.adv_var(0)));
+    } else {
+      EXPECT_EQ(r.d, m.and_(m.not_(m.var(enc_.adv_var(0))),
+                            m.var(enc_.adv_var(1))));
+    }
+  }
+}
+
+TEST_F(MergeTest, FullyDisplacedRouteDisappears) {
+  auto& m = enc_.mgr();
+  const auto winner = route(bdd::kTrue, 200, 1, 0, 0);
+  const auto loser = route(m.var(enc_.adv_var(2)), 100, 1, 1, 1);
+  const auto merged = merge_routes(enc_, {loser, winner});
+  ASSERT_EQ(merged.size(), 1u);
+  EXPECT_EQ(merged[0].attrs.local_pref, 200u);
+  EXPECT_EQ(merged[0].d, bdd::kTrue);
+}
+
+TEST_F(MergeTest, IdenticalAttrsCoalesce) {
+  auto& m = enc_.mgr();
+  const auto a = route(m.var(enc_.adv_var(0)), 100, 1, 0, 0);
+  const auto b = route(m.var(enc_.adv_var(1)), 100, 1, 0, 0);
+  const auto merged = merge_routes(enc_, {a, b});
+  ASSERT_EQ(merged.size(), 1u);
+  EXPECT_EQ(merged[0].d,
+            m.or_(m.var(enc_.adv_var(0)), m.var(enc_.adv_var(1))));
+}
+
+TEST_F(MergeTest, VacuousRoutesDropped) {
+  auto dead = route(bdd::kFalse, 100, 1, 0, 0);
+  EXPECT_TRUE(merge_routes(enc_, {dead}).empty());
+  auto denied = route(bdd::kTrue, 100, 1, 0, 0);
+  denied.attrs.aspath =
+      denied.attrs.aspath.filter(automaton::Dfa::empty(alphabet_.size()));
+  EXPECT_TRUE(merge_routes(enc_, {denied}).empty());
+}
+
+// Property test: merge output is order-independent and per-point optimal.
+class MergeRandomTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MergeRandomTest, PointwiseOptimalAndOrderIndependent) {
+  SplitMix64 rng(GetParam());
+  AsAlphabet alphabet;
+  alphabet.intern(100);
+  alphabet.freeze();
+  Encoding enc(3, 0);
+  auto& m = enc.mgr();
+
+  // Random candidates over the 8 environment points of 3 advertiser vars.
+  std::vector<SymbolicRoute> cands;
+  const int n = 2 + static_cast<int>(rng.below(4));
+  for (int i = 0; i < n; ++i) {
+    SymbolicRoute r;
+    bdd::NodeId d = bdd::kFalse;
+    for (std::uint32_t pt = 0; pt < 8; ++pt) {
+      if (!rng.chance(1, 2)) continue;
+      bdd::NodeId cube = bdd::kTrue;
+      for (std::uint32_t v = 0; v < 3; ++v) {
+        cube = m.and_(cube, (pt >> v) & 1 ? m.var(enc.adv_var(v))
+                                          : m.nvar(enc.adv_var(v)));
+      }
+      d = m.or_(d, cube);
+    }
+    r.d = d;
+    r.attrs.local_pref = 100 + 100 * static_cast<std::uint32_t>(rng.below(3));
+    AsPath p = AsPath::any(alphabet);
+    const int len = static_cast<int>(rng.below(3));
+    for (int j = 0; j < len; ++j) p = p.prepend(0);
+    r.attrs.aspath = p;
+    r.attrs.comm = CommunitySet::none(enc, CommunityRep::kAtomBdd);
+    r.attrs.next_hop = static_cast<net::NodeIndex>(rng.below(4));
+    r.attrs.originator = r.attrs.next_hop;
+    cands.push_back(std::move(r));
+  }
+
+  auto merged = merge_routes(enc, cands);
+  auto reversed_in = cands;
+  std::reverse(reversed_in.begin(), reversed_in.end());
+  auto merged_rev = merge_routes(enc, reversed_in);
+  EXPECT_TRUE(same_rib(merged, merged_rev));
+
+  // Per environment point: survivors are exactly the maxima.
+  for (std::uint32_t pt = 0; pt < 8; ++pt) {
+    bdd::NodeId cube = bdd::kTrue;
+    for (std::uint32_t v = 0; v < 3; ++v) {
+      cube = m.and_(cube, (pt >> v) & 1 ? m.var(enc.adv_var(v))
+                                        : m.nvar(enc.adv_var(v)));
+    }
+    // Best candidate attrs at this point.
+    const RouteAttrs* best = nullptr;
+    for (const auto& c : cands) {
+      if (c.d == bdd::kFalse || m.and_(c.d, cube) == bdd::kFalse) continue;
+      if (!best || compare_preference(c.attrs, *best) > 0) best = &c.attrs;
+    }
+    // Survivors at this point.
+    int covering = 0;
+    for (const auto& r : merged) {
+      if (m.and_(r.d, cube) == bdd::kFalse) continue;
+      ++covering;
+      ASSERT_NE(best, nullptr);
+      EXPECT_EQ(compare_preference(r.attrs, *best), 0)
+          << "non-maximal survivor at point " << pt;
+    }
+    EXPECT_EQ(covering, best ? 1 : 0) << "point " << pt;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MergeRandomTest,
+                         ::testing::Range<std::uint64_t>(0, 25));
+
+}  // namespace
+}  // namespace expresso::symbolic

@@ -1,0 +1,181 @@
+#include "sat/solver.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/util.hpp"
+
+namespace expresso::sat {
+namespace {
+
+TEST(SatTest, TrivialSatAndUnsat) {
+  Solver s;
+  const auto a = s.new_var();
+  const auto b = s.new_var();
+  s.add_clause({Lit::pos(a), Lit::pos(b)});
+  EXPECT_EQ(s.solve(), Result::kSat);
+  EXPECT_TRUE(s.value(a) || s.value(b));
+
+  Solver u;
+  const auto x = u.new_var();
+  u.add_unit(Lit::pos(x));
+  u.add_unit(Lit::neg(x));
+  EXPECT_EQ(u.solve(), Result::kUnsat);
+}
+
+TEST(SatTest, UnitPropagationChain) {
+  Solver s;
+  std::vector<std::uint32_t> v;
+  for (int i = 0; i < 10; ++i) v.push_back(s.new_var());
+  for (int i = 0; i + 1 < 10; ++i) {
+    s.add_implies(Lit::pos(v[i]), Lit::pos(v[i + 1]));
+  }
+  s.add_unit(Lit::pos(v[0]));
+  ASSERT_EQ(s.solve(), Result::kSat);
+  for (int i = 0; i < 10; ++i) EXPECT_TRUE(s.value(v[i]));
+}
+
+TEST(SatTest, ImplicationCycleWithNegation) {
+  Solver s;
+  const auto a = s.new_var(), b = s.new_var(), c = s.new_var();
+  s.add_implies(Lit::pos(a), Lit::pos(b));
+  s.add_implies(Lit::pos(b), Lit::pos(c));
+  s.add_implies(Lit::pos(c), Lit::neg(a));
+  s.add_unit(Lit::pos(a));
+  EXPECT_EQ(s.solve(), Result::kUnsat);
+}
+
+TEST(SatTest, TseitinGates) {
+  Solver s;
+  const auto a = s.new_var(), b = s.new_var();
+  const auto y_and = s.new_var(), y_or = s.new_var();
+  s.add_and_gate(Lit::pos(y_and), Lit::pos(a), Lit::pos(b));
+  s.add_or_gate(Lit::pos(y_or), Lit::pos(a), Lit::pos(b));
+  // a=1, b=0: and=0, or=1.
+  ASSERT_EQ(s.solve({Lit::pos(a), Lit::neg(b)}), Result::kSat);
+  EXPECT_FALSE(s.value(y_and));
+  EXPECT_TRUE(s.value(y_or));
+  ASSERT_EQ(s.solve({Lit::pos(a), Lit::pos(b)}), Result::kSat);
+  EXPECT_TRUE(s.value(y_and));
+  EXPECT_TRUE(s.value(y_or));
+}
+
+TEST(SatTest, AtMostOne) {
+  Solver s;
+  std::vector<Lit> lits;
+  for (int i = 0; i < 5; ++i) lits.push_back(Lit::pos(s.new_var()));
+  s.add_at_most_one(lits);
+  s.add_clause(lits);  // at least one
+  ASSERT_EQ(s.solve(), Result::kSat);
+  int count = 0;
+  for (const Lit l : lits) count += s.value(l.var());
+  EXPECT_EQ(count, 1);
+}
+
+TEST(SatTest, AssumptionsDoNotStick) {
+  Solver s;
+  const auto a = s.new_var();
+  EXPECT_EQ(s.solve({Lit::pos(a)}), Result::kSat);
+  EXPECT_EQ(s.solve({Lit::neg(a)}), Result::kSat);
+  EXPECT_EQ(s.solve(), Result::kSat);
+}
+
+TEST(SatTest, PigeonholeUnsat) {
+  // 4 pigeons, 3 holes: classic small UNSAT needing real search.
+  Solver s;
+  const int P = 4, H = 3;
+  std::vector<std::vector<Lit>> x(P, std::vector<Lit>(H, Lit{0}));
+  for (int p = 0; p < P; ++p) {
+    for (int h = 0; h < H; ++h) x[p][h] = Lit::pos(s.new_var());
+  }
+  for (int p = 0; p < P; ++p) s.add_clause(x[p]);
+  for (int h = 0; h < H; ++h) {
+    for (int p1 = 0; p1 < P; ++p1) {
+      for (int p2 = p1 + 1; p2 < P; ++p2) {
+        s.add_clause({~x[p1][h], ~x[p2][h]});
+      }
+    }
+  }
+  EXPECT_EQ(s.solve(), Result::kUnsat);
+  EXPECT_GT(s.conflicts(), 0u);
+}
+
+TEST(SatTest, ConflictBudgetReturnsUnknown) {
+  // 7 pigeons, 6 holes with a 5-conflict budget: cannot finish.
+  Solver s;
+  const int P = 7, H = 6;
+  std::vector<std::vector<Lit>> x(P, std::vector<Lit>(H, Lit{0}));
+  for (int p = 0; p < P; ++p) {
+    for (int h = 0; h < H; ++h) x[p][h] = Lit::pos(s.new_var());
+  }
+  for (int p = 0; p < P; ++p) s.add_clause(x[p]);
+  for (int h = 0; h < H; ++h) {
+    for (int p1 = 0; p1 < P; ++p1) {
+      for (int p2 = p1 + 1; p2 < P; ++p2) {
+        s.add_clause({~x[p1][h], ~x[p2][h]});
+      }
+    }
+  }
+  EXPECT_EQ(s.solve({}, 5), Result::kUnknown);
+}
+
+// Random 3-SAT instances cross-checked against brute force.
+class SatRandomTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SatRandomTest, AgreesWithBruteForce) {
+  SplitMix64 rng(GetParam());
+  const int nvars = 8;
+  const int nclauses = 28;
+
+  std::vector<std::vector<int>> cnf;  // +v / -v, 1-based
+  for (int c = 0; c < nclauses; ++c) {
+    std::vector<int> clause;
+    for (int l = 0; l < 3; ++l) {
+      const int v = 1 + static_cast<int>(rng.below(nvars));
+      clause.push_back(rng.chance(1, 2) ? v : -v);
+    }
+    cnf.push_back(clause);
+  }
+
+  bool brute_sat = false;
+  for (std::uint32_t a = 0; a < (1u << nvars) && !brute_sat; ++a) {
+    bool all = true;
+    for (const auto& clause : cnf) {
+      bool any = false;
+      for (const int lit : clause) {
+        const bool val = (a >> (std::abs(lit) - 1)) & 1;
+        any = any || (lit > 0 ? val : !val);
+      }
+      all = all && any;
+    }
+    brute_sat = all;
+  }
+
+  Solver s;
+  for (int v = 0; v < nvars; ++v) s.new_var();
+  for (const auto& clause : cnf) {
+    std::vector<Lit> lits;
+    for (const int lit : clause) {
+      lits.push_back(lit > 0 ? Lit::pos(lit - 1) : Lit::neg(-lit - 1));
+    }
+    s.add_clause(lits);
+  }
+  const Result r = s.solve();
+  EXPECT_EQ(r, brute_sat ? Result::kSat : Result::kUnsat);
+  if (r == Result::kSat) {
+    // The model must satisfy every clause.
+    for (const auto& clause : cnf) {
+      bool any = false;
+      for (const int lit : clause) {
+        const bool val = s.value(std::abs(lit) - 1);
+        any = any || (lit > 0 ? val : !val);
+      }
+      EXPECT_TRUE(any);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SatRandomTest,
+                         ::testing::Range<std::uint64_t>(0, 40));
+
+}  // namespace
+}  // namespace expresso::sat

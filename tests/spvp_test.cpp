@@ -1,0 +1,147 @@
+// Concrete SPVP engine unit tests (the enumeration baseline / oracle).
+#include "routing/spvp.hpp"
+
+#include <gtest/gtest.h>
+
+#include "config/parser.hpp"
+
+namespace expresso::routing {
+namespace {
+
+using net::Ipv4Prefix;
+
+const char* kTriangle = R"(
+router A
+ bgp as 100
+ route-policy lp200 permit node 10
+  set-local-preference 200
+ bgp peer ISPA AS 300 import lp200
+ bgp peer B AS 100 advertise-community
+ bgp peer C AS 100 advertise-community
+router B
+ bgp as 100
+ bgp network 172.16.0.0/16
+ bgp peer A AS 100 advertise-community
+ bgp peer C AS 100 advertise-community
+router C
+ bgp as 100
+ bgp peer ISPC AS 400
+ bgp peer A AS 100 advertise-community
+ bgp peer B AS 100 advertise-community
+)";
+
+class SpvpTest : public ::testing::Test {
+ protected:
+  SpvpTest() : net_(net::Network::build(config::parse_configs(kTriangle))) {
+    a_ = *net_.find("A");
+    b_ = *net_.find("B");
+    c_ = *net_.find("C");
+    ispa_ = *net_.find("ISPA");
+    ispc_ = *net_.find("ISPC");
+  }
+
+  Environment env_with(net::NodeIndex who, const std::string& prefix) {
+    Environment env;
+    Announcement ann;
+    ann.prefix = *Ipv4Prefix::parse(prefix);
+    ann.as_path = {net_.node(who).asn};
+    env[who].push_back(ann);
+    return env;
+  }
+
+  net::Network net_;
+  net::NodeIndex a_{}, b_{}, c_{}, ispa_{}, ispc_{};
+};
+
+TEST_F(SpvpTest, EmptyEnvironmentOnlyInternalRoutes) {
+  SpvpEngine spvp(net_);
+  ASSERT_TRUE(spvp.run({}));
+  // Everyone has exactly B's originated prefix.
+  for (const auto u : {a_, b_, c_}) {
+    ASSERT_EQ(spvp.rib(u).size(), 1u) << net_.node(u).name;
+    EXPECT_EQ(spvp.rib(u)[0].prefix.to_string(), "172.16.0.0/16");
+    EXPECT_EQ(spvp.rib(u)[0].originator, b_);
+  }
+  // B's route is exported to both ISPs.
+  EXPECT_EQ(spvp.external_rib(ispa_).size(), 1u);
+  EXPECT_EQ(spvp.external_rib(ispc_).size(), 1u);
+  // The exported AS path is [100].
+  EXPECT_EQ(spvp.external_rib(ispa_)[0].as_path,
+            (std::vector<std::uint32_t>{100}));
+}
+
+TEST_F(SpvpTest, LocalPreferenceSelectsEgress) {
+  SpvpEngine spvp(net_);
+  // Both ISPs announce the same prefix; ISPA has lp 200 at import.
+  Environment env = env_with(ispa_, "203.0.113.0/24");
+  const auto more = env_with(ispc_, "203.0.113.0/24");
+  env.insert(more.begin(), more.end());
+  ASSERT_TRUE(spvp.run(env));
+  for (const auto u : {a_, b_, c_}) {
+    const ConcreteRoute* r = nullptr;
+    for (const auto& x : spvp.rib(u)) {
+      if (x.prefix.to_string() == "203.0.113.0/24") r = &x;
+    }
+    ASSERT_NE(r, nullptr);
+    EXPECT_EQ(r->originator, ispa_) << "at " << net_.node(u).name;
+    EXPECT_EQ(r->local_pref, u == a_ ? 200u : 200u);
+  }
+}
+
+TEST_F(SpvpTest, AsLoopPreventionDropsOwnAs) {
+  SpvpEngine spvp(net_);
+  Environment env;
+  Announcement ann;
+  ann.prefix = *Ipv4Prefix::parse("203.0.113.0/24");
+  ann.as_path = {400, 100, 500};  // contains the network's own AS
+  env[ispc_].push_back(ann);
+  ASSERT_TRUE(spvp.run(env));
+  for (const auto u : {a_, b_, c_}) {
+    for (const auto& r : spvp.rib(u)) {
+      EXPECT_NE(r.prefix.to_string(), "203.0.113.0/24");
+    }
+  }
+}
+
+TEST_F(SpvpTest, ConcreteForwardingLpm) {
+  SpvpEngine spvp(net_);
+  Environment env = env_with(ispc_, "172.16.1.0/24");  // more specific!
+  ASSERT_TRUE(spvp.run(env));
+  bool local = false;
+  // At A: 172.16.1.5 matches the external /24 via C, not B's /16.
+  const auto hops = spvp.forward(a_, 0xAC100105, local);
+  ASSERT_EQ(hops.size(), 1u);
+  EXPECT_EQ(hops[0], c_);
+  EXPECT_FALSE(local);
+  // 172.16.200.1 only matches B's /16.
+  const auto hops2 = spvp.forward(a_, 0xAC10C801, local);
+  ASSERT_EQ(hops2.size(), 1u);
+  EXPECT_EQ(hops2[0], b_);
+  // At B itself the /16 is local.
+  (void)spvp.forward(b_, 0xAC10C801, local);
+  EXPECT_TRUE(local);
+  // No route at all: empty.
+  EXPECT_TRUE(spvp.forward(a_, 0x08080808, local).empty());
+  EXPECT_FALSE(local);
+}
+
+TEST_F(SpvpTest, MultipleAnnouncementsSamePrefix) {
+  SpvpEngine spvp(net_);
+  Environment env;
+  // One neighbor announces the same prefix with two AS-path lengths; the
+  // shorter must win everywhere.
+  Announcement short_ann, long_ann;
+  short_ann.prefix = long_ann.prefix = *Ipv4Prefix::parse("203.0.113.0/24");
+  short_ann.as_path = {400};
+  long_ann.as_path = {400, 401, 402};
+  env[ispc_] = {long_ann, short_ann};
+  ASSERT_TRUE(spvp.run(env));
+  for (const auto& r : spvp.rib(a_)) {
+    if (r.prefix.to_string() == "203.0.113.0/24") {
+      EXPECT_EQ(r.as_path.size(), 1u);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace expresso::routing

@@ -1,0 +1,76 @@
+// Support utilities and façade error paths.
+#include <gtest/gtest.h>
+
+#include "config/parser.hpp"
+#include "expresso/verifier.hpp"
+#include "net/prefix.hpp"
+#include "support/util.hpp"
+
+namespace expresso {
+namespace {
+
+TEST(SplitMixTest, DeterministicAndSeedSensitive) {
+  SplitMix64 a(42), b(42), c(43);
+  for (int i = 0; i < 100; ++i) {
+    const auto x = a.next();
+    EXPECT_EQ(x, b.next());
+  }
+  bool differs = false;
+  SplitMix64 a2(42);
+  for (int i = 0; i < 10; ++i) differs = differs || a2.next() != c.next();
+  EXPECT_TRUE(differs);
+}
+
+TEST(SplitMixTest, BoundsRespected) {
+  SplitMix64 rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.below(17), 17u);
+    const auto v = rng.range(5, 9);
+    EXPECT_GE(v, 5u);
+    EXPECT_LE(v, 9u);
+    const double u = rng.unit();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(MemoryMeterTest, RssReadable) {
+  EXPECT_GT(current_rss_bytes(), 0u);
+  EXPECT_GE(peak_rss_bytes(), current_rss_bytes() / 2);
+}
+
+TEST(PrefixTest, ParsePrintEdgeCases) {
+  using net::Ipv4Prefix;
+  EXPECT_EQ(Ipv4Prefix::parse("0.0.0.0/0")->to_string(), "0.0.0.0/0");
+  EXPECT_EQ(Ipv4Prefix::parse("255.255.255.255/32")->to_string(),
+            "255.255.255.255/32");
+  // Host bits are canonicalized away.
+  EXPECT_EQ(Ipv4Prefix::parse("10.1.2.3/16")->to_string(), "10.1.0.0/16");
+  EXPECT_FALSE(Ipv4Prefix::parse("10.1.2.3"));
+  EXPECT_FALSE(Ipv4Prefix::parse("10.1.2.3/33"));
+  EXPECT_FALSE(Ipv4Prefix::parse("256.1.2.3/8"));
+  EXPECT_FALSE(Ipv4Prefix::parse("10.1.2.3/8x"));
+
+  const auto p = *Ipv4Prefix::parse("10.0.0.0/8");
+  EXPECT_TRUE(p.contains(*Ipv4Prefix::parse("10.200.0.0/16")));
+  EXPECT_FALSE(p.contains(*Ipv4Prefix::parse("11.0.0.0/16")));
+  EXPECT_FALSE(
+      Ipv4Prefix::parse("10.0.0.0/16")->contains(*Ipv4Prefix::parse("10.0.0.0/8")));
+  EXPECT_TRUE(Ipv4Prefix::parse("0.0.0.0/0")->contains_addr(0xdeadbeef));
+}
+
+TEST(VerifierErrorTest, ParseErrorsPropagate) {
+  EXPECT_THROW(Verifier v("garbage in garbage out"), config::ParseError);
+  EXPECT_THROW(Verifier v("router R\n bgp peer"), config::ParseError);
+}
+
+TEST(VerifierErrorTest, EmptyNetworkIsHarmless) {
+  Verifier v("router LONER\n bgp as 1\n bgp network 10.0.0.0/8\n");
+  EXPECT_TRUE(v.check_route_leak_free().empty());
+  EXPECT_TRUE(v.check_route_hijack_free().empty());
+  EXPECT_TRUE(v.check_traffic_hijack_free().empty());
+  EXPECT_TRUE(v.stats().converged);
+}
+
+}  // namespace
+}  // namespace expresso
