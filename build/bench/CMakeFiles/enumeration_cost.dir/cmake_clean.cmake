@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/enumeration_cost.dir/enumeration_cost.cpp.o"
+  "CMakeFiles/enumeration_cost.dir/enumeration_cost.cpp.o.d"
+  "enumeration_cost"
+  "enumeration_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/enumeration_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

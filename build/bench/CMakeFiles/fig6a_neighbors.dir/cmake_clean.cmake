@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6a_neighbors.dir/fig6a_neighbors.cpp.o"
+  "CMakeFiles/fig6a_neighbors.dir/fig6a_neighbors.cpp.o.d"
+  "fig6a_neighbors"
+  "fig6a_neighbors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6a_neighbors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

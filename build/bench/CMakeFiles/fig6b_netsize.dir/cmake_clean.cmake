@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6b_netsize.dir/fig6b_netsize.cpp.o"
+  "CMakeFiles/fig6b_netsize.dir/fig6b_netsize.cpp.o.d"
+  "fig6b_netsize"
+  "fig6b_netsize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6b_netsize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6c_features.dir/fig6c_features.cpp.o"
+  "CMakeFiles/fig6c_features.dir/fig6c_features.cpp.o.d"
+  "fig6c_features"
+  "fig6c_features.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6c_features.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_representations.dir/fig7_representations.cpp.o"
+  "CMakeFiles/fig7_representations.dir/fig7_representations.cpp.o.d"
+  "fig7_representations"
+  "fig7_representations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_representations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

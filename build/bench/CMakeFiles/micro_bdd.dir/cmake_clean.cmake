@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_bdd.dir/micro_bdd.cpp.o"
+  "CMakeFiles/micro_bdd.dir/micro_bdd.cpp.o.d"
+  "micro_bdd"
+  "micro_bdd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_bdd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_violations.dir/table2_violations.cpp.o"
+  "CMakeFiles/table2_violations.dir/table2_violations.cpp.o.d"
+  "table2_violations"
+  "table2_violations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_violations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

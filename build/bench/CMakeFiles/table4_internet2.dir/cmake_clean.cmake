@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_internet2.dir/table4_internet2.cpp.o"
+  "CMakeFiles/table4_internet2.dir/table4_internet2.cpp.o.d"
+  "table4_internet2"
+  "table4_internet2.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_internet2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

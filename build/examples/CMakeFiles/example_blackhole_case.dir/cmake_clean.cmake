@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_blackhole_case.dir/blackhole_case.cpp.o"
+  "CMakeFiles/example_blackhole_case.dir/blackhole_case.cpp.o.d"
+  "example_blackhole_case"
+  "example_blackhole_case.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_blackhole_case.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_cdn_route_leak.dir/cdn_route_leak.cpp.o"
+  "CMakeFiles/example_cdn_route_leak.dir/cdn_route_leak.cpp.o.d"
+  "example_cdn_route_leak"
+  "example_cdn_route_leak.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_cdn_route_leak.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

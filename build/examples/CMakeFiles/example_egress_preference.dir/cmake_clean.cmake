@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_egress_preference.dir/egress_preference.cpp.o"
+  "CMakeFiles/example_egress_preference.dir/egress_preference.cpp.o.d"
+  "example_egress_preference"
+  "example_egress_preference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_egress_preference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

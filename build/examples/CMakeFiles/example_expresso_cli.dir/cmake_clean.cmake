@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_expresso_cli.dir/expresso_cli.cpp.o"
+  "CMakeFiles/example_expresso_cli.dir/expresso_cli.cpp.o.d"
+  "example_expresso_cli"
+  "example_expresso_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_expresso_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_internet2_audit.dir/internet2_audit.cpp.o"
+  "CMakeFiles/example_internet2_audit.dir/internet2_audit.cpp.o.d"
+  "example_internet2_audit"
+  "example_internet2_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_internet2_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_violation_cases.dir/violation_cases.cpp.o"
+  "CMakeFiles/example_violation_cases.dir/violation_cases.cpp.o.d"
+  "example_violation_cases"
+  "example_violation_cases.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_violation_cases.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,43 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/automaton/aspath.cpp" "src/CMakeFiles/expresso.dir/automaton/aspath.cpp.o" "gcc" "src/CMakeFiles/expresso.dir/automaton/aspath.cpp.o.d"
+  "/root/repo/src/automaton/dfa.cpp" "src/CMakeFiles/expresso.dir/automaton/dfa.cpp.o" "gcc" "src/CMakeFiles/expresso.dir/automaton/dfa.cpp.o.d"
+  "/root/repo/src/automaton/regex.cpp" "src/CMakeFiles/expresso.dir/automaton/regex.cpp.o" "gcc" "src/CMakeFiles/expresso.dir/automaton/regex.cpp.o.d"
+  "/root/repo/src/baselines/aspath_atomizer.cpp" "src/CMakeFiles/expresso.dir/baselines/aspath_atomizer.cpp.o" "gcc" "src/CMakeFiles/expresso.dir/baselines/aspath_atomizer.cpp.o.d"
+  "/root/repo/src/baselines/enumerator.cpp" "src/CMakeFiles/expresso.dir/baselines/enumerator.cpp.o" "gcc" "src/CMakeFiles/expresso.dir/baselines/enumerator.cpp.o.d"
+  "/root/repo/src/baselines/minesweeper_star.cpp" "src/CMakeFiles/expresso.dir/baselines/minesweeper_star.cpp.o" "gcc" "src/CMakeFiles/expresso.dir/baselines/minesweeper_star.cpp.o.d"
+  "/root/repo/src/bdd/bdd.cpp" "src/CMakeFiles/expresso.dir/bdd/bdd.cpp.o" "gcc" "src/CMakeFiles/expresso.dir/bdd/bdd.cpp.o.d"
+  "/root/repo/src/config/parser.cpp" "src/CMakeFiles/expresso.dir/config/parser.cpp.o" "gcc" "src/CMakeFiles/expresso.dir/config/parser.cpp.o.d"
+  "/root/repo/src/config/serialize.cpp" "src/CMakeFiles/expresso.dir/config/serialize.cpp.o" "gcc" "src/CMakeFiles/expresso.dir/config/serialize.cpp.o.d"
+  "/root/repo/src/dataplane/fib.cpp" "src/CMakeFiles/expresso.dir/dataplane/fib.cpp.o" "gcc" "src/CMakeFiles/expresso.dir/dataplane/fib.cpp.o.d"
+  "/root/repo/src/dataplane/forwarding.cpp" "src/CMakeFiles/expresso.dir/dataplane/forwarding.cpp.o" "gcc" "src/CMakeFiles/expresso.dir/dataplane/forwarding.cpp.o.d"
+  "/root/repo/src/epvp/engine.cpp" "src/CMakeFiles/expresso.dir/epvp/engine.cpp.o" "gcc" "src/CMakeFiles/expresso.dir/epvp/engine.cpp.o.d"
+  "/root/repo/src/expresso/verifier.cpp" "src/CMakeFiles/expresso.dir/expresso/verifier.cpp.o" "gcc" "src/CMakeFiles/expresso.dir/expresso/verifier.cpp.o.d"
+  "/root/repo/src/gen/datasets.cpp" "src/CMakeFiles/expresso.dir/gen/datasets.cpp.o" "gcc" "src/CMakeFiles/expresso.dir/gen/datasets.cpp.o.d"
+  "/root/repo/src/net/community.cpp" "src/CMakeFiles/expresso.dir/net/community.cpp.o" "gcc" "src/CMakeFiles/expresso.dir/net/community.cpp.o.d"
+  "/root/repo/src/net/network.cpp" "src/CMakeFiles/expresso.dir/net/network.cpp.o" "gcc" "src/CMakeFiles/expresso.dir/net/network.cpp.o.d"
+  "/root/repo/src/net/prefix.cpp" "src/CMakeFiles/expresso.dir/net/prefix.cpp.o" "gcc" "src/CMakeFiles/expresso.dir/net/prefix.cpp.o.d"
+  "/root/repo/src/policy/transfer.cpp" "src/CMakeFiles/expresso.dir/policy/transfer.cpp.o" "gcc" "src/CMakeFiles/expresso.dir/policy/transfer.cpp.o.d"
+  "/root/repo/src/properties/analyzer.cpp" "src/CMakeFiles/expresso.dir/properties/analyzer.cpp.o" "gcc" "src/CMakeFiles/expresso.dir/properties/analyzer.cpp.o.d"
+  "/root/repo/src/routing/spvp.cpp" "src/CMakeFiles/expresso.dir/routing/spvp.cpp.o" "gcc" "src/CMakeFiles/expresso.dir/routing/spvp.cpp.o.d"
+  "/root/repo/src/sat/solver.cpp" "src/CMakeFiles/expresso.dir/sat/solver.cpp.o" "gcc" "src/CMakeFiles/expresso.dir/sat/solver.cpp.o.d"
+  "/root/repo/src/support/util.cpp" "src/CMakeFiles/expresso.dir/support/util.cpp.o" "gcc" "src/CMakeFiles/expresso.dir/support/util.cpp.o.d"
+  "/root/repo/src/symbolic/community_set.cpp" "src/CMakeFiles/expresso.dir/symbolic/community_set.cpp.o" "gcc" "src/CMakeFiles/expresso.dir/symbolic/community_set.cpp.o.d"
+  "/root/repo/src/symbolic/encoding.cpp" "src/CMakeFiles/expresso.dir/symbolic/encoding.cpp.o" "gcc" "src/CMakeFiles/expresso.dir/symbolic/encoding.cpp.o.d"
+  "/root/repo/src/symbolic/route.cpp" "src/CMakeFiles/expresso.dir/symbolic/route.cpp.o" "gcc" "src/CMakeFiles/expresso.dir/symbolic/route.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

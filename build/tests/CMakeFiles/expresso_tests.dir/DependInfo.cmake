@@ -1,0 +1,39 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/aggregation_test.cpp" "tests/CMakeFiles/expresso_tests.dir/aggregation_test.cpp.o" "gcc" "tests/CMakeFiles/expresso_tests.dir/aggregation_test.cpp.o.d"
+  "/root/repo/tests/automaton_property_test.cpp" "tests/CMakeFiles/expresso_tests.dir/automaton_property_test.cpp.o" "gcc" "tests/CMakeFiles/expresso_tests.dir/automaton_property_test.cpp.o.d"
+  "/root/repo/tests/automaton_test.cpp" "tests/CMakeFiles/expresso_tests.dir/automaton_test.cpp.o" "gcc" "tests/CMakeFiles/expresso_tests.dir/automaton_test.cpp.o.d"
+  "/root/repo/tests/baselines_test.cpp" "tests/CMakeFiles/expresso_tests.dir/baselines_test.cpp.o" "gcc" "tests/CMakeFiles/expresso_tests.dir/baselines_test.cpp.o.d"
+  "/root/repo/tests/bdd_test.cpp" "tests/CMakeFiles/expresso_tests.dir/bdd_test.cpp.o" "gcc" "tests/CMakeFiles/expresso_tests.dir/bdd_test.cpp.o.d"
+  "/root/repo/tests/community_test.cpp" "tests/CMakeFiles/expresso_tests.dir/community_test.cpp.o" "gcc" "tests/CMakeFiles/expresso_tests.dir/community_test.cpp.o.d"
+  "/root/repo/tests/config_test.cpp" "tests/CMakeFiles/expresso_tests.dir/config_test.cpp.o" "gcc" "tests/CMakeFiles/expresso_tests.dir/config_test.cpp.o.d"
+  "/root/repo/tests/cross_engine_test.cpp" "tests/CMakeFiles/expresso_tests.dir/cross_engine_test.cpp.o" "gcc" "tests/CMakeFiles/expresso_tests.dir/cross_engine_test.cpp.o.d"
+  "/root/repo/tests/dataplane_test.cpp" "tests/CMakeFiles/expresso_tests.dir/dataplane_test.cpp.o" "gcc" "tests/CMakeFiles/expresso_tests.dir/dataplane_test.cpp.o.d"
+  "/root/repo/tests/encoding_test.cpp" "tests/CMakeFiles/expresso_tests.dir/encoding_test.cpp.o" "gcc" "tests/CMakeFiles/expresso_tests.dir/encoding_test.cpp.o.d"
+  "/root/repo/tests/epvp_oracle_test.cpp" "tests/CMakeFiles/expresso_tests.dir/epvp_oracle_test.cpp.o" "gcc" "tests/CMakeFiles/expresso_tests.dir/epvp_oracle_test.cpp.o.d"
+  "/root/repo/tests/epvp_test.cpp" "tests/CMakeFiles/expresso_tests.dir/epvp_test.cpp.o" "gcc" "tests/CMakeFiles/expresso_tests.dir/epvp_test.cpp.o.d"
+  "/root/repo/tests/gen_test.cpp" "tests/CMakeFiles/expresso_tests.dir/gen_test.cpp.o" "gcc" "tests/CMakeFiles/expresso_tests.dir/gen_test.cpp.o.d"
+  "/root/repo/tests/integration_test.cpp" "tests/CMakeFiles/expresso_tests.dir/integration_test.cpp.o" "gcc" "tests/CMakeFiles/expresso_tests.dir/integration_test.cpp.o.d"
+  "/root/repo/tests/merge_test.cpp" "tests/CMakeFiles/expresso_tests.dir/merge_test.cpp.o" "gcc" "tests/CMakeFiles/expresso_tests.dir/merge_test.cpp.o.d"
+  "/root/repo/tests/policy_test.cpp" "tests/CMakeFiles/expresso_tests.dir/policy_test.cpp.o" "gcc" "tests/CMakeFiles/expresso_tests.dir/policy_test.cpp.o.d"
+  "/root/repo/tests/properties_test.cpp" "tests/CMakeFiles/expresso_tests.dir/properties_test.cpp.o" "gcc" "tests/CMakeFiles/expresso_tests.dir/properties_test.cpp.o.d"
+  "/root/repo/tests/sat_test.cpp" "tests/CMakeFiles/expresso_tests.dir/sat_test.cpp.o" "gcc" "tests/CMakeFiles/expresso_tests.dir/sat_test.cpp.o.d"
+  "/root/repo/tests/spvp_test.cpp" "tests/CMakeFiles/expresso_tests.dir/spvp_test.cpp.o" "gcc" "tests/CMakeFiles/expresso_tests.dir/spvp_test.cpp.o.d"
+  "/root/repo/tests/support_test.cpp" "tests/CMakeFiles/expresso_tests.dir/support_test.cpp.o" "gcc" "tests/CMakeFiles/expresso_tests.dir/support_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/expresso.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
