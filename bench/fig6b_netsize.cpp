@@ -63,10 +63,63 @@ int main() {
                 t_minus,
                 benchutil::fmt_time(res.seconds, ms_timeout, ms_budget)
                     .c_str());
+    benchutil::JsonRow("fig6b")
+        .str("dataset", item.name)
+        .num("expresso_s", t_expresso)
+        .num("expresso_minus_s", t_minus)
+        .num("minesweeper_s", res.seconds)
+        .boolean("minesweeper_timeout", ms_timeout)
+        .emit();
   }
   if (!full) {
     std::printf("note: full snapshots capped at 30 neighbors; set "
                 "EXPRESSO_BENCH_FULL=1 for all neighbors.\n");
+  }
+
+  // Thread sweep on the largest snapshot: the parallel EPVP rounds + PEC
+  // computation must keep the BDD node count and the verdicts identical at
+  // every thread count (determinism), while wall time drops on multi-core
+  // hosts.  cpu/wall is the effective core count actually achieved — on a
+  // single-core container wall speedup is physically impossible, which the
+  // utilization column makes visible instead of hiding.
+  std::printf("\nthread sweep on full(new), SRC+SPF+RouteLeakFree:\n");
+  std::printf("%8s %10s %10s %10s %12s %10s %10s\n", "threads", "wall", "cpu",
+              "cpu/wall", "bdd-nodes", "pecs", "speedup");
+  double wall1 = 0;
+  std::size_t nodes1 = 0, pecs1 = 0, viols1 = 0;
+  for (int threads : {1, 2, 4}) {
+    epvp::Options opt;
+    opt.threads = threads;
+    Stopwatch sw;
+    Verifier v(items.back().text, opt);
+    v.run_spf();
+    const std::size_t viols = v.check_route_leak_free().size();
+    const double wall = sw.seconds();
+    const auto& st = v.stats();
+    const double cpu = st.src_cpu_seconds + st.spf_cpu_seconds;
+    const double wsum = st.src_seconds + st.spf_seconds;
+    if (threads == 1) {
+      wall1 = wall;
+      nodes1 = st.bdd_nodes;
+      pecs1 = st.total_pecs;
+      viols1 = viols;
+    } else if (st.bdd_nodes != nodes1 || st.total_pecs != pecs1 ||
+               viols != viols1) {
+      std::printf("DETERMINISM MISMATCH at %d threads!\n", threads);
+      return 1;
+    }
+    std::printf("%8d %9.3fs %9.3fs %10.2f %12zu %10zu %9.2fx\n", threads,
+                wall, cpu, cpu / (wsum > 0 ? wsum : 1), st.bdd_nodes,
+                st.total_pecs, wall1 / wall);
+    benchutil::JsonRow("fig6b_threads")
+        .num("threads", static_cast<std::size_t>(threads))
+        .num("wall_s", wall)
+        .num("cpu_s", cpu)
+        .num("bdd_nodes", st.bdd_nodes)
+        .num("pecs", st.total_pecs)
+        .num("violations", viols)
+        .num("speedup", wall1 / wall)
+        .emit();
   }
   return 0;
 }

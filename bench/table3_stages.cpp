@@ -15,8 +15,8 @@ int main() {
       "paper: region1 1.028/0.025/0.552/0.006s ... full(new) "
       "10.030/0.182/4.054/0.011s");
 
-  std::printf("%-12s %10s %14s %10s %14s %8s\n", "dataset", "SRC",
-              "routing-prop", "SPF", "forwarding-prop", "PECs");
+  std::printf("%-12s %8s %10s %14s %10s %14s %8s\n", "dataset", "threads",
+              "SRC", "routing-prop", "SPF", "forwarding-prop", "PECs");
 
   auto run = [&](const std::string& name, const std::string& text) {
     Verifier v(text);
@@ -26,9 +26,21 @@ int main() {
     v.run_spf();
     (void)v.check_traffic_hijack_free();
     const auto& st = v.stats();
-    std::printf("%-12s %9.3fs %13.3fs %9.3fs %13.3fs %8zu\n", name.c_str(),
-                st.src_seconds, st.routing_analysis_seconds, st.spf_seconds,
+    std::printf("%-12s %8d %9.3fs %13.3fs %9.3fs %13.3fs %8zu\n",
+                name.c_str(), st.threads, st.src_seconds,
+                st.routing_analysis_seconds, st.spf_seconds,
                 st.forwarding_analysis_seconds, st.total_pecs);
+    benchutil::JsonRow("table3")
+        .str("dataset", name)
+        .num("threads", static_cast<std::size_t>(st.threads))
+        .num("src_s", st.src_seconds)
+        .num("src_cpu_s", st.src_cpu_seconds)
+        .num("routing_s", st.routing_analysis_seconds)
+        .num("spf_s", st.spf_seconds)
+        .num("spf_cpu_s", st.spf_cpu_seconds)
+        .num("forwarding_s", st.forwarding_analysis_seconds)
+        .num("pecs", st.total_pecs)
+        .emit();
   };
 
   const auto specs = gen::csp_region_specs(gen::Snapshot::kOld);

@@ -4,8 +4,8 @@
 #include <cassert>
 #include <cmath>
 #include <sstream>
-#include <unordered_map>
-#include <unordered_set>
+
+#include "support/thread_pool.hpp"
 
 namespace expresso::bdd {
 
@@ -13,6 +13,7 @@ namespace {
 constexpr std::uint32_t kTerminalVar = 0xffffffffu;  // sorts after all vars
 constexpr std::size_t kIteCacheSize = 1u << 18;
 constexpr std::size_t kQuantCacheSize = 1u << 16;
+constexpr std::size_t kStripeInitialCap = 1u << 8;
 
 inline std::uint64_t mix(std::uint64_t x) {
   x ^= x >> 33;
@@ -28,54 +29,108 @@ inline std::uint64_t hash3(std::uint64_t a, std::uint64_t b, std::uint64_t c) {
 }  // namespace
 
 Manager::Manager(std::uint32_t num_vars) : num_vars_(num_vars) {
-  nodes_.reserve(1 << 16);
-  nodes_.push_back({kTerminalVar, kFalse, kFalse});  // FALSE
-  nodes_.push_back({kTerminalVar, kTrue, kTrue});    // TRUE
-  unique_table_.assign(1 << 16, 0);
-  ite_cache_.resize(kIteCacheSize);
-  quant_cache_.resize(kQuantCacheSize);
+  chunks_ = std::make_unique<std::atomic<Node*>[]>(kMaxChunks);
+  for (std::size_t i = 0; i < kMaxChunks; ++i) {
+    chunks_[i].store(nullptr, std::memory_order_relaxed);
+  }
+  stripes_ = std::make_unique<Stripe[]>(kNumStripes);
+  for (std::size_t i = 0; i < kNumStripes; ++i) {
+    stripes_[i].table.assign(kStripeInitialCap, 0);
+  }
+  // Terminals live at the start of chunk 0.
+  chunks_[0].store(new Node[kChunkSize], std::memory_order_release);
+  chunk_count_.store(1, std::memory_order_relaxed);
+  Node* c0 = chunks_[0].load(std::memory_order_relaxed);
+  c0[kFalse] = {kTerminalVar, kFalse, kFalse};
+  c0[kTrue] = {kTerminalVar, kTrue, kTrue};
+  node_count_.store(2, std::memory_order_relaxed);
+  prepare_threads(1);
+}
+
+Manager::~Manager() {
+  const std::size_t used = chunk_count_.load(std::memory_order_relaxed);
+  for (std::size_t i = 0; i < used; ++i) {
+    delete[] chunks_[i].load(std::memory_order_relaxed);
+  }
+}
+
+void Manager::prepare_threads(std::size_t n) {
+  if (n < 1) n = 1;
+  while (tls_.size() < n) {
+    auto tc = std::make_unique<ThreadCache>();
+    tc->ite.resize(kIteCacheSize);
+    tc->quant.resize(kQuantCacheSize);
+    tls_.push_back(std::move(tc));
+  }
+}
+
+Manager::ThreadCache& Manager::cache() {
+  const auto idx = static_cast<std::size_t>(support::thread_index());
+  assert(idx < tls_.size() && "call prepare_threads before parallel use");
+  return *tls_[idx];
 }
 
 std::uint32_t Manager::add_var() { return num_vars_++; }
 
-std::uint32_t Manager::top_var(NodeId f) const { return nodes_[f].var; }
-
-std::size_t Manager::unique_slot(std::uint32_t var, NodeId lo,
-                                 NodeId hi) const {
-  return hash3(var, lo, hi) & (unique_table_.size() - 1);
+NodeId Manager::alloc_node(std::uint32_t var, NodeId lo, NodeId hi) {
+  const NodeId id = node_count_.fetch_add(1, std::memory_order_relaxed);
+  const std::size_t c = id >> kChunkBits;
+  assert(c < kMaxChunks && "BDD node arena exhausted");
+  Node* chunk = chunks_[c].load(std::memory_order_acquire);
+  if (chunk == nullptr) {
+    std::lock_guard<std::mutex> lock(chunk_mu_);
+    chunk = chunks_[c].load(std::memory_order_acquire);
+    if (chunk == nullptr) {
+      chunk = new Node[kChunkSize];
+      chunks_[c].store(chunk, std::memory_order_release);
+      chunk_count_.store(c + 1, std::memory_order_relaxed);
+    }
+  }
+  chunk[id & kChunkMask] = {var, lo, hi};
+  return id;
 }
 
-void Manager::unique_rehash(std::size_t new_cap) {
+void Manager::stripe_rehash(Stripe& s, std::size_t new_cap) {
   std::vector<NodeId> fresh(new_cap, 0);
   const std::size_t mask = new_cap - 1;
-  for (NodeId id : unique_table_) {
+  for (NodeId id : s.table) {
     if (id == 0) continue;
-    const Node& n = nodes_[id];
+    const Node& n = node(id);
     std::size_t slot = hash3(n.var, n.lo, n.hi) & mask;
     while (fresh[slot] != 0) slot = (slot + 1) & mask;
     fresh[slot] = id;
   }
-  unique_table_ = std::move(fresh);
+  s.table = std::move(fresh);
+}
+
+NodeId Manager::mk_in_stripe(Stripe& s, std::uint32_t var, NodeId lo,
+                             NodeId hi, std::uint64_t h) {
+  std::size_t mask = s.table.size() - 1;
+  std::size_t slot = h & mask;
+  while (true) {
+    const NodeId id = s.table[slot];
+    if (id == 0) break;
+    const Node& n = node(id);
+    if (n.var == var && n.lo == lo && n.hi == hi) return id;
+    slot = (slot + 1) & mask;
+  }
+  const NodeId id = alloc_node(var, lo, hi);
+  s.table[slot] = id;
+  if (++s.count * 4 > s.table.size() * 3) {
+    stripe_rehash(s, s.table.size() * 2);
+  }
+  return id;
 }
 
 NodeId Manager::mk(std::uint32_t var, NodeId lo, NodeId hi) {
   if (lo == hi) return lo;  // reduction rule
-  std::size_t slot = unique_slot(var, lo, hi);
-  const std::size_t mask = unique_table_.size() - 1;
-  while (true) {
-    NodeId id = unique_table_[slot];
-    if (id == 0) break;
-    const Node& n = nodes_[id];
-    if (n.var == var && n.lo == lo && n.hi == hi) return id;
-    slot = (slot + 1) & mask;
+  const std::uint64_t h = hash3(var, lo, hi);
+  Stripe& s = stripes_[h >> (64 - kStripeBits)];
+  if (parallel_) {
+    std::lock_guard<std::mutex> lock(s.mu);
+    return mk_in_stripe(s, var, lo, hi, h);
   }
-  const NodeId id = static_cast<NodeId>(nodes_.size());
-  nodes_.push_back({var, lo, hi});
-  unique_table_[slot] = id;
-  if (++unique_count_ * 4 > unique_table_.size() * 3) {
-    unique_rehash(unique_table_.size() * 2);
-  }
-  return id;
+  return mk_in_stripe(s, var, lo, hi, h);
 }
 
 NodeId Manager::var(std::uint32_t v) {
@@ -88,32 +143,34 @@ NodeId Manager::nvar(std::uint32_t v) {
   return mk(v, kTrue, kFalse);
 }
 
-NodeId Manager::ite(NodeId f, NodeId g, NodeId h) { return ite_rec(f, g, h); }
+NodeId Manager::ite(NodeId f, NodeId g, NodeId h) {
+  return ite_rec(f, g, h, cache());
+}
 
-NodeId Manager::ite_rec(NodeId f, NodeId g, NodeId h) {
+NodeId Manager::ite_rec(NodeId f, NodeId g, NodeId h, ThreadCache& tc) {
   // Terminal cases.
   if (f == kTrue) return g;
   if (f == kFalse) return h;
   if (g == h) return g;
   if (g == kTrue && h == kFalse) return f;
 
-  IteEntry& e = ite_cache_[hash3(f, g, h) & (kIteCacheSize - 1)];
+  IteEntry& e = tc.ite[hash3(f, g, h) & (kIteCacheSize - 1)];
   if (e.valid && e.f == f && e.g == g && e.h == h) return e.result;
 
-  const std::uint32_t vf = top_var(f);
-  const std::uint32_t vg = top_var(g);
-  const std::uint32_t vh = top_var(h);
-  const std::uint32_t v = std::min({vf, vg, vh});
+  const Node& nf = node(f);
+  const Node& ng = node(g);
+  const Node& nh = node(h);
+  const std::uint32_t v = std::min({nf.var, ng.var, nh.var});
 
-  const NodeId f0 = (vf == v) ? nodes_[f].lo : f;
-  const NodeId f1 = (vf == v) ? nodes_[f].hi : f;
-  const NodeId g0 = (vg == v) ? nodes_[g].lo : g;
-  const NodeId g1 = (vg == v) ? nodes_[g].hi : g;
-  const NodeId h0 = (vh == v) ? nodes_[h].lo : h;
-  const NodeId h1 = (vh == v) ? nodes_[h].hi : h;
+  const NodeId f0 = (nf.var == v) ? nf.lo : f;
+  const NodeId f1 = (nf.var == v) ? nf.hi : f;
+  const NodeId g0 = (ng.var == v) ? ng.lo : g;
+  const NodeId g1 = (ng.var == v) ? ng.hi : g;
+  const NodeId h0 = (nh.var == v) ? nh.lo : h;
+  const NodeId h1 = (nh.var == v) ? nh.hi : h;
 
-  const NodeId lo = ite_rec(f0, g0, h0);
-  const NodeId hi = ite_rec(f1, g1, h1);
+  const NodeId lo = ite_rec(f0, g0, h0, tc);
+  const NodeId hi = ite_rec(f1, g1, h1, tc);
   const NodeId result = mk(v, lo, hi);
 
   e = {f, g, h, result, true};
@@ -137,29 +194,31 @@ NodeId Manager::exists(NodeId f, const std::vector<std::uint32_t>& vars) {
   std::vector<std::uint32_t> sorted = vars;
   std::sort(sorted.begin(), sorted.end());
   sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
-  ++quant_gen_;
-  return exists_rec(f, sorted);
+  ThreadCache& tc = cache();
+  ++tc.quant_gen;
+  return exists_rec(f, sorted, tc);
 }
 
 NodeId Manager::exists_rec(NodeId f,
-                           const std::vector<std::uint32_t>& sorted_vars) {
+                           const std::vector<std::uint32_t>& sorted_vars,
+                           ThreadCache& tc) {
   if (f <= kTrue) return f;
-  const std::uint32_t v = top_var(f);
+  const Node& n = node(f);
   // Nothing left to quantify below this level?
-  if (v > sorted_vars.back()) return f;
+  if (n.var > sorted_vars.back()) return f;
 
-  QuantEntry& e = quant_cache_[mix(f) & (kQuantCacheSize - 1)];
-  if (e.valid && e.f == f && e.gen == quant_gen_) return e.result;
+  QuantEntry& e = tc.quant[mix(f) & (kQuantCacheSize - 1)];
+  if (e.valid && e.f == f && e.gen == tc.quant_gen) return e.result;
 
-  const NodeId lo = exists_rec(nodes_[f].lo, sorted_vars);
-  const NodeId hi = exists_rec(nodes_[f].hi, sorted_vars);
+  const NodeId lo = exists_rec(n.lo, sorted_vars, tc);
+  const NodeId hi = exists_rec(n.hi, sorted_vars, tc);
   NodeId result;
-  if (std::binary_search(sorted_vars.begin(), sorted_vars.end(), v)) {
+  if (std::binary_search(sorted_vars.begin(), sorted_vars.end(), n.var)) {
     result = or_(lo, hi);
   } else {
-    result = mk(v, lo, hi);
+    result = mk(n.var, lo, hi);
   }
-  e = {f, result, quant_gen_, true};
+  e = {f, result, tc.quant_gen, true};
   return result;
 }
 
@@ -192,7 +251,7 @@ bool Manager::sat_one(NodeId f, std::vector<std::int8_t>& assignment) {
   if (f == kFalse) return false;
   NodeId cur = f;
   while (cur > kTrue) {
-    const Node& n = nodes_[cur];
+    const Node& n = node(cur);
     if (n.hi != kFalse) {
       assignment[n.var] = 1;
       cur = n.hi;
@@ -204,30 +263,49 @@ bool Manager::sat_one(NodeId f, std::vector<std::int8_t>& assignment) {
   return true;
 }
 
+std::uint32_t Manager::begin_walk(ThreadCache& tc) {
+  const std::uint32_t n = node_count_.load(std::memory_order_relaxed);
+  if (tc.stamp.size() < n) {
+    tc.stamp.resize(n, 0);
+    tc.value.resize(n, 0.0);
+  }
+  if (++tc.walk_gen == 0) {  // generation wrapped: hard reset once
+    std::fill(tc.stamp.begin(), tc.stamp.end(), 0);
+    tc.walk_gen = 1;
+  }
+  return tc.walk_gen;
+}
+
 double Manager::density(NodeId f) {
-  std::unordered_map<NodeId, double> memo;
-  memo[kFalse] = 0.0;
-  memo[kTrue] = 1.0;
+  ThreadCache& tc = cache();
+  const std::uint32_t gen = begin_walk(tc);
+  tc.stamp[kFalse] = gen;
+  tc.value[kFalse] = 0.0;
+  tc.stamp[kTrue] = gen;
+  tc.value[kTrue] = 1.0;
   // Iterative post-order over reachable nodes.
-  std::vector<NodeId> stack{f};
+  auto& stack = tc.stack;
+  stack.clear();
+  stack.push_back(f);
   while (!stack.empty()) {
-    NodeId cur = stack.back();
-    if (memo.count(cur)) {
+    const NodeId cur = stack.back();
+    if (tc.stamp[cur] == gen) {
       stack.pop_back();
       continue;
     }
-    const Node& n = nodes_[cur];
-    auto lo_it = memo.find(n.lo);
-    auto hi_it = memo.find(n.hi);
-    if (lo_it != memo.end() && hi_it != memo.end()) {
-      memo[cur] = 0.5 * (lo_it->second + hi_it->second);
+    const Node& n = node(cur);
+    const bool lo_done = tc.stamp[n.lo] == gen;
+    const bool hi_done = tc.stamp[n.hi] == gen;
+    if (lo_done && hi_done) {
+      tc.value[cur] = 0.5 * (tc.value[n.lo] + tc.value[n.hi]);
+      tc.stamp[cur] = gen;
       stack.pop_back();
     } else {
-      if (lo_it == memo.end()) stack.push_back(n.lo);
-      if (hi_it == memo.end()) stack.push_back(n.hi);
+      if (!lo_done) stack.push_back(n.lo);
+      if (!hi_done) stack.push_back(n.hi);
     }
   }
-  return memo[f];
+  return tc.value[f];
 }
 
 double Manager::sat_count(NodeId f) {
@@ -235,21 +313,27 @@ double Manager::sat_count(NodeId f) {
 }
 
 std::vector<std::uint32_t> Manager::support(NodeId f) {
-  std::unordered_set<NodeId> seen;
-  std::unordered_set<std::uint32_t> vars;
-  std::vector<NodeId> stack{f};
+  ThreadCache& tc = cache();
+  const std::uint32_t gen = begin_walk(tc);
+  tc.stamp[kFalse] = gen;
+  tc.stamp[kTrue] = gen;
+  tc.vars.clear();
+  auto& stack = tc.stack;
+  stack.clear();
+  stack.push_back(f);
   while (!stack.empty()) {
-    NodeId cur = stack.back();
+    const NodeId cur = stack.back();
     stack.pop_back();
-    if (cur <= kTrue || !seen.insert(cur).second) continue;
-    const Node& n = nodes_[cur];
-    vars.insert(n.var);
+    if (tc.stamp[cur] == gen) continue;
+    tc.stamp[cur] = gen;
+    const Node& n = node(cur);
+    tc.vars.push_back(n.var);
     stack.push_back(n.lo);
     stack.push_back(n.hi);
   }
-  std::vector<std::uint32_t> out(vars.begin(), vars.end());
-  std::sort(out.begin(), out.end());
-  return out;
+  std::sort(tc.vars.begin(), tc.vars.end());
+  tc.vars.erase(std::unique(tc.vars.begin(), tc.vars.end()), tc.vars.end());
+  return {tc.vars.begin(), tc.vars.end()};
 }
 
 std::vector<std::vector<std::int8_t>> Manager::cubes(NodeId f,
@@ -274,7 +358,7 @@ std::vector<std::vector<std::int8_t>> Manager::cubes(NodeId f,
       stack.pop_back();
       continue;
     }
-    const Node& n = nodes_[fr.node];
+    const Node& n = node(fr.node);
     if (fr.stage == 0) {
       fr.stage = 1;
       path[n.var] = 0;
@@ -308,29 +392,46 @@ std::vector<std::vector<std::int8_t>> Manager::cubes(NodeId f,
 }
 
 std::size_t Manager::node_count(NodeId f) {
-  std::unordered_set<NodeId> seen;
-  std::vector<NodeId> stack{f};
+  ThreadCache& tc = cache();
+  const std::uint32_t gen = begin_walk(tc);
+  auto& stack = tc.stack;
+  stack.clear();
+  stack.push_back(f);
+  std::size_t count = 0;
   while (!stack.empty()) {
-    NodeId cur = stack.back();
+    const NodeId cur = stack.back();
     stack.pop_back();
-    if (!seen.insert(cur).second) continue;
+    if (tc.stamp[cur] == gen) continue;
+    tc.stamp[cur] = gen;
+    ++count;
     if (cur <= kTrue) continue;
-    stack.push_back(nodes_[cur].lo);
-    stack.push_back(nodes_[cur].hi);
+    const Node& n = node(cur);
+    stack.push_back(n.lo);
+    stack.push_back(n.hi);
   }
-  return seen.size();
+  return count;
 }
 
 std::size_t Manager::approx_bytes() const {
-  return nodes_.capacity() * sizeof(Node) +
-         unique_table_.capacity() * sizeof(NodeId) +
-         ite_cache_.capacity() * sizeof(IteEntry) +
-         quant_cache_.capacity() * sizeof(QuantEntry);
+  std::size_t bytes =
+      chunk_count_.load(std::memory_order_relaxed) * kChunkSize * sizeof(Node);
+  for (std::size_t i = 0; i < kNumStripes; ++i) {
+    bytes += stripes_[i].table.capacity() * sizeof(NodeId);
+  }
+  for (const auto& tc : tls_) {
+    bytes += tc->ite.capacity() * sizeof(IteEntry) +
+             tc->quant.capacity() * sizeof(QuantEntry) +
+             tc->stamp.capacity() * sizeof(std::uint32_t) +
+             tc->value.capacity() * sizeof(double);
+  }
+  return bytes;
 }
 
 void Manager::clear_caches() {
-  std::fill(ite_cache_.begin(), ite_cache_.end(), IteEntry{});
-  std::fill(quant_cache_.begin(), quant_cache_.end(), QuantEntry{});
+  for (auto& tc : tls_) {
+    std::fill(tc->ite.begin(), tc->ite.end(), IteEntry{});
+    std::fill(tc->quant.begin(), tc->quant.end(), QuantEntry{});
+  }
 }
 
 std::string Manager::to_string(NodeId f,

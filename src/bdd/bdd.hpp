@@ -20,9 +20,27 @@
 // valid for the manager's lifetime (there is no garbage collection — the
 // verifier's working sets are bounded by the run, matching JDD's default
 // usage in the paper).
+//
+// Concurrency (see DESIGN.md §"Concurrency architecture"):
+//   * Node storage is a chunked arena — chunks are allocated once and never
+//     moved, so NodeIds can be dereferenced without locks while other
+//     threads insert.
+//   * The unique table is lock-striped: the triple hash selects one of 256
+//     independently locked open-addressed stripes, and inserts are serialized
+//     only within a stripe.  Because every cross-thread NodeId travels
+//     through a stripe mutex (either the id's own insert or an ancestor's),
+//     node payload writes happen-before any reader's dereference.
+//   * Operation caches (ITE, quantification) and traversal scratch are
+//     per-thread, indexed by support::thread_index(); entries are canonical
+//     NodeIds, so threads may redundantly recompute but never disagree.
+//   * set_parallel(false) (the default) skips all stripe locking — the
+//     single-threaded fast path pays only a predicted branch.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -39,6 +57,7 @@ class Manager {
   // Creates a manager with `num_vars` boolean variables, ordered by index
   // (variable 0 closest to the root).
   explicit Manager(std::uint32_t num_vars);
+  ~Manager();
 
   Manager(const Manager&) = delete;
   Manager& operator=(const Manager&) = delete;
@@ -47,8 +66,18 @@ class Manager {
 
   // Grows the variable universe (new variables order after existing ones).
   // Existing nodes are unaffected.  Used for lazily allocated data-plane
-  // advertiser variables.
+  // advertiser variables.  Not safe concurrently with other operations.
   std::uint32_t add_var();
+
+  // --- Concurrency --------------------------------------------------------
+  // Allocates per-thread operation caches for thread indices [0, n).  Must
+  // be called outside parallel regions before any thread with
+  // support::thread_index() >= current capacity uses the manager.
+  void prepare_threads(std::size_t n);
+  // Enables (or disables) stripe locking in the unique table.  Leave off for
+  // single-threaded use; required on while multiple threads operate.
+  void set_parallel(bool on) { parallel_ = on; }
+  bool parallel() const { return parallel_; }
 
   // --- Literals -----------------------------------------------------------
   NodeId var(std::uint32_t v);   // the function "v"
@@ -106,7 +135,9 @@ class Manager {
   // Nodes reachable from f (including terminals).
   std::size_t node_count(NodeId f);
   // Total nodes ever allocated in this manager (memory proxy).
-  std::size_t total_nodes() const { return nodes_.size(); }
+  std::size_t total_nodes() const {
+    return node_count_.load(std::memory_order_relaxed);
+  }
   // Approximate heap bytes held by the manager's tables.
   std::size_t approx_bytes() const;
 
@@ -125,36 +156,76 @@ class Manager {
     NodeId hi;
   };
 
-  NodeId mk(std::uint32_t var, NodeId lo, NodeId hi);
-  NodeId ite_rec(NodeId f, NodeId g, NodeId h);
-  NodeId exists_rec(NodeId f, const std::vector<std::uint32_t>& sorted_vars);
-  std::uint32_t top_var(NodeId f) const;
+  // Node arena: fixed-size chunks, ids are (chunk << kChunkBits) | offset.
+  static constexpr unsigned kChunkBits = 16;
+  static constexpr std::size_t kChunkSize = std::size_t{1} << kChunkBits;
+  static constexpr std::size_t kChunkMask = kChunkSize - 1;
+  static constexpr std::size_t kMaxChunks = std::size_t{1} << 15;  // 2^31 ids
 
-  // Unique table: open addressing, power-of-two capacity.
-  void unique_rehash(std::size_t new_cap);
-  std::size_t unique_slot(std::uint32_t var, NodeId lo, NodeId hi) const;
+  // Lock stripes of the unique table.
+  static constexpr unsigned kStripeBits = 8;
+  static constexpr std::size_t kNumStripes = std::size_t{1} << kStripeBits;
 
-  std::uint32_t num_vars_;
-  std::vector<Node> nodes_;
+  struct Stripe {
+    std::mutex mu;
+    std::vector<NodeId> table;  // open addressing; 0 = empty slot
+    std::size_t count = 0;
+  };
 
-  std::vector<NodeId> unique_table_;  // 0 = empty (terminal ids never stored)
-  std::size_t unique_count_ = 0;
-
-  // Computed table for ITE: direct-mapped cache.
+  // Per-thread operation caches and traversal scratch.
   struct IteEntry {
     NodeId f = kFalse, g = kFalse, h = kFalse, result = kFalse;
     bool valid = false;
   };
-  std::vector<IteEntry> ite_cache_;
-
-  // Cache for exists (keyed by node + quantified set generation).
   struct QuantEntry {
     NodeId f = kFalse, result = kFalse;
     std::uint64_t gen = 0;
     bool valid = false;
   };
-  std::vector<QuantEntry> quant_cache_;
-  std::uint64_t quant_gen_ = 0;
+  struct ThreadCache {
+    std::vector<IteEntry> ite;
+    std::vector<QuantEntry> quant;
+    std::uint64_t quant_gen = 0;
+    // Scratch reused by density/sat_count, support, node_count: stamped
+    // visit marks avoid a fresh hash map per call (the stamp generation
+    // makes clearing O(1)).
+    std::vector<std::uint32_t> stamp;   // per node
+    std::vector<double> value;          // per node (density memo)
+    std::uint32_t walk_gen = 0;
+    std::vector<NodeId> stack;
+    std::vector<std::uint32_t> vars;    // support() accumulator
+  };
+
+  const Node& node(NodeId id) const {
+    return chunks_[id >> kChunkBits].load(std::memory_order_relaxed)
+        [id & kChunkMask];
+  }
+  ThreadCache& cache();
+
+  NodeId mk(std::uint32_t var, NodeId lo, NodeId hi);
+  NodeId mk_in_stripe(Stripe& s, std::uint32_t var, NodeId lo, NodeId hi,
+                      std::uint64_t h);
+  NodeId alloc_node(std::uint32_t var, NodeId lo, NodeId hi);
+  NodeId ite_rec(NodeId f, NodeId g, NodeId h, ThreadCache& tc);
+  NodeId exists_rec(NodeId f, const std::vector<std::uint32_t>& sorted_vars,
+                    ThreadCache& tc);
+  std::uint32_t top_var(NodeId f) const { return node(f).var; }
+  void stripe_rehash(Stripe& s, std::size_t new_cap);
+  // Begins a stamped traversal: sizes the scratch arrays and returns the
+  // fresh generation mark.
+  std::uint32_t begin_walk(ThreadCache& tc);
+
+  std::uint32_t num_vars_;
+  bool parallel_ = false;
+
+  std::unique_ptr<std::atomic<Node*>[]> chunks_;
+  std::atomic<std::uint32_t> node_count_{0};
+  std::atomic<std::size_t> chunk_count_{0};
+  std::mutex chunk_mu_;
+
+  std::unique_ptr<Stripe[]> stripes_;
+
+  std::vector<std::unique_ptr<ThreadCache>> tls_;
 };
 
 }  // namespace expresso::bdd

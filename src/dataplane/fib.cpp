@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <map>
 
+#include "support/thread_pool.hpp"
+
 namespace expresso::dataplane {
 
 using net::NodeIndex;
@@ -12,7 +14,11 @@ FibBuilder::FibBuilder(epvp::Engine& engine) : engine_(engine) {
   const auto& net = engine_.network();
   fibs_.resize(net.nodes().size());
   ports_.resize(net.nodes().size());
-  for (NodeIndex u : net.internal_nodes()) build_router(u);
+  // Per-router FIBs depend only on the converged RIBs, so routers build in
+  // parallel on the engine's pool; each task writes its own fibs_[u]/ports_[u].
+  const auto& internal = net.internal_nodes();
+  support::parallel_for(engine_.pool(), internal.size(),
+                        [&](std::size_t k) { build_router(internal[k]); });
 }
 
 std::vector<std::pair<std::uint8_t, bdd::NodeId>> FibBuilder::split_by_length(

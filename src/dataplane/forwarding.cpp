@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "support/thread_pool.hpp"
+
 namespace expresso::dataplane {
 
 using net::NodeIndex;
@@ -76,9 +78,19 @@ std::vector<Pec> Forwarder::pecs_from(NodeIndex start) const {
 }
 
 std::vector<Pec> Forwarder::all_pecs() const {
+  // One injection point per node; the symbolic walks are independent, so
+  // they run on the engine's pool.  Concatenating per-node results in node
+  // order keeps the PEC list identical to the serial traversal.
+  const std::size_t n = engine_.network().nodes().size();
+  std::vector<std::vector<Pec>> per_node(n);
+  support::parallel_for(engine_.pool(), n, [&](std::size_t u) {
+    per_node[u] = pecs_from(static_cast<NodeIndex>(u));
+  });
   std::vector<Pec> out;
-  for (NodeIndex u = 0; u < engine_.network().nodes().size(); ++u) {
-    auto pecs = pecs_from(u);
+  std::size_t total = 0;
+  for (const auto& pecs : per_node) total += pecs.size();
+  out.reserve(total);
+  for (auto& pecs : per_node) {
     out.insert(out.end(), std::make_move_iterator(pecs.begin()),
                std::make_move_iterator(pecs.end()));
   }

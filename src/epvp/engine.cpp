@@ -1,6 +1,7 @@
 #include "epvp/engine.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cctype>
 #include <sstream>
 
@@ -17,11 +18,39 @@ using symbolic::SymbolicRoute;
 
 Engine::Engine(const net::Network& network, Options options)
     : net_(network), options_(options) {
+  threads_ = options_.threads > 0 ? options_.threads
+                                  : support::env_thread_count();
   build_alphabet();
   atomizer_ = std::make_unique<symbolic::CommunityAtomizer>(net_.configs());
   enc_ = std::make_unique<symbolic::Encoding>(net_.num_external(),
                                               atomizer_->num_atoms());
+  if (threads_ > 1) {
+    pool_ = std::make_unique<support::ThreadPool>(threads_);
+    enc_->mgr().prepare_threads(static_cast<std::size_t>(threads_));
+    enc_->mgr().set_parallel(true);
+  }
   initialize();
+  precompile();
+}
+
+void Engine::precompile() {
+  for (const SessionEdge& e : net_.edges()) {
+    if (e.export_stmt && e.export_stmt->export_policy &&
+        !net_.node(e.from).external) {
+      (void)find_policy(e.from, *e.export_stmt->export_policy);
+    }
+    if (e.import_stmt && e.import_stmt->import_policy &&
+        !net_.node(e.to).external) {
+      (void)find_policy(e.to, *e.import_stmt->import_policy);
+    }
+  }
+  for (NodeIndex u : net_.external_nodes()) {
+    const automaton::Symbol s = alphabet_.symbol_for(net_.node(u).asn);
+    if (first_as_cache_.find(s) == first_as_cache_.end()) {
+      first_as_cache_.emplace(
+          s, automaton::Dfa::universe(alphabet_.size()).prepend(s));
+    }
+  }
 }
 
 void Engine::build_alphabet() {
@@ -219,16 +248,11 @@ std::vector<SymbolicRoute> Engine::transfer_edge(const SessionEdge& e,
         r.attrs.local_pref = 100;  // reset before the import policy runs
         if (from.external) {
           // First-AS: paths from this neighbor begin with its AS number
-          // (matches the paper's "100.*" in figure 4's RIB entries).
+          // (matches the paper's "100.*" in figure 4's RIB entries).  The
+          // automaton was built by precompile(); the cache is read-only
+          // here so concurrent per-node round tasks need no locking.
           const automaton::Symbol s = alphabet_.symbol_for(from.asn);
-          auto it = first_as_cache_.find(s);
-          if (it == first_as_cache_.end()) {
-            it = first_as_cache_
-                     .emplace(s, automaton::Dfa::universe(alphabet_.size())
-                                     .prepend(s))
-                     .first;
-          }
-          r.attrs.aspath = r.attrs.aspath.filter(it->second);
+          r.attrs.aspath = r.attrs.aspath.filter(first_as_cache_.at(s));
         }
         // AS-loop prevention: drop paths already containing our AS.
         r.attrs.aspath =
@@ -270,82 +294,99 @@ std::vector<SymbolicRoute> Engine::transfer_edge(const SessionEdge& e,
   return routes;
 }
 
+std::vector<SymbolicRoute> Engine::round_candidates(NodeIndex u) {
+  std::vector<SymbolicRoute> candidates = origin_[u];
+  // Route aggregation (paper section 3.1): the aggregate is originated
+  // under exactly the advertiser conditions that produce some strictly
+  // more-specific component route in the previous round's RIB.
+  for (const auto& agg : net_.config_of(u).aggregates) {
+    if (agg.len >= 32) continue;
+    const bdd::NodeId within = enc_->prefix_match(net::PrefixMatch::range(
+        agg, static_cast<std::uint8_t>(agg.len + 1), 32));
+    bdd::NodeId any = bdd::kFalse;
+    for (const auto& r : ribs_[u]) {
+      if (r.attrs.source != Source::kBgp) continue;
+      any = enc_->mgr().or_(any, enc_->mgr().and_(r.d, within));
+    }
+    const bdd::NodeId cond = enc_->cond(any);
+    if (cond == bdd::kFalse) continue;
+    SymbolicRoute r;
+    r.d = enc_->mgr().and_(enc_->prefix_exact(agg), cond);
+    r.attrs.aspath =
+        AsPath::empty_path(options_.aspath_mode, alphabet_.size());
+    r.attrs.comm = CommunitySet::none(*enc_, options_.comm_rep);
+    r.attrs.learned = Learned::kOrigin;
+    r.attrs.source = Source::kBgp;
+    r.attrs.next_hop = u;
+    r.attrs.originator = u;
+    r.prop_path = {u};
+    candidates.push_back(std::move(r));
+  }
+  for (std::uint32_t ei : net_.in_edges()[u]) {
+    const SessionEdge& e = net_.edges()[ei];
+    if (e.export_stmt && e.export_stmt->advertise_default &&
+        !net_.node(e.from).external) {
+      candidates.push_back(make_default_route(e));
+      continue;
+    }
+    for (const auto& r : ribs_[e.from]) {
+      auto tr = transfer_edge(e, r);
+      candidates.insert(candidates.end(), std::make_move_iterator(tr.begin()),
+                        std::make_move_iterator(tr.end()));
+    }
+  }
+  return candidates;
+}
+
+std::vector<SymbolicRoute> Engine::external_received(NodeIndex u) {
+  std::vector<SymbolicRoute> received;
+  for (std::uint32_t ei : net_.in_edges()[u]) {
+    const SessionEdge& e = net_.edges()[ei];
+    if (net_.node(e.from).external) continue;
+    if (e.export_stmt && e.export_stmt->advertise_default) {
+      received.push_back(make_default_route(e));
+      continue;
+    }
+    for (const auto& r : ribs_[e.from]) {
+      auto tr = transfer_edge(e, r);
+      received.insert(received.end(), std::make_move_iterator(tr.begin()),
+                      std::make_move_iterator(tr.end()));
+    }
+  }
+  return received;
+}
+
 bool Engine::run() {
   const int max_iters = options_.max_iterations;
   bool converged = false;
+  const auto& internal = net_.internal_nodes();
   for (iterations_ = 0; iterations_ < max_iters; ++iterations_) {
-    bool changed = false;
+    // Jacobi-style synchronous round: every node's next RIB is a function of
+    // the previous round's ribs_ only, so the per-node tasks are independent
+    // and can run on the pool.  Results land in next[u] by index, which
+    // keeps the round deterministic under any schedule.
     std::vector<std::vector<SymbolicRoute>> next = ribs_;
-    for (NodeIndex u : net_.internal_nodes()) {
-      std::vector<SymbolicRoute> candidates = origin_[u];
-      // Route aggregation (paper section 3.1): the aggregate is originated
-      // under exactly the advertiser conditions that produce some strictly
-      // more-specific component route in the previous round's RIB.
-      for (const auto& agg : net_.config_of(u).aggregates) {
-        if (agg.len >= 32) continue;
-        const bdd::NodeId within = enc_->prefix_match(net::PrefixMatch::range(
-            agg, static_cast<std::uint8_t>(agg.len + 1), 32));
-        bdd::NodeId any = bdd::kFalse;
-        for (const auto& r : ribs_[u]) {
-          if (r.attrs.source != Source::kBgp) continue;
-          any = enc_->mgr().or_(any, enc_->mgr().and_(r.d, within));
-        }
-        const bdd::NodeId cond = enc_->cond(any);
-        if (cond == bdd::kFalse) continue;
-        SymbolicRoute r;
-        r.d = enc_->mgr().and_(enc_->prefix_exact(agg), cond);
-        r.attrs.aspath =
-            AsPath::empty_path(options_.aspath_mode, alphabet_.size());
-        r.attrs.comm = CommunitySet::none(*enc_, options_.comm_rep);
-        r.attrs.learned = Learned::kOrigin;
-        r.attrs.source = Source::kBgp;
-        r.attrs.next_hop = u;
-        r.attrs.originator = u;
-        r.prop_path = {u};
-        candidates.push_back(std::move(r));
+    std::atomic<bool> changed{false};
+    support::parallel_for(pool_.get(), internal.size(), [&](std::size_t k) {
+      const NodeIndex u = internal[k];
+      next[u] = symbolic::merge_routes(*enc_, round_candidates(u));
+      if (!symbolic::same_rib(next[u], ribs_[u])) {
+        changed.store(true, std::memory_order_relaxed);
       }
-      for (std::uint32_t ei : net_.in_edges()[u]) {
-        const SessionEdge& e = net_.edges()[ei];
-        if (e.export_stmt && e.export_stmt->advertise_default &&
-            !net_.node(e.from).external) {
-          candidates.push_back(make_default_route(e));
-          continue;
-        }
-        for (const auto& r : ribs_[e.from]) {
-          auto tr = transfer_edge(e, r);
-          candidates.insert(candidates.end(),
-                            std::make_move_iterator(tr.begin()),
-                            std::make_move_iterator(tr.end()));
-        }
-      }
-      next[u] = symbolic::merge_routes(*enc_, std::move(candidates));
-      if (!symbolic::same_rib(next[u], ribs_[u])) changed = true;
-    }
+    });
     ribs_ = std::move(next);
-    if (!changed) {
+    if (!changed.load(std::memory_order_relaxed)) {
       converged = true;
       break;
     }
   }
 
   // Routes the network exports to each external neighbor.
-  for (NodeIndex u : net_.external_nodes()) {
-    std::vector<SymbolicRoute> received;
-    for (std::uint32_t ei : net_.in_edges()[u]) {
-      const SessionEdge& e = net_.edges()[ei];
-      if (net_.node(e.from).external) continue;
-      if (e.export_stmt && e.export_stmt->advertise_default) {
-        received.push_back(make_default_route(e));
-        continue;
-      }
-      for (const auto& r : ribs_[e.from]) {
-        auto tr = transfer_edge(e, r);
-        received.insert(received.end(), std::make_move_iterator(tr.begin()),
-                        std::make_move_iterator(tr.end()));
-      }
-    }
-    external_rib_[u] = std::move(received);
-  }
+  const auto& external = net_.external_nodes();
+  support::parallel_for(pool_.get(), external.size(), [&](std::size_t k) {
+    const NodeIndex u = external[k];
+    external_rib_[u] = external_received(u);
+  });
   return converged;
 }
 

@@ -27,6 +27,7 @@
 #include "automaton/aspath.hpp"
 #include "net/network.hpp"
 #include "policy/transfer.hpp"
+#include "support/thread_pool.hpp"
 #include "symbolic/community_set.hpp"
 #include "symbolic/encoding.hpp"
 #include "symbolic/route.hpp"
@@ -43,6 +44,9 @@ struct Options {
   bool apply_policies = true;
   bool model_communities = true;
   int max_iterations = 100;
+  // Worker threads for the parallel EPVP rounds / FIB generation / PEC
+  // computation.  0 = take EXPRESSO_THREADS from the environment (default 1).
+  int threads = 0;
 };
 
 class Engine {
@@ -71,6 +75,12 @@ class Engine {
 
   int iterations() const { return iterations_; }
 
+  // Resolved worker-thread count and the shared pool (null when serial).
+  // Downstream stages (FIB build, PEC computation) reuse the same pool so
+  // the whole pipeline respects one knob.
+  int threads() const { return threads_; }
+  support::ThreadPool* pool() { return pool_.get(); }
+
   // The atom index of a community, if it appears in the configs (used by
   // the BlockToExternal property).
   std::optional<std::uint32_t> atom_of(const net::Community& c) const;
@@ -81,6 +91,15 @@ class Engine {
  private:
   void build_alphabet();
   void initialize();
+  // Compiles every policy referenced by a session and the per-neighbor
+  // first-AS automata, so the engine's lazily built caches are frozen before
+  // the parallel rounds start mutating nothing but the BDD manager.
+  void precompile();
+  // One node's candidate set for the next synchronous round; reads only the
+  // previous round's ribs_, so per-node calls are independent.
+  std::vector<symbolic::SymbolicRoute> round_candidates(net::NodeIndex u);
+  // Routes the network exports towards external node u after convergence.
+  std::vector<symbolic::SymbolicRoute> external_received(net::NodeIndex u);
   std::vector<symbolic::SymbolicRoute> transfer_edge(
       const net::SessionEdge& e, const symbolic::SymbolicRoute& r);
   symbolic::SymbolicRoute make_default_route(const net::SessionEdge& e);
@@ -106,8 +125,11 @@ class Engine {
   // Routes exported to each external node, filled after convergence.
   std::vector<std::vector<symbolic::SymbolicRoute>> external_rib_;
 
-  // Cached "first AS is k" automata per symbol.
+  // Cached "first AS is k" automata per symbol (filled by precompile()).
   std::map<automaton::Symbol, automaton::Dfa> first_as_cache_;
+
+  int threads_ = 1;
+  std::unique_ptr<support::ThreadPool> pool_;
 
   int iterations_ = 0;
 };

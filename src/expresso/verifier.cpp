@@ -13,13 +13,16 @@ Verifier::Verifier(std::vector<config::RouterConfig> configs,
   net_ = std::make_unique<net::Network>(net::Network::build(std::move(configs)));
   engine_ = std::make_unique<epvp::Engine>(*net_, options);
   analyzer_ = std::make_unique<properties::Analyzer>(*engine_);
+  stats_.threads = engine_->threads();
 }
 
 void Verifier::run_src() {
   if (src_done_) return;
   Stopwatch sw;
+  CpuStopwatch cpu;
   stats_.converged = engine_->run();
   stats_.src_seconds = sw.seconds();
+  stats_.src_cpu_seconds = cpu.seconds();
   stats_.epvp_iterations = engine_->iterations();
   for (const auto& n : net_->nodes()) {
     const auto idx = net_->find(n.name);
@@ -35,10 +38,12 @@ void Verifier::run_spf() {
   run_src();
   if (pecs_) return;
   Stopwatch sw;
+  CpuStopwatch cpu;
   fibs_ = std::make_unique<dataplane::FibBuilder>(*engine_);
   dataplane::Forwarder fwd(*engine_, *fibs_);
   pecs_ = fwd.all_pecs();
   stats_.spf_seconds = sw.seconds();
+  stats_.spf_cpu_seconds = cpu.seconds();
   stats_.total_fib_entries = fibs_->total_entries();
   stats_.total_pecs = pecs_->size();
   stats_.dp_variables = engine_->encoding().num_dp_vars();

@@ -20,8 +20,11 @@
 namespace expresso {
 
 struct VerifierStats {
-  double src_seconds = 0;        // symbolic route computation
-  double spf_seconds = 0;        // symbolic packet forwarding
+  int threads = 1;               // worker threads used across the pipeline
+  double src_seconds = 0;        // symbolic route computation (wall)
+  double src_cpu_seconds = 0;    // ... process CPU across all threads
+  double spf_seconds = 0;        // symbolic packet forwarding (wall)
+  double spf_cpu_seconds = 0;    // ... process CPU across all threads
   double routing_analysis_seconds = 0;
   double forwarding_analysis_seconds = 0;
   int epvp_iterations = 0;

@@ -1,0 +1,130 @@
+#include "support/thread_pool.hpp"
+
+#include <cstdlib>
+
+namespace expresso::support {
+
+namespace {
+thread_local int g_thread_index = 0;
+thread_local bool g_in_batch = false;
+}  // namespace
+
+int thread_index() { return g_thread_index; }
+
+int hardware_threads() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<int>(n);
+}
+
+int env_thread_count() {
+  const char* v = std::getenv("EXPRESSO_THREADS");
+  if (v == nullptr || *v == '\0') return 1;
+  char* end = nullptr;
+  const long n = std::strtol(v, &end, 10);
+  if (end == v) return 1;
+  if (n == 0) return hardware_threads();
+  if (n < 1) return 1;
+  if (n > 256) return 256;
+  return static_cast<int>(n);
+}
+
+ThreadPool::ThreadPool(int threads) : threads_(threads < 1 ? 1 : threads) {
+  workers_.reserve(static_cast<std::size_t>(threads_ - 1));
+  for (int slot = 1; slot < threads_; ++slot) {
+    workers_.emplace_back([this, slot] { worker_main(slot); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::drain() {
+  const std::function<void(std::size_t)>* body;
+  std::size_t n;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    body = body_;
+    n = batch_size_;
+  }
+  while (true) {
+    const std::size_t i = next_.fetch_add(1, std::memory_order_relaxed);
+    if (i >= n) break;
+    try {
+      (*body)(i);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!error_) error_ = std::current_exception();
+    }
+  }
+}
+
+void ThreadPool::worker_main(int slot) {
+  g_thread_index = slot;
+  std::uint64_t seen_epoch = 0;
+  while (true) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [&] { return stop_ || epoch_ != seen_epoch; });
+      if (stop_) return;
+      seen_epoch = epoch_;
+      ++running_;
+    }
+    g_in_batch = true;
+    drain();
+    g_in_batch = false;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --running_;
+    }
+    done_cv_.notify_one();
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t n,
+                              const std::function<void(std::size_t)>& body) {
+  if (n == 0) return;
+  // Nested or degenerate batches run inline on the current slot.
+  if (threads_ <= 1 || g_in_batch || n == 1) {
+    for (std::size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    body_ = &body;
+    batch_size_ = n;
+    next_.store(0, std::memory_order_relaxed);
+    error_ = nullptr;
+    ++epoch_;
+  }
+  work_cv_.notify_all();
+  g_in_batch = true;
+  drain();
+  g_in_batch = false;
+  std::exception_ptr err;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    done_cv_.wait(lock, [&] { return running_ == 0; });
+    body_ = nullptr;
+    batch_size_ = 0;
+    err = error_;
+    error_ = nullptr;
+  }
+  if (err) std::rethrow_exception(err);
+}
+
+void parallel_for(ThreadPool* pool, std::size_t n,
+                  const std::function<void(std::size_t)>& body) {
+  if (pool != nullptr && pool->threads() > 1) {
+    pool->parallel_for(n, body);
+  } else {
+    for (std::size_t i = 0; i < n; ++i) body(i);
+  }
+}
+
+}  // namespace expresso::support

@@ -1,0 +1,86 @@
+// A small fixed-size thread pool with a parallel_for helper.
+//
+// Expresso's hot loops (EPVP rounds, symbolic FIB generation, PEC
+// computation) are embarrassingly parallel across nodes; this pool gives
+// them multi-core execution without any external dependency.
+//
+// Design notes:
+//   * The pool has `threads` execution slots; slot 0 is the *caller* of
+//     parallel_for (it participates in the batch), slots 1..threads-1 are
+//     dedicated worker threads.  `thread_index()` returns the slot of the
+//     calling thread — consumers (e.g. bdd::Manager) use it to select
+//     per-thread operation caches, so the index is stable for the duration
+//     of a batch and always < threads().
+//   * parallel_for uses dynamic scheduling (an atomic work counter) because
+//     per-node task costs are highly skewed; results must be written by
+//     index by the body, which keeps the output deterministic regardless of
+//     the schedule.
+//   * Nested parallel_for calls from inside a task run inline and serially
+//     on the calling slot; this keeps thread_index() coherent.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace expresso::support {
+
+// Thread count requested via the EXPRESSO_THREADS environment variable;
+// 1 when unset/invalid, clamped to [1, 256].  "0" means hardware_threads().
+int env_thread_count();
+
+// std::thread::hardware_concurrency with a sane floor of 1.
+int hardware_threads();
+
+// Slot of the calling thread within the currently running parallel batch:
+// 0 for the caller / any thread outside a batch, 1..N-1 for pool workers.
+int thread_index();
+
+class ThreadPool {
+ public:
+  // `threads` total slots (including the caller).  threads <= 1 means the
+  // pool spawns nothing and parallel_for degenerates to a serial loop.
+  explicit ThreadPool(int threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int threads() const { return threads_; }
+
+  // Runs body(i) for every i in [0, n), distributing iterations across all
+  // slots; blocks until the batch is complete.  Exceptions thrown by the
+  // body are captured and the first one is rethrown on the caller.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body);
+
+ private:
+  void worker_main(int slot);
+  void drain();  // grab-and-run loop shared by caller and workers
+
+  int threads_;
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  const std::function<void(std::size_t)>* body_ = nullptr;  // guarded by mu_
+  std::size_t batch_size_ = 0;                              // guarded by mu_
+  std::uint64_t epoch_ = 0;                                 // guarded by mu_
+  int running_ = 0;                                         // guarded by mu_
+  bool stop_ = false;                                       // guarded by mu_
+  std::exception_ptr error_;                                // guarded by mu_
+  std::atomic<std::size_t> next_{0};
+};
+
+// Serial fallback helper: runs on `pool` when it exists and has >1 slots,
+// otherwise inline on the caller.
+void parallel_for(ThreadPool* pool, std::size_t n,
+                  const std::function<void(std::size_t)>& body);
+
+}  // namespace expresso::support

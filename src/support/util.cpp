@@ -1,7 +1,12 @@
 #include "support/util.hpp"
 
+#include <ctime>
 #include <fstream>
 #include <sstream>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
 
 namespace expresso {
 
@@ -21,6 +26,19 @@ std::uint64_t read_status_kb(const char* key) {
   return 0;
 }
 }  // namespace
+
+double CpuStopwatch::now() {
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage ru;
+  if (getrusage(RUSAGE_SELF, &ru) == 0) {
+    const auto tv = [](const timeval& t) {
+      return static_cast<double>(t.tv_sec) + 1e-6 * t.tv_usec;
+    };
+    return tv(ru.ru_utime) + tv(ru.ru_stime);
+  }
+#endif
+  return static_cast<double>(std::clock()) / CLOCKS_PER_SEC;
+}
 
 std::uint64_t peak_rss_bytes() { return read_status_kb("VmHWM") * 1024; }
 std::uint64_t current_rss_bytes() { return read_status_kb("VmRSS") * 1024; }

@@ -58,6 +58,20 @@ class Stopwatch {
   clock::time_point start_;
 };
 
+// Process CPU-time stopwatch (sums user+system time across all threads).
+// Together with Stopwatch it shows the utilization of the parallel stages:
+// cpu/wall ≈ effective core count.
+class CpuStopwatch {
+ public:
+  CpuStopwatch() : start_(now()) {}
+  void reset() { start_ = now(); }
+  double seconds() const { return now() - start_; }
+
+ private:
+  static double now();
+  double start_;
+};
+
 // Reads the process resident-set high-water mark (VmHWM) in bytes; used by the
 // fig8 memory benchmarks.  Returns 0 when /proc is unavailable.
 std::uint64_t peak_rss_bytes();

@@ -15,6 +15,7 @@ std::uint32_t Encoding::dp_adv_var(std::uint32_t neighbor, std::uint8_t len) {
   const std::uint32_t v = 38 + num_neighbors_ + num_atoms_ +
                           static_cast<std::uint32_t>(len) * num_neighbors_ +
                           neighbor;
+  std::lock_guard<std::mutex> lock(dp_mu_);
   dp_vars_.emplace(std::make_pair(neighbor, len), v);
   return v;
 }

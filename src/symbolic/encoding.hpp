@@ -14,6 +14,7 @@
 
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -48,9 +49,11 @@ class Encoding {
   // lengths, and a neighbor-major layout makes those conjunctions
   // exponential in the BDD order.  Marks the variable as used (the paper's
   // "8 and 11 more variables on average" statistic counts used variables).
+  // Safe to call from concurrent FIB-building workers.
   std::uint32_t dp_adv_var(std::uint32_t neighbor, std::uint8_t len);
   // Number of data-plane variables actually used so far.
   std::uint32_t num_dp_vars() const {
+    std::lock_guard<std::mutex> lock(dp_mu_);
     return static_cast<std::uint32_t>(dp_vars_.size());
   }
   // All used data-plane variables: ((neighbor, length) -> var index).
@@ -112,6 +115,7 @@ class Encoding {
   std::uint32_t num_neighbors_;
   std::uint32_t num_atoms_;
   bdd::Manager mgr_;
+  mutable std::mutex dp_mu_;  // guards dp_vars_ during parallel FIB builds
   std::map<std::pair<std::uint32_t, std::uint8_t>, std::uint32_t> dp_vars_;
 };
 

@@ -1,0 +1,143 @@
+// The parallel pipeline must be bit-for-bit deterministic: the EPVP rounds
+// are Jacobi-synchronous (next[u] depends only on the previous round), the
+// unique table hash-conses the same node set under any schedule, and every
+// per-node merge runs sequentially inside its task.  So 1, 2 and 8 worker
+// threads must produce identical fixed points, PEC counts and verdicts —
+// NodeIds may differ across managers, which is why the comparison goes
+// through canonical route strings and densities rather than raw ids.
+//
+// This file is also the core of the "concurrency" ctest label, which is the
+// suite to run under EXPRESSO_SANITIZE=thread (see DESIGN.md).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "expresso/verifier.hpp"
+#include "gen/datasets.hpp"
+
+namespace expresso {
+namespace {
+
+// The paper's figure 4 network (same text as epvp_test.cpp): small, but it
+// exercises communities, local-pref, route reflection and a planted leak.
+const char* kFig4 = R"(
+router PR1
+ bgp as 300
+ route-policy im1 permit node 100
+  if-match prefix 128.0.0.0/2 192.0.0.0/2
+  set-local-preference 200
+  add-community 300:100
+ route-policy ex1 deny node 100
+  if-match community 300:100
+ route-policy ex1 permit node 200
+ bgp peer ISP1 AS 100 import im1 export ex1
+ bgp peer PR2 AS 300
+router PR2
+ bgp as 300
+ route-policy im2 permit node 100
+  if-match prefix 128.0.0.0/2 192.0.0.0/2
+  add-community 300:100
+ route-policy ex2 deny node 100
+  if-match community 300:100
+ route-policy ex2 permit node 200
+ bgp network 0.0.0.0/2
+ bgp peer ISP2 AS 200 import im2 export ex2
+ bgp peer PR1 AS 300 advertise-community
+)";
+
+// Everything observable about a finished pipeline, in a canonical,
+// manager-independent form.
+struct Fingerprint {
+  bool converged = false;
+  int iterations = 0;
+  std::size_t bdd_nodes = 0;
+  std::size_t pecs = 0;
+  std::size_t fib_entries = 0;
+  std::vector<std::string> ribs;        // sorted canonical route strings
+  std::vector<std::string> violations;  // sorted describe() strings
+};
+
+Fingerprint run_pipeline(const std::string& config_text, int threads) {
+  epvp::Options opt;
+  opt.threads = threads;
+  Verifier v(config_text, opt);
+  v.run_spf();
+
+  Fingerprint fp;
+  EXPECT_EQ(v.stats().threads, threads);
+  fp.converged = v.stats().converged;
+  fp.iterations = v.stats().epvp_iterations;
+  fp.bdd_nodes = v.stats().bdd_nodes;
+  fp.pecs = v.stats().total_pecs;
+  fp.fib_entries = v.stats().total_fib_entries;
+
+  auto& eng = v.engine();
+  const auto& net = v.network();
+  for (net::NodeIndex u = 0; u < net.nodes().size(); ++u) {
+    const auto& rib =
+        net.node(u).external ? eng.external_rib(u) : eng.rib(u);
+    for (const auto& r : rib) {
+      fp.ribs.push_back(net.node(u).name + ": " + eng.route_to_string(r));
+    }
+  }
+  std::sort(fp.ribs.begin(), fp.ribs.end());
+
+  for (const auto& viol : v.check_route_leak_free()) {
+    fp.violations.push_back("leak: " + v.describe(viol));
+  }
+  for (const auto& viol : v.check_route_hijack_free()) {
+    fp.violations.push_back("hijack: " + v.describe(viol));
+  }
+  for (const auto& viol : v.check_loop_free()) {
+    fp.violations.push_back("loop: " + v.describe(viol));
+  }
+  std::sort(fp.violations.begin(), fp.violations.end());
+  return fp;
+}
+
+void expect_identical(const Fingerprint& a, const Fingerprint& b,
+                      const std::string& what) {
+  EXPECT_EQ(a.converged, b.converged) << what;
+  EXPECT_EQ(a.iterations, b.iterations) << what;
+  EXPECT_EQ(a.bdd_nodes, b.bdd_nodes) << what;
+  EXPECT_EQ(a.pecs, b.pecs) << what;
+  EXPECT_EQ(a.fib_entries, b.fib_entries) << what;
+  EXPECT_EQ(a.ribs, b.ribs) << what;
+  EXPECT_EQ(a.violations, b.violations) << what;
+}
+
+TEST(ParallelDeterminismTest, Fig4IdenticalAcrossThreadCounts) {
+  const Fingerprint t1 = run_pipeline(kFig4, 1);
+  const Fingerprint t2 = run_pipeline(kFig4, 2);
+  const Fingerprint t8 = run_pipeline(kFig4, 8);
+  ASSERT_TRUE(t1.converged);
+  ASSERT_FALSE(t1.violations.empty());  // the planted figure-4 leak
+  expect_identical(t1, t2, "fig4: 1 vs 2 threads");
+  expect_identical(t1, t8, "fig4: 1 vs 8 threads");
+}
+
+TEST(ParallelDeterminismTest, SeededWanIdenticalAcrossThreadCounts) {
+  gen::RegionSpec spec;
+  spec.name = "det";
+  spec.num_pr = 4;
+  spec.num_rr = 2;
+  spec.num_dr = 2;
+  spec.num_peers = 6;
+  spec.num_prefixes = 16;
+  spec.leaks_missing_deny = 1;
+  const gen::Dataset d = gen::make_region(spec, 0, 42);
+
+  const Fingerprint t1 = run_pipeline(d.config_text, 1);
+  const Fingerprint t2 = run_pipeline(d.config_text, 2);
+  const Fingerprint t8 = run_pipeline(d.config_text, 8);
+  ASSERT_TRUE(t1.converged);
+  ASSERT_GT(t1.pecs, 0u);
+  ASSERT_FALSE(t1.violations.empty());  // the planted leak
+  expect_identical(t1, t2, "wan: 1 vs 2 threads");
+  expect_identical(t1, t8, "wan: 1 vs 8 threads");
+}
+
+}  // namespace
+}  // namespace expresso

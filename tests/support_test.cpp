@@ -1,9 +1,13 @@
 // Support utilities and façade error paths.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <stdexcept>
+
 #include "config/parser.hpp"
 #include "expresso/verifier.hpp"
 #include "net/prefix.hpp"
+#include "support/thread_pool.hpp"
 #include "support/util.hpp"
 
 namespace expresso {
@@ -70,6 +74,59 @@ TEST(VerifierErrorTest, EmptyNetworkIsHarmless) {
   EXPECT_TRUE(v.check_route_hijack_free().empty());
   EXPECT_TRUE(v.check_traffic_hijack_free().empty());
   EXPECT_TRUE(v.stats().converged);
+}
+
+TEST(ThreadPoolTest, VisitsEveryIndexExactlyOnce) {
+  support::ThreadPool pool(4);
+  constexpr std::size_t kN = 10000;
+  std::vector<std::atomic<int>> hits(kN);
+  for (auto& h : hits) h.store(0);
+  pool.parallel_for(kN, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < kN; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(ThreadPoolTest, ThreadIndexStaysInRange) {
+  support::ThreadPool pool(4);
+  std::atomic<bool> bad{false};
+  pool.parallel_for(1000, [&](std::size_t) {
+    const int idx = support::thread_index();
+    if (idx < 0 || idx >= pool.threads()) bad.store(true);
+  });
+  EXPECT_FALSE(bad.load());
+  EXPECT_EQ(support::thread_index(), 0);  // back outside any batch
+}
+
+TEST(ThreadPoolTest, NestedParallelForRunsInline) {
+  support::ThreadPool pool(3);
+  std::atomic<int> total{0};
+  pool.parallel_for(8, [&](std::size_t) {
+    const int outer = support::thread_index();
+    pool.parallel_for(4, [&](std::size_t) {
+      if (support::thread_index() == outer) total.fetch_add(1);
+    });
+  });
+  EXPECT_EQ(total.load(), 32);  // every nested iteration stayed on its slot
+}
+
+TEST(ThreadPoolTest, ExceptionsPropagateToCaller) {
+  support::ThreadPool pool(4);
+  EXPECT_THROW(pool.parallel_for(
+                   100,
+                   [&](std::size_t i) {
+                     if (i == 57) throw std::runtime_error("boom");
+                   }),
+               std::runtime_error);
+  // The pool must still be usable afterwards.
+  std::atomic<int> n{0};
+  pool.parallel_for(10, [&](std::size_t) { n.fetch_add(1); });
+  EXPECT_EQ(n.load(), 10);
+}
+
+TEST(ThreadPoolTest, NullPoolFallsBackToSerial) {
+  std::vector<int> order;
+  support::parallel_for(nullptr, 5,
+                        [&](std::size_t i) { order.push_back(static_cast<int>(i)); });
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
 }
 
 }  // namespace
