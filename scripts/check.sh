@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# One-command gate: configure, build, run tier-1 tests, then the
+# differential-fuzz smoke campaigns.  See TESTING.md for the tier map.
+#
+#   scripts/check.sh                # release preset into build/
+#   PRESET=asan scripts/check.sh    # any configure preset from CMakePresets.json
+#   JOBS=8 scripts/check.sh
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+PRESET="${PRESET:-release}"
+JOBS="${JOBS:-$(nproc 2>/dev/null || echo 4)}"
+
+cmake --preset "$PRESET"
+cmake --build --preset "$PRESET" -j "$JOBS"
+
+case "$PRESET" in
+  release) BUILD_DIR=build ;;
+  *)       BUILD_DIR="build-$PRESET" ;;
+esac
+
+# Tier 1: everything except the fuzz label (which gets its own pass below,
+# so its campaign output is visible separately).
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS" -LE fuzz
+
+# Differential-fuzz smoke: fixed-seed campaigns + planted-bug self-test.
+ctest --test-dir "$BUILD_DIR" --output-on-failure -L fuzz
+
+echo "check.sh: all green ($PRESET)"

@@ -255,6 +255,12 @@ class Query {
         r.lp = lp_const(100);
         r.plen.resize(kPlenBits);
         for (auto& l : r.plen) l = fresh();
+        // An eBGP announcement carries at least the neighbor's own AS, so
+        // the (otherwise free) path length is >= 1.  Without this a length-0
+        // external route ties with internal originations and the
+        // eBGP-over-iBGP tie-break fabricates leaks the dialect cannot
+        // produce (found by differential fuzzing, see src/fuzz).
+        s_.add_clause(std::vector<Lit>(r.plen.begin(), r.plen.end()));
         r.comm.resize(nat);
         for (auto& l : r.comm) l = fresh();
         r.orig.assign(n, cfalse());

@@ -55,6 +55,9 @@ struct PolicyClause {
   std::vector<net::Community> add_communities;
   std::vector<net::Community> delete_communities;
   std::optional<std::uint32_t> prepend_as;  // prepend once
+
+  // Structural equality (serialize/parse round-trip property tests).
+  bool operator==(const PolicyClause&) const = default;
 };
 
 using RoutePolicy = std::vector<PolicyClause>;
@@ -68,11 +71,15 @@ struct PeerStmt {
   bool advertise_community = false;  // keep communities on export
   bool rr_client = false;            // the peer is this router's RR client
   bool advertise_default = false;    // export only an originated default route
+
+  bool operator==(const PeerStmt&) const = default;
 };
 
 struct StaticRoute {
   net::Ipv4Prefix prefix;
   std::string next_hop;  // node name
+
+  bool operator==(const StaticRoute&) const = default;
 };
 
 struct RouterConfig {
@@ -97,6 +104,8 @@ struct RouterConfig {
     }
     return nullptr;
   }
+
+  bool operator==(const RouterConfig&) const = default;
 };
 
 // Renders a config back to the dialect text (generators emit text so that

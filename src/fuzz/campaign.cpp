@@ -1,0 +1,50 @@
+#include "fuzz/campaign.hpp"
+
+#include "fuzz/shrink.hpp"
+#include "support/util.hpp"
+
+namespace expresso::fuzz {
+
+CampaignStats run_campaign(
+    const CampaignOptions& opt,
+    const std::function<void(int, const DiffResult&)>& progress) {
+  CampaignStats stats;
+  Stopwatch sw;
+  SplitMix64 seeds(opt.seed);
+  for (int i = 0; i < opt.runs; ++i) {
+    const std::uint64_t scenario_seed = seeds.next();
+    const Scenario s = generate_scenario(scenario_seed, opt.gen);
+    const DiffResult r = diff_scenario(s, opt.diff);
+    ++stats.runs;
+    if (r.baselines_checked) ++stats.baselines_checked;
+    if (r.config_rejected) {
+      ++stats.rejected;
+    } else if (!r.compared) {
+      ++stats.not_converged;
+    } else if (r.mismatches.empty()) {
+      ++stats.agreed;
+    } else {
+      ++stats.mismatched;
+      Failure f;
+      f.original = s;
+      f.notes = describe(r);
+      if (opt.shrink) {
+        ShrinkOptions sopt;
+        sopt.diff = opt.diff;
+        sopt.max_evaluations = opt.shrink_budget;
+        ShrinkStats ss;
+        f.shrunk = shrink(s, sopt, &ss);
+        stats.shrink_evaluations += ss.evaluations;
+      } else {
+        f.shrunk = s;
+      }
+      stats.failures.push_back(std::move(f));
+    }
+    if (progress) progress(i, r);
+    if (static_cast<int>(stats.failures.size()) >= opt.max_failures) break;
+  }
+  stats.seconds = sw.seconds();
+  return stats;
+}
+
+}  // namespace expresso::fuzz

@@ -1,0 +1,57 @@
+// Campaign driver: runs N generated scenarios through the differential
+// oracle, shrinks every failure, and aggregates statistics.
+//
+// Determinism contract: a campaign is a pure function of (seed, runs,
+// generator options, diff options) — per-scenario seeds are drawn from one
+// SplitMix64 stream seeded with the campaign seed, and scenarios are checked
+// in order, so `expresso_fuzz --seed S --runs N` produces byte-identical
+// repro files on every invocation (independent of --threads, which only
+// parallelizes inside the symbolic engine).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "fuzz/differ.hpp"
+#include "fuzz/generator.hpp"
+#include "fuzz/scenario.hpp"
+
+namespace expresso::fuzz {
+
+struct CampaignOptions {
+  std::uint64_t seed = 1;
+  int runs = 100;
+  GenOptions gen;
+  DiffOptions diff;
+  bool shrink = true;
+  int shrink_budget = 400;  // differ evaluations per failure
+  // Stop after this many failures (each failure costs a shrink).
+  int max_failures = 8;
+};
+
+struct Failure {
+  Scenario original;
+  Scenario shrunk;
+  std::vector<std::string> notes;  // describe() of the original's DiffResult
+};
+
+struct CampaignStats {
+  int runs = 0;
+  int agreed = 0;            // compared, no mismatch
+  int mismatched = 0;        // compared, >= 1 mismatch
+  int rejected = 0;          // config rejected (parse/build/fragment)
+  int not_converged = 0;     // an engine hit the iteration cap
+  int baselines_checked = 0; // scenarios with the Minesweeper*/enum check
+  int shrink_evaluations = 0;
+  double seconds = 0;
+  std::vector<Failure> failures;
+};
+
+// `progress`, if set, is called after each scenario with (index, result).
+CampaignStats run_campaign(
+    const CampaignOptions& opt,
+    const std::function<void(int, const DiffResult&)>& progress = nullptr);
+
+}  // namespace expresso::fuzz

@@ -1,0 +1,441 @@
+#include "fuzz/differ.hpp"
+
+#include <exception>
+#include <map>
+#include <set>
+#include <sstream>
+#include <utility>
+
+#include "baselines/enumerator.hpp"
+#include "baselines/minesweeper_star.hpp"
+#include "config/parser.hpp"
+#include "dataplane/fib.hpp"
+#include "epvp/engine.hpp"
+#include "net/network.hpp"
+#include "properties/analyzer.hpp"
+#include "routing/spvp.hpp"
+#include "support/util.hpp"
+
+namespace expresso::fuzz {
+
+namespace {
+
+using net::Ipv4Prefix;
+using net::NodeIndex;
+
+// Preference-relevant key of a route (mirrors tests/epvp_oracle_test.cpp).
+struct Key {
+  std::uint32_t lp;
+  int asp_len;
+  symbolic::Learned learned;
+  NodeIndex nh;
+  NodeIndex orig;
+  auto operator<=>(const Key&) const = default;
+};
+
+using AtomSubset = std::set<std::uint32_t>;
+using Grouped = std::map<Key, std::set<AtomSubset>>;
+
+const char* learned_str(symbolic::Learned l) {
+  switch (l) {
+    case symbolic::Learned::kOrigin: return "origin";
+    case symbolic::Learned::kEbgp: return "ebgp";
+    case symbolic::Learned::kIbgpClient: return "ibgp-client";
+    case symbolic::Learned::kIbgp: return "ibgp";
+  }
+  return "?";
+}
+
+std::string key_str(const net::Network& net, const Key& k) {
+  std::ostringstream os;
+  os << "{lp=" << k.lp << " len=" << k.asp_len << " " << learned_str(k.learned)
+     << " nh=" << net.node(k.nh).name << " orig=" << net.node(k.orig).name
+     << "}";
+  return os.str();
+}
+
+std::string grouped_str(const net::Network& net, const Grouped& g) {
+  std::ostringstream os;
+  for (const auto& [key, subsets] : g) {
+    os << " " << key_str(net, key) << " atoms:";
+    for (const auto& s : subsets) {
+      os << "{";
+      for (auto a : s) os << a << ",";
+      os << "}";
+    }
+  }
+  return g.empty() ? " (empty)" : os.str();
+}
+
+std::string keyset_str(const net::Network& net, const std::set<Key>& g) {
+  std::ostringstream os;
+  for (const auto& key : g) os << " " << key_str(net, key);
+  return g.empty() ? " (empty)" : os.str();
+}
+
+// All community-atom subsets a symbolic community set contains.
+std::set<AtomSubset> unfold_comm(epvp::Engine& eng,
+                                 const symbolic::CommunitySet& cs) {
+  auto& enc = eng.encoding();
+  auto& mgr = enc.mgr();
+  const std::uint32_t k = enc.num_atoms();
+  std::set<AtomSubset> out;
+  for (std::uint32_t mask = 0; mask < (1u << k); ++mask) {
+    bdd::NodeId a = cs.as_bdd();
+    for (std::uint32_t i = 0; i < k; ++i) {
+      a = mgr.and_(a, (mask >> i) & 1 ? mgr.var(enc.atom_var(i))
+                                      : mgr.nvar(enc.atom_var(i)));
+    }
+    if (a != bdd::kFalse) {
+      AtomSubset s;
+      for (std::uint32_t i = 0; i < k; ++i) {
+        if ((mask >> i) & 1) s.insert(i);
+      }
+      out.insert(std::move(s));
+    }
+  }
+  return out;
+}
+
+struct FeatureScan {
+  bool aspath_match = false;
+  bool prepend = false;
+  bool aggregates = false;
+  bool multi_as = false;
+};
+
+FeatureScan scan(const std::vector<config::RouterConfig>& configs) {
+  FeatureScan f;
+  for (const auto& cfg : configs) {
+    if (!cfg.aggregates.empty()) f.aggregates = true;
+    if (cfg.asn != configs.front().asn) f.multi_as = true;
+    for (const auto& [name, pol] : cfg.policies) {
+      (void)name;
+      for (const auto& c : pol) {
+        if (c.match_as_path.has_value()) f.aspath_match = true;
+        if (c.prepend_as.has_value()) f.prepend = true;
+      }
+    }
+  }
+  return f;
+}
+
+std::string ip_str(std::uint32_t ip) {
+  std::ostringstream os;
+  os << (ip >> 24) << "." << ((ip >> 16) & 0xff) << "." << ((ip >> 8) & 0xff)
+     << "." << (ip & 0xff);
+  return os.str();
+}
+
+}  // namespace
+
+DiffResult diff_scenario(const Scenario& s, const DiffOptions& opt) {
+  DiffResult res;
+
+  // --- parse + build -------------------------------------------------------
+  std::vector<config::RouterConfig> configs;
+  try {
+    configs = config::parse_configs(s.config_text);
+  } catch (const std::exception& e) {
+    res.config_rejected = true;
+    res.reject_reason = std::string("parse: ") + e.what();
+    return res;
+  }
+  const FeatureScan feat = scan(configs);
+  if (feat.aggregates) {
+    // The aggregate's advertiser condition couples prefixes through the
+    // shared per-neighbor n_i variable; the per-prefix environment-point
+    // unfolding below is ambiguous for it (see src/fuzz/generator.hpp).
+    res.config_rejected = true;
+    res.reject_reason = "bgp aggregate is outside the differ's sound fragment";
+    return res;
+  }
+  std::optional<net::Network> built;
+  try {
+    built = net::Network::build(configs);
+  } catch (const std::exception& e) {
+    res.config_rejected = true;
+    res.reject_reason = std::string("build: ") + e.what();
+    return res;
+  }
+  const net::Network& network = *built;
+
+  // --- AS-path mode --------------------------------------------------------
+  // An `if-match as-path` clause splits symbolic path *sets*: a surviving
+  // set need not contain the concrete representative path SPVP announces, so
+  // per-point unfolding of full-Expresso RIBs is not comparable against the
+  // oracle on such scenarios.  They are pinned to the Expresso- concrete
+  // representative mode (which SPVP matches exactly).  Everything else
+  // alternates by seed so both variants stay covered.
+  if (opt.aspath_mode.has_value()) {
+    res.mode = *opt.aspath_mode;
+  } else if (feat.aspath_match) {
+    res.mode = automaton::AsPathMode::kConcrete;
+  } else {
+    res.mode = (s.seed & 1) ? automaton::AsPathMode::kConcrete
+                            : automaton::AsPathMode::kSymbolic;
+  }
+
+  // --- symbolic side -------------------------------------------------------
+  epvp::Options eopt;
+  eopt.aspath_mode = res.mode;
+  eopt.threads = opt.threads;
+  eopt.max_iterations = opt.max_iterations;
+  Stopwatch sw;
+  epvp::Engine eng(network, eopt);
+  std::optional<dataplane::FibBuilder> fibs;
+  try {
+    res.epvp_converged = eng.run();
+    if (res.epvp_converged) fibs.emplace(eng);
+  } catch (const std::exception& e) {
+    res.mismatches.push_back({"epvp-crash", e.what()});
+    res.compared = true;  // a crash is a reportable (and shrinkable) verdict
+    return res;
+  }
+  res.epvp_seconds = sw.seconds();
+
+  auto& enc = eng.encoding();
+  auto& mgr = enc.mgr();
+  const auto& atomizer = eng.atomizer();
+  const std::uint32_t k = enc.num_atoms();
+  if (k > 6) {
+    res.config_rejected = true;
+    res.reject_reason = "too many community atoms to unfold (" +
+                        std::to_string(k) + ")";
+    return res;
+  }
+
+  // --- the concrete environment -------------------------------------------
+  // Resolve (name, prefix) announcements; unknown names / non-external nodes
+  // / prefixes outside the pool are ignored (keeps shrinking closed).
+  std::set<std::pair<NodeIndex, Ipv4Prefix>> announced;
+  for (const auto& [name, p] : s.announcements) {
+    const auto idx = network.find(name);
+    if (!idx.has_value() || !network.node(*idx).external) continue;
+    bool in_pool = false;
+    for (const auto& q : s.pool) in_pool = in_pool || q == p;
+    if (in_pool) announced.insert({*idx, p});
+  }
+  const auto& externals = network.external_nodes();
+  routing::Environment env;
+  for (const auto& [e, p] : announced) {
+    auto& anns = env[e];
+    const std::uint32_t asn = network.node(e).asn;
+    // Announce every community-atom combination simultaneously — the
+    // concrete counterpart of EPVP's universal symbolic community set.
+    for (std::uint32_t mask = 0; mask < (1u << k); ++mask) {
+      routing::Announcement a;
+      a.prefix = p;
+      a.as_path = {asn};
+      for (std::uint32_t i = 0; i < k; ++i) {
+        if ((mask >> i) & 1) a.comms.insert(atomizer.sample(i));
+      }
+      anns.push_back(std::move(a));
+    }
+  }
+
+  // --- concrete side -------------------------------------------------------
+  sw.reset();
+  routing::SpvpEngine oracle(network);
+  try {
+    std::optional<routing::ScopedPreferenceBug> bug;
+    if (opt.plant_preference_bug) bug.emplace();
+    res.spvp_converged = oracle.run(env, opt.max_iterations);
+  } catch (const std::exception& e) {
+    res.mismatches.push_back({"spvp-crash", e.what()});
+    res.compared = true;
+    return res;
+  }
+  res.spvp_seconds = sw.seconds();
+
+  if (!res.epvp_converged || !res.spvp_converged) {
+    // Possible dispute wheel; convergence is out of the differ's scope.
+    return res;
+  }
+  res.compared = true;
+
+  // --- compared prefix universe -------------------------------------------
+  std::set<Ipv4Prefix> universe(s.pool.begin(), s.pool.end());
+  for (const auto& p : network.internal_prefixes()) universe.insert(p);
+  for (const auto& cfg : configs) {
+    for (const auto& p : cfg.networks) universe.insert(p);
+    for (const auto& st : cfg.statics) universe.insert(st.prefix);
+    for (const auto& p : cfg.connected) universe.insert(p);
+  }
+  universe.insert(Ipv4Prefix{});  // 0.0.0.0/0 (advertise-default)
+
+  auto announces = [&](NodeIndex e, const Ipv4Prefix& p) {
+    return announced.count({e, p}) != 0;
+  };
+
+  // --- per-prefix RIB comparison at the environment point ------------------
+  for (const auto& p : universe) {
+    bdd::NodeId point = enc.prefix_exact(p);
+    for (NodeIndex e : externals) {
+      const auto v = network.node(e).external_index;
+      point =
+          mgr.and_(point, announces(e, p) ? enc.adv(v) : mgr.not_(enc.adv(v)));
+    }
+    for (NodeIndex u : network.internal_nodes()) {
+      Grouped sym;
+      for (const auto& r : eng.rib(u)) {
+        if (mgr.and_(r.d, point) == bdd::kFalse) continue;
+        Key key{r.attrs.local_pref, r.attrs.aspath.min_length(),
+                r.attrs.learned, r.attrs.next_hop, r.attrs.originator};
+        auto subs = unfold_comm(eng, r.attrs.comm);
+        sym[key].insert(subs.begin(), subs.end());
+      }
+      Grouped conc;
+      for (const auto& r : oracle.rib(u)) {
+        if (!(r.prefix == p)) continue;
+        Key key{r.local_pref, static_cast<int>(r.as_path.size()), r.learned,
+                r.next_hop, r.originator};
+        AtomSubset sub;
+        for (const auto& c : r.comms) sub.insert(atomizer.atom_of(c));
+        conc[key].insert(std::move(sub));
+      }
+      if (sym != conc) {
+        res.mismatches.push_back(
+            {"rib", "node " + network.node(u).name + " prefix " +
+                        p.to_string() + "\n  epvp:" + grouped_str(network, sym) +
+                        "\n  spvp:" + grouped_str(network, conc)});
+      }
+    }
+    for (NodeIndex x : externals) {
+      std::set<Key> sym;
+      for (const auto& r : eng.external_rib(x)) {
+        if (mgr.and_(r.d, point) == bdd::kFalse) continue;
+        sym.insert(Key{r.attrs.local_pref, r.attrs.aspath.min_length(),
+                       r.attrs.learned, r.attrs.next_hop, r.attrs.originator});
+      }
+      std::set<Key> conc;
+      for (const auto& r : oracle.external_rib(x)) {
+        if (!(r.prefix == p)) continue;
+        conc.insert(Key{r.local_pref, static_cast<int>(r.as_path.size()),
+                        r.learned, r.next_hop, r.originator});
+      }
+      if (sym != conc) {
+        res.mismatches.push_back(
+            {"external-rib",
+             "external " + network.node(x).name + " prefix " + p.to_string() +
+                 "\n  epvp:" + keyset_str(network, sym) +
+                 "\n  spvp:" + keyset_str(network, conc)});
+      }
+    }
+  }
+
+  // --- forwarding comparison ----------------------------------------------
+  std::set<std::uint32_t> sample_ips;
+  for (const auto& p : universe) {
+    sample_ips.insert(p.addr);
+    if (p.len < 32) sample_ips.insert(p.addr + 1);
+    if (p.len < 32) sample_ips.insert(p.addr | (1u << (31 - p.len)));
+  }
+  sample_ips.insert(0x01020304);  // outside every generated prefix
+
+  for (std::uint32_t ip : sample_ips) {
+    // n_i^j assignment: neighbor i advertises the length-j prefix containing
+    // the destination address.
+    bdd::NodeId assign = enc.addr_of(ip);
+    for (const auto& [key, var] : enc.dp_var_map()) {
+      const auto [nbr, len] = key;
+      const Ipv4Prefix cover = Ipv4Prefix::make(ip, len);
+      bool adv = false;
+      for (const auto& [e, p] : announced) {
+        adv = adv || (network.node(e).external_index == nbr && p == cover);
+      }
+      assign = mgr.and_(assign, adv ? mgr.var(var) : mgr.nvar(var));
+    }
+    for (NodeIndex u : network.internal_nodes()) {
+      const auto& pp = fibs->ports(u);
+      std::set<NodeIndex> sym_hops;
+      for (const auto& [peer, pred] : pp.to_peer) {
+        if (mgr.and_(pred, assign) != bdd::kFalse) sym_hops.insert(peer);
+      }
+      const bool sym_local = mgr.and_(pp.local, assign) != bdd::kFalse;
+
+      bool conc_local = false;
+      const auto hops = oracle.forward(u, ip, conc_local);
+      const std::set<NodeIndex> conc_hops(hops.begin(), hops.end());
+      if (sym_hops != conc_hops || sym_local != conc_local) {
+        std::ostringstream os;
+        os << "at " << network.node(u).name << " ip " << ip_str(ip)
+           << "\n  epvp: local=" << sym_local << " hops:";
+        for (auto h : sym_hops) os << " " << network.node(h).name;
+        os << "\n  spvp: local=" << conc_local << " hops:";
+        for (auto h : conc_hops) os << " " << network.node(h).name;
+        res.mismatches.push_back({"forward", os.str()});
+      }
+    }
+  }
+
+  // --- baseline cross-checks ----------------------------------------------
+  // Minesweeper* does not model AS-path contents: `if-match as-path` never
+  // matches, policy `prepend-as` does not lengthen the path, and there is no
+  // AS-loop filter (which matters exactly when internal routers span several
+  // ASes).  The leak cross-check therefore only runs on scenarios inside the
+  // fragment both engines model.  Skipped in self-test mode: the baselines
+  // share SPVP's compare_concrete.
+  if (opt.check_baselines && !opt.plant_preference_bug && !feat.aspath_match &&
+      !feat.prepend && !feat.multi_as) {
+    sw.reset();
+    properties::Analyzer analyzer(eng);
+    std::set<std::string> flagged;
+    for (const auto& viol : analyzer.route_leak_free()) {
+      flagged.insert(network.node(viol.node).name);
+    }
+    baselines::MinesweeperOptions mopt;
+    mopt.max_conflicts_per_query = 500'000;
+    mopt.timeout_seconds = 10;
+    baselines::MinesweeperStar ms(network, mopt);
+    const auto ms_res = ms.check_route_leak_free();
+    if (ms_res.status != baselines::MinesweeperResult::Status::kTimeout) {
+      res.baselines_checked = true;
+      if (ms_res.violations != flagged.size()) {
+        std::ostringstream os;
+        os << "RouteLeakFree: expresso flags " << flagged.size()
+           << " neighbor(s) [";
+        for (const auto& n : flagged) os << n << " ";
+        os << "], minesweeper* flags " << ms_res.violations;
+        res.mismatches.push_back({"leak-minesweeper", os.str()});
+      }
+      if (flagged.empty()) {
+        // Leak-free over ALL environments implies the sampler finds none.
+        const auto en = baselines::enumerate_environments(network, 6, s.seed);
+        if (en.violating_environments != 0) {
+          res.mismatches.push_back(
+              {"leak-enumerator",
+               "expresso reports leak-free but the enumerator found " +
+                   std::to_string(en.violating_environments) +
+                   " violating environment(s)"});
+        }
+      }
+    }
+    res.baseline_seconds = sw.seconds();
+  }
+
+  return res;
+}
+
+std::vector<std::string> describe(const DiffResult& r) {
+  std::vector<std::string> out;
+  if (r.config_rejected) {
+    out.push_back("config rejected: " + r.reject_reason);
+    return out;
+  }
+  if (!r.epvp_converged || !r.spvp_converged) {
+    out.push_back(std::string("skipped: ") +
+                  (!r.epvp_converged ? "EPVP" : "SPVP") + " did not converge");
+    return out;
+  }
+  out.push_back(std::string("aspath mode: ") +
+                (r.mode == automaton::AsPathMode::kSymbolic ? "symbolic"
+                                                            : "concrete"));
+  for (const auto& m : r.mismatches) {
+    out.push_back("[" + m.kind + "] " + m.detail);
+  }
+  if (r.mismatches.empty()) out.push_back("agreed");
+  return out;
+}
+
+}  // namespace expresso::fuzz

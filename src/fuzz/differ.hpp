@@ -1,0 +1,73 @@
+// The differential oracle: one Scenario, three engines, one verdict.
+//
+// A scenario is checked by (1) unfolding EPVP's symbolic fixed point at the
+// scenario's concrete environment point (Theorem 3), (2) running concrete
+// SPVP on the same environment, and comparing internal RIBs, routes exported
+// to neighbors, and LPM forwarding decisions; and (3), on scenarios inside
+// the SAT baseline's feature set, cross-checking the RouteLeakFree verdict
+// against Minesweeper* and — when the network is reported leak-free — against
+// the Batfish-style environment enumerator (which must then find zero
+// violating environments).
+//
+// Any disagreement is reported as a Mismatch; the shrinker minimizes the
+// scenario while `diff_scenario` keeps reporting at least one.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "automaton/aspath.hpp"
+#include "fuzz/scenario.hpp"
+
+namespace expresso::fuzz {
+
+struct Mismatch {
+  // "rib", "external-rib", "forward", "epvp-crash", "spvp-crash",
+  // "leak-minesweeper", "leak-enumerator".
+  std::string kind;
+  std::string detail;
+};
+
+struct DiffOptions {
+  int threads = 1;
+  int max_iterations = 100;
+  // Cross-check RouteLeakFree against Minesweeper* / the enumerator on
+  // scenarios both baselines can model.
+  bool check_baselines = true;
+  // Plant the deliberate SPVP preference bug (--self-test): the harness must
+  // then *find* mismatches.  Baseline checks are skipped (they share SPVP).
+  bool plant_preference_bug = false;
+  // Forced AS-path mode; unset = derived from the scenario (see differ.cpp).
+  std::optional<automaton::AsPathMode> aspath_mode;
+};
+
+struct DiffResult {
+  // The config was rejected before any engine ran (parse/build error, or a
+  // feature the differ cannot soundly compare, e.g. `bgp aggregate`).
+  bool config_rejected = false;
+  std::string reject_reason;
+
+  // True when the engines converged and the comparison actually ran.
+  bool compared = false;
+  bool epvp_converged = false;
+  bool spvp_converged = false;
+  // True when the Minesweeper*/enumerator cross-check ran for this scenario.
+  bool baselines_checked = false;
+
+  automaton::AsPathMode mode = automaton::AsPathMode::kSymbolic;
+  std::vector<Mismatch> mismatches;
+
+  double epvp_seconds = 0;
+  double spvp_seconds = 0;
+  double baseline_seconds = 0;
+
+  bool agreed() const { return compared && mismatches.empty(); }
+};
+
+DiffResult diff_scenario(const Scenario& s, const DiffOptions& opt = {});
+
+// Human-readable summary lines (embedded as repro-file notes).
+std::vector<std::string> describe(const DiffResult& r);
+
+}  // namespace expresso::fuzz

@@ -1,0 +1,297 @@
+#include "fuzz/generator.hpp"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "config/ast.hpp"
+#include "support/util.hpp"
+
+namespace expresso::fuzz {
+
+namespace {
+
+using config::PeerStmt;
+using config::PolicyClause;
+using config::RouterConfig;
+using net::Community;
+using net::CommunityMatcher;
+using net::Ipv4Prefix;
+using net::PrefixMatch;
+
+Ipv4Prefix pfx(const char* text) { return *Ipv4Prefix::parse(text); }
+
+struct Gen {
+  SplitMix64 rng;
+  GenOptions opt;
+
+  std::vector<RouterConfig> routers;
+  std::vector<std::string> external_names;
+  std::vector<std::uint32_t> external_asns;
+  std::vector<Ipv4Prefix> pool;
+  std::vector<Community> comm_universe;
+
+  explicit Gen(std::uint64_t seed, const GenOptions& o) : rng(seed), opt(o) {}
+
+  std::string router_name(int i) const { return "R" + std::to_string(i); }
+
+  // Any node name (router or external), used for static next hops.
+  std::string random_node_name() {
+    const std::size_t n = routers.size() + external_names.size();
+    const std::size_t k = rng.below(n);
+    return k < routers.size() ? routers[k].name
+                              : external_names[k - routers.size()];
+  }
+
+  void pick_pool() {
+    // Overlapping candidates stress LPM; 172.16.0.0/16 collides with the
+    // internal origination; 0.0.0.0/0 collides with advertise-default.
+    const std::vector<const char*> candidates = {
+        "10.0.0.0/16",    "10.1.0.0/16", "10.0.0.0/8",
+        "192.168.0.0/24", "10.0.4.0/24", "172.16.0.0/16",
+        "0.0.0.0/0"};
+    const int want = 1 + static_cast<int>(rng.below(opt.max_pool));
+    std::vector<const char*> shuffled = candidates;
+    // Fisher-Yates with the scenario RNG (std::shuffle is not
+    // implementation-stable across standard libraries).
+    for (std::size_t i = shuffled.size(); i > 1; --i) {
+      std::swap(shuffled[i - 1], shuffled[rng.below(i)]);
+    }
+    for (int i = 0; i < want; ++i) pool.push_back(pfx(shuffled[i]));
+    std::sort(pool.begin(), pool.end());
+  }
+
+  void pick_communities() {
+    const std::vector<const char*> comms = {"100:1", "100:2", "200:7"};
+    const int want = 2 + static_cast<int>(rng.below(2));
+    for (int i = 0; i < want; ++i) {
+      comm_universe.push_back(*Community::parse(comms[i]));
+    }
+  }
+
+  Community random_comm() {
+    return comm_universe[rng.below(comm_universe.size())];
+  }
+
+  CommunityMatcher random_matcher() {
+    if (rng.chance(1, 5)) return *CommunityMatcher::parse("100:*");
+    return *CommunityMatcher::parse(random_comm().to_string());
+  }
+
+  PrefixMatch random_prefix_match() {
+    const Ipv4Prefix base = rng.chance(1, 4)
+                                ? pfx("10.0.0.0/8")
+                                : pool[rng.below(pool.size())];
+    if (rng.chance(1, 3) && base.len < 32) {
+      const std::uint8_t ge = static_cast<std::uint8_t>(
+          base.len + rng.below(std::min<std::uint64_t>(4, 33u - base.len)));
+      const std::uint8_t le =
+          static_cast<std::uint8_t>(ge + rng.below(33u - ge));
+      return PrefixMatch::range(base, ge, le);
+    }
+    return PrefixMatch::exact(base);
+  }
+
+  std::string random_aspath_regex() {
+    std::vector<std::uint32_t> asns = external_asns;
+    asns.push_back(65000);
+    const std::uint32_t a = asns[rng.below(asns.size())];
+    const std::uint32_t b = asns[rng.below(asns.size())];
+    switch (rng.below(4)) {
+      case 0: return ".*";
+      case 1: return std::to_string(a) + ".*";
+      case 2: return ".*" + std::to_string(a);
+      default:
+        return "(" + std::to_string(a) + "|" + std::to_string(b) + ").*";
+    }
+  }
+
+  PolicyClause random_clause(std::uint32_t node, bool allow_aspath) {
+    PolicyClause c;
+    c.node = node;
+    c.permit = rng.chance(3, 4);
+    if (rng.chance(1, 2)) {
+      const int n = 1 + static_cast<int>(rng.below(2));
+      for (int i = 0; i < n; ++i) {
+        c.match_prefixes.push_back(random_prefix_match());
+      }
+    }
+    if (rng.chance(1, 4)) c.match_communities.push_back(random_matcher());
+    if (allow_aspath && rng.chance(1, 6)) {
+      c.match_as_path = random_aspath_regex();
+    }
+    if (c.permit) {
+      if (rng.chance(1, 2)) {
+        const std::vector<std::uint32_t> lps = {50, 100, 200, 300};
+        c.set_local_preference = lps[rng.below(lps.size())];
+      }
+      if (rng.chance(1, 3)) c.add_communities.push_back(random_comm());
+      if (rng.chance(1, 6)) c.delete_communities.push_back(random_comm());
+      if (rng.chance(1, 8)) {
+        c.prepend_as = rng.chance(1, 2) ? 65000u : 900u + static_cast<std::uint32_t>(rng.below(3));
+      }
+    }
+    return c;
+  }
+
+  // Defines a fresh policy on `cfg` and returns its name.  With a small
+  // probability the policy is empty (matches nothing: default deny) or the
+  // returned name is undefined (both engines must treat it as deny-all).
+  std::string make_policy(RouterConfig& cfg) {
+    if (rng.chance(1, 24)) return "ghost";  // undefined on purpose
+    const std::string name = "p" + std::to_string(cfg.policies.size());
+    config::RoutePolicy pol;
+    const int clauses = static_cast<int>(rng.below(4));  // 0 = empty policy
+    for (int i = 0; i < clauses; ++i) {
+      pol.push_back(random_clause(10u * (static_cast<std::uint32_t>(i) + 1),
+                                  /*allow_aspath=*/true));
+    }
+    cfg.policies[name] = std::move(pol);
+    return name;
+  }
+
+  void build_routers() {
+    const int n = 1 + static_cast<int>(rng.below(opt.max_routers));
+    const bool two_as = n >= 2 && rng.chance(1, 4);
+    const int split = two_as ? 1 + static_cast<int>(rng.below(n - 1)) : n;
+    for (int i = 0; i < n; ++i) {
+      RouterConfig cfg;
+      cfg.name = router_name(i);
+      cfg.asn = i < split ? 65000 : 65001;
+      routers.push_back(std::move(cfg));
+    }
+  }
+
+  PeerStmt* add_peer(RouterConfig& cfg, const std::string& peer,
+                     std::uint32_t peer_as) {
+    if (cfg.find_peer(peer) != nullptr) return nullptr;
+    PeerStmt s;
+    s.peer = peer;
+    s.peer_as = peer_as;
+    cfg.peers.push_back(std::move(s));
+    return &cfg.peers.back();
+  }
+
+  void decorate_internal(PeerStmt* s, RouterConfig& cfg) {
+    if (s == nullptr) return;
+    s->advertise_community = rng.chance(1, 2);
+    if (rng.chance(1, 10)) s->advertise_default = true;
+    if (rng.chance(1, 6)) s->import_policy = make_policy(cfg);
+    if (rng.chance(1, 8)) s->export_policy = make_policy(cfg);
+  }
+
+  void build_internal_sessions() {
+    const int n = static_cast<int>(routers.size());
+    const bool rr = n >= 3 && rng.chance(1, 4);
+    auto connect = [&](int i, int j) {
+      PeerStmt* a = add_peer(routers[i], routers[j].name, routers[j].asn);
+      decorate_internal(a, routers[i]);
+      if (rr && i == 0 && a != nullptr && routers[j].asn == routers[0].asn) {
+        a->rr_client = true;  // R0 reflects between its clients
+      }
+      // Sometimes only one end configures the session (degenerate but
+      // accepted: the edge then has a null statement on the other side).
+      if (rng.chance(5, 6)) {
+        PeerStmt* b = add_peer(routers[j], routers[i].name, routers[i].asn);
+        decorate_internal(b, routers[j]);
+        if (rr && j == 0 && b != nullptr &&
+            routers[i].asn == routers[0].asn) {
+          b->rr_client = true;
+        }
+      }
+    };
+    for (int i = 1; i < n; ++i) connect(i, static_cast<int>(rng.below(i)));
+    for (int i = 0; i < n; ++i) {
+      for (int j = i + 1; j < n; ++j) {
+        if (routers[i].find_peer(routers[j].name) == nullptr &&
+            routers[j].find_peer(routers[i].name) == nullptr &&
+            rng.chance(1, 3)) {
+          connect(i, j);
+        }
+      }
+    }
+    // Degenerate: a router peering with itself.
+    if (rng.chance(1, 16)) {
+      const int i = static_cast<int>(rng.below(n));
+      add_peer(routers[i], routers[i].name, routers[i].asn);
+    }
+  }
+
+  void build_externals() {
+    const int n = 1 + static_cast<int>(rng.below(opt.max_externals));
+    for (int e = 0; e < n; ++e) {
+      const std::string name = "ISP" + std::string(1, static_cast<char>('a' + e));
+      const std::uint32_t asn = 100u * (static_cast<std::uint32_t>(e) + 1);
+      external_names.push_back(name);
+      external_asns.push_back(asn);
+      // 1 or 2 points of presence (a multi-PoP neighbor is one advertiser).
+      const int pops = 1 + (rng.chance(1, 3) ? 1 : 0);
+      std::vector<int> at;
+      for (int k = 0; k < pops; ++k) {
+        const int r = static_cast<int>(rng.below(routers.size()));
+        if (std::find(at.begin(), at.end(), r) != at.end()) continue;
+        at.push_back(r);
+        PeerStmt* s = add_peer(routers[r], name, asn);
+        if (s == nullptr) continue;
+        if (rng.chance(5, 6)) s->import_policy = make_policy(routers[r]);
+        if (rng.chance(5, 6)) s->export_policy = make_policy(routers[r]);
+        s->advertise_community = rng.chance(1, 3);
+        if (rng.chance(1, 12)) s->advertise_default = true;
+      }
+    }
+  }
+
+  void build_origination() {
+    for (auto& cfg : routers) {
+      if (&cfg == &routers.front() ? rng.chance(2, 3) : rng.chance(1, 4)) {
+        cfg.networks.push_back(pfx("172.16.0.0/16"));
+      }
+      if (rng.chance(1, 4)) {
+        cfg.connected.push_back(
+            *Ipv4Prefix::parse("10.9." + std::to_string(&cfg - routers.data()) +
+                               ".0/24"));
+        cfg.redistribute_connected = rng.chance(1, 2);
+      }
+      if (rng.chance(1, 4)) {
+        const Ipv4Prefix p = rng.chance(1, 2) ? pool[rng.below(pool.size())]
+                                              : pfx("10.2.0.0/16");
+        const std::string nh =
+            rng.chance(1, 8) ? "NOWHERE" : random_node_name();
+        cfg.statics.push_back({p, nh});
+        cfg.redistribute_static = rng.chance(1, 2);
+      }
+    }
+  }
+
+  void build_announcements(Scenario& s) {
+    for (const auto& name : external_names) {
+      for (const auto& p : pool) {
+        if (rng.chance(1, 2)) s.announcements.emplace_back(name, p);
+      }
+    }
+  }
+
+  Scenario run(std::uint64_t seed) {
+    Scenario s;
+    s.seed = seed;
+    pick_pool();
+    pick_communities();
+    build_routers();
+    build_internal_sessions();
+    build_externals();
+    build_origination();
+    build_announcements(s);
+    s.pool = pool;
+    s.config_text = config::serialize(routers);
+    return s;
+  }
+};
+
+}  // namespace
+
+Scenario generate_scenario(std::uint64_t seed, const GenOptions& opt) {
+  Gen g(seed, opt);
+  return g.run(seed);
+}
+
+}  // namespace expresso::fuzz

@@ -1,0 +1,38 @@
+// Randomized scenario generation for the differential fuzzer.
+//
+// Unlike src/gen (which reproduces the paper's CSP-WAN / Internet2 shapes
+// with best-practice policies), this generator aims for *coverage of the
+// dialect semantics*: random session graphs (one- and two-sided sessions,
+// route-reflector clusters, multi-AS internals, self-loops), random
+// route-policy chains (prefix windows, community matchers, AS-path regexes,
+// local-preference tiers, add/delete-community, prepend), static/connected
+// routes with redistribution, advertise-default sessions, and degenerate
+// cases (empty policies, references to undefined policies, dangling static
+// next hops, multi-PoP neighbors).
+//
+// Deliberately excluded: `bgp aggregate`.  The aggregate's advertiser
+// condition couples prefixes through the single per-neighbor n_i variable,
+// so the per-prefix environment-point unfolding the differ relies on
+// (Theorem 3's grid) is ambiguous for environments that announce a component
+// but not the aggregate itself.  Aggregation is covered separately by
+// tests/aggregation_test.cpp.
+//
+// Generation is a pure function of (seed, options): the same inputs yield a
+// byte-identical Scenario, which is what makes campaigns replayable.
+#pragma once
+
+#include <cstdint>
+
+#include "fuzz/scenario.hpp"
+
+namespace expresso::fuzz {
+
+struct GenOptions {
+  int max_routers = 4;    // internal routers: 1..max_routers
+  int max_externals = 3;  // external neighbors: 1..max_externals
+  int max_pool = 3;       // candidate prefix pool: 1..max_pool entries
+};
+
+Scenario generate_scenario(std::uint64_t seed, const GenOptions& opt = {});
+
+}  // namespace expresso::fuzz

@@ -1,0 +1,85 @@
+#include "fuzz/scenario.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "support/util.hpp"
+
+namespace expresso::fuzz {
+
+std::string to_repro(const Scenario& s, const std::vector<std::string>& notes) {
+  std::ostringstream os;
+  os << "# expresso_fuzz repro v1\n";
+  for (const auto& n : notes) {
+    std::istringstream lines(n);
+    std::string line;
+    while (std::getline(lines, line)) os << "# " << line << "\n";
+  }
+  os << "seed " << s.seed << "\n";
+  for (const auto& p : s.pool) os << "pool " << p.to_string() << "\n";
+  for (const auto& [name, p] : s.announcements) {
+    os << "announce " << name << " " << p.to_string() << "\n";
+  }
+  os << "config <<<\n" << s.config_text;
+  if (!s.config_text.empty() && s.config_text.back() != '\n') os << "\n";
+  os << ">>>\n";
+  return os.str();
+}
+
+Scenario parse_repro(const std::string& text) {
+  Scenario s;
+  std::istringstream in(text);
+  std::string line;
+  std::size_t lineno = 0;
+  bool saw_config = false;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line == "config <<<") {
+      std::ostringstream cfg;
+      bool closed = false;
+      while (std::getline(in, line)) {
+        ++lineno;
+        if (line == ">>>") {
+          closed = true;
+          break;
+        }
+        cfg << line << "\n";
+      }
+      if (!closed) throw std::runtime_error("repro: unterminated config block");
+      s.config_text = cfg.str();
+      saw_config = true;
+      continue;
+    }
+    const auto t = split_ws(line);
+    if (t.empty() || t[0][0] == '#') continue;
+    if (t[0] == "seed" && t.size() == 2) {
+      s.seed = std::stoull(t[1]);
+    } else if (t[0] == "pool" && t.size() == 2) {
+      auto p = net::Ipv4Prefix::parse(t[1]);
+      if (!p) {
+        throw std::runtime_error("repro line " + std::to_string(lineno) +
+                                 ": bad prefix " + t[1]);
+      }
+      s.pool.push_back(*p);
+    } else if (t[0] == "announce" && t.size() == 3) {
+      auto p = net::Ipv4Prefix::parse(t[2]);
+      if (!p) {
+        throw std::runtime_error("repro line " + std::to_string(lineno) +
+                                 ": bad prefix " + t[2]);
+      }
+      s.announcements.emplace_back(t[1], *p);
+    } else {
+      throw std::runtime_error("repro line " + std::to_string(lineno) +
+                               ": unknown directive '" + t[0] + "'");
+    }
+  }
+  if (!saw_config) throw std::runtime_error("repro: missing config block");
+  return s;
+}
+
+bool operator==(const Scenario& a, const Scenario& b) {
+  return a.seed == b.seed && a.config_text == b.config_text &&
+         a.pool == b.pool && a.announcements == b.announcements;
+}
+
+}  // namespace expresso::fuzz

@@ -1,0 +1,46 @@
+// Differential-fuzzing scenarios and self-contained repro files.
+//
+// A Scenario is everything needed to replay one differential check
+// byte-identically: the configuration text, the candidate prefix pool, and
+// the concrete external environment (which external neighbor announces which
+// pool prefix).  Scenarios are produced by the generator (src/fuzz/generator)
+// from a seed, mutated by the shrinker (src/fuzz/shrink), and round-tripped
+// through a plain-text repro format so a failing case can be attached to a
+// bug report and replayed with `expresso_fuzz --replay <file>`.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "net/prefix.hpp"
+
+namespace expresso::fuzz {
+
+struct Scenario {
+  // Generator seed (informational once shrinking has mutated the scenario;
+  // kept so replays can name their origin).
+  std::uint64_t seed = 0;
+  // Configuration in the dialect of src/config (parsed by the differ, so the
+  // parser is always part of the tested pipeline).
+  std::string config_text;
+  // Candidate prefixes external neighbors may announce.
+  std::vector<net::Ipv4Prefix> pool;
+  // The concrete environment: (external node name, announced pool prefix).
+  // Names keep the scenario self-contained under shrinking; entries naming
+  // unknown nodes or prefixes outside the pool are ignored by the differ.
+  std::vector<std::pair<std::string, net::Ipv4Prefix>> announcements;
+};
+
+// Renders a self-contained repro file.  `notes` lines (e.g. the mismatches
+// observed) are embedded as comments.
+std::string to_repro(const Scenario& s,
+                     const std::vector<std::string>& notes = {});
+
+// Parses a repro file.  Throws std::runtime_error on malformed input.
+Scenario parse_repro(const std::string& text);
+
+bool operator==(const Scenario& a, const Scenario& b);
+
+}  // namespace expresso::fuzz

@@ -1,0 +1,313 @@
+#include "fuzz/shrink.hpp"
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "config/ast.hpp"
+#include "config/parser.hpp"
+
+namespace expresso::fuzz {
+
+namespace {
+
+using config::RouterConfig;
+
+// Rebuilds a scenario around mutated configs: re-serializes, and drops
+// announcements/pool entries that no longer reference anything.
+Scenario rebuild(const Scenario& base, const std::vector<RouterConfig>& cfgs) {
+  Scenario s = base;
+  s.config_text = config::serialize(cfgs);
+  std::set<std::string> names;
+  for (const auto& cfg : cfgs) {
+    names.insert(cfg.name);
+    for (const auto& p : cfg.peers) names.insert(p.peer);
+  }
+  std::vector<std::pair<std::string, net::Ipv4Prefix>> kept;
+  for (const auto& a : s.announcements) {
+    if (names.count(a.first) != 0) kept.push_back(a);
+  }
+  s.announcements = std::move(kept);
+  return s;
+}
+
+class Shrinker {
+ public:
+  Shrinker(const Scenario& s, const ShrinkOptions& opt, ShrinkStats* stats)
+      : cur_(s), opt_(opt), stats_(stats) {}
+
+  Scenario run() {
+    bool progress = true;
+    while (progress && !exhausted()) {
+      progress = false;
+      progress |= drop_announcements();
+      progress |= drop_routers();
+      progress |= drop_peers();
+      progress |= drop_policy_clauses();
+      progress |= simplify_clauses();
+      progress |= drop_origination();
+      progress |= simplify_peers();
+      progress |= drop_pool();
+    }
+    return cur_;
+  }
+
+ private:
+  bool exhausted() const {
+    return stats_ != nullptr && stats_->evaluations >= opt_.max_evaluations;
+  }
+
+  // Re-checks a candidate; commits it as the new current iff it still fails.
+  bool try_accept(const Scenario& cand) {
+    if (exhausted()) return false;
+    if (stats_ != nullptr) ++stats_->evaluations;
+    const DiffResult r = diff_scenario(cand, opt_.diff);
+    if (r.config_rejected || r.mismatches.empty()) return false;
+    cur_ = cand;
+    if (stats_ != nullptr) ++stats_->accepted;
+    return true;
+  }
+
+  std::vector<RouterConfig> configs() const {
+    return config::parse_configs(cur_.config_text);
+  }
+
+  bool drop_announcements() {
+    bool any = false;
+    for (std::size_t i = 0; i < cur_.announcements.size();) {
+      Scenario cand = cur_;
+      cand.announcements.erase(cand.announcements.begin() +
+                               static_cast<std::ptrdiff_t>(i));
+      if (try_accept(cand)) {
+        any = true;  // stay at i: the next entry shifted down
+      } else {
+        ++i;
+      }
+    }
+    return any;
+  }
+
+  bool drop_pool() {
+    bool any = false;
+    for (std::size_t i = 0; i < cur_.pool.size();) {
+      Scenario cand = cur_;
+      const auto p = cand.pool[i];
+      cand.pool.erase(cand.pool.begin() + static_cast<std::ptrdiff_t>(i));
+      std::erase_if(cand.announcements,
+                    [&](const auto& a) { return a.second == p; });
+      if (try_accept(cand)) {
+        any = true;
+      } else {
+        ++i;
+      }
+    }
+    return any;
+  }
+
+  bool drop_routers() {
+    bool any = false;
+    for (std::size_t i = 0; i < configs().size();) {
+      auto cfgs = configs();
+      if (cfgs.size() <= 1) break;
+      const std::string name = cfgs[i].name;
+      cfgs.erase(cfgs.begin() + static_cast<std::ptrdiff_t>(i));
+      for (auto& cfg : cfgs) {
+        std::erase_if(cfg.peers, [&](const auto& p) { return p.peer == name; });
+      }
+      if (try_accept(rebuild(cur_, cfgs))) {
+        any = true;
+      } else {
+        ++i;
+      }
+    }
+    return any;
+  }
+
+  bool drop_peers() {
+    bool any = false;
+    for (std::size_t r = 0; r < configs().size(); ++r) {
+      for (std::size_t j = 0; j < configs()[r].peers.size();) {
+        auto cfgs = configs();
+        cfgs[r].peers.erase(cfgs[r].peers.begin() +
+                            static_cast<std::ptrdiff_t>(j));
+        if (try_accept(rebuild(cur_, cfgs))) {
+          any = true;
+        } else {
+          ++j;
+        }
+      }
+    }
+    return any;
+  }
+
+  bool drop_policy_clauses() {
+    bool any = false;
+    for (std::size_t r = 0; r < configs().size(); ++r) {
+      const auto snapshot = configs();
+      for (const auto& [name, pol] : snapshot[r].policies) {
+        for (std::size_t c = 0; c < pol.size();) {
+          auto cfgs = configs();
+          auto& target = cfgs[r].policies[name];
+          if (c >= target.size()) break;
+          target.erase(target.begin() + static_cast<std::ptrdiff_t>(c));
+          if (try_accept(rebuild(cur_, cfgs))) {
+            any = true;
+          } else {
+            ++c;
+          }
+        }
+      }
+    }
+    return any;
+  }
+
+  // Clears individual match conditions and actions inside clauses.
+  bool simplify_clauses() {
+    bool any = false;
+    for (std::size_t r = 0; r < configs().size(); ++r) {
+      const auto snapshot = configs();
+      for (const auto& [name, pol] : snapshot[r].policies) {
+        for (std::size_t c = 0; c < pol.size(); ++c) {
+          for (int field = 0; field < 7; ++field) {
+            auto cfgs = configs();
+            auto it = cfgs[r].policies.find(name);
+            if (it == cfgs[r].policies.end() || c >= it->second.size()) break;
+            auto& cl = it->second[c];
+            bool changed = false;
+            switch (field) {
+              case 0:
+                changed = !cl.match_prefixes.empty();
+                cl.match_prefixes.clear();
+                break;
+              case 1:
+                changed = !cl.match_communities.empty();
+                cl.match_communities.clear();
+                break;
+              case 2:
+                changed = cl.match_as_path.has_value();
+                cl.match_as_path.reset();
+                break;
+              case 3:
+                changed = cl.set_local_preference.has_value();
+                cl.set_local_preference.reset();
+                break;
+              case 4:
+                changed = !cl.add_communities.empty();
+                cl.add_communities.clear();
+                break;
+              case 5:
+                changed = !cl.delete_communities.empty();
+                cl.delete_communities.clear();
+                break;
+              case 6:
+                changed = cl.prepend_as.has_value();
+                cl.prepend_as.reset();
+                break;
+            }
+            if (changed && try_accept(rebuild(cur_, cfgs))) any = true;
+          }
+        }
+      }
+    }
+    return any;
+  }
+
+  bool drop_origination() {
+    bool any = false;
+    for (std::size_t r = 0; r < configs().size(); ++r) {
+      // networks / statics / connected entries, one at a time.
+      for (int kind = 0; kind < 3; ++kind) {
+        for (std::size_t i = 0;; ) {
+          auto cfgs = configs();
+          if (r >= cfgs.size()) break;
+          auto& cfg = cfgs[r];
+          const std::size_t n = kind == 0   ? cfg.networks.size()
+                                : kind == 1 ? cfg.statics.size()
+                                            : cfg.connected.size();
+          if (i >= n) break;
+          if (kind == 0) {
+            cfg.networks.erase(cfg.networks.begin() +
+                               static_cast<std::ptrdiff_t>(i));
+          } else if (kind == 1) {
+            cfg.statics.erase(cfg.statics.begin() +
+                              static_cast<std::ptrdiff_t>(i));
+          } else {
+            cfg.connected.erase(cfg.connected.begin() +
+                                static_cast<std::ptrdiff_t>(i));
+          }
+          if (try_accept(rebuild(cur_, cfgs))) {
+            any = true;  // stay at i: the next entry shifted down
+          } else {
+            ++i;
+          }
+        }
+      }
+      // redistribution flags
+      for (int which = 0; which < 2; ++which) {
+        auto cfgs = configs();
+        if (r >= cfgs.size()) continue;
+        bool& flag = which == 0 ? cfgs[r].redistribute_static
+                                : cfgs[r].redistribute_connected;
+        if (!flag) continue;
+        flag = false;
+        if (try_accept(rebuild(cur_, cfgs))) any = true;
+      }
+    }
+    return any;
+  }
+
+  // Clears per-session decorations (policies, flags).
+  bool simplify_peers() {
+    bool any = false;
+    for (std::size_t r = 0; r < configs().size(); ++r) {
+      for (std::size_t j = 0; j < configs()[r].peers.size(); ++j) {
+        for (int field = 0; field < 5; ++field) {
+          auto cfgs = configs();
+          if (r >= cfgs.size() || j >= cfgs[r].peers.size()) break;
+          auto& st = cfgs[r].peers[j];
+          bool changed = false;
+          switch (field) {
+            case 0:
+              changed = st.import_policy.has_value();
+              st.import_policy.reset();
+              break;
+            case 1:
+              changed = st.export_policy.has_value();
+              st.export_policy.reset();
+              break;
+            case 2:
+              changed = st.advertise_community;
+              st.advertise_community = false;
+              break;
+            case 3:
+              changed = st.advertise_default;
+              st.advertise_default = false;
+              break;
+            case 4:
+              changed = st.rr_client;
+              st.rr_client = false;
+              break;
+          }
+          if (changed && try_accept(rebuild(cur_, cfgs))) any = true;
+        }
+      }
+    }
+    return any;
+  }
+
+  Scenario cur_;
+  ShrinkOptions opt_;
+  ShrinkStats* stats_;
+};
+
+}  // namespace
+
+Scenario shrink(const Scenario& s, const ShrinkOptions& opt,
+                ShrinkStats* stats) {
+  ShrinkStats local;
+  Shrinker sh(s, opt, stats != nullptr ? stats : &local);
+  return sh.run();
+}
+
+}  // namespace expresso::fuzz

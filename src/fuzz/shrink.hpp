@@ -1,0 +1,33 @@
+// Automatic test-case reduction (delta debugging, greedy first-improvement).
+//
+// Given a scenario on which `diff_scenario` reports at least one mismatch,
+// the shrinker repeatedly tries structural reductions — drop a router, an
+// external session, a policy clause, a single match/action, an origination,
+// a pool prefix, an announcement — re-running the differ after each, and
+// keeps a reduction iff the scenario still mismatches (a reduction that gets
+// the config rejected or makes the engines agree is rolled back).  The loop
+// runs to a fixpoint or until the evaluation budget is spent, yielding a
+// minimal self-contained repro.
+#pragma once
+
+#include "fuzz/differ.hpp"
+#include "fuzz/scenario.hpp"
+
+namespace expresso::fuzz {
+
+struct ShrinkOptions {
+  DiffOptions diff;          // how candidates are re-checked
+  int max_evaluations = 400; // differ-run budget
+};
+
+struct ShrinkStats {
+  int evaluations = 0;  // differ runs spent
+  int accepted = 0;     // reductions kept
+};
+
+// Returns the reduced scenario (== `s` if nothing could be removed).
+// Precondition: diff_scenario(s, opt.diff) reports a mismatch.
+Scenario shrink(const Scenario& s, const ShrinkOptions& opt,
+                ShrinkStats* stats = nullptr);
+
+}  // namespace expresso::fuzz

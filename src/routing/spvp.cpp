@@ -1,6 +1,7 @@
 #include "routing/spvp.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cctype>
 
 namespace expresso::routing {
@@ -9,8 +10,22 @@ using net::NodeIndex;
 using net::SessionEdge;
 using symbolic::Learned;
 
+namespace {
+std::atomic<int> g_preference_bug_depth{0};
+}  // namespace
+
+ScopedPreferenceBug::ScopedPreferenceBug() {
+  g_preference_bug_depth.fetch_add(1, std::memory_order_relaxed);
+}
+ScopedPreferenceBug::~ScopedPreferenceBug() {
+  g_preference_bug_depth.fetch_sub(1, std::memory_order_relaxed);
+}
+
 int compare_concrete(const ConcreteRoute& a, const ConcreteRoute& b) {
   if (a.local_pref != b.local_pref) {
+    if (g_preference_bug_depth.load(std::memory_order_relaxed) > 0) {
+      return a.local_pref < b.local_pref ? 1 : -1;  // planted self-test bug
+    }
     return a.local_pref > b.local_pref ? 1 : -1;
   }
   if (a.as_path.size() != b.as_path.size()) {

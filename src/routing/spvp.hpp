@@ -56,6 +56,19 @@ using Environment = std::map<net::NodeIndex, std::vector<Announcement>>;
 // concrete AS-path length.  Returns +1 if a preferred, -1 if b, 0 tie.
 int compare_concrete(const ConcreteRoute& a, const ConcreteRoute& b);
 
+// While any ScopedPreferenceBug is alive, compare_concrete deliberately
+// inverts the local-preference step (prefers the LOWER value).  This exists
+// solely for the differential fuzzer's --self-test mode (src/fuzz): planting
+// a known preference bug into one engine proves the harness detects the
+// resulting EPVP/SPVP disagreement and shrinks it to a minimal repro.
+class ScopedPreferenceBug {
+ public:
+  ScopedPreferenceBug();
+  ~ScopedPreferenceBug();
+  ScopedPreferenceBug(const ScopedPreferenceBug&) = delete;
+  ScopedPreferenceBug& operator=(const ScopedPreferenceBug&) = delete;
+};
+
 class SpvpEngine {
  public:
   explicit SpvpEngine(const net::Network& network);

@@ -1,0 +1,164 @@
+// BDD manager invariants under randomized operation chains.
+//
+// The manager's central promise is canonicity: semantically equal functions
+// get the SAME NodeId, no matter through which chain of ite / quantify /
+// restrict / rename calls they were built, whether caches were dropped in
+// between, and whether the unique table is being used by one thread or
+// striped across eight.  These tests drive random op chains and check
+// algebraic identities (whose two sides are built through different code
+// paths) plus sat-count consistency after every step.  Parameterized over
+// the worker-thread preparation so `ctest -L concurrency` covers the striped
+// table under TSan (see tests/CMakeLists.txt).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "bdd/bdd.hpp"
+#include "support/util.hpp"
+
+namespace expresso::bdd {
+namespace {
+
+class BddInvariantTest : public ::testing::TestWithParam<int> {
+ protected:
+  static constexpr std::uint32_t kVars = 14;  // 0..9 free, 10..13 rename pool
+
+  void prepare(Manager& mgr) {
+    const int threads = GetParam();
+    if (threads > 1) {
+      mgr.prepare_threads(static_cast<std::size_t>(threads));
+      mgr.set_parallel(true);
+    }
+  }
+};
+
+TEST_P(BddInvariantTest, AlgebraicIdentitiesHoldAlongRandomOpChains) {
+  Manager mgr(kVars);
+  prepare(mgr);
+  SplitMix64 rng(0xb00 + static_cast<std::uint64_t>(GetParam()));
+
+  std::vector<NodeId> nodes = {kFalse, kTrue};
+  for (std::uint32_t v = 0; v < 10; ++v) {
+    nodes.push_back(mgr.var(v));
+    nodes.push_back(mgr.nvar(v));
+  }
+  auto pick = [&]() { return nodes[rng.below(nodes.size())]; };
+
+  for (int step = 0; step < 400; ++step) {
+    const NodeId f = pick();
+    const NodeId g = pick();
+    const NodeId h = pick();
+    const auto v = static_cast<std::uint32_t>(rng.below(10));
+
+    switch (rng.below(6)) {
+      case 0: nodes.push_back(mgr.and_(f, g)); break;
+      case 1: nodes.push_back(mgr.or_(f, g)); break;
+      case 2: nodes.push_back(mgr.xor_(f, g)); break;
+      case 3: nodes.push_back(mgr.ite(f, g, h)); break;
+      case 4: nodes.push_back(mgr.exists(f, {v})); break;
+      case 5: nodes.push_back(mgr.restrict_(f, v, rng.chance(1, 2))); break;
+    }
+    const NodeId r = nodes.back();
+
+    // Canonicity: the same function built through different operator chains
+    // must collapse to the same node.
+    EXPECT_EQ(mgr.not_(mgr.not_(r)), r);
+    EXPECT_EQ(mgr.and_(r, r), r);
+    EXPECT_EQ(mgr.or_(r, kFalse), r);
+    EXPECT_EQ(mgr.xor_(r, r), kFalse);
+    EXPECT_EQ(mgr.ite(f, g, h),
+              mgr.or_(mgr.and_(f, g), mgr.and_(mgr.not_(f), h)));
+    EXPECT_EQ(mgr.not_(mgr.and_(f, g)),
+              mgr.or_(mgr.not_(f), mgr.not_(g)));  // De Morgan
+
+    // Quantification agrees with its cofactor expansion.
+    EXPECT_EQ(mgr.exists(r, {v}), mgr.or_(mgr.restrict_(r, v, false),
+                                          mgr.restrict_(r, v, true)));
+    EXPECT_EQ(mgr.forall(r, {v}), mgr.and_(mgr.restrict_(r, v, false),
+                                           mgr.restrict_(r, v, true)));
+    // Quantified-out variables leave the support.
+    for (const std::uint32_t sv : mgr.support(mgr.exists(r, {v}))) {
+      EXPECT_NE(sv, v);
+    }
+  }
+}
+
+TEST_P(BddInvariantTest, SatCountsStayConsistent) {
+  Manager mgr(kVars);
+  prepare(mgr);
+  SplitMix64 rng(0xc0de + static_cast<std::uint64_t>(GetParam()));
+  const double total = std::pow(2.0, kVars);
+
+  std::vector<NodeId> nodes;
+  for (std::uint32_t v = 0; v < 10; ++v) nodes.push_back(mgr.var(v));
+  for (int step = 0; step < 200; ++step) {
+    const NodeId f = nodes[rng.below(nodes.size())];
+    const NodeId g = nodes[rng.below(nodes.size())];
+    nodes.push_back(rng.chance(1, 2) ? mgr.and_(f, g) : mgr.xor_(f, g));
+    const NodeId r = nodes.back();
+
+    // Complement and inclusion-exclusion.
+    EXPECT_DOUBLE_EQ(mgr.sat_count(r) + mgr.sat_count(mgr.not_(r)), total);
+    EXPECT_DOUBLE_EQ(
+        mgr.sat_count(mgr.or_(f, g)),
+        mgr.sat_count(f) + mgr.sat_count(g) - mgr.sat_count(mgr.and_(f, g)));
+
+    // sat_one returns a model that actually satisfies the function.
+    std::vector<std::int8_t> assignment;
+    if (mgr.sat_one(r, assignment)) {
+      NodeId check = r;
+      for (std::uint32_t v = 0; v < kVars; ++v) {
+        if (assignment[v] >= 0) {
+          check = mgr.restrict_(check, v, assignment[v] == 1);
+        }
+      }
+      EXPECT_EQ(check, kTrue);
+    } else {
+      EXPECT_EQ(r, kFalse);
+    }
+  }
+}
+
+TEST_P(BddInvariantTest, RenameChainsPreserveCanonicity) {
+  Manager mgr(kVars);
+  prepare(mgr);
+  SplitMix64 rng(0x4e4a + static_cast<std::uint64_t>(GetParam()));
+
+  for (int round = 0; round < 50; ++round) {
+    // A random function over vars 0..3.
+    NodeId f = kTrue;
+    for (std::uint32_t v = 0; v < 4; ++v) {
+      const NodeId lit = rng.chance(1, 2) ? mgr.var(v) : mgr.nvar(v);
+      f = rng.chance(1, 2) ? mgr.and_(f, lit) : mgr.xor_(f, lit);
+    }
+    // Rename 0..3 -> 10..13 and back; must land on the identical node, and
+    // the intermediate must have the renamed support and same model count.
+    const NodeId up = mgr.rename(f, {{0, 10}, {1, 11}, {2, 12}, {3, 13}});
+    EXPECT_DOUBLE_EQ(mgr.sat_count(up), mgr.sat_count(f));
+    for (const std::uint32_t sv : mgr.support(up)) EXPECT_GE(sv, 10u);
+    const NodeId down = mgr.rename(up, {{10, 0}, {11, 1}, {12, 2}, {13, 3}});
+    EXPECT_EQ(down, f);
+  }
+}
+
+TEST_P(BddInvariantTest, CanonicitySurvivesCacheClears) {
+  Manager mgr(kVars);
+  prepare(mgr);
+  const NodeId a = mgr.var(0);
+  const NodeId b = mgr.var(1);
+  const NodeId c = mgr.var(2);
+  const NodeId before = mgr.ite(a, b, mgr.and_(c, mgr.not_(b)));
+  mgr.clear_caches();
+  const NodeId after = mgr.ite(a, b, mgr.and_(c, mgr.not_(b)));
+  EXPECT_EQ(before, after);
+  EXPECT_EQ(mgr.node_count(before), mgr.node_count(after));
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, BddInvariantTest, ::testing::Values(1, 8),
+                         [](const auto& info) {
+                           return "threads" + std::to_string(info.param);
+                         });
+
+}  // namespace
+}  // namespace expresso::bdd

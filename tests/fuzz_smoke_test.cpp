@@ -1,0 +1,134 @@
+// Bounded smoke mode of the differential fuzzer (ctest label "fuzz").
+//
+// Four fixed-seed shards of 150 scenarios each (600 total) must produce zero
+// EPVP/SPVP/baseline mismatches; one shard runs the symbolic engine with two
+// worker threads to keep the parallel pipeline inside the oracle loop.  The
+// self-test plants a deliberate preference-comparison bug into the concrete
+// oracle and requires the harness to detect it and shrink a repro to at most
+// five nodes.  Long campaigns: `expresso_fuzz --runs 100000` (TESTING.md).
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "config/parser.hpp"
+#include "fuzz/campaign.hpp"
+#include "fuzz/differ.hpp"
+#include "fuzz/generator.hpp"
+#include "fuzz/scenario.hpp"
+#include "fuzz/shrink.hpp"
+#include "net/network.hpp"
+
+namespace expresso::fuzz {
+namespace {
+
+class FuzzSmokeTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FuzzSmokeTest, CampaignFindsNoMismatches) {
+  CampaignOptions opt;
+  opt.seed = 0xe4b0550 + GetParam();
+  opt.runs = 150;
+  // One shard exercises the threaded symbolic pipeline inside the differ.
+  opt.diff.threads = GetParam() == 3 ? 2 : 1;
+  const CampaignStats st = run_campaign(opt);
+  EXPECT_EQ(st.runs, opt.runs);
+  EXPECT_EQ(st.rejected, 0);
+  EXPECT_GT(st.baselines_checked, 0);
+  EXPECT_EQ(st.mismatched, 0);
+  for (const auto& f : st.failures) {
+    ADD_FAILURE() << "shrunk repro:\n" << to_repro(f.shrunk, f.notes);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shards, FuzzSmokeTest,
+                         ::testing::Range<std::uint64_t>(0, 4));
+
+TEST(FuzzSelfTest, PlantedPreferenceBugIsDetectedAndShrunk) {
+  CampaignOptions opt;
+  opt.seed = 5;
+  opt.runs = 100;
+  opt.max_failures = 1;
+  opt.diff.plant_preference_bug = true;
+  const CampaignStats st = run_campaign(opt);
+  ASSERT_FALSE(st.failures.empty())
+      << "the planted preference bug was not detected";
+  const Failure& f = st.failures.front();
+
+  // The shrunk scenario still exposes the bug...
+  DiffOptions with_bug;
+  with_bug.plant_preference_bug = true;
+  EXPECT_FALSE(diff_scenario(f.shrunk, with_bug).mismatches.empty());
+  // ...and is clean on the unmodified engines.
+  EXPECT_TRUE(diff_scenario(f.shrunk, DiffOptions{}).agreed());
+
+  // Minimality: at most 5 nodes (internal routers + external neighbors).
+  const auto network =
+      net::Network::build(config::parse_configs(f.shrunk.config_text));
+  EXPECT_LE(network.nodes().size(), 5u)
+      << "shrunk repro:\n" << to_repro(f.shrunk, f.notes);
+}
+
+TEST(FuzzRepro, RoundTripsByteIdentically) {
+  for (std::uint64_t seed : {1ull, 17ull, 123456789ull}) {
+    const Scenario s = generate_scenario(seed);
+    const std::string text =
+        to_repro(s, {"note one", "a\nmulti-line\nnote"});
+    const Scenario back = parse_repro(text);
+    EXPECT_TRUE(back == s) << text;
+    EXPECT_EQ(to_repro(back), to_repro(s));
+  }
+}
+
+TEST(FuzzRepro, RejectsMalformedInput) {
+  EXPECT_THROW(parse_repro("seed 1\n"), std::runtime_error);  // no config
+  EXPECT_THROW(parse_repro("bogus directive\nconfig <<<\n>>>\n"),
+               std::runtime_error);
+  EXPECT_THROW(parse_repro("pool not-a-prefix\nconfig <<<\n>>>\n"),
+               std::runtime_error);
+  EXPECT_THROW(parse_repro("config <<<\nrouter R0\n"),  // unterminated
+               std::runtime_error);
+}
+
+TEST(FuzzDeterminism, GenerationIsAPureFunctionOfSeed) {
+  for (std::uint64_t seed : {0ull, 42ull, 0xdeadbeefull}) {
+    EXPECT_TRUE(generate_scenario(seed) == generate_scenario(seed));
+  }
+}
+
+TEST(FuzzDeterminism, CampaignsReplayByteIdenticallyAcrossThreadCounts) {
+  CampaignOptions opt;
+  opt.seed = 5;
+  opt.runs = 40;
+  opt.max_failures = 2;
+  opt.diff.plant_preference_bug = true;  // guarantees failures to compare
+  const CampaignStats a = run_campaign(opt);
+  opt.diff.threads = 2;
+  const CampaignStats b = run_campaign(opt);
+  EXPECT_EQ(a.agreed, b.agreed);
+  EXPECT_EQ(a.mismatched, b.mismatched);
+  ASSERT_EQ(a.failures.size(), b.failures.size());
+  ASSERT_FALSE(a.failures.empty());
+  for (std::size_t i = 0; i < a.failures.size(); ++i) {
+    EXPECT_EQ(to_repro(a.failures[i].original, a.failures[i].notes),
+              to_repro(b.failures[i].original, b.failures[i].notes));
+    EXPECT_EQ(to_repro(a.failures[i].shrunk), to_repro(b.failures[i].shrunk));
+  }
+}
+
+TEST(FuzzDiffer, RejectsWhatItCannotCompareSoundly) {
+  Scenario s;
+  s.seed = 1;
+  s.config_text =
+      "router R0\n bgp as 65000\n bgp aggregate 10.0.0.0/8\n"
+      " bgp peer ISPa AS 100\n";
+  const DiffResult r = diff_scenario(s, DiffOptions{});
+  EXPECT_TRUE(r.config_rejected);
+  EXPECT_FALSE(r.compared);
+
+  Scenario bad;
+  bad.seed = 2;
+  bad.config_text = "router R0\n bgp as 65000\nrouter R0\n bgp as 65000\n";
+  EXPECT_TRUE(diff_scenario(bad, DiffOptions{}).config_rejected);
+}
+
+}  // namespace
+}  // namespace expresso::fuzz

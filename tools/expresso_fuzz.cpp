@@ -1,0 +1,213 @@
+// expresso_fuzz — differential-fuzzing CLI.
+//
+// Campaign mode (default): generate --runs scenarios from --seed, diff each
+// across EPVP / SPVP / the SAT + enumeration baselines, shrink failures, and
+// write one self-contained repro file per failure into --out.  The campaign
+// is a pure function of (--seed, --runs, --max-nodes): reruns are
+// byte-identical (--threads only parallelizes inside the symbolic engine).
+//
+// Replay mode: --replay FILE re-checks one repro file (shrinking further if
+// it still fails and --shrink 1).
+//
+// Self-test mode: --self-test plants a deliberate preference-comparison bug
+// into the concrete oracle; the run *succeeds* (exit 0) iff the harness
+// detects the planted bug and shrinks a repro.
+//
+// Exit codes: 0 = clean campaign (or self-test caught the planted bug),
+// 1 = mismatches found (or self-test failed to find any), 2 = usage/IO error.
+//
+// With EXPRESSO_BENCH_JSON=1, campaign statistics are also emitted as a
+// machine-readable `JSON {...}` line (bench/bench_util.hpp convention).
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "bench_util.hpp"
+#include "fuzz/campaign.hpp"
+#include "fuzz/differ.hpp"
+#include "fuzz/scenario.hpp"
+#include "fuzz/shrink.hpp"
+
+namespace {
+
+void usage() {
+  std::fprintf(stderr,
+               "usage: expresso_fuzz [--seed N] [--runs N] [--max-nodes N]\n"
+               "                     [--shrink 0|1] [--threads N] [--out DIR]\n"
+               "                     [--no-baselines] [--self-test]\n"
+               "                     [--replay FILE]\n");
+}
+
+struct Args {
+  std::uint64_t seed = 1;
+  int runs = 200;
+  int max_nodes = 7;
+  bool shrink = true;
+  int threads = 1;
+  std::string out = ".";
+  bool baselines = true;
+  bool self_test = false;
+  std::string replay;
+};
+
+bool parse_args(int argc, char** argv, Args& a) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--seed") {
+      const char* v = value();
+      if (v == nullptr) return false;
+      a.seed = std::stoull(v);
+    } else if (arg == "--runs") {
+      const char* v = value();
+      if (v == nullptr) return false;
+      a.runs = std::stoi(v);
+    } else if (arg == "--max-nodes") {
+      const char* v = value();
+      if (v == nullptr) return false;
+      a.max_nodes = std::stoi(v);
+      if (a.max_nodes < 2) a.max_nodes = 2;
+    } else if (arg == "--shrink") {
+      const char* v = value();
+      if (v == nullptr) return false;
+      a.shrink = std::strcmp(v, "0") != 0;
+    } else if (arg == "--threads") {
+      const char* v = value();
+      if (v == nullptr) return false;
+      a.threads = std::stoi(v);
+    } else if (arg == "--out") {
+      const char* v = value();
+      if (v == nullptr) return false;
+      a.out = v;
+    } else if (arg == "--no-baselines") {
+      a.baselines = false;
+    } else if (arg == "--self-test") {
+      a.self_test = true;
+    } else if (arg == "--replay") {
+      const char* v = value();
+      if (v == nullptr) return false;
+      a.replay = v;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+expresso::fuzz::DiffOptions diff_options(const Args& a) {
+  expresso::fuzz::DiffOptions d;
+  d.threads = a.threads;
+  d.check_baselines = a.baselines;
+  d.plant_preference_bug = a.self_test;
+  return d;
+}
+
+int replay(const Args& a) {
+  std::ifstream in(a.replay);
+  if (!in) {
+    std::fprintf(stderr, "cannot read %s\n", a.replay.c_str());
+    return 2;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  expresso::fuzz::Scenario s;
+  try {
+    s = expresso::fuzz::parse_repro(buf.str());
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s: %s\n", a.replay.c_str(), e.what());
+    return 2;
+  }
+  const auto r = expresso::fuzz::diff_scenario(s, diff_options(a));
+  for (const auto& line : expresso::fuzz::describe(r)) {
+    std::printf("%s\n", line.c_str());
+  }
+  if (r.config_rejected || !r.compared) return 2;
+  if (r.mismatches.empty()) return 0;
+  if (a.shrink) {
+    expresso::fuzz::ShrinkOptions sopt;
+    sopt.diff = diff_options(a);
+    expresso::fuzz::ShrinkStats ss;
+    const auto small = expresso::fuzz::shrink(s, sopt, &ss);
+    std::printf("--- shrunk (%d evaluations, %d reductions) ---\n%s",
+                ss.evaluations, ss.accepted,
+                expresso::fuzz::to_repro(small, {}).c_str());
+  }
+  return 1;
+}
+
+int campaign(const Args& a) {
+  expresso::fuzz::CampaignOptions opt;
+  opt.seed = a.seed;
+  opt.runs = a.runs;
+  opt.diff = diff_options(a);
+  opt.shrink = a.shrink;
+  // Split the node budget between internal routers and external neighbors.
+  opt.gen.max_routers = (a.max_nodes + 1) / 2;
+  opt.gen.max_externals = a.max_nodes - opt.gen.max_routers;
+  if (opt.gen.max_externals < 1) opt.gen.max_externals = 1;
+
+  const auto stats = expresso::fuzz::run_campaign(opt);
+
+  int written = 0;
+  for (const auto& f : stats.failures) {
+    const std::string path = a.out + "/fuzz_repro_" + std::to_string(a.seed) +
+                             "_" + std::to_string(written) + ".txt";
+    std::ofstream out(path);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", path.c_str());
+      return 2;
+    }
+    out << expresso::fuzz::to_repro(f.shrunk, f.notes);
+    std::printf("mismatch: repro written to %s\n", path.c_str());
+    ++written;
+  }
+
+  std::printf(
+      "fuzz campaign: seed=%llu runs=%d agreed=%d mismatched=%d rejected=%d "
+      "not_converged=%d baselines_checked=%d shrink_evals=%d %.1fs\n",
+      static_cast<unsigned long long>(a.seed), stats.runs, stats.agreed,
+      stats.mismatched, stats.rejected, stats.not_converged,
+      stats.baselines_checked, stats.shrink_evaluations, stats.seconds);
+  benchutil::JsonRow("fuzz")
+      .num("seed", static_cast<std::size_t>(a.seed))
+      .num("runs", static_cast<std::size_t>(stats.runs))
+      .num("agreed", static_cast<std::size_t>(stats.agreed))
+      .num("mismatched", static_cast<std::size_t>(stats.mismatched))
+      .num("rejected", static_cast<std::size_t>(stats.rejected))
+      .num("not_converged", static_cast<std::size_t>(stats.not_converged))
+      .num("baselines_checked",
+           static_cast<std::size_t>(stats.baselines_checked))
+      .num("shrink_evaluations",
+           static_cast<std::size_t>(stats.shrink_evaluations))
+      .num("seconds", stats.seconds)
+      .boolean("self_test", a.self_test)
+      .emit();
+
+  if (a.self_test) {
+    // The planted bug must surface: a clean self-test run is the failure.
+    if (stats.mismatched > 0) {
+      std::printf("self-test: planted preference bug detected\n");
+      return 0;
+    }
+    std::printf("self-test FAILED: planted bug not detected\n");
+    return 1;
+  }
+  return stats.mismatched == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args a;
+  if (!parse_args(argc, argv, a)) {
+    usage();
+    return 2;
+  }
+  if (!a.replay.empty()) return replay(a);
+  return campaign(a);
+}
