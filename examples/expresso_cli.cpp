@@ -95,10 +95,11 @@ int main(int argc, char** argv) {
     }
 
     const auto& st = v.stats();
-    std::cout << "stages: SRC " << st.src_seconds << "s ("
-              << st.epvp_iterations << " iterations"
-              << (st.converged ? "" : ", NOT CONVERGED") << "), SPF "
-              << st.spf_seconds << "s, " << st.total_pecs << " PECs\n";
+    std::cout << "stages: parse " << st.parse_seconds << "s, SRC "
+              << st.src_seconds << "s (" << st.epvp_iterations
+              << " iterations" << (st.converged ? "" : ", NOT CONVERGED")
+              << (st.warm ? ", warm" : "") << "), SPF " << st.spf_seconds
+              << "s, " << st.total_pecs << " PECs\n";
 
     for (std::size_t i = 0; i < all.size() && i < max_violations; ++i) {
       std::cout << "\n" << v.describe(all[i]) << "\n";

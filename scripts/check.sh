@@ -24,7 +24,12 @@ esac
 # so its campaign output is visible separately).
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS" -LE fuzz
 
-# Differential-fuzz smoke: fixed-seed campaigns + planted-bug self-test.
-ctest --test-dir "$BUILD_DIR" --output-on-failure -L fuzz
+# Incremental re-verification equivalence: warm Session::update() checked
+# bit-identical against cold runs across fuzzed single-router edits.
+ctest --test-dir "$BUILD_DIR" --output-on-failure -L incremental
+
+# Differential-fuzz smoke: fixed-seed campaigns + planted-bug self-test
+# (the incremental campaign carries both labels; skip its second run).
+ctest --test-dir "$BUILD_DIR" --output-on-failure -L fuzz -LE incremental
 
 echo "check.sh: all green ($PRESET)"

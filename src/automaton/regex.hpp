@@ -48,6 +48,13 @@ class AsAlphabet {
   std::string name(Symbol s) const;
   std::vector<std::string> names() const;
 
+  // Same symbol numbering: the interned ASNs agree in order (and hence every
+  // symbol_for / compiled DFA built against one alphabet is valid against the
+  // other).  Session reuse of the symbolic universe hinges on this.
+  bool operator==(const AsAlphabet& other) const {
+    return asns_ == other.asns_ && frozen_ == other.frozen_;
+  }
+
  private:
   std::unordered_map<std::uint32_t, Symbol> index_;
   std::vector<std::uint32_t> asns_;

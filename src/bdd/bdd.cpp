@@ -4,6 +4,7 @@
 #include <cassert>
 #include <cmath>
 #include <sstream>
+#include <unordered_map>
 
 #include "support/thread_pool.hpp"
 
@@ -458,6 +459,35 @@ std::string Manager::to_string(NodeId f,
   }
   if (cs.size() == 8) os << " | ...";
   return os.str();
+}
+
+bool structurally_equal(const Manager& ma, NodeId a, const Manager& mb,
+                        NodeId b) {
+  // Terminals are fixed ids in every manager.
+  if (a <= kTrue || b <= kTrue) return a == b;
+  if (&ma == &mb) return a == b;  // hash-consed: same manager, same id
+  // Memoized pairwise descent.  Positive results are cached; a mismatch
+  // anywhere aborts the whole comparison, so no negative cache is needed.
+  std::unordered_map<std::uint64_t, bool> memo;
+  std::vector<std::pair<NodeId, NodeId>> stack{{a, b}};
+  while (!stack.empty()) {
+    const auto [x, y] = stack.back();
+    stack.pop_back();
+    if (x <= kTrue || y <= kTrue) {
+      if (x != y) return false;
+      continue;
+    }
+    const std::uint64_t key =
+        (static_cast<std::uint64_t>(x) << 32) | static_cast<std::uint64_t>(y);
+    if (memo.count(key)) continue;
+    memo.emplace(key, true);
+    const Manager::NodeRef nx = ma.at(x);
+    const Manager::NodeRef ny = mb.at(y);
+    if (nx.var != ny.var) return false;
+    stack.emplace_back(nx.lo, ny.lo);
+    stack.emplace_back(nx.hi, ny.hi);
+  }
+  return true;
 }
 
 }  // namespace expresso::bdd

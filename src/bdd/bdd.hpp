@@ -144,6 +144,19 @@ class Manager {
   // Drops the operation caches (unique table and nodes are kept).
   void clear_caches();
 
+  // Read-only view of one node's triple (terminals have var == num_vars
+  // sentinels from construction; callers must not pass terminal ids).
+  // Used by cross-manager structural comparison.
+  struct NodeRef {
+    std::uint32_t var;
+    NodeId lo;
+    NodeId hi;
+  };
+  NodeRef at(NodeId id) const {
+    const Node& n = node(id);
+    return {n.var, n.lo, n.hi};
+  }
+
   // Pretty-prints f as a disjunction of cubes using `var_name` to label
   // variables; "⊤"/"⊥" for terminals.  For tests and examples.
   std::string to_string(NodeId f,
@@ -227,5 +240,14 @@ class Manager {
 
   std::vector<std::unique_ptr<ThreadCache>> tls_;
 };
+
+// True iff `a` (in manager `ma`) and `b` (in manager `mb`) denote the same
+// boolean function.  Both managers must use the same variable order (they
+// always do here — variable index order); ROBDD canonicity then makes
+// semantic equality the same as graph isomorphism, which this checks by
+// memoized parallel descent.  Used by tests comparing artifacts of two
+// independent sessions (e.g. warm-start vs cold-run equivalence).
+bool structurally_equal(const Manager& ma, NodeId a, const Manager& mb,
+                        NodeId b);
 
 }  // namespace expresso::bdd

@@ -1,0 +1,169 @@
+#include "config/hash.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace expresso::config {
+
+namespace {
+
+// FNV-1a style accumulator with a splitmix finalizer on word boundaries.
+// Field tags keep adjacent fields from aliasing (e.g. an empty vector
+// followed by value v hashes differently from v followed by an empty
+// vector).
+class Hasher {
+ public:
+  void u64(std::uint64_t v) {
+    state_ ^= mix(v + 0x9e3779b97f4a7c15ULL);
+    state_ *= 0x100000001b3ULL;
+  }
+  void u32(std::uint32_t v) { u64(v); }
+  void boolean(bool v) { u64(v ? 0x9ae16a3b2f90404fULL : 0xc949d7c7509e6557ULL); }
+  void str(const std::string& s) {
+    u64(s.size());
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (unsigned char c : s) {
+      h ^= c;
+      h *= 0x100000001b3ULL;
+    }
+    u64(h);
+  }
+  void tag(std::uint64_t t) { u64(t ^ 0x2545f4914f6cdd1dULL); }
+  std::uint64_t digest() const { return mix(state_); }
+
+ private:
+  static std::uint64_t mix(std::uint64_t z) {
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+  std::uint64_t state_ = 0x9ddfea08eb382d69ULL;
+};
+
+void hash_prefix(Hasher& h, const net::Ipv4Prefix& p) {
+  h.u32(p.addr);
+  h.u32(p.len);
+}
+
+void hash_clause(Hasher& h, const PolicyClause& c) {
+  h.tag(1);
+  h.boolean(c.permit);
+  h.u32(c.node);
+  h.u64(c.match_prefixes.size());
+  for (const auto& m : c.match_prefixes) {
+    hash_prefix(h, m.base);
+    h.u32(m.ge);
+    h.u32(m.le);
+  }
+  h.u64(c.match_communities.size());
+  for (const auto& m : c.match_communities) h.str(m.pattern());
+  h.boolean(c.match_as_path.has_value());
+  if (c.match_as_path) h.str(*c.match_as_path);
+  h.boolean(c.set_local_preference.has_value());
+  if (c.set_local_preference) h.u32(*c.set_local_preference);
+  h.u64(c.add_communities.size());
+  for (const auto& cm : c.add_communities) {
+    h.u32((static_cast<std::uint32_t>(cm.high) << 16) | cm.low);
+  }
+  h.u64(c.delete_communities.size());
+  for (const auto& cm : c.delete_communities) {
+    h.u32((static_cast<std::uint32_t>(cm.high) << 16) | cm.low);
+  }
+  h.boolean(c.prepend_as.has_value());
+  if (c.prepend_as) h.u32(*c.prepend_as);
+}
+
+void hash_policy(Hasher& h, const RoutePolicy& policy) {
+  h.u64(policy.size());
+  for (const auto& clause : policy) hash_clause(h, clause);
+}
+
+}  // namespace
+
+std::uint64_t ast_hash(const RoutePolicy& policy) {
+  Hasher h;
+  hash_policy(h, policy);
+  return h.digest();
+}
+
+std::uint64_t ast_hash(const RouterConfig& cfg) {
+  Hasher h;
+  h.str(cfg.name);
+  h.u32(cfg.asn);
+  h.tag(2);
+  h.u64(cfg.networks.size());
+  for (const auto& p : cfg.networks) hash_prefix(h, p);
+  h.u64(cfg.aggregates.size());
+  for (const auto& p : cfg.aggregates) hash_prefix(h, p);
+  h.u64(cfg.statics.size());
+  for (const auto& s : cfg.statics) {
+    hash_prefix(h, s.prefix);
+    h.str(s.next_hop);
+  }
+  h.u64(cfg.connected.size());
+  for (const auto& p : cfg.connected) hash_prefix(h, p);
+  h.boolean(cfg.redistribute_static);
+  h.boolean(cfg.redistribute_connected);
+  h.tag(3);
+  h.u64(cfg.policies.size());
+  for (const auto& [name, policy] : cfg.policies) {  // std::map: sorted
+    h.str(name);
+    hash_policy(h, policy);
+  }
+  h.tag(4);
+  h.u64(cfg.peers.size());
+  for (const auto& p : cfg.peers) {
+    h.str(p.peer);
+    h.u32(p.peer_as);
+    h.boolean(p.import_policy.has_value());
+    if (p.import_policy) h.str(*p.import_policy);
+    h.boolean(p.export_policy.has_value());
+    if (p.export_policy) h.str(*p.export_policy);
+    h.boolean(p.advertise_community);
+    h.boolean(p.rr_client);
+    h.boolean(p.advertise_default);
+  }
+  return h.digest();
+}
+
+std::uint64_t snapshot_hash(const std::vector<RouterConfig>& cfgs) {
+  // XOR of per-router digests: commutative, so reordering routers in the
+  // file does not produce a "new" snapshot.
+  std::uint64_t acc = 0x51afd7ed558ccd6dULL;
+  for (const auto& cfg : cfgs) acc ^= ast_hash(cfg);
+  return acc;
+}
+
+std::uint64_t text_hash(const std::string& text) {
+  Hasher h;
+  h.str(text);
+  return h.digest();
+}
+
+ConfigDelta diff_configs(const std::vector<RouterConfig>& before,
+                         const std::vector<RouterConfig>& after) {
+  ConfigDelta d;
+  std::map<std::string, std::uint64_t> old_hash;
+  for (const auto& cfg : before) old_hash[cfg.name] = ast_hash(cfg);
+  std::map<std::string, bool> seen;
+  for (const auto& cfg : after) {
+    auto it = old_hash.find(cfg.name);
+    if (it == old_hash.end()) {
+      d.added.push_back(cfg.name);
+    } else if (it->second != ast_hash(cfg)) {
+      d.changed.push_back(cfg.name);
+    } else {
+      ++d.unchanged;
+    }
+    seen[cfg.name] = true;
+  }
+  for (const auto& cfg : before) {
+    if (!seen.count(cfg.name)) d.removed.push_back(cfg.name);
+  }
+  std::sort(d.added.begin(), d.added.end());
+  std::sort(d.removed.begin(), d.removed.end());
+  std::sort(d.changed.begin(), d.changed.end());
+  return d;
+}
+
+}  // namespace expresso::config

@@ -1,0 +1,52 @@
+// Stable content hashing and structural diffing of configuration ASTs.
+//
+// Every artifact of the staged verification pipeline (expresso::Session) is
+// keyed by a hash of the inputs that produced it.  The hashes here are
+// *content* hashes of the AST — computed field-by-field, independent of
+// pointer values, map iteration incidentals, or the textual whitespace of the
+// source config — so that re-parsing byte-different but structurally equal
+// text yields the same key, and a one-router edit changes exactly that
+// router's key.
+//
+// diff_configs() is the entry point of delta-aware invalidation: it matches
+// routers of two snapshots by name and classifies each as added, removed,
+// changed (name present in both, AST hash differs) or unchanged.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "config/ast.hpp"
+
+namespace expresso::config {
+
+// 64-bit content hash of one policy (clause list, in order).
+std::uint64_t ast_hash(const RoutePolicy& policy);
+// 64-bit content hash of one router's full configuration.
+std::uint64_t ast_hash(const RouterConfig& cfg);
+// Order-insensitive combination over a snapshot: routers hash by (name,
+// ast_hash) so a pure reordering of the config file is not a change.
+std::uint64_t snapshot_hash(const std::vector<RouterConfig>& cfgs);
+// Hash of raw text (parse-stage key).
+std::uint64_t text_hash(const std::string& text);
+
+// Structural diff of two snapshots, matched by router name.
+struct ConfigDelta {
+  std::vector<std::string> added;    // routers only in the new snapshot
+  std::vector<std::string> removed;  // routers only in the old snapshot
+  std::vector<std::string> changed;  // present in both, AST hash differs
+  std::size_t unchanged = 0;
+
+  bool empty() const {
+    return added.empty() && removed.empty() && changed.empty();
+  }
+  // The router set is identical — only existing routers were edited.  This is
+  // the precondition for node-index-stable artifact reuse.
+  bool same_router_set() const { return added.empty() && removed.empty(); }
+};
+
+ConfigDelta diff_configs(const std::vector<RouterConfig>& before,
+                         const std::vector<RouterConfig>& after);
+
+}  // namespace expresso::config

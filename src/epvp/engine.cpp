@@ -4,6 +4,9 @@
 #include <atomic>
 #include <cctype>
 #include <sstream>
+#include <stdexcept>
+
+#include "config/hash.hpp"
 
 namespace expresso::epvp {
 
@@ -16,19 +19,88 @@ using symbolic::Learned;
 using symbolic::Source;
 using symbolic::SymbolicRoute;
 
+automaton::AsAlphabet build_alphabet(const net::Network& net) {
+  automaton::AsAlphabet alphabet;
+  for (const auto& node : net.nodes()) alphabet.intern(node.asn);
+  for (const auto& cfg : net.configs()) {
+    for (const auto& p : cfg.peers) alphabet.intern(p.peer_as);
+    for (const auto& [name, pol] : cfg.policies) {
+      (void)name;
+      for (const auto& clause : pol) {
+        if (clause.prepend_as) alphabet.intern(*clause.prepend_as);
+        if (clause.match_as_path) {
+          // Intern every number in the regex.
+          const std::string& s = *clause.match_as_path;
+          std::uint64_t v = 0;
+          bool in_num = false;
+          for (std::size_t i = 0; i <= s.size(); ++i) {
+            if (i < s.size() && std::isdigit(static_cast<unsigned char>(s[i]))) {
+              v = v * 10 + (s[i] - '0');
+              in_num = true;
+            } else {
+              if (in_num) alphabet.intern(static_cast<std::uint32_t>(v));
+              v = 0;
+              in_num = false;
+            }
+          }
+        }
+      }
+    }
+  }
+  alphabet.freeze();
+  return alphabet;
+}
+
 Engine::Engine(const net::Network& network, Options options)
     : net_(network), options_(options) {
   threads_ = options_.threads > 0 ? options_.threads
                                   : support::env_thread_count();
-  build_alphabet();
-  atomizer_ = std::make_unique<symbolic::CommunityAtomizer>(net_.configs());
-  enc_ = std::make_unique<symbolic::Encoding>(net_.num_external(),
-                                              atomizer_->num_atoms());
+  owned_alphabet_ =
+      std::make_unique<automaton::AsAlphabet>(build_alphabet(net_));
+  owned_atomizer_ = std::make_unique<symbolic::CommunityAtomizer>(
+      net_.configs());
+  owned_enc_ = std::make_unique<symbolic::Encoding>(
+      net_.num_external(), owned_atomizer_->num_atoms());
+  owned_policies_ = std::make_unique<policy::PolicyCache>();
+  owned_first_as_ = std::make_unique<FirstAsCache>();
   if (threads_ > 1) {
-    pool_ = std::make_unique<support::ThreadPool>(threads_);
-    enc_->mgr().prepare_threads(static_cast<std::size_t>(threads_));
-    enc_->mgr().set_parallel(true);
+    owned_pool_ = std::make_unique<support::ThreadPool>(threads_);
+    owned_enc_->mgr().prepare_threads(static_cast<std::size_t>(threads_));
+    owned_enc_->mgr().set_parallel(true);
   }
+  alphabet_ = owned_alphabet_.get();
+  atomizer_ = owned_atomizer_.get();
+  enc_ = owned_enc_.get();
+  policies_ = owned_policies_.get();
+  first_as_cache_ = owned_first_as_.get();
+  pool_ = owned_pool_.get();
+  initialize();
+  precompile();
+}
+
+Engine::Engine(const net::Network& network, Options options,
+               const SharedState& shared)
+    : net_(network), options_(options) {
+  if (!shared.alphabet || !shared.atomizer || !shared.enc) {
+    throw std::invalid_argument("Engine: incomplete SharedState");
+  }
+  threads_ = shared.threads > 0 ? shared.threads : 1;
+  alphabet_ = shared.alphabet;
+  atomizer_ = shared.atomizer;
+  enc_ = shared.enc;
+  if (shared.policies) {
+    policies_ = shared.policies;
+  } else {
+    owned_policies_ = std::make_unique<policy::PolicyCache>();
+    policies_ = owned_policies_.get();
+  }
+  if (shared.first_as_cache) {
+    first_as_cache_ = shared.first_as_cache;
+  } else {
+    owned_first_as_ = std::make_unique<FirstAsCache>();
+    first_as_cache_ = owned_first_as_.get();
+  }
+  pool_ = shared.pool;
   initialize();
   precompile();
 }
@@ -45,42 +117,13 @@ void Engine::precompile() {
     }
   }
   for (NodeIndex u : net_.external_nodes()) {
-    const automaton::Symbol s = alphabet_.symbol_for(net_.node(u).asn);
-    if (first_as_cache_.find(s) == first_as_cache_.end()) {
-      first_as_cache_.emplace(
-          s, automaton::Dfa::universe(alphabet_.size()).prepend(s));
+    const automaton::Symbol s = alphabet_->symbol_for(net_.node(u).asn);
+    if (first_as_cache_->find(s) == first_as_cache_->end()) {
+      first_as_cache_->emplace(
+          s, automaton::Dfa::universe(alphabet_->size()).prepend(s));
     }
   }
-}
-
-void Engine::build_alphabet() {
-  for (const auto& node : net_.nodes()) alphabet_.intern(node.asn);
-  for (const auto& cfg : net_.configs()) {
-    for (const auto& p : cfg.peers) alphabet_.intern(p.peer_as);
-    for (const auto& [name, pol] : cfg.policies) {
-      (void)name;
-      for (const auto& clause : pol) {
-        if (clause.prepend_as) alphabet_.intern(*clause.prepend_as);
-        if (clause.match_as_path) {
-          // Intern every number in the regex.
-          const std::string& s = *clause.match_as_path;
-          std::uint64_t v = 0;
-          bool in_num = false;
-          for (std::size_t i = 0; i <= s.size(); ++i) {
-            if (i < s.size() && std::isdigit(static_cast<unsigned char>(s[i]))) {
-              v = v * 10 + (s[i] - '0');
-              in_num = true;
-            } else {
-              if (in_num) alphabet_.intern(static_cast<std::uint32_t>(v));
-              v = 0;
-              in_num = false;
-            }
-          }
-        }
-      }
-    }
-  }
-  alphabet_.freeze();
+  precompiled_ = true;
 }
 
 void Engine::initialize() {
@@ -98,11 +141,11 @@ void Engine::initialize() {
       r.d = enc_->mgr().and_(enc_->adv(node.external_index),
                              enc_->len_valid());
       if (options_.aspath_mode == AsPathMode::kSymbolic) {
-        r.attrs.aspath = AsPath::any(alphabet_);
+        r.attrs.aspath = AsPath::any(*alphabet_);
       } else {
         // Expresso-: a concrete representative per neighbor.
-        r.attrs.aspath = AsPath::concrete({alphabet_.symbol_for(node.asn)},
-                                          alphabet_.size());
+        r.attrs.aspath = AsPath::concrete({alphabet_->symbol_for(node.asn)},
+                                          alphabet_->size());
       }
       r.attrs.comm = options_.model_communities
                          ? CommunitySet::universal(*enc_, options_.comm_rep)
@@ -127,7 +170,7 @@ void Engine::initialize() {
         SymbolicRoute r;
         r.d = enc_->prefix_exact(p);  // environment True: always announced
         r.attrs.aspath =
-            AsPath::empty_path(options_.aspath_mode, alphabet_.size());
+            AsPath::empty_path(options_.aspath_mode, alphabet_->size());
         r.attrs.comm = CommunitySet::none(*enc_, options_.comm_rep);
         r.attrs.learned = Learned::kOrigin;
         r.attrs.source = Source::kBgp;
@@ -141,14 +184,29 @@ void Engine::initialize() {
   }
 }
 
+void Engine::seed_ribs(
+    const std::vector<std::vector<SymbolicRoute>>& prev) {
+  if (prev.size() != ribs_.size()) {
+    throw std::invalid_argument("seed_ribs: node count mismatch");
+  }
+  for (NodeIndex u = 0; u < ribs_.size(); ++u) {
+    if (!net_.node(u).external) ribs_[u] = prev[u];
+  }
+  warm_started_ = true;
+}
+
 const policy::CompiledPolicy* Engine::find_policy(NodeIndex router,
                                                   const std::string& name) {
-  const auto key = std::make_pair(router, name);
-  auto it = policies_.find(key);
-  if (it != policies_.end()) return &it->second;
   const auto& cfg = net_.config_of(router);
   auto pit = cfg.policies.find(name);
   if (pit == cfg.policies.end()) return nullptr;  // undefined policy: deny
+  const auto key = policy::PolicyCache::make_key(
+      cfg.name, name, config::ast_hash(pit->second));
+  // Reuse is measured during the serial precompile pass only; the rounds
+  // re-resolve on every transfer and would drown the counters.
+  const auto* cached =
+      precompiled_ ? policies_->peek(key) : policies_->find(key);
+  if (cached) return cached;
   config::RoutePolicy ast = pit->second;
   if (!options_.model_communities) {
     // Feature ablation: drop community matching and actions.
@@ -161,9 +219,8 @@ const policy::CompiledPolicy* Engine::find_policy(NodeIndex router,
     }
     ast = std::move(stripped);
   }
-  auto compiled = policy::compile_policy(ast, *enc_, *atomizer_, alphabet_);
-  auto [ins, _] = policies_.emplace(key, std::move(compiled));
-  return &ins->second;
+  auto compiled = policy::compile_policy(ast, *enc_, *atomizer_, *alphabet_);
+  return policies_->insert(key, std::move(compiled));
 }
 
 SymbolicRoute Engine::make_default_route(const SessionEdge& e) {
@@ -171,9 +228,9 @@ SymbolicRoute Engine::make_default_route(const SessionEdge& e) {
   const auto& from = net_.node(e.from);
   SymbolicRoute r;
   r.d = enc_->prefix_exact(net::Ipv4Prefix{0, 0});
-  r.attrs.aspath = AsPath::empty_path(options_.aspath_mode, alphabet_.size());
+  r.attrs.aspath = AsPath::empty_path(options_.aspath_mode, alphabet_->size());
   if (e.ebgp) {
-    r.attrs.aspath = r.attrs.aspath.prepend(alphabet_.symbol_for(from.asn));
+    r.attrs.aspath = r.attrs.aspath.prepend(alphabet_->symbol_for(from.asn));
   }
   r.attrs.comm = CommunitySet::none(*enc_, options_.comm_rep);
   r.attrs.learned = e.ebgp ? Learned::kEbgp
@@ -232,7 +289,7 @@ std::vector<SymbolicRoute> Engine::transfer_edge(const SessionEdge& e,
   for (auto& r : routes) {
     if (e.ebgp && !from.external) {
       // eBGP export: prepend our AS; local preference is not transitive.
-      r.attrs.aspath = r.attrs.aspath.prepend(alphabet_.symbol_for(from.asn));
+      r.attrs.aspath = r.attrs.aspath.prepend(alphabet_->symbol_for(from.asn));
     }
     // Communities are stripped unless the session advertises them.
     if (!from.external &&
@@ -251,12 +308,12 @@ std::vector<SymbolicRoute> Engine::transfer_edge(const SessionEdge& e,
           // (matches the paper's "100.*" in figure 4's RIB entries).  The
           // automaton was built by precompile(); the cache is read-only
           // here so concurrent per-node round tasks need no locking.
-          const automaton::Symbol s = alphabet_.symbol_for(from.asn);
-          r.attrs.aspath = r.attrs.aspath.filter(first_as_cache_.at(s));
+          const automaton::Symbol s = alphabet_->symbol_for(from.asn);
+          r.attrs.aspath = r.attrs.aspath.filter(first_as_cache_->at(s));
         }
         // AS-loop prevention: drop paths already containing our AS.
         r.attrs.aspath =
-            r.attrs.aspath.without_as(alphabet_.symbol_for(to.asn));
+            r.attrs.aspath.without_as(alphabet_->symbol_for(to.asn));
       }
     }
     routes.erase(std::remove_if(routes.begin(), routes.end(),
@@ -313,7 +370,7 @@ std::vector<SymbolicRoute> Engine::round_candidates(NodeIndex u) {
     SymbolicRoute r;
     r.d = enc_->mgr().and_(enc_->prefix_exact(agg), cond);
     r.attrs.aspath =
-        AsPath::empty_path(options_.aspath_mode, alphabet_.size());
+        AsPath::empty_path(options_.aspath_mode, alphabet_->size());
     r.attrs.comm = CommunitySet::none(*enc_, options_.comm_rep);
     r.attrs.learned = Learned::kOrigin;
     r.attrs.source = Source::kBgp;
@@ -367,7 +424,7 @@ bool Engine::run() {
     // keeps the round deterministic under any schedule.
     std::vector<std::vector<SymbolicRoute>> next = ribs_;
     std::atomic<bool> changed{false};
-    support::parallel_for(pool_.get(), internal.size(), [&](std::size_t k) {
+    support::parallel_for(pool_, internal.size(), [&](std::size_t k) {
       const NodeIndex u = internal[k];
       next[u] = symbolic::merge_routes(*enc_, round_candidates(u));
       if (!symbolic::same_rib(next[u], ribs_[u])) {
@@ -383,7 +440,7 @@ bool Engine::run() {
 
   // Routes the network exports to each external neighbor.
   const auto& external = net_.external_nodes();
-  support::parallel_for(pool_.get(), external.size(), [&](std::size_t k) {
+  support::parallel_for(pool_, external.size(), [&](std::size_t k) {
     const NodeIndex u = external[k];
     external_rib_[u] = external_received(u);
   });
@@ -398,14 +455,14 @@ std::optional<std::uint32_t> Engine::atom_of(const net::Community& c) const {
   return atomizer_->atom_of(c);
 }
 
-std::string Engine::route_to_string(const SymbolicRoute& r) {
+std::string Engine::route_to_string(const SymbolicRoute& r) const {
   std::vector<std::string> nbr_names;
   for (NodeIndex e : net_.external_nodes()) {
     nbr_names.push_back(net_.node(e).name);
   }
   std::ostringstream os;
   os << "(" << enc_->mgr().to_string(r.d, enc_->var_names(nbr_names)) << ", "
-     << "asp=" << r.attrs.aspath.to_string(alphabet_.names()) << ", "
+     << "asp=" << r.attrs.aspath.to_string(alphabet_->names()) << ", "
      << "comm=" << r.attrs.comm.to_string(*enc_, atomizer_->atom_names())
      << ", lp=" << r.attrs.local_pref << ", nh="
      << net_.node(r.attrs.next_hop).name << ", o="

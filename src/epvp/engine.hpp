@@ -17,6 +17,14 @@
 //     route-reflector client/non-client rules,
 //   * advertise-community: communities are stripped on sessions without it,
 //   * advertise-default: the session carries only an originated default.
+//
+// Staged-pipeline split (DESIGN.md §7): the engine no longer has to own its
+// symbolic substrate.  A SharedState injects an externally owned encoding
+// (and its BDD manager), alphabet, atomizer, compiled-policy cache,
+// first-AS automaton cache and thread pool, so an expresso::Session can keep
+// them alive across consecutive runs and re-verify config deltas without
+// rebuilding the variable universe.  The (network, options) constructor
+// keeps the old self-contained behavior for single-shot callers.
 #pragma once
 
 #include <map>
@@ -26,6 +34,7 @@
 
 #include "automaton/aspath.hpp"
 #include "net/network.hpp"
+#include "policy/cache.hpp"
 #include "policy/transfer.hpp"
 #include "support/thread_pool.hpp"
 #include "symbolic/community_set.hpp"
@@ -49,9 +58,44 @@ struct Options {
   int threads = 0;
 };
 
+// The AS alphabet induced by a topology: every internal/external ASN, every
+// peer AS and every number mentioned in an as-path regex or prepend action,
+// frozen.  Deterministic in the network, so two topologies with equal
+// alphabets (operator==) can share compiled DFAs.
+automaton::AsAlphabet build_alphabet(const net::Network& network);
+
+using FirstAsCache = std::map<automaton::Symbol, automaton::Dfa>;
+
+// Externally owned symbolic substrate injected into an Engine.  All pointers
+// must outlive the engine.  `enc` must have been built for this network's
+// external-neighbor count and the atomizer's atom count; `alphabet` must
+// equal build_alphabet(network).  When threads > 1 the caller has already
+// sized the manager's per-thread caches (prepare_threads / set_parallel).
+struct SharedState {
+  const automaton::AsAlphabet* alphabet = nullptr;
+  const symbolic::CommunityAtomizer* atomizer = nullptr;
+  symbolic::Encoding* enc = nullptr;
+  policy::PolicyCache* policies = nullptr;      // optional (engine-owned if null)
+  FirstAsCache* first_as_cache = nullptr;       // optional (engine-owned if null)
+  support::ThreadPool* pool = nullptr;          // null = serial
+  int threads = 1;
+};
+
 class Engine {
  public:
+  // Self-contained: builds alphabet, atomizer, encoding and pool internally.
   Engine(const net::Network& network, Options options);
+  // Session-injected: runs over an externally owned symbolic universe.
+  Engine(const net::Network& network, Options options,
+         const SharedState& shared);
+
+  // Seeds the internal RIBs with a previous converged fixed point before
+  // run() — the warm start of incremental re-verification.  Only internal
+  // nodes are seeded (externals always restart from their wildcard
+  // origination).  `prev` is indexed by node and must come from a run over a
+  // network with the same node set/order and the same encoding.
+  void seed_ribs(const std::vector<std::vector<symbolic::SymbolicRoute>>& prev);
+  bool warm_started() const { return warm_started_; }
 
   // Runs symbolic route computation to the fixed point.
   // Returns false if the iteration cap was hit (possible dispute wheel —
@@ -60,7 +104,8 @@ class Engine {
 
   const net::Network& network() const { return net_; }
   symbolic::Encoding& encoding() { return *enc_; }
-  const automaton::AsAlphabet& alphabet() const { return alphabet_; }
+  const symbolic::Encoding& encoding() const { return *enc_; }
+  const automaton::AsAlphabet& alphabet() const { return *alphabet_; }
   const symbolic::CommunityAtomizer& atomizer() const { return *atomizer_; }
   const Options& options() const { return options_; }
 
@@ -72,6 +117,14 @@ class Engine {
   // (the RIB(u) of the paper's section 6.1 property definitions).
   const std::vector<symbolic::SymbolicRoute>& external_rib(
       net::NodeIndex u) const;
+  // Whole-network views (Session snapshots these across updates).
+  const std::vector<std::vector<symbolic::SymbolicRoute>>& all_ribs() const {
+    return ribs_;
+  }
+  const std::vector<std::vector<symbolic::SymbolicRoute>>& all_external_ribs()
+      const {
+    return external_rib_;
+  }
 
   int iterations() const { return iterations_; }
 
@@ -79,17 +132,18 @@ class Engine {
   // Downstream stages (FIB build, PEC computation) reuse the same pool so
   // the whole pipeline respects one knob.
   int threads() const { return threads_; }
-  support::ThreadPool* pool() { return pool_.get(); }
+  support::ThreadPool* pool() { return pool_; }
 
   // The atom index of a community, if it appears in the configs (used by
   // the BlockToExternal property).
   std::optional<std::uint32_t> atom_of(const net::Community& c) const;
 
-  // Pretty-printing helpers for examples.
-  std::string route_to_string(const symbolic::SymbolicRoute& r);
+  // Pretty-printing helpers for examples.  Logically read-only (BDD cube
+  // enumeration allocates nothing the caller can observe), so usable through
+  // a const Session.
+  std::string route_to_string(const symbolic::SymbolicRoute& r) const;
 
  private:
-  void build_alphabet();
   void initialize();
   // Compiles every policy referenced by a session and the per-neighbor
   // first-AS automata, so the engine's lazily built caches are frozen before
@@ -109,13 +163,22 @@ class Engine {
   const net::Network& net_;
   Options options_;
 
-  automaton::AsAlphabet alphabet_;
-  std::unique_ptr<symbolic::CommunityAtomizer> atomizer_;
-  std::unique_ptr<symbolic::Encoding> enc_;
+  // Owned substrate for the self-contained constructor; null when a
+  // SharedState injects session-owned equivalents.
+  std::unique_ptr<automaton::AsAlphabet> owned_alphabet_;
+  std::unique_ptr<symbolic::CommunityAtomizer> owned_atomizer_;
+  std::unique_ptr<symbolic::Encoding> owned_enc_;
+  std::unique_ptr<policy::PolicyCache> owned_policies_;
+  std::unique_ptr<FirstAsCache> owned_first_as_;
+  std::unique_ptr<support::ThreadPool> owned_pool_;
 
-  // (router node, policy name) -> compiled policy.
-  std::map<std::pair<net::NodeIndex, std::string>, policy::CompiledPolicy>
-      policies_;
+  // Views over either the owned substrate or the injected one.
+  const automaton::AsAlphabet* alphabet_ = nullptr;
+  const symbolic::CommunityAtomizer* atomizer_ = nullptr;
+  symbolic::Encoding* enc_ = nullptr;
+  policy::PolicyCache* policies_ = nullptr;
+  FirstAsCache* first_as_cache_ = nullptr;
+  support::ThreadPool* pool_ = nullptr;
 
   // Per-node origination (internal: bgp network/redistribution; external:
   // the wildcard symbolic route).
@@ -125,11 +188,9 @@ class Engine {
   // Routes exported to each external node, filled after convergence.
   std::vector<std::vector<symbolic::SymbolicRoute>> external_rib_;
 
-  // Cached "first AS is k" automata per symbol (filled by precompile()).
-  std::map<automaton::Symbol, automaton::Dfa> first_as_cache_;
-
   int threads_ = 1;
-  std::unique_ptr<support::ThreadPool> pool_;
+  bool warm_started_ = false;
+  bool precompiled_ = false;
 
   int iterations_ = 0;
 };

@@ -1,0 +1,434 @@
+#include "expresso/session.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "config/parser.hpp"
+#include "dataplane/fib.hpp"
+#include "support/util.hpp"
+
+namespace expresso {
+
+namespace {
+
+// Identical node vector (names, internal/external split, order): the
+// precondition for reusing node-indexed artifacts (RIB seeds, PECs,
+// verdicts) across an update.
+bool node_shape_equal(const net::Network& a, const net::Network& b) {
+  if (a.nodes().size() != b.nodes().size()) return false;
+  for (std::size_t i = 0; i < a.nodes().size(); ++i) {
+    if (a.nodes()[i].name != b.nodes()[i].name ||
+        a.nodes()[i].external != b.nodes()[i].external) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool ribs_equal(const std::vector<std::vector<symbolic::SymbolicRoute>>& a,
+                const std::vector<std::vector<symbolic::SymbolicRoute>>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t u = 0; u < a.size(); ++u) {
+    if (!symbolic::same_rib(a[u], b[u])) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+Session::Session(epvp::Options options)
+    : Session(SessionOptions{options, false}) {}
+
+Session::Session(SessionOptions options) : options_(std::move(options)) {
+  threads_ = options_.engine.threads > 0 ? options_.engine.threads
+                                         : support::env_thread_count();
+  if (threads_ > 1) {
+    pool_ = std::make_unique<support::ThreadPool>(threads_);
+  }
+  stats_.threads = threads_;
+}
+
+Session::~Session() = default;
+
+void Session::ensure_loaded() const {
+  if (!net_) throw std::logic_error("Session: no configuration loaded");
+}
+
+void Session::reset_all() {
+  analyzer_.reset();
+  engine_.reset();
+  pecs_.reset();
+  verdicts_.clear();
+  enc_.reset();
+  atomizer_.reset();
+  alphabet_.reset();
+  net_.reset();
+  policy_cache_.clear();
+  first_as_cache_.clear();
+  seed_available_ = false;
+  src_done_ = false;
+  ++generation_;
+}
+
+void Session::load(const std::string& config_text) {
+  Stopwatch sw;
+  auto cfgs = config::parse_configs(config_text);
+  stats_.parse_seconds = sw.seconds();
+  ++stats_.parse_cache.misses;
+  text_hash_ = config::text_hash(config_text);
+  reset_all();
+  install(std::move(cfgs), /*delta_aware=*/false);
+}
+
+void Session::load(std::vector<config::RouterConfig> configs) {
+  text_hash_.reset();
+  reset_all();
+  install(std::move(configs), /*delta_aware=*/false);
+}
+
+void Session::update(const std::string& config_text) {
+  const std::uint64_t h = config::text_hash(config_text);
+  if (loaded() && text_hash_ && *text_hash_ == h) {
+    // Byte-identical text: skip the parser, run the (empty) diff.
+    ++stats_.parse_cache.hits;
+    install(std::vector<config::RouterConfig>(net_->configs()),
+            /*delta_aware=*/true);
+    return;
+  }
+  Stopwatch sw;
+  auto cfgs = config::parse_configs(config_text);
+  stats_.parse_seconds = sw.seconds();
+  ++stats_.parse_cache.misses;
+  text_hash_ = h;
+  install(std::move(cfgs), /*delta_aware=*/true);
+}
+
+void Session::update(std::vector<config::RouterConfig> configs) {
+  text_hash_.reset();  // snapshot supplied as ASTs: no parse artifact
+  install(std::move(configs), /*delta_aware=*/true);
+}
+
+void Session::install(std::vector<config::RouterConfig> configs,
+                      bool delta_aware) {
+  ++stats_.updates;
+  const bool had = loaded();
+
+  if (had && delta_aware) {
+    const config::ConfigDelta delta = config::diff_configs(net_->configs(),
+                                                           configs);
+    if (delta.empty()) {
+      // Nothing the pipeline depends on changed: every artifact is a hit.
+      ++stats_.topology_cache.hits;
+      ++stats_.universe_cache.hits;
+      if (src_done_) ++stats_.src_cache.hits;
+      stats_.warm = false;
+      return;
+    }
+  }
+
+  // --- Topology ------------------------------------------------------------
+  auto net = std::make_unique<net::Network>(
+      net::Network::build(std::move(configs)));
+  ++stats_.topology_cache.misses;
+
+  // --- Symbolic universe (alphabet ⨯ community atoms ⨯ advertisers) -------
+  // Built from the new snapshot and compared with the live one; equality
+  // means every BDD variable, interned symbol and atom index keeps its
+  // meaning, so the encoding (and the BDD manager with all its hash-consed
+  // nodes and operation caches) carries over.
+  auto alphabet = std::make_unique<automaton::AsAlphabet>(
+      epvp::build_alphabet(*net));
+  auto atomizer = std::make_unique<symbolic::CommunityAtomizer>(
+      net->configs());
+  const bool universe_same = had && delta_aware && enc_ != nullptr &&
+                             *alphabet == *alphabet_ &&
+                             *atomizer == *atomizer_ &&
+                             net->num_external() == net_->num_external();
+  const bool shape_same =
+      had && delta_aware && node_shape_equal(*net_, *net);
+
+  // Snapshot the previous fixed point while the old engine still exists.
+  // Valid as a warm seed only under an unchanged universe and node shape.
+  if (universe_same && shape_same) {
+    if (src_done_ && stats_.converged) {
+      prev_ribs_ = engine_->all_ribs();
+      prev_external_ribs_ = engine_->all_external_ribs();
+      seed_available_ = true;
+    }
+    // else: keep any seed from an earlier converged run — its indexing and
+    // encoding still match (shape/universe unchanged by induction).
+  } else {
+    seed_available_ = false;
+    prev_ribs_.clear();
+    prev_external_ribs_.clear();
+  }
+
+  analyzer_.reset();
+  engine_.reset();
+
+  if (universe_same) {
+    ++stats_.universe_cache.hits;
+  } else {
+    ++stats_.universe_cache.misses;
+    enc_.reset();
+    alphabet_ = std::move(alphabet);
+    atomizer_ = std::move(atomizer);
+    enc_ = std::make_unique<symbolic::Encoding>(net->num_external(),
+                                                atomizer_->num_atoms());
+    if (threads_ > 1) {
+      enc_->mgr().prepare_threads(static_cast<std::size_t>(threads_));
+      enc_->mgr().set_parallel(true);
+    }
+    // Everything compiled against the old variable universe is stale.
+    policy_cache_.clear();
+    first_as_cache_.clear();
+    verdicts_.clear();
+    pecs_.reset();
+    ++generation_;
+  }
+
+  net_ = std::move(net);
+  snapshot_hash_ = config::snapshot_hash(net_->configs());
+  build_engine();
+  src_done_ = false;
+  stats_.warm = false;
+}
+
+void Session::build_engine() {
+  epvp::SharedState shared;
+  shared.alphabet = alphabet_.get();
+  shared.atomizer = atomizer_.get();
+  shared.enc = enc_.get();
+  shared.policies = &policy_cache_;
+  shared.first_as_cache = &first_as_cache_;
+  shared.pool = pool_.get();
+  shared.threads = threads_;
+  engine_ = std::make_unique<epvp::Engine>(*net_, options_.engine, shared);
+  analyzer_ = std::make_unique<properties::Analyzer>(*engine_);
+  stats_.policy_cache.hits = policy_cache_.hits();
+  stats_.policy_cache.misses = policy_cache_.misses();
+}
+
+void Session::run_src() {
+  ensure_loaded();
+  if (src_done_) return;
+  Stopwatch sw;
+  CpuStopwatch cpu;
+
+  const bool seeded = seed_available_;
+  if (seeded) engine_->seed_ribs(prev_ribs_);
+  bool converged = engine_->run();
+  bool warm = seeded;
+
+  if (seeded && !converged) {
+    // A warm start that fails to converge proves nothing about the new
+    // configuration — rebuild and run cold before reporting non-convergence.
+    build_engine();
+    converged = engine_->run();
+    warm = false;
+  } else if (seeded && options_.verify_warm) {
+    // Paranoid mode: shadow the warm run with a cold one over the same
+    // substrate (hash-consing makes same-manager RIB comparison exact) and
+    // prefer the cold result on any disagreement.
+    epvp::SharedState shared;
+    shared.alphabet = alphabet_.get();
+    shared.atomizer = atomizer_.get();
+    shared.enc = enc_.get();
+    shared.policies = &policy_cache_;
+    shared.first_as_cache = &first_as_cache_;
+    shared.pool = pool_.get();
+    shared.threads = threads_;
+    auto shadow = std::make_unique<epvp::Engine>(*net_, options_.engine,
+                                                 shared);
+    const bool shadow_converged = shadow->run();
+    const bool agree = shadow_converged == converged &&
+                       ribs_equal(shadow->all_ribs(), engine_->all_ribs()) &&
+                       ribs_equal(shadow->all_external_ribs(),
+                                  engine_->all_external_ribs());
+    if (!agree) {
+      engine_ = std::move(shadow);
+      analyzer_ = std::make_unique<properties::Analyzer>(*engine_);
+      converged = shadow_converged;
+      warm = false;
+    }
+  }
+
+  stats_.src_seconds = sw.seconds();
+  stats_.src_cpu_seconds = cpu.seconds();
+  stats_.policy_cache.hits = policy_cache_.hits();
+  stats_.policy_cache.misses = policy_cache_.misses();
+  stats_.epvp_iterations = engine_->iterations();
+  stats_.converged = converged;
+  stats_.warm = warm;
+  ++stats_.src_cache.misses;
+
+  stats_.total_rib_routes = 0;
+  for (const auto& n : net_->nodes()) {
+    const auto idx = net_->find(n.name);
+    if (!idx) continue;
+    stats_.total_rib_routes += n.external
+                                   ? engine_->external_rib(*idx).size()
+                                   : engine_->rib(*idx).size();
+  }
+
+  // If the warm run landed on the very fixed point it was seeded with, the
+  // RIBs are unchanged and every downstream artifact (FIBs, PECs, verdicts)
+  // remains valid — the generation stays, so they keep hitting.
+  const bool unchanged =
+      seeded && warm && converged &&
+      ribs_equal(engine_->all_ribs(), prev_ribs_) &&
+      ribs_equal(engine_->all_external_ribs(), prev_external_ribs_);
+  if (!unchanged) ++generation_;
+
+  if (converged) {
+    prev_ribs_ = engine_->all_ribs();
+    prev_external_ribs_ = engine_->all_external_ribs();
+    seed_available_ = true;
+  }
+  src_done_ = true;
+  spf_hit_counted_ = false;
+}
+
+void Session::run_spf() {
+  run_src();
+  if (pecs_ && pec_generation_ == generation_) {
+    if (!spf_hit_counted_) {
+      ++stats_.spf_cache.hits;
+      spf_hit_counted_ = true;
+    }
+    return;
+  }
+  Stopwatch sw;
+  CpuStopwatch cpu;
+  dataplane::FibBuilder fibs(*engine_);
+  dataplane::Forwarder fwd(*engine_, fibs);
+  pecs_ = fwd.all_pecs();
+  pec_generation_ = generation_;
+  fib_entries_ = fibs.total_entries();
+  stats_.spf_seconds = sw.seconds();
+  stats_.spf_cpu_seconds = cpu.seconds();
+  ++stats_.spf_cache.misses;
+  spf_hit_counted_ = true;
+  stats_.total_fib_entries = fib_entries_;
+  stats_.total_pecs = pecs_->size();
+  stats_.dp_variables = engine_->encoding().num_dp_vars();
+  stats_.bdd_nodes = engine_->encoding().mgr().total_nodes();
+}
+
+const net::Network& Session::network() const {
+  ensure_loaded();
+  return *net_;
+}
+
+epvp::Engine& Session::engine() {
+  ensure_loaded();
+  return *engine_;
+}
+
+const epvp::Engine& Session::engine() const {
+  ensure_loaded();
+  return *engine_;
+}
+
+const std::vector<dataplane::Pec>& Session::pecs() {
+  run_spf();
+  return *pecs_;
+}
+
+const std::vector<dataplane::Pec>& Session::pecs() const {
+  ensure_loaded();
+  if (!pecs_ || pec_generation_ != generation_) {
+    throw std::logic_error("Session::pecs() const: run_spf() first");
+  }
+  return *pecs_;
+}
+
+std::vector<properties::Violation> Session::memoized(
+    const std::string& key, bool needs_spf,
+    const std::function<std::vector<properties::Violation>()>& compute,
+    double VerifierStats::*timer) {
+  if (needs_spf) {
+    run_spf();
+  } else {
+    run_src();
+  }
+  auto it = verdicts_.find(key);
+  if (it != verdicts_.end() && it->second.first == generation_) {
+    ++stats_.verdict_cache.hits;
+    return it->second.second;
+  }
+  ++stats_.verdict_cache.misses;
+  Stopwatch sw;
+  auto out = compute();
+  stats_.*timer += sw.seconds();
+  verdicts_[key] = {generation_, out};
+  return out;
+}
+
+std::vector<properties::Violation> Session::check_route_leak_free() {
+  return memoized("leak", false,
+                  [&] { return analyzer_->route_leak_free(); },
+                  &VerifierStats::routing_analysis_seconds);
+}
+
+std::vector<properties::Violation> Session::check_route_hijack_free() {
+  return memoized("hijack", false,
+                  [&] { return analyzer_->route_hijack_free(); },
+                  &VerifierStats::routing_analysis_seconds);
+}
+
+std::vector<properties::Violation> Session::check_block_to_external(
+    const net::Community& bte) {
+  return memoized("bte:" + bte.to_string(), false,
+                  [&] { return analyzer_->block_to_external(bte); },
+                  &VerifierStats::routing_analysis_seconds);
+}
+
+std::vector<properties::Violation> Session::check_traffic_hijack_free() {
+  return memoized("traffic", true,
+                  [&] { return analyzer_->traffic_hijack_free(*pecs_); },
+                  &VerifierStats::forwarding_analysis_seconds);
+}
+
+std::vector<properties::Violation> Session::check_blackhole_free(
+    const std::vector<net::Ipv4Prefix>& prefixes) {
+  std::ostringstream key;
+  key << "blackhole:";
+  for (const auto& p : prefixes) key << p.to_string() << ",";
+  return memoized(key.str(), true,
+                  [&] { return analyzer_->blackhole_free(*pecs_, prefixes); },
+                  &VerifierStats::forwarding_analysis_seconds);
+}
+
+std::vector<properties::Violation> Session::check_loop_free() {
+  return memoized("loop", true,
+                  [&] { return analyzer_->loop_free(*pecs_); },
+                  &VerifierStats::forwarding_analysis_seconds);
+}
+
+std::vector<properties::Violation> Session::check_egress_preference(
+    const std::string& node, const net::Ipv4Prefix& d,
+    const std::vector<std::string>& neighbor_order) {
+  std::ostringstream key;
+  key << "egress:" << node << "|" << d.to_string() << "|";
+  for (const auto& n : neighbor_order) key << n << ",";
+  return memoized(
+      key.str(), true,
+      [&]() -> std::vector<properties::Violation> {
+        const auto n = net_->find(node);
+        if (!n) return {};
+        std::vector<net::NodeIndex> order;
+        for (const auto& name : neighbor_order) {
+          if (auto idx = net_->find(name)) order.push_back(*idx);
+        }
+        return analyzer_->egress_preference(*pecs_, *n, d, order);
+      },
+      &VerifierStats::forwarding_analysis_seconds);
+}
+
+std::string Session::describe(const properties::Violation& v) const {
+  ensure_loaded();
+  return analyzer_->describe(v);
+}
+
+}  // namespace expresso

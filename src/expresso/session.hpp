@@ -1,0 +1,207 @@
+// The staged verification pipeline (DESIGN.md §7).
+//
+// A Session owns the long-lived substrate of symbolic simulation — the BDD
+// manager (inside symbolic::Encoding), the thread pool, the compiled-policy
+// and first-AS caches — and materializes the pipeline's artifacts on demand:
+//
+//   ParsedConfigs ─→ Topology ─→ Alphabet/Atomizer/Encoding ─→
+//     CompiledPolicies ─→ SymbolicRibs ─→ Fibs/Pecs ─→ PropertyVerdicts
+//
+// Every artifact is keyed by a content hash of its inputs (config AST hashes
+// per router, options, property parameters) and memoized across
+// Session::update() calls.  update() diffs the new snapshot against the
+// current one (config::diff_configs) and invalidates only what the delta can
+// reach:
+//
+//   * empty delta                 → every artifact is reused (pure cache hit);
+//   * same routers, same symbolic → encoding/BDD manager, compiled policies
+//     universe                      and first-AS automata are kept, and EPVP
+//                                   warm-starts from the previous converged
+//                                   RIBs; if the warm fixed point's RIBs are
+//                                   unchanged, FIBs/PECs and verdicts are
+//                                   also kept;
+//   * universe changed (new ASN, → cold restart: fresh encoding, caches
+//     new community atom, new       cleared.  Warm runs that fail to
+//     neighbor, router add/remove)  converge also fall back to a cold run.
+//
+// Warm-start soundness: EPVP re-derives every candidate from origins and the
+// previous round's RIBs each round, so a converged warm run has validated
+// its RIBs as a genuine fixed point of the *new* configuration.  Networks
+// with multiple stable states (dispute wheels) could in principle settle in
+// a different one than a cold run; tests/incremental_test.cpp checks
+// warm/cold equivalence across hundreds of fuzzed single-router edits, and
+// Options::verify_warm makes the session itself shadow every warm run with
+// a cold one.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "config/hash.hpp"
+#include "dataplane/forwarding.hpp"
+#include "epvp/engine.hpp"
+#include "properties/analyzer.hpp"
+
+namespace expresso {
+
+// One pipeline stage's memoization counters (reported via VerifierStats and
+// the EXPRESSO_BENCH_JSON rows).
+struct StageCounter {
+  std::size_t hits = 0;
+  std::size_t misses = 0;
+};
+
+struct VerifierStats {
+  int threads = 1;               // worker threads used across the pipeline
+  double parse_seconds = 0;      // configuration text -> AST
+  double src_seconds = 0;        // symbolic route computation (wall)
+  double src_cpu_seconds = 0;    // ... process CPU across all threads
+  double spf_seconds = 0;        // symbolic packet forwarding (wall)
+  double spf_cpu_seconds = 0;    // ... process CPU across all threads
+  double routing_analysis_seconds = 0;
+  double forwarding_analysis_seconds = 0;
+  int epvp_iterations = 0;
+  bool converged = false;
+  std::size_t total_rib_routes = 0;
+  std::size_t total_fib_entries = 0;
+  std::size_t total_pecs = 0;
+  std::size_t bdd_nodes = 0;        // memory proxy
+  std::uint32_t dp_variables = 0;   // lazily allocated n_i^j count
+
+  // --- staged-pipeline accounting (cumulative over the session) ------------
+  bool warm = false;        // last SRC run was warm-started from previous RIBs
+  int updates = 0;          // load/update calls so far
+  StageCounter parse_cache;     // text hash unchanged -> AST reused
+  StageCounter topology_cache;  // snapshot hash unchanged -> Network reused
+  StageCounter universe_cache;  // alphabet+atoms+externals unchanged ->
+                                // encoding/BDD manager reused
+  StageCounter policy_cache;    // compiled route policies (per policy)
+  StageCounter src_cache;       // symbolic RIBs (hit = EPVP skipped)
+  StageCounter spf_cache;       // FIBs/PECs (hit = SPF skipped)
+  StageCounter verdict_cache;   // property results (per check call)
+};
+
+class Session {
+ public:
+  struct SessionOptions {
+    epvp::Options engine;
+    // Shadow every warm-started SRC run with a cold run over a private
+    // engine and fall back to the cold result if the fixed points disagree.
+    // Costs a full cold run per update; meant for validation workflows.
+    bool verify_warm = false;
+  };
+
+  explicit Session(epvp::Options options = {});
+  explicit Session(SessionOptions options);
+  ~Session();
+
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  // Full (re)load: drops every artifact and verifies from scratch.
+  void load(const std::string& config_text);
+  void load(std::vector<config::RouterConfig> configs);
+
+  // Delta update: diffs against the current snapshot and keeps whatever the
+  // delta cannot affect.  Acts as load() when nothing is loaded yet.
+  void update(const std::string& config_text);
+  void update(std::vector<config::RouterConfig> configs);
+
+  bool loaded() const { return net_ != nullptr; }
+
+  // Stage drivers (idempotent; later stages pull in earlier ones).
+  void run_src();
+  void run_spf();
+
+  // --- artifact views ------------------------------------------------------
+  // References are invalidated by the next load()/update().
+  const net::Network& network() const;
+  const std::vector<config::RouterConfig>& configs() const {
+    ensure_loaded();
+    return net_->configs();
+  }
+  epvp::Engine& engine();
+  const epvp::Engine& engine() const;
+  // Computes SPF if needed (non-const) / requires run_spf() already done
+  // (const; throws std::logic_error otherwise).
+  const std::vector<dataplane::Pec>& pecs();
+  const std::vector<dataplane::Pec>& pecs() const;
+
+  // --- property checks (memoized per RIB/PEC generation) -------------------
+  std::vector<properties::Violation> check_route_leak_free();
+  std::vector<properties::Violation> check_route_hijack_free();
+  std::vector<properties::Violation> check_block_to_external(
+      const net::Community& bte);
+  std::vector<properties::Violation> check_traffic_hijack_free();
+  std::vector<properties::Violation> check_blackhole_free(
+      const std::vector<net::Ipv4Prefix>& prefixes);
+  std::vector<properties::Violation> check_loop_free();
+  std::vector<properties::Violation> check_egress_preference(
+      const std::string& node, const net::Ipv4Prefix& d,
+      const std::vector<std::string>& neighbor_order);
+
+  std::string describe(const properties::Violation& v) const;
+
+  const VerifierStats& stats() const { return stats_; }
+  // Content hash of the loaded snapshot (artifact key of the parse stage).
+  std::uint64_t snapshot_hash() const { return snapshot_hash_; }
+
+ private:
+  void ensure_loaded() const;
+  void reset_all();
+  // Shared by load()/update(); `delta_aware` selects incremental reuse.
+  void install(std::vector<config::RouterConfig> configs, bool delta_aware);
+  void build_engine();
+  // Memoized property dispatch: runs `compute` unless (key, generation) is
+  // cached.
+  std::vector<properties::Violation> memoized(
+      const std::string& key, bool needs_spf,
+      const std::function<std::vector<properties::Violation>()>& compute,
+      double VerifierStats::*timer);
+
+  SessionOptions options_;
+  int threads_ = 1;
+  std::unique_ptr<support::ThreadPool> pool_;
+
+  // --- artifacts, in pipeline order ---------------------------------------
+  std::optional<std::uint64_t> text_hash_;   // parse key (text loads only)
+  std::uint64_t snapshot_hash_ = 0;
+  std::unique_ptr<net::Network> net_;
+  std::unique_ptr<automaton::AsAlphabet> alphabet_;
+  std::unique_ptr<symbolic::CommunityAtomizer> atomizer_;
+  std::unique_ptr<symbolic::Encoding> enc_;
+  policy::PolicyCache policy_cache_;
+  epvp::FirstAsCache first_as_cache_;
+  std::unique_ptr<epvp::Engine> engine_;
+  std::unique_ptr<properties::Analyzer> analyzer_;
+
+  // SRC state.
+  bool src_done_ = false;
+  bool seed_available_ = false;  // prev_* hold a converged previous fixed point
+  std::vector<std::vector<symbolic::SymbolicRoute>> prev_ribs_;
+  std::vector<std::vector<symbolic::SymbolicRoute>> prev_external_ribs_;
+
+  // SPF state.  `generation_` identifies the RIB contents verdicts/PECs were
+  // derived from; it only advances when a run actually changes the RIBs, so
+  // a warm re-verification that lands on the same fixed point keeps every
+  // downstream artifact.
+  std::uint64_t generation_ = 0;
+  std::optional<std::vector<dataplane::Pec>> pecs_;
+  std::uint64_t pec_generation_ = 0;
+  std::size_t fib_entries_ = 0;
+  bool spf_hit_counted_ = false;
+
+  // PropertyVerdicts memo: key -> (generation, result).
+  std::map<std::string, std::pair<std::uint64_t,
+                                  std::vector<properties::Violation>>>
+      verdicts_;
+
+  VerifierStats stats_;
+};
+
+}  // namespace expresso

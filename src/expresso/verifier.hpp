@@ -6,80 +6,82 @@
 //   auto leaks = v.check_route_leak_free();    // 3. property analysis
 //
 // Stage timings are recorded for the Table 3 reproduction.
+//
+// The Verifier is a thin single-snapshot view over expresso::Session (the
+// staged, memoizing pipeline of DESIGN.md §7).  Callers that re-verify
+// evolving configurations should use Session directly — session() exposes
+// this verifier's session for incremental update() calls.
 #pragma once
 
-#include <memory>
-#include <optional>
 #include <string>
 #include <vector>
 
-#include "dataplane/forwarding.hpp"
-#include "epvp/engine.hpp"
-#include "properties/analyzer.hpp"
+#include "expresso/session.hpp"
 
 namespace expresso {
-
-struct VerifierStats {
-  int threads = 1;               // worker threads used across the pipeline
-  double src_seconds = 0;        // symbolic route computation (wall)
-  double src_cpu_seconds = 0;    // ... process CPU across all threads
-  double spf_seconds = 0;        // symbolic packet forwarding (wall)
-  double spf_cpu_seconds = 0;    // ... process CPU across all threads
-  double routing_analysis_seconds = 0;
-  double forwarding_analysis_seconds = 0;
-  int epvp_iterations = 0;
-  bool converged = false;
-  std::size_t total_rib_routes = 0;
-  std::size_t total_fib_entries = 0;
-  std::size_t total_pecs = 0;
-  std::size_t bdd_nodes = 0;        // memory proxy
-  std::uint32_t dp_variables = 0;   // lazily allocated n_i^j count
-};
 
 class Verifier {
  public:
   // Parses configuration text, builds the topology, prepares the engine.
-  explicit Verifier(const std::string& config_text,
-                    epvp::Options options = {});
+  explicit Verifier(const std::string& config_text, epvp::Options options = {})
+      : session_(options) {
+    session_.load(config_text);
+  }
   Verifier(std::vector<config::RouterConfig> configs,
-           epvp::Options options = {});
-
-  // Stage 1: run EPVP to the fixed point.  Idempotent.
-  void run_src();
-  // Stage 2: build symbolic FIBs and compute all PECs.  Runs SRC if needed.
-  void run_spf();
-
-  // Stage 3 — routing properties (need SRC only).
-  std::vector<properties::Violation> check_route_leak_free();
-  std::vector<properties::Violation> check_route_hijack_free();
-  std::vector<properties::Violation> check_block_to_external(
-      const net::Community& bte);
-
-  // Stage 3 — forwarding properties (need SPF).
-  std::vector<properties::Violation> check_traffic_hijack_free();
-  std::vector<properties::Violation> check_blackhole_free(
-      const std::vector<net::Ipv4Prefix>& prefixes);
-  std::vector<properties::Violation> check_loop_free();
-  std::vector<properties::Violation> check_egress_preference(
-      const std::string& node, const net::Ipv4Prefix& d,
-      const std::vector<std::string>& neighbor_order);
-
-  const net::Network& network() const { return *net_; }
-  epvp::Engine& engine() { return *engine_; }
-  const std::vector<dataplane::Pec>& pecs();
-  const VerifierStats& stats() const { return stats_; }
-  std::string describe(const properties::Violation& v) {
-    return analyzer_->describe(v);
+           epvp::Options options = {})
+      : session_(options) {
+    session_.load(std::move(configs));
   }
 
+  // Stage 1: run EPVP to the fixed point.  Idempotent.
+  void run_src() { session_.run_src(); }
+  // Stage 2: build symbolic FIBs and compute all PECs.  Runs SRC if needed.
+  void run_spf() { session_.run_spf(); }
+
+  // Stage 3 — routing properties (need SRC only).
+  std::vector<properties::Violation> check_route_leak_free() {
+    return session_.check_route_leak_free();
+  }
+  std::vector<properties::Violation> check_route_hijack_free() {
+    return session_.check_route_hijack_free();
+  }
+  std::vector<properties::Violation> check_block_to_external(
+      const net::Community& bte) {
+    return session_.check_block_to_external(bte);
+  }
+
+  // Stage 3 — forwarding properties (need SPF).
+  std::vector<properties::Violation> check_traffic_hijack_free() {
+    return session_.check_traffic_hijack_free();
+  }
+  std::vector<properties::Violation> check_blackhole_free(
+      const std::vector<net::Ipv4Prefix>& prefixes) {
+    return session_.check_blackhole_free(prefixes);
+  }
+  std::vector<properties::Violation> check_loop_free() {
+    return session_.check_loop_free();
+  }
+  std::vector<properties::Violation> check_egress_preference(
+      const std::string& node, const net::Ipv4Prefix& d,
+      const std::vector<std::string>& neighbor_order) {
+    return session_.check_egress_preference(node, d, neighbor_order);
+  }
+
+  const net::Network& network() const { return session_.network(); }
+  epvp::Engine& engine() { return session_.engine(); }
+  const epvp::Engine& engine() const { return session_.engine(); }
+  const std::vector<dataplane::Pec>& pecs() { return session_.pecs(); }
+  const std::vector<dataplane::Pec>& pecs() const { return session_.pecs(); }
+  const VerifierStats& stats() const { return session_.stats(); }
+  std::string describe(const properties::Violation& v) const {
+    return session_.describe(v);
+  }
+
+  Session& session() { return session_; }
+  const Session& session() const { return session_; }
+
  private:
-  std::unique_ptr<net::Network> net_;
-  std::unique_ptr<epvp::Engine> engine_;
-  std::unique_ptr<properties::Analyzer> analyzer_;
-  std::unique_ptr<dataplane::FibBuilder> fibs_;
-  std::optional<std::vector<dataplane::Pec>> pecs_;
-  bool src_done_ = false;
-  VerifierStats stats_;
+  Session session_;
 };
 
 }  // namespace expresso

@@ -1,0 +1,216 @@
+#include "fuzz/edits.hpp"
+
+#include <set>
+#include <sstream>
+
+#include "support/util.hpp"
+
+namespace expresso::fuzz {
+
+namespace {
+
+// A policy reference (router-local) picked uniformly among policies that
+// satisfy `min_clauses`.  Returns nullptr when the router has none.
+config::RoutePolicy* pick_policy(config::RouterConfig& c, SplitMix64& rng,
+                                 std::size_t min_clauses,
+                                 std::string* name_out) {
+  std::vector<std::string> names;
+  for (const auto& [name, pol] : c.policies) {
+    if (pol.size() >= min_clauses) names.push_back(name);
+  }
+  if (names.empty()) return nullptr;
+  const auto& name = names[rng.below(names.size())];
+  *name_out = name;
+  return &c.policies[name];
+}
+
+std::set<std::uint32_t> known_asns(
+    const std::vector<config::RouterConfig>& configs) {
+  std::set<std::uint32_t> asns;
+  for (const auto& c : configs) {
+    asns.insert(c.asn);
+    for (const auto& p : c.peers) asns.insert(p.peer_as);
+    for (const auto& [name, pol] : c.policies) {
+      for (const auto& cl : pol) {
+        if (cl.prepend_as) asns.insert(*cl.prepend_as);
+      }
+    }
+  }
+  return asns;
+}
+
+std::set<std::pair<std::uint16_t, std::uint16_t>> known_communities(
+    const std::vector<config::RouterConfig>& configs) {
+  std::set<std::pair<std::uint16_t, std::uint16_t>> comms;
+  auto add = [&](const net::Community& cm) {
+    comms.insert({cm.high, cm.low});
+  };
+  for (const auto& c : configs) {
+    for (const auto& [name, pol] : c.policies) {
+      for (const auto& cl : pol) {
+        for (const auto& m : cl.match_communities) {
+          if (auto cm = net::Community::parse(m.pattern())) add(*cm);
+        }
+        for (const auto& cm : cl.add_communities) add(cm);
+        for (const auto& cm : cl.delete_communities) add(cm);
+      }
+    }
+  }
+  return comms;
+}
+
+// One attempt at one edit kind.  Returns a description when the config
+// actually changed, empty otherwise.
+std::string try_edit(std::vector<config::RouterConfig>& configs,
+                     config::RouterConfig& c, int kind, SplitMix64& rng,
+                     bool* universe_changing) {
+  std::ostringstream what;
+  std::string pname;
+  switch (kind) {
+    case 0: {  // retune local-preference in one clause
+      auto* pol = pick_policy(c, rng, 1, &pname);
+      if (!pol) return {};
+      auto& cl = (*pol)[rng.below(pol->size())];
+      const std::uint32_t lp =
+          100 + 10 * static_cast<std::uint32_t>(rng.range(0, 20));
+      if (cl.set_local_preference && *cl.set_local_preference == lp) return {};
+      cl.set_local_preference = lp;
+      what << "set-local-preference " << lp << " in " << pname;
+      return what.str();
+    }
+    case 1: {  // originate one more prefix
+      const auto p = net::Ipv4Prefix::make(
+          (10u << 24) | (static_cast<std::uint32_t>(rng.range(100, 250)) << 16) |
+              (static_cast<std::uint32_t>(rng.below(256)) << 8),
+          24);
+      for (const auto& q : c.networks) {
+        if (q == p) return {};
+      }
+      c.networks.push_back(p);
+      what << "add bgp network " << p.to_string();
+      return what.str();
+    }
+    case 2: {  // withdraw one originated prefix
+      if (c.networks.empty()) return {};
+      const auto i = rng.below(c.networks.size());
+      what << "remove bgp network " << c.networks[i].to_string();
+      c.networks.erase(c.networks.begin() + static_cast<std::ptrdiff_t>(i));
+      return what.str();
+    }
+    case 3: {  // toggle advertise-community on one session
+      if (c.peers.empty()) return {};
+      auto& p = c.peers[rng.below(c.peers.size())];
+      p.advertise_community = !p.advertise_community;
+      what << (p.advertise_community ? "enable" : "disable")
+           << " advertise-community towards " << p.peer;
+      return what.str();
+    }
+    case 4: {  // flip a clause's permit/deny
+      auto* pol = pick_policy(c, rng, 1, &pname);
+      if (!pol) return {};
+      auto& cl = (*pol)[rng.below(pol->size())];
+      cl.permit = !cl.permit;
+      what << "flip clause node " << cl.node << " of " << pname << " to "
+           << (cl.permit ? "permit" : "deny");
+      return what.str();
+    }
+    case 5: {  // drop a clause (keep policies non-empty for round-tripping)
+      auto* pol = pick_policy(c, rng, 2, &pname);
+      if (!pol) return {};
+      const auto i = rng.below(pol->size());
+      what << "delete clause node " << (*pol)[i].node << " of " << pname;
+      pol->erase(pol->begin() + static_cast<std::ptrdiff_t>(i));
+      return what.str();
+    }
+    case 6: {  // toggle static redistribution
+      if (c.statics.empty() && !c.redistribute_static) return {};
+      c.redistribute_static = !c.redistribute_static;
+      what << (c.redistribute_static ? "enable" : "disable")
+           << " bgp import-route static";
+      return what.str();
+    }
+    case 7: {  // prepend an ASN the alphabet already contains (own ASN)
+      auto* pol = pick_policy(c, rng, 1, &pname);
+      if (!pol) return {};
+      auto& cl = (*pol)[rng.below(pol->size())];
+      if (cl.prepend_as && *cl.prepend_as == c.asn) return {};
+      cl.prepend_as = c.asn;
+      what << "prepend-as " << c.asn << " (known ASN) in " << pname;
+      return what.str();
+    }
+    case 8: {  // prepend a fresh ASN: grows the AS alphabet -> cold restart
+      auto* pol = pick_policy(c, rng, 1, &pname);
+      if (!pol) return {};
+      auto& cl = (*pol)[rng.below(pol->size())];
+      const auto asns = known_asns(configs);
+      std::uint32_t fresh = 64500 + static_cast<std::uint32_t>(rng.below(400));
+      while (asns.count(fresh)) ++fresh;
+      cl.prepend_as = fresh;
+      *universe_changing = true;
+      what << "prepend-as " << fresh << " (fresh ASN) in " << pname;
+      return what.str();
+    }
+    case 9: {  // add-community with a fresh value: new atom -> cold restart
+      auto* pol = pick_policy(c, rng, 1, &pname);
+      if (!pol) return {};
+      auto& cl = (*pol)[rng.below(pol->size())];
+      const auto comms = known_communities(configs);
+      std::uint16_t high = static_cast<std::uint16_t>(65100 + rng.below(100));
+      std::uint16_t low = static_cast<std::uint16_t>(rng.below(1000));
+      while (comms.count({high, low})) ++low;
+      const net::Community cm{high, low};
+      cl.add_communities.push_back(cm);
+      *universe_changing = true;
+      what << "add-community " << cm.to_string() << " (fresh) in " << pname;
+      return what.str();
+    }
+    default:
+      return {};
+  }
+}
+
+}  // namespace
+
+Edit apply_random_edit(const std::vector<config::RouterConfig>& configs,
+                       std::uint64_t seed) {
+  SplitMix64 rng(seed ^ 0xedD17edD17ULL);
+  Edit out;
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    const auto r = rng.below(configs.size());
+    // Universe-changing kinds (8, 9) are sampled less often so campaigns
+    // spend most of their scenarios on the warm path they exist to test.
+    const int kind = rng.chance(1, 5) ? static_cast<int>(8 + rng.below(2))
+                                      : static_cast<int>(rng.below(8));
+    auto copy = configs;
+    bool universe_changing = false;
+    const std::string what =
+        try_edit(copy, copy[r], kind, rng, &universe_changing);
+    if (what.empty() || copy[r] == configs[r]) continue;
+    out.configs = std::move(copy);
+    out.router = configs[r].name;
+    out.description = what;
+    out.universe_changing = universe_changing;
+    return out;
+  }
+  // Deterministic fallback: originating a fresh /24 is always applicable.
+  auto copy = configs;
+  auto& c = copy[rng.below(copy.size())];
+  std::uint32_t third = 0;
+  for (;;) {
+    const auto p = net::Ipv4Prefix::make((10u << 24) | (251u << 16) |
+                                             (third << 8), 24);
+    bool present = false;
+    for (const auto& q : c.networks) present = present || q == p;
+    if (!present) {
+      c.networks.push_back(p);
+      out.router = c.name;
+      out.description = "add bgp network " + p.to_string() + " (fallback)";
+      break;
+    }
+    ++third;
+  }
+  out.configs = std::move(copy);
+  return out;
+}
+
+}  // namespace expresso::fuzz

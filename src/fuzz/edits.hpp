@@ -1,0 +1,45 @@
+// Random single-router config edits for incremental re-verification testing.
+//
+// apply_random_edit() takes a parsed snapshot and produces a new snapshot
+// that differs in exactly one router, plus a description of what changed.
+// The edit mix deliberately exercises both sides of the Session's
+// invalidation logic:
+//
+//   * universe-preserving edits (local-pref tweak, add/remove bgp network,
+//     permit->deny flip, clause deletion, advertise-community toggle,
+//     redistribution toggle, prepend of an ASN already in the alphabet)
+//     keep the AS alphabet and the community-atom universe intact, so a
+//     Session::update() re-uses the encoding/BDD manager and warm-starts
+//     EPVP;
+//   * universe-changing edits (prepend of a fresh ASN, add-community with a
+//     fresh community value) force the cold path with a rebuilt encoding.
+//
+// Peers are never added or removed and router names/ASNs never change, so
+// topology shape (node set/order, external neighbors) is always preserved —
+// that is the regime the warm path targets.  Edits are a pure function of
+// (configs, seed); an edit that would be a no-op on this snapshot retries
+// with a different kind, so the returned snapshot always differs from the
+// input (config::diff_configs reports exactly one changed router).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "config/ast.hpp"
+
+namespace expresso::fuzz {
+
+struct Edit {
+  std::vector<config::RouterConfig> configs;  // the edited snapshot
+  std::string router;                         // name of the touched router
+  std::string description;                    // what was done
+  // Expected invalidation class (advisory: the Session decides for itself by
+  // comparing rebuilt universes).
+  bool universe_changing = false;
+};
+
+Edit apply_random_edit(const std::vector<config::RouterConfig>& configs,
+                       std::uint64_t seed);
+
+}  // namespace expresso::fuzz

@@ -1,0 +1,74 @@
+// Cross-run cache of compiled route policies.
+//
+// Policy compilation (policy::compile_policy) builds prefix BDDs, atom lists
+// and AS-path DFAs; the result depends only on the policy AST and the
+// symbolic universe (encoding + atomizer + alphabet) it was compiled
+// against.  A Session therefore keys compiled policies by
+// (router name, policy name, policy AST hash) and keeps the cache alive
+// across config updates for as long as the universe is unchanged — an edit
+// to one router re-compiles only that router's changed policies, and even a
+// changed router hits for the policies its edit did not touch.
+//
+// Not thread-safe: the EPVP engine freezes all lazily compiled policies in
+// its serial precompile step before parallel rounds start (the same
+// discipline the per-engine map used).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <tuple>
+
+#include "policy/transfer.hpp"
+
+namespace expresso::policy {
+
+class PolicyCache {
+ public:
+  using Key = std::tuple<std::string, std::string, std::uint64_t>;
+
+  static Key make_key(const std::string& router, const std::string& policy,
+                      std::uint64_t ast_hash) {
+    return {router, policy, ast_hash};
+  }
+
+  // Returns the cached compilation or null; counts a hit/miss either way.
+  const CompiledPolicy* find(const Key& key) {
+    auto it = entries_.find(key);
+    if (it == entries_.end()) {
+      ++misses_;
+      return nullptr;
+    }
+    ++hits_;
+    return &it->second;
+  }
+
+  // Counter-free lookup for hot paths (the EPVP rounds re-resolve policies
+  // on every transfer; only the precompile pass measures reuse).
+  const CompiledPolicy* peek(const Key& key) const {
+    auto it = entries_.find(key);
+    return it == entries_.end() ? nullptr : &it->second;
+  }
+
+  const CompiledPolicy* insert(const Key& key, CompiledPolicy compiled) {
+    auto [it, inserted] = entries_.emplace(key, std::move(compiled));
+    (void)inserted;
+    return &it->second;
+  }
+
+  // Invalidate everything (the symbolic universe changed: every BDD node id
+  // and atom index baked into the compilations is stale).
+  void clear() { entries_.clear(); }
+
+  std::size_t size() const { return entries_.size(); }
+  std::size_t hits() const { return hits_; }
+  std::size_t misses() const { return misses_; }
+  void reset_counters() { hits_ = misses_ = 0; }
+
+ private:
+  std::map<Key, CompiledPolicy> entries_;
+  std::size_t hits_ = 0;
+  std::size_t misses_ = 0;
+};
+
+}  // namespace expresso::policy

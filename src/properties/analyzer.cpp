@@ -200,7 +200,7 @@ std::vector<Violation> Analyzer::egress_preference(
   return out;
 }
 
-std::string Analyzer::describe(const Violation& v) {
+std::string Analyzer::describe(const Violation& v) const {
   const auto& net = engine_.network();
   auto& enc = engine_.encoding();
   std::ostringstream os;

@@ -71,8 +71,10 @@ class Analyzer {
       const std::vector<dataplane::Pec>& pecs, net::NodeIndex node,
       const net::Ipv4Prefix& d, const std::vector<net::NodeIndex>& order);
 
-  // Renders a violation (with a concrete witness environment).
-  std::string describe(const Violation& v);
+  // Renders a violation (with a concrete witness environment).  Logically
+  // read-only, hence const: witness extraction (Manager::sat_one) mutates
+  // nothing observable, so describing verdicts works on a const Session.
+  std::string describe(const Violation& v) const;
 
  private:
   bdd::NodeId internal_dest_predicate();

@@ -50,6 +50,15 @@ class CommunityAtomizer {
 
   std::vector<std::string> atom_names() const;
 
+  // Same atom universe: identical matcher list and identical atom
+  // numbering/signatures, so atom indices (and the atom BDD variables built
+  // on them) mean the same thing under both atomizers.
+  bool operator==(const CommunityAtomizer& other) const {
+    return matchers_ == other.matchers_ &&
+           atom_samples_ == other.atom_samples_ &&
+           atom_signatures_ == other.atom_signatures_;
+  }
+
  private:
   std::vector<bool> signature(const net::Community& c) const;
 

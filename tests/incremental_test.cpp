@@ -1,0 +1,220 @@
+// Incremental re-verification equivalence: across fuzz-generated networks
+// and random single-router edits, a Session that warm-starts from the
+// previous snapshot's fixed point must produce results bit-identical to a
+// fresh cold Session on the edited snapshot.
+//
+// The two sessions own different BDD managers, so "bit-identical" is decided
+// by bdd::structurally_equal (same variable order + ROBDD canonicity make
+// graph isomorphism coincide with semantic equality).  Route `prop_path` and
+// violation report text are excluded from comparison: merge coalescing keeps
+// the first candidate's propagation path, which is candidate-order dependent
+// and not part of route identity (symbolic::same_rib ignores it for the same
+// reason).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <vector>
+
+#include "bdd/bdd.hpp"
+#include "config/parser.hpp"
+#include "expresso/session.hpp"
+#include "fuzz/edits.hpp"
+#include "fuzz/generator.hpp"
+#include "properties/analyzer.hpp"
+
+namespace expresso {
+namespace {
+
+bool route_equiv(const bdd::Manager& ma, const symbolic::SymbolicRoute& a,
+                 const bdd::Manager& mb, const symbolic::SymbolicRoute& b) {
+  const auto& x = a.attrs;
+  const auto& y = b.attrs;
+  return x.local_pref == y.local_pref && x.origin == y.origin &&
+         x.med == y.med && x.learned == y.learned && x.source == y.source &&
+         x.next_hop == y.next_hop && x.originator == y.originator &&
+         x.aspath == y.aspath &&
+         bdd::structurally_equal(ma, x.comm.as_bdd(), mb, y.comm.as_bdd()) &&
+         bdd::structurally_equal(ma, a.d, mb, b.d);
+}
+
+// Multiset equality of two RIBs across managers (merge output order is
+// candidate-order dependent; RIBs are small, so O(n^2) matching is fine).
+bool rib_equiv(const bdd::Manager& ma,
+               const std::vector<symbolic::SymbolicRoute>& a,
+               const bdd::Manager& mb,
+               const std::vector<symbolic::SymbolicRoute>& b) {
+  if (a.size() != b.size()) return false;
+  std::vector<bool> used(b.size(), false);
+  for (const auto& ra : a) {
+    bool found = false;
+    for (std::size_t j = 0; j < b.size() && !found; ++j) {
+      if (!used[j] && route_equiv(ma, ra, mb, b[j])) {
+        used[j] = true;
+        found = true;
+      }
+    }
+    if (!found) return false;
+  }
+  return true;
+}
+
+bool pecs_equiv(const bdd::Manager& ma, const std::vector<dataplane::Pec>& a,
+                const bdd::Manager& mb, const std::vector<dataplane::Pec>& b) {
+  if (a.size() != b.size()) return false;
+  std::vector<bool> used(b.size(), false);
+  for (const auto& pa : a) {
+    bool found = false;
+    for (std::size_t j = 0; j < b.size() && !found; ++j) {
+      if (!used[j] && b[j].state == pa.state &&
+          b[j].path == pa.path &&
+          bdd::structurally_equal(ma, pa.pkt, mb, b[j].pkt)) {
+        used[j] = true;
+        found = true;
+      }
+    }
+    if (!found) return false;
+  }
+  return true;
+}
+
+// Verdict identity: (property, node, condition) multisets.  Paths/details
+// may differ through prop_path while describing the same violation.
+bool verdicts_equiv(const bdd::Manager& ma,
+                    const std::vector<properties::Violation>& a,
+                    const bdd::Manager& mb,
+                    const std::vector<properties::Violation>& b) {
+  if (a.size() != b.size()) return false;
+  std::vector<bool> used(b.size(), false);
+  for (const auto& va : a) {
+    bool found = false;
+    for (std::size_t j = 0; j < b.size() && !found; ++j) {
+      if (!used[j] && b[j].property == va.property && b[j].node == va.node &&
+          bdd::structurally_equal(ma, va.condition, mb, b[j].condition)) {
+        used[j] = true;
+        found = true;
+      }
+    }
+    if (!found) return false;
+  }
+  return true;
+}
+
+int scenario_count() {
+  if (const char* env = std::getenv("EXPRESSO_INCREMENTAL_SCENARIOS")) {
+    return std::max(1, std::atoi(env));
+  }
+  return 200;
+}
+
+TEST(IncrementalEquivalence, WarmUpdateMatchesColdRunAcrossFuzzedEdits) {
+  const int n = scenario_count();
+  int warm_runs = 0;
+  int cold_runs = 0;
+  for (int i = 0; i < n; ++i) {
+    const std::uint64_t seed = 0xa11ce000u + static_cast<std::uint64_t>(i);
+    const auto sc = fuzz::generate_scenario(seed);
+    std::vector<config::RouterConfig> base;
+    try {
+      base = config::parse_configs(sc.config_text);
+    } catch (const std::exception&) {
+      continue;  // generator emits only parseable text; belt and braces
+    }
+    const auto edit = fuzz::apply_random_edit(base, seed * 7919 + 13);
+    SCOPED_TRACE("seed=" + std::to_string(seed) + " router=" + edit.router +
+                 " edit=" + edit.description);
+
+    Session warm;
+    warm.load(base);
+    warm.run_src();  // converge on the base snapshot to create the seed
+    warm.update(edit.configs);
+
+    Session cold;
+    cold.load(edit.configs);
+
+    warm.run_src();
+    cold.run_src();
+    ASSERT_EQ(warm.stats().converged, cold.stats().converged);
+    if (!warm.stats().converged) continue;
+    (warm.stats().warm ? warm_runs : cold_runs) += 1;
+
+    const auto& me = warm.engine().encoding().mgr();
+    const auto& mc = cold.engine().encoding().mgr();
+    const auto& nodes = warm.network().nodes();
+    ASSERT_EQ(nodes.size(), cold.network().nodes().size());
+    for (net::NodeIndex u = 0; u < nodes.size(); ++u) {
+      if (nodes[u].external) {
+        ASSERT_TRUE(rib_equiv(me, warm.engine().external_rib(u), mc,
+                              cold.engine().external_rib(u)))
+            << "external RIB mismatch at " << nodes[u].name;
+      } else {
+        ASSERT_TRUE(
+            rib_equiv(me, warm.engine().rib(u), mc, cold.engine().rib(u)))
+            << "RIB mismatch at " << nodes[u].name;
+      }
+    }
+
+    ASSERT_TRUE(pecs_equiv(me, warm.pecs(), mc, cold.pecs()));
+
+    ASSERT_TRUE(verdicts_equiv(me, warm.check_route_leak_free(), mc,
+                               cold.check_route_leak_free()));
+    ASSERT_TRUE(verdicts_equiv(me, warm.check_route_hijack_free(), mc,
+                               cold.check_route_hijack_free()));
+    ASSERT_TRUE(verdicts_equiv(me, warm.check_loop_free(), mc,
+                               cold.check_loop_free()));
+    ASSERT_TRUE(verdicts_equiv(me, warm.check_traffic_hijack_free(), mc,
+                               cold.check_traffic_hijack_free()));
+    ASSERT_TRUE(verdicts_equiv(me, warm.check_blackhole_free(sc.pool), mc,
+                               cold.check_blackhole_free(sc.pool)));
+  }
+  // The edit mix must exercise both invalidation paths.
+  EXPECT_GT(warm_runs, 0) << "no scenario took the warm path";
+  EXPECT_GT(cold_runs, 0) << "no scenario took the cold path";
+}
+
+// A chain of edits against one long-lived session: each update re-verifies
+// against a fresh cold session, and the session survives universe changes
+// (cold restart) mid-chain.
+TEST(IncrementalEquivalence, EditChainsStayEquivalent) {
+  const int kChains = 20;
+  const int kEditsPerChain = 5;
+  for (int c = 0; c < kChains; ++c) {
+    const std::uint64_t seed = 0xc4a15000u + static_cast<std::uint64_t>(c);
+    const auto sc = fuzz::generate_scenario(seed);
+    auto snapshot = config::parse_configs(sc.config_text);
+
+    Session live;
+    live.load(snapshot);
+    live.run_src();
+    for (int e = 0; e < kEditsPerChain; ++e) {
+      const auto edit = fuzz::apply_random_edit(
+          snapshot, seed + 31 * static_cast<std::uint64_t>(e) + 7);
+      SCOPED_TRACE("seed=" + std::to_string(seed) + " step=" +
+                   std::to_string(e) + " edit=" + edit.description);
+      snapshot = edit.configs;
+      live.update(snapshot);
+
+      Session cold;
+      cold.load(snapshot);
+      live.run_src();
+      cold.run_src();
+      ASSERT_EQ(live.stats().converged, cold.stats().converged);
+      if (!live.stats().converged) break;
+
+      const auto& me = live.engine().encoding().mgr();
+      const auto& mc = cold.engine().encoding().mgr();
+      for (net::NodeIndex u = 0; u < live.network().nodes().size(); ++u) {
+        const bool ext = live.network().nodes()[u].external;
+        ASSERT_TRUE(rib_equiv(
+            me, ext ? live.engine().external_rib(u) : live.engine().rib(u),
+            mc, ext ? cold.engine().external_rib(u) : cold.engine().rib(u)))
+            << "RIB mismatch at " << live.network().nodes()[u].name;
+      }
+      ASSERT_TRUE(verdicts_equiv(me, live.check_loop_free(), mc,
+                                 cold.check_loop_free()));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace expresso

@@ -1,0 +1,244 @@
+// The staged pipeline: config hashing/diffing, Session artifact memoization
+// across update() calls, warm/cold selection, and const-correct read access.
+#include "expresso/session.hpp"
+
+#include <gtest/gtest.h>
+
+#include "bdd/bdd.hpp"
+#include "config/hash.hpp"
+#include "config/parser.hpp"
+#include "expresso/verifier.hpp"
+
+namespace expresso {
+namespace {
+
+const char* kBase = R"(
+router A
+ bgp as 100
+ bgp network 10.1.0.0/16
+ route-policy ex permit node 10
+  set-local-preference 120
+ bgp peer B AS 100
+ bgp peer N1 AS 200 export ex
+router B
+ bgp as 100
+ bgp network 10.2.0.0/16
+ bgp peer A AS 100
+ bgp peer N2 AS 300
+)";
+
+// --- config content hashing -------------------------------------------------
+
+TEST(ConfigHashTest, HashIsStableAcrossCopiesAndReparses) {
+  const auto a = config::parse_configs(kBase);
+  const auto b = config::parse_configs(kBase);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(config::ast_hash(a[i]), config::ast_hash(b[i]));
+  }
+  EXPECT_EQ(config::snapshot_hash(a), config::snapshot_hash(b));
+  EXPECT_EQ(config::text_hash(kBase), config::text_hash(std::string(kBase)));
+}
+
+TEST(ConfigHashTest, HashSeesEveryEditedField) {
+  const auto base = config::parse_configs(kBase);
+  auto edited = base;
+  edited[0].policies["ex"][0].set_local_preference = 121;
+  EXPECT_NE(config::ast_hash(base[0]), config::ast_hash(edited[0]));
+  EXPECT_EQ(config::ast_hash(base[1]), config::ast_hash(edited[1]));
+  EXPECT_NE(config::snapshot_hash(base), config::snapshot_hash(edited));
+
+  auto toggled = base;
+  toggled[1].peers[1].advertise_community = true;
+  EXPECT_NE(config::ast_hash(base[1]), config::ast_hash(toggled[1]));
+}
+
+TEST(ConfigHashTest, SnapshotHashIsOrderInsensitive) {
+  const auto a = config::parse_configs(kBase);
+  auto rev = a;
+  std::reverse(rev.begin(), rev.end());
+  EXPECT_EQ(config::snapshot_hash(a), config::snapshot_hash(rev));
+}
+
+TEST(ConfigDiffTest, ReportsAddedRemovedChangedUnchanged) {
+  const auto before = config::parse_configs(kBase);
+  auto after = before;
+  after[0].networks.push_back(*net::Ipv4Prefix::parse("10.3.0.0/16"));
+  after.push_back(after[1]);
+  after.back().name = "C";
+
+  const auto d = config::diff_configs(before, after);
+  EXPECT_FALSE(d.empty());
+  EXPECT_FALSE(d.same_router_set());
+  EXPECT_EQ(d.added, std::vector<std::string>{"C"});
+  EXPECT_TRUE(d.removed.empty());
+  EXPECT_EQ(d.changed, std::vector<std::string>{"A"});
+  EXPECT_EQ(d.unchanged, 1u);
+
+  const auto same = config::diff_configs(before, before);
+  EXPECT_TRUE(same.empty());
+  EXPECT_TRUE(same.same_router_set());
+  EXPECT_EQ(same.unchanged, 2u);
+}
+
+// --- session memoization ----------------------------------------------------
+
+TEST(SessionTest, MatchesTheSingleShotVerifier) {
+  Session s;
+  s.load(kBase);
+  Verifier v(kBase);
+  EXPECT_EQ(s.check_route_leak_free().size(),
+            v.check_route_leak_free().size());
+  EXPECT_EQ(s.check_loop_free().size(), v.check_loop_free().size());
+  EXPECT_EQ(s.stats().converged, v.stats().converged);
+  EXPECT_EQ(s.stats().total_pecs, v.stats().total_pecs);
+}
+
+TEST(SessionTest, IdenticalTextUpdateHitsEveryStage) {
+  Session s;
+  s.load(kBase);
+  s.run_spf();
+  const auto gen_pecs = s.pecs().size();
+  (void)s.check_loop_free();
+
+  s.update(kBase);
+  const auto& st = s.stats();
+  EXPECT_EQ(st.parse_cache.hits, 1u);    // byte-identical text: parser skipped
+  EXPECT_EQ(st.topology_cache.hits, 1u);
+  EXPECT_EQ(st.universe_cache.hits, 1u);
+  EXPECT_EQ(st.src_cache.hits, 1u);
+
+  // SRC/SPF artifacts survived: no re-run needed, verdicts replay from memo.
+  const auto before_misses = s.stats().verdict_cache.misses;
+  (void)s.check_loop_free();
+  EXPECT_EQ(s.stats().verdict_cache.misses, before_misses);
+  EXPECT_GE(s.stats().verdict_cache.hits, 1u);
+  EXPECT_EQ(s.pecs().size(), gen_pecs);
+}
+
+TEST(SessionTest, UniversePreservingEditWarmStarts) {
+  Session s;
+  s.load(kBase);
+  s.run_src();
+  EXPECT_FALSE(s.stats().warm);  // first run is cold by definition
+
+  auto edited = config::parse_configs(kBase);
+  edited[0].policies["ex"][0].set_local_preference = 300;
+  s.update(edited);
+  EXPECT_EQ(s.stats().universe_cache.hits, 1u);  // same alphabet/atoms
+  s.run_src();
+  EXPECT_TRUE(s.stats().warm);
+  EXPECT_TRUE(s.stats().converged);
+  EXPECT_TRUE(s.engine().warm_started());
+}
+
+TEST(SessionTest, FreshAsnForcesColdRestart) {
+  Session s;
+  s.load(kBase);
+  s.run_src();
+
+  auto edited = config::parse_configs(kBase);
+  edited[0].policies["ex"][0].prepend_as = 64999;  // not in the alphabet
+  s.update(edited);
+  EXPECT_EQ(s.stats().universe_cache.misses, 2u);  // initial load + this
+  s.run_src();
+  EXPECT_FALSE(s.stats().warm);
+  EXPECT_FALSE(s.engine().warm_started());
+  EXPECT_TRUE(s.stats().converged);
+}
+
+TEST(SessionTest, UnchangedFixedPointKeepsSpfAndVerdicts) {
+  Session s;
+  s.load(kBase);
+  (void)s.check_loop_free();
+
+  // An unreachable policy clause (clause 10 matches unconditionally) changes
+  // the config hash but not the fixed point: SPF and verdicts stay.
+  auto edited = config::parse_configs(kBase);
+  config::PolicyClause dead;
+  dead.permit = false;
+  dead.node = 20;
+  edited[0].policies["ex"].push_back(dead);
+  s.update(edited);
+  (void)s.check_loop_free();
+  EXPECT_TRUE(s.stats().warm);
+  EXPECT_GE(s.stats().spf_cache.hits, 1u);
+  EXPECT_GE(s.stats().verdict_cache.hits, 1u);
+}
+
+TEST(SessionTest, PolicyCacheReusesUntouchedRouters) {
+  Session s;
+  s.load(kBase);
+  s.run_src();
+  const auto misses_after_cold = s.stats().policy_cache.misses;
+  EXPECT_GT(misses_after_cold, 0u);
+
+  auto edited = config::parse_configs(kBase);
+  edited[1].networks.push_back(*net::Ipv4Prefix::parse("10.9.0.0/16"));
+  s.update(edited);
+  s.run_src();
+  // Router B has no policies and A was untouched, so "ex" compiles 0 times.
+  EXPECT_EQ(s.stats().policy_cache.misses, misses_after_cold);
+  EXPECT_GE(s.stats().policy_cache.hits, 1u);
+}
+
+TEST(SessionTest, VerifyWarmShadowAgreesOnSimpleNetworks) {
+  Session::SessionOptions opt;
+  opt.verify_warm = true;
+  Session s(opt);
+  s.load(kBase);
+  s.run_src();
+
+  auto edited = config::parse_configs(kBase);
+  edited[0].policies["ex"][0].set_local_preference = 80;
+  s.update(edited);
+  s.run_src();
+  EXPECT_TRUE(s.stats().warm);  // shadow cold run agreed with the warm one
+  EXPECT_TRUE(s.stats().converged);
+}
+
+// --- const-correct read access ----------------------------------------------
+
+TEST(SessionTest, ConstViewsWorkAfterStagesRan) {
+  Session s;
+  s.load(kBase);
+  const auto loops = s.check_loop_free();
+  s.run_spf();
+
+  const Session& cs = s;
+  EXPECT_EQ(cs.pecs().size(), s.stats().total_pecs);
+  EXPECT_GT(cs.network().nodes().size(), 0u);
+  // describe() is const (witness extraction is logically read-only), as is
+  // route_to_string on the engine.
+  const auto hijacks = s.check_route_hijack_free();
+  for (const auto& v : hijacks) (void)cs.describe(v);
+  const auto idx = *cs.network().find("A");
+  for (const auto& r : cs.engine().rib(idx)) {
+    EXPECT_FALSE(cs.engine().route_to_string(r).empty());
+  }
+}
+
+TEST(SessionTest, ConstPecsThrowsBeforeSpf) {
+  Session s;
+  s.load(kBase);
+  const Session& cs = s;
+  EXPECT_THROW(cs.pecs(), std::logic_error);
+  EXPECT_THROW(Session{}.network(), std::logic_error);
+}
+
+// --- cross-manager structural equality (the incremental differ's oracle) ----
+
+TEST(StructurallyEqualTest, AgreesAcrossManagers) {
+  bdd::Manager ma(8), mb(8);
+  const auto fa = ma.and_(ma.var(3), ma.or_(ma.var(1), ma.not_(ma.var(7))));
+  const auto fb = mb.and_(mb.var(3), mb.or_(mb.var(1), mb.not_(mb.var(7))));
+  EXPECT_TRUE(bdd::structurally_equal(ma, fa, mb, fb));
+  EXPECT_FALSE(bdd::structurally_equal(ma, fa, mb, mb.var(3)));
+  EXPECT_TRUE(bdd::structurally_equal(ma, bdd::kTrue, mb, bdd::kTrue));
+  EXPECT_FALSE(bdd::structurally_equal(ma, bdd::kFalse, mb, bdd::kTrue));
+  // Same manager: hash-consing makes it pointer equality.
+  EXPECT_TRUE(bdd::structurally_equal(ma, fa, ma, fa));
+}
+
+}  // namespace
+}  // namespace expresso
