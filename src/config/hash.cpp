@@ -7,6 +7,22 @@ namespace expresso::config {
 
 namespace {
 
+// splitmix64 finalizer; also decorrelates per-router digests before the
+// commutative snapshot combines below.
+std::uint64_t mix64(std::uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+// Order-insensitive combine that cannot self-cancel: each digest is remixed
+// and then summed with wraparound.  Plain XOR would let any even multiset of
+// identical digests vanish — a snapshot with two copies of the same router
+// hashing like one with neither.
+std::uint64_t combine_unordered(std::uint64_t acc, std::uint64_t digest) {
+  return acc + mix64(digest + 0x9e3779b97f4a7c15ULL);
+}
+
 // FNV-1a style accumulator with a splitmix finalizer on word boundaries.
 // Field tags keep adjacent fields from aliasing (e.g. an empty vector
 // followed by value v hashes differently from v followed by an empty
@@ -14,7 +30,7 @@ namespace {
 class Hasher {
  public:
   void u64(std::uint64_t v) {
-    state_ ^= mix(v + 0x9e3779b97f4a7c15ULL);
+    state_ ^= mix64(v + 0x9e3779b97f4a7c15ULL);
     state_ *= 0x100000001b3ULL;
   }
   void u32(std::uint32_t v) { u64(v); }
@@ -29,14 +45,9 @@ class Hasher {
     u64(h);
   }
   void tag(std::uint64_t t) { u64(t ^ 0x2545f4914f6cdd1dULL); }
-  std::uint64_t digest() const { return mix(state_); }
+  std::uint64_t digest() const { return mix64(state_); }
 
  private:
-  static std::uint64_t mix(std::uint64_t z) {
-    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
-    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
-    return z ^ (z >> 31);
-  }
   std::uint64_t state_ = 0x9ddfea08eb382d69ULL;
 };
 
@@ -127,11 +138,36 @@ std::uint64_t ast_hash(const RouterConfig& cfg) {
 }
 
 std::uint64_t snapshot_hash(const std::vector<RouterConfig>& cfgs) {
-  // XOR of per-router digests: commutative, so reordering routers in the
-  // file does not produce a "new" snapshot.
+  // Commutative over routers, so reordering them in the file does not
+  // produce a "new" snapshot.
   std::uint64_t acc = 0x51afd7ed558ccd6dULL;
-  for (const auto& cfg : cfgs) acc ^= ast_hash(cfg);
-  return acc;
+  for (const auto& cfg : cfgs) acc = combine_unordered(acc, ast_hash(cfg));
+  return mix64(acc);
+}
+
+std::uint64_t dataplane_hash(const RouterConfig& cfg) {
+  Hasher h;
+  h.str(cfg.name);
+  h.tag(5);
+  h.u64(cfg.networks.size());
+  for (const auto& p : cfg.networks) hash_prefix(h, p);
+  h.u64(cfg.aggregates.size());
+  for (const auto& p : cfg.aggregates) hash_prefix(h, p);
+  h.u64(cfg.connected.size());
+  for (const auto& p : cfg.connected) hash_prefix(h, p);
+  h.u64(cfg.statics.size());
+  for (const auto& s : cfg.statics) {
+    hash_prefix(h, s.prefix);
+    h.str(s.next_hop);
+  }
+  h.boolean(cfg.redistribute_static);
+  return h.digest();
+}
+
+std::uint64_t dataplane_hash(const std::vector<RouterConfig>& cfgs) {
+  std::uint64_t acc = 0xe7037ed1a0b428dbULL;
+  for (const auto& cfg : cfgs) acc = combine_unordered(acc, dataplane_hash(cfg));
+  return mix64(acc);
 }
 
 std::uint64_t text_hash(const std::string& text) {

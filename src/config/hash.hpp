@@ -28,6 +28,15 @@ std::uint64_t ast_hash(const RouterConfig& cfg);
 // Order-insensitive combination over a snapshot: routers hash by (name,
 // ast_hash) so a pure reordering of the config file is not a change.
 std::uint64_t snapshot_hash(const std::vector<RouterConfig>& cfgs);
+// Hash of exactly the config fields that post-SRC stages read *directly*,
+// bypassing the symbolic RIBs: FibBuilder::build_router (connected, statics)
+// and net::Network::internal_prefixes (networks, aggregates, connected,
+// statics gated on redistribute_static).  The Session requires this hash to
+// be unchanged before it revalidates FIBs/PECs/verdicts off RIB equality
+// alone; extend it if a downstream stage grows a new direct config read.
+std::uint64_t dataplane_hash(const RouterConfig& cfg);
+// ... combined order-insensitively over a snapshot.
+std::uint64_t dataplane_hash(const std::vector<RouterConfig>& cfgs);
 // Hash of raw text (parse-stage key).
 std::uint64_t text_hash(const std::string& text);
 

@@ -67,6 +67,8 @@ void Session::reset_all() {
   first_as_cache_.clear();
   seed_available_ = false;
   src_done_ = false;
+  dp_hash_ = 0;
+  run_dp_hash_ = 0;
   ++generation_;
 }
 
@@ -189,6 +191,7 @@ void Session::install(std::vector<config::RouterConfig> configs,
 
   net_ = std::move(net);
   snapshot_hash_ = config::snapshot_hash(net_->configs());
+  dp_hash_ = config::dataplane_hash(net_->configs());
   build_engine();
   src_done_ = false;
   stats_.warm = false;
@@ -273,12 +276,19 @@ void Session::run_src() {
 
   // If the warm run landed on the very fixed point it was seeded with, the
   // RIBs are unchanged and every downstream artifact (FIBs, PECs, verdicts)
-  // remains valid — the generation stays, so they keep hitting.
+  // remains valid — the generation stays, so they keep hitting.  RIB
+  // equality alone is not enough: FIB construction and internal-prefix
+  // predicates read statics/connected/networks/aggregates straight from the
+  // config, so those fields (config::dataplane_hash) must also match the
+  // snapshot the current generation's artifacts were computed from.  An edit
+  // touching only a non-redistributed static route leaves every RIB
+  // identical yet moves the FIBs.
   const bool unchanged =
-      seeded && warm && converged &&
+      seeded && warm && converged && dp_hash_ == run_dp_hash_ &&
       ribs_equal(engine_->all_ribs(), prev_ribs_) &&
       ribs_equal(engine_->all_external_ribs(), prev_external_ribs_);
   if (!unchanged) ++generation_;
+  run_dp_hash_ = dp_hash_;
 
   if (converged) {
     prev_ribs_ = engine_->all_ribs();
@@ -337,7 +347,11 @@ const std::vector<dataplane::Pec>& Session::pecs() {
 
 const std::vector<dataplane::Pec>& Session::pecs() const {
   ensure_loaded();
-  if (!pecs_ || pec_generation_ != generation_) {
+  // !src_done_ covers the window between update() and the next run: a
+  // pending non-empty delta keeps generation_ (the bump decision is made by
+  // run_src), so the generation guard alone would hand out PECs computed
+  // from the previous snapshot.
+  if (!src_done_ || !pecs_ || pec_generation_ != generation_) {
     throw std::logic_error("Session::pecs() const: run_spf() first");
   }
   return *pecs_;

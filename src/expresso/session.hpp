@@ -18,8 +18,12 @@
 //     universe                      and first-AS automata are kept, and EPVP
 //                                   warm-starts from the previous converged
 //                                   RIBs; if the warm fixed point's RIBs are
-//                                   unchanged, FIBs/PECs and verdicts are
-//                                   also kept;
+//                                   unchanged AND the data-plane config hash
+//                                   (fields FIB construction and
+//                                   internal-prefix predicates read straight
+//                                   from the config — see
+//                                   config::dataplane_hash) is unchanged,
+//                                   FIBs/PECs and verdicts are also kept;
 //   * universe changed (new ASN, → cold restart: fresh encoding, caches
 //     new community atom, new       cleared.  Warm runs that fail to
 //     neighbor, router add/remove)  converge also fall back to a cold run.
@@ -128,7 +132,9 @@ class Session {
   epvp::Engine& engine();
   const epvp::Engine& engine() const;
   // Computes SPF if needed (non-const) / requires run_spf() already done
-  // (const; throws std::logic_error otherwise).
+  // (const; throws std::logic_error otherwise, including after an update()
+  // whose delta has not been re-verified yet — a pending delta may leave the
+  // cached PECs describing the previous snapshot).
   const std::vector<dataplane::Pec>& pecs();
   const std::vector<dataplane::Pec>& pecs() const;
 
@@ -186,11 +192,17 @@ class Session {
   std::vector<std::vector<symbolic::SymbolicRoute>> prev_ribs_;
   std::vector<std::vector<symbolic::SymbolicRoute>> prev_external_ribs_;
 
-  // SPF state.  `generation_` identifies the RIB contents verdicts/PECs were
-  // derived from; it only advances when a run actually changes the RIBs, so
-  // a warm re-verification that lands on the same fixed point keeps every
-  // downstream artifact.
+  // SPF state.  `generation_` identifies the inputs verdicts/PECs were
+  // derived from: the RIB contents plus the data-plane config fields that
+  // FIB construction and internal-prefix predicates read directly
+  // (config::dataplane_hash).  It only advances when a run changes either,
+  // so a warm re-verification that lands on the same fixed point over the
+  // same data-plane config keeps every downstream artifact.
   std::uint64_t generation_ = 0;
+  std::uint64_t dp_hash_ = 0;      // dataplane_hash of the live snapshot
+  std::uint64_t run_dp_hash_ = 0;  // ... of the snapshot the last completed
+                                   // run_src() (and thus the current
+                                   // generation's artifacts) was based on
   std::optional<std::vector<dataplane::Pec>> pecs_;
   std::uint64_t pec_generation_ = 0;
   std::size_t fib_entries_ = 0;

