@@ -39,6 +39,7 @@ int main() {
   std::printf("%-12s %14s %14s %18s\n", "dataset", "Expresso", "Expresso-",
               "Minesweeper*");
   for (const auto& item : items) {
+    benchutil::CaseSpan trace_case(item.name);
     Stopwatch sw;
     Verifier v(item.text);
     (void)v.check_route_leak_free();

@@ -19,6 +19,7 @@ int main() {
               "SRC", "routing-prop", "SPF", "forwarding-prop", "PECs");
 
   auto run = [&](const std::string& name, const std::string& text) {
+    benchutil::CaseSpan trace_case(name);
     Verifier v(text);
     v.run_src();
     (void)v.check_route_leak_free();

@@ -1,0 +1,75 @@
+#!/usr/bin/env bash
+# Collects every bench binary's machine-readable output into one JSON
+# document, BENCH_expresso.json:
+#
+#   * each bench's `JSON {...}` rows (EXPRESSO_BENCH_JSON=1, one object per
+#     table row — see bench/bench_util.hpp), and
+#   * each run's metrics-registry dump (EXPRESSO_METRICS, one document per
+#     Session — see DESIGN.md §8),
+#
+# all tagged with the binary they came from.  EXPERIMENTS.md documents the
+# row schemas.
+#
+#   scripts/bench_collect.sh                   # all of build/bench/*
+#   scripts/bench_collect.sh table3_stages ... # just the named benches
+#   OUT=/tmp/rows.json scripts/bench_collect.sh
+#   EXPRESSO_BENCH_FULL=1 scripts/bench_collect.sh   # paper-scale runs
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${BUILD_DIR:-build}"
+OUT="${OUT:-BENCH_expresso.json}"
+
+if [ ! -d "$BUILD_DIR/bench" ]; then
+  echo "bench_collect.sh: $BUILD_DIR/bench not found (build first)" >&2
+  exit 2
+fi
+
+if [ "$#" -gt 0 ]; then
+  benches=()
+  for name in "$@"; do benches+=("$BUILD_DIR/bench/$name"); done
+else
+  benches=("$BUILD_DIR"/bench/*)
+fi
+
+tmpdir="$(mktemp -d)"
+trap 'rm -rf "$tmpdir"' EXIT
+
+rows="$tmpdir/rows"
+: > "$rows"
+
+for bin in "${benches[@]}"; do
+  [ -f "$bin" ] && [ -x "$bin" ] || continue
+  name="$(basename "$bin")"
+  echo "bench_collect.sh: running $name" >&2
+  metrics="$tmpdir/$name.metrics"
+  : > "$metrics"
+  # The human-readable tables go to stderr so the terminal still shows
+  # progress; the JSON rows are extracted from stdout.
+  EXPRESSO_BENCH_JSON=1 EXPRESSO_METRICS="$metrics" "$bin" \
+    > "$tmpdir/$name.out" 2>&2 || {
+      echo "bench_collect.sh: $name failed" >&2
+      exit 1
+    }
+  # Bench rows: strip the "JSON " prefix, tag with the binary name.
+  sed -n 's/^JSON //p' "$tmpdir/$name.out" |
+    sed "s/^{/{\"binary\":\"$name\",/" >> "$rows"
+  # Metrics documents (one per Session the bench created).
+  sed "s/^{/{\"binary\":\"$name\",/" "$metrics" >> "$rows"
+done
+
+if [ ! -s "$rows" ]; then
+  echo "bench_collect.sh: no JSON rows collected" >&2
+  exit 1
+fi
+
+# Fold the row lines into one JSON array document.
+{
+  printf '{"suite":"expresso","rows":[\n'
+  sed '$!s/$/,/' "$rows"
+  printf ']}\n'
+} > "$OUT"
+
+count="$(wc -l < "$rows")"
+echo "bench_collect.sh: wrote $count rows to $OUT"

@@ -24,6 +24,16 @@ esac
 # so its campaign output is visible separately).
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS" -LE fuzz
 
+# Observability layer on its own (also part of tier 1 — this run is for
+# visibility when the tracer/registry is what broke).
+ctest --test-dir "$BUILD_DIR" --output-on-failure -L obs
+
+# Trace smoke: a traced example run must produce a Chrome-loadable file with
+# spans for all seven pipeline stages, EPVP rounds and substrate samples.
+TRACE_OUT="$BUILD_DIR/check_trace.json"
+EXPRESSO_TRACE="$TRACE_OUT" "$BUILD_DIR/examples/example_quickstart" > /dev/null
+"$BUILD_DIR/tools/expresso_trace_check" "$TRACE_OUT" --require-stages --min-events 10
+
 # Incremental re-verification equivalence: warm Session::update() checked
 # bit-identical against cold runs across fuzzed single-router edits.
 ctest --test-dir "$BUILD_DIR" --output-on-failure -L incremental

@@ -156,7 +156,11 @@ NodeId Manager::ite_rec(NodeId f, NodeId g, NodeId h, ThreadCache& tc) {
   if (g == kTrue && h == kFalse) return f;
 
   IteEntry& e = tc.ite[hash3(f, g, h) & (kIteCacheSize - 1)];
-  if (e.valid && e.f == f && e.g == g && e.h == h) return e.result;
+  if (e.valid && e.f == f && e.g == g && e.h == h) {
+    ++tc.ite_hits;
+    return e.result;
+  }
+  ++tc.ite_misses;
 
   const Node& nf = node(f);
   const Node& ng = node(g);
@@ -426,6 +430,21 @@ std::size_t Manager::approx_bytes() const {
              tc->value.capacity() * sizeof(double);
   }
   return bytes;
+}
+
+Manager::Telemetry Manager::telemetry() const {
+  Telemetry t;
+  t.nodes = total_nodes();
+  for (std::size_t i = 0; i < kNumStripes; ++i) {
+    t.unique_entries += stripes_[i].count;
+    t.unique_capacity += stripes_[i].table.size();
+  }
+  for (const auto& tc : tls_) {
+    t.ite_hits += tc->ite_hits;
+    t.ite_misses += tc->ite_misses;
+  }
+  t.approx_bytes = approx_bytes();
+  return t;
 }
 
 void Manager::clear_caches() {

@@ -141,6 +141,20 @@ class Manager {
   // Approximate heap bytes held by the manager's tables.
   std::size_t approx_bytes() const;
 
+  // Substrate telemetry snapshot (obs layer, DESIGN.md §8).  ITE-cache
+  // hit/miss counters are plain per-thread tallies summed here, so call
+  // this only at parallel quiescence (stage boundaries) — exactly where
+  // Session samples it.
+  struct Telemetry {
+    std::size_t nodes = 0;          // total nodes ever allocated
+    std::size_t unique_entries = 0; // occupied unique-table slots
+    std::size_t unique_capacity = 0;
+    std::size_t approx_bytes = 0;
+    std::uint64_t ite_hits = 0;
+    std::uint64_t ite_misses = 0;   // cache lookups that had to recurse
+  };
+  Telemetry telemetry() const;
+
   // Drops the operation caches (unique table and nodes are kept).
   void clear_caches();
 
@@ -199,6 +213,11 @@ class Manager {
     std::vector<IteEntry> ite;
     std::vector<QuantEntry> quant;
     std::uint64_t quant_gen = 0;
+    // ITE-cache effectiveness tallies (telemetry).  Plain (non-atomic)
+    // because the cache itself is thread-private; readers aggregate at
+    // quiescence via telemetry().
+    std::uint64_t ite_hits = 0;
+    std::uint64_t ite_misses = 0;
     // Scratch reused by density/sat_count, support, node_count: stamped
     // visit marks avoid a fresh hash map per call (the stamp generation
     // makes clearing O(1)).

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <map>
 
+#include "obs/trace.hpp"
 #include "support/thread_pool.hpp"
 
 namespace expresso::dataplane {
@@ -11,6 +12,7 @@ using net::NodeIndex;
 using symbolic::Source;
 
 FibBuilder::FibBuilder(epvp::Engine& engine) : engine_(engine) {
+  obs::Span span("spf.fib_build", "dataplane");
   const auto& net = engine_.network();
   fibs_.resize(net.nodes().size());
   ports_.resize(net.nodes().size());
@@ -19,6 +21,11 @@ FibBuilder::FibBuilder(epvp::Engine& engine) : engine_(engine) {
   const auto& internal = net.internal_nodes();
   support::parallel_for(engine_.pool(), internal.size(),
                         [&](std::size_t k) { build_router(internal[k]); });
+  if (span.active()) {
+    std::size_t entries = 0;
+    for (const auto& f : fibs_) entries += f.size();
+    span.arg("routers", internal.size()).arg("fib_entries", entries);
+  }
 }
 
 std::vector<std::pair<std::uint8_t, bdd::NodeId>> FibBuilder::split_by_length(

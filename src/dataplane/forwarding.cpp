@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/trace.hpp"
 #include "support/thread_pool.hpp"
 
 namespace expresso::dataplane {
@@ -78,6 +79,7 @@ std::vector<Pec> Forwarder::pecs_from(NodeIndex start) const {
 }
 
 std::vector<Pec> Forwarder::all_pecs() const {
+  obs::Span span("spf.pec_walk", "dataplane");
   // One injection point per node; the symbolic walks are independent, so
   // they run on the engine's pool.  Concatenating per-node results in node
   // order keeps the PEC list identical to the serial traversal.
@@ -93,6 +95,9 @@ std::vector<Pec> Forwarder::all_pecs() const {
   for (auto& pecs : per_node) {
     out.insert(out.end(), std::make_move_iterator(pecs.begin()),
                std::make_move_iterator(pecs.end()));
+  }
+  if (span.active()) {
+    span.arg("injection_points", n).arg("pecs", out.size());
   }
   return out;
 }

@@ -7,6 +7,7 @@
 #include <stdexcept>
 
 #include "config/hash.hpp"
+#include "obs/trace.hpp"
 
 namespace expresso::epvp {
 
@@ -106,6 +107,7 @@ Engine::Engine(const net::Network& network, Options options,
 }
 
 void Engine::precompile() {
+  obs::Span span("epvp.precompile", "epvp");
   for (const SessionEdge& e : net_.edges()) {
     if (e.export_stmt && e.export_stmt->export_policy &&
         !net_.node(e.from).external) {
@@ -122,6 +124,10 @@ void Engine::precompile() {
       first_as_cache_->emplace(
           s, automaton::Dfa::universe(alphabet_->size()).prepend(s));
     }
+  }
+  if (span.active()) {
+    span.arg("policy_cache_hits", policies_->hits())
+        .arg("policy_cache_misses", policies_->misses());
   }
   precompiled_ = true;
 }
@@ -418,6 +424,11 @@ bool Engine::run() {
   bool converged = false;
   const auto& internal = net_.internal_nodes();
   for (iterations_ = 0; iterations_ < max_iters; ++iterations_) {
+    obs::Span round_span("epvp.round", "epvp");
+    // Per-router candidate counts are an arg on the round span; gathering
+    // them costs a store per router, so it only happens while tracing.
+    const bool collect = round_span.active();
+    std::vector<std::uint32_t> counts(collect ? internal.size() : 0, 0);
     // Jacobi-style synchronous round: every node's next RIB is a function of
     // the previous round's ribs_ only, so the per-node tasks are independent
     // and can run on the pool.  Results land in next[u] by index, which
@@ -426,24 +437,43 @@ bool Engine::run() {
     std::atomic<bool> changed{false};
     support::parallel_for(pool_, internal.size(), [&](std::size_t k) {
       const NodeIndex u = internal[k];
-      next[u] = symbolic::merge_routes(*enc_, round_candidates(u));
+      auto candidates = round_candidates(u);
+      if (collect) counts[k] = static_cast<std::uint32_t>(candidates.size());
+      next[u] = symbolic::merge_routes(*enc_, std::move(candidates));
       if (!symbolic::same_rib(next[u], ribs_[u])) {
         changed.store(true, std::memory_order_relaxed);
       }
     });
     ribs_ = std::move(next);
-    if (!changed.load(std::memory_order_relaxed)) {
-      converged = true;
-      break;
+    if (!changed.load(std::memory_order_relaxed)) converged = true;
+    if (collect) {
+      std::size_t total = 0;
+      std::string per_router;
+      for (std::size_t k = 0; k < counts.size(); ++k) {
+        total += counts[k];
+        if (k) per_router += ' ';
+        per_router += net_.node(internal[k]).name;
+        per_router += '=';
+        per_router += std::to_string(counts[k]);
+      }
+      round_span.arg("round", iterations_)
+          .arg("routers", internal.size())
+          .arg("candidates_total", total)
+          .arg("candidates_per_router", per_router)
+          .arg("converged", converged);
     }
+    if (converged) break;
   }
 
   // Routes the network exports to each external neighbor.
-  const auto& external = net_.external_nodes();
-  support::parallel_for(pool_, external.size(), [&](std::size_t k) {
-    const NodeIndex u = external[k];
-    external_rib_[u] = external_received(u);
-  });
+  {
+    obs::Span ext_span("epvp.external_rib", "epvp");
+    const auto& external = net_.external_nodes();
+    support::parallel_for(pool_, external.size(), [&](std::size_t k) {
+      const NodeIndex u = external[k];
+      external_rib_[u] = external_received(u);
+    });
+  }
   return converged;
 }
 

@@ -5,6 +5,7 @@
 
 #include "config/parser.hpp"
 #include "dataplane/fib.hpp"
+#include "obs/trace.hpp"
 #include "support/util.hpp"
 
 namespace expresso {
@@ -45,10 +46,21 @@ Session::Session(SessionOptions options) : options_(std::move(options)) {
   if (threads_ > 1) {
     pool_ = std::make_unique<support::ThreadPool>(threads_);
   }
-  stats_.threads = threads_;
+  registry_.gauge("session.threads").set(static_cast<double>(threads_));
+  if (!options_.trace_path.empty()) {
+    obs::Tracer::instance().start(options_.trace_path);
+  }
 }
 
-Session::~Session() = default;
+Session::~Session() {
+  const std::string& path = !options_.metrics_path.empty()
+                                ? options_.metrics_path
+                                : obs::metrics_env_path();
+  if (!path.empty()) {
+    obs::append_metrics_line(
+        path, registry_.to_json_document(options_.metrics_label));
+  }
+}
 
 void Session::ensure_loaded() const {
   if (!net_) throw std::logic_error("Session: no configuration loaded");
@@ -69,14 +81,19 @@ void Session::reset_all() {
   src_done_ = false;
   dp_hash_ = 0;
   run_dp_hash_ = 0;
-  ++generation_;
+  bump_generation();
 }
 
 void Session::load(const std::string& config_text) {
-  Stopwatch sw;
-  auto cfgs = config::parse_configs(config_text);
-  stats_.parse_seconds = sw.seconds();
-  ++stats_.parse_cache.misses;
+  std::vector<config::RouterConfig> cfgs;
+  {
+    obs::Span span("stage.parse");
+    Stopwatch sw;
+    cfgs = config::parse_configs(config_text);
+    registry_.gauge("stage.parse.seconds").set(sw.seconds());
+    registry_.counter("stage.parse.misses").inc();
+    span.arg("cache", "miss").arg("bytes", config_text.size());
+  }
   text_hash_ = config::text_hash(config_text);
   reset_all();
   install(std::move(cfgs), /*delta_aware=*/false);
@@ -92,15 +109,22 @@ void Session::update(const std::string& config_text) {
   const std::uint64_t h = config::text_hash(config_text);
   if (loaded() && text_hash_ && *text_hash_ == h) {
     // Byte-identical text: skip the parser, run the (empty) diff.
-    ++stats_.parse_cache.hits;
+    obs::Span span("stage.parse");
+    span.arg("cache", "hit");
+    registry_.counter("stage.parse.hits").inc();
     install(std::vector<config::RouterConfig>(net_->configs()),
             /*delta_aware=*/true);
     return;
   }
-  Stopwatch sw;
-  auto cfgs = config::parse_configs(config_text);
-  stats_.parse_seconds = sw.seconds();
-  ++stats_.parse_cache.misses;
+  std::vector<config::RouterConfig> cfgs;
+  {
+    obs::Span span("stage.parse");
+    Stopwatch sw;
+    cfgs = config::parse_configs(config_text);
+    registry_.gauge("stage.parse.seconds").set(sw.seconds());
+    registry_.counter("stage.parse.misses").inc();
+    span.arg("cache", "miss").arg("bytes", config_text.size());
+  }
   text_hash_ = h;
   install(std::move(cfgs), /*delta_aware=*/true);
 }
@@ -112,7 +136,7 @@ void Session::update(std::vector<config::RouterConfig> configs) {
 
 void Session::install(std::vector<config::RouterConfig> configs,
                       bool delta_aware) {
-  ++stats_.updates;
+  registry_.counter("session.updates").inc();
   const bool had = loaded();
 
   if (had && delta_aware) {
@@ -120,24 +144,30 @@ void Session::install(std::vector<config::RouterConfig> configs,
                                                            configs);
     if (delta.empty()) {
       // Nothing the pipeline depends on changed: every artifact is a hit.
-      ++stats_.topology_cache.hits;
-      ++stats_.universe_cache.hits;
-      if (src_done_) ++stats_.src_cache.hits;
-      stats_.warm = false;
+      registry_.counter("stage.topology.hits").inc();
+      registry_.counter("stage.universe.hits").inc();
+      if (src_done_) registry_.counter("stage.src.hits").inc();
+      registry_.gauge("session.warm").set(0);
       return;
     }
   }
 
   // --- Topology ------------------------------------------------------------
+  obs::Span topo_span("stage.topology");
   auto net = std::make_unique<net::Network>(
       net::Network::build(std::move(configs)));
-  ++stats_.topology_cache.misses;
+  registry_.counter("stage.topology.misses").inc();
+  topo_span.arg("cache", "miss")
+      .arg("nodes", net->nodes().size())
+      .arg("edges", net->edges().size());
+  topo_span.end();
 
   // --- Symbolic universe (alphabet ⨯ community atoms ⨯ advertisers) -------
   // Built from the new snapshot and compared with the live one; equality
   // means every BDD variable, interned symbol and atom index keeps its
   // meaning, so the encoding (and the BDD manager with all its hash-consed
   // nodes and operation caches) carries over.
+  obs::Span universe_span("stage.universe");
   auto alphabet = std::make_unique<automaton::AsAlphabet>(
       epvp::build_alphabet(*net));
   auto atomizer = std::make_unique<symbolic::CommunityAtomizer>(
@@ -152,7 +182,7 @@ void Session::install(std::vector<config::RouterConfig> configs,
   // Snapshot the previous fixed point while the old engine still exists.
   // Valid as a warm seed only under an unchanged universe and node shape.
   if (universe_same && shape_same) {
-    if (src_done_ && stats_.converged) {
+    if (src_done_ && last_converged_) {
       prev_ribs_ = engine_->all_ribs();
       prev_external_ribs_ = engine_->all_external_ribs();
       seed_available_ = true;
@@ -169,9 +199,9 @@ void Session::install(std::vector<config::RouterConfig> configs,
   engine_.reset();
 
   if (universe_same) {
-    ++stats_.universe_cache.hits;
+    registry_.counter("stage.universe.hits").inc();
   } else {
-    ++stats_.universe_cache.misses;
+    registry_.counter("stage.universe.misses").inc();
     enc_.reset();
     alphabet_ = std::move(alphabet);
     atomizer_ = std::move(atomizer);
@@ -186,18 +216,22 @@ void Session::install(std::vector<config::RouterConfig> configs,
     first_as_cache_.clear();
     verdicts_.clear();
     pecs_.reset();
-    ++generation_;
+    bump_generation();
   }
+  universe_span.arg("cache", universe_same ? "hit" : "miss");
+  universe_span.end();
 
   net_ = std::move(net);
   snapshot_hash_ = config::snapshot_hash(net_->configs());
   dp_hash_ = config::dataplane_hash(net_->configs());
   build_engine();
   src_done_ = false;
-  stats_.warm = false;
+  registry_.gauge("session.warm").set(0);
+  sample_substrate("install");
 }
 
 void Session::build_engine() {
+  obs::Span span("stage.policies");
   epvp::SharedState shared;
   shared.alphabet = alphabet_.get();
   shared.atomizer = atomizer_.get();
@@ -208,13 +242,17 @@ void Session::build_engine() {
   shared.threads = threads_;
   engine_ = std::make_unique<epvp::Engine>(*net_, options_.engine, shared);
   analyzer_ = std::make_unique<properties::Analyzer>(*engine_);
-  stats_.policy_cache.hits = policy_cache_.hits();
-  stats_.policy_cache.misses = policy_cache_.misses();
+  registry_.counter("stage.policy.hits").set(policy_cache_.hits());
+  registry_.counter("stage.policy.misses").set(policy_cache_.misses());
+  span.arg("cache_hits", policy_cache_.hits())
+      .arg("cache_misses", policy_cache_.misses())
+      .arg("compiled", policy_cache_.size());
 }
 
 void Session::run_src() {
   ensure_loaded();
   if (src_done_) return;
+  obs::Span span("stage.src");
   Stopwatch sw;
   CpuStopwatch cpu;
 
@@ -256,23 +294,24 @@ void Session::run_src() {
     }
   }
 
-  stats_.src_seconds = sw.seconds();
-  stats_.src_cpu_seconds = cpu.seconds();
-  stats_.policy_cache.hits = policy_cache_.hits();
-  stats_.policy_cache.misses = policy_cache_.misses();
-  stats_.epvp_iterations = engine_->iterations();
-  stats_.converged = converged;
-  stats_.warm = warm;
-  ++stats_.src_cache.misses;
+  registry_.gauge("stage.src.seconds").set(sw.seconds());
+  registry_.gauge("stage.src.cpu_seconds").set(cpu.seconds());
+  registry_.counter("stage.policy.hits").set(policy_cache_.hits());
+  registry_.counter("stage.policy.misses").set(policy_cache_.misses());
+  registry_.gauge("epvp.iterations").set(engine_->iterations());
+  registry_.gauge("session.converged").set(converged ? 1 : 0);
+  registry_.gauge("session.warm").set(warm ? 1 : 0);
+  registry_.counter("stage.src.misses").inc();
+  last_converged_ = converged;
 
-  stats_.total_rib_routes = 0;
+  std::size_t rib_routes = 0;
   for (const auto& n : net_->nodes()) {
     const auto idx = net_->find(n.name);
     if (!idx) continue;
-    stats_.total_rib_routes += n.external
-                                   ? engine_->external_rib(*idx).size()
-                                   : engine_->rib(*idx).size();
+    rib_routes += n.external ? engine_->external_rib(*idx).size()
+                             : engine_->rib(*idx).size();
   }
+  registry_.gauge("rib.routes").set(static_cast<double>(rib_routes));
 
   // If the warm run landed on the very fixed point it was seeded with, the
   // RIBs are unchanged and every downstream artifact (FIBs, PECs, verdicts)
@@ -287,7 +326,7 @@ void Session::run_src() {
       seeded && warm && converged && dp_hash_ == run_dp_hash_ &&
       ribs_equal(engine_->all_ribs(), prev_ribs_) &&
       ribs_equal(engine_->all_external_ribs(), prev_external_ribs_);
-  if (!unchanged) ++generation_;
+  if (!unchanged) bump_generation();
   run_dp_hash_ = dp_hash_;
 
   if (converged) {
@@ -297,17 +336,27 @@ void Session::run_src() {
   }
   src_done_ = true;
   spf_hit_counted_ = false;
+  span.arg("warm", warm)
+      .arg("converged", converged)
+      .arg("iterations", engine_->iterations())
+      .arg("rib_routes", rib_routes)
+      .arg("artifacts_unchanged", unchanged);
+  span.end();
+  sample_substrate("src");
 }
 
 void Session::run_spf() {
   run_src();
   if (pecs_ && pec_generation_ == generation_) {
     if (!spf_hit_counted_) {
-      ++stats_.spf_cache.hits;
+      registry_.counter("stage.spf.hits").inc();
       spf_hit_counted_ = true;
+      obs::Span span("stage.spf");
+      span.arg("cache", "hit");
     }
     return;
   }
+  obs::Span span("stage.spf");
   Stopwatch sw;
   CpuStopwatch cpu;
   dataplane::FibBuilder fibs(*engine_);
@@ -315,14 +364,110 @@ void Session::run_spf() {
   pecs_ = fwd.all_pecs();
   pec_generation_ = generation_;
   fib_entries_ = fibs.total_entries();
-  stats_.spf_seconds = sw.seconds();
-  stats_.spf_cpu_seconds = cpu.seconds();
-  ++stats_.spf_cache.misses;
+  registry_.gauge("stage.spf.seconds").set(sw.seconds());
+  registry_.gauge("stage.spf.cpu_seconds").set(cpu.seconds());
+  registry_.counter("stage.spf.misses").inc();
   spf_hit_counted_ = true;
-  stats_.total_fib_entries = fib_entries_;
-  stats_.total_pecs = pecs_->size();
-  stats_.dp_variables = engine_->encoding().num_dp_vars();
-  stats_.bdd_nodes = engine_->encoding().mgr().total_nodes();
+  registry_.gauge("fib.entries").set(static_cast<double>(fib_entries_));
+  registry_.gauge("pec.count").set(static_cast<double>(pecs_->size()));
+  registry_.gauge("encoding.dp_variables")
+      .set(static_cast<double>(engine_->encoding().num_dp_vars()));
+  span.arg("cache", "miss")
+      .arg("fib_entries", fib_entries_)
+      .arg("pecs", pecs_->size());
+  span.end();
+  sample_substrate("spf");
+}
+
+void Session::bump_generation() {
+  ++generation_;
+  // Verdicts derived from the previous generation are gone; their analysis
+  // time goes with them so re-verification cost is attributed per
+  // generation, matching the per-run src/spf timers.
+  registry_.timer("analysis.routing").reset();
+  registry_.timer("analysis.routing_cpu").reset();
+  registry_.timer("analysis.forwarding").reset();
+  registry_.timer("analysis.forwarding_cpu").reset();
+}
+
+void Session::sample_substrate(const char* where) {
+  if (!enc_) return;
+  const bdd::Manager::Telemetry t = enc_->mgr().telemetry();
+  registry_.gauge("bdd.nodes").set(static_cast<double>(t.nodes));
+  registry_.gauge("bdd.unique_entries")
+      .set(static_cast<double>(t.unique_entries));
+  registry_.gauge("bdd.approx_bytes").set(static_cast<double>(t.approx_bytes));
+  registry_.counter("bdd.ite_hits").set(t.ite_hits);
+  registry_.counter("bdd.ite_misses").set(t.ite_misses);
+  registry_.gauge("process.rss_bytes")
+      .set(static_cast<double>(current_rss_bytes()));
+  registry_.gauge("process.peak_rss_bytes")
+      .set(static_cast<double>(peak_rss_bytes()));
+  if (obs::tracing_enabled()) {
+    obs::Tracer& tr = obs::Tracer::instance();
+    const double now = tr.now_us();
+    tr.counter_event(
+        "bdd", now,
+        "\"nodes\":" + std::to_string(t.nodes) +
+            ",\"unique_entries\":" + std::to_string(t.unique_entries) +
+            ",\"ite_hits\":" + std::to_string(t.ite_hits) +
+            ",\"ite_misses\":" + std::to_string(t.ite_misses));
+    tr.counter_event(
+        "rss_mb", now,
+        "\"current\":" + std::to_string(current_rss_bytes() >> 20) +
+            ",\"peak\":" + std::to_string(peak_rss_bytes() >> 20));
+    tr.instant_event("substrate_sample", "pipeline", now, 0,
+                     std::string("\"where\":\"") + where + "\"");
+  }
+}
+
+const VerifierStats& Session::stats() const {
+  sync_stats_view();
+  return stats_;
+}
+
+void Session::sync_stats_view() const {
+  VerifierStats& s = stats_;
+  obs::Registry& r = registry_;
+  s.threads = static_cast<int>(r.gauge("session.threads").value());
+  s.parse_seconds = r.gauge("stage.parse.seconds").value();
+  s.src_seconds = r.gauge("stage.src.seconds").value();
+  s.src_cpu_seconds = r.gauge("stage.src.cpu_seconds").value();
+  s.spf_seconds = r.gauge("stage.spf.seconds").value();
+  s.spf_cpu_seconds = r.gauge("stage.spf.cpu_seconds").value();
+  s.routing_analysis_seconds = r.timer("analysis.routing").total_seconds();
+  s.routing_analysis_cpu_seconds =
+      r.timer("analysis.routing_cpu").total_seconds();
+  s.forwarding_analysis_seconds =
+      r.timer("analysis.forwarding").total_seconds();
+  s.forwarding_analysis_cpu_seconds =
+      r.timer("analysis.forwarding_cpu").total_seconds();
+  s.epvp_iterations = static_cast<int>(r.gauge("epvp.iterations").value());
+  s.converged = r.gauge("session.converged").value() != 0;
+  s.warm = r.gauge("session.warm").value() != 0;
+  s.total_rib_routes =
+      static_cast<std::size_t>(r.gauge("rib.routes").value());
+  s.total_fib_entries =
+      static_cast<std::size_t>(r.gauge("fib.entries").value());
+  s.total_pecs = static_cast<std::size_t>(r.gauge("pec.count").value());
+  s.bdd_nodes = static_cast<std::size_t>(r.gauge("bdd.nodes").value());
+  s.dp_variables =
+      static_cast<std::uint32_t>(r.gauge("encoding.dp_variables").value());
+  s.updates = static_cast<int>(r.counter("session.updates").value());
+  const auto cache = [&r](const char* stage) {
+    return StageCounter{
+        static_cast<std::size_t>(
+            r.counter(std::string("stage.") + stage + ".hits").value()),
+        static_cast<std::size_t>(
+            r.counter(std::string("stage.") + stage + ".misses").value())};
+  };
+  s.parse_cache = cache("parse");
+  s.topology_cache = cache("topology");
+  s.universe_cache = cache("universe");
+  s.policy_cache = cache("policy");
+  s.src_cache = cache("src");
+  s.spf_cache = cache("spf");
+  s.verdict_cache = cache("verdicts");
 }
 
 const net::Network& Session::network() const {
@@ -360,21 +505,31 @@ const std::vector<dataplane::Pec>& Session::pecs() const {
 std::vector<properties::Violation> Session::memoized(
     const std::string& key, bool needs_spf,
     const std::function<std::vector<properties::Violation>()>& compute,
-    double VerifierStats::*timer) {
+    const char* timer_name) {
+  // Stage drivers run outside the verdict span and timers: their cost is
+  // attributed to stage.src/stage.spf, not to the property that happened to
+  // trigger them.
   if (needs_spf) {
     run_spf();
   } else {
     run_src();
   }
+  obs::Span span("stage.verdicts");
   auto it = verdicts_.find(key);
   if (it != verdicts_.end() && it->second.first == generation_) {
-    ++stats_.verdict_cache.hits;
+    registry_.counter("stage.verdicts.hits").inc();
+    span.arg("key", key).arg("cache", "hit");
     return it->second.second;
   }
-  ++stats_.verdict_cache.misses;
+  registry_.counter("stage.verdicts.misses").inc();
   Stopwatch sw;
+  CpuStopwatch cpu;
   auto out = compute();
-  stats_.*timer += sw.seconds();
+  const double wall = sw.seconds();
+  registry_.timer(timer_name).add(wall);
+  registry_.timer(std::string(timer_name) + "_cpu").add(cpu.seconds());
+  registry_.histogram("verdict.compute_seconds").observe(wall);
+  span.arg("key", key).arg("cache", "miss").arg("violations", out.size());
   verdicts_[key] = {generation_, out};
   return out;
 }
@@ -382,26 +537,26 @@ std::vector<properties::Violation> Session::memoized(
 std::vector<properties::Violation> Session::check_route_leak_free() {
   return memoized("leak", false,
                   [&] { return analyzer_->route_leak_free(); },
-                  &VerifierStats::routing_analysis_seconds);
+                  "analysis.routing");
 }
 
 std::vector<properties::Violation> Session::check_route_hijack_free() {
   return memoized("hijack", false,
                   [&] { return analyzer_->route_hijack_free(); },
-                  &VerifierStats::routing_analysis_seconds);
+                  "analysis.routing");
 }
 
 std::vector<properties::Violation> Session::check_block_to_external(
     const net::Community& bte) {
   return memoized("bte:" + bte.to_string(), false,
                   [&] { return analyzer_->block_to_external(bte); },
-                  &VerifierStats::routing_analysis_seconds);
+                  "analysis.routing");
 }
 
 std::vector<properties::Violation> Session::check_traffic_hijack_free() {
   return memoized("traffic", true,
                   [&] { return analyzer_->traffic_hijack_free(*pecs_); },
-                  &VerifierStats::forwarding_analysis_seconds);
+                  "analysis.forwarding");
 }
 
 std::vector<properties::Violation> Session::check_blackhole_free(
@@ -411,13 +566,13 @@ std::vector<properties::Violation> Session::check_blackhole_free(
   for (const auto& p : prefixes) key << p.to_string() << ",";
   return memoized(key.str(), true,
                   [&] { return analyzer_->blackhole_free(*pecs_, prefixes); },
-                  &VerifierStats::forwarding_analysis_seconds);
+                  "analysis.forwarding");
 }
 
 std::vector<properties::Violation> Session::check_loop_free() {
   return memoized("loop", true,
                   [&] { return analyzer_->loop_free(*pecs_); },
-                  &VerifierStats::forwarding_analysis_seconds);
+                  "analysis.forwarding");
 }
 
 std::vector<properties::Violation> Session::check_egress_preference(
@@ -437,7 +592,7 @@ std::vector<properties::Violation> Session::check_egress_preference(
         }
         return analyzer_->egress_preference(*pecs_, *n, d, order);
       },
-      &VerifierStats::forwarding_analysis_seconds);
+      "analysis.forwarding");
 }
 
 std::string Session::describe(const properties::Violation& v) const {

@@ -49,6 +49,7 @@
 #include "config/hash.hpp"
 #include "dataplane/forwarding.hpp"
 #include "epvp/engine.hpp"
+#include "obs/metrics.hpp"
 #include "properties/analyzer.hpp"
 
 namespace expresso {
@@ -60,6 +61,12 @@ struct StageCounter {
   std::size_t misses = 0;
 };
 
+// Compatibility view over the session's obs::Registry (the single backing
+// store — every field below is derived from a registry instrument by
+// Session::stats(); see session.cpp for the name mapping).  Stage timers
+// (parse/src/spf) describe the *last* run; analysis timers accumulate over
+// the current artifact generation and reset when it advances, so cached
+// re-checks never inflate them.
 struct VerifierStats {
   int threads = 1;               // worker threads used across the pipeline
   double parse_seconds = 0;      // configuration text -> AST
@@ -68,7 +75,9 @@ struct VerifierStats {
   double spf_seconds = 0;        // symbolic packet forwarding (wall)
   double spf_cpu_seconds = 0;    // ... process CPU across all threads
   double routing_analysis_seconds = 0;
+  double routing_analysis_cpu_seconds = 0;
   double forwarding_analysis_seconds = 0;
+  double forwarding_analysis_cpu_seconds = 0;
   int epvp_iterations = 0;
   bool converged = false;
   std::size_t total_rib_routes = 0;
@@ -98,6 +107,14 @@ class Session {
     // engine and fall back to the cold result if the fixed points disagree.
     // Costs a full cold run per update; meant for validation workflows.
     bool verify_warm = false;
+    // Non-empty: start the process-wide Chrome tracer targeting this file
+    // (same effect as EXPRESSO_TRACE=<path>).
+    std::string trace_path;
+    // Non-empty: append this session's metrics document (one JSON line) to
+    // the file on destruction.  Falls back to EXPRESSO_METRICS when empty.
+    std::string metrics_path;
+    // "label" field of the metrics document.
+    std::string metrics_label = "session";
   };
 
   explicit Session(epvp::Options options = {});
@@ -153,7 +170,14 @@ class Session {
 
   std::string describe(const properties::Violation& v) const;
 
-  const VerifierStats& stats() const { return stats_; }
+  // Rebuilds the compatibility view from the metrics registry and returns
+  // it.  The reference stays valid for the session's lifetime; its contents
+  // refresh on the next stats() call.
+  const VerifierStats& stats() const;
+  // The metrics registry backing stats() — probe names are documented in
+  // DESIGN.md §8.  Callers may register additional instruments; everything
+  // lands in the same per-run metrics document.
+  obs::Registry& metrics() const { return registry_; }
   // Content hash of the loaded snapshot (artifact key of the parse stage).
   std::uint64_t snapshot_hash() const { return snapshot_hash_; }
 
@@ -164,11 +188,20 @@ class Session {
   void install(std::vector<config::RouterConfig> configs, bool delta_aware);
   void build_engine();
   // Memoized property dispatch: runs `compute` unless (key, generation) is
-  // cached.
+  // cached.  `timer_name` is the registry timer family the computation's
+  // wall time lands in ("analysis.routing"/"analysis.forwarding"; CPU time
+  // goes to "<timer_name>_cpu").  Cache hits touch neither.
   std::vector<properties::Violation> memoized(
       const std::string& key, bool needs_spf,
       const std::function<std::vector<properties::Violation>()>& compute,
-      double VerifierStats::*timer);
+      const char* timer_name);
+  // Advances generation_ and resets the per-generation analysis timers.
+  void bump_generation();
+  // Samples BDD-manager telemetry and process RSS into the registry (and,
+  // when tracing, as Chrome counter events).  Called at stage boundaries —
+  // never inside parallel regions.
+  void sample_substrate(const char* where);
+  void sync_stats_view() const;
 
   SessionOptions options_;
   int threads_ = 1;
@@ -188,6 +221,7 @@ class Session {
 
   // SRC state.
   bool src_done_ = false;
+  bool last_converged_ = false;  // internal mirror of the converged gauge
   bool seed_available_ = false;  // prev_* hold a converged previous fixed point
   std::vector<std::vector<symbolic::SymbolicRoute>> prev_ribs_;
   std::vector<std::vector<symbolic::SymbolicRoute>> prev_external_ribs_;
@@ -213,7 +247,11 @@ class Session {
                                   std::vector<properties::Violation>>>
       verdicts_;
 
-  VerifierStats stats_;
+  // Backing store and its lazily synced view (mutable: stats() is
+  // semantically const but refreshes the view, and metrics() registration
+  // is get-or-create).
+  mutable obs::Registry registry_;
+  mutable VerifierStats stats_;
 };
 
 }  // namespace expresso

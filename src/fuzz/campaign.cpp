@@ -1,6 +1,7 @@
 #include "fuzz/campaign.hpp"
 
 #include "fuzz/shrink.hpp"
+#include "obs/trace.hpp"
 #include "support/util.hpp"
 
 namespace expresso::fuzz {
@@ -8,13 +9,23 @@ namespace expresso::fuzz {
 CampaignStats run_campaign(
     const CampaignOptions& opt,
     const std::function<void(int, const DiffResult&)>& progress) {
+  obs::Span campaign_span("fuzz.campaign", "fuzz");
+  campaign_span.arg("runs", opt.runs);
   CampaignStats stats;
   Stopwatch sw;
   SplitMix64 seeds(opt.seed);
   for (int i = 0; i < opt.runs; ++i) {
+    obs::Span scenario_span("fuzz.scenario", "fuzz");
     const std::uint64_t scenario_seed = seeds.next();
     const Scenario s = generate_scenario(scenario_seed, opt.gen);
     const DiffResult r = diff_scenario(s, opt.diff);
+    if (scenario_span.active()) {
+      scenario_span.arg("index", i)
+          .arg("seed", scenario_seed)
+          .arg("rejected", r.config_rejected)
+          .arg("compared", r.compared)
+          .arg("mismatches", r.mismatches.size());
+    }
     ++stats.runs;
     if (r.baselines_checked) ++stats.baselines_checked;
     if (r.config_rejected) {

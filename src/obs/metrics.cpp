@@ -1,0 +1,126 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <fstream>
+
+namespace expresso::obs {
+
+Histogram::Histogram(std::vector<double> upper_bounds)
+    : bounds_(std::move(upper_bounds)), buckets_(bounds_.size() + 1) {
+  std::sort(bounds_.begin(), bounds_.end());
+}
+
+void Histogram::observe(double v) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  const auto idx = static_cast<std::size_t>(it - bounds_.begin());
+  buckets_[idx].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  double cur = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(cur, cur + v,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+namespace {
+template <typename Map, typename Make>
+auto get_or_make(std::mutex& mu, Map& map, std::string_view name,
+                 Make make) -> decltype(*map.begin()->second) {
+  std::lock_guard<std::mutex> lock(mu);
+  auto it = map.find(name);
+  if (it == map.end()) {
+    it = map.emplace(std::string(name), make()).first;
+  }
+  return *it->second;
+}
+}  // namespace
+
+Counter& Registry::counter(std::string_view name) {
+  return get_or_make(mu_, counters_, name,
+                     [] { return std::make_unique<Counter>(); });
+}
+
+Gauge& Registry::gauge(std::string_view name) {
+  return get_or_make(mu_, gauges_, name,
+                     [] { return std::make_unique<Gauge>(); });
+}
+
+Timer& Registry::timer(std::string_view name) {
+  return get_or_make(mu_, timers_, name,
+                     [] { return std::make_unique<Timer>(); });
+}
+
+Histogram& Registry::histogram(std::string_view name,
+                               std::vector<double> upper_bounds) {
+  return get_or_make(mu_, histograms_, name, [&] {
+    return std::make_unique<Histogram>(std::move(upper_bounds));
+  });
+}
+
+void Registry::to_json(support::JsonWriter& w) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  w.begin_object();
+  w.key("counters").begin_object();
+  for (const auto& [name, c] : counters_) w.key(name).value(c->value());
+  w.end_object();
+  w.key("gauges").begin_object();
+  for (const auto& [name, g] : gauges_) w.key(name).value_short(g->value());
+  w.end_object();
+  w.key("timers").begin_object();
+  for (const auto& [name, t] : timers_) {
+    w.key(name)
+        .begin_object()
+        .key("count").value(t->count())
+        .key("seconds").value_short(t->total_seconds())
+        .end_object();
+  }
+  w.end_object();
+  w.key("histograms").begin_object();
+  for (const auto& [name, h] : histograms_) {
+    w.key(name).begin_object();
+    w.key("buckets").begin_array();
+    for (double b : h->bounds()) w.value_short(b);
+    w.end_array();
+    w.key("counts").begin_array();
+    for (std::size_t i = 0; i <= h->bounds().size(); ++i) {
+      w.value(h->bucket_count(i));
+    }
+    w.end_array();
+    w.key("count").value(h->count())
+        .key("sum").value_short(h->sum())
+        .end_object();
+  }
+  w.end_object();
+  w.end_object();
+}
+
+std::string Registry::to_json_document(std::string_view label) const {
+  support::JsonWriter body;
+  to_json(body);
+  const std::string inner = body.take();  // "{...}"
+  // Re-wrap as {"kind":"metrics","label":...,<body fields>}.
+  std::string out = "{\"kind\":\"metrics\",\"label\":\"";
+  support::json_escape_to(out, label);
+  out += '"';
+  if (inner.size() > 2) {
+    out += ',';
+    out.append(inner, 1, inner.size() - 2);
+  }
+  out += '}';
+  return out;
+}
+
+const std::string& metrics_env_path() {
+  static const std::string path = [] {
+    const char* p = std::getenv("EXPRESSO_METRICS");
+    return std::string(p != nullptr ? p : "");
+  }();
+  return path;
+}
+
+void append_metrics_line(const std::string& path, const std::string& line) {
+  std::ofstream out(path, std::ios::app);
+  if (out) out << line << '\n';
+}
+
+}  // namespace expresso::obs

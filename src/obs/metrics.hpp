@@ -1,0 +1,134 @@
+// Metrics registry: counters, gauges, timers and fixed-bucket histograms
+// (DESIGN.md §8).
+//
+// A Registry is an instantiable store — expresso::Session owns one per
+// session and it is the single backing store behind the VerifierStats
+// compatibility view; the fuzz CLI builds one per campaign.  All instrument
+// mutations are relaxed atomics, so probes may fire from pool workers
+// concurrently; counters are exact under parallel_for
+// (tests/obs_test.cpp).  Registration (name -> instrument lookup) takes a
+// mutex — hot paths resolve their instrument once and keep the reference,
+// which stays valid for the registry's lifetime.
+//
+// The whole registry renders as one JSON document (support::JsonWriter);
+// EXPRESSO_METRICS=<path> makes Session append one such document per run,
+// which scripts/bench_collect.sh folds into BENCH_expresso.json.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "support/json_writer.hpp"
+
+namespace expresso::obs {
+
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  // Mirror an externally maintained absolute count (e.g. PolicyCache hits).
+  void set(std::uint64_t n) { v_.store(n, std::memory_order_relaxed); }
+  std::uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+class Gauge {
+ public:
+  void set(double v) { v_.store(v, std::memory_order_relaxed); }
+  double value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> v_{0.0};
+};
+
+// Accumulating duration instrument: total seconds + observation count.
+class Timer {
+ public:
+  void add(double seconds) {
+    double cur = total_.load(std::memory_order_relaxed);
+    while (!total_.compare_exchange_weak(cur, cur + seconds,
+                                         std::memory_order_relaxed)) {
+    }
+    count_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void reset() {
+    total_.store(0.0, std::memory_order_relaxed);
+    count_.store(0, std::memory_order_relaxed);
+  }
+  double total_seconds() const {
+    return total_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> total_{0.0};
+  std::atomic<std::uint64_t> count_{0};
+};
+
+// Fixed upper-bound buckets plus an overflow bucket, Prometheus-style
+// (cumulative rendering happens at dump time; storage is per-bucket).
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> upper_bounds);
+
+  void observe(double v);
+
+  const std::vector<double>& bounds() const { return bounds_; }
+  std::uint64_t bucket_count(std::size_t i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+  std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+
+ private:
+  std::vector<double> bounds_;  // ascending; buckets_[i] counts v <= bounds_[i]
+  std::vector<std::atomic<std::uint64_t>> buckets_;  // size bounds_.size()+1
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  // Get-or-register by name.  References stay valid for the registry's
+  // lifetime.  A histogram's bounds are fixed by the first registration.
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  Timer& timer(std::string_view name);
+  Histogram& histogram(std::string_view name,
+                       std::vector<double> upper_bounds = {
+                           1e-4, 1e-3, 1e-2, 0.1, 1.0, 10.0, 100.0});
+
+  // Renders every instrument into `w` as one JSON object:
+  //   {"counters":{...},"gauges":{...},
+  //    "timers":{name:{"count":n,"seconds":s}},
+  //    "histograms":{name:{"buckets":[...],"counts":[...],"count":n,"sum":s}}}
+  void to_json(support::JsonWriter& w) const;
+  // Convenience: `{"kind":"metrics","label":<label>, <to_json body>...}`.
+  std::string to_json_document(std::string_view label) const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Timer>, std::less<>> timers_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+// Path from EXPRESSO_METRICS (empty when unset); read once per process.
+const std::string& metrics_env_path();
+
+// Appends `line` + '\n' to `path` (creating the file if needed).
+void append_metrics_line(const std::string& path, const std::string& line);
+
+}  // namespace expresso::obs

@@ -1,0 +1,239 @@
+#include "obs/trace.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <mutex>
+#include <set>
+#include <vector>
+
+#include "support/json_writer.hpp"
+#include "support/thread_pool.hpp"
+
+namespace expresso::obs {
+
+namespace internal {
+std::atomic<bool> g_tracing{false};
+}  // namespace internal
+
+using support::JsonWriter;
+
+struct Tracer::Impl {
+  using clock = std::chrono::steady_clock;
+  clock::time_point base = clock::now();
+
+  std::mutex mu;
+  std::string path;                 // guarded by mu
+  std::vector<std::string> events;  // pre-serialized, guarded by mu
+  std::set<int> tids;               // slots seen, guarded by mu
+  std::atomic<std::size_t> recorded{0};
+
+  void append(std::string event, int tid) {
+    std::lock_guard<std::mutex> lock(mu);
+    events.push_back(std::move(event));
+    tids.insert(tid);
+    recorded.store(events.size(), std::memory_order_relaxed);
+  }
+};
+
+Tracer::Tracer() : impl_(new Impl) {}
+
+Tracer::~Tracer() {
+  // Final flush at process exit: whatever was captured since the last
+  // explicit stop()/flush() still lands in the file.
+  if (!impl_->path.empty() && !impl_->events.empty()) flush();
+  delete impl_;
+}
+
+Tracer& Tracer::instance() {
+  // Constructed on first use during static initialization (see g_env_init
+  // below) and destroyed after main's locals — Sessions can trace from
+  // anywhere in their lifetime.
+  static Tracer tracer;
+  return tracer;
+}
+
+namespace {
+// Reads EXPRESSO_TRACE once at process start so a probe never touches the
+// environment.
+const bool g_env_init = [] {
+  if (const char* p = std::getenv("EXPRESSO_TRACE"); p != nullptr && *p) {
+    Tracer::instance().start(p);
+  }
+  return true;
+}();
+}  // namespace
+
+void Tracer::start(const std::string& path) {
+  {
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    if (!enabled()) {
+      impl_->events.clear();
+      impl_->tids.clear();
+      impl_->recorded.store(0, std::memory_order_relaxed);
+    }
+    impl_->path = path;
+  }
+  internal::g_tracing.store(true, std::memory_order_relaxed);
+}
+
+void Tracer::stop() {
+  internal::g_tracing.store(false, std::memory_order_relaxed);
+  flush();
+}
+
+void Tracer::flush() {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  if (impl_->path.empty()) return;
+  std::ofstream out(impl_->path, std::ios::trunc);
+  if (!out) {
+    std::fprintf(stderr, "expresso: cannot write trace to %s\n",
+                 impl_->path.c_str());
+    return;
+  }
+  out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  // Thread-name metadata first: one track label per pool slot seen.
+  for (int tid : impl_->tids) {
+    JsonWriter w;
+    w.begin_object()
+        .key("name").value("thread_name")
+        .key("ph").value("M")
+        .key("pid").value(std::uint64_t{1})
+        .key("tid").value(static_cast<std::int64_t>(tid))
+        .key("args").begin_object()
+        .key("name")
+        .value(tid == 0 ? std::string("main/slot-0")
+                        : "pool-slot-" + std::to_string(tid))
+        .end_object()
+        .end_object();
+    out << (first ? "" : ",") << w.str();
+    first = false;
+  }
+  for (const auto& e : impl_->events) {
+    out << (first ? "" : ",") << e;
+    first = false;
+  }
+  out << "]}\n";
+}
+
+std::size_t Tracer::events_recorded() const {
+  return impl_->recorded.load(std::memory_order_relaxed);
+}
+
+double Tracer::now_us() const {
+  return std::chrono::duration<double, std::micro>(Impl::clock::now() -
+                                                   impl_->base)
+      .count();
+}
+
+namespace {
+void ts_field(JsonWriter& w, const char* key, double us) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.3f", us);
+  w.key(key).value_raw(buf);
+}
+}  // namespace
+
+void Tracer::complete_event(const char* name, const char* cat, double ts_us,
+                            double dur_us, int tid,
+                            const std::string& args_fragment) {
+  JsonWriter w;
+  w.begin_object()
+      .key("name").value(name)
+      .key("cat").value(cat)
+      .key("ph").value("X");
+  ts_field(w, "ts", ts_us);
+  ts_field(w, "dur", dur_us);
+  w.key("pid").value(std::uint64_t{1})
+      .key("tid").value(static_cast<std::int64_t>(tid))
+      .key("args").value_raw("{" + args_fragment + "}")
+      .end_object();
+  impl_->append(w.take(), tid);
+}
+
+void Tracer::counter_event(const char* name, double ts_us,
+                           const std::string& args_fragment) {
+  JsonWriter w;
+  w.begin_object()
+      .key("name").value(name)
+      .key("ph").value("C");
+  ts_field(w, "ts", ts_us);
+  w.key("pid").value(std::uint64_t{1})
+      .key("tid").value(std::int64_t{0})
+      .key("args").value_raw("{" + args_fragment + "}")
+      .end_object();
+  impl_->append(w.take(), 0);
+}
+
+void Tracer::instant_event(const char* name, const char* cat, double ts_us,
+                           int tid, const std::string& args_fragment) {
+  JsonWriter w;
+  w.begin_object()
+      .key("name").value(name)
+      .key("cat").value(cat)
+      .key("ph").value("i")
+      .key("s").value("t");
+  ts_field(w, "ts", ts_us);
+  w.key("pid").value(std::uint64_t{1})
+      .key("tid").value(static_cast<std::int64_t>(tid))
+      .key("args").value_raw("{" + args_fragment + "}")
+      .end_object();
+  impl_->append(w.take(), tid);
+}
+
+// --- Span -------------------------------------------------------------------
+
+namespace {
+void arg_prefix(std::string& args, const char* key) {
+  if (!args.empty()) args += ',';
+  args += '"';
+  support::json_escape_to(args, key);
+  args += "\":";
+}
+}  // namespace
+
+Span& Span::arg(const char* key, std::string_view v) {
+  if (!active_) return *this;
+  arg_prefix(args_, key);
+  args_ += '"';
+  support::json_escape_to(args_, v);
+  args_ += '"';
+  return *this;
+}
+
+Span& Span::arg(const char* key, double v) {
+  if (!active_) return *this;
+  arg_prefix(args_, key);
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  args_ += buf;
+  return *this;
+}
+
+Span& Span::arg_int(const char* key, std::int64_t v) {
+  if (!active_) return *this;
+  arg_prefix(args_, key);
+  args_ += std::to_string(v);
+  return *this;
+}
+
+Span& Span::arg(const char* key, bool v) {
+  if (!active_) return *this;
+  arg_prefix(args_, key);
+  args_ += v ? "true" : "false";
+  return *this;
+}
+
+void Span::end() {
+  if (!active_) return;
+  active_ = false;
+  Tracer& t = Tracer::instance();
+  const double now = t.now_us();
+  t.complete_event(name_, cat_, start_us_,
+                   now > start_us_ ? now - start_us_ : 0.0,
+                   support::thread_index(), args_);
+}
+
+}  // namespace expresso::obs

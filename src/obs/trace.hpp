@@ -1,0 +1,126 @@
+// Span tracer emitting Chrome trace_event JSON (DESIGN.md §8).
+//
+// The output loads directly in chrome://tracing or https://ui.perfetto.dev
+// and shows where every pipeline stage, EPVP round, policy compilation and
+// SPF walk spent its time, one track per support::ThreadPool slot.
+//
+// Activation:
+//   * environment: EXPRESSO_TRACE=<path> (read once at process start), or
+//   * programmatic: obs::Tracer::instance().start(path) — Session forwards
+//     SessionOptions::trace_path here.
+//
+// Overhead contract:
+//   * disabled (the default): every probe is one relaxed atomic load and a
+//     predicted branch — no clock reads, no allocation, no locking.  The
+//     parallel hot paths (EPVP rounds, FIB/PEC builds) stay untouched.
+//   * enabled: a span costs two steady_clock reads plus one mutex-guarded
+//     append of a pre-rendered string; spans are placed at stage/round/
+//     policy granularity, far off the per-BDD-operation hot path.
+//
+// Threading: Span can be constructed on any thread (pool workers included);
+// the event's tid is the support::thread_index() slot, so nesting per track
+// mirrors the caller's scope nesting.  The buffer flushes to the target path
+// on stop() and again (idempotently) at process exit.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <type_traits>
+
+namespace expresso::obs {
+
+namespace internal {
+extern std::atomic<bool> g_tracing;
+}  // namespace internal
+
+// The single relaxed load every probe is gated on.
+inline bool tracing_enabled() {
+  return internal::g_tracing.load(std::memory_order_relaxed);
+}
+
+class Tracer {
+ public:
+  static Tracer& instance();
+
+  // Begins capturing into `path` (truncates any previous capture's buffer).
+  // Calling start while active re-targets the path and keeps the buffer.
+  void start(const std::string& path);
+  // Disables capture and writes the trace file.  Safe to call when inactive.
+  void stop();
+  // Writes the current buffer to the active path without disabling.
+  void flush();
+
+  bool enabled() const { return tracing_enabled(); }
+  std::size_t events_recorded() const;
+
+  // Microseconds since tracer construction (the trace's time origin).
+  double now_us() const;
+
+  // Low-level emitters; `args_fragment` is a pre-rendered JSON object body
+  // ("\"k\":v,...") or empty.  Callers normally go through Span.
+  void complete_event(const char* name, const char* cat, double ts_us,
+                      double dur_us, int tid, const std::string& args_fragment);
+  // Chrome counter sample (ph:"C") — renders as a stacked time series.
+  void counter_event(const char* name, double ts_us,
+                     const std::string& args_fragment);
+  // Chrome instant event (ph:"i", scope thread).
+  void instant_event(const char* name, const char* cat, double ts_us, int tid,
+                     const std::string& args_fragment);
+
+  ~Tracer();
+
+ private:
+  Tracer();
+  struct Impl;
+  Impl* impl_;
+};
+
+// RAII scope span.  When tracing is disabled, construction stores two
+// pointers and a bool — nothing else happens, nothing is allocated (args_
+// stays an empty SSO string).  `name`/`cat` must be string literals (they
+// are kept by pointer until the destructor fires).
+class Span {
+ public:
+  explicit Span(const char* name, const char* cat = "pipeline")
+      : name_(name), cat_(cat), active_(tracing_enabled()) {
+    if (active_) start_us_ = Tracer::instance().now_us();
+  }
+  ~Span() { end(); }
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  // True when this span will be recorded: gate any argument gathering that
+  // is not free (e.g. per-router candidate counts) on this.
+  bool active() const { return active_; }
+
+  Span& arg(const char* key, std::string_view v);
+  Span& arg(const char* key, const char* v) {
+    return arg(key, std::string_view(v));
+  }
+  Span& arg(const char* key, double v);
+  Span& arg(const char* key, bool v);
+  // Any integer type (size_t, int, uint32_t, ...).
+  template <typename T,
+            std::enable_if_t<std::is_integral_v<T> && !std::is_same_v<T, bool>,
+                             int> = 0>
+  Span& arg(const char* key, T v) {
+    return arg_int(key, static_cast<std::int64_t>(v));
+  }
+
+  // Records the span now (subsequent end() calls are no-ops).
+  void end();
+
+ private:
+  Span& arg_int(const char* key, std::int64_t v);
+
+  const char* name_;
+  const char* cat_;
+  bool active_;
+  double start_us_ = 0.0;
+  std::string args_;  // rendered "\"k\":v" fragments, comma-joined
+};
+
+}  // namespace expresso::obs

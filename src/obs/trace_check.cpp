@@ -1,0 +1,339 @@
+#include "obs/trace_check.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+#include <cstring>
+
+namespace expresso::obs {
+
+namespace {
+
+class Parser {
+ public:
+  Parser(const std::string& text, std::string& error)
+      : s_(text), error_(error) {}
+
+  bool parse(JsonValue& out) {
+    skip_ws();
+    if (!parse_value(out)) return false;
+    skip_ws();
+    if (pos_ != s_.size()) return fail("trailing garbage");
+    return true;
+  }
+
+ private:
+  bool fail(const char* msg) {
+    error_ = std::string(msg) + " at byte " + std::to_string(pos_);
+    return false;
+  }
+
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           (s_[pos_] == ' ' || s_[pos_] == '\t' || s_[pos_] == '\n' ||
+            s_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool parse_value(JsonValue& out) {
+    if (pos_ >= s_.size()) return fail("unexpected end of input");
+    switch (s_[pos_]) {
+      case '{': return parse_object(out);
+      case '[': return parse_array(out);
+      case '"':
+        out.kind = JsonValue::Kind::String;
+        return parse_string(out.str);
+      case 't':
+        if (!literal("true")) return false;
+        out.kind = JsonValue::Kind::Bool;
+        out.b = true;
+        return true;
+      case 'f':
+        if (!literal("false")) return false;
+        out.kind = JsonValue::Kind::Bool;
+        out.b = false;
+        return true;
+      case 'n':
+        if (!literal("null")) return false;
+        out.kind = JsonValue::Kind::Null;
+        return true;
+      default: return parse_number(out);
+    }
+  }
+
+  bool literal(const char* lit) {
+    const std::size_t n = std::strlen(lit);
+    if (s_.compare(pos_, n, lit) != 0) return fail("bad literal");
+    pos_ += n;
+    return true;
+  }
+
+  bool parse_object(JsonValue& out) {
+    out.kind = JsonValue::Kind::Object;
+    ++pos_;  // '{'
+    skip_ws();
+    if (pos_ < s_.size() && s_[pos_] == '}') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      skip_ws();
+      if (pos_ >= s_.size() || s_[pos_] != '"') {
+        return fail("expected object key");
+      }
+      std::string key;
+      if (!parse_string(key)) return false;
+      skip_ws();
+      if (pos_ >= s_.size() || s_[pos_] != ':') return fail("expected ':'");
+      ++pos_;
+      skip_ws();
+      JsonValue v;
+      if (!parse_value(v)) return false;
+      out.members.emplace(std::move(key), std::move(v));
+      skip_ws();
+      if (pos_ >= s_.size()) return fail("unterminated object");
+      if (s_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (s_[pos_] == '}') {
+        ++pos_;
+        return true;
+      }
+      return fail("expected ',' or '}'");
+    }
+  }
+
+  bool parse_array(JsonValue& out) {
+    out.kind = JsonValue::Kind::Array;
+    ++pos_;  // '['
+    skip_ws();
+    if (pos_ < s_.size() && s_[pos_] == ']') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      skip_ws();
+      JsonValue v;
+      if (!parse_value(v)) return false;
+      out.items.push_back(std::move(v));
+      skip_ws();
+      if (pos_ >= s_.size()) return fail("unterminated array");
+      if (s_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (s_[pos_] == ']') {
+        ++pos_;
+        return true;
+      }
+      return fail("expected ',' or ']'");
+    }
+  }
+
+  bool parse_string(std::string& out) {
+    ++pos_;  // opening quote
+    while (pos_ < s_.size()) {
+      const char c = s_[pos_];
+      if (c == '"') {
+        ++pos_;
+        return true;
+      }
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return fail("raw control character in string");
+      }
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= s_.size()) return fail("truncated escape");
+        const char e = s_[pos_];
+        switch (e) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'u': {
+            if (pos_ + 4 >= s_.size()) return fail("truncated \\u escape");
+            unsigned cp = 0;
+            for (int i = 1; i <= 4; ++i) {
+              const char h = s_[pos_ + i];
+              cp <<= 4;
+              if (h >= '0' && h <= '9') {
+                cp |= static_cast<unsigned>(h - '0');
+              } else if (h >= 'a' && h <= 'f') {
+                cp |= static_cast<unsigned>(h - 'a' + 10);
+              } else if (h >= 'A' && h <= 'F') {
+                cp |= static_cast<unsigned>(h - 'A' + 10);
+              } else {
+                return fail("bad hex digit in \\u escape");
+              }
+            }
+            pos_ += 4;
+            // Decode BMP code points to UTF-8 (surrogates are kept raw —
+            // the tracer only ever emits \u00XX for C0 controls).
+            if (cp < 0x80) {
+              out += static_cast<char>(cp);
+            } else if (cp < 0x800) {
+              out += static_cast<char>(0xC0 | (cp >> 6));
+              out += static_cast<char>(0x80 | (cp & 0x3F));
+            } else {
+              out += static_cast<char>(0xE0 | (cp >> 12));
+              out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+              out += static_cast<char>(0x80 | (cp & 0x3F));
+            }
+            break;
+          }
+          default: return fail("bad escape character");
+        }
+        ++pos_;
+        continue;
+      }
+      out += c;
+      ++pos_;
+    }
+    return fail("unterminated string");
+  }
+
+  bool parse_number(JsonValue& out) {
+    const std::size_t start = pos_;
+    if (pos_ < s_.size() && s_[pos_] == '-') ++pos_;
+    if (pos_ >= s_.size() || !std::isdigit(static_cast<unsigned char>(s_[pos_]))) {
+      pos_ = start;
+      return fail("expected value");
+    }
+    while (pos_ < s_.size() &&
+           std::isdigit(static_cast<unsigned char>(s_[pos_]))) {
+      ++pos_;
+    }
+    if (pos_ < s_.size() && s_[pos_] == '.') {
+      ++pos_;
+      if (pos_ >= s_.size() ||
+          !std::isdigit(static_cast<unsigned char>(s_[pos_]))) {
+        return fail("bad fraction");
+      }
+      while (pos_ < s_.size() &&
+             std::isdigit(static_cast<unsigned char>(s_[pos_]))) {
+        ++pos_;
+      }
+    }
+    if (pos_ < s_.size() && (s_[pos_] == 'e' || s_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < s_.size() && (s_[pos_] == '+' || s_[pos_] == '-')) ++pos_;
+      if (pos_ >= s_.size() ||
+          !std::isdigit(static_cast<unsigned char>(s_[pos_]))) {
+        return fail("bad exponent");
+      }
+      while (pos_ < s_.size() &&
+             std::isdigit(static_cast<unsigned char>(s_[pos_]))) {
+        ++pos_;
+      }
+    }
+    out.kind = JsonValue::Kind::Number;
+    out.num = std::strtod(s_.c_str() + start, nullptr);
+    return true;
+  }
+
+  const std::string& s_;
+  std::string& error_;
+  std::size_t pos_ = 0;
+};
+
+bool require_field(const JsonValue& ev, const char* key,
+                   JsonValue::Kind kind, std::string& error) {
+  const JsonValue* v = ev.find(key);
+  if (v == nullptr || v->kind != kind) {
+    error = std::string("event missing required field '") + key + "'";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool parse_json(const std::string& text, JsonValue& out, std::string& error) {
+  return Parser(text, error).parse(out);
+}
+
+bool validate_trace(const JsonValue& root, TraceStats& stats,
+                    std::string& error) {
+  stats = TraceStats{};
+  if (root.kind != JsonValue::Kind::Object) {
+    error = "top level is not an object";
+    return false;
+  }
+  const JsonValue* events = root.find("traceEvents");
+  if (events == nullptr || events->kind != JsonValue::Kind::Array) {
+    error = "missing traceEvents array";
+    return false;
+  }
+  // Per-tid list of (ts, ts+dur) span intervals, in emission order.
+  std::map<int, std::vector<std::pair<double, double>>> spans_by_tid;
+  std::map<int, bool> tid_seen;
+  for (const JsonValue& ev : events->items) {
+    if (ev.kind != JsonValue::Kind::Object) {
+      error = "trace event is not an object";
+      return false;
+    }
+    if (!require_field(ev, "name", JsonValue::Kind::String, error) ||
+        !require_field(ev, "ph", JsonValue::Kind::String, error) ||
+        !require_field(ev, "pid", JsonValue::Kind::Number, error) ||
+        !require_field(ev, "tid", JsonValue::Kind::Number, error)) {
+      return false;
+    }
+    const std::string& ph = ev.find("ph")->str;
+    const int tid = static_cast<int>(ev.find("tid")->num);
+    tid_seen[tid] = true;
+    if (ph == "M") {
+      ++stats.metadata;
+      continue;
+    }
+    if (!require_field(ev, "ts", JsonValue::Kind::Number, error)) return false;
+    if (ph == "X") {
+      if (!require_field(ev, "dur", JsonValue::Kind::Number, error)) {
+        return false;
+      }
+      const double ts = ev.find("ts")->num;
+      const double dur = ev.find("dur")->num;
+      if (dur < 0) {
+        error = "negative span duration";
+        return false;
+      }
+      spans_by_tid[tid].emplace_back(ts, ts + dur);
+      ++stats.events;
+    } else if (ph == "C") {
+      ++stats.counter_samples;
+    } else if (ph == "i") {
+      ++stats.instants;
+    } else {
+      error = "unexpected event phase '" + ph + "'";
+      return false;
+    }
+  }
+  stats.threads = tid_seen.size();
+  // Nesting check: within a tid, sort by (start asc, end desc); every span
+  // must then be contained in or disjoint from the most recent open span.
+  for (auto& [tid, spans] : spans_by_tid) {
+    std::sort(spans.begin(), spans.end(),
+              [](const auto& a, const auto& b) {
+                if (a.first != b.first) return a.first < b.first;
+                return a.second > b.second;
+              });
+    std::vector<std::pair<double, double>> open;
+    for (const auto& sp : spans) {
+      while (!open.empty() && sp.first >= open.back().second) open.pop_back();
+      if (!open.empty() && sp.second > open.back().second) {
+        error = "overlapping (non-nested) spans on tid " +
+                std::to_string(tid);
+        return false;
+      }
+      open.push_back(sp);
+    }
+  }
+  return true;
+}
+
+}  // namespace expresso::obs

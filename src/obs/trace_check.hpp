@@ -1,0 +1,56 @@
+// Minimal strict JSON parser + Chrome-trace structural validator.
+//
+// Two consumers: the `expresso_trace_check` CLI (scripts/check.sh trace
+// smoke step) and tests/obs_test.cpp (which additionally inspects the
+// parsed events to assert per-thread span nesting).  Deliberately tiny —
+// a DOM of tagged variants, no streaming, no third-party dependency.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace expresso::obs {
+
+struct JsonValue {
+  enum class Kind { Null, Bool, Number, String, Array, Object };
+  Kind kind = Kind::Null;
+  bool b = false;
+  double num = 0.0;
+  std::string str;
+  std::vector<JsonValue> items;                 // Kind::Array
+  std::map<std::string, JsonValue> members;     // Kind::Object
+
+  // Object member lookup; nullptr when absent or not an object.
+  const JsonValue* find(const std::string& key) const {
+    if (kind != Kind::Object) return nullptr;
+    const auto it = members.find(key);
+    return it == members.end() ? nullptr : &it->second;
+  }
+};
+
+// Strict RFC 8259 parse of the full input (trailing whitespace allowed,
+// trailing garbage is an error).  On failure returns false and sets `error`
+// to a message with a byte offset.
+bool parse_json(const std::string& text, JsonValue& out, std::string& error);
+
+struct TraceStats {
+  std::size_t events = 0;           // complete ("X") events
+  std::size_t counter_samples = 0;  // counter ("C") events
+  std::size_t instants = 0;         // instant ("i") events
+  std::size_t metadata = 0;         // metadata ("M") events
+  std::size_t threads = 0;          // distinct tids seen
+};
+
+// Validates the Chrome trace_event structure produced by obs::Tracer:
+// top-level object with a `traceEvents` array whose entries carry
+// name/ph/pid/tid (+ ts everywhere, dur on "X").  Also checks that, per
+// tid, "X" spans form a proper nesting (sorted by ts, every pair is either
+// disjoint or contained — the RAII Span discipline guarantees this).
+// Returns false with a message in `error` on the first violation.
+bool validate_trace(const JsonValue& root, TraceStats& stats,
+                    std::string& error);
+
+}  // namespace expresso::obs

@@ -2,6 +2,8 @@
 
 #include <deque>
 
+#include "obs/trace.hpp"
+
 namespace expresso::policy {
 
 using symbolic::SymbolicRoute;
@@ -10,6 +12,8 @@ CompiledPolicy compile_policy(const config::RoutePolicy& policy,
                               symbolic::Encoding& enc,
                               const symbolic::CommunityAtomizer& atomizer,
                               const automaton::AsAlphabet& alphabet) {
+  obs::Span span("policy.compile", "policy");
+  span.arg("clauses", policy.size());
   CompiledPolicy out;
   for (const auto& clause : policy) {
     CompiledClause cc;

@@ -1,0 +1,151 @@
+// One JSON-string builder for every machine-readable emitter in the tree.
+//
+// bench/bench_util.hpp's `JsonRow`, the fuzz CLI's campaign stats line, the
+// obs metrics dump and the Chrome-trace span serializer all produce JSON by
+// string concatenation; this header is the single escaping implementation
+// they share (RFC 8259: quote, backslash and the C0 control range — the only
+// characters that must be escaped).
+//
+// JsonWriter is a streaming writer: begin/end object/array nest freely, and
+// commas are inserted automatically between siblings.  It never validates
+// that keys precede values inside objects — callers own well-formedness —
+// but the output of a balanced call sequence is always syntactically valid
+// JSON, which tests/json_writer_test.cpp checks with a strict parser.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace expresso::support {
+
+// Escapes `s` for inclusion inside a JSON string literal (quotes not added).
+inline void json_escape_to(std::string& out, std::string_view s) {
+  static const char* hex = "0123456789abcdef";
+  for (char c : s) {
+    const auto u = static_cast<unsigned char>(c);
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (u < 0x20) {
+          out += "\\u00";
+          out += hex[(u >> 4) & 0xf];
+          out += hex[u & 0xf];
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+inline std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  json_escape_to(out, s);
+  return out;
+}
+
+class JsonWriter {
+ public:
+  JsonWriter& begin_object() { open('{'); return *this; }
+  JsonWriter& end_object() { close('}'); return *this; }
+  JsonWriter& begin_array() { open('['); return *this; }
+  JsonWriter& end_array() { close(']'); return *this; }
+
+  JsonWriter& key(std::string_view k) {
+    comma();
+    out_ += '"';
+    json_escape_to(out_, k);
+    out_ += "\":";
+    pending_value_ = true;
+    return *this;
+  }
+
+  JsonWriter& value(std::string_view v) {
+    comma();
+    out_ += '"';
+    json_escape_to(out_, v);
+    out_ += '"';
+    return *this;
+  }
+  JsonWriter& value(const char* v) { return value(std::string_view(v)); }
+  JsonWriter& value(const std::string& v) { return value(std::string_view(v)); }
+  JsonWriter& value(bool v) {
+    comma();
+    out_ += v ? "true" : "false";
+    return *this;
+  }
+  JsonWriter& value(double v) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return value_raw(normalize(buf));
+  }
+  // Human-scale double: short %.6g rendering (bench rows, metrics).
+  JsonWriter& value_short(double v) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+    return value_raw(normalize(buf));
+  }
+  JsonWriter& value(std::uint64_t v) { return value_raw(std::to_string(v)); }
+  JsonWriter& value(std::int64_t v) { return value_raw(std::to_string(v)); }
+  // Pre-rendered JSON fragment, inserted verbatim (caller guarantees
+  // validity) — used to splice span-args fragments into trace events.
+  JsonWriter& value_raw(std::string_view fragment) {
+    comma();
+    out_ += fragment;
+    return *this;
+  }
+
+  const std::string& str() const { return out_; }
+  std::string take() { return std::move(out_); }
+  bool balanced() const { return depth_.empty(); }
+
+ private:
+  void comma() {
+    if (pending_value_) {  // value completing a "key": — no comma
+      pending_value_ = false;
+      return;
+    }
+    if (!depth_.empty()) {
+      if (had_sibling_.back()) out_ += ',';
+      had_sibling_.back() = true;
+    }
+  }
+  void open(char c) {
+    comma();
+    out_ += c;
+    depth_.push_back(c);
+    had_sibling_.push_back(false);
+  }
+  void close(char c) {
+    (void)c;
+    out_ += (depth_.back() == '{') ? '}' : ']';
+    depth_.pop_back();
+    had_sibling_.pop_back();
+    pending_value_ = false;
+  }
+  // "inf"/"nan" are not JSON; emit null like every tolerant serializer.
+  static std::string normalize(const char* buf) {
+    const std::string s(buf);
+    if (s.find("inf") != std::string::npos ||
+        s.find("nan") != std::string::npos) {
+      return "null";
+    }
+    return s;
+  }
+
+  std::string out_;
+  std::vector<char> depth_;
+  std::vector<bool> had_sibling_;
+  bool pending_value_ = false;
+};
+
+}  // namespace expresso::support

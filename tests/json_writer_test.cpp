@@ -1,0 +1,101 @@
+// support::JsonWriter / json_escape — the one escaping implementation shared
+// by bench rows, the fuzz CLI, the metrics dump and the Chrome tracer.
+#include "support/json_writer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "obs/trace_check.hpp"
+
+namespace {
+
+using expresso::obs::JsonValue;
+using expresso::obs::parse_json;
+using expresso::support::json_escape;
+using expresso::support::JsonWriter;
+
+// Round-trip helper: the writer's output must satisfy the strict parser.
+JsonValue parse_ok(const std::string& text) {
+  JsonValue v;
+  std::string error;
+  EXPECT_TRUE(parse_json(text, v, error)) << error << " in: " << text;
+  return v;
+}
+
+TEST(JsonEscape, QuotesBackslashesControls) {
+  EXPECT_EQ(json_escape("plain"), "plain");
+  EXPECT_EQ(json_escape("say \"hi\""), "say \\\"hi\\\"");
+  EXPECT_EQ(json_escape("back\\slash"), "back\\\\slash");
+  EXPECT_EQ(json_escape("tab\there"), "tab\\there");
+  EXPECT_EQ(json_escape("line\nbreak"), "line\\nbreak");
+  EXPECT_EQ(json_escape("cr\rlf"), "cr\\rlf");
+  EXPECT_EQ(json_escape(std::string("nul\0byte", 8)), "nul\\u0000byte");
+  EXPECT_EQ(json_escape("\x01\x1f"), "\\u0001\\u001f");
+  EXPECT_EQ(json_escape("\b\f"), "\\b\\f");
+  // Non-ASCII bytes pass through untouched (UTF-8 needs no escaping).
+  EXPECT_EQ(json_escape("caf\xc3\xa9"), "caf\xc3\xa9");
+}
+
+TEST(JsonWriter, EscapedStringsRoundTripThroughStrictParser) {
+  JsonWriter w;
+  const std::string nasty = "a\"b\\c\nd\te\x01f";
+  w.begin_object().key(nasty).value(nasty).end_object();
+  ASSERT_TRUE(w.balanced());
+  const JsonValue v = parse_ok(w.str());
+  ASSERT_EQ(v.kind, JsonValue::Kind::Object);
+  const JsonValue* field = v.find(nasty);
+  ASSERT_NE(field, nullptr);
+  EXPECT_EQ(field->str, nasty);
+}
+
+TEST(JsonWriter, CommasAndNesting) {
+  JsonWriter w;
+  w.begin_object()
+      .key("a").value(std::uint64_t{1})
+      .key("b").begin_array()
+      .value("x")
+      .value(true)
+      .begin_object().key("inner").value(2.5).end_object()
+      .end_array()
+      .key("c").value(false)
+      .end_object();
+  ASSERT_TRUE(w.balanced());
+  EXPECT_EQ(w.str(),
+            "{\"a\":1,\"b\":[\"x\",true,{\"inner\":2.5}],\"c\":false}");
+  parse_ok(w.str());
+}
+
+TEST(JsonWriter, EmptyContainers) {
+  JsonWriter w;
+  w.begin_object()
+      .key("obj").begin_object().end_object()
+      .key("arr").begin_array().end_array()
+      .end_object();
+  EXPECT_EQ(w.str(), "{\"obj\":{},\"arr\":[]}");
+  parse_ok(w.str());
+}
+
+TEST(JsonWriter, NonFiniteDoublesBecomeNull) {
+  JsonWriter w;
+  w.begin_object()
+      .key("inf").value(std::numeric_limits<double>::infinity())
+      .key("ninf").value(-std::numeric_limits<double>::infinity())
+      .key("nan").value(std::nan(""))
+      .end_object();
+  EXPECT_EQ(w.str(), "{\"inf\":null,\"ninf\":null,\"nan\":null}");
+  parse_ok(w.str());
+}
+
+TEST(JsonWriter, NegativeAndLargeIntegers) {
+  JsonWriter w;
+  w.begin_object()
+      .key("neg").value(std::int64_t{-42})
+      .key("big").value(std::uint64_t{18446744073709551615ull})
+      .end_object();
+  EXPECT_EQ(w.str(), "{\"neg\":-42,\"big\":18446744073709551615}");
+  parse_ok(w.str());
+}
+
+}  // namespace

@@ -1,0 +1,295 @@
+// The observability layer (DESIGN.md §8): disabled-mode zero-emission, span
+// nesting per pool thread, trace-file validity, metrics-registry exactness
+// under parallel_for, and the VerifierStats-view/registry equivalence.
+//
+// Own binary (label "obs"): the tracer is process-global, and these tests
+// flip it on and off.  Within this file, gtest runs tests in declaration
+// order, so the disabled-mode tests come first.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "config/parser.hpp"
+#include "expresso/session.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "obs/trace_check.hpp"
+#include "support/thread_pool.hpp"
+
+namespace expresso {
+namespace {
+
+std::string temp_path(const char* name) {
+  return std::string(::testing::TempDir()) + name;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+const char* kConfig = R"(
+router A
+ bgp as 100
+ bgp network 10.1.0.0/16
+ route-policy ex permit node 10
+  set-local-preference 120
+ bgp peer B AS 100
+ bgp peer N1 AS 200 export ex
+router B
+ bgp as 100
+ bgp network 10.2.0.0/16
+ bgp peer A AS 100
+ bgp peer N2 AS 300
+)";
+
+// --- disabled mode (must run before any test enables the tracer) -----------
+
+TEST(ObsDisabledTest, SpansEmitNothingWhileTracingIsOff) {
+  ASSERT_FALSE(obs::tracing_enabled());
+  const std::size_t before = obs::Tracer::instance().events_recorded();
+  {
+    obs::Span span("never.recorded");
+    EXPECT_FALSE(span.active());
+    // args on an inactive span are no-ops (and must not allocate: active_
+    // short-circuits before any rendering).
+    span.arg("k", "v").arg("n", std::size_t{42}).arg("d", 1.5).arg("b", true);
+  }
+  EXPECT_EQ(obs::Tracer::instance().events_recorded(), before);
+}
+
+TEST(ObsDisabledTest, SessionRunRecordsNoEvents) {
+  ASSERT_FALSE(obs::tracing_enabled());
+  const std::size_t before = obs::Tracer::instance().events_recorded();
+  Session s;
+  s.load(kConfig);
+  (void)s.check_loop_free();
+  EXPECT_EQ(obs::Tracer::instance().events_recorded(), before);
+}
+
+// --- tracing enabled --------------------------------------------------------
+
+TEST(ObsTraceTest, EightThreadSpansNestPerThread) {
+  const std::string path = temp_path("obs_threads.json");
+  obs::Tracer::instance().start(path);
+
+  support::ThreadPool pool(8);
+  // Three batches of nested spans: outer wraps two inners.  The sleep keeps
+  // each iteration long enough that, even on one core, the OS schedules
+  // several worker slots into the batch (the pool uses dynamic scheduling,
+  // so a fast caller could otherwise drain everything from slot 0).
+  for (int batch = 0; batch < 3; ++batch) {
+    pool.parallel_for(32, [](std::size_t) {
+      obs::Span outer("outer", "test");
+      outer.arg("tid", support::thread_index());
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      for (int j = 0; j < 2; ++j) {
+        obs::Span inner("inner", "test");
+        inner.arg("j", j);
+      }
+    });
+  }
+  obs::Tracer::instance().stop();
+  ASSERT_FALSE(obs::tracing_enabled());
+
+  obs::JsonValue root;
+  std::string error;
+  ASSERT_TRUE(obs::parse_json(read_file(path), root, error)) << error;
+  obs::TraceStats stats;
+  ASSERT_TRUE(obs::validate_trace(root, stats, error)) << error;
+  EXPECT_EQ(stats.events, 3u * 32u * 3u);  // 32 outers + 64 inners per batch
+  // 8 slots participated (slot 0 = caller); each got a thread_name track.
+  EXPECT_GE(stats.threads, 2u);
+  EXPECT_EQ(stats.metadata, stats.threads);
+
+  // Strict per-thread containment: every inner lies inside some outer with
+  // the same tid (validate_trace already rejected partial overlaps).
+  std::map<int, std::vector<std::pair<double, double>>> outers;
+  for (const auto& ev : root.find("traceEvents")->items) {
+    if (ev.find("ph")->str != "X" || ev.find("name")->str != "outer") continue;
+    const double ts = ev.find("ts")->num;
+    outers[static_cast<int>(ev.find("tid")->num)].emplace_back(
+        ts, ts + ev.find("dur")->num);
+  }
+  for (const auto& ev : root.find("traceEvents")->items) {
+    if (ev.find("ph")->str != "X" || ev.find("name")->str != "inner") continue;
+    const int tid = static_cast<int>(ev.find("tid")->num);
+    const double ts = ev.find("ts")->num;
+    const double end = ts + ev.find("dur")->num;
+    bool contained = false;
+    for (const auto& [os, oe] : outers[tid]) {
+      if (ts >= os && end <= oe) {
+        contained = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(contained) << "inner span outside every outer on tid " << tid;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(ObsTraceTest, SessionTraceHasAllStagesAndSubstrateSamples) {
+  const std::string path = temp_path("obs_session.json");
+  {
+    Session::SessionOptions opt;
+    opt.trace_path = path;
+    Session s(opt);
+    s.load(kConfig);
+    (void)s.check_route_leak_free();
+    (void)s.check_loop_free();
+    s.update(kConfig);  // warm pass: parse/src hits show up as span args
+    (void)s.check_loop_free();
+  }
+  obs::Tracer::instance().stop();
+
+  obs::JsonValue root;
+  std::string error;
+  ASSERT_TRUE(obs::parse_json(read_file(path), root, error)) << error;
+  obs::TraceStats stats;
+  ASSERT_TRUE(obs::validate_trace(root, stats, error)) << error;
+
+  std::map<std::string, int> names;
+  for (const auto& ev : root.find("traceEvents")->items) {
+    names[ev.find("name")->str]++;
+  }
+  for (const char* stage :
+       {"stage.parse", "stage.topology", "stage.universe", "stage.policies",
+        "stage.src", "stage.spf", "stage.verdicts"}) {
+    EXPECT_GE(names[stage], 1) << stage;
+  }
+  EXPECT_GE(names["epvp.round"], 1);
+  EXPECT_GE(names["policy.compile"], 1);
+  EXPECT_GE(names["spf.fib_build"], 1);
+  EXPECT_GE(names["spf.pec_walk"], 1);
+  EXPECT_GE(names["bdd"], 1);  // substrate counter samples
+  EXPECT_GT(stats.counter_samples, 0u);
+  std::remove(path.c_str());
+}
+
+// --- metrics registry -------------------------------------------------------
+
+TEST(ObsMetricsTest, CountersExactUnderParallelFor) {
+  obs::Registry reg;
+  obs::Counter& c = reg.counter("test.count");
+  obs::Timer& t = reg.timer("test.timer");
+  obs::Histogram& h = reg.histogram("test.hist", {1.0, 2.0, 4.0});
+  support::ThreadPool pool(8);
+  constexpr std::size_t kN = 100000;
+  pool.parallel_for(kN, [&](std::size_t i) {
+    c.inc();
+    if (i % 100 == 0) t.add(0.001);
+    h.observe(static_cast<double>(i % 6));
+  });
+  EXPECT_EQ(c.value(), kN);
+  EXPECT_EQ(t.count(), kN / 100);
+  EXPECT_NEAR(t.total_seconds(), 0.001 * (kN / 100), 1e-9);
+  EXPECT_EQ(h.count(), kN);
+  std::uint64_t bucket_sum = 0;
+  for (std::size_t i = 0; i <= h.bounds().size(); ++i) {
+    bucket_sum += h.bucket_count(i);
+  }
+  EXPECT_EQ(bucket_sum, kN);
+  // i%6 in {0,1} <=1.0; {2} <=2.0; {3,4} <=4.0; {5} overflow.
+  EXPECT_EQ(h.bucket_count(3), kN / 6);
+}
+
+TEST(ObsMetricsTest, RegistryDumpsValidJson) {
+  obs::Registry reg;
+  reg.counter("c\"quoted\"").inc(3);
+  reg.gauge("g").set(2.5);
+  reg.timer("t").add(0.25);
+  reg.histogram("h", {1.0}).observe(0.5);
+  const std::string doc = reg.to_json_document("unit \"test\"");
+  obs::JsonValue root;
+  std::string error;
+  ASSERT_TRUE(obs::parse_json(doc, root, error)) << error << "\n" << doc;
+  EXPECT_EQ(root.find("kind")->str, "metrics");
+  EXPECT_EQ(root.find("label")->str, "unit \"test\"");
+  EXPECT_EQ(root.find("counters")->find("c\"quoted\"")->num, 3);
+  EXPECT_EQ(root.find("timers")->find("t")->find("count")->num, 1);
+}
+
+TEST(ObsMetricsTest, VerifierStatsViewEqualsRegistryAfterWarmAndColdRun) {
+  Session s;
+  s.load(kConfig);  // cold
+  (void)s.check_route_leak_free();
+  (void)s.check_loop_free();
+
+  auto cfgs = config::parse_configs(kConfig);
+  cfgs[0].policies["ex"][0].set_local_preference = 130;  // universe-preserving
+  s.update(std::move(cfgs));  // warm
+  (void)s.check_loop_free();
+
+  const VerifierStats& st = s.stats();
+  obs::Registry& r = s.metrics();
+  EXPECT_TRUE(st.converged);
+  EXPECT_TRUE(st.warm);
+  EXPECT_EQ(st.threads, static_cast<int>(r.gauge("session.threads").value()));
+  EXPECT_EQ(st.updates,
+            static_cast<int>(r.counter("session.updates").value()));
+  EXPECT_EQ(st.src_seconds, r.gauge("stage.src.seconds").value());
+  EXPECT_EQ(st.src_cpu_seconds, r.gauge("stage.src.cpu_seconds").value());
+  EXPECT_EQ(st.spf_seconds, r.gauge("stage.spf.seconds").value());
+  EXPECT_EQ(st.routing_analysis_seconds,
+            r.timer("analysis.routing").total_seconds());
+  EXPECT_EQ(st.forwarding_analysis_seconds,
+            r.timer("analysis.forwarding").total_seconds());
+  EXPECT_EQ(st.epvp_iterations,
+            static_cast<int>(r.gauge("epvp.iterations").value()));
+  EXPECT_EQ(st.total_pecs,
+            static_cast<std::size_t>(r.gauge("pec.count").value()));
+  EXPECT_EQ(st.bdd_nodes,
+            static_cast<std::size_t>(r.gauge("bdd.nodes").value()));
+  EXPECT_EQ(st.parse_cache.misses,
+            static_cast<std::size_t>(
+                r.counter("stage.parse.misses").value()));
+  EXPECT_EQ(st.src_cache.misses,
+            static_cast<std::size_t>(r.counter("stage.src.misses").value()));
+  EXPECT_EQ(st.verdict_cache.hits,
+            static_cast<std::size_t>(
+                r.counter("stage.verdicts.hits").value()));
+  EXPECT_EQ(st.verdict_cache.misses,
+            static_cast<std::size_t>(
+                r.counter("stage.verdicts.misses").value()));
+  // Two runs happened: both src misses; the registry saw them all.
+  EXPECT_EQ(st.src_cache.misses, 2u);
+  EXPECT_EQ(st.updates, 2);
+  // BDD telemetry was sampled at stage boundaries.
+  EXPECT_GT(r.counter("bdd.ite_misses").value(), 0u);
+  EXPECT_GT(r.gauge("process.peak_rss_bytes").value(), 0.0);
+}
+
+TEST(ObsMetricsTest, SessionAppendsMetricsDocumentOnDestruction) {
+  const std::string path = temp_path("obs_metrics.jsonl");
+  std::remove(path.c_str());
+  {
+    Session::SessionOptions opt;
+    opt.metrics_path = path;
+    opt.metrics_label = "obs-test";
+    Session s(opt);
+    s.load(kConfig);
+    (void)s.check_loop_free();
+  }
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string line;
+  ASSERT_TRUE(std::getline(in, line));
+  obs::JsonValue root;
+  std::string error;
+  ASSERT_TRUE(obs::parse_json(line, root, error)) << error;
+  EXPECT_EQ(root.find("label")->str, "obs-test");
+  EXPECT_EQ(root.find("counters")->find("stage.src.misses")->num, 1);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace expresso

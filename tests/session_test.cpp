@@ -281,6 +281,46 @@ TEST(SessionTest, VerifyWarmShadowAgreesOnSimpleNetworks) {
   EXPECT_TRUE(s.stats().converged);
 }
 
+// --- timer accounting --------------------------------------------------------
+
+TEST(SessionTest, VerdictCacheHitsLeaveAnalysisTimersUntouched) {
+  Session s;
+  s.load(kBase);
+  (void)s.check_loop_free();
+  (void)s.check_route_leak_free();
+  const double fwd = s.stats().forwarding_analysis_seconds;
+  const double rt = s.stats().routing_analysis_seconds;
+
+  // Replays from the verdict memo: wall/CPU accounting must not move, so
+  // repeated dashboard-style polling cannot inflate the analysis cost.
+  for (int i = 0; i < 3; ++i) {
+    (void)s.check_loop_free();
+    (void)s.check_route_leak_free();
+  }
+  EXPECT_EQ(s.stats().forwarding_analysis_seconds, fwd);
+  EXPECT_EQ(s.stats().routing_analysis_seconds, rt);
+  EXPECT_EQ(s.stats().forwarding_analysis_cpu_seconds,
+            s.metrics().timer("analysis.forwarding_cpu").total_seconds());
+}
+
+TEST(SessionTest, AnalysisTimersResetWithTheArtifactGeneration) {
+  Session s;
+  s.load(kBase);
+  (void)s.check_loop_free();
+  ASSERT_GE(s.metrics().timer("analysis.forwarding").count(), 1u);
+
+  // The edit moves the fixed point -> new generation -> the per-generation
+  // analysis timers restart from zero before the re-check lands in them.
+  auto edited = config::parse_configs(kBase);
+  edited[0].policies["ex"][0].set_local_preference = 300;
+  s.update(edited);
+  (void)s.check_loop_free();
+  EXPECT_EQ(s.metrics().timer("analysis.forwarding").count(), 1u);
+  // Wall and CPU observation counts stay in lockstep.
+  EXPECT_EQ(s.metrics().timer("analysis.forwarding").count(),
+            s.metrics().timer("analysis.forwarding_cpu").count());
+}
+
 // --- const-correct read access ----------------------------------------------
 
 TEST(SessionTest, ConstViewsWorkAfterStagesRan) {

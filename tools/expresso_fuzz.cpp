@@ -26,6 +26,7 @@
 
 #include "bench_util.hpp"
 #include "fuzz/campaign.hpp"
+#include "obs/metrics.hpp"
 #include "fuzz/differ.hpp"
 #include "fuzz/scenario.hpp"
 #include "fuzz/shrink.hpp"
@@ -187,6 +188,28 @@ int campaign(const Args& a) {
       .num("seconds", stats.seconds)
       .boolean("self_test", a.self_test)
       .emit();
+
+  // EXPRESSO_METRICS: append the campaign's counters as one metrics
+  // document (same format the Session dump uses).
+  if (const std::string& mpath = expresso::obs::metrics_env_path();
+      !mpath.empty()) {
+    expresso::obs::Registry reg;
+    reg.counter("fuzz.runs").inc(static_cast<std::uint64_t>(stats.runs));
+    reg.counter("fuzz.agreed").inc(static_cast<std::uint64_t>(stats.agreed));
+    reg.counter("fuzz.mismatched")
+        .inc(static_cast<std::uint64_t>(stats.mismatched));
+    reg.counter("fuzz.rejected")
+        .inc(static_cast<std::uint64_t>(stats.rejected));
+    reg.counter("fuzz.not_converged")
+        .inc(static_cast<std::uint64_t>(stats.not_converged));
+    reg.counter("fuzz.baselines_checked")
+        .inc(static_cast<std::uint64_t>(stats.baselines_checked));
+    reg.counter("fuzz.shrink_evaluations")
+        .inc(static_cast<std::uint64_t>(stats.shrink_evaluations));
+    reg.gauge("fuzz.seconds").set(stats.seconds);
+    expresso::obs::append_metrics_line(
+        mpath, reg.to_json_document("fuzz_campaign"));
+  }
 
   if (a.self_test) {
     // The planted bug must surface: a clean self-test run is the failure.

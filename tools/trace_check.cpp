@@ -1,0 +1,102 @@
+// expresso_trace_check — validates a Chrome trace_event file produced by
+// the obs tracer (EXPRESSO_TRACE).  Used by scripts/check.sh's trace smoke
+// step and handy when hacking on the tracer itself.
+//
+//   expresso_trace_check out.json [--require-stages] [--min-events N]
+//
+// Checks: strict JSON parse, trace_event structure (name/ph/pid/tid/ts on
+// every event, dur on "X"), and per-thread span nesting.  With
+// --require-stages, additionally requires a span for each of the seven
+// pipeline stages plus at least one EPVP round span and one BDD counter
+// sample (the ISSUE 4 acceptance shape).
+//
+// Exit codes: 0 = valid, 1 = invalid trace, 2 = usage/IO error.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+
+#include "obs/trace_check.hpp"
+
+int main(int argc, char** argv) {
+  std::string path;
+  bool require_stages = false;
+  std::size_t min_events = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--require-stages") == 0) {
+      require_stages = true;
+    } else if (std::strcmp(argv[i], "--min-events") == 0 && i + 1 < argc) {
+      min_events = static_cast<std::size_t>(std::stoul(argv[++i]));
+    } else if (path.empty()) {
+      path = argv[i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: expresso_trace_check FILE [--require-stages] "
+                   "[--min-events N]\n");
+      return 2;
+    }
+  }
+  if (path.empty()) {
+    std::fprintf(stderr,
+                 "usage: expresso_trace_check FILE [--require-stages] "
+                 "[--min-events N]\n");
+    return 2;
+  }
+
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "cannot read %s\n", path.c_str());
+    return 2;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+
+  expresso::obs::JsonValue root;
+  std::string error;
+  if (!expresso::obs::parse_json(buf.str(), root, error)) {
+    std::fprintf(stderr, "%s: JSON parse error: %s\n", path.c_str(),
+                 error.c_str());
+    return 1;
+  }
+  expresso::obs::TraceStats stats;
+  if (!expresso::obs::validate_trace(root, stats, error)) {
+    std::fprintf(stderr, "%s: invalid trace: %s\n", path.c_str(),
+                 error.c_str());
+    return 1;
+  }
+  if (stats.events < min_events) {
+    std::fprintf(stderr, "%s: only %zu span events (need >= %zu)\n",
+                 path.c_str(), stats.events, min_events);
+    return 1;
+  }
+
+  if (require_stages) {
+    std::set<std::string> names;
+    for (const auto& ev : root.find("traceEvents")->items) {
+      names.insert(ev.find("name")->str);
+    }
+    const char* required[] = {"stage.parse",  "stage.topology",
+                              "stage.universe", "stage.policies",
+                              "stage.src",    "stage.spf",
+                              "stage.verdicts", "epvp.round"};
+    for (const char* name : required) {
+      if (names.count(name) == 0) {
+        std::fprintf(stderr, "%s: missing required span '%s'\n", path.c_str(),
+                     name);
+        return 1;
+      }
+    }
+    if (stats.counter_samples == 0) {
+      std::fprintf(stderr, "%s: no substrate counter samples\n", path.c_str());
+      return 1;
+    }
+  }
+
+  std::printf(
+      "%s: OK (%zu spans, %zu counter samples, %zu instants, %zu threads)\n",
+      path.c_str(), stats.events, stats.counter_samples, stats.instants,
+      stats.threads);
+  return 0;
+}
