@@ -14,6 +14,7 @@
 #include "config/parser.hpp"
 #include "expresso/session.hpp"
 #include "gen/datasets.hpp"
+#include "support/util.hpp"
 
 namespace {
 
@@ -63,6 +64,7 @@ int main() {
   std::printf("%-4d %-44s %6s %8.3fs %7s %5s %5s %5zu %5s %5s\n", 0,
               "(initial load)", "cold", cold_total, "1.00x", "-", "-",
               s.stats().policy_cache.misses, "-", "-");
+  const auto cold_t = s.engine().encoding().mgr().telemetry();
   benchutil::JsonRow("incremental_reverify")
       .str("run", "cold")
       .str("edit", "initial load")
@@ -71,6 +73,10 @@ int main() {
       .num("src_s", s.stats().src_seconds)
       .num("spf_s", s.stats().spf_seconds)
       .num("policy_compilations", s.stats().policy_cache.misses)
+      .num("bdd_nodes", cold_t.nodes)
+      .num("gc_runs", cold_t.gc_runs)
+      .num("gc_reclaimed_nodes", cold_t.gc_reclaimed)
+      .num("peak_rss_mb", benchutil::mb(peak_rss_bytes()))
       .boolean("warm", s.stats().warm)
       .emit();
 
@@ -170,6 +176,11 @@ int main() {
         .num("policy_compilations", pol_miss)
         .num("src_hits", src_hit)
         .num("spf_hits", spf_hit)
+        .num("bdd_nodes", s.engine().encoding().mgr().telemetry().nodes)
+        .num("gc_runs", s.engine().encoding().mgr().telemetry().gc_runs)
+        .num("gc_reclaimed_nodes",
+             s.engine().encoding().mgr().telemetry().gc_reclaimed)
+        .num("peak_rss_mb", benchutil::mb(peak_rss_bytes()))
         .boolean("warm", st.warm)
         .boolean("universe_changing_edit", edit.universe_changing)
         .emit();

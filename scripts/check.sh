@@ -42,4 +42,19 @@ ctest --test-dir "$BUILD_DIR" --output-on-failure -L incremental
 # (the incremental campaign carries both labels; skip its second run).
 ctest --test-dir "$BUILD_DIR" --output-on-failure -L fuzz -LE incremental
 
+# BDD garbage collection: Manager sweep unit tests, the GC-on vs GC-off
+# bit-identity campaign, and the bounded-memory soak (also part of tier 1 —
+# this run is for visibility when a sweep is what broke).
+ctest --test-dir "$BUILD_DIR" --output-on-failure -L gc
+
+# The GC suite again under AddressSanitizer: sweeps recycle node ids and
+# release whole chunks — exactly where a stale pointer would hide.  Reduced
+# campaign sizes keep the sanitized pass quick; SKIP_ASAN_SOAK=1 opts out.
+if [ "$PRESET" != asan ] && [ "${SKIP_ASAN_SOAK:-0}" != 1 ]; then
+  cmake --preset asan
+  cmake --build --preset asan -j "$JOBS" --target expresso_gc_tests
+  EXPRESSO_GC_SCENARIOS=25 EXPRESSO_GC_SOAK_EDITS=60 \
+    ctest --test-dir build-asan --output-on-failure -L gc
+fi
+
 echo "check.sh: all green ($PRESET)"

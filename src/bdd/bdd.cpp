@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <limits>
 #include <sstream>
 #include <unordered_map>
 
@@ -15,6 +16,11 @@ constexpr std::uint32_t kTerminalVar = 0xffffffffu;  // sorts after all vars
 constexpr std::size_t kIteCacheSize = 1u << 18;
 constexpr std::size_t kQuantCacheSize = 1u << 16;
 constexpr std::size_t kStripeInitialCap = 1u << 8;
+// Reclaimed ids move from the global free list to a thread in batches, so
+// the free-list mutex is touched once per kFreeBatch allocations.
+constexpr std::size_t kFreeBatch = 256;
+// Adaptive GC floor: below this population a sweep is never worth its walk.
+constexpr std::size_t kGcMinNodes = std::size_t{1} << 16;
 
 inline std::uint64_t mix(std::uint64_t x) {
   x ^= x >> 33;
@@ -68,13 +74,23 @@ void Manager::prepare_threads(std::size_t n) {
 Manager::ThreadCache& Manager::cache() {
   const auto idx = static_cast<std::size_t>(support::thread_index());
   assert(idx < tls_.size() && "call prepare_threads before parallel use");
-  return *tls_[idx];
+  ThreadCache& tc = *tls_[idx];
+  // Lazy post-GC invalidation: a sweep may have freed ids this cache still
+  // names; the first operation after a sweep pays one cache clear.  Relaxed
+  // is enough — gc() runs at quiescence, so the bump is ordered before any
+  // thread re-enters via the pool's synchronization.
+  const std::uint64_t g = gc_gen_.load(std::memory_order_relaxed);
+  if (tc.seen_gc_gen != g) {
+    std::fill(tc.ite.begin(), tc.ite.end(), IteEntry{});
+    std::fill(tc.quant.begin(), tc.quant.end(), QuantEntry{});
+    tc.seen_gc_gen = g;
+  }
+  return tc;
 }
 
 std::uint32_t Manager::add_var() { return num_vars_++; }
 
-NodeId Manager::alloc_node(std::uint32_t var, NodeId lo, NodeId hi) {
-  const NodeId id = node_count_.fetch_add(1, std::memory_order_relaxed);
+Manager::Node* Manager::ensure_chunk(NodeId id) {
   const std::size_t c = id >> kChunkBits;
   assert(c < kMaxChunks && "BDD node arena exhausted");
   Node* chunk = chunks_[c].load(std::memory_order_acquire);
@@ -84,9 +100,38 @@ NodeId Manager::alloc_node(std::uint32_t var, NodeId lo, NodeId hi) {
     if (chunk == nullptr) {
       chunk = new Node[kChunkSize];
       chunks_[c].store(chunk, std::memory_order_release);
-      chunk_count_.store(c + 1, std::memory_order_relaxed);
+      // Keep the high-water mark monotonic: a reused id from a released
+      // chunk can re-materialize a chunk below ones that already exist.
+      const std::size_t used = chunk_count_.load(std::memory_order_relaxed);
+      if (c + 1 > used) chunk_count_.store(c + 1, std::memory_order_relaxed);
     }
   }
+  return chunk;
+}
+
+bool Manager::refill_free_batch(ThreadCache& tc) {
+  std::lock_guard<std::mutex> lock(free_mu_);
+  if (free_list_.empty()) return false;
+  const std::size_t take = std::min(free_list_.size(), kFreeBatch);
+  tc.free_batch.insert(tc.free_batch.end(), free_list_.end() - take,
+                       free_list_.end());
+  free_list_.resize(free_list_.size() - take);
+  return true;
+}
+
+NodeId Manager::alloc_node(std::uint32_t var, NodeId lo, NodeId hi) {
+  ThreadCache& tc = cache();
+  NodeId id;
+  if (!tc.free_batch.empty() ||
+      (free_nodes_.load(std::memory_order_relaxed) > 0 &&
+       refill_free_batch(tc))) {
+    id = tc.free_batch.back();
+    tc.free_batch.pop_back();
+    free_nodes_.fetch_sub(1, std::memory_order_relaxed);
+  } else {
+    id = node_count_.fetch_add(1, std::memory_order_relaxed);
+  }
+  Node* chunk = ensure_chunk(id);
   chunk[id & kChunkMask] = {var, lo, hi};
   return id;
 }
@@ -313,8 +358,114 @@ double Manager::density(NodeId f) {
   return tc.value[f];
 }
 
-double Manager::sat_count(NodeId f) {
-  return density(f) * std::pow(2.0, static_cast<double>(num_vars_));
+Manager::BigCount Manager::count_models(NodeId f) {
+  ThreadCache& tc = cache();
+  const std::uint32_t gen = begin_walk(tc);
+  const std::size_t cap = tc.stamp.size();
+  if (tc.cnt_mant.size() < cap) {
+    tc.cnt_mant.resize(cap, 0);
+    tc.cnt_exp.resize(cap, 0);
+    tc.cnt_exact.resize(cap, 0);
+  }
+  // Mantissas are kept normalized to ≤ 2^53 so they convert to double
+  // exactly; only additions can lose bits (powers of two are exponent adds).
+  constexpr std::uint64_t kMantMax = std::uint64_t{1} << 53;
+  auto add = [](BigCount a, BigCount b) -> BigCount {
+    if (a.mant == 0) return {b.mant, b.exp, b.exact && a.exact};
+    if (b.mant == 0) return {a.mant, a.exp, a.exact && b.exact};
+    if (a.exp < b.exp) std::swap(a, b);
+    std::int32_t shift = a.exp - b.exp;
+    bool exact = a.exact && b.exact;
+    // a.mant ≤ 2^53, so up to 10 left shifts keep it below 2^63: absorb as
+    // much of the alignment as possible without dropping bits of b.
+    const std::int32_t up = std::min<std::int32_t>(shift, 10);
+    a.mant <<= up;
+    a.exp -= up;
+    shift -= up;
+    if (shift >= 64) {
+      if (b.mant != 0) exact = false;
+      b.mant = 0;
+    } else if (shift > 0) {
+      if ((b.mant & ((std::uint64_t{1} << shift) - 1)) != 0) exact = false;
+      b.mant >>= shift;
+    }
+    std::uint64_t m = a.mant + b.mant;  // < 2^63 + 2^53: no overflow
+    std::int32_t e = a.exp;
+    while (m > kMantMax) {
+      if ((m & 1) != 0) exact = false;
+      m >>= 1;
+      ++e;
+    }
+    return {m, e, exact};
+  };
+  // var() for the skipped-level exponents; terminals sort below everything.
+  auto var_of = [&](NodeId id) -> std::int32_t {
+    return id <= kTrue ? static_cast<std::int32_t>(num_vars_)
+                       : static_cast<std::int32_t>(node(id).var);
+  };
+  tc.stamp[kFalse] = gen;
+  tc.cnt_mant[kFalse] = 0;
+  tc.cnt_exp[kFalse] = 0;
+  tc.cnt_exact[kFalse] = 1;
+  tc.stamp[kTrue] = gen;
+  tc.cnt_mant[kTrue] = 1;
+  tc.cnt_exp[kTrue] = 0;
+  tc.cnt_exact[kTrue] = 1;
+  // Iterative post-order: c(f) = c(lo)·2^(var(lo)−var(f)−1)
+  //                              + c(hi)·2^(var(hi)−var(f)−1).
+  auto& stack = tc.stack;
+  stack.clear();
+  stack.push_back(f);
+  while (!stack.empty()) {
+    const NodeId cur = stack.back();
+    if (tc.stamp[cur] == gen) {
+      stack.pop_back();
+      continue;
+    }
+    const Node& n = node(cur);
+    const bool lo_done = tc.stamp[n.lo] == gen;
+    const bool hi_done = tc.stamp[n.hi] == gen;
+    if (lo_done && hi_done) {
+      const std::int32_t v = static_cast<std::int32_t>(n.var);
+      BigCount lo{tc.cnt_mant[n.lo], tc.cnt_exp[n.lo], tc.cnt_exact[n.lo] != 0};
+      BigCount hi{tc.cnt_mant[n.hi], tc.cnt_exp[n.hi], tc.cnt_exact[n.hi] != 0};
+      lo.exp += var_of(n.lo) - v - 1;
+      hi.exp += var_of(n.hi) - v - 1;
+      const BigCount sum = add(lo, hi);
+      tc.cnt_mant[cur] = sum.mant;
+      tc.cnt_exp[cur] = sum.exp;
+      tc.cnt_exact[cur] = sum.exact ? 1 : 0;
+      tc.stamp[cur] = gen;
+      stack.pop_back();
+    } else {
+      if (!lo_done) stack.push_back(n.lo);
+      if (!hi_done) stack.push_back(n.hi);
+    }
+  }
+  BigCount r{tc.cnt_mant[f], tc.cnt_exp[f], tc.cnt_exact[f] != 0};
+  r.exp += var_of(f);  // variables above the root are all free
+  return r;
+}
+
+Manager::SatCount Manager::sat_count_checked(NodeId f) {
+  const BigCount c = count_models(f);
+  SatCount out;
+  if (c.mant == 0) {
+    out.value = 0.0;
+    out.exact = c.exact;
+    return out;
+  }
+  out.value = std::ldexp(static_cast<double>(c.mant), c.exp);
+  out.exact = c.exact && std::isfinite(out.value);
+  return out;
+}
+
+double Manager::sat_count(NodeId f) { return sat_count_checked(f).value; }
+
+double Manager::log2_sat_count(NodeId f) {
+  const BigCount c = count_models(f);
+  if (c.mant == 0) return -std::numeric_limits<double>::infinity();
+  return std::log2(static_cast<double>(c.mant)) + static_cast<double>(c.exp);
 }
 
 std::vector<std::uint32_t> Manager::support(NodeId f) {
@@ -417,24 +568,175 @@ std::size_t Manager::node_count(NodeId f) {
   return count;
 }
 
+void Manager::protect(NodeId f) {
+  if (f <= kTrue) return;  // terminals are implicit roots
+  std::lock_guard<std::mutex> lock(roots_mu_);
+  ++roots_[f];
+}
+
+void Manager::unprotect(NodeId f) {
+  if (f <= kTrue) return;
+  std::lock_guard<std::mutex> lock(roots_mu_);
+  auto it = roots_.find(f);
+  assert(it != roots_.end() && "unprotect without matching protect");
+  if (it != roots_.end() && --it->second == 0) roots_.erase(it);
+}
+
+Manager::GcStats Manager::gc(const std::vector<NodeId>& extra_roots) {
+  GcStats st;
+  st.before = live_nodes();
+
+  // Drain the per-thread free batches back to the global list so the sweep's
+  // accounting covers every reclaimed id (nothing stranded in a batch).
+  {
+    std::lock_guard<std::mutex> lock(free_mu_);
+    for (auto& tc : tls_) {
+      free_list_.insert(free_list_.end(), tc->free_batch.begin(),
+                        tc->free_batch.end());
+      tc->free_batch.clear();
+    }
+  }
+
+  const std::uint32_t cursor = node_count_.load(std::memory_order_relaxed);
+
+  // Mark: closure over lo/hi from the protected roots plus extra_roots.
+  std::vector<std::uint8_t> mark(cursor, 0);
+  mark[kFalse] = 1;
+  mark[kTrue] = 1;
+  std::vector<NodeId> stack;
+  auto push_root = [&](NodeId f) {
+    if (f < cursor && mark[f] == 0) {
+      mark[f] = 1;
+      stack.push_back(f);
+    }
+  };
+  {
+    std::lock_guard<std::mutex> lock(roots_mu_);
+    st.roots = roots_.size() + extra_roots.size();
+    for (const auto& [id, refs] : roots_) {
+      (void)refs;
+      push_root(id);
+    }
+  }
+  for (NodeId f : extra_roots) push_root(f);
+  while (!stack.empty()) {
+    const NodeId cur = stack.back();
+    stack.pop_back();
+    const Node& n = node(cur);
+    if (mark[n.lo] == 0) {
+      mark[n.lo] = 1;
+      stack.push_back(n.lo);
+    }
+    if (mark[n.hi] == 0) {
+      mark[n.hi] = 1;
+      stack.push_back(n.hi);
+    }
+  }
+
+  // Sweep: every interior node occupies exactly one unique-table slot, so
+  // the stripes are the complete sweep universe.  Each stripe is compacted
+  // to its live occupancy (load ≤ 3/4, floor kStripeInitialCap).
+  std::vector<NodeId> dead;
+  std::vector<NodeId> keep;
+  std::size_t live_interior = 0;
+  for (std::size_t i = 0; i < kNumStripes; ++i) {
+    Stripe& s = stripes_[i];
+    keep.clear();
+    for (NodeId id : s.table) {
+      if (id == 0) continue;
+      if (mark[id] != 0) {
+        keep.push_back(id);
+      } else {
+        dead.push_back(id);
+      }
+    }
+    std::size_t cap = kStripeInitialCap;
+    while (keep.size() * 4 > cap * 3) cap <<= 1;
+    s.table.assign(cap, 0);
+    const std::size_t mask = cap - 1;
+    for (NodeId id : keep) {
+      const Node& n = node(id);
+      std::size_t slot = hash3(n.var, n.lo, n.hi) & mask;
+      while (s.table[slot] != 0) slot = (slot + 1) & mask;
+      s.table[slot] = id;
+    }
+    s.count = keep.size();
+    live_interior += keep.size();
+  }
+
+  // Release chunks that hold no live node (their freed ids stay on the free
+  // list; ensure_chunk re-materializes the chunk if one is reused).  Chunk 0
+  // is never released — it holds the terminals.
+  const std::size_t used_chunks = chunk_count_.load(std::memory_order_relaxed);
+  std::vector<std::uint32_t> chunk_live(used_chunks, 0);
+  for (NodeId id = 0; id < cursor; ++id) {
+    if (mark[id] != 0) ++chunk_live[id >> kChunkBits];
+  }
+  for (std::size_t c = 1; c < used_chunks; ++c) {
+    if (chunk_live[c] == 0) {
+      Node* p = chunks_[c].load(std::memory_order_relaxed);
+      if (p != nullptr) {
+        delete[] p;
+        chunks_[c].store(nullptr, std::memory_order_relaxed);
+      }
+    }
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(free_mu_);
+    free_list_.insert(free_list_.end(), dead.begin(), dead.end());
+    free_nodes_.store(free_list_.size(), std::memory_order_relaxed);
+  }
+
+  st.live = live_interior + 2;  // terminals
+  st.reclaimed = dead.size();
+
+  // Invalidate the per-thread operation caches: a reused id must never
+  // satisfy a stale probe.  Threads clear lazily on next cache() access.
+  gc_gen_.fetch_add(1, std::memory_order_relaxed);
+  ++gc_runs_;
+  gc_reclaimed_total_ += st.reclaimed;
+  last_gc_live_ = st.live;
+  return st;
+}
+
+bool Manager::gc_pressure(std::size_t node_budget) const {
+  const std::size_t population = live_nodes();
+  if (node_budget != 0) return population > node_budget;
+  // Adaptive: sweep when the population doubled since the last sweep's live
+  // set, with a floor so small sessions never pay for a walk.
+  return population > std::max(kGcMinNodes, 2 * last_gc_live_);
+}
+
 std::size_t Manager::approx_bytes() const {
-  std::size_t bytes =
-      chunk_count_.load(std::memory_order_relaxed) * kChunkSize * sizeof(Node);
+  std::size_t bytes = 0;
+  const std::size_t used = chunk_count_.load(std::memory_order_relaxed);
+  for (std::size_t i = 0; i < used; ++i) {
+    if (chunks_[i].load(std::memory_order_relaxed) != nullptr) {
+      bytes += kChunkSize * sizeof(Node);
+    }
+  }
   for (std::size_t i = 0; i < kNumStripes; ++i) {
     bytes += stripes_[i].table.capacity() * sizeof(NodeId);
   }
+  bytes += free_list_.capacity() * sizeof(NodeId);
   for (const auto& tc : tls_) {
     bytes += tc->ite.capacity() * sizeof(IteEntry) +
              tc->quant.capacity() * sizeof(QuantEntry) +
              tc->stamp.capacity() * sizeof(std::uint32_t) +
-             tc->value.capacity() * sizeof(double);
+             tc->value.capacity() * sizeof(double) +
+             tc->free_batch.capacity() * sizeof(NodeId) +
+             tc->cnt_mant.capacity() * sizeof(std::uint64_t) +
+             tc->cnt_exp.capacity() * sizeof(std::int32_t) +
+             tc->cnt_exact.capacity() * sizeof(std::uint8_t);
   }
   return bytes;
 }
 
 Manager::Telemetry Manager::telemetry() const {
   Telemetry t;
-  t.nodes = total_nodes();
+  t.nodes = live_nodes();
+  t.allocated_total = total_nodes();
   for (std::size_t i = 0; i < kNumStripes; ++i) {
     t.unique_entries += stripes_[i].count;
     t.unique_capacity += stripes_[i].table.size();
@@ -444,6 +746,9 @@ Manager::Telemetry Manager::telemetry() const {
     t.ite_misses += tc->ite_misses;
   }
   t.approx_bytes = approx_bytes();
+  t.gc_runs = gc_runs_;
+  t.gc_reclaimed = gc_reclaimed_total_;
+  t.gc_last_live = last_gc_live_;
   return t;
 }
 

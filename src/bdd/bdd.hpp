@@ -16,10 +16,23 @@
 // NodeId handles is semantic equivalence of the functions — the canonical
 // form property Expresso relies on when comparing advertiser conditions.
 //
-// The manager owns all nodes; NodeId handles are plain indices and remain
-// valid for the manager's lifetime (there is no garbage collection — the
-// verifier's working sets are bounded by the run, matching JDD's default
-// usage in the paper).
+// The manager owns all nodes; NodeId handles are plain indices.  Long-lived
+// managers (an expresso::Session re-verifying an unbounded stream of config
+// deltas) reclaim dead nodes with explicit mark-and-sweep garbage collection:
+// gc() marks everything reachable from the root set — ids registered through
+// protect()/unprotect() or the RAII Rooted handle, plus any extra roots the
+// caller passes — then frees the dead unique-table slots for reuse,
+// compacts/rehashes the stripes, releases node chunks that became entirely
+// dead, and invalidates the per-thread operation caches (generation bump).
+// A NodeId is valid from its creation until the first gc() at which it is
+// not reachable from the root set; unrooted ids held across a sweep dangle.
+// Callers that never invoke gc() keep the original manager-lifetime
+// contract (matching JDD's default usage in the paper).
+//
+// gc() requires quiescence: no other thread may be inside any manager
+// operation for the duration of the sweep.  Session triggers it only at
+// stage boundaries, where the thread pool is idle — the same points at
+// which telemetry() is sampled.
 //
 // Concurrency (see DESIGN.md §"Concurrency architecture"):
 //   * Node storage is a chunked arena — chunks are allocated once and never
@@ -42,6 +55,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 namespace expresso::bdd {
@@ -118,9 +132,24 @@ class Manager {
   // care).
   bool sat_one(NodeId f, std::vector<std::int8_t>& assignment);
 
-  // Number of satisfying assignments over the full variable universe,
-  // as a double (exact for < 2^53).
+  // Model counting.  Counts over wide universes (prefix ⨯ advertiser ⨯
+  // community variables) routinely exceed 2^53, past which a double can no
+  // longer represent every integer — sat_count_checked() therefore reports
+  // whether its value is the exact count or a saturated approximation
+  // (internally the count is carried as a binary big-float that records
+  // every bit lost to alignment or normalization).
+  struct SatCount {
+    double value = 0;   // the count; +inf when it exceeds double range
+    bool exact = true;  // value is the exact count (no precision lost)
+  };
+  SatCount sat_count_checked(NodeId f);
+  // Number of satisfying assignments over the full variable universe.
+  // Equals sat_count_checked(f).value: exact below 2^53, a saturating
+  // approximation above — callers that care must use the checked variant.
   double sat_count(NodeId f);
+  // log2 of the count; -infinity for unsatisfiable f.  Never saturates, so
+  // it is the safe way to compare counts over wide universes.
+  double log2_sat_count(NodeId f);
   // Fraction of the full assignment space that satisfies f, in [0,1].
   double density(NodeId f);
 
@@ -134,24 +163,105 @@ class Manager {
 
   // Nodes reachable from f (including terminals).
   std::size_t node_count(NodeId f);
-  // Total nodes ever allocated in this manager (memory proxy).
+  // Total nodes ever allocated in this manager (monotonic).
   std::size_t total_nodes() const {
     return node_count_.load(std::memory_order_relaxed);
   }
+  // Nodes currently alive: allocated minus those sitting on the GC free
+  // lists (the memory proxy).  Exact only at parallel quiescence.
+  std::size_t live_nodes() const {
+    return node_count_.load(std::memory_order_relaxed) -
+           free_nodes_.load(std::memory_order_relaxed);
+  }
   // Approximate heap bytes held by the manager's tables.
   std::size_t approx_bytes() const;
+
+  // --- Garbage collection ---------------------------------------------------
+  // Registers f as a GC root (refcounted; terminals are implicit roots).
+  // Everything reachable from a root survives gc(); all other nodes are
+  // reclaimed and their ids reused by later allocations.
+  void protect(NodeId f);
+  void unprotect(NodeId f);
+
+  // RAII root handle.  Move-only; the destructor unprotects.
+  class Rooted {
+   public:
+    Rooted() = default;
+    Rooted(Manager& m, NodeId f) : mgr_(&m), id_(f) { m.protect(f); }
+    Rooted(Rooted&& o) noexcept : mgr_(o.mgr_), id_(o.id_) {
+      o.mgr_ = nullptr;
+      o.id_ = kFalse;
+    }
+    Rooted& operator=(Rooted&& o) noexcept {
+      if (this != &o) {
+        reset();
+        mgr_ = o.mgr_;
+        id_ = o.id_;
+        o.mgr_ = nullptr;
+        o.id_ = kFalse;
+      }
+      return *this;
+    }
+    Rooted(const Rooted&) = delete;
+    Rooted& operator=(const Rooted&) = delete;
+    ~Rooted() { reset(); }
+
+    void reset() {
+      if (mgr_ != nullptr) mgr_->unprotect(id_);
+      mgr_ = nullptr;
+      id_ = kFalse;
+    }
+    void reset(Manager& m, NodeId f) {
+      m.protect(f);  // protect-before-unprotect: safe when rebinding same id
+      reset();
+      mgr_ = &m;
+      id_ = f;
+    }
+    NodeId id() const { return id_; }
+    operator NodeId() const { return id_; }
+
+   private:
+    Manager* mgr_ = nullptr;
+    NodeId id_ = kFalse;
+  };
+
+  struct GcStats {
+    std::size_t before = 0;     // live population entering the sweep
+    std::size_t live = 0;       // nodes surviving (incl. the two terminals)
+    std::size_t reclaimed = 0;  // nodes freed by this sweep
+    std::size_t roots = 0;      // root-set size marked from
+  };
+
+  // Mark-and-sweep from the protected root set plus `extra_roots`:
+  // unreachable nodes are pushed onto the free list, each unique-table
+  // stripe is compacted and rehashed to its live occupancy, node chunks
+  // containing no live node are released, and the per-thread ITE/quant
+  // caches are invalidated via a generation bump (each thread lazily clears
+  // its cache on next use).  Requires quiescence — must not run concurrently
+  // with any other manager operation on any thread.
+  GcStats gc(const std::vector<NodeId>& extra_roots = {});
+
+  // Trigger heuristic for callers that sweep at natural boundaries: true
+  // when the population exceeds `node_budget` (if non-zero), or — adaptive
+  // mode, budget 0 — when it exceeds twice the live set of the previous
+  // sweep (with a floor so small sessions never pay for GC).
+  bool gc_pressure(std::size_t node_budget = 0) const;
 
   // Substrate telemetry snapshot (obs layer, DESIGN.md §8).  ITE-cache
   // hit/miss counters are plain per-thread tallies summed here, so call
   // this only at parallel quiescence (stage boundaries) — exactly where
   // Session samples it.
   struct Telemetry {
-    std::size_t nodes = 0;          // total nodes ever allocated
+    std::size_t nodes = 0;          // live nodes (allocated minus reclaimed)
+    std::size_t allocated_total = 0;  // nodes ever allocated (monotonic)
     std::size_t unique_entries = 0; // occupied unique-table slots
     std::size_t unique_capacity = 0;
     std::size_t approx_bytes = 0;
     std::uint64_t ite_hits = 0;
     std::uint64_t ite_misses = 0;   // cache lookups that had to recurse
+    std::uint64_t gc_runs = 0;          // sweeps performed
+    std::uint64_t gc_reclaimed = 0;     // nodes reclaimed across all sweeps
+    std::size_t gc_last_live = 0;       // live set at the end of the last sweep
   };
   Telemetry telemetry() const;
 
@@ -213,6 +323,14 @@ class Manager {
     std::vector<IteEntry> ite;
     std::vector<QuantEntry> quant;
     std::uint64_t quant_gen = 0;
+    // Last GC generation this thread observed; on mismatch the ITE/quant
+    // caches are cleared lazily before the next operation (a swept-then-
+    // reused id must never satisfy a stale cache probe).
+    std::uint64_t seen_gc_gen = 0;
+    // Thread-private batch of reclaimed ids handed out by alloc_node before
+    // the arena cursor advances.  Refilled from the global free list under
+    // free_mu_; drained back by gc() (which runs at quiescence).
+    std::vector<NodeId> free_batch;
     // ITE-cache effectiveness tallies (telemetry).  Plain (non-atomic)
     // because the cache itself is thread-private; readers aggregate at
     // quiescence via telemetry().
@@ -226,6 +344,11 @@ class Manager {
     std::uint32_t walk_gen = 0;
     std::vector<NodeId> stack;
     std::vector<std::uint32_t> vars;    // support() accumulator
+    // Exact model-counting memo: per-node binary big-float (mantissa,
+    // exponent, exactness).  Sized lazily by sat_count_checked only.
+    std::vector<std::uint64_t> cnt_mant;
+    std::vector<std::int32_t> cnt_exp;
+    std::vector<std::uint8_t> cnt_exact;
   };
 
   const Node& node(NodeId id) const {
@@ -238,6 +361,22 @@ class Manager {
   NodeId mk_in_stripe(Stripe& s, std::uint32_t var, NodeId lo, NodeId hi,
                       std::uint64_t h);
   NodeId alloc_node(std::uint32_t var, NodeId lo, NodeId hi);
+  // Pulls a batch of reclaimed ids from the global free list into the
+  // calling thread's private batch; false when the list is empty.
+  bool refill_free_batch(ThreadCache& tc);
+  // Ensures the chunk holding `id` is allocated (fresh cursor growth or a
+  // reused id whose chunk was released by a sweep).
+  Node* ensure_chunk(NodeId id);
+  // Exact saturating model count as mant · 2^exp over the variables at and
+  // below f's level (mant == 0 ⇒ unsatisfiable); `exact` clears whenever a
+  // mantissa bit is shifted out.  Shared core of sat_count_checked /
+  // log2_sat_count.
+  struct BigCount {
+    std::uint64_t mant;
+    std::int32_t exp;
+    bool exact;
+  };
+  BigCount count_models(NodeId f);
   NodeId ite_rec(NodeId f, NodeId g, NodeId h, ThreadCache& tc);
   NodeId exists_rec(NodeId f, const std::vector<std::uint32_t>& sorted_vars,
                     ThreadCache& tc);
@@ -258,6 +397,24 @@ class Manager {
   std::unique_ptr<Stripe[]> stripes_;
 
   std::vector<std::unique_ptr<ThreadCache>> tls_;
+
+  // --- GC state ------------------------------------------------------------
+  // Reclaimed ids awaiting reuse.  free_nodes_ counts every id currently
+  // free anywhere (global list + per-thread batches) so live_nodes() stays
+  // O(1); free_mu_ is only taken on batch refill and during the sweep, and
+  // is always innermost (after any stripe mutex).
+  std::vector<NodeId> free_list_;
+  std::mutex free_mu_;
+  std::atomic<std::size_t> free_nodes_{0};
+  // Refcounted external roots.
+  std::unordered_map<NodeId, std::uint32_t> roots_;
+  std::mutex roots_mu_;
+  // Bumped by every sweep; threads compare against ThreadCache::seen_gc_gen
+  // and clear their operation caches lazily.
+  std::atomic<std::uint64_t> gc_gen_{0};
+  std::uint64_t gc_runs_ = 0;
+  std::uint64_t gc_reclaimed_total_ = 0;
+  std::size_t last_gc_live_ = 0;
 };
 
 // True iff `a` (in manager `ma`) and `b` (in manager `mb`) denote the same

@@ -481,6 +481,21 @@ const std::vector<SymbolicRoute>& Engine::external_rib(NodeIndex u) const {
   return external_rib_[u];
 }
 
+void Engine::append_bdd_roots(std::vector<bdd::NodeId>& out) const {
+  auto add_rib = [&out](
+      const std::vector<std::vector<SymbolicRoute>>& per_node) {
+    for (const auto& routes : per_node) {
+      for (const auto& r : routes) {
+        out.push_back(r.d);
+        out.push_back(r.attrs.comm.as_bdd());  // kFalse in automaton mode
+      }
+    }
+  };
+  add_rib(origin_);
+  add_rib(ribs_);
+  add_rib(external_rib_);
+}
+
 std::optional<std::uint32_t> Engine::atom_of(const net::Community& c) const {
   return atomizer_->atom_of(c);
 }

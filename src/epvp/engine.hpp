@@ -128,6 +128,11 @@ class Engine {
 
   int iterations() const { return iterations_; }
 
+  // Appends every BDD node id this engine retains across runs (origination,
+  // RIB and external-RIB predicates plus their community sets) to `out` —
+  // the engine's contribution to a bdd::Manager::gc() root set.
+  void append_bdd_roots(std::vector<bdd::NodeId>& out) const;
+
   // Resolved worker-thread count and the shared pool (null when serial).
   // Downstream stages (FIB build, PEC computation) reuse the same pool so
   // the whole pipeline respects one knob.

@@ -1,5 +1,7 @@
 #include "expresso/session.hpp"
 
+#include <cstdio>
+#include <cstdlib>
 #include <sstream>
 #include <stdexcept>
 
@@ -38,13 +40,37 @@ bool ribs_equal(const std::vector<std::vector<symbolic::SymbolicRoute>>& a,
 }  // namespace
 
 Session::Session(epvp::Options options)
-    : Session(SessionOptions{options, false}) {}
+    : Session(SessionOptions{.engine = options}) {}
 
 Session::Session(SessionOptions options) : options_(std::move(options)) {
   threads_ = options_.engine.threads > 0 ? options_.engine.threads
                                          : support::env_thread_count();
   if (threads_ > 1) {
     pool_ = std::make_unique<support::ThreadPool>(threads_);
+  }
+  gc_enabled_ = options_.bdd_gc;
+  gc_budget_ = options_.max_bdd_nodes;
+  if (const char* v = std::getenv("EXPRESSO_BDD_GC");
+      v != nullptr && *v != '\0') {
+    const std::string s(v);
+    if (s == "0" || s == "off") {
+      gc_enabled_ = false;
+    } else if (s == "1" || s == "on") {
+      gc_enabled_ = true;
+      gc_budget_ = 0;
+    } else {
+      char* end = nullptr;
+      const unsigned long long budget = std::strtoull(v, &end, 10);
+      if (end != v && *end == '\0') {
+        gc_enabled_ = true;
+        gc_budget_ = static_cast<std::size_t>(budget);
+      } else {
+        std::fprintf(stderr,
+                     "expresso: ignoring malformed EXPRESSO_BDD_GC='%s' "
+                     "(want 0|1|on|off|<node budget>)\n",
+                     v);
+      }
+    }
   }
   registry_.gauge("session.threads").set(static_cast<double>(threads_));
   if (!options_.trace_path.empty()) {
@@ -227,6 +253,7 @@ void Session::install(std::vector<config::RouterConfig> configs,
   build_engine();
   src_done_ = false;
   registry_.gauge("session.warm").set(0);
+  maybe_gc();
   sample_substrate("install");
 }
 
@@ -342,6 +369,7 @@ void Session::run_src() {
       .arg("rib_routes", rib_routes)
       .arg("artifacts_unchanged", unchanged);
   span.end();
+  maybe_gc();
   sample_substrate("src");
 }
 
@@ -376,6 +404,7 @@ void Session::run_spf() {
       .arg("fib_entries", fib_entries_)
       .arg("pecs", pecs_->size());
   span.end();
+  maybe_gc();
   sample_substrate("spf");
 }
 
@@ -390,10 +419,67 @@ void Session::bump_generation() {
   registry_.timer("analysis.forwarding_cpu").reset();
 }
 
+std::vector<bdd::NodeId> Session::gc_roots() const {
+  std::vector<bdd::NodeId> roots;
+  if (engine_) engine_->append_bdd_roots(roots);
+  for (const auto* seed : {&prev_ribs_, &prev_external_ribs_}) {
+    for (const auto& routes : *seed) {
+      for (const auto& r : routes) {
+        roots.push_back(r.d);
+        roots.push_back(r.attrs.comm.as_bdd());
+      }
+    }
+  }
+  if (pecs_) {
+    for (const auto& pec : *pecs_) roots.push_back(pec.pkt);
+  }
+  for (const auto& [key, entry] : verdicts_) {
+    for (const auto& v : entry.second) roots.push_back(v.condition);
+  }
+  policy_cache_.append_bdd_roots(roots);
+  return roots;
+}
+
+bdd::Manager::GcStats Session::collect_bdd_garbage() {
+  ensure_loaded();
+  obs::Span span("gc.sweep");
+  // Drop cached artifacts of superseded generations first: they are
+  // unreachable through any API (the generation guard rejects them) and
+  // would otherwise pin their dead predicates as roots.
+  for (auto it = verdicts_.begin(); it != verdicts_.end();) {
+    if (it->second.first != generation_) {
+      it = verdicts_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  if (pecs_ && pec_generation_ != generation_) pecs_.reset();
+
+  const bdd::Manager::GcStats st = enc_->mgr().gc(gc_roots());
+  const bdd::Manager::Telemetry t = enc_->mgr().telemetry();
+  registry_.counter("bdd.gc_runs").set(t.gc_runs);
+  registry_.counter("bdd.gc_reclaimed_nodes").set(t.gc_reclaimed);
+  registry_.gauge("bdd.gc_last_live").set(static_cast<double>(t.gc_last_live));
+  span.arg("before", st.before)
+      .arg("live", st.live)
+      .arg("reclaimed", st.reclaimed)
+      .arg("roots", st.roots);
+  return st;
+}
+
+void Session::maybe_gc() {
+  if (!gc_enabled_ || !enc_) return;
+  if (!enc_->mgr().gc_pressure(gc_budget_)) return;
+  collect_bdd_garbage();
+}
+
 void Session::sample_substrate(const char* where) {
   if (!enc_) return;
   const bdd::Manager::Telemetry t = enc_->mgr().telemetry();
   registry_.gauge("bdd.nodes").set(static_cast<double>(t.nodes));
+  registry_.counter("bdd.gc_runs").set(t.gc_runs);
+  registry_.counter("bdd.gc_reclaimed_nodes").set(t.gc_reclaimed);
+  registry_.gauge("bdd.gc_last_live").set(static_cast<double>(t.gc_last_live));
   registry_.gauge("bdd.unique_entries")
       .set(static_cast<double>(t.unique_entries));
   registry_.gauge("bdd.approx_bytes").set(static_cast<double>(t.approx_bytes));

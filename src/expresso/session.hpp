@@ -107,6 +107,17 @@ class Session {
     // engine and fall back to the cold result if the fixed points disagree.
     // Costs a full cold run per update; meant for validation workflows.
     bool verify_warm = false;
+    // BDD garbage collection at generation boundaries (install / SRC / SPF
+    // ends — the quiescent points where substrate telemetry is sampled).
+    // When enabled, a mark-and-sweep over the session's retained artifacts
+    // runs whenever bdd::Manager::gc_pressure(max_bdd_nodes) holds.  The
+    // EXPRESSO_BDD_GC environment variable overrides both fields:
+    // "0"/"off" disables, "1"/"on" enables adaptive mode, an integer > 1 is
+    // a node budget.
+    bool bdd_gc = true;
+    // Node budget for the GC trigger; 0 = adaptive (sweep when the
+    // population doubles the previous sweep's live set).
+    std::size_t max_bdd_nodes = 0;
     // Non-empty: start the process-wide Chrome tracer targeting this file
     // (same effect as EXPRESSO_TRACE=<path>).
     std::string trace_path;
@@ -170,6 +181,14 @@ class Session {
 
   std::string describe(const properties::Violation& v) const;
 
+  // Forces one BDD mark-and-sweep right now, regardless of pressure: prunes
+  // stale cached artifacts (previous-generation verdicts/PECs), gathers the
+  // live retainers as roots and sweeps everything else.  Requires a loaded
+  // session; must not race a running stage (call between pipeline calls,
+  // where the thread pool is idle).  Also runs automatically at generation
+  // boundaries — see SessionOptions::bdd_gc.
+  bdd::Manager::GcStats collect_bdd_garbage();
+
   // Rebuilds the compatibility view from the metrics registry and returns
   // it.  The reference stays valid for the session's lifetime; its contents
   // refresh on the next stats() call.
@@ -197,6 +216,15 @@ class Session {
       const char* timer_name);
   // Advances generation_ and resets the per-generation analysis timers.
   void bump_generation();
+  // Every BDD node id the session retains across runs: engine origination /
+  // RIBs / external RIBs, the warm-start seed RIBs, cached PEC predicates,
+  // current-generation verdict conditions and the compiled-policy cache.
+  // Gathered fresh at each sweep (simpler and exact, vs. intrusive rooting).
+  std::vector<bdd::NodeId> gc_roots() const;
+  // Runs collect_bdd_garbage() iff GC is enabled and the manager reports
+  // pressure against the configured budget.  Called at generation
+  // boundaries, where the thread pool is quiescent.
+  void maybe_gc();
   // Samples BDD-manager telemetry and process RSS into the registry (and,
   // when tracing, as Chrome counter events).  Called at stage boundaries —
   // never inside parallel regions.
@@ -206,6 +234,10 @@ class Session {
   SessionOptions options_;
   int threads_ = 1;
   std::unique_ptr<support::ThreadPool> pool_;
+
+  // Resolved GC configuration (SessionOptions overridden by EXPRESSO_BDD_GC).
+  bool gc_enabled_ = true;
+  std::size_t gc_budget_ = 0;
 
   // --- artifacts, in pipeline order ---------------------------------------
   std::optional<std::uint64_t> text_hash_;   // parse key (text loads only)

@@ -1,5 +1,8 @@
 #include "fuzz/scenario.hpp"
 
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
 #include <sstream>
 #include <stdexcept>
 
@@ -53,7 +56,19 @@ Scenario parse_repro(const std::string& text) {
     const auto t = split_ws(line);
     if (t.empty() || t[0][0] == '#') continue;
     if (t[0] == "seed" && t.size() == 2) {
-      s.seed = std::stoull(t[1]);
+      // Validate like the pool/announce branches: std::stoull would throw
+      // bare invalid_argument/out_of_range (no line context) and silently
+      // accepts trailing garbage and negative values.
+      const std::string& w = t[1];
+      errno = 0;
+      char* end = nullptr;
+      const unsigned long long v = std::strtoull(w.c_str(), &end, 10);
+      if (w.empty() || !std::isdigit(static_cast<unsigned char>(w[0])) ||
+          end != w.c_str() + w.size() || errno == ERANGE) {
+        throw std::runtime_error("repro line " + std::to_string(lineno) +
+                                 ": bad seed '" + w + "'");
+      }
+      s.seed = v;
     } else if (t[0] == "pool" && t.size() == 2) {
       auto p = net::Ipv4Prefix::parse(t[1]);
       if (!p) {

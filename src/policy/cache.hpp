@@ -60,6 +60,17 @@ class PolicyCache {
   // and atom index baked into the compilations is stale).
   void clear() { entries_.clear(); }
 
+  // Appends every BDD node id baked into the cached compilations (the
+  // clauses' prefix predicates) to `out` — the cache's contribution to a
+  // bdd::Manager::gc() root set.
+  void append_bdd_roots(std::vector<bdd::NodeId>& out) const {
+    for (const auto& [key, compiled] : entries_) {
+      for (const auto& clause : compiled.clauses) {
+        out.push_back(clause.prefix_pred);
+      }
+    }
+  }
+
   std::size_t size() const { return entries_.size(); }
   std::size_t hits() const { return hits_; }
   std::size_t misses() const { return misses_; }

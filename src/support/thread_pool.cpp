@@ -1,5 +1,6 @@
 #include "support/thread_pool.hpp"
 
+#include <cstdio>
 #include <cstdlib>
 
 namespace expresso::support {
@@ -21,7 +22,15 @@ int env_thread_count() {
   if (v == nullptr || *v == '\0') return 1;
   char* end = nullptr;
   const long n = std::strtol(v, &end, 10);
-  if (end == v) return 1;
+  if (end == v || *end != '\0') {
+    // "8abc" must not masquerade as 8: a typo'd setting runs single-threaded
+    // loudly rather than half-applied silently.
+    std::fprintf(stderr,
+                 "expresso: ignoring malformed EXPRESSO_THREADS='%s' "
+                 "(not an integer), using 1 thread\n",
+                 v);
+    return 1;
+  }
   if (n == 0) return hardware_threads();
   if (n < 1) return 1;
   if (n > 256) return 256;

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
+
 #include "support/util.hpp"
 
 namespace expresso::bdd {
@@ -112,6 +115,48 @@ TEST_F(BddTest, SatCountIsExact) {
   EXPECT_DOUBLE_EQ(m.sat_count(f), 192.0);
   const NodeId g = m.xor_(m.var(2), m.var(5));
   EXPECT_DOUBLE_EQ(m.sat_count(g), 128.0);
+}
+
+TEST_F(BddTest, SatCountCheckedReportsExactness) {
+  // Small universe: everything is exact and matches sat_count.
+  const NodeId f = m.or_(m.var(0), m.var(1));
+  const auto small = m.sat_count_checked(f);
+  EXPECT_TRUE(small.exact);
+  EXPECT_DOUBLE_EQ(small.value, 192.0);
+  EXPECT_DOUBLE_EQ(m.log2_sat_count(kTrue), 8.0);
+  EXPECT_EQ(m.log2_sat_count(kFalse),
+            -std::numeric_limits<double>::infinity());
+  EXPECT_TRUE(m.sat_count_checked(kFalse).exact);
+
+  // 2^55 + 2 needs a 55-bit mantissa: past double's 53-bit integers, the
+  // checked count must flag the precision loss (the plain sat_count keeps
+  // returning the saturated approximation).
+  Manager wide(56);
+  NodeId tail = kTrue;
+  for (std::uint32_t v = 1; v < 55; ++v) tail = wide.and_(tail, wide.var(v));
+  const NodeId g = wide.or_(wide.var(0), tail);
+  const auto sat = wide.sat_count_checked(g);
+  EXPECT_FALSE(sat.exact);
+  // Saturated value is still the right magnitude...
+  EXPECT_NEAR(sat.value, std::ldexp(1.0, 55), std::ldexp(1.0, 3));
+  EXPECT_DOUBLE_EQ(wide.sat_count(g), sat.value);
+  // ...and log2 never saturates.
+  EXPECT_NEAR(wide.log2_sat_count(g), 55.0, 1e-9);
+  // Powers of two stay exact at any width: no addition, no lost bits.
+  EXPECT_TRUE(wide.sat_count_checked(wide.var(0)).exact);
+  EXPECT_DOUBLE_EQ(wide.sat_count(wide.var(0)), std::ldexp(1.0, 55));
+}
+
+TEST_F(BddTest, SatCountSaturatesToInfinityPastDoubleRange) {
+  // 2200 variables: counts around 2^2199 exceed double's exponent range.
+  Manager huge(2200);
+  const NodeId f = huge.var(0);
+  const auto sat = huge.sat_count_checked(f);
+  EXPECT_TRUE(std::isinf(sat.value));
+  EXPECT_FALSE(sat.exact);
+  // log2 is the safe comparison channel over such universes.
+  EXPECT_NEAR(huge.log2_sat_count(f), 2199.0, 1e-9);
+  EXPECT_NEAR(huge.log2_sat_count(kTrue), 2200.0, 1e-9);
 }
 
 TEST_F(BddTest, SupportIsSortedAndExact) {

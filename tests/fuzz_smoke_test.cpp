@@ -88,6 +88,34 @@ TEST(FuzzRepro, RejectsMalformedInput) {
                std::runtime_error);
 }
 
+// A corrupted seed line must surface as a line-numbered runtime_error (the
+// replay CLI prints what()), never as std::stoull's bare invalid_argument /
+// out_of_range — and trailing garbage or negative values must not be
+// silently accepted the way std::stoull("8abc") / ("-1") would.
+TEST(FuzzRepro, RejectsMalformedSeedWithLineNumber) {
+  const char* bad[] = {
+      "seed banana\nconfig <<<\n>>>\n",
+      "seed 8abc\nconfig <<<\n>>>\n",
+      "seed -1\nconfig <<<\n>>>\n",
+      "seed 99999999999999999999999\nconfig <<<\n>>>\n",  // > 2^64
+      "seed \nconfig <<<\n>>>\n",  // "seed" + empty token -> unknown shape
+  };
+  for (const char* text : bad) {
+    SCOPED_TRACE(text);
+    try {
+      parse_repro(text);
+      FAIL() << "malformed seed accepted";
+    } catch (const std::runtime_error& e) {
+      EXPECT_NE(std::string(e.what()).find("repro line 1"), std::string::npos)
+          << e.what();
+    }
+  }
+  // Boundary: the largest representable seed still parses.
+  const Scenario s =
+      parse_repro("seed 18446744073709551615\nconfig <<<\n>>>\n");
+  EXPECT_EQ(s.seed, 18446744073709551615ull);
+}
+
 TEST(FuzzDeterminism, GenerationIsAPureFunctionOfSeed) {
   for (std::uint64_t seed : {0ull, 42ull, 0xdeadbeefull}) {
     EXPECT_TRUE(generate_scenario(seed) == generate_scenario(seed));

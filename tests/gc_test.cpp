@@ -1,0 +1,447 @@
+// BDD garbage collection (label "gc").
+//
+// Three layers of coverage:
+//   * Manager unit tests — root-set discipline (protect/unprotect, Rooted),
+//     sweep reclamation and id reuse, unique-table compaction, operation-
+//     cache invalidation across sweeps, chunk release, parallel-mode
+//     operation after a sweep, trigger heuristics;
+//   * GC-on vs GC-off equivalence — the incremental re-verification campaign
+//     run twice, with every-boundary sweeps against no sweeps at all, and
+//     all RIBs/PECs/verdicts compared bit-identical via
+//     bdd::structurally_equal (scenario count tunable through
+//     EXPRESSO_GC_SCENARIOS, default 200);
+//   * bounded-memory soak — one Session driving hundreds of warm edits with
+//     forced sweeps stays within the live reachable set while the identical
+//     GC-off session grows without bound.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bdd/bdd.hpp"
+#include "config/parser.hpp"
+#include "dataplane/forwarding.hpp"
+#include "expresso/session.hpp"
+#include "fuzz/edits.hpp"
+#include "fuzz/generator.hpp"
+#include "properties/analyzer.hpp"
+
+namespace expresso {
+namespace {
+
+// --- Manager-level unit tests ----------------------------------------------
+
+TEST(BddGc, SweepReclaimsDeadAndKeepsRooted) {
+  bdd::Manager m(16);
+  // Build a function to keep and a pile of garbage.
+  const bdd::NodeId keep = m.and_(m.var(0), m.or_(m.var(1), m.nvar(2)));
+  bdd::NodeId junk = bdd::kTrue;
+  for (std::uint32_t v = 0; v < 16; ++v) junk = m.xor_(junk, m.var(v));
+  const std::size_t before = m.live_nodes();
+  ASSERT_GT(before, m.node_count(keep));
+
+  m.protect(keep);
+  const auto st = m.gc();
+  EXPECT_EQ(st.before, before);
+  EXPECT_EQ(st.live, m.live_nodes());
+  EXPECT_EQ(st.before, st.live + st.reclaimed);
+  EXPECT_GT(st.reclaimed, 0u);
+  // Exactly the reachable set survives.
+  EXPECT_EQ(st.live, m.node_count(keep));
+
+  // The kept function is intact: rebuilding it lands on the same id
+  // (hash-consing still canonical after the sweep).
+  EXPECT_EQ(keep, m.and_(m.var(0), m.or_(m.var(1), m.nvar(2))));
+  m.unprotect(keep);
+}
+
+TEST(BddGc, RootedRaiiProtectsForItsLifetime) {
+  bdd::Manager m(8);
+  bdd::NodeId f;
+  {
+    bdd::Manager::Rooted r(m, m.and_(m.var(0), m.var(1)));
+    f = r.id();
+    m.gc();
+    // Rooted: exactly the reachable set survives the sweep.  (Checked before
+    // the rebuild below, which re-allocates the swept var(0) node.)
+    EXPECT_EQ(m.live_nodes(), m.node_count(f));
+    // And it stays canonical.
+    EXPECT_EQ(f, m.and_(m.var(0), m.var(1)));
+  }
+  // Handle gone: the next sweep reclaims it (terminals only remain).
+  const auto st = m.gc();
+  EXPECT_EQ(st.live, 2u);
+}
+
+TEST(BddGc, RootedMoveAndRebind) {
+  bdd::Manager m(8);
+  bdd::Manager::Rooted a(m, m.var(3));
+  bdd::Manager::Rooted b = std::move(a);
+  EXPECT_EQ(b.id(), m.var(3));
+  b.reset(m, m.var(4));  // rebind unroots var(3)
+  m.gc({b.id()});
+  EXPECT_EQ(b.id(), m.var(4));
+  b.reset();
+  EXPECT_EQ(m.gc().live, 2u);
+}
+
+TEST(BddGc, ExtraRootsAreHonored) {
+  bdd::Manager m(8);
+  const bdd::NodeId f = m.or_(m.var(0), m.and_(m.var(1), m.var(2)));
+  const auto st = m.gc({f});
+  EXPECT_EQ(st.live, m.node_count(f));
+  // Not a persistent root: the next sweep with no extras drops it.
+  EXPECT_EQ(m.gc().live, 2u);
+}
+
+TEST(BddGc, IdsAreReusedAfterSweep) {
+  bdd::Manager m(32);
+  for (std::uint32_t v = 0; v < 32; ++v) m.var(v);
+  m.gc();  // all 32 var nodes die
+  const std::size_t allocated = m.total_nodes();
+  // Rebuilding needs 48 slots (32 vars + 16 conjunctions): the 32 freed ids
+  // must be reused, so the arena grows only by the 16-node excess.  Without
+  // reuse it would grow by all 48.
+  for (std::uint32_t v = 0; v < 16; ++v) m.and_(m.var(v), m.var(v + 16));
+  EXPECT_EQ(m.total_nodes(), allocated + 16);
+}
+
+TEST(BddGc, OperationCachesInvalidatedAcrossSweep) {
+  bdd::Manager m(24);
+  // Populate the ITE cache with results that will die.
+  std::vector<bdd::NodeId> old;
+  for (std::uint32_t v = 0; v + 2 < 24; ++v) {
+    old.push_back(m.ite(m.var(v), m.var(v + 1), m.var(v + 2)));
+  }
+  m.gc();
+  // Reused ids + cleared caches: fresh operations must be semantically
+  // correct, which we check against truth-table evaluation.
+  for (std::uint32_t v = 0; v + 2 < 24; ++v) {
+    const bdd::NodeId f = m.ite(m.var(v), m.var(v + 1), m.var(v + 2));
+    std::vector<std::int8_t> a;
+    ASSERT_TRUE(m.sat_one(f, a));
+    // ite(x, y, z) with the extracted assignment must evaluate true.
+    const auto val = [&](std::uint32_t var) { return a[var] == 1; };
+    EXPECT_TRUE(val(v) ? val(v + 1) : val(v + 2));
+    // Semantics pinned exactly: count over 3 free vars of ite = 4 of 8.
+    EXPECT_DOUBLE_EQ(m.density(f), 0.5);
+  }
+}
+
+TEST(BddGc, QuantificationCorrectAfterSweep) {
+  bdd::Manager m(8);
+  const bdd::NodeId f0 = m.and_(m.var(0), m.or_(m.var(1), m.var(2)));
+  (void)m.exists(f0, {1});  // warm the quant cache
+  m.gc();
+  const bdd::NodeId f = m.and_(m.var(0), m.or_(m.var(1), m.var(2)));
+  EXPECT_EQ(m.exists(f, {1}), m.var(0));
+  EXPECT_EQ(m.exists(f, {0}), m.or_(m.var(1), m.var(2)));
+}
+
+TEST(BddGc, WholeChunksAreReleased) {
+  bdd::Manager m(26);
+  // Overflow chunk 0 (2^16 slots) with distinct dead nodes: a linear pass
+  // of pairwise disjunctions over 2^14 product terms is plenty.
+  bdd::NodeId acc = bdd::kFalse;
+  for (std::uint32_t i = 0; i < (1u << 14); ++i) {
+    bdd::NodeId term = bdd::kTrue;
+    for (std::uint32_t b = 0; b < 14; ++b) {
+      term = m.and_(term, ((i >> b) & 1u) ? m.var(b) : m.nvar(b));
+    }
+    acc = m.or_(acc, term);
+  }
+  ASSERT_GT(m.total_nodes(), std::size_t{1} << 16);
+  const std::size_t bytes_full = m.approx_bytes();
+  const auto st = m.gc();
+  EXPECT_EQ(st.live, 2u);
+  // Every chunk but chunk 0 died; the arena footprint must shrink.
+  EXPECT_LT(m.approx_bytes(), bytes_full);
+  // And the manager still works, reusing the freed ids.
+  const bdd::NodeId f = m.and_(m.var(20), m.var(21));
+  std::vector<std::int8_t> a;
+  EXPECT_TRUE(m.sat_one(f, a));
+}
+
+TEST(BddGc, ParallelModeOperatesAfterSweep) {
+  bdd::Manager m(16);
+  m.prepare_threads(4);
+  m.set_parallel(true);
+  const bdd::NodeId keep = m.or_(m.var(0), m.var(1));
+  m.protect(keep);
+  for (std::uint32_t v = 2; v < 16; ++v) m.xor_(m.var(v), m.var(0));
+  m.gc();
+  EXPECT_EQ(keep, m.or_(m.var(0), m.var(1)));
+  EXPECT_DOUBLE_EQ(m.density(keep), 0.75);
+  m.unprotect(keep);
+}
+
+TEST(BddGc, PressureBudgetAndAdaptive) {
+  bdd::Manager m(16);
+  for (std::uint32_t v = 0; v < 10; ++v) m.var(v);
+  // Explicit budget: exceeded only when live population passes it.
+  EXPECT_TRUE(m.gc_pressure(4));
+  EXPECT_FALSE(m.gc_pressure(1u << 20));
+  // Adaptive mode never fires below the floor population.
+  EXPECT_FALSE(m.gc_pressure(0));
+}
+
+TEST(BddGc, TelemetryTracksSweeps) {
+  bdd::Manager m(16);
+  for (std::uint32_t v = 0; v < 16; ++v) m.and_(m.var(v), m.nvar(v ^ 1));
+  const auto t0 = m.telemetry();
+  EXPECT_EQ(t0.gc_runs, 0u);
+  EXPECT_EQ(t0.nodes, m.live_nodes());
+  const auto st = m.gc();
+  const auto t1 = m.telemetry();
+  EXPECT_EQ(t1.gc_runs, 1u);
+  EXPECT_EQ(t1.gc_reclaimed, st.reclaimed);
+  EXPECT_EQ(t1.gc_last_live, st.live);
+  EXPECT_EQ(t1.nodes, st.live);
+  EXPECT_EQ(t1.allocated_total, t0.allocated_total);
+}
+
+// --- cross-manager artifact comparison helpers (as in incremental_test) ----
+
+bool route_equiv(const bdd::Manager& ma, const symbolic::SymbolicRoute& a,
+                 const bdd::Manager& mb, const symbolic::SymbolicRoute& b) {
+  const auto& x = a.attrs;
+  const auto& y = b.attrs;
+  return x.local_pref == y.local_pref && x.origin == y.origin &&
+         x.med == y.med && x.learned == y.learned && x.source == y.source &&
+         x.next_hop == y.next_hop && x.originator == y.originator &&
+         x.aspath == y.aspath &&
+         bdd::structurally_equal(ma, x.comm.as_bdd(), mb, y.comm.as_bdd()) &&
+         bdd::structurally_equal(ma, a.d, mb, b.d);
+}
+
+bool rib_equiv(const bdd::Manager& ma,
+               const std::vector<symbolic::SymbolicRoute>& a,
+               const bdd::Manager& mb,
+               const std::vector<symbolic::SymbolicRoute>& b) {
+  if (a.size() != b.size()) return false;
+  std::vector<bool> used(b.size(), false);
+  for (const auto& ra : a) {
+    bool found = false;
+    for (std::size_t j = 0; j < b.size() && !found; ++j) {
+      if (!used[j] && route_equiv(ma, ra, mb, b[j])) {
+        used[j] = true;
+        found = true;
+      }
+    }
+    if (!found) return false;
+  }
+  return true;
+}
+
+bool pecs_equiv(const bdd::Manager& ma, const std::vector<dataplane::Pec>& a,
+                const bdd::Manager& mb, const std::vector<dataplane::Pec>& b) {
+  if (a.size() != b.size()) return false;
+  std::vector<bool> used(b.size(), false);
+  for (const auto& pa : a) {
+    bool found = false;
+    for (std::size_t j = 0; j < b.size() && !found; ++j) {
+      if (!used[j] && b[j].state == pa.state && b[j].path == pa.path &&
+          bdd::structurally_equal(ma, pa.pkt, mb, b[j].pkt)) {
+        used[j] = true;
+        found = true;
+      }
+    }
+    if (!found) return false;
+  }
+  return true;
+}
+
+bool verdicts_equiv(const bdd::Manager& ma,
+                    const std::vector<properties::Violation>& a,
+                    const bdd::Manager& mb,
+                    const std::vector<properties::Violation>& b) {
+  if (a.size() != b.size()) return false;
+  std::vector<bool> used(b.size(), false);
+  for (const auto& va : a) {
+    bool found = false;
+    for (std::size_t j = 0; j < b.size() && !found; ++j) {
+      if (!used[j] && b[j].property == va.property && b[j].node == va.node &&
+          bdd::structurally_equal(ma, va.condition, mb, b[j].condition)) {
+        used[j] = true;
+        found = true;
+      }
+    }
+    if (!found) return false;
+  }
+  return true;
+}
+
+int env_count(const char* name, int fallback) {
+  if (const char* env = std::getenv(name)) {
+    return std::max(1, std::atoi(env));
+  }
+  return fallback;
+}
+
+Session::SessionOptions gc_on_options() {
+  Session::SessionOptions opt;
+  opt.bdd_gc = true;
+  opt.max_bdd_nodes = 1;  // always under pressure: sweep at every boundary
+  return opt;
+}
+
+Session::SessionOptions gc_off_options() {
+  Session::SessionOptions opt;
+  opt.bdd_gc = false;
+  return opt;
+}
+
+// --- GC-on vs GC-off equivalence campaign ----------------------------------
+
+// The incremental campaign's shape (fuzzed base + one random edit, warm
+// update), run under forced every-boundary sweeps and under no GC at all.
+// Sweeping must be invisible in every artifact.
+TEST(GcEquivalence, SweptSessionMatchesUnsweptAcrossFuzzedEdits) {
+  const int n = env_count("EXPRESSO_GC_SCENARIOS", 200);
+  int swept = 0;
+  for (int i = 0; i < n; ++i) {
+    const std::uint64_t seed = 0x6c000000u + static_cast<std::uint64_t>(i);
+    const auto sc = fuzz::generate_scenario(seed);
+    std::vector<config::RouterConfig> base;
+    try {
+      base = config::parse_configs(sc.config_text);
+    } catch (const std::exception&) {
+      continue;
+    }
+    const auto edit = fuzz::apply_random_edit(base, seed * 7919 + 13);
+    SCOPED_TRACE("seed=" + std::to_string(seed) + " router=" + edit.router +
+                 " edit=" + edit.description);
+
+    Session on(gc_on_options());
+    on.load(base);
+    on.run_src();
+    on.update(edit.configs);
+
+    Session off(gc_off_options());
+    off.load(base);
+    off.run_src();
+    off.update(edit.configs);
+
+    on.run_src();
+    off.run_src();
+    ASSERT_EQ(on.stats().converged, off.stats().converged);
+    if (!on.stats().converged) continue;
+
+    const auto& ma = on.engine().encoding().mgr();
+    const auto& mb = off.engine().encoding().mgr();
+    if (ma.telemetry().gc_runs > 0) ++swept;
+
+    const auto& nodes = on.network().nodes();
+    for (net::NodeIndex u = 0; u < nodes.size(); ++u) {
+      const bool ext = nodes[u].external;
+      ASSERT_TRUE(rib_equiv(
+          ma, ext ? on.engine().external_rib(u) : on.engine().rib(u), mb,
+          ext ? off.engine().external_rib(u) : off.engine().rib(u)))
+          << "RIB mismatch at " << nodes[u].name;
+    }
+    ASSERT_TRUE(pecs_equiv(ma, on.pecs(), mb, off.pecs()));
+    ASSERT_TRUE(verdicts_equiv(ma, on.check_route_leak_free(), mb,
+                               off.check_route_leak_free()));
+    ASSERT_TRUE(verdicts_equiv(ma, on.check_loop_free(), mb,
+                               off.check_loop_free()));
+    ASSERT_TRUE(verdicts_equiv(ma, on.check_traffic_hijack_free(), mb,
+                               off.check_traffic_hijack_free()));
+  }
+  EXPECT_GT(swept, 0) << "forced-GC sessions never actually swept";
+}
+
+// --- bounded-memory soak ----------------------------------------------------
+
+// One long-lived Session under forced sweeps digests >= 200 warm edits with
+// its node population pinned to the live reachable set, while the identical
+// GC-off session only ever grows.  Verdicts and PEC predicates stay
+// bit-identical between the two throughout.
+TEST(GcSoak, LongLivedSessionStaysBounded) {
+  const int kEdits = env_count("EXPRESSO_GC_SOAK_EDITS", 200);
+  const std::uint64_t seed = 0x50a7c0deu;
+  const auto sc = fuzz::generate_scenario(seed);
+  auto snapshot = config::parse_configs(sc.config_text);
+
+  Session on(gc_on_options());
+  Session off(gc_off_options());
+  on.load(snapshot);
+  off.load(snapshot);
+  on.run_spf();
+  off.run_spf();
+
+  std::size_t on_peak = 0;
+  std::size_t off_peak = 0;
+  std::size_t off_prev = 0;
+  bool off_grew = false;
+  int applied = 0;
+  std::uint64_t edit_seed = seed;
+  while (applied < kEdits) {
+    // Universe-preserving edits only: the soak measures the warm path, and a
+    // cold restart would reset the GC-off session's manager and void the
+    // monotonic-growth comparison.
+    const fuzz::Edit edit = fuzz::apply_random_edit(
+        snapshot, edit_seed * 6364136223846793005ull + 1442695040888963407ull);
+    edit_seed += 1;
+    if (edit.universe_changing) continue;
+    ++applied;
+    SCOPED_TRACE("step=" + std::to_string(applied) + " edit=" +
+                 edit.description);
+    snapshot = edit.configs;
+
+    on.update(snapshot);
+    off.update(snapshot);
+    on.run_spf();
+    off.run_spf();
+    ASSERT_EQ(on.stats().converged, off.stats().converged);
+    if (!on.stats().converged) continue;
+
+    const auto& ma = on.engine().encoding().mgr();
+    const auto& mb = off.engine().encoding().mgr();
+
+    // Bit-identity of the verification outputs at every step.
+    ASSERT_TRUE(verdicts_equiv(ma, on.check_loop_free(), mb,
+                               off.check_loop_free()));
+    if (applied % 20 == 0) {
+      ASSERT_TRUE(pecs_equiv(ma, on.pecs(), mb, off.pecs()));
+      ASSERT_TRUE(verdicts_equiv(ma, on.check_route_leak_free(), mb,
+                                 off.check_route_leak_free()));
+    }
+
+    // A nominally universe-preserving edit can still cold-restart the
+    // session (Edit::universe_changing is advisory; the session re-checks
+    // the real universe).  Both sessions restart together, replacing their
+    // managers — reset the GC-off monotonic baseline at that point instead
+    // of comparing populations across two different managers.
+    if (!off.stats().warm) off_prev = 0;
+
+    // GC-off only grows (no reclamation exists on that side) ...
+    const std::size_t off_nodes = mb.telemetry().nodes;
+    ASSERT_GE(off_nodes, off_prev);
+    if (off_nodes > off_prev) off_grew = true;
+    off_prev = off_nodes;
+    off_peak = std::max(off_peak, off_nodes);
+
+    // ... while the swept session stays pinned to its reachable set: force a
+    // sweep and the manager's population must match the mark phase exactly
+    // (<= 2x is the acceptance bound; equality is what the design delivers).
+    const auto st = on.collect_bdd_garbage();
+    const std::size_t on_nodes = ma.telemetry().nodes;
+    ASSERT_EQ(on_nodes, st.live);
+    ASSERT_LE(on_nodes, 2 * st.live);
+    on_peak = std::max(on_peak, on_nodes);
+  }
+
+  ASSERT_GE(applied, kEdits);  // >= 200 by default; env-reduced runs scale
+  EXPECT_TRUE(off_grew) << "soak produced no growth to reclaim";
+  const auto ton = on.engine().encoding().mgr().telemetry();
+  EXPECT_GT(ton.gc_runs, 0u);
+  EXPECT_GT(ton.gc_reclaimed, 0u);
+  // The unswept session's peak population dominates the swept session's
+  // peak: the sweeps reclaimed real garbage, not bookkeeping noise.
+  EXPECT_GT(off_peak, on_peak);
+}
+
+}  // namespace
+}  // namespace expresso

@@ -2,7 +2,9 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdlib>
 #include <stdexcept>
+#include <string>
 
 #include "config/parser.hpp"
 #include "expresso/verifier.hpp"
@@ -120,6 +122,61 @@ TEST(ThreadPoolTest, ExceptionsPropagateToCaller) {
   std::atomic<int> n{0};
   pool.parallel_for(10, [&](std::size_t) { n.fetch_add(1); });
   EXPECT_EQ(n.load(), 10);
+}
+
+// RAII environment-variable override for the env_thread_count tests.
+class ScopedEnv {
+ public:
+  ScopedEnv(const char* name, const char* value) : name_(name) {
+    const char* old = std::getenv(name);
+    if (old != nullptr) saved_ = old;
+    had_ = old != nullptr;
+    if (value != nullptr) {
+      ::setenv(name, value, 1);
+    } else {
+      ::unsetenv(name);
+    }
+  }
+  ~ScopedEnv() {
+    if (had_) {
+      ::setenv(name_, saved_.c_str(), 1);
+    } else {
+      ::unsetenv(name_);
+    }
+  }
+
+ private:
+  const char* name_;
+  std::string saved_;
+  bool had_ = false;
+};
+
+TEST(ThreadPoolTest, EnvThreadCountParsesCleanValues) {
+  {
+    ScopedEnv e("EXPRESSO_THREADS", "8");
+    EXPECT_EQ(support::env_thread_count(), 8);
+  }
+  {
+    ScopedEnv e("EXPRESSO_THREADS", nullptr);
+    EXPECT_EQ(support::env_thread_count(), 1);
+  }
+  {
+    ScopedEnv e("EXPRESSO_THREADS", "0");  // 0 = hardware concurrency
+    EXPECT_EQ(support::env_thread_count(), support::hardware_threads());
+  }
+  {
+    ScopedEnv e("EXPRESSO_THREADS", "100000");  // clamped
+    EXPECT_EQ(support::env_thread_count(), 256);
+  }
+}
+
+// A typo like EXPRESSO_THREADS=8abc must not masquerade as 8: malformed
+// values fall back to 1 thread (with a stderr warning).
+TEST(ThreadPoolTest, EnvThreadCountRejectsTrailingGarbage) {
+  for (const char* bad : {"8abc", "abc", "2.5", "8 ", " 8x", "0x8"}) {
+    ScopedEnv e("EXPRESSO_THREADS", bad);
+    EXPECT_EQ(support::env_thread_count(), 1) << "value: '" << bad << "'";
+  }
 }
 
 TEST(ThreadPoolTest, NullPoolFallsBackToSerial) {
