@@ -84,11 +84,11 @@ int main() {
   // single-core container wall speedup is physically impossible, which the
   // utilization column makes visible instead of hiding.
   std::printf("\nthread sweep on full(new), SRC+SPF+RouteLeakFree:\n");
-  std::printf("%8s %10s %10s %10s %12s %10s %10s\n", "threads", "wall", "cpu",
-              "cpu/wall", "bdd-nodes", "pecs", "speedup");
-  double wall1 = 0;
+  std::printf("%8s %10s %10s %10s %12s %10s %10s %10s\n", "threads", "wall",
+              "cpu", "cpu/wall", "bdd-nodes", "pecs", "speedup", "ite-hit%");
+  double wall1 = 0, cpu1 = 0;
   std::size_t nodes1 = 0, pecs1 = 0, viols1 = 0;
-  for (int threads : {1, 2, 4}) {
+  for (int threads : {1, 2, 4, 8}) {
     epvp::Options opt;
     opt.threads = threads;
     Stopwatch sw;
@@ -101,6 +101,7 @@ int main() {
     const double wsum = st.src_seconds + st.spf_seconds;
     if (threads == 1) {
       wall1 = wall;
+      cpu1 = cpu;
       nodes1 = st.bdd_nodes;
       pecs1 = st.total_pecs;
       viols1 = viols;
@@ -109,9 +110,12 @@ int main() {
       std::printf("DETERMINISM MISMATCH at %d threads!\n", threads);
       return 1;
     }
-    std::printf("%8d %9.3fs %9.3fs %10.2f %12zu %10zu %9.2fx\n", threads,
-                wall, cpu, cpu / (wsum > 0 ? wsum : 1), st.bdd_nodes,
-                st.total_pecs, wall1 / wall);
+    std::printf("%8d %9.3fs %9.3fs %10.2f %12zu %10zu %9.2fx %9.1f%%\n",
+                threads, wall, cpu, cpu / (wsum > 0 ? wsum : 1), st.bdd_nodes,
+                st.total_pecs, wall1 / wall, 100.0 * st.bdd_ite_hit_rate);
+    // Derived scaling columns ride in the row so the trend is one jq away:
+    // speedup = wall(1)/wall(N), cpu_vs_serial = cpu(N)/cpu(1) (contention
+    // overhead; the acceptance bar is ≤ 1.3 at 4 threads).
     benchutil::JsonRow("fig6b_threads")
         .num("threads", static_cast<std::size_t>(threads))
         .num("wall_s", wall)
@@ -120,6 +124,10 @@ int main() {
         .num("pecs", st.total_pecs)
         .num("violations", viols)
         .num("speedup", wall1 / wall)
+        .num("cpu_vs_serial", cpu1 > 0 ? cpu / cpu1 : 0)
+        .num("ite_hit_rate", st.bdd_ite_hit_rate)
+        .num("ite_hits", st.bdd_ite_hits)
+        .num("ite_misses", st.bdd_ite_misses)
         .emit();
   }
   return 0;

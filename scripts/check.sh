@@ -57,4 +57,18 @@ if [ "$PRESET" != asan ] && [ "${SKIP_ASAN_SOAK:-0}" != 1 ]; then
     ctest --test-dir build-asan --output-on-failure -L gc
 fi
 
+# The concurrency suite under ThreadSanitizer: the lock-free stripe probes,
+# the lossy seqlock ITE cache and the work-stealing deques are exactly where
+# an unsynchronized access would hide.  SKIP_TSAN=1 opts out.
+if [ "$PRESET" != tsan ] && [ "${SKIP_TSAN:-0}" != 1 ]; then
+  cmake --preset tsan
+  cmake --build --preset tsan -j "$JOBS" --target expresso_concurrency_tests
+  ctest --test-dir build-tsan --output-on-failure -L concurrency
+fi
+
+# Perf smoke: parallelism must pay.  Fails when the 4-thread run costs more
+# than 1.3x the serial CPU-seconds on region2 (any host), or is slower in
+# wall time on a >= 4-core host.
+"$BUILD_DIR/tools/expresso_perf_smoke"
+
 echo "check.sh: all green ($PRESET)"

@@ -3,24 +3,37 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <new>
+#include <type_traits>
 #include <limits>
 #include <sstream>
+#include <thread>
 #include <unordered_map>
 
 #include "support/thread_pool.hpp"
+#include "support/util.hpp"
 
 namespace expresso::bdd {
 
 namespace {
 constexpr std::uint32_t kTerminalVar = 0xffffffffu;  // sorts after all vars
-constexpr std::size_t kIteCacheSize = 1u << 18;
-constexpr std::size_t kQuantCacheSize = 1u << 16;
 constexpr std::size_t kStripeInitialCap = 1u << 8;
 // Reclaimed ids move from the global free list to a thread in batches, so
 // the free-list mutex is touched once per kFreeBatch allocations.
 constexpr std::size_t kFreeBatch = 256;
 // Adaptive GC floor: below this population a sweep is never worth its walk.
 constexpr std::size_t kGcMinNodes = std::size_t{1} << 16;
+
+// Shared op-cache tag word: [63] writer lock | [62:40] version | [39:0]
+// key-hash tag.  The version makes a completed write observable to any
+// reader whose first tag read predates it, defeating ABA across interleaved
+// writers of colliding keys.
+constexpr std::uint64_t kTagLock = std::uint64_t{1} << 63;
+constexpr std::uint64_t kTagHashMask = (std::uint64_t{1} << 40) - 1;
+constexpr std::uint64_t kTagVerMask = (std::uint64_t{1} << 23) - 1;
 
 inline std::uint64_t mix(std::uint64_t x) {
   x ^= x >> 33;
@@ -33,7 +46,142 @@ inline std::uint64_t mix(std::uint64_t x) {
 inline std::uint64_t hash3(std::uint64_t a, std::uint64_t b, std::uint64_t c) {
   return mix(a * 0x9e3779b97f4a7c15ULL + b * 0xc2b2ae3d27d4eb4fULL + c);
 }
+
+// Shared ITE-cache size: EXPRESSO_ITE_CACHE_BYTES (default 64 MiB), floored
+// at 1 MiB and rounded down to a power-of-two slot count.  The quant cache
+// rides along at 1/8.  calloc backs the slots, so untouched pages cost no
+// resident memory — small managers never fault most of the cache in.
+std::size_t ite_cache_slots() {
+  static const std::size_t slots = [] {
+    std::size_t bytes = std::size_t{64} << 20;
+    if (const char* v = std::getenv("EXPRESSO_ITE_CACHE_BYTES");
+        v != nullptr && *v != '\0') {
+      char* end = nullptr;
+      const unsigned long long n = std::strtoull(v, &end, 10);
+      if (end != v && *end == '\0' && n >= (1ull << 20)) {
+        bytes = static_cast<std::size_t>(n);
+      } else {
+        std::fprintf(stderr,
+                     "expresso: ignoring malformed EXPRESSO_ITE_CACHE_BYTES="
+                     "'%s' (want an integer >= 1048576)\n",
+                     v);
+      }
+    }
+    std::size_t n = 1;
+    while (n * 2 * 32 <= bytes) n *= 2;  // 32 = sizeof(OpCache::Slot)
+    return n;
+  }();
+  return slots;
+}
+
+// Depth up to which ite_rec offers its hi-cofactor to the pool.  0 disables
+// forking; EXPRESSO_STEAL_CUTOFF overrides the default of 8.  Deque
+// backpressure (ThreadPool) keeps the effective fork rate tied to how fast
+// thieves drain, so a deep cutoff costs little when nobody is idle.
+int steal_cutoff() {
+  static const int cutoff = [] {
+    if (const char* v = std::getenv("EXPRESSO_STEAL_CUTOFF");
+        v != nullptr && *v != '\0') {
+      char* end = nullptr;
+      const long n = std::strtol(v, &end, 10);
+      if (end != v && *end == '\0' && n >= 0 && n <= 64) {
+        return static_cast<int>(n);
+      }
+      std::fprintf(stderr,
+                   "expresso: ignoring malformed EXPRESSO_STEAL_CUTOFF='%s' "
+                   "(want an integer in [0,64])\n",
+                   v);
+    }
+    // On a single-core host the forker's helping join can never overlap with
+    // the thief — forking only adds deque traffic and join spins (~1.4x CPU
+    // on region2), so it defaults off there.  An explicit env value wins.
+    if (std::thread::hardware_concurrency() <= 1) return 0;
+    return 8;
+  }();
+  return cutoff;
+}
+
+// Join token for a forked ITE subproblem; lives on the forker's stack until
+// `done` is observed.
+struct IteForkToken {
+  Manager* mgr;
+  NodeId f, g, h;
+  int depth;
+  NodeId result = kFalse;
+  std::atomic<bool> done{false};
+};
+
 }  // namespace
+
+// --- Shared lossy operation cache ------------------------------------------
+
+Manager::OpCache::~OpCache() { std::free(slots); }
+
+void Manager::OpCache::init(std::size_t slot_count) {
+  static_assert(sizeof(Slot) == 32, "two slots per cache line");
+  static_assert(std::is_trivially_destructible_v<Slot>);
+  assert((slot_count & (slot_count - 1)) == 0 && slot_count > 0);
+  // calloc: tag == 0 means empty, and zero pages stay unmapped until a slot
+  // is actually written (atomics of uint64_t are plain words here).
+  slots = static_cast<Slot*>(std::calloc(slot_count, sizeof(Slot)));
+  if (slots == nullptr) throw std::bad_alloc();
+  mask = slot_count - 1;
+}
+
+bool Manager::OpCache::lookup(std::uint64_t h, std::uint64_t k1,
+                              std::uint32_t k2, NodeId* out) const {
+  const Slot& s = slots[h & mask];
+  // Boehm-style seqlock read: acquire the tag, snapshot the data relaxed,
+  // then re-check the tag behind an acquire fence.  Any write that overlaps
+  // the snapshot either holds the lock bit at t1 or has bumped the version
+  // by t2.
+  const std::uint64_t t1 = s.tag.load(std::memory_order_acquire);
+  if (t1 == 0 || (t1 & kTagLock) != 0 ||
+      (t1 & kTagHashMask) != ((h >> 24) & kTagHashMask)) {
+    return false;
+  }
+  const std::uint64_t k = s.key.load(std::memory_order_relaxed);
+  const std::uint64_t v = s.val.load(std::memory_order_relaxed);
+  std::atomic_thread_fence(std::memory_order_acquire);
+  const std::uint64_t t2 = s.tag.load(std::memory_order_relaxed);
+  if (t1 != t2 || k != k1 || static_cast<std::uint32_t>(v) != k2) {
+    return false;
+  }
+  *out = static_cast<NodeId>(v >> 32);
+  return true;
+}
+
+void Manager::OpCache::publish(std::uint64_t h, std::uint64_t k1,
+                               std::uint32_t k2, NodeId result) {
+  Slot& s = slots[h & mask];
+  std::uint64_t t = s.tag.load(std::memory_order_relaxed);
+  if ((t & kTagLock) != 0) return;  // a writer is here; lose this update
+  std::uint64_t ver = ((t >> 40) & kTagVerMask) + 1;
+  if (ver > kTagVerMask) ver = 1;  // wrap, staying nonzero so tag != 0
+  const std::uint64_t unlocked =
+      (ver << 40) | ((h >> 24) & kTagHashMask);
+  if (!s.tag.compare_exchange_strong(t, unlocked | kTagLock,
+                                     std::memory_order_acquire,
+                                     std::memory_order_relaxed)) {
+    return;  // raced with another writer; that one wins
+  }
+  s.key.store(k1, std::memory_order_relaxed);
+  s.val.store((std::uint64_t{result} << 32) | k2, std::memory_order_relaxed);
+  s.tag.store(unlocked, std::memory_order_release);
+}
+
+void Manager::OpCache::clear() {
+  // Quiescence only.  A plain memset keeps this a straight page-sized
+  // streaming write; tag 0 == empty invalidates every slot.
+  std::memset(static_cast<void*>(slots), 0, (mask + 1) * sizeof(Slot));
+}
+
+// --- Stripes ----------------------------------------------------------------
+
+Manager::StripeTable::StripeTable(std::size_t capacity)
+    // make_unique value-initializes, so every slot starts at 0 (empty).
+    : slots(std::make_unique<std::atomic<NodeId>[]>(capacity)),
+      cap(capacity) {}
 
 Manager::Manager(std::uint32_t num_vars) : num_vars_(num_vars) {
   chunks_ = std::make_unique<std::atomic<Node*>[]>(kMaxChunks);
@@ -42,8 +190,12 @@ Manager::Manager(std::uint32_t num_vars) : num_vars_(num_vars) {
   }
   stripes_ = std::make_unique<Stripe[]>(kNumStripes);
   for (std::size_t i = 0; i < kNumStripes; ++i) {
-    stripes_[i].table.assign(kStripeInitialCap, 0);
+    stripes_[i].cur.store(new StripeTable(kStripeInitialCap),
+                          std::memory_order_relaxed);
   }
+  ite_cache_.init(ite_cache_slots());
+  quant_cache_.init(std::max<std::size_t>(ite_cache_slots() / 8, 1u << 10));
+  fork_cutoff_ = steal_cutoff();
   // Terminals live at the start of chunk 0.
   chunks_[0].store(new Node[kChunkSize], std::memory_order_release);
   chunk_count_.store(1, std::memory_order_relaxed);
@@ -51,6 +203,7 @@ Manager::Manager(std::uint32_t num_vars) : num_vars_(num_vars) {
   c0[kFalse] = {kTerminalVar, kFalse, kFalse};
   c0[kTrue] = {kTerminalVar, kTrue, kTrue};
   node_count_.store(2, std::memory_order_relaxed);
+  live_count_.store(2, std::memory_order_relaxed);
   prepare_threads(1);
 }
 
@@ -59,33 +212,22 @@ Manager::~Manager() {
   for (std::size_t i = 0; i < used; ++i) {
     delete[] chunks_[i].load(std::memory_order_relaxed);
   }
+  for (std::size_t i = 0; i < kNumStripes; ++i) {
+    delete stripes_[i].cur.load(std::memory_order_relaxed);
+  }
 }
 
 void Manager::prepare_threads(std::size_t n) {
   if (n < 1) n = 1;
   while (tls_.size() < n) {
-    auto tc = std::make_unique<ThreadCache>();
-    tc->ite.resize(kIteCacheSize);
-    tc->quant.resize(kQuantCacheSize);
-    tls_.push_back(std::move(tc));
+    tls_.push_back(std::make_unique<ThreadCache>());
   }
 }
 
 Manager::ThreadCache& Manager::cache() {
   const auto idx = static_cast<std::size_t>(support::thread_index());
   assert(idx < tls_.size() && "call prepare_threads before parallel use");
-  ThreadCache& tc = *tls_[idx];
-  // Lazy post-GC invalidation: a sweep may have freed ids this cache still
-  // names; the first operation after a sweep pays one cache clear.  Relaxed
-  // is enough — gc() runs at quiescence, so the bump is ordered before any
-  // thread re-enters via the pool's synchronization.
-  const std::uint64_t g = gc_gen_.load(std::memory_order_relaxed);
-  if (tc.seen_gc_gen != g) {
-    std::fill(tc.ite.begin(), tc.ite.end(), IteEntry{});
-    std::fill(tc.quant.begin(), tc.quant.end(), QuantEntry{});
-    tc.seen_gc_gen = g;
-  }
-  return tc;
+  return *tls_[idx];
 }
 
 std::uint32_t Manager::add_var() { return num_vars_++; }
@@ -119,8 +261,8 @@ bool Manager::refill_free_batch(ThreadCache& tc) {
   return true;
 }
 
-NodeId Manager::alloc_node(std::uint32_t var, NodeId lo, NodeId hi) {
-  ThreadCache& tc = cache();
+NodeId Manager::alloc_node(ThreadCache& tc, std::uint32_t var, NodeId lo,
+                           NodeId hi) {
   NodeId id;
   if (!tc.free_batch.empty() ||
       (free_nodes_.load(std::memory_order_relaxed) > 0 &&
@@ -128,6 +270,15 @@ NodeId Manager::alloc_node(std::uint32_t var, NodeId lo, NodeId hi) {
     id = tc.free_batch.back();
     tc.free_batch.pop_back();
     free_nodes_.fetch_sub(1, std::memory_order_relaxed);
+  } else if (tc.res_next < tc.res_end) {
+    id = tc.res_next++;  // thread-private reservation: no shared traffic
+  } else if (parallel_) {
+    // Claim a fresh batch of the id space; the unused tail is returned to
+    // the free list by the next sweep.  Serial mode claims one id at a time
+    // so total_nodes() stays an exact allocation count for tests.
+    id = node_count_.fetch_add(kIdBatch, std::memory_order_relaxed);
+    tc.res_next = id + 1;
+    tc.res_end = id + kIdBatch;
   } else {
     id = node_count_.fetch_add(1, std::memory_order_relaxed);
   }
@@ -136,35 +287,62 @@ NodeId Manager::alloc_node(std::uint32_t var, NodeId lo, NodeId hi) {
   return id;
 }
 
-void Manager::stripe_rehash(Stripe& s, std::size_t new_cap) {
-  std::vector<NodeId> fresh(new_cap, 0);
-  const std::size_t mask = new_cap - 1;
-  for (NodeId id : s.table) {
+void Manager::stripe_grow(Stripe& s) {
+  // Caller holds s.mu (parallel mode): build the doubled table, publish it,
+  // retire the old snapshot for in-flight lock-free probes.
+  StripeTable* old = s.cur.load(std::memory_order_relaxed);
+  auto fresh = std::make_unique<StripeTable>(old->cap * 2);
+  const std::size_t mask = fresh->cap - 1;
+  for (std::size_t j = 0; j < old->cap; ++j) {
+    const NodeId id = old->slots[j].load(std::memory_order_relaxed);
     if (id == 0) continue;
     const Node& n = node(id);
     std::size_t slot = hash3(n.var, n.lo, n.hi) & mask;
-    while (fresh[slot] != 0) slot = (slot + 1) & mask;
-    fresh[slot] = id;
+    while (fresh->slots[slot].load(std::memory_order_relaxed) != 0) {
+      slot = (slot + 1) & mask;
+    }
+    fresh->slots[slot].store(id, std::memory_order_relaxed);
   }
-  s.table = std::move(fresh);
+  s.cur.store(fresh.release(), std::memory_order_release);
+  s.retired.emplace_back(old);
+  s.retired_bytes.fetch_add(old->cap * sizeof(NodeId),
+                            std::memory_order_relaxed);
 }
 
-NodeId Manager::mk_in_stripe(Stripe& s, std::uint32_t var, NodeId lo,
-                             NodeId hi, std::uint64_t h) {
-  std::size_t mask = s.table.size() - 1;
+void Manager::lock_stripe(Stripe& s) {
+  if (s.mu.try_lock()) return;
+  // Contended: time the wait (the steady_clock read is off the fast path).
+  expresso::Stopwatch sw;
+  s.mu.lock();
+  const double sec = sw.seconds();
+  s.contended.fetch_add(1, std::memory_order_relaxed);
+  s.wait_ns.fetch_add(static_cast<std::uint64_t>(sec * 1e9),
+                      std::memory_order_relaxed);
+  static constexpr double kBounds[5] = {1e-6, 1e-5, 1e-4, 1e-3, 1e-2};
+  std::size_t b = 0;
+  while (b < 5 && sec > kBounds[b]) ++b;
+  s.wait_hist[b].fetch_add(1, std::memory_order_relaxed);
+}
+
+NodeId Manager::mk_insert(Stripe& s, std::uint32_t var, NodeId lo, NodeId hi,
+                          std::uint64_t h) {
+  StripeTable* t = s.cur.load(std::memory_order_relaxed);
+  const std::size_t mask = t->cap - 1;
   std::size_t slot = h & mask;
   while (true) {
-    const NodeId id = s.table[slot];
+    const NodeId id = t->slots[slot].load(std::memory_order_relaxed);
     if (id == 0) break;
     const Node& n = node(id);
     if (n.var == var && n.lo == lo && n.hi == hi) return id;
     slot = (slot + 1) & mask;
   }
-  const NodeId id = alloc_node(var, lo, hi);
-  s.table[slot] = id;
-  if (++s.count * 4 > s.table.size() * 3) {
-    stripe_rehash(s, s.table.size() * 2);
-  }
+  const NodeId id = alloc_node(cache(), var, lo, hi);
+  // Release-publish the id only after the payload write in alloc_node, so a
+  // lock-free probe that acquires this slot can safely dereference it.
+  t->slots[slot].store(id, std::memory_order_release);
+  live_count_.fetch_add(1, std::memory_order_relaxed);
+  const std::size_t occupied = s.count.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (occupied * 4 > t->cap * 3) stripe_grow(s);
   return id;
 }
 
@@ -172,11 +350,25 @@ NodeId Manager::mk(std::uint32_t var, NodeId lo, NodeId hi) {
   if (lo == hi) return lo;  // reduction rule
   const std::uint64_t h = hash3(var, lo, hi);
   Stripe& s = stripes_[h >> (64 - kStripeBits)];
-  if (parallel_) {
-    std::lock_guard<std::mutex> lock(s.mu);
-    return mk_in_stripe(s, var, lo, hi, h);
+  // Hot path: probe the published snapshot without the stripe lock.  Most
+  // mk() calls find an existing node; only a genuine miss pays the mutex
+  // (and re-probes under it — the table may have changed meanwhile).
+  {
+    const StripeTable* t = s.cur.load(std::memory_order_acquire);
+    const std::size_t mask = t->cap - 1;
+    std::size_t slot = h & mask;
+    while (true) {
+      const NodeId id = t->slots[slot].load(std::memory_order_acquire);
+      if (id == 0) break;
+      const Node& n = node(id);
+      if (n.var == var && n.lo == lo && n.hi == hi) return id;
+      slot = (slot + 1) & mask;
+    }
   }
-  return mk_in_stripe(s, var, lo, hi, h);
+  if (!parallel_) return mk_insert(s, var, lo, hi, h);
+  lock_stripe(s);
+  std::lock_guard<std::mutex> guard(s.mu, std::adopt_lock);
+  return mk_insert(s, var, lo, hi, h);
 }
 
 NodeId Manager::var(std::uint32_t v) {
@@ -190,22 +382,32 @@ NodeId Manager::nvar(std::uint32_t v) {
 }
 
 NodeId Manager::ite(NodeId f, NodeId g, NodeId h) {
-  return ite_rec(f, g, h, cache());
+  return ite_rec(f, g, h, cache(), 0);
 }
 
-NodeId Manager::ite_rec(NodeId f, NodeId g, NodeId h, ThreadCache& tc) {
+void Manager::ite_task_main(void* arg) {
+  auto* t = static_cast<IteForkToken*>(arg);
+  Manager* m = t->mgr;
+  t->result = m->ite_rec(t->f, t->g, t->h, m->cache(), t->depth);
+  t->done.store(true, std::memory_order_release);
+}
+
+NodeId Manager::ite_rec(NodeId f, NodeId g, NodeId h, ThreadCache& tc,
+                        int depth) {
   // Terminal cases.
   if (f == kTrue) return g;
   if (f == kFalse) return h;
   if (g == h) return g;
   if (g == kTrue && h == kFalse) return f;
 
-  IteEntry& e = tc.ite[hash3(f, g, h) & (kIteCacheSize - 1)];
-  if (e.valid && e.f == f && e.g == g && e.h == h) {
-    ++tc.ite_hits;
-    return e.result;
+  const std::uint64_t ck = hash3(f, g, h);
+  const std::uint64_t k1 = (std::uint64_t{g} << 32) | f;
+  NodeId cached;
+  if (ite_cache_.lookup(ck, k1, h, &cached)) {
+    tc.ite_hits.fetch_add(1, std::memory_order_relaxed);
+    return cached;
   }
-  ++tc.ite_misses;
+  tc.ite_misses.fetch_add(1, std::memory_order_relaxed);
 
   const Node& nf = node(f);
   const Node& ng = node(g);
@@ -219,11 +421,32 @@ NodeId Manager::ite_rec(NodeId f, NodeId g, NodeId h, ThreadCache& tc) {
   const NodeId h0 = (nh.var == v) ? nh.lo : h;
   const NodeId h1 = (nh.var == v) ? nh.hi : h;
 
-  const NodeId lo = ite_rec(f0, g0, h0, tc);
-  const NodeId hi = ite_rec(f1, g1, h1, tc);
+  NodeId lo, hi;
+  bool forked = false;
+  // Operand-level parallelism: offer the hi cofactor to an idle slot and
+  // compute the lo cofactor meanwhile.  Only non-trivial subproblems near
+  // the root are worth a task; results are canonical ids, so stealing
+  // cannot change any computed function.
+  if (depth < fork_cutoff_ && parallel_ && pool_ != nullptr && f1 > kTrue &&
+      g1 != h1) {
+    IteForkToken tok{this, f1, g1, h1, depth + 1};
+    if (pool_->try_fork(support::Task{&Manager::ite_task_main, &tok})) {
+      forked = true;
+      lo = ite_rec(f0, g0, h0, tc, depth + 1);
+      // Helping join: run other pending subproblems instead of blocking.
+      while (!tok.done.load(std::memory_order_acquire)) {
+        if (!pool_->help_one()) std::this_thread::yield();
+      }
+      hi = tok.result;
+    }
+  }
+  if (!forked) {
+    lo = ite_rec(f0, g0, h0, tc, depth + 1);
+    hi = ite_rec(f1, g1, h1, tc, depth + 1);
+  }
   const NodeId result = mk(v, lo, hi);
 
-  e = {f, g, h, result, true};
+  ite_cache_.publish(ck, k1, h, result);
   return result;
 }
 
@@ -239,36 +462,47 @@ NodeId Manager::or_all(const std::vector<NodeId>& xs) {
   return acc;
 }
 
+std::uint32_t Manager::intern_var_set(
+    const std::vector<std::uint32_t>& sorted) {
+  std::lock_guard<std::mutex> lock(quant_sets_mu_);
+  const auto it = quant_sets_.try_emplace(
+      sorted, static_cast<std::uint32_t>(quant_sets_.size()));
+  return it.first->second;
+}
+
 NodeId Manager::exists(NodeId f, const std::vector<std::uint32_t>& vars) {
   if (vars.empty() || f <= kTrue) return f;
   std::vector<std::uint32_t> sorted = vars;
   std::sort(sorted.begin(), sorted.end());
   sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
-  ThreadCache& tc = cache();
-  ++tc.quant_gen;
-  return exists_rec(f, sorted, tc);
+  // Interning the set gives the shared quant cache an exact (f, set) key
+  // that stays valid across calls and threads (one mutex hop per exists()).
+  const std::uint32_t set_id = intern_var_set(sorted);
+  return exists_rec(f, sorted, set_id, cache());
 }
 
 NodeId Manager::exists_rec(NodeId f,
                            const std::vector<std::uint32_t>& sorted_vars,
-                           ThreadCache& tc) {
+                           std::uint32_t set_id, ThreadCache& tc) {
   if (f <= kTrue) return f;
   const Node& n = node(f);
   // Nothing left to quantify below this level?
   if (n.var > sorted_vars.back()) return f;
 
-  QuantEntry& e = tc.quant[mix(f) & (kQuantCacheSize - 1)];
-  if (e.valid && e.f == f && e.gen == tc.quant_gen) return e.result;
+  const std::uint64_t ck = hash3(f, set_id, 0x517cc1b727220a95ULL);
+  const std::uint64_t k1 = (std::uint64_t{set_id} << 32) | f;
+  NodeId cached;
+  if (quant_cache_.lookup(ck, k1, 0, &cached)) return cached;
 
-  const NodeId lo = exists_rec(n.lo, sorted_vars, tc);
-  const NodeId hi = exists_rec(n.hi, sorted_vars, tc);
+  const NodeId lo = exists_rec(n.lo, sorted_vars, set_id, tc);
+  const NodeId hi = exists_rec(n.hi, sorted_vars, set_id, tc);
   NodeId result;
   if (std::binary_search(sorted_vars.begin(), sorted_vars.end(), n.var)) {
     result = or_(lo, hi);
   } else {
     result = mk(n.var, lo, hi);
   }
-  e = {f, result, tc.quant_gen, true};
+  quant_cache_.publish(ck, k1, 0, result);
   return result;
 }
 
@@ -318,6 +552,12 @@ std::uint32_t Manager::begin_walk(ThreadCache& tc) {
   if (tc.stamp.size() < n) {
     tc.stamp.resize(n, 0);
     tc.value.resize(n, 0.0);
+    tc.scratch_bytes.store(
+        tc.stamp.capacity() * sizeof(std::uint32_t) +
+            tc.value.capacity() * sizeof(double) +
+            tc.cnt_mant.capacity() *
+                (sizeof(std::uint64_t) + sizeof(std::int32_t) + 1),
+        std::memory_order_relaxed);
   }
   if (++tc.walk_gen == 0) {  // generation wrapped: hard reset once
     std::fill(tc.stamp.begin(), tc.stamp.end(), 0);
@@ -366,6 +606,12 @@ Manager::BigCount Manager::count_models(NodeId f) {
     tc.cnt_mant.resize(cap, 0);
     tc.cnt_exp.resize(cap, 0);
     tc.cnt_exact.resize(cap, 0);
+    tc.scratch_bytes.store(
+        tc.stamp.capacity() * sizeof(std::uint32_t) +
+            tc.value.capacity() * sizeof(double) +
+            tc.cnt_mant.capacity() *
+                (sizeof(std::uint64_t) + sizeof(std::int32_t) + 1),
+        std::memory_order_relaxed);
   }
   // Mantissas are kept normalized to ≤ 2^53 so they convert to double
   // exactly; only additions can lose bits (powers of two are exponent adds).
@@ -586,14 +832,19 @@ Manager::GcStats Manager::gc(const std::vector<NodeId>& extra_roots) {
   GcStats st;
   st.before = live_nodes();
 
-  // Drain the per-thread free batches back to the global list so the sweep's
-  // accounting covers every reclaimed id (nothing stranded in a batch).
+  // Drain the per-thread free batches and the unused tails of cursor
+  // reservations back to the global list, so the sweep's accounting covers
+  // every reclaimable id (nothing stranded in a thread).
   {
     std::lock_guard<std::mutex> lock(free_mu_);
     for (auto& tc : tls_) {
       free_list_.insert(free_list_.end(), tc->free_batch.begin(),
                         tc->free_batch.end());
       tc->free_batch.clear();
+      for (NodeId id = tc->res_next; id < tc->res_end; ++id) {
+        free_list_.push_back(id);
+      }
+      tc->res_next = tc->res_end = 0;
     }
   }
 
@@ -634,15 +885,19 @@ Manager::GcStats Manager::gc(const std::vector<NodeId>& extra_roots) {
   }
 
   // Sweep: every interior node occupies exactly one unique-table slot, so
-  // the stripes are the complete sweep universe.  Each stripe is compacted
-  // to its live occupancy (load ≤ 3/4, floor kStripeInitialCap).
+  // the stripes are the complete sweep universe.  Each stripe gets a fresh
+  // table compacted to its live occupancy (load ≤ 3/4, floor
+  // kStripeInitialCap); the old snapshot and any growth-retired ones are
+  // freed here — quiescence guarantees no lock-free probe still reads them.
   std::vector<NodeId> dead;
   std::vector<NodeId> keep;
   std::size_t live_interior = 0;
   for (std::size_t i = 0; i < kNumStripes; ++i) {
     Stripe& s = stripes_[i];
+    StripeTable* old = s.cur.load(std::memory_order_relaxed);
     keep.clear();
-    for (NodeId id : s.table) {
+    for (std::size_t j = 0; j < old->cap; ++j) {
+      const NodeId id = old->slots[j].load(std::memory_order_relaxed);
       if (id == 0) continue;
       if (mark[id] != 0) {
         keep.push_back(id);
@@ -652,15 +907,21 @@ Manager::GcStats Manager::gc(const std::vector<NodeId>& extra_roots) {
     }
     std::size_t cap = kStripeInitialCap;
     while (keep.size() * 4 > cap * 3) cap <<= 1;
-    s.table.assign(cap, 0);
+    auto fresh = std::make_unique<StripeTable>(cap);
     const std::size_t mask = cap - 1;
     for (NodeId id : keep) {
       const Node& n = node(id);
       std::size_t slot = hash3(n.var, n.lo, n.hi) & mask;
-      while (s.table[slot] != 0) slot = (slot + 1) & mask;
-      s.table[slot] = id;
+      while (fresh->slots[slot].load(std::memory_order_relaxed) != 0) {
+        slot = (slot + 1) & mask;
+      }
+      fresh->slots[slot].store(id, std::memory_order_relaxed);
     }
-    s.count = keep.size();
+    s.cur.store(fresh.release(), std::memory_order_release);
+    delete old;
+    s.retired.clear();
+    s.retired_bytes.store(0, std::memory_order_relaxed);
+    s.count.store(keep.size(), std::memory_order_relaxed);
     live_interior += keep.size();
   }
 
@@ -690,10 +951,14 @@ Manager::GcStats Manager::gc(const std::vector<NodeId>& extra_roots) {
 
   st.live = live_interior + 2;  // terminals
   st.reclaimed = dead.size();
+  live_count_.store(static_cast<std::uint32_t>(st.live),
+                    std::memory_order_relaxed);
 
-  // Invalidate the per-thread operation caches: a reused id must never
-  // satisfy a stale probe.  Threads clear lazily on next cache() access.
-  gc_gen_.fetch_add(1, std::memory_order_relaxed);
+  // Invalidate the shared operation caches: a reused id must never satisfy
+  // a stale probe.  Exact (not generation-salted) — wrong-by-one-in-2^k
+  // schemes are not acceptable for a canonicity-bearing substrate.
+  ite_cache_.clear();
+  quant_cache_.clear();
   ++gc_runs_;
   gc_reclaimed_total_ += st.reclaimed;
   last_gc_live_ = st.live;
@@ -709,6 +974,8 @@ bool Manager::gc_pressure(std::size_t node_budget) const {
 }
 
 std::size_t Manager::approx_bytes() const {
+  // Safe to call mid-run: every term is read from an atomic (or is
+  // immutable after publication) — no live thread's containers are walked.
   std::size_t bytes = 0;
   const std::size_t used = chunk_count_.load(std::memory_order_relaxed);
   for (std::size_t i = 0; i < used; ++i) {
@@ -717,18 +984,15 @@ std::size_t Manager::approx_bytes() const {
     }
   }
   for (std::size_t i = 0; i < kNumStripes; ++i) {
-    bytes += stripes_[i].table.capacity() * sizeof(NodeId);
+    const StripeTable* t = stripes_[i].cur.load(std::memory_order_acquire);
+    bytes += t->cap * sizeof(NodeId);
+    bytes += stripes_[i].retired_bytes.load(std::memory_order_relaxed);
   }
-  bytes += free_list_.capacity() * sizeof(NodeId);
+  bytes += (ite_cache_.mask + 1) * sizeof(OpCache::Slot);
+  bytes += (quant_cache_.mask + 1) * sizeof(OpCache::Slot);
+  bytes += free_nodes_.load(std::memory_order_relaxed) * sizeof(NodeId);
   for (const auto& tc : tls_) {
-    bytes += tc->ite.capacity() * sizeof(IteEntry) +
-             tc->quant.capacity() * sizeof(QuantEntry) +
-             tc->stamp.capacity() * sizeof(std::uint32_t) +
-             tc->value.capacity() * sizeof(double) +
-             tc->free_batch.capacity() * sizeof(NodeId) +
-             tc->cnt_mant.capacity() * sizeof(std::uint64_t) +
-             tc->cnt_exp.capacity() * sizeof(std::int32_t) +
-             tc->cnt_exact.capacity() * sizeof(std::uint8_t);
+    bytes += tc->scratch_bytes.load(std::memory_order_relaxed);
   }
   return bytes;
 }
@@ -738,12 +1002,22 @@ Manager::Telemetry Manager::telemetry() const {
   t.nodes = live_nodes();
   t.allocated_total = total_nodes();
   for (std::size_t i = 0; i < kNumStripes; ++i) {
-    t.unique_entries += stripes_[i].count;
-    t.unique_capacity += stripes_[i].table.size();
+    const Stripe& s = stripes_[i];
+    t.unique_entries += s.count.load(std::memory_order_relaxed);
+    t.unique_capacity += s.cur.load(std::memory_order_acquire)->cap;
+    t.stripe_lock_contended += s.contended.load(std::memory_order_relaxed);
+    t.stripe_lock_wait_seconds +=
+        static_cast<double>(s.wait_ns.load(std::memory_order_relaxed)) * 1e-9;
+    for (std::size_t b = 0; b < t.stripe_lock_wait_hist.size(); ++b) {
+      t.stripe_lock_wait_hist[b] +=
+          s.wait_hist[b].load(std::memory_order_relaxed);
+    }
   }
+  // Aggregation-safe mid-run: per-thread relaxed atomics, not plain tallies
+  // summed at quiescence — the obs tracer's per-round spans read these live.
   for (const auto& tc : tls_) {
-    t.ite_hits += tc->ite_hits;
-    t.ite_misses += tc->ite_misses;
+    t.ite_hits += tc->ite_hits.load(std::memory_order_relaxed);
+    t.ite_misses += tc->ite_misses.load(std::memory_order_relaxed);
   }
   t.approx_bytes = approx_bytes();
   t.gc_runs = gc_runs_;
@@ -753,10 +1027,8 @@ Manager::Telemetry Manager::telemetry() const {
 }
 
 void Manager::clear_caches() {
-  for (auto& tc : tls_) {
-    std::fill(tc->ite.begin(), tc->ite.end(), IteEntry{});
-    std::fill(tc->quant.begin(), tc->quant.end(), QuantEntry{});
-  }
+  ite_cache_.clear();
+  quant_cache_.clear();
 }
 
 std::string Manager::to_string(NodeId f,

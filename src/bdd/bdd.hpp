@@ -23,40 +23,65 @@
 // protect()/unprotect() or the RAII Rooted handle, plus any extra roots the
 // caller passes — then frees the dead unique-table slots for reuse,
 // compacts/rehashes the stripes, releases node chunks that became entirely
-// dead, and invalidates the per-thread operation caches (generation bump).
-// A NodeId is valid from its creation until the first gc() at which it is
-// not reachable from the root set; unrooted ids held across a sweep dangle.
-// Callers that never invoke gc() keep the original manager-lifetime
-// contract (matching JDD's default usage in the paper).
+// dead, and clears the shared operation caches (a reused id must never
+// satisfy a stale probe).  A NodeId is valid from its creation until the
+// first gc() at which it is not reachable from the root set; unrooted ids
+// held across a sweep dangle.  Callers that never invoke gc() keep the
+// original manager-lifetime contract (matching JDD's default usage in the
+// paper).
 //
 // gc() requires quiescence: no other thread may be inside any manager
 // operation for the duration of the sweep.  Session triggers it only at
-// stage boundaries, where the thread pool is idle — the same points at
-// which telemetry() is sampled.
+// stage boundaries, where the thread pool is idle (all forked subproblems
+// joined, workers asleep) — the same points at which telemetry() is sampled.
 //
-// Concurrency (see DESIGN.md §"Concurrency architecture"):
+// Concurrency (see DESIGN.md §10):
 //   * Node storage is a chunked arena — chunks are allocated once and never
 //     moved, so NodeIds can be dereferenced without locks while other
-//     threads insert.
+//     threads insert.  Fresh ids are claimed from the arena cursor in
+//     per-thread batches, so allocation itself is one relaxed fetch_add per
+//     kIdBatch nodes.
 //   * The unique table is lock-striped: the triple hash selects one of 256
-//     independently locked open-addressed stripes, and inserts are serialized
-//     only within a stripe.  Because every cross-thread NodeId travels
-//     through a stripe mutex (either the id's own insert or an ancestor's),
-//     node payload writes happen-before any reader's dereference.
-//   * Operation caches (ITE, quantification) and traversal scratch are
-//     per-thread, indexed by support::thread_index(); entries are canonical
-//     NodeIds, so threads may redundantly recompute but never disagree.
-//   * set_parallel(false) (the default) skips all stripe locking — the
-//     single-threaded fast path pays only a predicted branch.
+//     open-addressed stripes.  Lookups probe the stripe's published table
+//     snapshot lock-free (ids are release-published into their slot after
+//     the node payload is written, so an acquire read of the slot
+//     happens-after the payload write); only a miss takes the stripe mutex,
+//     re-probes, and inserts.  Growth builds a new table and publishes it
+//     via an atomic pointer; superseded tables are retired and freed at the
+//     next quiescent point (gc or destruction), so concurrent lock-free
+//     probes never touch freed memory.
+//   * Operation caches (ITE, quantification) are *shared* lossy seqlock
+//     caches (CUDD/Sylvan style): one fixed-size direct-mapped array of
+//     tagged slots per operation, racy reads validated by a version tag,
+//     publishes via a single compare_exchange.  One thread's subresult is
+//     every thread's hit.  Lost updates are safe because entries map exact
+//     operand keys to canonical NodeIds — any writer of the same key writes
+//     the same value.  Sized by EXPRESSO_ITE_CACHE_BYTES (see bdd.cpp).
+//   * Large ITE calls fork their hi-cofactor subproblem onto the attached
+//     support::ThreadPool (attach_pool) up to a depth cutoff
+//     (EXPRESSO_STEAL_CUTOFF); joiners help execute pending tasks while
+//     they wait.  Results are canonical ids, so the schedule cannot change
+//     any computed function — determinism across thread counts is preserved
+//     (tests/parallel_determinism_test.cpp pins this).
+//   * Traversal scratch remains per-thread, indexed by
+//     support::thread_index().
+//   * set_parallel(false) (the default) skips stripe locking on insert —
+//     the single-threaded fast path pays only a predicted branch.
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
+
+namespace expresso::support {
+class ThreadPool;
+}  // namespace expresso::support
 
 namespace expresso::bdd {
 
@@ -84,7 +109,7 @@ class Manager {
   std::uint32_t add_var();
 
   // --- Concurrency --------------------------------------------------------
-  // Allocates per-thread operation caches for thread indices [0, n).  Must
+  // Allocates per-thread traversal scratch for thread indices [0, n).  Must
   // be called outside parallel regions before any thread with
   // support::thread_index() >= current capacity uses the manager.
   void prepare_threads(std::size_t n);
@@ -92,6 +117,16 @@ class Manager {
   // single-threaded use; required on while multiple threads operate.
   void set_parallel(bool on) { parallel_ = on; }
   bool parallel() const { return parallel_; }
+  // Lets large ITE calls fork cofactor subproblems onto `pool` (work
+  // stealing with a depth cutoff).  Call at quiescence; pass nullptr to
+  // detach.  The pool must outlive all parallel operation on this manager.
+  void attach_pool(support::ThreadPool* pool) { pool_ = pool; }
+  // Overrides the fork depth cutoff for this manager (0 disables forking).
+  // The constructor default comes from EXPRESSO_STEAL_CUTOFF, and is 0 on
+  // single-core hosts where a helping join can never overlap the thief;
+  // tests force a nonzero cutoff to exercise the fork path everywhere.
+  void set_fork_cutoff(int depth) { fork_cutoff_ = depth; }
+  int fork_cutoff() const { return fork_cutoff_; }
 
   // --- Literals -----------------------------------------------------------
   NodeId var(std::uint32_t v);   // the function "v"
@@ -163,17 +198,23 @@ class Manager {
 
   // Nodes reachable from f (including terminals).
   std::size_t node_count(NodeId f);
-  // Total nodes ever allocated in this manager (monotonic).
+  // Id-space high-water mark: ids ever claimed from the arena cursor
+  // (monotonic; reused ids do not advance it).  In parallel mode the cursor
+  // advances in per-thread batches, so this may exceed the number of nodes
+  // actually materialized by up to threads ⨯ kIdBatch.
   std::size_t total_nodes() const {
     return node_count_.load(std::memory_order_relaxed);
   }
-  // Nodes currently alive: allocated minus those sitting on the GC free
-  // lists (the memory proxy).  Exact only at parallel quiescence.
+  // Nodes currently alive.  Counted exactly: +1 per true unique-table
+  // insertion, reset to the live set by each sweep — deterministic across
+  // thread counts (the node *set* is schedule-independent), which is what
+  // the cross-thread determinism tests compare.
   std::size_t live_nodes() const {
-    return node_count_.load(std::memory_order_relaxed) -
-           free_nodes_.load(std::memory_order_relaxed);
+    return live_count_.load(std::memory_order_relaxed);
   }
-  // Approximate heap bytes held by the manager's tables.
+  // Approximate heap bytes held by the manager's tables (including the
+  // shared operation caches at capacity — they are touched lazily, so
+  // resident memory can be far lower).
   std::size_t approx_bytes() const;
 
   // --- Garbage collection ---------------------------------------------------
@@ -234,11 +275,15 @@ class Manager {
 
   // Mark-and-sweep from the protected root set plus `extra_roots`:
   // unreachable nodes are pushed onto the free list, each unique-table
-  // stripe is compacted and rehashed to its live occupancy, node chunks
-  // containing no live node are released, and the per-thread ITE/quant
-  // caches are invalidated via a generation bump (each thread lazily clears
-  // its cache on next use).  Requires quiescence — must not run concurrently
-  // with any other manager operation on any thread.
+  // stripe is compacted and rehashed to its live occupancy (retired table
+  // snapshots from concurrent growth are freed here), node chunks
+  // containing no live node are released, unused per-thread id
+  // reservations are returned, and the shared ITE/quant caches are cleared
+  // (a swept-then-reused id must never satisfy a stale probe).  Requires
+  // quiescence — must not run concurrently with any other manager
+  // operation on any thread, including pool workers draining stolen
+  // subproblems (Session sweeps only at stage boundaries, where every fork
+  // has been joined).
   GcStats gc(const std::vector<NodeId>& extra_roots = {});
 
   // Trigger heuristic for callers that sweep at natural boundaries: true
@@ -248,12 +293,13 @@ class Manager {
   bool gc_pressure(std::size_t node_budget = 0) const;
 
   // Substrate telemetry snapshot (obs layer, DESIGN.md §8).  ITE-cache
-  // hit/miss counters are plain per-thread tallies summed here, so call
-  // this only at parallel quiescence (stage boundaries) — exactly where
-  // Session samples it.
+  // hit/miss tallies are per-thread relaxed atomics summed here, so the
+  // totals are aggregation-safe mid-run (per-round tracer spans included);
+  // structural fields (unique table occupancy) are exact only at parallel
+  // quiescence.
   struct Telemetry {
     std::size_t nodes = 0;          // live nodes (allocated minus reclaimed)
-    std::size_t allocated_total = 0;  // nodes ever allocated (monotonic)
+    std::size_t allocated_total = 0;  // id-space high-water mark (monotonic)
     std::size_t unique_entries = 0; // occupied unique-table slots
     std::size_t unique_capacity = 0;
     std::size_t approx_bytes = 0;
@@ -262,10 +308,17 @@ class Manager {
     std::uint64_t gc_runs = 0;          // sweeps performed
     std::uint64_t gc_reclaimed = 0;     // nodes reclaimed across all sweeps
     std::size_t gc_last_live = 0;       // live set at the end of the last sweep
+    // Stripe-mutex contention: acquisitions that found the lock held, the
+    // total time spent waiting for them, and a wait-time histogram with
+    // upper bounds {1µs, 10µs, 100µs, 1ms, 10ms, +inf}.
+    std::uint64_t stripe_lock_contended = 0;
+    double stripe_lock_wait_seconds = 0;
+    std::array<std::uint64_t, 6> stripe_lock_wait_hist{};
   };
   Telemetry telemetry() const;
 
-  // Drops the operation caches (unique table and nodes are kept).
+  // Drops the shared operation caches (unique table and nodes are kept).
+  // Requires quiescence.
   void clear_caches();
 
   // Read-only view of one node's triple (terminals have var == num_vars
@@ -298,44 +351,87 @@ class Manager {
   static constexpr std::size_t kChunkSize = std::size_t{1} << kChunkBits;
   static constexpr std::size_t kChunkMask = kChunkSize - 1;
   static constexpr std::size_t kMaxChunks = std::size_t{1} << 15;  // 2^31 ids
+  // Fresh-id batch claimed per cursor fetch_add in parallel mode (serial
+  // mode claims one at a time, keeping total_nodes() exact for tests).
+  static constexpr std::uint32_t kIdBatch = 64;
 
   // Lock stripes of the unique table.
   static constexpr unsigned kStripeBits = 8;
   static constexpr std::size_t kNumStripes = std::size_t{1} << kStripeBits;
 
-  struct Stripe {
-    std::mutex mu;
-    std::vector<NodeId> table;  // open addressing; 0 = empty slot
-    std::size_t count = 0;
+  // One open-addressed table snapshot (0 = empty slot).  Slots hold ids
+  // release-published after the node payload write, so lock-free probes can
+  // dereference whatever they read.
+  struct StripeTable {
+    explicit StripeTable(std::size_t capacity);
+    std::unique_ptr<std::atomic<NodeId>[]> slots;
+    std::size_t cap;
   };
 
-  // Per-thread operation caches and traversal scratch.
-  struct IteEntry {
-    NodeId f = kFalse, g = kFalse, h = kFalse, result = kFalse;
-    bool valid = false;
+  struct Stripe {
+    std::mutex mu;
+    std::atomic<StripeTable*> cur{nullptr};  // published snapshot
+    // Occupied slots (atomic so telemetry() can read it mid-run; written
+    // only under mu).
+    std::atomic<std::size_t> count{0};
+    // Superseded snapshots: still readable by in-flight lock-free probes,
+    // freed at the next quiescent point.  Geometric growth bounds their
+    // total size below the live table's.  retired_bytes mirrors their total
+    // footprint for lock-free approx_bytes().
+    std::vector<std::unique_ptr<StripeTable>> retired;  // guarded by mu
+    std::atomic<std::size_t> retired_bytes{0};
+    // Contention telemetry (relaxed): contended acquisitions, nanoseconds
+    // spent waiting, and a histogram over Telemetry's fixed bounds.
+    std::atomic<std::uint64_t> contended{0};
+    std::atomic<std::uint64_t> wait_ns{0};
+    std::array<std::atomic<std::uint64_t>, 6> wait_hist{};
   };
-  struct QuantEntry {
-    NodeId f = kFalse, result = kFalse;
-    std::uint64_t gen = 0;
-    bool valid = false;
+
+  // Shared lossy operation cache (seqlock slots, direct-mapped).  Key is 96
+  // bits (k1: 64, k2: 32), value a 32-bit canonical NodeId.  tag layout:
+  // [63] writer lock | [62:40] version | [39:0] key-hash tag; tag 0 = empty.
+  // Readers take a racy snapshot and validate tag equality around it
+  // (Boehm-style seqlock: relaxed data loads bracketed by an acquire load
+  // and an acquire fence); the version defeats ABA across interleaved
+  // writers.  Writers bail out rather than wait — losing an insert is fine
+  // because every writer of a key stores the same canonical result.
+  struct OpCache {
+    struct Slot {
+      std::atomic<std::uint64_t> tag;
+      std::atomic<std::uint64_t> key;  // k1
+      std::atomic<std::uint64_t> val;  // k2 | result << 32
+      std::uint64_t pad;               // 32-byte slots: 2 per cache line
+    };
+    Slot* slots = nullptr;  // calloc'd: zero pages stay unmapped until use
+    std::size_t mask = 0;   // slot count - 1 (power of two)
+
+    ~OpCache();
+    void init(std::size_t slot_count);
+    bool lookup(std::uint64_t h, std::uint64_t k1, std::uint32_t k2,
+                NodeId* out) const;
+    void publish(std::uint64_t h, std::uint64_t k1, std::uint32_t k2,
+                 NodeId result);
+    void clear();
   };
+
+  // Per-thread allocation state and traversal scratch.
   struct ThreadCache {
-    std::vector<IteEntry> ite;
-    std::vector<QuantEntry> quant;
-    std::uint64_t quant_gen = 0;
-    // Last GC generation this thread observed; on mismatch the ITE/quant
-    // caches are cleared lazily before the next operation (a swept-then-
-    // reused id must never satisfy a stale cache probe).
-    std::uint64_t seen_gc_gen = 0;
     // Thread-private batch of reclaimed ids handed out by alloc_node before
     // the arena cursor advances.  Refilled from the global free list under
     // free_mu_; drained back by gc() (which runs at quiescence).
     std::vector<NodeId> free_batch;
-    // ITE-cache effectiveness tallies (telemetry).  Plain (non-atomic)
-    // because the cache itself is thread-private; readers aggregate at
-    // quiescence via telemetry().
-    std::uint64_t ite_hits = 0;
-    std::uint64_t ite_misses = 0;
+    // Unused tail of the last cursor batch ([res_next, res_end)); returned
+    // to the free list by gc().
+    NodeId res_next = 0;
+    NodeId res_end = 0;
+    // ITE-cache effectiveness tallies.  Relaxed atomics (not plain) so
+    // telemetry() can sum them mid-run — per-round tracer spans would
+    // otherwise under-report.  Uncontended: each thread writes its own.
+    std::atomic<std::uint64_t> ite_hits{0};
+    std::atomic<std::uint64_t> ite_misses{0};
+    // Footprint of the traversal scratch below, mirrored atomically at each
+    // resize so approx_bytes() never touches the vectors of a live thread.
+    std::atomic<std::size_t> scratch_bytes{0};
     // Scratch reused by density/sat_count, support, node_count: stamped
     // visit marks avoid a fresh hash map per call (the stamp generation
     // makes clearing O(1)).
@@ -358,15 +454,22 @@ class Manager {
   ThreadCache& cache();
 
   NodeId mk(std::uint32_t var, NodeId lo, NodeId hi);
-  NodeId mk_in_stripe(Stripe& s, std::uint32_t var, NodeId lo, NodeId hi,
-                      std::uint64_t h);
-  NodeId alloc_node(std::uint32_t var, NodeId lo, NodeId hi);
+  // Miss path of mk: re-probes and inserts into the stripe's current table.
+  // Caller holds s.mu in parallel mode.
+  NodeId mk_insert(Stripe& s, std::uint32_t var, NodeId lo, NodeId hi,
+                   std::uint64_t h);
+  NodeId alloc_node(ThreadCache& tc, std::uint32_t var, NodeId lo, NodeId hi);
   // Pulls a batch of reclaimed ids from the global free list into the
   // calling thread's private batch; false when the list is empty.
   bool refill_free_batch(ThreadCache& tc);
   // Ensures the chunk holding `id` is allocated (fresh cursor growth or a
   // reused id whose chunk was released by a sweep).
   Node* ensure_chunk(NodeId id);
+  // Doubles a stripe's table under its lock and publishes the new snapshot;
+  // the old one is retired (freed at the next quiescent point).
+  void stripe_grow(Stripe& s);
+  // Locks s.mu, timing the wait only when contended (try_lock first).
+  void lock_stripe(Stripe& s);
   // Exact saturating model count as mant · 2^exp over the variables at and
   // below f's level (mant == 0 ⇒ unsatisfiable); `exact` clears whenever a
   // mantissa bit is shifted out.  Shared core of sat_count_checked /
@@ -377,30 +480,46 @@ class Manager {
     bool exact;
   };
   BigCount count_models(NodeId f);
-  NodeId ite_rec(NodeId f, NodeId g, NodeId h, ThreadCache& tc);
+  NodeId ite_rec(NodeId f, NodeId g, NodeId h, ThreadCache& tc, int depth);
+  // Trampoline run by pool slots for forked ITE subproblems (arg is an
+  // IteForkToken, bdd.cpp).
+  static void ite_task_main(void* arg);
+  // Interns a sorted, deduplicated variable set to a stable small id so the
+  // shared quantification cache can key on (f, set) exactly.
+  std::uint32_t intern_var_set(const std::vector<std::uint32_t>& sorted);
   NodeId exists_rec(NodeId f, const std::vector<std::uint32_t>& sorted_vars,
-                    ThreadCache& tc);
+                    std::uint32_t set_id, ThreadCache& tc);
   std::uint32_t top_var(NodeId f) const { return node(f).var; }
-  void stripe_rehash(Stripe& s, std::size_t new_cap);
   // Begins a stamped traversal: sizes the scratch arrays and returns the
   // fresh generation mark.
   std::uint32_t begin_walk(ThreadCache& tc);
 
   std::uint32_t num_vars_;
   bool parallel_ = false;
+  support::ThreadPool* pool_ = nullptr;
+  // Fork ITE subproblems only above this recursion depth (0 = never fork);
+  // overridable via EXPRESSO_STEAL_CUTOFF.
+  int fork_cutoff_ = 0;
 
   std::unique_ptr<std::atomic<Node*>[]> chunks_;
-  std::atomic<std::uint32_t> node_count_{0};
+  std::atomic<std::uint32_t> node_count_{0};  // id-space cursor
+  std::atomic<std::uint32_t> live_count_{0};  // exact live population
   std::atomic<std::size_t> chunk_count_{0};
   std::mutex chunk_mu_;
 
   std::unique_ptr<Stripe[]> stripes_;
 
+  OpCache ite_cache_;
+  OpCache quant_cache_;
+  // Quantified-set interning for the shared quant cache.
+  std::map<std::vector<std::uint32_t>, std::uint32_t> quant_sets_;
+  std::mutex quant_sets_mu_;
+
   std::vector<std::unique_ptr<ThreadCache>> tls_;
 
   // --- GC state ------------------------------------------------------------
   // Reclaimed ids awaiting reuse.  free_nodes_ counts every id currently
-  // free anywhere (global list + per-thread batches) so live_nodes() stays
+  // free anywhere (global list + per-thread batches) so refill checks stay
   // O(1); free_mu_ is only taken on batch refill and during the sweep, and
   // is always innermost (after any stripe mutex).
   std::vector<NodeId> free_list_;
@@ -409,9 +528,6 @@ class Manager {
   // Refcounted external roots.
   std::unordered_map<NodeId, std::uint32_t> roots_;
   std::mutex roots_mu_;
-  // Bumped by every sweep; threads compare against ThreadCache::seen_gc_gen
-  // and clear their operation caches lazily.
-  std::atomic<std::uint64_t> gc_gen_{0};
   std::uint64_t gc_runs_ = 0;
   std::uint64_t gc_reclaimed_total_ = 0;
   std::size_t last_gc_live_ = 0;

@@ -68,6 +68,7 @@ Engine::Engine(const net::Network& network, Options options)
     owned_pool_ = std::make_unique<support::ThreadPool>(threads_);
     owned_enc_->mgr().prepare_threads(static_cast<std::size_t>(threads_));
     owned_enc_->mgr().set_parallel(true);
+    owned_enc_->mgr().attach_pool(owned_pool_.get());
   }
   alphabet_ = owned_alphabet_.get();
   atomizer_ = owned_atomizer_.get();

@@ -236,6 +236,7 @@ void Session::install(std::vector<config::RouterConfig> configs,
     if (threads_ > 1) {
       enc_->mgr().prepare_threads(static_cast<std::size_t>(threads_));
       enc_->mgr().set_parallel(true);
+      enc_->mgr().attach_pool(pool_.get());
     }
     // Everything compiled against the old variable universe is stale.
     policy_cache_.clear();
@@ -485,6 +486,26 @@ void Session::sample_substrate(const char* where) {
   registry_.gauge("bdd.approx_bytes").set(static_cast<double>(t.approx_bytes));
   registry_.counter("bdd.ite_hits").set(t.ite_hits);
   registry_.counter("bdd.ite_misses").set(t.ite_misses);
+  const std::uint64_t ite_lookups = t.ite_hits + t.ite_misses;
+  registry_.gauge("bdd.ite_hit_rate")
+      .set(ite_lookups > 0
+               ? static_cast<double>(t.ite_hits) /
+                     static_cast<double>(ite_lookups)
+               : 0.0);
+  registry_.counter("bdd.stripe_lock_contended").set(t.stripe_lock_contended);
+  registry_.gauge("bdd.stripe_lock_wait_seconds")
+      .set(t.stripe_lock_wait_seconds);
+  registry_
+      .histogram("bdd.stripe_lock_wait",
+                 {1e-6, 1e-5, 1e-4, 1e-3, 1e-2})
+      .set_counts(t.stripe_lock_wait_hist.data(),
+                  t.stripe_lock_wait_hist.size(), t.stripe_lock_wait_seconds);
+  if (pool_) {
+    const support::ThreadPool::TaskStats ts = pool_->task_stats();
+    registry_.counter("pool.tasks_forked").set(ts.forked);
+    registry_.counter("pool.tasks_stolen").set(ts.stolen);
+    registry_.counter("pool.tasks_executed").set(ts.executed);
+  }
   registry_.gauge("process.rss_bytes")
       .set(static_cast<double>(current_rss_bytes()));
   registry_.gauge("process.peak_rss_bytes")
@@ -537,6 +558,9 @@ void Session::sync_stats_view() const {
       static_cast<std::size_t>(r.gauge("fib.entries").value());
   s.total_pecs = static_cast<std::size_t>(r.gauge("pec.count").value());
   s.bdd_nodes = static_cast<std::size_t>(r.gauge("bdd.nodes").value());
+  s.bdd_ite_hits = r.counter("bdd.ite_hits").value();
+  s.bdd_ite_misses = r.counter("bdd.ite_misses").value();
+  s.bdd_ite_hit_rate = r.gauge("bdd.ite_hit_rate").value();
   s.dp_variables =
       static_cast<std::uint32_t>(r.gauge("encoding.dp_variables").value());
   s.updates = static_cast<int>(r.counter("session.updates").value());

@@ -85,6 +85,11 @@ struct VerifierStats {
   std::size_t total_pecs = 0;
   std::size_t bdd_nodes = 0;        // memory proxy
   std::uint32_t dp_variables = 0;   // lazily allocated n_i^j count
+  // Shared ITE-cache effectiveness (aggregation-safe mid-run): lifetime
+  // lookup tallies and the derived hit rate in [0,1] (0 when no lookups).
+  std::uint64_t bdd_ite_hits = 0;
+  std::uint64_t bdd_ite_misses = 0;
+  double bdd_ite_hit_rate = 0;
 
   // --- staged-pipeline accounting (cumulative over the session) ------------
   bool warm = false;        // last SRC run was warm-started from previous RIBs

@@ -22,6 +22,18 @@ void Histogram::observe(double v) {
   }
 }
 
+void Histogram::set_counts(const std::uint64_t* counts, std::size_t n,
+                           double sum) {
+  std::uint64_t total = 0;
+  const std::size_t limit = std::min(n, buckets_.size());
+  for (std::size_t i = 0; i < limit; ++i) {
+    buckets_[i].store(counts[i], std::memory_order_relaxed);
+    total += counts[i];
+  }
+  count_.store(total, std::memory_order_relaxed);
+  sum_.store(sum, std::memory_order_relaxed);
+}
+
 namespace {
 template <typename Map, typename Make>
 auto get_or_make(std::mutex& mu, Map& map, std::string_view name,
@@ -119,6 +131,20 @@ const std::string& metrics_env_path() {
 }
 
 void append_metrics_line(const std::string& path, const std::string& line) {
+  // Emission-side dedupe: several binaries emit the same session document
+  // more than once per run (e.g. an explicit dump followed by the Session
+  // destructor's), which used to land identical back-to-back rows in
+  // BENCH_expresso.json.  A byte-identical repeat of the last line written
+  // to the same path by this process carries no information — drop it.
+  static std::mutex mu;
+  static std::map<std::string, std::string>* last =
+      new std::map<std::string, std::string>();  // leaked: usable at exit
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    auto it = last->find(path);
+    if (it != last->end() && it->second == line) return;
+    (*last)[path] = line;
+  }
   std::ofstream out(path, std::ios::app);
   if (out) out << line << '\n';
 }

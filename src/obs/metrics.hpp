@@ -80,6 +80,12 @@ class Histogram {
 
   void observe(double v);
 
+  // Mirror externally maintained absolute bucket counts (e.g. the BDD
+  // substrate's stripe lock-wait histogram, aggregated inside bdd::Manager).
+  // `counts` has one entry per bucket (bounds + overflow); extra entries are
+  // ignored, missing ones left untouched.  `sum` replaces the running sum.
+  void set_counts(const std::uint64_t* counts, std::size_t n, double sum);
+
   const std::vector<double>& bounds() const { return bounds_; }
   std::uint64_t bucket_count(std::size_t i) const {
     return buckets_[i].load(std::memory_order_relaxed);

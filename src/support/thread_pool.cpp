@@ -8,6 +8,11 @@ namespace expresso::support {
 namespace {
 thread_local int g_thread_index = 0;
 thread_local bool g_in_batch = false;
+// Pool the current thread belongs to: set permanently for workers, and for
+// the caller while it participates in one of its pool's batches.  try_fork
+// refuses cross-pool forks — a task pushed under a foreign pool's slot
+// index would corrupt that pool's deque ownership discipline.
+thread_local ThreadPool* g_pool = nullptr;
 }  // namespace
 
 int thread_index() { return g_thread_index; }
@@ -38,6 +43,7 @@ int env_thread_count() {
 }
 
 ThreadPool::ThreadPool(int threads) : threads_(threads < 1 ? 1 : threads) {
+  deques_ = std::make_unique<Deque[]>(static_cast<std::size_t>(threads_));
   workers_.reserve(static_cast<std::size_t>(threads_ - 1));
   for (int slot = 1; slot < threads_; ++slot) {
     workers_.emplace_back([this, slot] { worker_main(slot); });
@@ -51,6 +57,83 @@ ThreadPool::~ThreadPool() {
   }
   work_cv_.notify_all();
   for (auto& w : workers_) w.join();
+}
+
+bool ThreadPool::try_fork(const Task& t) {
+  if (threads_ <= 1 || t.fn == nullptr) return false;
+  if (g_pool != nullptr && g_pool != this) return false;
+  const int self = g_thread_index;
+  if (self < 0 || self >= threads_) return false;
+  Deque& d = deques_[self];
+  // Backpressure: with untaken forks already queued, creating more tasks
+  // only adds overhead — thieves aren't keeping up.  Run inline instead.
+  if (d.size.load(std::memory_order_relaxed) >= Deque::kBackpressure) {
+    return false;
+  }
+  pending_.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(d.mu);
+    if (d.tail - d.head >= Deque::kCap) {
+      pending_.fetch_sub(1, std::memory_order_relaxed);
+      return false;
+    }
+    d.buf[d.tail % Deque::kCap] = t;
+    ++d.tail;
+    d.size.store(d.tail - d.head, std::memory_order_relaxed);
+  }
+  forked_.fetch_add(1, std::memory_order_relaxed);
+  if (waiting_.load(std::memory_order_relaxed) > 0) {
+    // The empty lock/unlock orders the pending_ increment against the
+    // sleeping worker's predicate check, so the notify can't be lost
+    // between its predicate evaluation and its block.
+    { std::lock_guard<std::mutex> lock(mu_); }
+    work_cv_.notify_one();
+  }
+  return true;
+}
+
+bool ThreadPool::help_one() {
+  const int self =
+      (g_thread_index >= 0 && g_thread_index < threads_) ? g_thread_index : 0;
+  for (int k = 0; k < threads_; ++k) {
+    const int s = (self + k) % threads_;
+    Deque& d = deques_[s];
+    if (d.size.load(std::memory_order_relaxed) == 0) continue;
+    Task t;
+    bool got = false;
+    {
+      std::lock_guard<std::mutex> lock(d.mu);
+      if (d.head != d.tail) {
+        if (s == self) {
+          --d.tail;  // own deque: LIFO for locality
+          t = d.buf[d.tail % Deque::kCap];
+        } else {
+          t = d.buf[d.head % Deque::kCap];  // steal: FIFO (oldest = biggest)
+          ++d.head;
+        }
+        d.size.store(d.tail - d.head, std::memory_order_relaxed);
+        got = true;
+      }
+    }
+    if (!got) continue;
+    pending_.fetch_sub(1, std::memory_order_relaxed);
+    if (s != self) stolen_.fetch_add(1, std::memory_order_relaxed);
+    executed_.fetch_add(1, std::memory_order_relaxed);
+    // Any nested parallel_for from inside a task must run inline — the
+    // executing slot is already occupied.
+    const bool was_in_batch = g_in_batch;
+    g_in_batch = true;
+    t.fn(t.arg);
+    g_in_batch = was_in_batch;
+    return true;
+  }
+  return false;
+}
+
+ThreadPool::TaskStats ThreadPool::task_stats() const {
+  return {forked_.load(std::memory_order_relaxed),
+          stolen_.load(std::memory_order_relaxed),
+          executed_.load(std::memory_order_relaxed)};
 }
 
 void ThreadPool::drain() {
@@ -71,27 +154,49 @@ void ThreadPool::drain() {
       if (!error_) error_ = std::current_exception();
     }
   }
+  // Batch items exhausted: drain forked subproblems before leaving, so
+  // stolen work queued by still-running items doesn't strand.  If a later
+  // item forks after we sleep, try_fork's wake path covers it.
+  while (pending_.load(std::memory_order_relaxed) > 0) {
+    if (!help_one()) break;  // all queued tasks are already being executed
+  }
 }
 
 void ThreadPool::worker_main(int slot) {
   g_thread_index = slot;
+  g_pool = this;
   std::uint64_t seen_epoch = 0;
   while (true) {
+    bool run_batch = false;
     {
       std::unique_lock<std::mutex> lock(mu_);
-      work_cv_.wait(lock, [&] { return stop_ || epoch_ != seen_epoch; });
+      waiting_.fetch_add(1, std::memory_order_relaxed);
+      work_cv_.wait(lock, [&] {
+        return stop_ || epoch_ != seen_epoch ||
+               pending_.load(std::memory_order_relaxed) > 0;
+      });
+      waiting_.fetch_sub(1, std::memory_order_relaxed);
       if (stop_) return;
-      seen_epoch = epoch_;
-      ++running_;
+      if (epoch_ != seen_epoch) {
+        seen_epoch = epoch_;
+        ++running_;
+        run_batch = true;
+      }
     }
-    g_in_batch = true;
-    drain();
-    g_in_batch = false;
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      --running_;
+    if (run_batch) {
+      g_in_batch = true;
+      drain();
+      g_in_batch = false;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        --running_;
+      }
+      done_cv_.notify_one();
+    } else {
+      // Task-only wake: forked work arrived outside (or after) a batch.
+      while (help_one()) {
+      }
     }
-    done_cv_.notify_one();
   }
 }
 
@@ -112,9 +217,12 @@ void ThreadPool::parallel_for(std::size_t n,
     ++epoch_;
   }
   work_cv_.notify_all();
+  ThreadPool* prev_pool = g_pool;
+  g_pool = this;
   g_in_batch = true;
   drain();
   g_in_batch = false;
+  g_pool = prev_pool;
   std::exception_ptr err;
   {
     std::unique_lock<std::mutex> lock(mu_);

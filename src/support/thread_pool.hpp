@@ -1,22 +1,39 @@
-// A small fixed-size thread pool with a parallel_for helper.
+// A small fixed-size thread pool with a parallel_for helper and a
+// work-stealing fork/join task substrate.
 //
 // Expresso's hot loops (EPVP rounds, symbolic FIB generation, PEC
 // computation) are embarrassingly parallel across nodes; this pool gives
-// them multi-core execution without any external dependency.
+// them multi-core execution without any external dependency.  On top of the
+// batch API, consumers (bdd::Manager's parallel apply) can fork small
+// fixed-payload tasks that idle slots steal — so a single large ITE call
+// parallelizes even when the router-level batch is skewed or absent.
 //
 // Design notes:
 //   * The pool has `threads` execution slots; slot 0 is the *caller* of
 //     parallel_for (it participates in the batch), slots 1..threads-1 are
 //     dedicated worker threads.  `thread_index()` returns the slot of the
 //     calling thread — consumers (e.g. bdd::Manager) use it to select
-//     per-thread operation caches, so the index is stable for the duration
-//     of a batch and always < threads().
+//     per-thread scratch, so the index is stable for the duration of a
+//     batch and always < threads().
 //   * parallel_for uses dynamic scheduling (an atomic work counter) because
 //     per-node task costs are highly skewed; results must be written by
 //     index by the body, which keeps the output deterministic regardless of
 //     the schedule.
 //   * Nested parallel_for calls from inside a task run inline and serially
 //     on the calling slot; this keeps thread_index() coherent.
+//   * Fork/join: try_fork() pushes a Task onto the calling slot's bounded
+//     deque (owner pops LIFO, thieves steal FIFO — classic Chase-Lev
+//     discipline under a per-deque mutex).  It is *advisory*: when the
+//     deque is full, the caller is a foreign thread, or the pool is
+//     saturated, it returns false and the caller must run the work inline.
+//     The bounded deque doubles as backpressure — forks outpace steals only
+//     up to the deque capacity, which caps task-creation overhead at the
+//     rate thieves actually drain work (lazy task creation).  Joiners never
+//     block: they call help_one() in a loop, executing other pending tasks
+//     while they wait, so fork/join cannot deadlock the pool.
+//   * After a worker exhausts its share of a parallel_for batch it keeps
+//     draining pending tasks before sleeping, and sleeping workers are
+//     woken by try_fork — forked subproblems never strand.
 #pragma once
 
 #include <atomic>
@@ -25,6 +42,7 @@
 #include <cstdint>
 #include <exception>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -41,6 +59,15 @@ int hardware_threads();
 // Slot of the calling thread within the currently running parallel batch:
 // 0 for the caller / any thread outside a batch, 1..N-1 for pool workers.
 int thread_index();
+
+// A forked unit of work: a plain function pointer plus one context pointer.
+// The context (typically a stack-allocated join token) must stay alive until
+// the task's completion flag is observed by the joiner.  Tasks must not
+// throw.
+struct Task {
+  void (*fn)(void*) = nullptr;
+  void* arg = nullptr;
+};
 
 class ThreadPool {
  public:
@@ -59,7 +86,44 @@ class ThreadPool {
   // body are captured and the first one is rethrown on the caller.
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body);
 
+  // --- Fork/join task substrate -------------------------------------------
+  // Attempts to enqueue `t` on the calling slot's deque.  Returns false —
+  // and the caller must execute the work inline — when the pool is
+  // single-slot, the calling thread belongs to a different pool, or the
+  // deque is at its backpressure limit.  On success the task will be run
+  // exactly once by some slot (possibly the forker itself via help_one).
+  bool try_fork(const Task& t);
+
+  // Runs one pending task if any exists (own deque LIFO first, then steals
+  // FIFO from the other slots).  Returns true iff a task was executed.
+  // Joiners spin on their completion flag calling this, so waiting threads
+  // help instead of blocking.
+  bool help_one();
+
+  // Lifetime totals of the fork/join substrate (relaxed counters; exact at
+  // quiescence).  `executed` counts every task run, `stolen` the subset run
+  // by a slot other than the forker.
+  struct TaskStats {
+    std::uint64_t forked = 0;
+    std::uint64_t stolen = 0;
+    std::uint64_t executed = 0;
+  };
+  TaskStats task_stats() const;
+
  private:
+  // Bounded per-slot deque: owner pushes/pops at the tail, thieves take
+  // from the head.  A mutex per deque keeps this simple and TSan-clean;
+  // the `size` mirror lets scanners skip empty deques without locking.
+  struct Deque {
+    static constexpr std::uint32_t kCap = 64;       // ring capacity
+    static constexpr std::uint32_t kBackpressure = 4;  // try_fork limit
+    std::mutex mu;
+    Task buf[kCap];                 // ring, guarded by mu
+    std::uint32_t head = 0;         // steal end, guarded by mu
+    std::uint32_t tail = 0;         // push end, guarded by mu
+    std::atomic<std::uint32_t> size{0};
+  };
+
   void worker_main(int slot);
   void drain();  // grab-and-run loop shared by caller and workers
 
@@ -76,6 +140,15 @@ class ThreadPool {
   bool stop_ = false;                                       // guarded by mu_
   std::exception_ptr error_;                                // guarded by mu_
   std::atomic<std::size_t> next_{0};
+
+  std::unique_ptr<Deque[]> deques_;
+  // Tasks enqueued but not yet dequeued (incremented before the push,
+  // decremented after the pop): pending_ == 0 implies no deque holds work.
+  std::atomic<std::uint64_t> pending_{0};
+  std::atomic<int> waiting_{0};  // workers blocked on work_cv_
+  std::atomic<std::uint64_t> forked_{0};
+  std::atomic<std::uint64_t> stolen_{0};
+  std::atomic<std::uint64_t> executed_{0};
 };
 
 // Serial fallback helper: runs on `pool` when it exists and has >1 slots,

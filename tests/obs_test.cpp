@@ -291,5 +291,34 @@ TEST(ObsMetricsTest, SessionAppendsMetricsDocumentOnDestruction) {
   std::remove(path.c_str());
 }
 
+// Emission-side dedupe: a byte-identical repeat of the last line appended to
+// the same path must be dropped (it carries no information and used to land
+// duplicate rows in BENCH_expresso.json), while any change — or a different
+// target path — must still be written.
+TEST(ObsMetricsTest, AppendMetricsLineDropsConsecutiveDuplicates) {
+  const std::string path = temp_path("obs_dedupe.jsonl");
+  const std::string other = temp_path("obs_dedupe_other.jsonl");
+  std::remove(path.c_str());
+  std::remove(other.c_str());
+
+  obs::append_metrics_line(path, "{\"a\":1}");
+  obs::append_metrics_line(path, "{\"a\":1}");  // dropped
+  obs::append_metrics_line(path, "{\"a\":2}");  // changed: kept
+  obs::append_metrics_line(path, "{\"a\":1}");  // not consecutive: kept
+  obs::append_metrics_line(other, "{\"a\":1}");  // different path: kept
+
+  std::ifstream in(path);
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_EQ(lines[0], "{\"a\":1}");
+  EXPECT_EQ(lines[1], "{\"a\":2}");
+  EXPECT_EQ(lines[2], "{\"a\":1}");
+  EXPECT_EQ(read_file(other), "{\"a\":1}\n");
+  std::remove(path.c_str());
+  std::remove(other.c_str());
+}
+
 }  // namespace
 }  // namespace expresso

@@ -3,8 +3,11 @@
 
 #include <atomic>
 #include <cstdlib>
+#include <memory>
 #include <stdexcept>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "config/parser.hpp"
 #include "expresso/verifier.hpp"
@@ -184,6 +187,81 @@ TEST(ThreadPoolTest, NullPoolFallsBackToSerial) {
   support::parallel_for(nullptr, 5,
                         [&](std::size_t i) { order.push_back(static_cast<int>(i)); });
   EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+namespace forkjoin {
+struct Token {
+  std::atomic<int>* hits = nullptr;
+  std::atomic<bool> done{false};
+};
+void run_token(void* arg) {
+  auto* t = static_cast<Token*>(arg);
+  t->hits->fetch_add(1, std::memory_order_relaxed);
+  t->done.store(true, std::memory_order_release);
+}
+}  // namespace forkjoin
+
+// Every accepted fork runs exactly once — whether a worker steals it or the
+// forker drains it via help_one — and the stats ledger balances.
+TEST(ThreadPoolTest, ForkJoinRunsEveryAcceptedTaskExactlyOnce) {
+  support::ThreadPool pool(4);
+  std::atomic<int> hits{0};
+  constexpr int kTasks = 200;
+  int accepted = 0;
+  std::vector<std::unique_ptr<forkjoin::Token>> tokens;
+  for (int i = 0; i < kTasks; ++i) {
+    auto tok = std::make_unique<forkjoin::Token>();
+    tok->hits = &hits;
+    if (pool.try_fork({&forkjoin::run_token, tok.get()})) {
+      ++accepted;
+      tokens.push_back(std::move(tok));
+    }
+    // Keep the queue moving so backpressure doesn't refuse everything.
+    if (i % 3 == 0) pool.help_one();
+  }
+  for (auto& tok : tokens) {
+    while (!tok->done.load(std::memory_order_acquire)) {
+      if (!pool.help_one()) std::this_thread::yield();
+    }
+  }
+  EXPECT_GT(accepted, 0);
+  EXPECT_EQ(hits.load(), accepted);
+  const auto st = pool.task_stats();
+  EXPECT_EQ(st.forked, static_cast<std::uint64_t>(accepted));
+  EXPECT_EQ(st.executed, static_cast<std::uint64_t>(accepted));
+  EXPECT_LE(st.stolen, st.executed);
+}
+
+// A single-slot pool has nobody to steal: try_fork must refuse so callers
+// always fall back to inline execution.
+TEST(ThreadPoolTest, SingleSlotPoolRefusesForks) {
+  support::ThreadPool pool(1);
+  std::atomic<int> hits{0};
+  forkjoin::Token tok;
+  tok.hits = &hits;
+  EXPECT_FALSE(pool.try_fork({&forkjoin::run_token, &tok}));
+  EXPECT_FALSE(pool.help_one());
+}
+
+// Forking onto a foreign pool from inside another pool's batch would corrupt
+// the foreign deque's slot-ownership discipline; it must be refused.
+TEST(ThreadPoolTest, ForeignPoolForkIsRefusedInsideBatch) {
+  support::ThreadPool a(2);
+  support::ThreadPool b(2);
+  std::atomic<int> hits{0};
+  std::atomic<int> refused{0};
+  a.parallel_for(4, [&](std::size_t) {
+    forkjoin::Token tok;
+    tok.hits = &hits;
+    if (!b.try_fork({&forkjoin::run_token, &tok})) {
+      refused.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      while (!tok.done.load(std::memory_order_acquire)) {
+        std::this_thread::yield();
+      }
+    }
+  });
+  EXPECT_EQ(refused.load(), 4);
 }
 
 }  // namespace

@@ -1,0 +1,98 @@
+// Perf smoke for the parallel BDD substrate (scripts/check.sh step): runs
+// SRC+SPF+RouteLeakFree on region2 at 1 and 4 threads and fails when
+// parallelism stops paying.
+//
+//   - CPU bound (any host): 4-thread CPU-seconds must stay within 1.3x the
+//     serial run plus a small absolute floor — threads must not burn cycles
+//     re-deriving each other's subresults or spinning on stripe locks.
+//   - Wall bound (>= 4 cores only): the 4-thread wall time must not exceed
+//     the serial wall time.  On smaller hosts wall speedup is physically
+//     impossible, so only the CPU bound gates there.
+//
+// Determinism rides along: node counts, PEC counts and verdicts must be
+// identical across the two runs, else the smoke fails regardless of timing.
+#include <cstdio>
+#include <thread>
+
+#include "expresso/verifier.hpp"
+#include "gen/datasets.hpp"
+#include "support/util.hpp"
+
+int main() {
+  using namespace expresso;
+  const auto specs = gen::csp_region_specs(gen::Snapshot::kOld);
+  if (specs.size() < 2) {
+    std::fprintf(stderr, "perf_smoke: region specs missing\n");
+    return 1;
+  }
+  const auto dataset = gen::make_region(specs[1], 1, 7);  // region2
+
+  struct Run {
+    double wall = 0;
+    double cpu = 0;
+    std::size_t nodes = 0;
+    std::size_t pecs = 0;
+    std::size_t violations = 0;
+  };
+  auto run_at = [&](int threads) {
+    epvp::Options opt;
+    opt.threads = threads;
+    Run r;
+    Stopwatch sw;
+    Verifier v(dataset.config_text, opt);
+    v.run_spf();
+    r.violations = v.check_route_leak_free().size();
+    r.wall = sw.seconds();
+    const auto& st = v.stats();
+    r.cpu = st.src_cpu_seconds + st.spf_cpu_seconds;
+    r.nodes = st.bdd_nodes;
+    r.pecs = st.total_pecs;
+    return r;
+  };
+
+  // Warm-up pass so first-touch page faults and lazy static init don't bill
+  // the serial run; then measure best-of-two per thread count.
+  (void)run_at(1);
+  auto best = [&](int threads) {
+    Run a = run_at(threads);
+    Run b = run_at(threads);
+    return b.cpu < a.cpu ? b : a;
+  };
+  const Run r1 = best(1);
+  const Run r4 = best(4);
+
+  const unsigned cores = std::thread::hardware_concurrency();
+  std::printf("perf_smoke region2: 1t wall=%.3fs cpu=%.3fs | 4t wall=%.3fs "
+              "cpu=%.3fs | cores=%u\n",
+              r1.wall, r1.cpu, r4.wall, r4.cpu, cores);
+
+  if (r1.nodes != r4.nodes || r1.pecs != r4.pecs ||
+      r1.violations != r4.violations) {
+    std::fprintf(stderr,
+                 "perf_smoke: DETERMINISM MISMATCH 1t vs 4t "
+                 "(nodes %zu vs %zu, pecs %zu vs %zu, violations %zu vs %zu)\n",
+                 r1.nodes, r4.nodes, r1.pecs, r4.pecs, r1.violations,
+                 r4.violations);
+    return 1;
+  }
+
+  // Absolute floor keeps timer/startup noise from dominating: region2 runs
+  // in tens of milliseconds on a fast host.
+  const double cpu_bound = 1.3 * r1.cpu + 0.05;
+  if (r4.cpu > cpu_bound) {
+    std::fprintf(stderr,
+                 "perf_smoke: 4-thread CPU %.3fs exceeds 1.3x serial "
+                 "(%.3fs, bound %.3fs)\n",
+                 r4.cpu, r1.cpu, cpu_bound);
+    return 1;
+  }
+  if (cores >= 4 && r4.wall > r1.wall + 0.05) {
+    std::fprintf(stderr,
+                 "perf_smoke: 4-thread wall %.3fs slower than serial %.3fs "
+                 "on a %u-core host\n",
+                 r4.wall, r1.wall, cores);
+    return 1;
+  }
+  std::printf("perf_smoke: OK\n");
+  return 0;
+}
