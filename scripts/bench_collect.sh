@@ -59,6 +59,23 @@ for bin in "${benches[@]}"; do
   sed "s/^{/{\"binary\":\"$name\",/" "$metrics" >> "$rows"
 done
 
+# The service load generator rides along: concurrent tenants replaying fuzz
+# edit chains against an embedded expressod, one latency-percentile row.
+# SKIP_SERVICE_LOAD=1 opts out; SERVICE_LOAD_ARGS overrides the shape.
+if [ "${SKIP_SERVICE_LOAD:-0}" != 1 ] && [ -x "$BUILD_DIR/tools/expressod_load" ] && [ "$#" -eq 0 ]; then
+  name=expressod_load
+  echo "bench_collect.sh: running $name" >&2
+  # shellcheck disable=SC2086
+  EXPRESSO_BENCH_JSON=1 "$BUILD_DIR/tools/$name" \
+    ${SERVICE_LOAD_ARGS:---tenants 4 --edits 50} \
+    > "$tmpdir/$name.out" 2>&2 || {
+      echo "bench_collect.sh: $name failed" >&2
+      exit 1
+    }
+  sed -n 's/^JSON //p' "$tmpdir/$name.out" |
+    sed "s/^{/{\"binary\":\"$name\",/" >> "$rows"
+fi
+
 if [ ! -s "$rows" ]; then
   echo "bench_collect.sh: no JSON rows collected" >&2
   exit 1

@@ -47,6 +47,21 @@ ctest --test-dir "$BUILD_DIR" --output-on-failure -L fuzz -LE incremental
 # this run is for visibility when a sweep is what broke).
 ctest --test-dir "$BUILD_DIR" --output-on-failure -L gc
 
+# expressod service tier: end-to-end bit-identity over a 50-edit chain,
+# wire-protocol robustness and multi-tenant scheduling (fairness, eviction,
+# coalescing) against a loopback server.
+ctest --test-dir "$BUILD_DIR" --output-on-failure -L service
+
+# The ServiceProtocol suite again under AddressSanitizer: truncated frames,
+# oversized length prefixes and mid-request disconnects exercise exactly the
+# buffer-edge and connection-teardown paths where an overread would hide.
+# SKIP_ASAN_SOAK=1 opts out (same knob as the GC ASan pass below).
+if [ "$PRESET" != asan ] && [ "${SKIP_ASAN_SOAK:-0}" != 1 ]; then
+  cmake --preset asan
+  cmake --build --preset asan -j "$JOBS" --target expresso_service_tests
+  ctest --test-dir build-asan --output-on-failure -R 'service/ServiceProtocol'
+fi
+
 # The GC suite again under AddressSanitizer: sweeps recycle node ids and
 # release whole chunks — exactly where a stale pointer would hide.  Reduced
 # campaign sizes keep the sanitized pass quick; SKIP_ASAN_SOAK=1 opts out.

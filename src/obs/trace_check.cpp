@@ -255,6 +255,10 @@ bool require_field(const JsonValue& ev, const char* key,
 }  // namespace
 
 bool parse_json(const std::string& text, JsonValue& out, std::string& error) {
+  // Reset `out` so a reused JsonValue cannot leak state between parses:
+  // parse_object emplaces into `members`, which would silently keep a stale
+  // value for any key the previous document also had.
+  out = JsonValue{};
   return Parser(text, error).parse(out);
 }
 

@@ -1,0 +1,214 @@
+#include "service/client.hpp"
+
+#include <arpa/inet.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <stdexcept>
+
+#include "service/protocol.hpp"
+#include "support/json_writer.hpp"
+
+namespace expresso::service {
+
+Client::~Client() { close(); }
+
+void Client::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void Client::connect(const std::string& host, std::uint16_t port) {
+  close();
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw std::runtime_error("client: socket() failed");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    // Resolve a hostname; numeric addresses took the fast path above.
+    addrinfo hints{};
+    hints.ai_family = AF_INET;
+    hints.ai_socktype = SOCK_STREAM;
+    addrinfo* res = nullptr;
+    if (::getaddrinfo(host.c_str(), nullptr, &hints, &res) != 0 ||
+        res == nullptr) {
+      ::close(fd);
+      throw std::runtime_error("client: cannot resolve host " + host);
+    }
+    addr.sin_addr = reinterpret_cast<sockaddr_in*>(res->ai_addr)->sin_addr;
+    ::freeaddrinfo(res);
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    const std::string err = std::strerror(errno);
+    ::close(fd);
+    throw std::runtime_error("client: connect to " + host + ":" +
+                             std::to_string(port) + " failed: " + err);
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  fd_ = fd;
+}
+
+void Client::send_raw(const std::string& payload) {
+  if (fd_ < 0) throw std::runtime_error("client: not connected");
+  if (!write_frame(fd_, payload)) {
+    throw std::runtime_error("client: connection lost while sending");
+  }
+}
+
+bool Client::recv(obs::JsonValue& out) {
+  if (fd_ < 0) throw std::runtime_error("client: not connected");
+  std::string payload;
+  switch (read_frame(fd_, payload)) {
+    case FrameStatus::kOk: break;
+    case FrameStatus::kEof: return false;
+    case FrameStatus::kTruncated:
+      throw std::runtime_error("client: connection lost mid-frame");
+    case FrameStatus::kOversized:
+      throw std::runtime_error("client: oversized response frame");
+    case FrameStatus::kError:
+      throw std::runtime_error("client: read failed");
+  }
+  std::string error;
+  if (!obs::parse_json(payload, out, error)) {
+    throw std::runtime_error("client: malformed response JSON: " + error);
+  }
+  return true;
+}
+
+std::string Client::update_payload(const std::string& tenant,
+                                   const std::string& config,
+                                   const std::vector<std::string>& blackhole,
+                                   std::uint64_t id) {
+  support::JsonWriter w;
+  w.begin_object()
+      .key("op").value("update")
+      .key("id").value(static_cast<std::uint64_t>(id))
+      .key("tenant").value(tenant)
+      .key("config").value(config);
+  if (!blackhole.empty()) {
+    w.key("blackhole").begin_array();
+    for (const auto& p : blackhole) w.value(p);
+    w.end_array();
+  }
+  w.end_object();
+  return w.take();
+}
+
+Client::UpdateResult Client::update(const std::string& tenant,
+                                    const std::string& config,
+                                    const std::vector<std::string>& blackhole,
+                                    std::uint64_t id) {
+  send_raw(update_payload(tenant, config, blackhole, id));
+  return collect(id);
+}
+
+Client::UpdateResult Client::collect(std::uint64_t id) {
+  UpdateResult result;
+  for (;;) {
+    obs::JsonValue frame;
+    std::string payload;
+    switch (read_frame(fd_, payload)) {
+      case FrameStatus::kOk: break;
+      case FrameStatus::kEof:
+        throw std::runtime_error("client: connection closed mid-stream");
+      case FrameStatus::kTruncated:
+        throw std::runtime_error("client: connection lost mid-frame");
+      case FrameStatus::kOversized:
+        throw std::runtime_error("client: oversized response frame");
+      case FrameStatus::kError:
+        throw std::runtime_error("client: read failed");
+    }
+    std::string error;
+    if (!obs::parse_json(payload, frame, error)) {
+      throw std::runtime_error("client: malformed response JSON: " + error);
+    }
+    const obs::JsonValue* kind = frame.find("kind");
+    if (kind == nullptr || kind->kind != obs::JsonValue::Kind::String) {
+      throw std::runtime_error("client: response frame lacks \"kind\"");
+    }
+    const obs::JsonValue* fid = frame.find("id");
+    const std::uint64_t frame_id =
+        (fid != nullptr && fid->kind == obs::JsonValue::Kind::Number &&
+         fid->num >= 0)
+            ? static_cast<std::uint64_t>(fid->num)
+            : 0;
+    if (frame_id != id) continue;  // another in-flight request's stream
+    if (kind->str == "verdict") {
+      result.verdict_payloads.push_back(std::move(payload));
+      continue;
+    }
+    if (kind->str == "done") {
+      result.ok = true;
+      if (const auto* v = frame.find("warm");
+          v != nullptr && v->kind == obs::JsonValue::Kind::Bool) {
+        result.warm = v->b;
+      }
+      if (const auto* v = frame.find("converged");
+          v != nullptr && v->kind == obs::JsonValue::Kind::Bool) {
+        result.converged = v->b;
+      }
+      if (const auto* v = frame.find("coalesced");
+          v != nullptr && v->kind == obs::JsonValue::Kind::Number) {
+        result.coalesced = static_cast<std::uint64_t>(v->num);
+      }
+      if (const auto* v = frame.find("queue_wait_ms");
+          v != nullptr && v->kind == obs::JsonValue::Kind::Number) {
+        result.queue_wait_ms = v->num;
+      }
+      if (const auto* v = frame.find("verify_ms");
+          v != nullptr && v->kind == obs::JsonValue::Kind::Number) {
+        result.verify_ms = v->num;
+      }
+      return result;
+    }
+    if (kind->str == "error") {
+      result.ok = false;
+      if (const auto* m = frame.find("message");
+          m != nullptr && m->kind == obs::JsonValue::Kind::String) {
+        result.error = m->str;
+      }
+      return result;
+    }
+    throw std::runtime_error("client: unexpected frame kind \"" + kind->str +
+                             "\"");
+  }
+}
+
+bool Client::hello() {
+  support::JsonWriter w;
+  w.begin_object().key("op").value("hello").key("id").value(
+      static_cast<std::uint64_t>(0));
+  w.end_object();
+  try {
+    send_raw(w.take());
+    obs::JsonValue frame;
+    if (!recv(frame)) return false;
+    const obs::JsonValue* kind = frame.find("kind");
+    return kind != nullptr && kind->kind == obs::JsonValue::Kind::String &&
+           kind->str == "hello";
+  } catch (const std::exception&) {
+    return false;
+  }
+}
+
+std::string Client::metrics() {
+  support::JsonWriter w;
+  w.begin_object().key("op").value("metrics").end_object();
+  send_raw(w.take());
+  if (fd_ < 0) throw std::runtime_error("client: not connected");
+  std::string payload;
+  if (read_frame(fd_, payload) != FrameStatus::kOk) {
+    throw std::runtime_error("client: metrics read failed");
+  }
+  return payload;
+}
+
+}  // namespace expresso::service

@@ -1,0 +1,79 @@
+// Client library for the `expressod` protocol (service/protocol.hpp).
+//
+// Thin and synchronous: connect(), push a snapshot with update() and block
+// until the verdict stream's terminating frame, or drive the wire directly
+// with send_raw()/recv() (the robustness tests and the pipelined load
+// generator do).  One Client owns one connection; it is not thread-safe —
+// the load generator gives each tenant thread its own Client.
+//
+// Responses are demultiplexed by the echoed request "id": update() discards
+// frames for other ids (a pipelined caller should use send_raw + recv and
+// demux itself).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/trace_check.hpp"
+
+namespace expresso::service {
+
+class Client {
+ public:
+  Client() = default;
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  // Throws std::runtime_error on failure.
+  void connect(const std::string& host, std::uint16_t port);
+  bool connected() const { return fd_ >= 0; }
+  void close();
+
+  // --- raw wire access -----------------------------------------------------
+  // Sends one frame; throws when the connection is gone.
+  void send_raw(const std::string& payload);
+  // Reads one frame and strictly parses it.  Returns false on orderly EOF;
+  // throws on protocol damage (truncation, oversize, bad JSON).
+  bool recv(obs::JsonValue& out);
+
+  // --- typed helpers -------------------------------------------------------
+
+  struct UpdateResult {
+    bool ok = false;             // terminating frame was "done", not "error"
+    std::string error;           // message when !ok
+    // Raw payload bytes of every {"kind":"verdict"} frame, in arrival
+    // order — the unit the end-to-end test compares bit-for-bit.
+    std::vector<std::string> verdict_payloads;
+    bool warm = false;
+    bool converged = false;
+    std::uint64_t coalesced = 0;
+    double queue_wait_ms = 0;
+    double verify_ms = 0;
+  };
+
+  // Builds an update request for `tenant` carrying the full snapshot text
+  // (and optional blackhole prefix strings), sends it, and reads frames
+  // until this id's "done"/"error".  Throws on connection damage.
+  UpdateResult update(const std::string& tenant, const std::string& config,
+                      const std::vector<std::string>& blackhole = {},
+                      std::uint64_t id = 0);
+  // The same request's wire payload without sending it (for pipelining).
+  static std::string update_payload(
+      const std::string& tenant, const std::string& config,
+      const std::vector<std::string>& blackhole = {}, std::uint64_t id = 0);
+  // Collects one in-flight update's response stream by id (after send_raw).
+  UpdateResult collect(std::uint64_t id);
+
+  // {"op":"hello"} handshake; returns false on any mismatch.
+  bool hello();
+  // Raw metrics document from {"op":"metrics"}.
+  std::string metrics();
+
+ private:
+  int fd_ = -1;
+};
+
+}  // namespace expresso::service

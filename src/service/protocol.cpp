@@ -1,0 +1,236 @@
+#include "service/protocol.hpp"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+#include "support/json_writer.hpp"
+
+namespace expresso::service {
+
+namespace {
+
+// Reads exactly `n` bytes; returns n on success, 0 on clean EOF before the
+// first byte, -1 on mid-read EOF or error.
+ssize_t read_exact(int fd, char* buf, std::size_t n) {
+  std::size_t got = 0;
+  while (got < n) {
+    const ssize_t r = ::read(fd, buf + got, n - got);
+    if (r == 0) return got == 0 ? 0 : -1;
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return -1;
+    }
+    got += static_cast<std::size_t>(r);
+  }
+  return static_cast<ssize_t>(got);
+}
+
+}  // namespace
+
+FrameStatus read_frame(int fd, std::string& payload) {
+  unsigned char hdr[4];
+  const ssize_t h = read_exact(fd, reinterpret_cast<char*>(hdr), 4);
+  if (h == 0) return FrameStatus::kEof;
+  if (h < 0) return FrameStatus::kTruncated;
+  const std::uint32_t len = (static_cast<std::uint32_t>(hdr[0]) << 24) |
+                            (static_cast<std::uint32_t>(hdr[1]) << 16) |
+                            (static_cast<std::uint32_t>(hdr[2]) << 8) |
+                            static_cast<std::uint32_t>(hdr[3]);
+  if (len > kMaxFrameBytes) return FrameStatus::kOversized;
+  payload.resize(len);
+  if (len > 0 && read_exact(fd, payload.data(), len) <= 0) {
+    return FrameStatus::kTruncated;
+  }
+  return FrameStatus::kOk;
+}
+
+bool write_frame(int fd, const std::string& payload) {
+  if (payload.size() > kMaxFrameBytes) return false;
+  const std::uint32_t len = static_cast<std::uint32_t>(payload.size());
+  std::string buf;
+  buf.reserve(4 + payload.size());
+  buf.push_back(static_cast<char>((len >> 24) & 0xff));
+  buf.push_back(static_cast<char>((len >> 16) & 0xff));
+  buf.push_back(static_cast<char>((len >> 8) & 0xff));
+  buf.push_back(static_cast<char>(len & 0xff));
+  buf += payload;
+  std::size_t sent = 0;
+  while (sent < buf.size()) {
+    // MSG_NOSIGNAL: a peer that disconnected mid-response must surface as a
+    // write error on this call, not a process-wide SIGPIPE.
+    const ssize_t w =
+        ::send(fd, buf.data() + sent, buf.size() - sent, MSG_NOSIGNAL);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<std::size_t>(w);
+  }
+  return true;
+}
+
+std::string canonical_condition(const bdd::Manager& m, bdd::NodeId f) {
+  if (f == bdd::kFalse) return "F";
+  if (f == bdd::kTrue) return "T";
+  // Preorder DFS, low edge first.  The visit order — and therefore the dense
+  // renumbering — is a function of the graph's structure alone, so
+  // structurally equal nodes in different managers render identically.
+  std::vector<bdd::NodeId> order;
+  std::vector<std::uint32_t> index_of;  // NodeId -> preorder index + 2
+  auto lookup = [&index_of](bdd::NodeId id) -> std::uint32_t& {
+    if (index_of.size() <= id) index_of.resize(id + 1, 0);
+    return index_of[id];
+  };
+  std::vector<bdd::NodeId> stack{f};
+  while (!stack.empty()) {
+    const bdd::NodeId id = stack.back();
+    stack.pop_back();
+    if (id == bdd::kFalse || id == bdd::kTrue) continue;
+    std::uint32_t& slot = lookup(id);
+    if (slot != 0) continue;
+    slot = static_cast<std::uint32_t>(order.size()) + 2;
+    order.push_back(id);
+    const auto n = m.at(id);
+    // stack is LIFO: push high first so low is visited first.
+    stack.push_back(n.hi);
+    stack.push_back(n.lo);
+  }
+  auto ref = [&](bdd::NodeId id) -> std::string {
+    if (id == bdd::kFalse) return "F";
+    if (id == bdd::kTrue) return "T";
+    return std::to_string(lookup(id) - 2);
+  };
+  std::string out;
+  out.reserve(order.size() * 12);
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    const auto n = m.at(order[i]);
+    if (i) out += ';';
+    out += std::to_string(n.var);
+    out += ':';
+    out += ref(n.lo);
+    out += ':';
+    out += ref(n.hi);
+  }
+  return out;
+}
+
+namespace {
+
+struct RenderedViolation {
+  std::string node;
+  std::vector<std::string> path;
+  std::string condition;
+  std::string detail;
+
+  bool operator<(const RenderedViolation& o) const {
+    if (node != o.node) return node < o.node;
+    if (path != o.path) return path < o.path;
+    if (condition != o.condition) return condition < o.condition;
+    return detail < o.detail;
+  }
+};
+
+std::string render_frame(const std::string& tenant, std::uint64_t id,
+                         const char* property,
+                         std::vector<RenderedViolation> violations) {
+  std::sort(violations.begin(), violations.end());
+  support::JsonWriter w;
+  w.begin_object()
+      .key("kind").value("verdict")
+      .key("id").value(static_cast<std::uint64_t>(id))
+      .key("tenant").value(tenant)
+      .key("property").value(property);
+  w.key("violations").begin_array();
+  for (const auto& v : violations) {
+    w.begin_object().key("node").value(v.node);
+    w.key("path").begin_array();
+    for (const auto& hop : v.path) w.value(hop);
+    w.end_array();
+    w.key("condition").value(v.condition)
+        .key("detail").value(v.detail)
+        .end_object();
+  }
+  w.end_array().end_object();
+  return w.take();
+}
+
+}  // namespace
+
+std::vector<std::string> verdict_frames(
+    Session& session, const std::string& tenant, std::uint64_t id,
+    const std::vector<net::Ipv4Prefix>& blackhole) {
+  struct Check {
+    const char* property;
+    std::vector<properties::Violation> violations;
+  };
+  std::vector<Check> checks;
+  checks.push_back({"route_leak_free", session.check_route_leak_free()});
+  checks.push_back({"route_hijack_free", session.check_route_hijack_free()});
+  checks.push_back({"loop_free", session.check_loop_free()});
+  checks.push_back({"traffic_hijack_free", session.check_traffic_hijack_free()});
+  if (!blackhole.empty()) {
+    checks.push_back({"blackhole_free", session.check_blackhole_free(blackhole)});
+  }
+
+  const auto& mgr = session.engine().encoding().mgr();
+  const auto& nodes = session.network().nodes();
+  auto name_of = [&nodes](net::NodeIndex u) -> std::string {
+    return u < nodes.size() ? nodes[u].name : "#" + std::to_string(u);
+  };
+
+  std::vector<std::string> frames;
+  frames.reserve(checks.size());
+  for (auto& c : checks) {
+    std::vector<RenderedViolation> rendered;
+    rendered.reserve(c.violations.size());
+    for (const auto& v : c.violations) {
+      RenderedViolation r;
+      r.node = name_of(v.node);
+      r.path.reserve(v.path.size());
+      for (const auto hop : v.path) r.path.push_back(name_of(hop));
+      r.condition = canonical_condition(mgr, v.condition);
+      r.detail = v.detail;
+      rendered.push_back(std::move(r));
+    }
+    frames.push_back(render_frame(tenant, id, c.property, std::move(rendered)));
+  }
+  return frames;
+}
+
+std::string error_payload(std::uint64_t id, const std::string& message,
+                          bool fatal) {
+  support::JsonWriter w;
+  w.begin_object()
+      .key("kind").value("error")
+      .key("id").value(static_cast<std::uint64_t>(id))
+      .key("message").value(message)
+      .key("fatal").value(fatal)
+      .end_object();
+  return w.take();
+}
+
+std::string hello_payload(std::uint64_t id) {
+  support::JsonWriter w;
+  w.begin_object()
+      .key("kind").value("hello")
+      .key("id").value(static_cast<std::uint64_t>(id))
+      .key("server").value("expressod")
+      .key("version").value(static_cast<std::uint64_t>(kProtocolVersion))
+      .end_object();
+  return w.take();
+}
+
+std::string pong_payload(std::uint64_t id) {
+  support::JsonWriter w;
+  w.begin_object()
+      .key("kind").value("pong")
+      .key("id").value(static_cast<std::uint64_t>(id))
+      .end_object();
+  return w.take();
+}
+
+}  // namespace expresso::service

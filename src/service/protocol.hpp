@@ -1,0 +1,101 @@
+// Wire protocol of the `expressod` verification service (DESIGN.md §11).
+//
+// Framing: every message — request or response — is one frame: a 4-byte
+// big-endian unsigned payload length followed by that many bytes of UTF-8
+// JSON.  Frames larger than kMaxFrameBytes are a protocol error; the peer
+// answers with a fatal error frame and tears the connection down.  Emission
+// goes through support::JsonWriter (the tree's single escaping
+// implementation); ingestion through obs::parse_json (the strict RFC 8259
+// parser the trace validator uses), so a malformed request can never be
+// half-understood.
+//
+// Requests are JSON objects dispatched on "op":
+//
+//   {"op":"hello","id":N}
+//   {"op":"update","id":N,"tenant":"...","config":"<full snapshot text>",
+//    "blackhole":["10.0.0.0/24",...]}      // blackhole list optional
+//   {"op":"metrics","id":N}
+//   {"op":"ping","id":N}
+//
+// Responses echo "id" (0 when the request had none).  An "update" response
+// is a *stream*: one {"kind":"verdict",...} frame per property check (the
+// frames of one request are written contiguously), terminated by a
+// {"kind":"done",...} frame carrying warm/coalesced/queue-wait/verify-time
+// fields — or a single {"kind":"error","message":...} frame.  Errors carry
+// "fatal":true when the connection is about to be closed (framing-level
+// violations); all other errors leave the connection usable.
+//
+// Verdict frames are canonical: violations are sorted and BDD advertiser
+// conditions rendered by canonical_condition(), so two Sessions that agree
+// under bdd::structurally_equal produce byte-identical frames.  The
+// end-to-end service test replays an edit chain through a live server and an
+// in-process Session and literally string-compares the frames.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bdd/bdd.hpp"
+#include "expresso/session.hpp"
+#include "net/prefix.hpp"
+
+namespace expresso::service {
+
+// Framing-level ceiling: a length prefix above this is a protocol violation
+// (it would otherwise let one peer commit the server to a 4 GiB read).
+inline constexpr std::size_t kMaxFrameBytes = 16u << 20;
+
+inline constexpr int kProtocolVersion = 1;
+
+// --- frame I/O over a connected socket -------------------------------------
+
+enum class FrameStatus {
+  kOk,        // one complete frame read
+  kEof,       // orderly shutdown on a frame boundary
+  kTruncated, // EOF mid-header or mid-payload
+  kOversized, // length prefix exceeds kMaxFrameBytes
+  kError,     // read/write syscall failure
+};
+
+// Blocking read of one frame.  `payload` is only valid on kOk.
+FrameStatus read_frame(int fd, std::string& payload);
+
+// Blocking write of header + payload (loops over partial writes, suppresses
+// SIGPIPE).  Returns false when the peer is gone.
+bool write_frame(int fd, const std::string& payload);
+
+// --- canonical verdict serialization ---------------------------------------
+
+// Renders the BDD rooted at `f` into a canonical structural string: "F"/"T"
+// for terminals, otherwise a preorder (low edge first) listing of the DAG,
+// one "var:lo:hi" triple per node with node references given as preorder
+// indices.  Two nodes satisfy bdd::structurally_equal iff their renderings
+// are byte-identical, which is what lets the service stream verdicts from a
+// different manager than the one a test compares against.
+std::string canonical_condition(const bdd::Manager& m, bdd::NodeId f);
+
+// Runs the standard property battery (route-leak, route-hijack, loop,
+// traffic-hijack, and — when `blackhole` is non-empty — blackhole freedom)
+// on `session` and renders one canonical verdict frame per property:
+//
+//   {"kind":"verdict","id":N,"tenant":"...","property":"...",
+//    "violations":[{"node":"...","path":[...],"condition":"...",
+//                   "detail":"..."}]}
+//
+// Violations are sorted by (node, path, condition, detail), so frame bytes
+// do not depend on analyzer iteration order.  Drives SRC/SPF as needed.
+// Shared by the server worker and the end-to-end test's in-process replica.
+std::vector<std::string> verdict_frames(
+    Session& session, const std::string& tenant, std::uint64_t id,
+    const std::vector<net::Ipv4Prefix>& blackhole);
+
+// --- response builders (server side, also convenient for tests) ------------
+
+std::string error_payload(std::uint64_t id, const std::string& message,
+                          bool fatal);
+std::string hello_payload(std::uint64_t id);
+std::string pong_payload(std::uint64_t id);
+
+}  // namespace expresso::service

@@ -1,0 +1,538 @@
+#include "service/server.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <cstring>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "expresso/session.hpp"
+#include "net/prefix.hpp"
+#include "obs/trace_check.hpp"
+#include "service/protocol.hpp"
+#include "support/json_writer.hpp"
+
+namespace expresso::service {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_between(Clock::time_point a, Clock::time_point b) {
+  return std::chrono::duration<double>(b - a).count();
+}
+
+// One accepted socket.  Writers from any thread serialize on write_mu so the
+// frames of one response stream stay contiguous on the wire; the fd is
+// closed only when the last reference drops, so a worker finishing a verify
+// after the reader saw EOF writes into a dead-but-valid descriptor instead
+// of a recycled one.
+struct Connection {
+  explicit Connection(int fd) : fd(fd) {}
+  ~Connection() {
+    if (fd >= 0) ::close(fd);
+  }
+
+  // Writes a batch of frames back-to-back.  Returns false once the peer is
+  // gone (and stays false: a half-written stream must not resume).
+  bool send(const std::vector<std::string>& payloads) {
+    std::lock_guard<std::mutex> lock(write_mu);
+    if (!open.load(std::memory_order_relaxed)) return false;
+    for (const auto& p : payloads) {
+      if (!write_frame(fd, p)) {
+        open.store(false, std::memory_order_relaxed);
+        return false;
+      }
+    }
+    return true;
+  }
+  bool send_one(const std::string& payload) {
+    return send(std::vector<std::string>{payload});
+  }
+  void shutdown_now() {
+    open.store(false, std::memory_order_relaxed);
+    ::shutdown(fd, SHUT_RDWR);
+  }
+
+  const int fd;
+  std::mutex write_mu;
+  std::atomic<bool> open{true};
+};
+
+struct PendingRequest {
+  std::shared_ptr<Connection> conn;
+  std::uint64_t id = 0;
+  std::string config;
+  std::vector<net::Ipv4Prefix> blackhole;
+  Clock::time_point enqueued;
+};
+
+// Per-tenant state.  `queued`/`running` keep the tenant's Session
+// single-threaded: a tenant sits in the run queue at most once, and while a
+// worker verifies it, newly arriving requests only pile into `pending`.
+struct Tenant {
+  explicit Tenant(std::string name) : name(std::move(name)) {}
+
+  const std::string name;
+  std::unique_ptr<Session> session;  // created lazily by the first verify
+  std::deque<PendingRequest> pending;
+  bool queued = false;
+  bool running = false;
+  std::size_t last_bdd_nodes = 0;  // stats().bdd_nodes after the last verify
+  Clock::time_point last_active = Clock::now();
+};
+
+}  // namespace
+
+struct Server::Impl {
+  explicit Impl(ServerOptions opt) : options(opt) {}
+
+  ServerOptions options;
+  obs::Registry registry;
+
+  int listen_fd = -1;
+  std::uint16_t bound_port = 0;
+  std::atomic<bool> started{false};
+  bool stopping = false;  // guarded by mu
+
+  std::mutex mu;
+  std::condition_variable work_cv;
+  std::map<std::string, std::unique_ptr<Tenant>> tenants;
+  std::deque<Tenant*> run_queue;
+
+  std::thread acceptor;
+  std::vector<std::thread> workers;
+  std::vector<std::thread> readers;                  // guarded by mu
+  std::vector<std::shared_ptr<Connection>> conns;    // guarded by mu
+
+  // --- admission -----------------------------------------------------------
+
+  void admit(const std::shared_ptr<Connection>& conn, std::uint64_t id,
+             const std::string& tenant_name, std::string config,
+             std::vector<net::Ipv4Prefix> blackhole) {
+    registry.counter("service.updates").inc();
+    std::unique_lock<std::mutex> lock(mu);
+    if (stopping) {
+      lock.unlock();
+      conn->send_one(error_payload(id, "server shutting down", false));
+      return;
+    }
+    auto it = tenants.find(tenant_name);
+    if (it == tenants.end()) {
+      // Admitting a new tenant beyond the ceiling evicts the coldest idle
+      // session; when every resident session is busy the request is refused
+      // rather than queued unboundedly.
+      if (tenants.size() >= options.max_sessions &&
+          !evict_one_idle_locked()) {
+        registry.counter("service.rejected").inc();
+        lock.unlock();
+        conn->send_one(error_payload(
+            id, "server full: " + std::to_string(options.max_sessions) +
+                    " sessions resident, none evictable",
+            false));
+        return;
+      }
+      it = tenants.emplace(tenant_name,
+                           std::make_unique<Tenant>(tenant_name)).first;
+      registry.gauge("service.active_sessions")
+          .set(static_cast<double>(tenants.size()));
+    }
+    Tenant* t = it->second.get();
+    t->pending.push_back(PendingRequest{conn, id, std::move(config),
+                                        std::move(blackhole), Clock::now()});
+    if (!t->queued && !t->running) {
+      t->queued = true;
+      run_queue.push_back(t);
+      work_cv.notify_one();
+    } else {
+      // The burst will collapse into the tenant's next verify.
+      registry.counter("service.coalesced").inc();
+    }
+  }
+
+  // --- eviction (mu held) --------------------------------------------------
+
+  bool evictable(const Tenant& t) const {
+    return !t.queued && !t.running && t.pending.empty();
+  }
+
+  // Iterator to the coldest idle tenant, or end() when everything is busy.
+  std::map<std::string, std::unique_ptr<Tenant>>::iterator
+  coldest_idle_locked() {
+    auto coldest = tenants.end();
+    for (auto it = tenants.begin(); it != tenants.end(); ++it) {
+      if (!evictable(*it->second)) continue;
+      if (coldest == tenants.end() ||
+          it->second->last_active < coldest->second->last_active) {
+        coldest = it;
+      }
+    }
+    return coldest;
+  }
+
+  // Destroys the coldest idle session.  Returns false when nothing is idle.
+  bool evict_one_idle_locked() {
+    const auto coldest = coldest_idle_locked();
+    if (coldest == tenants.end()) return false;
+    registry.counter("service.evictions").inc();
+    tenants.erase(coldest);
+    registry.gauge("service.active_sessions")
+        .set(static_cast<double>(tenants.size()));
+    return true;
+  }
+
+  void enforce_watermark_locked() {
+    std::size_t total = 0;
+    for (const auto& [name, t] : tenants) total += t->last_bdd_nodes;
+    registry.gauge("service.bdd_nodes_total").set(static_cast<double>(total));
+    if (options.max_total_bdd_nodes == 0) return;
+    while (total > options.max_total_bdd_nodes) {
+      const auto coldest = coldest_idle_locked();
+      if (coldest == tenants.end()) break;  // everything hot; retry later
+      total -= coldest->second->last_bdd_nodes;
+      registry.counter("service.evictions").inc();
+      tenants.erase(coldest);
+    }
+    registry.gauge("service.active_sessions")
+        .set(static_cast<double>(tenants.size()));
+    registry.gauge("service.bdd_nodes_total").set(static_cast<double>(total));
+  }
+
+  // --- verify workers ------------------------------------------------------
+
+  void worker_main() {
+    for (;;) {
+      Tenant* t = nullptr;
+      {
+        std::unique_lock<std::mutex> lock(mu);
+        work_cv.wait(lock, [&] { return stopping || !run_queue.empty(); });
+        if (stopping && run_queue.empty()) return;
+        t = run_queue.front();
+        run_queue.pop_front();
+        t->queued = false;
+        t->running = true;
+      }
+      if (options.coalesce_ms > 0) {
+        // Linger so a rapid burst of edits lands in this drain.
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(options.coalesce_ms));
+      }
+      std::vector<PendingRequest> batch;
+      {
+        std::lock_guard<std::mutex> lock(mu);
+        const auto now = Clock::now();
+        auto& hist = registry.histogram("service.queue_wait");
+        while (!t->pending.empty()) {
+          hist.observe(seconds_between(t->pending.front().enqueued, now));
+          batch.push_back(std::move(t->pending.front()));
+          t->pending.pop_front();
+        }
+      }
+      if (!batch.empty()) verify_batch(*t, batch);
+      {
+        std::lock_guard<std::mutex> lock(mu);
+        t->running = false;
+        t->last_active = Clock::now();
+        if (t->session) t->last_bdd_nodes = t->session->stats().bdd_nodes;
+        if (!t->pending.empty() && !stopping && !t->queued) {
+          // Work arrived while verifying: back of the queue, not the front —
+          // other tenants go first.
+          t->queued = true;
+          run_queue.push_back(t);
+          work_cv.notify_one();
+        }
+        enforce_watermark_locked();
+      }
+    }
+  }
+
+  void verify_batch(Tenant& t, std::vector<PendingRequest>& batch) {
+    // The whole burst collapses into one re-verify of the *latest* snapshot;
+    // every drained request is answered with that run's verdicts.
+    const PendingRequest& last = batch.back();
+    const Clock::time_point verify_start = Clock::now();
+    bool warm = false;
+    bool converged = false;
+    try {
+      if (!t.session) {
+        Session::SessionOptions so;
+        so.engine.threads = options.session_threads;
+        so.bdd_gc = true;
+        so.max_bdd_nodes = options.per_session_bdd_budget;
+        so.verify_warm = options.verify_warm;
+        so.metrics_label = "expressod/" + t.name;
+        t.session = std::make_unique<Session>(so);
+        registry.counter("service.sessions_created").inc();
+      }
+      t.session->update(last.config);
+      t.session->run_src();
+      warm = t.session->stats().warm;
+      converged = t.session->stats().converged;
+      registry.counter("service.verifies").inc();
+    } catch (const std::exception& e) {
+      // A snapshot the pipeline rejects (parse error, malformed policy)
+      // must not wedge the tenant: answer every request with the error and
+      // drop the session so the next push cold-loads from a clean slate.
+      registry.counter("service.verify_errors").inc();
+      t.session.reset();
+      const std::string msg = std::string("verify failed: ") + e.what();
+      for (const auto& req : batch) {
+        if (!req.conn->send_one(error_payload(req.id, msg, false))) {
+          registry.counter("service.dropped_responses").inc();
+        }
+      }
+      return;
+    }
+    registry.timer("service.verify")
+        .add(seconds_between(verify_start, Clock::now()));
+
+    const std::uint64_t coalesced = batch.size() - 1;
+    for (const auto& req : batch) {
+      // Property checks are memoized per generation, so re-rendering the
+      // battery per coalesced request costs serialization only.
+      std::vector<std::string> frames;
+      try {
+        frames = verdict_frames(*t.session, t.name, req.id, last.blackhole);
+      } catch (const std::exception& e) {
+        registry.counter("service.verify_errors").inc();
+        if (!req.conn->send_one(error_payload(
+                req.id, std::string("verdict rendering failed: ") + e.what(),
+                false))) {
+          registry.counter("service.dropped_responses").inc();
+        }
+        continue;
+      }
+      support::JsonWriter done;
+      done.begin_object()
+          .key("kind").value("done")
+          .key("id").value(static_cast<std::uint64_t>(req.id))
+          .key("tenant").value(t.name)
+          .key("warm").value(warm)
+          .key("converged").value(converged)
+          .key("coalesced").value(coalesced)
+          .key("queue_wait_ms")
+          .value_short(seconds_between(req.enqueued, verify_start) * 1e3)
+          .key("verify_ms")
+          .value_short(seconds_between(verify_start, Clock::now()) * 1e3)
+          .end_object();
+      frames.push_back(done.take());
+      if (!req.conn->send(frames)) {
+        registry.counter("service.dropped_responses").inc();
+      }
+    }
+  }
+
+  // --- per-connection reader ----------------------------------------------
+
+  static std::uint64_t request_id(const obs::JsonValue& req) {
+    const obs::JsonValue* id = req.find("id");
+    if (id == nullptr || id->kind != obs::JsonValue::Kind::Number ||
+        id->num < 0) {
+      return 0;
+    }
+    return static_cast<std::uint64_t>(id->num);
+  }
+
+  void reader_main(std::shared_ptr<Connection> conn) {
+    std::string payload;
+    for (;;) {
+      const FrameStatus st = read_frame(conn->fd, payload);
+      if (st == FrameStatus::kEof) break;
+      if (st == FrameStatus::kTruncated || st == FrameStatus::kError) {
+        // Mid-frame disconnects are routine client behavior, not a server
+        // fault: count and tear down.
+        registry.counter("service.protocol_errors").inc();
+        break;
+      }
+      if (st == FrameStatus::kOversized) {
+        registry.counter("service.protocol_errors").inc();
+        conn->send_one(error_payload(
+            0, "frame exceeds " + std::to_string(kMaxFrameBytes) + " bytes",
+            true));
+        break;
+      }
+      registry.counter("service.requests").inc();
+      obs::JsonValue req;
+      std::string error;
+      if (!obs::parse_json(payload, req, error)) {
+        registry.counter("service.protocol_errors").inc();
+        conn->send_one(error_payload(0, "malformed JSON: " + error, false));
+        continue;
+      }
+      const obs::JsonValue* op = req.find("op");
+      if (op == nullptr || op->kind != obs::JsonValue::Kind::String) {
+        registry.counter("service.protocol_errors").inc();
+        conn->send_one(error_payload(request_id(req),
+                                     "request lacks a string \"op\"", false));
+        continue;
+      }
+      handle_request(conn, op->str, req);
+    }
+    conn->shutdown_now();
+  }
+
+  void handle_request(const std::shared_ptr<Connection>& conn,
+                      const std::string& op, const obs::JsonValue& req) {
+    const std::uint64_t id = request_id(req);
+    if (op == "hello") {
+      conn->send_one(hello_payload(id));
+      return;
+    }
+    if (op == "ping") {
+      conn->send_one(pong_payload(id));
+      return;
+    }
+    if (op == "metrics") {
+      conn->send_one(registry.to_json_document("expressod"));
+      return;
+    }
+    if (op == "update") {
+      const obs::JsonValue* tenant = req.find("tenant");
+      const obs::JsonValue* config = req.find("config");
+      if (tenant == nullptr || tenant->kind != obs::JsonValue::Kind::String ||
+          tenant->str.empty() || config == nullptr ||
+          config->kind != obs::JsonValue::Kind::String) {
+        conn->send_one(error_payload(
+            id, "update needs string \"tenant\" and \"config\"", false));
+        return;
+      }
+      std::vector<net::Ipv4Prefix> blackhole;
+      if (const obs::JsonValue* bh = req.find("blackhole")) {
+        if (bh->kind != obs::JsonValue::Kind::Array) {
+          conn->send_one(
+              error_payload(id, "\"blackhole\" must be an array", false));
+          return;
+        }
+        for (const auto& item : bh->items) {
+          std::optional<net::Ipv4Prefix> p;
+          if (item.kind == obs::JsonValue::Kind::String) {
+            p = net::Ipv4Prefix::parse(item.str);
+          }
+          if (!p) {
+            conn->send_one(error_payload(
+                id, "\"blackhole\" entries must be prefix strings", false));
+            return;
+          }
+          blackhole.push_back(*p);
+        }
+      }
+      admit(conn, id, tenant->str, config->str, std::move(blackhole));
+      return;
+    }
+    conn->send_one(error_payload(id, "unknown op \"" + op + "\"", false));
+  }
+
+  // --- acceptor ------------------------------------------------------------
+
+  void acceptor_main() {
+    for (;;) {
+      const int fd = ::accept(listen_fd, nullptr, nullptr);
+      if (fd < 0) {
+        if (errno == EINTR) continue;
+        // Listener closed (stop()) or fatally broken either way: done.
+        return;
+      }
+      const int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      auto conn = std::make_shared<Connection>(fd);
+      std::lock_guard<std::mutex> lock(mu);
+      if (stopping) {
+        conn->shutdown_now();
+        continue;
+      }
+      registry.counter("service.connections").inc();
+      conns.push_back(conn);
+      readers.emplace_back([this, conn] { reader_main(conn); });
+    }
+  }
+};
+
+Server::Server(ServerOptions options)
+    : impl_(std::make_unique<Impl>(options)) {}
+
+Server::~Server() { stop(); }
+
+std::uint16_t Server::start() {
+  Impl& im = *impl_;
+  if (im.started.load()) return im.bound_port;
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw std::runtime_error("expressod: socket() failed");
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(im.options.port);
+  addr.sin_addr.s_addr =
+      im.options.bind_any ? htonl(INADDR_ANY) : htonl(INADDR_LOOPBACK);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0 ||
+      ::listen(fd, 128) < 0) {
+    const std::string err = std::strerror(errno);
+    ::close(fd);
+    throw std::runtime_error("expressod: cannot listen on port " +
+                             std::to_string(im.options.port) + ": " + err);
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  ::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len);
+  im.bound_port = ntohs(bound.sin_port);
+  im.listen_fd = fd;
+  im.registry.gauge("service.workers")
+      .set(static_cast<double>(im.options.workers));
+  const int workers = im.options.workers < 1 ? 1 : im.options.workers;
+  for (int i = 0; i < workers; ++i) {
+    im.workers.emplace_back([this] { impl_->worker_main(); });
+  }
+  im.acceptor = std::thread([this] { impl_->acceptor_main(); });
+  im.started.store(true);
+  return im.bound_port;
+}
+
+void Server::stop() {
+  Impl& im = *impl_;
+  if (!im.started.load()) return;
+  {
+    std::lock_guard<std::mutex> lock(im.mu);
+    if (im.stopping) return;
+    im.stopping = true;
+  }
+  // Unblock the acceptor, then every reader.
+  ::shutdown(im.listen_fd, SHUT_RDWR);
+  ::close(im.listen_fd);
+  im.acceptor.join();
+  std::vector<std::thread> readers;
+  {
+    std::lock_guard<std::mutex> lock(im.mu);
+    for (auto& c : im.conns) c->shutdown_now();
+    readers.swap(im.readers);
+  }
+  for (auto& r : readers) r.join();
+  im.work_cv.notify_all();
+  for (auto& w : im.workers) w.join();
+  im.workers.clear();
+  {
+    std::lock_guard<std::mutex> lock(im.mu);
+    im.tenants.clear();
+    im.conns.clear();
+  }
+  im.started.store(false);
+}
+
+std::uint16_t Server::port() const { return impl_->bound_port; }
+
+obs::Registry& Server::metrics() { return impl_->registry; }
+
+}  // namespace expresso::service

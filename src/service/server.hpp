@@ -1,0 +1,94 @@
+// `expressod`: the long-lived verification service (DESIGN.md §11).
+//
+// A Server holds one expresso::Session per tenant and turns config pushes
+// into streamed verdicts over the length-prefixed JSON protocol of
+// service/protocol.hpp.  The moving parts:
+//
+//   * one acceptor thread + one reader thread per connection.  Readers do
+//     only cheap work inline (hello/ping/metrics, request parsing) and hand
+//     "update" requests to the admission queue;
+//   * an admission queue with per-tenant fairness: a FIFO of *tenants* (each
+//     tenant appears at most once), so a tenant pushing a thousand edits
+//     cannot starve one pushing a single edit.  Verify workers pop tenants
+//     round-robin;
+//   * burst coalescing: requests that arrive for a tenant while it is queued
+//     or being verified pile into the tenant's pending list.  The worker
+//     drains the whole list, re-verifies once against the *latest* snapshot
+//     (warm, thanks to Session::update's delta awareness), and answers every
+//     drained request with that run's verdicts.  ServerOptions::coalesce_ms
+//     optionally stretches the window by having the worker linger before
+//     draining;
+//   * budgets and eviction: every Session runs with bdd_gc on and
+//     per_session_bdd_budget as its node budget; after each verify the
+//     server sums live BDD nodes across sessions and, above
+//     max_total_bdd_nodes (or when a new tenant would exceed max_sessions),
+//     destroys the coldest idle sessions.  A re-admitted tenant simply
+//     cold-loads its next snapshot — correctness never depends on residency;
+//   * observability: every decision increments the server's obs::Registry
+//     (service.* instruments, notably the service.queue_wait histogram), and
+//     a {"op":"metrics"} request dumps the registry as one JSON document.
+//
+// The server binds loopback by default and is fully in-process embeddable
+// (tests start it on an ephemeral port); tools/expressod.cpp is the thin
+// binary wrapper.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "obs/metrics.hpp"
+
+namespace expresso::service {
+
+struct ServerOptions {
+  // 0 = ephemeral (the OS picks; start() returns the bound port).
+  std::uint16_t port = 0;
+  // Accept connections beyond loopback.  Off by default: a verifier fed raw
+  // config text is an internal service, not an internet-facing one.
+  bool bind_any = false;
+  // Verify workers (concurrent re-verifications across tenants).
+  int workers = 2;
+  // Threads inside each Session's pipeline (SessionOptions::engine.threads).
+  int session_threads = 1;
+  // Resident-session ceiling; admitting a tenant beyond it evicts the
+  // coldest idle session (or fails the request when none is evictable).
+  std::size_t max_sessions = 64;
+  // Global memory watermark, in live BDD nodes summed over all sessions;
+  // 0 disables.  Exceeding it after a verify evicts coldest-idle-first.
+  std::size_t max_total_bdd_nodes = 0;
+  // Per-session GC budget (SessionOptions::max_bdd_nodes; 0 = adaptive).
+  std::size_t per_session_bdd_budget = 0;
+  // Linger this long after dequeuing a tenant so a burst of edits lands in
+  // one warm re-verify.  0 keeps only the natural coalescing (whatever
+  // piled up while the tenant waited in the queue).
+  int coalesce_ms = 0;
+  // Shadow warm runs with cold ones inside each Session (validation mode).
+  bool verify_warm = false;
+};
+
+class Server {
+ public:
+  explicit Server(ServerOptions options = {});
+  ~Server();  // implies stop()
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  // Binds, listens and spawns the acceptor + workers.  Returns the bound
+  // port.  Throws std::runtime_error on bind failure.
+  std::uint16_t start();
+  // Graceful shutdown: stops accepting, wakes and joins every worker and
+  // reader, destroys all sessions.  Idempotent.
+  void stop();
+
+  std::uint16_t port() const;
+  // The service.* instrument store (also reachable over the wire via
+  // {"op":"metrics"}).  Valid for the server's lifetime.
+  obs::Registry& metrics();
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace expresso::service

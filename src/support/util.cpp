@@ -1,5 +1,8 @@
 #include "support/util.hpp"
 
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
 #include <ctime>
 #include <fstream>
 #include <sstream>
@@ -49,6 +52,44 @@ std::vector<std::string> split_ws(const std::string& s) {
   std::string tok;
   while (ss >> tok) out.push_back(tok);
   return out;
+}
+
+std::uint64_t env_uint(const char* name, std::uint64_t fallback,
+                       std::uint64_t max_value) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  if (*v == '-') {
+    std::fprintf(stderr,
+                 "expresso: ignoring negative %s='%s', using %llu\n", name, v,
+                 static_cast<unsigned long long>(fallback));
+    return fallback;
+  }
+  // strtoull skips leading whitespace and accepts a '+'; the hardened
+  // contract does not — the value must start with a digit.
+  if (*v < '0' || *v > '9') {
+    std::fprintf(stderr,
+                 "expresso: ignoring malformed %s='%s' (not an unsigned "
+                 "integer), using %llu\n",
+                 name, v, static_cast<unsigned long long>(fallback));
+    return fallback;
+  }
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long n = std::strtoull(v, &end, 10);
+  if (end == v || *end != '\0' || errno == ERANGE) {
+    std::fprintf(stderr,
+                 "expresso: ignoring malformed %s='%s' (not an unsigned "
+                 "integer), using %llu\n",
+                 name, v, static_cast<unsigned long long>(fallback));
+    return fallback;
+  }
+  if (n > max_value) {
+    std::fprintf(stderr, "expresso: clamping %s=%llu to %llu\n", name,
+                 static_cast<unsigned long long>(n),
+                 static_cast<unsigned long long>(max_value));
+    return max_value;
+  }
+  return n;
 }
 
 }  // namespace expresso

@@ -81,4 +81,13 @@ std::uint64_t current_rss_bytes();
 // Split `s` on whitespace into tokens.
 std::vector<std::string> split_ws(const std::string& s);
 
+// Hardened unsigned-integer environment parse, à la env_thread_count: unset
+// or empty yields `fallback`; malformed values (trailing garbage, negatives,
+// overflow) warn to stderr and yield `fallback` — a typo'd setting must fail
+// loudly, never half-apply; values above `max_value` clamp with a warning.
+// Used by the expressod service knobs (EXPRESSO_SERVICE_PORT,
+// EXPRESSO_SERVICE_MAX_SESSIONS).
+std::uint64_t env_uint(const char* name, std::uint64_t fallback,
+                       std::uint64_t max_value = UINT64_MAX);
+
 }  // namespace expresso

@@ -218,6 +218,26 @@ TEST(ObsMetricsTest, RegistryDumpsValidJson) {
   EXPECT_EQ(root.find("timers")->find("t")->find("count")->num, 1);
 }
 
+// Reusing one JsonValue across parses must not leak state between documents:
+// parse_object emplaces into `members`, so without a reset a key the previous
+// document also had would silently keep its stale value.  (This bit the
+// expressod client, which parses a whole response stream into one frame
+// buffer — every verdict frame after the first looked like the first.)
+TEST(ObsMetricsTest, ParseJsonResetsReusedOutputValue) {
+  obs::JsonValue v;
+  std::string error;
+  ASSERT_TRUE(obs::parse_json("{\"kind\":\"verdict\",\"extra\":1}", v, error));
+  ASSERT_TRUE(obs::parse_json("{\"kind\":\"done\"}", v, error));
+  ASSERT_NE(v.find("kind"), nullptr);
+  EXPECT_EQ(v.find("kind")->str, "done");
+  EXPECT_EQ(v.find("extra"), nullptr);  // no carry-over from the first parse
+  // Kind switches cleanly too: object -> number.
+  ASSERT_TRUE(obs::parse_json("42", v, error));
+  EXPECT_EQ(v.kind, obs::JsonValue::Kind::Number);
+  EXPECT_EQ(v.num, 42.0);
+  EXPECT_TRUE(v.members.empty());
+}
+
 TEST(ObsMetricsTest, VerifierStatsViewEqualsRegistryAfterWarmAndColdRun) {
   Session s;
   s.load(kConfig);  // cold

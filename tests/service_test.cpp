@@ -1,0 +1,564 @@
+// End-to-end tests for the expressod verification service (label "service").
+//
+// Three layers:
+//
+//   * ServiceE2E — a loopback server, a fuzz-generated base snapshot and a
+//     50-edit chain pushed through the client library; every streamed
+//     verdict frame must be byte-identical to what an in-process Session
+//     replaying the same chain renders through the same canonical
+//     serializer (service::verdict_frames).  Structural BDD equality across
+//     managers is exactly string equality of the canonical frames.
+//   * ServiceProtocol — adversarial wire input (truncated frames, oversized
+//     length prefixes, malformed JSON, mid-request disconnects).  The
+//     contract: an error response or a clean teardown, never a crash, and
+//     the server keeps serving well-formed clients afterwards.  This suite
+//     is re-run under ASan by scripts/check.sh.
+//   * ServiceFairness / ServiceEviction / ServiceCoalescing — multi-tenant
+//     scheduling: bounded queue wait under a one-worker spam load, coldest
+//     idle eviction at the session ceiling with correct cold re-admission,
+//     and burst coalescing collapsing a rapid edit storm into one verify.
+//
+// The E2E chain length is tunable via EXPRESSO_SERVICE_E2E_EDITS
+// (default 50).
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "config/ast.hpp"
+#include "config/parser.hpp"
+#include "expresso/session.hpp"
+#include "fuzz/edits.hpp"
+#include "fuzz/generator.hpp"
+#include "net/prefix.hpp"
+#include "obs/trace_check.hpp"
+#include "service/client.hpp"
+#include "service/protocol.hpp"
+#include "service/server.hpp"
+#include "support/util.hpp"
+
+namespace expresso::service {
+namespace {
+
+// --- raw-socket helpers for the protocol-robustness suite -------------------
+
+int raw_connect(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0)
+      << std::strerror(errno);
+  return fd;
+}
+
+void send_bytes(int fd, const void* data, std::size_t n) {
+  const char* p = static_cast<const char*>(data);
+  while (n > 0) {
+    const ssize_t w = ::send(fd, p, n, MSG_NOSIGNAL);
+    ASSERT_GT(w, 0) << std::strerror(errno);
+    p += w;
+    n -= static_cast<std::size_t>(w);
+  }
+}
+
+// A frame whose length prefix lies about the payload.
+void send_header_only(int fd, std::uint32_t claimed_len) {
+  unsigned char hdr[4] = {
+      static_cast<unsigned char>(claimed_len >> 24),
+      static_cast<unsigned char>(claimed_len >> 16),
+      static_cast<unsigned char>(claimed_len >> 8),
+      static_cast<unsigned char>(claimed_len)};
+  send_bytes(fd, hdr, sizeof(hdr));
+}
+
+// Reads one frame and returns its parsed JSON; fails the test on damage.
+obs::JsonValue recv_json(int fd) {
+  std::string payload;
+  EXPECT_EQ(read_frame(fd, payload), FrameStatus::kOk);
+  obs::JsonValue doc;
+  std::string error;
+  EXPECT_TRUE(obs::parse_json(payload, doc, error)) << error << ": " << payload;
+  return doc;
+}
+
+std::string str_field(const obs::JsonValue& doc, const char* key) {
+  const obs::JsonValue* v = doc.find(key);
+  return (v != nullptr && v->kind == obs::JsonValue::Kind::String) ? v->str
+                                                                   : "";
+}
+
+// The server must still serve well-formed clients: the invariant every
+// robustness test ends on.
+void expect_still_serving(std::uint16_t port) {
+  Client probe;
+  probe.connect("127.0.0.1", port);
+  EXPECT_TRUE(probe.hello());
+}
+
+// --- shared fuzz-scenario plumbing ------------------------------------------
+
+struct TenantChain {
+  std::string base_text;
+  std::vector<std::string> edit_texts;  // serialized snapshots after each edit
+  std::vector<std::string> blackhole_strings;
+  std::vector<net::Ipv4Prefix> blackhole;
+};
+
+TenantChain make_chain(std::uint64_t seed, int edits) {
+  TenantChain chain;
+  const auto sc = fuzz::generate_scenario(seed);
+  chain.base_text = sc.config_text;
+  for (const auto& p : sc.pool) {
+    chain.blackhole.push_back(p);
+    chain.blackhole_strings.push_back(p.to_string());
+  }
+  auto snapshot = config::parse_configs(sc.config_text);
+  for (int e = 0; e < edits; ++e) {
+    const auto edit = fuzz::apply_random_edit(
+        snapshot, seed * 31 + static_cast<std::uint64_t>(e) * 7 + 13);
+    snapshot = edit.configs;
+    chain.edit_texts.push_back(config::serialize(snapshot));
+  }
+  return chain;
+}
+
+// The in-process replica mirrors the SessionOptions the server gives its
+// tenant sessions (server.cpp verify_batch), minus the metrics label.
+Session make_replica(int threads = 1) {
+  Session::SessionOptions so;
+  so.engine.threads = threads;
+  so.bdd_gc = true;
+  return Session(so);
+}
+
+// --- end-to-end bit-identity -------------------------------------------------
+
+TEST(ServiceE2E, EditChainVerdictsBitIdenticalToInProcessSession) {
+  const int edits = static_cast<int>(
+      env_uint("EXPRESSO_SERVICE_E2E_EDITS", 50, 10000));
+  const TenantChain chain = make_chain(0xe2e5eed, edits);
+
+  ServerOptions so;
+  so.workers = 2;
+  Server server(so);
+  const std::uint16_t port = server.start();
+
+  Client client;
+  client.connect("127.0.0.1", port);
+  Session replica = make_replica();
+
+  std::uint64_t id = 1;
+  std::size_t warm_runs = 0;
+  auto push_and_compare = [&](const std::string& text) {
+    const auto result =
+        client.update("t-e2e", text, chain.blackhole_strings, id);
+    ASSERT_TRUE(result.ok) << result.error;
+    EXPECT_TRUE(result.converged);
+    if (result.warm) ++warm_runs;
+
+    replica.update(text);
+    replica.run_src();
+    const auto expected =
+        verdict_frames(replica, "t-e2e", id, chain.blackhole);
+    ASSERT_EQ(result.verdict_payloads.size(), expected.size());
+    for (std::size_t i = 0; i < expected.size(); ++i) {
+      EXPECT_EQ(result.verdict_payloads[i], expected[i])
+          << "push " << id << ", frame " << i;
+    }
+    ++id;
+  };
+
+  push_and_compare(chain.base_text);
+  for (const auto& text : chain.edit_texts) push_and_compare(text);
+
+  // The chain overwhelmingly re-verified warm (an edit may legitimately
+  // force a cold reload, e.g. when it perturbs the topology).
+  EXPECT_GE(warm_runs, chain.edit_texts.size() / 2);
+  server.stop();
+}
+
+// --- protocol robustness ------------------------------------------------------
+
+TEST(ServiceProtocol, TruncatedHeaderTearsDownCleanly) {
+  Server server;
+  const std::uint16_t port = server.start();
+  const int fd = raw_connect(port);
+  send_bytes(fd, "\x00\x00", 2);  // half a length prefix
+  ::close(fd);
+  expect_still_serving(port);
+  server.stop();
+  EXPECT_GE(server.metrics().counter("service.protocol_errors").value(), 1u);
+}
+
+TEST(ServiceProtocol, TruncatedPayloadTearsDownCleanly) {
+  Server server;
+  const std::uint16_t port = server.start();
+  const int fd = raw_connect(port);
+  send_header_only(fd, 100);        // promises 100 bytes...
+  send_bytes(fd, "{\"op\":\"pi", 9);  // ...delivers 9, then vanishes
+  ::close(fd);
+  expect_still_serving(port);
+  server.stop();
+  EXPECT_GE(server.metrics().counter("service.protocol_errors").value(), 1u);
+}
+
+TEST(ServiceProtocol, OversizedLengthPrefixIsFatal) {
+  Server server;
+  const std::uint16_t port = server.start();
+  const int fd = raw_connect(port);
+  send_header_only(fd, 0xffffffffu);  // 4 GiB claim, never honored
+  const obs::JsonValue err = recv_json(fd);
+  EXPECT_EQ(str_field(err, "kind"), "error");
+  const obs::JsonValue* fatal = err.find("fatal");
+  ASSERT_NE(fatal, nullptr);
+  EXPECT_EQ(fatal->kind, obs::JsonValue::Kind::Bool);
+  EXPECT_TRUE(fatal->b);
+  // The server hangs up after the fatal error frame.
+  std::string payload;
+  EXPECT_EQ(read_frame(fd, payload), FrameStatus::kEof);
+  ::close(fd);
+  expect_still_serving(port);
+  server.stop();
+  EXPECT_GE(server.metrics().counter("service.protocol_errors").value(), 1u);
+}
+
+TEST(ServiceProtocol, MalformedJsonGetsErrorAndConnectionSurvives) {
+  Server server;
+  const std::uint16_t port = server.start();
+  const int fd = raw_connect(port);
+  const std::string junk = "{\"op\":\"ping\"";  // unterminated object
+  send_header_only(fd, static_cast<std::uint32_t>(junk.size()));
+  send_bytes(fd, junk.data(), junk.size());
+  obs::JsonValue err = recv_json(fd);
+  EXPECT_EQ(str_field(err, "kind"), "error");
+  // Non-fatal: the same connection still answers a well-formed ping.
+  const std::string ping = "{\"op\":\"ping\",\"id\":7}";
+  send_header_only(fd, static_cast<std::uint32_t>(ping.size()));
+  send_bytes(fd, ping.data(), ping.size());
+  const obs::JsonValue pong = recv_json(fd);
+  EXPECT_EQ(str_field(pong, "kind"), "pong");
+  ::close(fd);
+  server.stop();
+}
+
+TEST(ServiceProtocol, EmptyFrameGetsErrorResponse) {
+  Server server;
+  const std::uint16_t port = server.start();
+  const int fd = raw_connect(port);
+  send_header_only(fd, 0);  // zero-length payload is not a JSON document
+  const obs::JsonValue err = recv_json(fd);
+  EXPECT_EQ(str_field(err, "kind"), "error");
+  ::close(fd);
+  server.stop();
+}
+
+TEST(ServiceProtocol, MissingAndUnknownOpsAreRejected) {
+  Server server;
+  const std::uint16_t port = server.start();
+  Client client;
+  client.connect("127.0.0.1", port);
+  client.send_raw("{\"id\":3}");
+  obs::JsonValue resp;
+  ASSERT_TRUE(client.recv(resp));
+  EXPECT_EQ(str_field(resp, "kind"), "error");
+  client.send_raw("{\"op\":\"bogus\",\"id\":4}");
+  ASSERT_TRUE(client.recv(resp));
+  EXPECT_EQ(str_field(resp, "kind"), "error");
+  const obs::JsonValue* id = resp.find("id");
+  ASSERT_NE(id, nullptr);
+  EXPECT_EQ(id->num, 4.0);
+  // Still a working connection.
+  EXPECT_TRUE(client.hello());
+  server.stop();
+}
+
+TEST(ServiceProtocol, UpdateValidationErrorsLeaveConnectionUsable) {
+  Server server;
+  const std::uint16_t port = server.start();
+  Client client;
+  client.connect("127.0.0.1", port);
+  obs::JsonValue resp;
+  for (const char* bad : {
+           // Missing tenant / config.
+           "{\"op\":\"update\",\"id\":1,\"config\":\"router R0\\n\"}",
+           "{\"op\":\"update\",\"id\":2,\"tenant\":\"t\"}",
+           // Blackhole must be an array of prefix strings.
+           "{\"op\":\"update\",\"id\":3,\"tenant\":\"t\",\"config\":\"x\","
+           "\"blackhole\":\"10.0.0.0/8\"}",
+           "{\"op\":\"update\",\"id\":4,\"tenant\":\"t\",\"config\":\"x\","
+           "\"blackhole\":[\"not-a-prefix\"]}",
+       }) {
+    client.send_raw(bad);
+    ASSERT_TRUE(client.recv(resp)) << bad;
+    EXPECT_EQ(str_field(resp, "kind"), "error") << bad;
+  }
+  EXPECT_TRUE(client.hello());
+  server.stop();
+}
+
+TEST(ServiceProtocol, UnparseableConfigAnswersErrorNotCrash) {
+  Server server;
+  const std::uint16_t port = server.start();
+  Client client;
+  client.connect("127.0.0.1", port);
+  const auto result = client.update("t-bad", "this is not a router config", {},
+                                    /*id=*/9);
+  EXPECT_FALSE(result.ok);
+  EXPECT_FALSE(result.error.empty());
+  // The tenant is not wedged: a good snapshot afterwards verifies fine.
+  const TenantChain chain = make_chain(0xbadc0de, 0);
+  const auto ok =
+      client.update("t-bad", chain.base_text, chain.blackhole_strings, 10);
+  EXPECT_TRUE(ok.ok) << ok.error;
+  server.stop();
+  EXPECT_GE(server.metrics().counter("service.verify_errors").value(), 1u);
+}
+
+TEST(ServiceProtocol, MidRequestDisconnectDoesNotKillServer) {
+  Server server;
+  const std::uint16_t port = server.start();
+  const TenantChain chain = make_chain(0xd15c0, 0);
+
+  // Disconnect while the update is (possibly) still being verified; the
+  // worker's response write hits a dead socket and must be absorbed.
+  {
+    Client client;
+    client.connect("127.0.0.1", port);
+    client.send_raw(Client::update_payload("t-gone", chain.base_text,
+                                           chain.blackhole_strings, 1));
+    client.close();  // no read: the response stream has nowhere to go
+  }
+  // Disconnect mid-frame: half an update request, then gone.
+  {
+    const int fd = raw_connect(port);
+    const std::string payload = Client::update_payload(
+        "t-gone2", chain.base_text, chain.blackhole_strings, 2);
+    send_header_only(fd, static_cast<std::uint32_t>(payload.size()));
+    send_bytes(fd, payload.data(), payload.size() / 2);
+    ::close(fd);
+  }
+  expect_still_serving(port);
+  // A fresh client gets correct service afterwards.
+  Client client;
+  client.connect("127.0.0.1", port);
+  const auto result =
+      client.update("t-after", chain.base_text, chain.blackhole_strings, 3);
+  EXPECT_TRUE(result.ok) << result.error;
+  server.stop();
+}
+
+// --- multi-tenant scheduling --------------------------------------------------
+
+TEST(ServiceFairness, SpammingTenantCannotStarveAnother) {
+  const TenantChain spam = make_chain(0xfa15, 4);
+  const TenantChain quick = make_chain(0xfa16, 0);
+
+  ServerOptions so;
+  so.workers = 1;  // one worker: fairness must come from the queue policy
+  Server server(so);
+  const std::uint16_t port = server.start();
+
+  // The spammer pipelines its whole burst without waiting for responses.
+  Client spammer;
+  spammer.connect("127.0.0.1", port);
+  std::uint64_t spam_id = 1;
+  spammer.send_raw(Client::update_payload("t-spam", spam.base_text,
+                                          spam.blackhole_strings, spam_id));
+  for (const auto& text : spam.edit_texts) {
+    spammer.send_raw(
+        Client::update_payload("t-spam", text, spam.blackhole_strings,
+                               ++spam_id));
+  }
+
+  // The quick tenant's single push must complete — per-tenant FIFO admission
+  // means it waits for at most one spam verify, not the whole burst.
+  Client other;
+  other.connect("127.0.0.1", port);
+  const auto result =
+      other.update("t-quick", quick.base_text, quick.blackhole_strings, 1);
+  EXPECT_TRUE(result.ok) << result.error;
+
+  // Drain the spammer's responses; each pipelined push gets an answer.
+  for (std::uint64_t i = 1; i <= spam_id; ++i) {
+    const auto r = spammer.collect(i);
+    EXPECT_TRUE(r.ok) << "spam push " << i << ": " << r.error;
+  }
+  server.stop();
+
+  // Every admitted request passed through the queue-wait histogram.
+  const auto& hist = server.metrics().histogram("service.queue_wait");
+  EXPECT_GE(hist.count(), spam_id + 1);
+}
+
+TEST(ServiceEviction, ColdestSessionEvictedAndReadmittedCold) {
+  ServerOptions so;
+  so.max_sessions = 2;
+  so.workers = 1;
+  Server server(so);
+  const std::uint16_t port = server.start();
+
+  std::vector<TenantChain> chains;
+  for (int t = 0; t < 3; ++t) {
+    chains.push_back(make_chain(0xe71c7 + static_cast<std::uint64_t>(t), 0));
+  }
+
+  Client client;
+  client.connect("127.0.0.1", port);
+  for (int t = 0; t < 3; ++t) {
+    const auto r = client.update("t-" + std::to_string(t),
+                                 chains[static_cast<std::size_t>(t)].base_text,
+                                 chains[static_cast<std::size_t>(t)]
+                                     .blackhole_strings,
+                                 static_cast<std::uint64_t>(t) + 1);
+    ASSERT_TRUE(r.ok) << r.error;
+    EXPECT_FALSE(r.warm);  // all three are cold loads
+  }
+  // Admitting t-2 ran past the 2-session ceiling: t-0 (coldest) was evicted.
+  EXPECT_GE(server.metrics().counter("service.evictions").value(), 1u);
+  EXPECT_LE(server.metrics().gauge("service.active_sessions").value(), 2.0);
+
+  // Re-admitting the evicted tenant cold-loads and still yields verdicts
+  // bit-identical to a fresh in-process Session: residency is a cache,
+  // never a correctness input.
+  const auto r = client.update("t-0", chains[0].base_text,
+                               chains[0].blackhole_strings, 10);
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_FALSE(r.warm);
+
+  Session replica = make_replica();
+  replica.update(chains[0].base_text);
+  replica.run_src();
+  const auto expected = verdict_frames(replica, "t-0", 10, chains[0].blackhole);
+  ASSERT_EQ(r.verdict_payloads.size(), expected.size());
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(r.verdict_payloads[i], expected[i]);
+  }
+  server.stop();
+}
+
+TEST(ServiceEviction, WatermarkEvictsAfterVerify) {
+  ServerOptions so;
+  so.workers = 1;
+  so.max_total_bdd_nodes = 1;  // absurdly small: every verify trips it
+  Server server(so);
+  const std::uint16_t port = server.start();
+
+  Client client;
+  client.connect("127.0.0.1", port);
+  const TenantChain a = make_chain(0x3a7e1, 0);
+  const TenantChain b = make_chain(0x3a7e2, 0);
+  ASSERT_TRUE(
+      client.update("t-a", a.base_text, a.blackhole_strings, 1).ok);
+  ASSERT_TRUE(
+      client.update("t-b", b.base_text, b.blackhole_strings, 2).ok);
+  // Both verifies succeeded; the watermark pass evicted the idle sessions
+  // afterwards, so correctness was never gated on residency.
+  EXPECT_GE(server.metrics().counter("service.evictions").value(), 1u);
+  // And the evicted tenant still answers (cold) on its next push.
+  const auto r = client.update("t-a", a.base_text, a.blackhole_strings, 3);
+  EXPECT_TRUE(r.ok) << r.error;
+  EXPECT_FALSE(r.warm);
+  server.stop();
+}
+
+TEST(ServiceCoalescing, RapidBurstCollapsesIntoOneVerify) {
+  const TenantChain chain = make_chain(0xc0a1e5, 4);
+
+  ServerOptions so;
+  so.workers = 1;
+  so.coalesce_ms = 100;  // linger long enough for the whole burst to land
+  Server server(so);
+  const std::uint16_t port = server.start();
+
+  Client client;
+  client.connect("127.0.0.1", port);
+  std::uint64_t id = 0;
+  client.send_raw(Client::update_payload("t-burst", chain.base_text,
+                                         chain.blackhole_strings, ++id));
+  for (const auto& text : chain.edit_texts) {
+    client.send_raw(
+        Client::update_payload("t-burst", text, chain.blackhole_strings, ++id));
+  }
+
+  // Every pipelined push is answered, and the done frames agree that the
+  // burst was coalesced: the coalesced field counts the requests that were
+  // drained into the same verify.
+  std::uint64_t max_coalesced = 0;
+  for (std::uint64_t i = 1; i <= id; ++i) {
+    const auto r = client.collect(i);
+    ASSERT_TRUE(r.ok) << "push " << i << ": " << r.error;
+    max_coalesced = std::max(max_coalesced, r.coalesced);
+  }
+  EXPECT_GE(max_coalesced, 1u);
+  EXPECT_GE(server.metrics().counter("service.coalesced").value(), 1u);
+  // Coalescing means strictly fewer verifies than requests.
+  EXPECT_LT(server.metrics().counter("service.verifies").value(), id);
+  server.stop();
+}
+
+// --- metrics over the wire ----------------------------------------------------
+
+TEST(ServiceMetrics, WireDumpParsesAndCountsActivity) {
+  Server server;
+  const std::uint16_t port = server.start();
+  const TenantChain chain = make_chain(0x3e7a1c5, 1);
+
+  Client client;
+  client.connect("127.0.0.1", port);
+  ASSERT_TRUE(client
+                  .update("t-m", chain.base_text, chain.blackhole_strings, 1)
+                  .ok);
+  ASSERT_TRUE(client
+                  .update("t-m", chain.edit_texts[0], chain.blackhole_strings,
+                          2)
+                  .ok);
+
+  obs::JsonValue doc;
+  std::string error;
+  ASSERT_TRUE(obs::parse_json(client.metrics(), doc, error)) << error;
+  const obs::JsonValue* counters = doc.find("counters");
+  ASSERT_NE(counters, nullptr);
+  const obs::JsonValue* verifies = counters->find("service.verifies");
+  ASSERT_NE(verifies, nullptr);
+  EXPECT_GE(verifies->num, 2.0);
+  const obs::JsonValue* hists = doc.find("histograms");
+  ASSERT_NE(hists, nullptr);
+  const obs::JsonValue* qw = hists->find("service.queue_wait");
+  ASSERT_NE(qw, nullptr);
+  const obs::JsonValue* count = qw->find("count");
+  ASSERT_NE(count, nullptr);
+  EXPECT_GE(count->num, 2.0);
+  server.stop();
+}
+
+// --- canonical serialization unit checks --------------------------------------
+
+TEST(ServiceCanonical, TerminalAndSharedNodeRendering) {
+  bdd::Manager m(8);
+  EXPECT_EQ(canonical_condition(m, bdd::kFalse), "F");
+  EXPECT_EQ(canonical_condition(m, bdd::kTrue), "T");
+  const auto x0 = m.var(0);
+  EXPECT_EQ(canonical_condition(m, x0), "0:F:T");
+  // x0 AND x1: root is var 0 with low=F, high=(var 1, F, T).
+  const auto both = m.and_(x0, m.var(1));
+  EXPECT_EQ(canonical_condition(m, both), "0:F:1;1:F:T");
+  // Structural equality across managers <=> identical rendering.
+  bdd::Manager other(8);
+  const auto mirrored = other.and_(other.var(1), other.var(0));
+  EXPECT_EQ(canonical_condition(other, mirrored),
+            canonical_condition(m, both));
+}
+
+}  // namespace
+}  // namespace expresso::service

@@ -182,6 +182,43 @@ TEST(ThreadPoolTest, EnvThreadCountRejectsTrailingGarbage) {
   }
 }
 
+// env_uint backs the expressod service knobs (EXPRESSO_SERVICE_PORT,
+// EXPRESSO_SERVICE_MAX_SESSIONS): same hardening contract as
+// env_thread_count — a typo must fall back loudly, never half-apply.
+TEST(EnvUintTest, ParsesCleanValuesAndFallsBackWhenUnset) {
+  {
+    ScopedEnv e("EXPRESSO_SERVICE_PORT", "7448");
+    EXPECT_EQ(expresso::env_uint("EXPRESSO_SERVICE_PORT", 7447, 65535), 7448u);
+  }
+  {
+    ScopedEnv e("EXPRESSO_SERVICE_PORT", nullptr);
+    EXPECT_EQ(expresso::env_uint("EXPRESSO_SERVICE_PORT", 7447, 65535), 7447u);
+  }
+  {
+    ScopedEnv e("EXPRESSO_SERVICE_PORT", "");
+    EXPECT_EQ(expresso::env_uint("EXPRESSO_SERVICE_PORT", 7447, 65535), 7447u);
+  }
+  {
+    ScopedEnv e("EXPRESSO_SERVICE_MAX_SESSIONS", "0");  // 0 is a legal value
+    EXPECT_EQ(expresso::env_uint("EXPRESSO_SERVICE_MAX_SESSIONS", 64), 0u);
+  }
+}
+
+TEST(EnvUintTest, RejectsTrailingGarbageNegativesAndOverflow) {
+  for (const char* bad :
+       {"7448abc", "abc", "2.5", "7448 ", " 7448", "0x10", "-1", "-7448",
+        "99999999999999999999999999"}) {
+    ScopedEnv e("EXPRESSO_SERVICE_PORT", bad);
+    EXPECT_EQ(expresso::env_uint("EXPRESSO_SERVICE_PORT", 7447, 65535), 7447u)
+        << "value: '" << bad << "'";
+  }
+}
+
+TEST(EnvUintTest, ClampsToMaxValue) {
+  ScopedEnv e("EXPRESSO_SERVICE_PORT", "70000");  // above the 65535 ceiling
+  EXPECT_EQ(expresso::env_uint("EXPRESSO_SERVICE_PORT", 7447, 65535), 65535u);
+}
+
 TEST(ThreadPoolTest, NullPoolFallsBackToSerial) {
   std::vector<int> order;
   support::parallel_for(nullptr, 5,

@@ -1,0 +1,120 @@
+// expressod — the long-lived verification service binary (DESIGN.md §11).
+//
+//   expressod [--port N] [--workers N] [--max-sessions N]
+//             [--session-threads N] [--watermark-nodes N]
+//             [--session-node-budget N] [--coalesce-ms N]
+//             [--verify-warm] [--listen-any]
+//
+// Environment (flags win):
+//   EXPRESSO_SERVICE_PORT          listen port (default 7447)
+//   EXPRESSO_SERVICE_MAX_SESSIONS  resident-session ceiling (default 64)
+//
+// Runs until SIGINT/SIGTERM, then shuts down gracefully (drains the
+// admission queue, joins every worker and reader, destroys all sessions).
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <ctime>
+#include <string>
+
+#include "service/server.hpp"
+#include "support/util.hpp"
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+void handle_signal(int) { g_stop = 1; }
+
+std::uint64_t parse_arg(const char* flag, const char* value,
+                        std::uint64_t max) {
+  char* end = nullptr;
+  const unsigned long long n = std::strtoull(value, &end, 10);
+  if (end == value || *end != '\0' || n > max) {
+    std::fprintf(stderr, "expressod: bad value for %s: '%s'\n", flag, value);
+    std::exit(2);
+  }
+  return n;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using expresso::env_uint;
+  expresso::service::ServerOptions opt;
+  opt.port = static_cast<std::uint16_t>(
+      env_uint("EXPRESSO_SERVICE_PORT", 7447, 65535));
+  opt.max_sessions = static_cast<std::size_t>(
+      env_uint("EXPRESSO_SERVICE_MAX_SESSIONS", 64, 1u << 20));
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "expressod: %s needs a value\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (a == "--port") {
+      opt.port = static_cast<std::uint16_t>(
+          parse_arg("--port", next("--port"), 65535));
+    } else if (a == "--workers") {
+      opt.workers =
+          static_cast<int>(parse_arg("--workers", next("--workers"), 1024));
+    } else if (a == "--max-sessions") {
+      opt.max_sessions = static_cast<std::size_t>(
+          parse_arg("--max-sessions", next("--max-sessions"), 1u << 20));
+    } else if (a == "--session-threads") {
+      opt.session_threads = static_cast<int>(
+          parse_arg("--session-threads", next("--session-threads"), 256));
+    } else if (a == "--watermark-nodes") {
+      opt.max_total_bdd_nodes = static_cast<std::size_t>(parse_arg(
+          "--watermark-nodes", next("--watermark-nodes"), UINT64_MAX));
+    } else if (a == "--session-node-budget") {
+      opt.per_session_bdd_budget = static_cast<std::size_t>(parse_arg(
+          "--session-node-budget", next("--session-node-budget"), UINT64_MAX));
+    } else if (a == "--coalesce-ms") {
+      opt.coalesce_ms = static_cast<int>(
+          parse_arg("--coalesce-ms", next("--coalesce-ms"), 60000));
+    } else if (a == "--verify-warm") {
+      opt.verify_warm = true;
+    } else if (a == "--listen-any") {
+      opt.bind_any = true;
+    } else if (a == "--help" || a == "-h") {
+      std::printf(
+          "usage: expressod [--port N] [--workers N] [--max-sessions N]\n"
+          "                 [--session-threads N] [--watermark-nodes N]\n"
+          "                 [--session-node-budget N] [--coalesce-ms N]\n"
+          "                 [--verify-warm] [--listen-any]\n");
+      return 0;
+    } else {
+      std::fprintf(stderr, "expressod: unknown flag '%s' (try --help)\n",
+                   a.c_str());
+      return 2;
+    }
+  }
+
+  expresso::service::Server server(opt);
+  std::uint16_t port = 0;
+  try {
+    port = server.start();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "expressod: %s\n", e.what());
+    return 1;
+  }
+  std::printf("expressod: listening on %s:%u (%d workers, %zu session slots)\n",
+              opt.bind_any ? "0.0.0.0" : "127.0.0.1", port, opt.workers,
+              opt.max_sessions);
+  std::fflush(stdout);
+
+  std::signal(SIGINT, handle_signal);
+  std::signal(SIGTERM, handle_signal);
+  while (g_stop == 0) {
+    struct timespec ts = {0, 100 * 1000 * 1000};
+    nanosleep(&ts, nullptr);
+  }
+  std::printf("expressod: shutting down\n");
+  server.stop();
+  return 0;
+}

@@ -1,0 +1,258 @@
+// expressod_load — concurrent-tenant load generator for expressod.
+//
+// Replays src/fuzz edit chains as tenant traffic: every tenant is one
+// connection pushing a fuzz-generated base snapshot followed by a chain of
+// single-router edits (fuzz::apply_random_edit), waiting for the streamed
+// verdicts of each push, and recording end-to-end latency.  By default the
+// tool embeds its own Server on an ephemeral loopback port so a single
+// command exercises the full stack; --connect drives an external expressod.
+//
+//   expressod_load [--tenants N] [--edits N] [--seed S] [--workers N]
+//                  [--coalesce-ms N] [--connect HOST PORT]
+//
+// Exit code is non-zero when any request failed (protocol error, error
+// frame, or non-converged verify).  With EXPRESSO_BENCH_JSON=1 one summary
+// row lands on stdout (scripts/bench_collect.sh folds it into
+// BENCH_expresso.json):
+//
+//   JSON {"bench":"expressod_load","tenants":4,"edits_per_tenant":50,
+//         "requests":204,"errors":0,"p50_ms":...,"p95_ms":...,"p99_ms":...,
+//         "warm_runs":...,"coalesced":...,"evictions":...,"wall_s":...}
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "config/ast.hpp"
+#include "config/parser.hpp"
+#include "fuzz/edits.hpp"
+#include "fuzz/generator.hpp"
+#include "obs/trace_check.hpp"
+#include "service/client.hpp"
+#include "service/server.hpp"
+#include "support/util.hpp"
+
+namespace {
+
+struct LoadOptions {
+  int tenants = 4;
+  int edits = 50;
+  std::uint64_t seed = 0x10adbeef;
+  int workers = 2;
+  int coalesce_ms = 0;
+  std::string connect_host;  // empty = embed a server
+  std::uint16_t connect_port = 0;
+};
+
+struct TenantOutcome {
+  std::vector<double> latencies_ms;
+  int errors = 0;
+  int warm_runs = 0;
+};
+
+void run_tenant(const LoadOptions& opt, const std::string& host,
+                std::uint16_t port, int index, TenantOutcome& out) {
+  const std::uint64_t seed =
+      opt.seed + static_cast<std::uint64_t>(index) * 1000003u;
+  const auto sc = expresso::fuzz::generate_scenario(seed);
+  std::vector<expresso::config::RouterConfig> snapshot;
+  try {
+    snapshot = expresso::config::parse_configs(sc.config_text);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "tenant %d: unparseable scenario: %s\n", index,
+                 e.what());
+    out.errors += 1;
+    return;
+  }
+  std::vector<std::string> blackhole;
+  for (const auto& p : sc.pool) blackhole.push_back(p.to_string());
+  const std::string tenant = "tenant-" + std::to_string(index);
+
+  expresso::service::Client client;
+  try {
+    client.connect(host, port);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "tenant %d: %s\n", index, e.what());
+    out.errors += opt.edits + 1;
+    return;
+  }
+
+  std::uint64_t request_id = 1;
+  auto push = [&](const std::vector<expresso::config::RouterConfig>& cfgs) {
+    expresso::Stopwatch sw;
+    try {
+      const auto result = client.update(
+          tenant, expresso::config::serialize(cfgs), blackhole, request_id++);
+      out.latencies_ms.push_back(sw.millis());
+      if (!result.ok) {
+        std::fprintf(stderr, "tenant %d: error response: %s\n", index,
+                     result.error.c_str());
+        out.errors += 1;
+      } else if (result.warm) {
+        out.warm_runs += 1;
+      }
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "tenant %d: %s\n", index, e.what());
+      out.errors += 1;
+    }
+  };
+
+  push(snapshot);  // cold load
+  for (int e = 0; e < opt.edits; ++e) {
+    const auto edit = expresso::fuzz::apply_random_edit(
+        snapshot, seed * 31 + static_cast<std::uint64_t>(e) * 7 + 13);
+    snapshot = edit.configs;
+    push(snapshot);
+  }
+}
+
+double percentile(std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0;
+  const std::size_t idx = static_cast<std::size_t>(
+      p / 100.0 * static_cast<double>(sorted.size() - 1) + 0.5);
+  return sorted[std::min(idx, sorted.size() - 1)];
+}
+
+// Pulls one counter out of a metrics document ({"op":"metrics"} response).
+double metrics_counter(const expresso::obs::JsonValue& doc,
+                       const std::string& name) {
+  const auto* counters = doc.find("counters");
+  if (counters == nullptr) return 0;
+  const auto* c = counters->find(name);
+  return c != nullptr ? c->num : 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  LoadOptions opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "expressod_load: %s needs a value\n", a.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (a == "--tenants") {
+      opt.tenants = std::max(1, std::atoi(next()));
+    } else if (a == "--edits") {
+      opt.edits = std::max(0, std::atoi(next()));
+    } else if (a == "--seed") {
+      opt.seed = std::strtoull(next(), nullptr, 0);
+    } else if (a == "--workers") {
+      opt.workers = std::max(1, std::atoi(next()));
+    } else if (a == "--coalesce-ms") {
+      opt.coalesce_ms = std::max(0, std::atoi(next()));
+    } else if (a == "--connect") {
+      opt.connect_host = next();
+      opt.connect_port = static_cast<std::uint16_t>(std::atoi(next()));
+    } else if (a == "--help" || a == "-h") {
+      std::printf(
+          "usage: expressod_load [--tenants N] [--edits N] [--seed S]\n"
+          "                      [--workers N] [--coalesce-ms N]\n"
+          "                      [--connect HOST PORT]\n");
+      return 0;
+    } else {
+      std::fprintf(stderr, "expressod_load: unknown flag '%s'\n", a.c_str());
+      return 2;
+    }
+  }
+
+  std::unique_ptr<expresso::service::Server> embedded;
+  std::string host = opt.connect_host;
+  std::uint16_t port = opt.connect_port;
+  if (host.empty()) {
+    expresso::service::ServerOptions so;
+    so.port = 0;
+    so.workers = opt.workers;
+    so.coalesce_ms = opt.coalesce_ms;
+    embedded = std::make_unique<expresso::service::Server>(so);
+    port = embedded->start();
+    host = "127.0.0.1";
+  }
+  std::printf("expressod_load: %d tenants x %d edits against %s:%u\n",
+              opt.tenants, opt.edits, host.c_str(), port);
+
+  expresso::Stopwatch wall;
+  std::vector<TenantOutcome> outcomes(
+      static_cast<std::size_t>(opt.tenants));
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(opt.tenants));
+  for (int t = 0; t < opt.tenants; ++t) {
+    threads.emplace_back([&, t] {
+      run_tenant(opt, host, port, t, outcomes[static_cast<std::size_t>(t)]);
+    });
+  }
+  for (auto& th : threads) th.join();
+  const double wall_s = wall.seconds();
+
+  std::vector<double> latencies;
+  int errors = 0;
+  int warm_runs = 0;
+  for (const auto& o : outcomes) {
+    latencies.insert(latencies.end(), o.latencies_ms.begin(),
+                     o.latencies_ms.end());
+    errors += o.errors;
+    warm_runs += o.warm_runs;
+  }
+  std::sort(latencies.begin(), latencies.end());
+  double mean = 0;
+  for (double v : latencies) mean += v;
+  if (!latencies.empty()) mean /= static_cast<double>(latencies.size());
+  const double p50 = percentile(latencies, 50);
+  const double p95 = percentile(latencies, 95);
+  const double p99 = percentile(latencies, 99);
+  const double pmax = latencies.empty() ? 0 : latencies.back();
+
+  // Service-side tallies, fetched over the wire like any client would.
+  double coalesced = 0, evictions = 0, protocol_errors = 0;
+  try {
+    expresso::service::Client mc;
+    mc.connect(host, port);
+    expresso::obs::JsonValue doc;
+    std::string err;
+    if (expresso::obs::parse_json(mc.metrics(), doc, err)) {
+      coalesced = metrics_counter(doc, "service.coalesced");
+      evictions = metrics_counter(doc, "service.evictions");
+      protocol_errors = metrics_counter(doc, "service.protocol_errors");
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "expressod_load: metrics fetch failed: %s\n",
+                 e.what());
+  }
+
+  std::printf(
+      "expressod_load: %zu requests, %d errors, %d warm | latency ms "
+      "p50=%.2f p95=%.2f p99=%.2f mean=%.2f max=%.2f | wall %.2fs | "
+      "coalesced=%.0f evictions=%.0f protocol_errors=%.0f\n",
+      latencies.size(), errors, warm_runs, p50, p95, p99, mean, pmax, wall_s,
+      coalesced, evictions, protocol_errors);
+
+  benchutil::JsonRow("expressod_load")
+      .num("tenants", static_cast<std::size_t>(opt.tenants))
+      .num("edits_per_tenant", static_cast<std::size_t>(opt.edits))
+      .num("requests", latencies.size())
+      .num("errors", static_cast<std::size_t>(errors))
+      .num("warm_runs", static_cast<std::size_t>(warm_runs))
+      .num("p50_ms", p50)
+      .num("p95_ms", p95)
+      .num("p99_ms", p99)
+      .num("mean_ms", mean)
+      .num("max_ms", pmax)
+      .num("wall_s", wall_s)
+      .num("coalesced", coalesced)
+      .num("evictions", evictions)
+      .num("protocol_errors", protocol_errors)
+      .emit();
+
+  if (embedded) embedded->stop();
+  return (errors == 0 && protocol_errors == 0) ? 0 : 1;
+}
