@@ -87,6 +87,13 @@ std::string Client::update_payload(const std::string& tenant,
                                    const std::string& config,
                                    const std::vector<std::string>& blackhole,
                                    std::uint64_t id) {
+  // Ids round-trip through JSON doubles; above 2^53 the echoed id would
+  // lose precision and collect() could never match its response stream.
+  if (id >= (std::uint64_t{1} << 53)) {
+    throw std::invalid_argument("client: request id " + std::to_string(id) +
+                                " not representable in a JSON number "
+                                "(must be < 2^53)");
+  }
   support::JsonWriter w;
   w.begin_object()
       .key("op").value("update")

@@ -9,6 +9,10 @@
 // Responses are demultiplexed by the echoed request "id": update() discards
 // frames for other ids (a pipelined caller should use send_raw + recv and
 // demux itself).
+//
+// Request ids are JSON numbers, so they round-trip through IEEE doubles on
+// both sides of the wire; ids must be < 2^53 or the echo would no longer
+// compare equal.  update_payload() rejects larger ids up front.
 #pragma once
 
 #include <cstdint>

@@ -17,7 +17,9 @@
 //   {"op":"metrics","id":N}
 //   {"op":"ping","id":N}
 //
-// Responses echo "id" (0 when the request had none).  An "update" response
+// Responses echo "id" (0 when the request had none).  Ids are JSON numbers
+// and round-trip through IEEE doubles on both sides, so they must be
+// < 2^53; the client library rejects larger ones.  An "update" response
 // is a *stream*: one {"kind":"verdict",...} frame per property check (the
 // frames of one request are written contiguously), terminated by a
 // {"kind":"done",...} frame carrying warm/coalesced/queue-wait/verify-time

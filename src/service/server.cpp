@@ -6,7 +6,9 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
+#include <cerrno>
 #include <chrono>
 #include <condition_variable>
 #include <cstdio>
@@ -116,7 +118,15 @@ struct Server::Impl {
 
   std::thread acceptor;
   std::vector<std::thread> workers;
-  std::vector<std::thread> readers;                  // guarded by mu
+  // Reader-thread lifecycle (all guarded by mu): a live reader's handle sits
+  // in `readers` under its token; on exit the reader moves its own handle to
+  // `finished_readers` (joining self would deadlock) and drops its
+  // Connection from `conns`, so a long-lived daemon does not accumulate one
+  // fd + one thread object per connection ever accepted.  The acceptor joins
+  // the finished list on every pass; stop() joins whatever remains.
+  std::uint64_t next_reader_token = 0;
+  std::map<std::uint64_t, std::thread> readers;
+  std::vector<std::thread> finished_readers;
   std::vector<std::shared_ptr<Connection>> conns;    // guarded by mu
 
   // --- admission -----------------------------------------------------------
@@ -262,7 +272,9 @@ struct Server::Impl {
 
   void verify_batch(Tenant& t, std::vector<PendingRequest>& batch) {
     // The whole burst collapses into one re-verify of the *latest* snapshot;
-    // every drained request is answered with that run's verdicts.
+    // every drained request is answered with that run's verdicts, each
+    // rendered against its own blackhole list so a burst mixing requests
+    // with different blackhole sets drops none of the checks asked for.
     const PendingRequest& last = batch.back();
     const Clock::time_point verify_start = Clock::now();
     bool warm = false;
@@ -306,7 +318,7 @@ struct Server::Impl {
       // battery per coalesced request costs serialization only.
       std::vector<std::string> frames;
       try {
-        frames = verdict_frames(*t.session, t.name, req.id, last.blackhole);
+        frames = verdict_frames(*t.session, t.name, req.id, req.blackhole);
       } catch (const std::exception& e) {
         registry.counter("service.verify_errors").inc();
         if (!req.conn->send_one(error_payload(
@@ -347,7 +359,7 @@ struct Server::Impl {
     return static_cast<std::uint64_t>(id->num);
   }
 
-  void reader_main(std::shared_ptr<Connection> conn) {
+  void reader_main(std::shared_ptr<Connection> conn, std::uint64_t token) {
     std::string payload;
     for (;;) {
       const FrameStatus st = read_frame(conn->fd, payload);
@@ -383,6 +395,18 @@ struct Server::Impl {
       handle_request(conn, op->str, req);
     }
     conn->shutdown_now();
+    // Reap this connection's resources now, not at stop(): drop the
+    // Connection (the fd closes once in-flight workers release their
+    // references) and hand our thread object to the reap list.
+    std::lock_guard<std::mutex> lock(mu);
+    conns.erase(std::remove(conns.begin(), conns.end(), conn), conns.end());
+    registry.gauge("service.open_connections")
+        .set(static_cast<double>(conns.size()));
+    const auto it = readers.find(token);
+    if (it != readers.end()) {
+      finished_readers.push_back(std::move(it->second));
+      readers.erase(it);
+    }
   }
 
   void handle_request(const std::shared_ptr<Connection>& conn,
@@ -438,13 +462,38 @@ struct Server::Impl {
 
   // --- acceptor ------------------------------------------------------------
 
+  // Joins reader threads that exited since the last pass so their handles
+  // do not pile up for the daemon's lifetime.
+  void reap_finished_readers() {
+    std::vector<std::thread> finished;
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      finished.swap(finished_readers);
+    }
+    for (auto& th : finished) th.join();
+  }
+
   void acceptor_main() {
     for (;;) {
       const int fd = ::accept(listen_fd, nullptr, nullptr);
+      const int err = fd < 0 ? errno : 0;  // before reaping clobbers errno
+      reap_finished_readers();
       if (fd < 0) {
-        if (errno == EINTR) continue;
-        // Listener closed (stop()) or fatally broken either way: done.
-        return;
+        if (err == EINTR) continue;
+        {
+          std::lock_guard<std::mutex> lock(mu);
+          if (stopping) return;  // stop() closed the listener
+        }
+        if (err == EMFILE || err == ENFILE || err == ECONNABORTED ||
+            err == ENOBUFS || err == EAGAIN || err == EPROTO) {
+          // Transient (typically fd exhaustion or an aborted handshake):
+          // the daemon must keep accepting, not silently stop serving
+          // while appearing healthy.  Back off briefly and retry.
+          registry.counter("service.accept_retries").inc();
+          std::this_thread::sleep_for(std::chrono::milliseconds(10));
+          continue;
+        }
+        return;  // unrecoverable outside stop(): acceptor is done
       }
       const int one = 1;
       ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
@@ -456,7 +505,12 @@ struct Server::Impl {
       }
       registry.counter("service.connections").inc();
       conns.push_back(conn);
-      readers.emplace_back([this, conn] { reader_main(conn); });
+      registry.gauge("service.open_connections")
+          .set(static_cast<double>(conns.size()));
+      const std::uint64_t token = next_reader_token++;
+      readers.emplace(token, std::thread([this, conn, token] {
+                        reader_main(conn, token);
+                      }));
     }
   }
 };
@@ -513,13 +567,16 @@ void Server::stop() {
   ::shutdown(im.listen_fd, SHUT_RDWR);
   ::close(im.listen_fd);
   im.acceptor.join();
-  std::vector<std::thread> readers;
+  std::map<std::uint64_t, std::thread> readers;
+  std::vector<std::thread> finished;
   {
     std::lock_guard<std::mutex> lock(im.mu);
     for (auto& c : im.conns) c->shutdown_now();
     readers.swap(im.readers);
+    finished.swap(im.finished_readers);
   }
-  for (auto& r : readers) r.join();
+  for (auto& kv : readers) kv.second.join();
+  for (auto& r : finished) r.join();
   im.work_cv.notify_all();
   for (auto& w : im.workers) w.join();
   im.workers.clear();
@@ -527,6 +584,10 @@ void Server::stop() {
     std::lock_guard<std::mutex> lock(im.mu);
     im.tenants.clear();
     im.conns.clear();
+    im.registry.gauge("service.open_connections").set(0.0);
+    // Clear the shutdown latch: a stopped Server may start() again, and a
+    // restarted instance must admit work, not refuse every update.
+    im.stopping = false;
   }
   im.started.store(false);
 }

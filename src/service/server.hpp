@@ -6,7 +6,12 @@
 //
 //   * one acceptor thread + one reader thread per connection.  Readers do
 //     only cheap work inline (hello/ping/metrics, request parsing) and hand
-//     "update" requests to the admission queue;
+//     "update" requests to the admission queue.  A reader reaps its own
+//     connection on exit (fd dropped, thread handle joined by the acceptor's
+//     next pass or by stop()), and the acceptor retries transient accept()
+//     failures (EMFILE/ENFILE/ECONNABORTED/...) instead of dying — a
+//     long-lived daemon neither leaks per-connection resources nor silently
+//     stops accepting;
 //   * an admission queue with per-tenant fairness: a FIFO of *tenants* (each
 //     tenant appears at most once), so a tenant pushing a thousand edits
 //     cannot starve one pushing a single edit.  Verify workers pop tenants
@@ -15,9 +20,9 @@
 //     or being verified pile into the tenant's pending list.  The worker
 //     drains the whole list, re-verifies once against the *latest* snapshot
 //     (warm, thanks to Session::update's delta awareness), and answers every
-//     drained request with that run's verdicts.  ServerOptions::coalesce_ms
-//     optionally stretches the window by having the worker linger before
-//     draining;
+//     drained request with that run's verdicts, each rendered against its
+//     own blackhole list.  ServerOptions::coalesce_ms optionally stretches
+//     the window by having the worker linger before draining;
 //   * budgets and eviction: every Session runs with bdd_gc on and
 //     per_session_bdd_budget as its node budget; after each verify the
 //     server sums live BDD nodes across sessions and, above
@@ -78,7 +83,8 @@ class Server {
   // port.  Throws std::runtime_error on bind failure.
   std::uint16_t start();
   // Graceful shutdown: stops accepting, wakes and joins every worker and
-  // reader, destroys all sessions.  Idempotent.
+  // reader, destroys all sessions.  Idempotent, and a stopped Server may be
+  // start()ed again (all sessions cold-load on readmission).
   void stop();
 
   std::uint16_t port() const;

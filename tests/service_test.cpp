@@ -16,7 +16,10 @@
 //   * ServiceFairness / ServiceEviction / ServiceCoalescing — multi-tenant
 //     scheduling: bounded queue wait under a one-worker spam load, coldest
 //     idle eviction at the session ceiling with correct cold re-admission,
-//     and burst coalescing collapsing a rapid edit storm into one verify.
+//     and burst coalescing collapsing a rapid edit storm into one verify
+//     (with each coalesced request keeping its own blackhole checks).
+//   * ServiceLifecycle — daemon hygiene: per-connection resources reaped as
+//     clients disconnect, and stop()/start() restartability.
 //
 // The E2E chain length is tunable via EXPRESSO_SERVICE_E2E_EDITS
 // (default 50).
@@ -27,9 +30,12 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <chrono>
 #include <cstdint>
 #include <cstring>
+#include <stdexcept>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "config/ast.hpp"
@@ -358,6 +364,64 @@ TEST(ServiceProtocol, MidRequestDisconnectDoesNotKillServer) {
   server.stop();
 }
 
+// --- connection & server lifecycle --------------------------------------------
+
+TEST(ServiceLifecycle, ClosedConnectionsAreReapedNotAccumulated) {
+  Server server;
+  const std::uint16_t port = server.start();
+  for (int i = 0; i < 8; ++i) {
+    Client c;
+    c.connect("127.0.0.1", port);
+    EXPECT_TRUE(c.hello());
+    c.close();
+  }
+  // Reader exit is asynchronous to close(): poll the open-connections gauge
+  // until every per-connection record has been dropped.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (server.metrics().gauge("service.open_connections").value() > 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_EQ(server.metrics().gauge("service.open_connections").value(), 0.0);
+  EXPECT_GE(server.metrics().counter("service.connections").value(), 8u);
+  expect_still_serving(port);
+  server.stop();
+}
+
+TEST(ServiceLifecycle, RestartAfterStopAdmitsWorkAgain) {
+  const TenantChain chain = make_chain(0x5e57a27, 1);
+  Server server;
+  {
+    Client c;
+    c.connect("127.0.0.1", server.start());
+    const auto r =
+        c.update("t-restart", chain.base_text, chain.blackhole_strings, 1);
+    ASSERT_TRUE(r.ok) << r.error;
+  }
+  server.stop();
+  // A restarted Server must accept connections AND admit updates (a stale
+  // shutdown latch would refuse every one with "server shutting down").
+  const std::uint16_t port = server.start();
+  Client c;
+  c.connect("127.0.0.1", port);
+  const auto r =
+      c.update("t-restart", chain.edit_texts[0], chain.blackhole_strings, 2);
+  EXPECT_TRUE(r.ok) << r.error;
+  EXPECT_FALSE(r.warm);  // stop() destroyed all sessions: cold reload
+  server.stop();
+}
+
+TEST(ServiceClient, UpdateIdsBeyondDoublePrecisionAreRejected) {
+  // Ids round-trip through JSON doubles; 2^53 and up would never match the
+  // echoed id again, so the client refuses to send them.
+  EXPECT_THROW(
+      Client::update_payload("t", "cfg", {}, std::uint64_t{1} << 53),
+      std::invalid_argument);
+  EXPECT_NO_THROW(
+      Client::update_payload("t", "cfg", {}, (std::uint64_t{1} << 53) - 1));
+}
+
 // --- multi-tenant scheduling --------------------------------------------------
 
 TEST(ServiceFairness, SpammingTenantCannotStarveAnother) {
@@ -504,6 +568,41 @@ TEST(ServiceCoalescing, RapidBurstCollapsesIntoOneVerify) {
   EXPECT_GE(server.metrics().counter("service.coalesced").value(), 1u);
   // Coalescing means strictly fewer verifies than requests.
   EXPECT_LT(server.metrics().counter("service.verifies").value(), id);
+  server.stop();
+}
+
+TEST(ServiceCoalescing, CoalescedRequestsKeepTheirOwnBlackholeChecks) {
+  const TenantChain chain = make_chain(0xb1ac1e5, 1);
+
+  ServerOptions so;
+  so.workers = 1;
+  so.coalesce_ms = 150;  // encourage both pushes to drain into one verify
+  Server server(so);
+  const std::uint16_t port = server.start();
+
+  Client client;
+  client.connect("127.0.0.1", port);
+  // Request 1 asks for blackhole checks; request 2 (same tenant, likely the
+  // same coalesced batch) does not.  Each response must reflect what *its*
+  // request asked for, not whatever the latest request in the burst carried.
+  client.send_raw(Client::update_payload("t-bh", chain.base_text,
+                                         chain.blackhole_strings, 1));
+  client.send_raw(Client::update_payload("t-bh", chain.edit_texts[0], {}, 2));
+  const auto first = client.collect(1);
+  const auto second = client.collect(2);
+  ASSERT_TRUE(first.ok) << first.error;
+  ASSERT_TRUE(second.ok) << second.error;
+
+  const auto has_blackhole_frame = [](const std::vector<std::string>& frames) {
+    for (const auto& f : frames) {
+      if (f.find("\"property\":\"blackhole_free\"") != std::string::npos) {
+        return true;
+      }
+    }
+    return false;
+  };
+  EXPECT_TRUE(has_blackhole_frame(first.verdict_payloads));
+  EXPECT_FALSE(has_blackhole_frame(second.verdict_payloads));
   server.stop();
 }
 
