@@ -11,7 +11,7 @@
 
 #include "baselines/enumerator.hpp"
 #include "bench_util.hpp"
-#include "config/parser.hpp"
+#include "ir/frontend.hpp"
 #include "expresso/verifier.hpp"
 #include "gen/datasets.hpp"
 
@@ -26,7 +26,7 @@ int main() {
   auto spec = specs[3];  // region4
   spec.num_peers = 10;
   const auto d = gen::make_region(spec, 3, 7);
-  auto net = net::Network::build(config::parse_configs(d.config_text));
+  auto net = net::Network::build(ir::parse_configs(d.config_text));
 
   const std::size_t count = benchutil::full_scale() ? 1000 : 200;
   const auto res = baselines::enumerate_environments(net, count, 42);

@@ -8,7 +8,7 @@
 
 #include "baselines/minesweeper_star.hpp"
 #include "bench_util.hpp"
-#include "config/parser.hpp"
+#include "ir/frontend.hpp"
 #include "expresso/verifier.hpp"
 #include "gen/datasets.hpp"
 
@@ -43,7 +43,7 @@ int main() {
     (void)vm.check_route_leak_free();
     const double t_minus = sw.seconds();
 
-    auto net = net::Network::build(config::parse_configs(d.config_text));
+    auto net = net::Network::build(ir::parse_configs(d.config_text));
     baselines::MinesweeperOptions opt;
     opt.timeout_seconds = ms_budget;
     baselines::MinesweeperStar ms(net, opt);

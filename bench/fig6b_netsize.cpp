@@ -4,7 +4,7 @@
 
 #include "baselines/minesweeper_star.hpp"
 #include "bench_util.hpp"
-#include "config/parser.hpp"
+#include "ir/frontend.hpp"
 #include "expresso/verifier.hpp"
 #include "gen/datasets.hpp"
 
@@ -52,7 +52,7 @@ int main() {
     (void)vm.check_route_leak_free();
     const double t_minus = sw.seconds();
 
-    auto net = net::Network::build(config::parse_configs(item.text));
+    auto net = net::Network::build(ir::parse_configs(item.text));
     baselines::MinesweeperOptions opt;
     opt.timeout_seconds = ms_budget;
     baselines::MinesweeperStar ms(net, opt);

@@ -10,7 +10,7 @@
 
 #include "baselines/aspath_atomizer.hpp"
 #include "bench_util.hpp"
-#include "config/parser.hpp"
+#include "ir/frontend.hpp"
 #include "expresso/verifier.hpp"
 #include "gen/datasets.hpp"
 
@@ -80,7 +80,7 @@ int main() {
     // computed over the dataset's FULL peer set — atomization cost is
     // driven by the number of distinct AS-path regexes, and capping the
     // neighbors would hide exactly the blow-up the paper reports.
-    auto net = net::Network::build(config::parse_configs(
+    auto net = net::Network::build(ir::parse_configs(
         full_texts.count(item.name) ? full_texts.at(item.name) : item.text));
     const auto atomized = baselines::atomize_aspath_regexes(
         net, /*max_states=*/500'000, atomizer_budget);

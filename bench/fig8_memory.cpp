@@ -9,7 +9,7 @@
 
 #include "baselines/minesweeper_star.hpp"
 #include "bench_util.hpp"
-#include "config/parser.hpp"
+#include "ir/frontend.hpp"
 #include "expresso/verifier.hpp"
 #include "gen/datasets.hpp"
 
@@ -44,7 +44,7 @@ double measure(Tool tool, const std::string& text, double budget) {
         break;
       }
       case Tool::kMinesweeper: {
-        auto net = net::Network::build(config::parse_configs(text));
+        auto net = net::Network::build(ir::parse_configs(text));
         baselines::MinesweeperOptions opt;
         opt.timeout_seconds = budget;
         baselines::MinesweeperStar ms(net, opt);

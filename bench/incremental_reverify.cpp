@@ -11,7 +11,7 @@
 #include <vector>
 
 #include "bench_util.hpp"
-#include "config/parser.hpp"
+#include "ir/frontend.hpp"
 #include "expresso/session.hpp"
 #include "gen/datasets.hpp"
 #include "support/util.hpp"
@@ -51,7 +51,7 @@ int main() {
   const int peer_limit = benchutil::full_scale() ? 0 : 10;
   const int num_edits = 6;
   const auto dataset = gen::make_csp_wan(gen::Snapshot::kOld, 7, peer_limit);
-  auto snapshot = config::parse_configs(dataset.config_text);
+  auto snapshot = ir::parse_configs(dataset.config_text);
 
   std::printf("%-4s %-44s %6s %9s %7s %5s %5s %5s %5s %5s\n", "run", "edit",
               "mode", "wall", "vs-cold", "topo", "univ", "pol+", "src", "spf");
@@ -88,7 +88,7 @@ int main() {
     std::string description;
     bool universe_changing;
   };
-  auto router_with_policy = [&]() -> config::RouterConfig& {
+  auto router_with_policy = [&]() -> ir::RouterConfig& {
     for (auto& c : snapshot) {
       if (!c.policies.empty()) return c;
     }
@@ -119,7 +119,7 @@ int main() {
   edits.push_back([&]() -> NamedEdit {  // unreachable clause: same fixed point
     auto& c = router_with_policy();
     auto& pol = c.policies.begin()->second;
-    config::PolicyClause dead;
+    ir::PolicyClause dead;
     dead.permit = false;
     dead.node = pol.empty() ? 10 : pol.back().node + 10;
     pol.push_back(dead);
@@ -143,7 +143,7 @@ int main() {
 
     const VerifierStats before = s.stats();
     Stopwatch sw;
-    s.update(std::vector<config::RouterConfig>(snapshot));
+    s.update(std::vector<ir::RouterConfig>(snapshot));
     run_pipeline(s);
     const double wall = sw.seconds();
     const VerifierStats& st = s.stats();

@@ -11,7 +11,7 @@
 
 #include "baselines/minesweeper_star.hpp"
 #include "bench_util.hpp"
-#include "config/parser.hpp"
+#include "ir/frontend.hpp"
 #include "expresso/verifier.hpp"
 #include "gen/datasets.hpp"
 
@@ -83,7 +83,7 @@ int main() {
   // Bagpipe-style policy-local check.
   {
     Stopwatch sw;
-    auto net = net::Network::build(config::parse_configs(d.config_text));
+    auto net = net::Network::build(ir::parse_configs(d.config_text));
     const std::size_t v = policy_local_bte(net, bte);
     std::printf("%-24s %13.3fs %12s %12zu  (policy-local: includes the "
                 "stripped session)\n",
@@ -91,7 +91,7 @@ int main() {
   }
   // Minesweeper*.
   {
-    auto net = net::Network::build(config::parse_configs(d.config_text));
+    auto net = net::Network::build(ir::parse_configs(d.config_text));
     baselines::MinesweeperOptions opt;
     opt.timeout_seconds = full ? 3600 : 120;
     Stopwatch sw;

@@ -49,8 +49,13 @@ ctest --test-dir "$BUILD_DIR" --output-on-failure -L gc
 
 # expressod service tier: end-to-end bit-identity over a 50-edit chain,
 # wire-protocol robustness and multi-tenant scheduling (fairness, eviction,
-# coalescing) against a loopback server.
+# coalescing, backpressure) against a loopback server.
 ctest --test-dir "$BUILD_DIR" --output-on-failure -L service
+
+# Cross-dialect equivalence: golden fixtures plus the 50-scenario campaign
+# emitting each network in every dialect and demanding byte-identical
+# canonical verdicts/PECs, cold and warm-after-edit.
+ctest --test-dir "$BUILD_DIR" --output-on-failure -L dialect
 
 # The ServiceProtocol suite again under AddressSanitizer: truncated frames,
 # oversized length prefixes and mid-request disconnects exercise exactly the

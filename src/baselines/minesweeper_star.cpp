@@ -301,7 +301,7 @@ class Query {
   // Compiles a policy into a circuit over the symbolic prefix and an input
   // community/lp record (first-match, default deny, AS-path matches never
   // match — Minesweeper does not model path contents).
-  PolicyOut policy_circuit(const config::RoutePolicy& pol,
+  PolicyOut policy_circuit(const ir::RoutePolicy& pol,
                            const std::vector<Lit>& in_comm,
                            const std::vector<Lit>& in_lp) {
     PolicyOut out;

@@ -1,0 +1,83 @@
+// The frontend registry: defines the ir/frontend.hpp entry points over the
+// concrete dialect frontends.  Lives in the config layer (same namespace
+// trick as a registration file, but resolved through direct symbol
+// references, so the static archive always links it in).
+#include <cctype>
+
+#include "config/huawei.hpp"
+#include "config/rpsl.hpp"
+#include "ir/frontend.hpp"
+
+namespace expresso::ir {
+
+const char* dialect_name(Dialect d) {
+  switch (d) {
+    case Dialect::kHuawei:
+      return "huawei";
+    case Dialect::kRpsl:
+      return "rpsl";
+  }
+  return "?";
+}
+
+std::optional<Dialect> dialect_from_name(const std::string& name) {
+  if (name == "huawei") return Dialect::kHuawei;
+  if (name == "rpsl") return Dialect::kRpsl;
+  return std::nullopt;
+}
+
+const Frontend& frontend(Dialect d) {
+  static const config::HuaweiFrontend huawei;
+  static const config::RpslFrontend rpsl;
+  switch (d) {
+    case Dialect::kRpsl:
+      return rpsl;
+    case Dialect::kHuawei:
+      break;
+  }
+  return huawei;
+}
+
+Dialect detect_dialect(const std::string& text) {
+  // First significant token decides.  Both dialects open every router block
+  // with a fixed keyword, so sniffing never needs more than one token.
+  std::size_t i = 0;
+  while (i < text.size()) {
+    // Skip whitespace and comment lines.
+    if (std::isspace(static_cast<unsigned char>(text[i]))) {
+      ++i;
+      continue;
+    }
+    if (text[i] == '#' || text[i] == '!' ||
+        (text[i] == '/' && i + 1 < text.size() && text[i + 1] == '/')) {
+      while (i < text.size() && text[i] != '\n') ++i;
+      continue;
+    }
+    std::size_t j = i;
+    while (j < text.size() &&
+           !std::isspace(static_cast<unsigned char>(text[j]))) {
+      ++j;
+    }
+    return text.compare(i, j - i, "hostname") == 0 ? Dialect::kRpsl
+                                                   : Dialect::kHuawei;
+  }
+  return Dialect::kHuawei;
+}
+
+std::vector<RouterConfig> parse_configs(const std::string& text) {
+  return frontend(detect_dialect(text)).parse(text);
+}
+
+std::vector<RouterConfig> parse_configs(const std::string& text, Dialect d) {
+  return frontend(d).parse(text);
+}
+
+std::string emit(const std::vector<RouterConfig>& cfgs, Dialect d) {
+  return frontend(d).emit(cfgs);
+}
+
+std::string emit(const RouterConfig& cfg, Dialect d) {
+  return frontend(d).emit(cfg);
+}
+
+}  // namespace expresso::ir

@@ -1,14 +1,17 @@
-#include "config/parser.hpp"
+#include "config/huawei.hpp"
 
-#include <algorithm>
 #include <cctype>
 #include <sstream>
-
-#include "support/util.hpp"
 
 namespace expresso::config {
 
 namespace {
+
+using ir::ParseError;
+using ir::PeerStmt;
+using ir::PolicyClause;
+using ir::RouterConfig;
+using ir::RoutePolicy;
 
 // Strips comments and splits into tokens; respects double-quoted strings
 // (used by `if-match as-path ".*"`).
@@ -296,10 +299,82 @@ class Parser {
   RoutePolicy* current_policy_ = nullptr;
 };
 
+void serialize_clause(std::ostream& os, const std::string& name,
+                      const PolicyClause& c) {
+  os << " route-policy " << name << " " << (c.permit ? "permit" : "deny")
+     << " node " << c.node << "\n";
+  // One prefix-list entry per line, as real vendor configs list them.
+  for (const auto& p : c.match_prefixes) {
+    os << "  if-match prefix " << p.to_string() << "\n";
+  }
+  if (!c.match_communities.empty()) {
+    os << "  if-match community";
+    for (const auto& m : c.match_communities) os << " " << m.pattern();
+    os << "\n";
+  }
+  if (c.match_as_path) {
+    os << "  if-match as-path \"" << *c.match_as_path << "\"\n";
+  }
+  if (c.set_local_preference) {
+    os << "  set-local-preference " << *c.set_local_preference << "\n";
+  }
+  if (!c.add_communities.empty()) {
+    os << "  add-community";
+    for (const auto& cm : c.add_communities) os << " " << cm.to_string();
+    os << "\n";
+  }
+  if (!c.delete_communities.empty()) {
+    os << "  delete-community";
+    for (const auto& cm : c.delete_communities) os << " " << cm.to_string();
+    os << "\n";
+  }
+  if (c.prepend_as) os << "  prepend-as " << *c.prepend_as << "\n";
+}
+
 }  // namespace
 
-std::vector<RouterConfig> parse_configs(const std::string& text) {
+std::vector<RouterConfig> HuaweiFrontend::parse(const std::string& text) const {
   return Parser(text).run();
+}
+
+std::string HuaweiFrontend::emit(const RouterConfig& cfg) const {
+  std::ostringstream os;
+  os << "router " << cfg.name << "\n";
+  os << " bgp as " << cfg.asn << "\n";
+  for (const auto& [name, policy] : cfg.policies) {
+    for (const auto& clause : policy) serialize_clause(os, name, clause);
+  }
+  for (const auto& p : cfg.networks) {
+    os << " bgp network " << p.to_string() << "\n";
+  }
+  for (const auto& p : cfg.aggregates) {
+    os << " bgp aggregate " << p.to_string() << "\n";
+  }
+  if (cfg.redistribute_static) os << " bgp import-route static\n";
+  if (cfg.redistribute_connected) os << " bgp import-route connected\n";
+  for (const auto& peer : cfg.peers) {
+    os << " bgp peer " << peer.peer << " AS " << peer.peer_as;
+    if (peer.import_policy) os << " import " << *peer.import_policy;
+    if (peer.export_policy) os << " export " << *peer.export_policy;
+    if (peer.advertise_community) os << " advertise-community";
+    if (peer.rr_client) os << " rr-client";
+    if (peer.advertise_default) os << " advertise-default";
+    os << "\n";
+  }
+  for (const auto& s : cfg.statics) {
+    os << " static " << s.prefix.to_string() << " next-hop " << s.next_hop
+       << "\n";
+  }
+  for (const auto& p : cfg.connected) {
+    os << " interface prefix " << p.to_string() << "\n";
+  }
+  return os.str();
+}
+
+std::string HuaweiFrontend::emit(const std::vector<RouterConfig>& cfgs) const {
+  std::ostringstream os;
+  for (const auto& cfg : cfgs) os << emit(cfg) << "\n";
+  return os.str();
 }
 
 }  // namespace expresso::config

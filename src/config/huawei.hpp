@@ -1,0 +1,43 @@
+// The Huawei-flavoured config frontend: the paper's dialect (figure 4 and
+// the section 7 case studies).
+//
+//   router PR1
+//    bgp as 300
+//    bgp network 10.0.0.0/16
+//    bgp aggregate 10.0.0.0/8
+//    bgp import-route static
+//    bgp import-route connected
+//    route-policy im1 permit node 100
+//     if-match prefix 100.0.0.0/8 110.0.0.0/8 ge 24 le 28
+//     if-match community 300:100
+//     if-match as-path "100.*"
+//     set-local-preference 200
+//     add-community 300:100
+//     delete-community 300:100
+//     prepend-as 300
+//    route-policy ex1 deny node 100
+//     if-match community 300:100
+//    bgp peer ISP1 AS 100 import im1 export ex1
+//    bgp peer PR2 AS 300 advertise-community
+//    bgp peer DC AS 65500 advertise-default
+//    bgp peer PRx AS 300 rr-client
+//    static 10.1.0.0/16 next-hop PR2
+//    interface prefix 10.0.9.0/31
+//
+// `//` and `#` start comments; indentation is insignificant; double quotes
+// delimit as-path regexes.
+#pragma once
+
+#include "ir/frontend.hpp"
+
+namespace expresso::config {
+
+class HuaweiFrontend final : public ir::Frontend {
+ public:
+  ir::Dialect dialect() const override { return ir::Dialect::kHuawei; }
+  std::vector<ir::RouterConfig> parse(const std::string& text) const override;
+  std::string emit(const ir::RouterConfig& cfg) const override;
+  std::string emit(const std::vector<ir::RouterConfig>& cfgs) const override;
+};
+
+}  // namespace expresso::config

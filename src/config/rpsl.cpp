@@ -1,0 +1,570 @@
+#include "config/rpsl.hpp"
+
+#include <cctype>
+#include <map>
+#include <sstream>
+
+namespace expresso::config {
+
+namespace {
+
+using ir::ParseError;
+using ir::PeerStmt;
+using ir::PolicyClause;
+using ir::RouterConfig;
+using ir::RoutePolicy;
+
+// Well-known communities (RFC 1997), spelled as aliases in this dialect.
+constexpr std::uint16_t kWellKnownHigh = 65535;
+constexpr std::uint16_t kNoExportLow = 65281;
+constexpr std::uint16_t kNoAdvertiseLow = 65282;
+
+// Splits into tokens.  `!`, `#` and `//` start comments; `{`, `}` and `,`
+// are decorative separators; double quotes delimit as-path regexes.
+std::vector<std::string> tokenize(const std::string& line, std::size_t lineno) {
+  std::vector<std::string> out;
+  std::size_t i = 0;
+  while (i < line.size()) {
+    const char c = line[i];
+    if (std::isspace(static_cast<unsigned char>(c)) || c == '{' || c == '}' ||
+        c == ',') {
+      ++i;
+      continue;
+    }
+    if (c == '!' || c == '#' ||
+        (c == '/' && i + 1 < line.size() && line[i + 1] == '/')) {
+      break;  // comment to end of line
+    }
+    if (c == '"') {
+      const std::size_t end = line.find('"', i + 1);
+      if (end == std::string::npos) {
+        throw ParseError(lineno, "unterminated string");
+      }
+      out.push_back(line.substr(i + 1, end - i - 1));
+      i = end + 1;
+      continue;
+    }
+    std::size_t j = i;
+    while (j < line.size() &&
+           !std::isspace(static_cast<unsigned char>(line[j])) &&
+           line[j] != '{' && line[j] != '}' && line[j] != ',') {
+      ++j;
+    }
+    out.push_back(line.substr(i, j - i));
+    i = j;
+  }
+  return out;
+}
+
+std::uint32_t parse_u32(const std::string& tok, std::size_t lineno) {
+  std::uint64_t v = 0;
+  if (tok.empty()) throw ParseError(lineno, "expected a number");
+  for (char c : tok) {
+    if (!std::isdigit(static_cast<unsigned char>(c))) {
+      throw ParseError(lineno, "expected a number, got '" + tok + "'");
+    }
+    v = v * 10 + (c - '0');
+    if (v > 0xffffffffULL) throw ParseError(lineno, "number too large");
+  }
+  return static_cast<std::uint32_t>(v);
+}
+
+net::Ipv4Prefix parse_bare_prefix(const std::string& tok, std::size_t lineno) {
+  auto p = net::Ipv4Prefix::parse(tok);
+  if (!p) throw ParseError(lineno, "malformed prefix '" + tok + "'");
+  return *p;
+}
+
+// An RPSL prefix-set member: `P`, `P^+`, `P^-`, `P^n`, or `P^n-m`.
+net::PrefixMatch parse_prefix_member(const std::string& tok,
+                                     std::size_t lineno) {
+  const std::size_t caret = tok.find('^');
+  const net::Ipv4Prefix base =
+      parse_bare_prefix(tok.substr(0, caret), lineno);
+  if (caret == std::string::npos) return net::PrefixMatch::exact(base);
+  const std::string mod = tok.substr(caret + 1);
+  std::uint32_t ge = 0, le = 0;
+  if (mod == "+") {  // the prefix and all its more-specifics
+    ge = base.len;
+    le = 32;
+  } else if (mod == "-") {  // strictly more-specific
+    ge = base.len + 1u;
+    le = 32;
+  } else {
+    const std::size_t dash = mod.find('-');
+    if (dash == std::string::npos) {  // ^n: exactly length n
+      ge = le = parse_u32(mod, lineno);
+    } else {  // ^n-m
+      ge = parse_u32(mod.substr(0, dash), lineno);
+      le = parse_u32(mod.substr(dash + 1), lineno);
+    }
+  }
+  if (ge > 32 || le > 32) throw ParseError(lineno, "prefix length > 32");
+  if (ge < base.len || le < ge) {
+    throw ParseError(lineno, "invalid length modifier '^" + mod + "'");
+  }
+  return net::PrefixMatch::range(base, static_cast<std::uint8_t>(ge),
+                                 static_cast<std::uint8_t>(le));
+}
+
+std::string well_known_alias(std::uint16_t high, std::uint16_t low) {
+  if (high == kWellKnownHigh && low == kNoExportLow) return "no-export";
+  if (high == kWellKnownHigh && low == kNoAdvertiseLow) return "no-advertise";
+  return "";
+}
+
+// `no-export` / `no-advertise` aliases desugar before Community /
+// CommunityMatcher parsing, so the IR only ever holds numeric forms.
+std::string desugar_community_token(const std::string& tok) {
+  if (tok == "no-export") return "65535:65281";
+  if (tok == "no-advertise") return "65535:65282";
+  return tok;
+}
+
+net::Community parse_community(const std::string& tok, std::size_t lineno) {
+  auto c = net::Community::parse(desugar_community_token(tok));
+  if (!c) throw ParseError(lineno, "bad community '" + tok + "'");
+  return *c;
+}
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  std::vector<RouterConfig> run() {
+    std::istringstream in(text_);
+    std::string raw;
+    while (std::getline(in, raw)) {
+      ++lineno_;
+      const auto toks = tokenize(raw, lineno_);
+      if (toks.empty()) continue;
+      dispatch(toks);
+    }
+    finish_router();
+    return std::move(routers_);
+  }
+
+ private:
+  RouterConfig& cur() {
+    if (!current_) throw ParseError(lineno_, "statement outside any router");
+    return *current_;
+  }
+
+  PolicyClause& cur_clause() {
+    if (!current_policy_) {
+      throw ParseError(lineno_, "match/set outside any route-map");
+    }
+    return current_policy_->back();
+  }
+
+  void finish_router() {
+    current_policy_ = nullptr;
+    prefix_sets_.clear();
+    community_sets_.clear();
+    as_sets_.clear();
+    if (current_) {
+      routers_.push_back(std::move(*current_));
+      current_.reset();
+    }
+  }
+
+  void dispatch(const std::vector<std::string>& t) {
+    const std::string& k = t[0];
+    if (k == "hostname") {
+      need(t, 2);
+      finish_router();
+      current_.emplace();
+      current_->name = t[1];
+      return;
+    }
+    if (k == "router") {
+      // router bgp N
+      need(t, 3);
+      if (t[1] != "bgp") throw ParseError(lineno_, "expected 'bgp'");
+      current_policy_ = nullptr;
+      cur().asn = parse_u32(t[2], lineno_);
+      return;
+    }
+    if (k == "prefix-set") return prefix_set(t);
+    if (k == "community-set") return community_set(t);
+    if (k == "as-set") return as_set(t);
+    if (k == "route-map") return route_map(t);
+    if (k == "match") return match(t);
+    if (k == "set") return set_action(t);
+    if (k == "network") {
+      current_policy_ = nullptr;
+      need(t, 2);
+      cur().networks.push_back(parse_bare_prefix(t[1], lineno_));
+      return;
+    }
+    if (k == "aggregate-address") {
+      current_policy_ = nullptr;
+      need(t, 2);
+      cur().aggregates.push_back(parse_bare_prefix(t[1], lineno_));
+      return;
+    }
+    if (k == "redistribute") {
+      current_policy_ = nullptr;
+      need(t, 2);
+      if (t[1] == "static") {
+        cur().redistribute_static = true;
+      } else if (t[1] == "connected") {
+        cur().redistribute_connected = true;
+      } else {
+        throw ParseError(lineno_, "unknown redistribute source");
+      }
+      return;
+    }
+    if (k == "neighbor") return neighbor(t);
+    if (k == "ip") {
+      // ip route PREFIX NEXT-HOP
+      current_policy_ = nullptr;
+      need(t, 4);
+      if (t[1] != "route") throw ParseError(lineno_, "expected 'route'");
+      cur().statics.push_back({parse_bare_prefix(t[2], lineno_), t[3]});
+      return;
+    }
+    if (k == "interface") {
+      current_policy_ = nullptr;
+      need(t, 2);
+      cur().connected.push_back(parse_bare_prefix(t[1], lineno_));
+      return;
+    }
+    throw ParseError(lineno_, "unknown statement '" + k + "'");
+  }
+
+  void prefix_set(const std::vector<std::string>& t) {
+    // prefix-set NAME members M...
+    current_policy_ = nullptr;
+    need(t, 3);
+    if (t[2] != "members") throw ParseError(lineno_, "expected 'members'");
+    (void)cur();  // sets are scoped to a router block
+    auto& members = prefix_sets_[t[1]];
+    members.clear();
+    for (std::size_t i = 3; i < t.size(); ++i) {
+      members.push_back(parse_prefix_member(t[i], lineno_));
+    }
+  }
+
+  void community_set(const std::vector<std::string>& t) {
+    current_policy_ = nullptr;
+    need(t, 3);
+    if (t[2] != "members") throw ParseError(lineno_, "expected 'members'");
+    (void)cur();
+    auto& members = community_sets_[t[1]];
+    members.clear();
+    for (std::size_t i = 3; i < t.size(); ++i) {
+      auto m = net::CommunityMatcher::parse(desugar_community_token(t[i]));
+      if (!m) {
+        throw ParseError(lineno_, "bad community pattern '" + t[i] + "'");
+      }
+      members.push_back(*m);
+    }
+  }
+
+  void as_set(const std::vector<std::string>& t) {
+    current_policy_ = nullptr;
+    need(t, 3);
+    if (t[2] != "members") throw ParseError(lineno_, "expected 'members'");
+    (void)cur();
+    auto& members = as_sets_[t[1]];
+    members.clear();
+    for (std::size_t i = 3; i < t.size(); ++i) {
+      members.push_back(parse_u32(t[i], lineno_));
+    }
+  }
+
+  void route_map(const std::vector<std::string>& t) {
+    // route-map NAME permit|deny SEQ
+    need(t, 4);
+    PolicyClause clause;
+    if (t[2] == "permit") {
+      clause.permit = true;
+    } else if (t[2] == "deny") {
+      clause.permit = false;
+    } else {
+      throw ParseError(lineno_, "expected permit or deny");
+    }
+    clause.node = parse_u32(t[3], lineno_);
+    auto& policy = cur().policies[t[1]];
+    policy.push_back(clause);
+    current_policy_ = &policy;
+  }
+
+  void match(const std::vector<std::string>& t) {
+    need(t, 3);
+    PolicyClause& c = cur_clause();
+    if (t[1] == "prefix-set") {
+      auto it = prefix_sets_.find(t[2]);
+      if (it == prefix_sets_.end()) {
+        throw ParseError(lineno_, "undefined prefix-set '" + t[2] + "'");
+      }
+      for (const auto& m : it->second) c.match_prefixes.push_back(m);
+      return;
+    }
+    if (t[1] == "community-set") {
+      auto it = community_sets_.find(t[2]);
+      if (it == community_sets_.end()) {
+        throw ParseError(lineno_, "undefined community-set '" + t[2] + "'");
+      }
+      for (const auto& m : it->second) c.match_communities.push_back(m);
+      return;
+    }
+    if (t[1] == "as-path") {
+      c.match_as_path = t[2];
+      return;
+    }
+    if (t[1] == "as-origin-set") {
+      // Routes originated by any member of the AS set: regex `.*(a|b|...)`.
+      auto it = as_sets_.find(t[2]);
+      if (it == as_sets_.end()) {
+        throw ParseError(lineno_, "undefined as-set '" + t[2] + "'");
+      }
+      if (it->second.empty()) {
+        throw ParseError(lineno_, "empty as-set '" + t[2] + "'");
+      }
+      std::ostringstream re;
+      if (it->second.size() == 1) {
+        re << ".*" << it->second.front();
+      } else {
+        re << ".*(";
+        for (std::size_t i = 0; i < it->second.size(); ++i) {
+          if (i != 0) re << "|";
+          re << it->second[i];
+        }
+        re << ")";
+      }
+      c.match_as_path = re.str();
+      return;
+    }
+    throw ParseError(lineno_, "unknown match kind '" + t[1] + "'");
+  }
+
+  void set_action(const std::vector<std::string>& t) {
+    need(t, 3);
+    PolicyClause& c = cur_clause();
+    if (t[1] == "local-preference") {
+      c.set_local_preference = parse_u32(t[2], lineno_);
+      return;
+    }
+    if (t[1] == "community") {
+      // set community add|delete C...
+      need(t, 4);
+      const bool add = t[2] == "add";
+      if (!add && t[2] != "delete") {
+        throw ParseError(lineno_, "expected 'add' or 'delete'");
+      }
+      for (std::size_t i = 3; i < t.size(); ++i) {
+        const net::Community comm = parse_community(t[i], lineno_);
+        if (add) {
+          c.add_communities.push_back(comm);
+        } else {
+          c.delete_communities.push_back(comm);
+        }
+      }
+      return;
+    }
+    if (t[1] == "as-path") {
+      // set as-path prepend N
+      need(t, 4);
+      if (t[2] != "prepend") throw ParseError(lineno_, "expected 'prepend'");
+      c.prepend_as = parse_u32(t[3], lineno_);
+      return;
+    }
+    throw ParseError(lineno_, "unknown set kind '" + t[1] + "'");
+  }
+
+  void neighbor(const std::vector<std::string>& t) {
+    current_policy_ = nullptr;
+    need(t, 3);
+    const std::string& name = t[1];
+    if (t[2] == "remote-as") {
+      need(t, 4);
+      PeerStmt p;
+      p.peer = name;
+      p.peer_as = parse_u32(t[3], lineno_);
+      cur().peers.push_back(std::move(p));
+      return;
+    }
+    // Every other neighbor statement refines an existing peer.
+    PeerStmt* p = nullptr;
+    for (auto& cand : cur().peers) {
+      if (cand.peer == name) p = &cand;
+    }
+    if (p == nullptr) {
+      throw ParseError(lineno_, "neighbor '" + name + "' has no remote-as");
+    }
+    if (t[2] == "route-map") {
+      need(t, 5);
+      if (t[4] == "in") {
+        p->import_policy = t[3];
+      } else if (t[4] == "out") {
+        p->export_policy = t[3];
+      } else {
+        throw ParseError(lineno_, "expected 'in' or 'out'");
+      }
+      return;
+    }
+    if (t[2] == "send-community") {
+      p->advertise_community = true;
+      return;
+    }
+    if (t[2] == "route-reflector-client") {
+      p->rr_client = true;
+      return;
+    }
+    if (t[2] == "default-originate") {
+      p->advertise_default = true;
+      return;
+    }
+    throw ParseError(lineno_, "unknown neighbor option '" + t[2] + "'");
+  }
+
+  void need(const std::vector<std::string>& t, std::size_t n) {
+    if (t.size() < n) throw ParseError(lineno_, "too few arguments");
+  }
+
+  const std::string& text_;
+  std::size_t lineno_ = 0;
+  std::vector<RouterConfig> routers_;
+  std::optional<RouterConfig> current_;
+  RoutePolicy* current_policy_ = nullptr;
+  // Named sets, scoped to the current router block.
+  std::map<std::string, std::vector<net::PrefixMatch>> prefix_sets_;
+  std::map<std::string, std::vector<net::CommunityMatcher>> community_sets_;
+  std::map<std::string, std::vector<std::uint32_t>> as_sets_;
+};
+
+// --- emitter ----------------------------------------------------------------
+
+std::string emit_prefix_member(const net::PrefixMatch& m) {
+  std::ostringstream os;
+  os << m.base.to_string();
+  if (!(m.ge == m.base.len && m.le == m.base.len)) {
+    os << "^" << static_cast<unsigned>(m.ge) << "-"
+       << static_cast<unsigned>(m.le);
+  }
+  return os.str();
+}
+
+std::string emit_matcher(const net::CommunityMatcher& m) {
+  // Prefer the well-known aliases where the pattern is an exact well-known
+  // community (parse desugars them back to the same numeric pattern).
+  if (m.pattern() == "65535:65281") return "no-export";
+  if (m.pattern() == "65535:65282") return "no-advertise";
+  return m.pattern();
+}
+
+std::string emit_community(const net::Community& c) {
+  const std::string alias = well_known_alias(c.high, c.low);
+  return alias.empty() ? c.to_string() : alias;
+}
+
+void emit_clause(std::ostream& os, const std::string& map_name,
+                 std::size_t idx, const PolicyClause& c) {
+  // Named sets first (referenced by the clause right below); set names are
+  // positional, so emission is deterministic and re-parse rebuilds the same
+  // inline member lists.
+  const std::string suffix = map_name + "-" + std::to_string(idx);
+  if (!c.match_prefixes.empty()) {
+    os << "prefix-set ps-" << suffix << " members {";
+    for (std::size_t i = 0; i < c.match_prefixes.size(); ++i) {
+      os << (i == 0 ? " " : ", ") << emit_prefix_member(c.match_prefixes[i]);
+    }
+    os << " }\n";
+  }
+  if (!c.match_communities.empty()) {
+    os << "community-set cs-" << suffix << " members {";
+    for (std::size_t i = 0; i < c.match_communities.size(); ++i) {
+      os << (i == 0 ? " " : ", ") << emit_matcher(c.match_communities[i]);
+    }
+    os << " }\n";
+  }
+  os << "route-map " << map_name << " " << (c.permit ? "permit" : "deny")
+     << " " << c.node << "\n";
+  if (!c.match_prefixes.empty()) {
+    os << " match prefix-set ps-" << suffix << "\n";
+  }
+  if (!c.match_communities.empty()) {
+    os << " match community-set cs-" << suffix << "\n";
+  }
+  if (c.match_as_path) {
+    os << " match as-path \"" << *c.match_as_path << "\"\n";
+  }
+  if (c.set_local_preference) {
+    os << " set local-preference " << *c.set_local_preference << "\n";
+  }
+  if (!c.add_communities.empty()) {
+    os << " set community add";
+    for (const auto& cm : c.add_communities) os << " " << emit_community(cm);
+    os << "\n";
+  }
+  if (!c.delete_communities.empty()) {
+    os << " set community delete";
+    for (const auto& cm : c.delete_communities) {
+      os << " " << emit_community(cm);
+    }
+    os << "\n";
+  }
+  if (c.prepend_as) os << " set as-path prepend " << *c.prepend_as << "\n";
+}
+
+}  // namespace
+
+std::vector<RouterConfig> RpslFrontend::parse(const std::string& text) const {
+  return Parser(text).run();
+}
+
+std::string RpslFrontend::emit(const RouterConfig& cfg) const {
+  std::ostringstream os;
+  os << "hostname " << cfg.name << "\n";
+  os << "router bgp " << cfg.asn << "\n";
+  for (const auto& [name, policy] : cfg.policies) {  // std::map: sorted
+    for (std::size_t i = 0; i < policy.size(); ++i) {
+      emit_clause(os, name, i, policy[i]);
+    }
+  }
+  for (const auto& p : cfg.networks) {
+    os << "network " << p.to_string() << "\n";
+  }
+  for (const auto& p : cfg.aggregates) {
+    os << "aggregate-address " << p.to_string() << "\n";
+  }
+  if (cfg.redistribute_static) os << "redistribute static\n";
+  if (cfg.redistribute_connected) os << "redistribute connected\n";
+  for (const auto& peer : cfg.peers) {
+    os << "neighbor " << peer.peer << " remote-as " << peer.peer_as << "\n";
+    if (peer.import_policy) {
+      os << "neighbor " << peer.peer << " route-map " << *peer.import_policy
+         << " in\n";
+    }
+    if (peer.export_policy) {
+      os << "neighbor " << peer.peer << " route-map " << *peer.export_policy
+         << " out\n";
+    }
+    if (peer.advertise_community) {
+      os << "neighbor " << peer.peer << " send-community\n";
+    }
+    if (peer.rr_client) {
+      os << "neighbor " << peer.peer << " route-reflector-client\n";
+    }
+    if (peer.advertise_default) {
+      os << "neighbor " << peer.peer << " default-originate\n";
+    }
+  }
+  for (const auto& s : cfg.statics) {
+    os << "ip route " << s.prefix.to_string() << " " << s.next_hop << "\n";
+  }
+  for (const auto& p : cfg.connected) {
+    os << "interface " << p.to_string() << "\n";
+  }
+  return os.str();
+}
+
+std::string RpslFrontend::emit(const std::vector<RouterConfig>& cfgs) const {
+  std::ostringstream os;
+  for (const auto& cfg : cfgs) os << emit(cfg) << "!\n";
+  return os.str();
+}
+
+}  // namespace expresso::config

@@ -1,0 +1,67 @@
+// The RPSL/Cisco-style config frontend.  Same semantic model as the Huawei
+// dialect (both parse into ir::RouterConfig), different surface syntax —
+// modelled on bgpcheck's RPSL filter AST: named prefix sets with RPSL
+// length modifiers, named community sets with well-known community
+// aliases, and AS sets.
+//
+//   hostname PR1
+//   router bgp 300
+//   prefix-set ps-im1-0 members { 100.0.0.0/8^24-28, 110.0.0.0/8 }
+//   community-set cs-im1-0 members { 300:100, no-export }
+//   as-set as-customers members { 100, 200 }
+//   route-map im1 permit 100
+//    match prefix-set ps-im1-0
+//    match community-set cs-im1-0
+//    match as-path "100.*"
+//    set local-preference 200
+//    set community add 300:100
+//    set community delete 300:100
+//    set as-path prepend 300
+//   route-map ex1 deny 100
+//    match as-origin-set as-customers
+//   network 10.0.0.0/16
+//   aggregate-address 10.0.0.0/8
+//   redistribute static
+//   redistribute connected
+//   neighbor ISP1 remote-as 100
+//   neighbor ISP1 route-map im1 in
+//   neighbor ISP1 route-map ex1 out
+//   neighbor PR2 remote-as 300
+//   neighbor PR2 send-community
+//   neighbor PRx remote-as 300
+//   neighbor PRx route-reflector-client
+//   neighbor DC remote-as 65500
+//   neighbor DC default-originate
+//   ip route 10.1.0.0/16 PR2
+//   interface 10.0.9.0/31
+//
+// Notes on the dialect:
+//   * `!`, `#` and `//` start comments; braces and commas in member lists
+//     are decorative (RPSL habit) — the tokenizer treats them as spaces;
+//   * prefix-set members take RPSL length modifiers: `P^n-m` (lengths in
+//     [n,m]), `P^n` (exactly n), `P^+` (P and all more-specifics), `P^-`
+//     (strictly more-specifics), bare `P` (exact);
+//   * community-set members and `set community add/delete` accept the
+//     well-known aliases `no-export` (65535:65281) and `no-advertise`
+//     (65535:65282), which the emitter also prefers;
+//   * `match as-origin-set NAME` is parse-only sugar: it desugars to the
+//     as-path regex `.*(a|b|...)` over the set's members (routes originated
+//     by any member AS).  The emitter always emits `match as-path`;
+//   * sets must be declared before the route-map clause that references
+//     them, and set references are resolved at parse time — the IR stores
+//     the member lists inline, so set *names* are not semantic.
+#pragma once
+
+#include "ir/frontend.hpp"
+
+namespace expresso::config {
+
+class RpslFrontend final : public ir::Frontend {
+ public:
+  ir::Dialect dialect() const override { return ir::Dialect::kRpsl; }
+  std::vector<ir::RouterConfig> parse(const std::string& text) const override;
+  std::string emit(const ir::RouterConfig& cfg) const override;
+  std::string emit(const std::vector<ir::RouterConfig>& cfgs) const override;
+};
+
+}  // namespace expresso::config

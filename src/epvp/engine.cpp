@@ -6,7 +6,7 @@
 #include <sstream>
 #include <stdexcept>
 
-#include "config/hash.hpp"
+#include "ir/hash.hpp"
 #include "obs/trace.hpp"
 
 namespace expresso::epvp {
@@ -208,16 +208,16 @@ const policy::CompiledPolicy* Engine::find_policy(NodeIndex router,
   auto pit = cfg.policies.find(name);
   if (pit == cfg.policies.end()) return nullptr;  // undefined policy: deny
   const auto key = policy::PolicyCache::make_key(
-      cfg.name, name, config::ast_hash(pit->second));
+      cfg.name, name, ir::ast_hash(pit->second));
   // Reuse is measured during the serial precompile pass only; the rounds
   // re-resolve on every transfer and would drown the counters.
   const auto* cached =
       precompiled_ ? policies_->peek(key) : policies_->find(key);
   if (cached) return cached;
-  config::RoutePolicy ast = pit->second;
+  ir::RoutePolicy ast = pit->second;
   if (!options_.model_communities) {
     // Feature ablation: drop community matching and actions.
-    config::RoutePolicy stripped;
+    ir::RoutePolicy stripped;
     for (auto clause : ast) {
       if (!clause.match_communities.empty()) continue;  // never matches
       clause.add_communities.clear();

@@ -5,7 +5,7 @@
 #include <sstream>
 #include <stdexcept>
 
-#include "config/parser.hpp"
+#include "ir/frontend.hpp"
 #include "dataplane/fib.hpp"
 #include "obs/trace.hpp"
 #include "support/util.hpp"
@@ -110,63 +110,88 @@ void Session::reset_all() {
   bump_generation();
 }
 
+namespace {
+
+// Parse-stage key: dialect mixed into the text hash (golden ratio odd
+// constant), so forcing a different frontend over byte-identical text is a
+// different parse artifact.
+std::uint64_t parse_key(const std::string& text, ir::Dialect d) {
+  return ir::text_hash(text) +
+         (static_cast<std::uint64_t>(d) + 1) * 0x9e3779b97f4a7c15ULL;
+}
+
+}  // namespace
+
 void Session::load(const std::string& config_text) {
-  std::vector<config::RouterConfig> cfgs;
+  load(config_text, ir::detect_dialect(config_text));
+}
+
+void Session::load(const std::string& config_text, ir::Dialect dialect) {
+  std::vector<ir::RouterConfig> cfgs;
   {
     obs::Span span("stage.parse");
     Stopwatch sw;
-    cfgs = config::parse_configs(config_text);
+    cfgs = ir::parse_configs(config_text, dialect);
     registry_.gauge("stage.parse.seconds").set(sw.seconds());
     registry_.counter("stage.parse.misses").inc();
-    span.arg("cache", "miss").arg("bytes", config_text.size());
+    span.arg("cache", "miss")
+        .arg("bytes", config_text.size())
+        .arg("dialect", ir::dialect_name(dialect));
   }
-  text_hash_ = config::text_hash(config_text);
+  text_hash_ = parse_key(config_text, dialect);
   reset_all();
   install(std::move(cfgs), /*delta_aware=*/false);
 }
 
-void Session::load(std::vector<config::RouterConfig> configs) {
+void Session::load(std::vector<ir::RouterConfig> configs) {
   text_hash_.reset();
   reset_all();
   install(std::move(configs), /*delta_aware=*/false);
 }
 
 void Session::update(const std::string& config_text) {
-  const std::uint64_t h = config::text_hash(config_text);
+  update(config_text, ir::detect_dialect(config_text));
+}
+
+void Session::update(const std::string& config_text, ir::Dialect dialect) {
+  const std::uint64_t h = parse_key(config_text, dialect);
   if (loaded() && text_hash_ && *text_hash_ == h) {
-    // Byte-identical text: skip the parser, run the (empty) diff.
+    // Byte-identical text through the same frontend: skip the parser, run
+    // the (empty) diff.
     obs::Span span("stage.parse");
     span.arg("cache", "hit");
     registry_.counter("stage.parse.hits").inc();
-    install(std::vector<config::RouterConfig>(net_->configs()),
+    install(std::vector<ir::RouterConfig>(net_->configs()),
             /*delta_aware=*/true);
     return;
   }
-  std::vector<config::RouterConfig> cfgs;
+  std::vector<ir::RouterConfig> cfgs;
   {
     obs::Span span("stage.parse");
     Stopwatch sw;
-    cfgs = config::parse_configs(config_text);
+    cfgs = ir::parse_configs(config_text, dialect);
     registry_.gauge("stage.parse.seconds").set(sw.seconds());
     registry_.counter("stage.parse.misses").inc();
-    span.arg("cache", "miss").arg("bytes", config_text.size());
+    span.arg("cache", "miss")
+        .arg("bytes", config_text.size())
+        .arg("dialect", ir::dialect_name(dialect));
   }
   text_hash_ = h;
   install(std::move(cfgs), /*delta_aware=*/true);
 }
 
-void Session::update(std::vector<config::RouterConfig> configs) {
+void Session::update(std::vector<ir::RouterConfig> configs) {
   text_hash_.reset();  // snapshot supplied as ASTs: no parse artifact
   install(std::move(configs), /*delta_aware=*/true);
 }
 
-void Session::install(std::vector<config::RouterConfig> configs,
+void Session::install(std::vector<ir::RouterConfig> configs,
                       bool delta_aware) {
   registry_.counter("session.updates").inc();
   const bool had = loaded();
 
   if (had && delta_aware) {
-    const config::ConfigDelta delta = config::diff_configs(net_->configs(),
+    const ir::ConfigDelta delta = ir::diff_configs(net_->configs(),
                                                            configs);
     if (delta.empty()) {
       // Nothing the pipeline depends on changed: every artifact is a hit.
@@ -249,8 +274,8 @@ void Session::install(std::vector<config::RouterConfig> configs,
   universe_span.end();
 
   net_ = std::move(net);
-  snapshot_hash_ = config::snapshot_hash(net_->configs());
-  dp_hash_ = config::dataplane_hash(net_->configs());
+  snapshot_hash_ = ir::snapshot_hash(net_->configs());
+  dp_hash_ = ir::dataplane_hash(net_->configs());
   build_engine();
   src_done_ = false;
   registry_.gauge("session.warm").set(0);
@@ -346,7 +371,7 @@ void Session::run_src() {
   // remains valid — the generation stays, so they keep hitting.  RIB
   // equality alone is not enough: FIB construction and internal-prefix
   // predicates read statics/connected/networks/aggregates straight from the
-  // config, so those fields (config::dataplane_hash) must also match the
+  // config, so those fields (ir::dataplane_hash) must also match the
   // snapshot the current generation's artifacts were computed from.  An edit
   // touching only a non-redistributed static route leaves every RIB
   // identical yet moves the FIBs.

@@ -10,7 +10,7 @@
 // Every artifact is keyed by a content hash of its inputs (config AST hashes
 // per router, options, property parameters) and memoized across
 // Session::update() calls.  update() diffs the new snapshot against the
-// current one (config::diff_configs) and invalidates only what the delta can
+// current one (ir::diff_configs) and invalidates only what the delta can
 // reach:
 //
 //   * empty delta                 → every artifact is reused (pure cache hit);
@@ -22,7 +22,7 @@
 //                                   (fields FIB construction and
 //                                   internal-prefix predicates read straight
 //                                   from the config — see
-//                                   config::dataplane_hash) is unchanged,
+//                                   ir::dataplane_hash) is unchanged,
 //                                   FIBs/PECs and verdicts are also kept;
 //   * universe changed (new ASN, → cold restart: fresh encoding, caches
 //     new community atom, new       cleared.  Warm runs that fail to
@@ -46,7 +46,8 @@
 #include <string>
 #include <vector>
 
-#include "config/hash.hpp"
+#include "ir/frontend.hpp"
+#include "ir/hash.hpp"
 #include "dataplane/forwarding.hpp"
 #include "epvp/engine.hpp"
 #include "obs/metrics.hpp"
@@ -140,14 +141,19 @@ class Session {
   Session(const Session&) = delete;
   Session& operator=(const Session&) = delete;
 
-  // Full (re)load: drops every artifact and verifies from scratch.
+  // Full (re)load: drops every artifact and verifies from scratch.  The
+  // text overloads run the config through a frontend: without an explicit
+  // dialect the frontend is sniffed per call (ir::detect_dialect), so mixed
+  // fleets can push whichever dialect they speak.
   void load(const std::string& config_text);
-  void load(std::vector<config::RouterConfig> configs);
+  void load(const std::string& config_text, ir::Dialect dialect);
+  void load(std::vector<ir::RouterConfig> configs);
 
   // Delta update: diffs against the current snapshot and keeps whatever the
   // delta cannot affect.  Acts as load() when nothing is loaded yet.
   void update(const std::string& config_text);
-  void update(std::vector<config::RouterConfig> configs);
+  void update(const std::string& config_text, ir::Dialect dialect);
+  void update(std::vector<ir::RouterConfig> configs);
 
   bool loaded() const { return net_ != nullptr; }
 
@@ -158,7 +164,7 @@ class Session {
   // --- artifact views ------------------------------------------------------
   // References are invalidated by the next load()/update().
   const net::Network& network() const;
-  const std::vector<config::RouterConfig>& configs() const {
+  const std::vector<ir::RouterConfig>& configs() const {
     ensure_loaded();
     return net_->configs();
   }
@@ -209,7 +215,7 @@ class Session {
   void ensure_loaded() const;
   void reset_all();
   // Shared by load()/update(); `delta_aware` selects incremental reuse.
-  void install(std::vector<config::RouterConfig> configs, bool delta_aware);
+  void install(std::vector<ir::RouterConfig> configs, bool delta_aware);
   void build_engine();
   // Memoized property dispatch: runs `compute` unless (key, generation) is
   // cached.  `timer_name` is the registry timer family the computation's
@@ -245,7 +251,9 @@ class Session {
   std::size_t gc_budget_ = 0;
 
   // --- artifacts, in pipeline order ---------------------------------------
-  std::optional<std::uint64_t> text_hash_;   // parse key (text loads only)
+  // Parse key (text loads only): the text hash mixed with the dialect, so a
+  // forced-dialect change over byte-identical text never reuses the parse.
+  std::optional<std::uint64_t> text_hash_;
   std::uint64_t snapshot_hash_ = 0;
   std::unique_ptr<net::Network> net_;
   std::unique_ptr<automaton::AsAlphabet> alphabet_;
@@ -266,7 +274,7 @@ class Session {
   // SPF state.  `generation_` identifies the inputs verdicts/PECs were
   // derived from: the RIB contents plus the data-plane config fields that
   // FIB construction and internal-prefix predicates read directly
-  // (config::dataplane_hash).  It only advances when a run changes either,
+  // (ir::dataplane_hash).  It only advances when a run changes either,
   // so a warm re-verification that lands on the same fixed point over the
   // same data-plane config keeps every downstream artifact.
   std::uint64_t generation_ = 0;

@@ -27,7 +27,7 @@ class Verifier {
       : session_(options) {
     session_.load(config_text);
   }
-  Verifier(std::vector<config::RouterConfig> configs,
+  Verifier(std::vector<ir::RouterConfig> configs,
            epvp::Options options = {})
       : session_(options) {
     session_.load(std::move(configs));

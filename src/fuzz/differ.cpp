@@ -8,7 +8,7 @@
 
 #include "baselines/enumerator.hpp"
 #include "baselines/minesweeper_star.hpp"
-#include "config/parser.hpp"
+#include "ir/frontend.hpp"
 #include "dataplane/fib.hpp"
 #include "epvp/engine.hpp"
 #include "net/network.hpp"
@@ -104,7 +104,7 @@ struct FeatureScan {
   bool multi_as = false;
 };
 
-FeatureScan scan(const std::vector<config::RouterConfig>& configs) {
+FeatureScan scan(const std::vector<ir::RouterConfig>& configs) {
   FeatureScan f;
   for (const auto& cfg : configs) {
     if (!cfg.aggregates.empty()) f.aggregates = true;
@@ -133,13 +133,37 @@ DiffResult diff_scenario(const Scenario& s, const DiffOptions& opt) {
   DiffResult res;
 
   // --- parse + build -------------------------------------------------------
-  std::vector<config::RouterConfig> configs;
+  std::vector<ir::RouterConfig> configs;
   try {
-    configs = config::parse_configs(s.config_text);
+    configs = ir::parse_configs(s.config_text, s.dialect);
   } catch (const std::exception& e) {
     res.config_rejected = true;
     res.reject_reason = std::string("parse: ") + e.what();
     return res;
+  }
+
+  // --- cross-dialect frontend check ---------------------------------------
+  // The IR is dialect-neutral: emitting it through any other frontend and
+  // re-parsing must reproduce the identical IR (hence identical hashes and
+  // verdicts).  A divergence here is a frontend bug, reported like any
+  // other engine disagreement so the shrinker can minimize it.
+  if (opt.check_dialects) {
+    for (const ir::Dialect other : {ir::Dialect::kHuawei, ir::Dialect::kRpsl}) {
+      if (other == s.dialect) continue;
+      try {
+        const auto reparsed =
+            ir::parse_configs(ir::emit(configs, other), other);
+        if (reparsed != configs) {
+          res.mismatches.push_back(
+              {"dialect", std::string("IR not preserved through the ") +
+                              ir::dialect_name(other) + " frontend"});
+        }
+      } catch (const std::exception& e) {
+        res.mismatches.push_back(
+            {"dialect", std::string(ir::dialect_name(other)) +
+                            " frontend rejected emitted IR: " + e.what()});
+      }
+    }
   }
   const FeatureScan feat = scan(configs);
   if (feat.aggregates) {

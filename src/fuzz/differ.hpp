@@ -24,7 +24,7 @@ namespace expresso::fuzz {
 
 struct Mismatch {
   // "rib", "external-rib", "forward", "epvp-crash", "spvp-crash",
-  // "leak-minesweeper", "leak-enumerator".
+  // "leak-minesweeper", "leak-enumerator", "dialect".
   std::string kind;
   std::string detail;
 };
@@ -40,6 +40,12 @@ struct DiffOptions {
   bool plant_preference_bug = false;
   // Forced AS-path mode; unset = derived from the scenario (see differ.cpp).
   std::optional<automaton::AsPathMode> aspath_mode;
+  // Cross-dialect check: re-emit the parsed IR through every *other*
+  // frontend, re-parse, and require the IR to survive unchanged (frontend
+  // round-trip equivalence).  Cheap (no extra engine runs — equal IR is
+  // sufficient for equal verdicts, which the `dialect` test tier re-proves
+  // end to end); any divergence is a "dialect" mismatch.
+  bool check_dialects = true;
 };
 
 struct DiffResult {

@@ -11,7 +11,7 @@ namespace {
 
 // A policy reference (router-local) picked uniformly among policies that
 // satisfy `min_clauses`.  Returns nullptr when the router has none.
-config::RoutePolicy* pick_policy(config::RouterConfig& c, SplitMix64& rng,
+ir::RoutePolicy* pick_policy(ir::RouterConfig& c, SplitMix64& rng,
                                  std::size_t min_clauses,
                                  std::string* name_out) {
   std::vector<std::string> names;
@@ -25,7 +25,7 @@ config::RoutePolicy* pick_policy(config::RouterConfig& c, SplitMix64& rng,
 }
 
 std::set<std::uint32_t> known_asns(
-    const std::vector<config::RouterConfig>& configs) {
+    const std::vector<ir::RouterConfig>& configs) {
   std::set<std::uint32_t> asns;
   for (const auto& c : configs) {
     asns.insert(c.asn);
@@ -40,7 +40,7 @@ std::set<std::uint32_t> known_asns(
 }
 
 std::set<std::pair<std::uint16_t, std::uint16_t>> known_communities(
-    const std::vector<config::RouterConfig>& configs) {
+    const std::vector<ir::RouterConfig>& configs) {
   std::set<std::pair<std::uint16_t, std::uint16_t>> comms;
   auto add = [&](const net::Community& cm) {
     comms.insert({cm.high, cm.low});
@@ -61,8 +61,8 @@ std::set<std::pair<std::uint16_t, std::uint16_t>> known_communities(
 
 // One attempt at one edit kind.  Returns a description when the config
 // actually changed, empty otherwise.
-std::string try_edit(std::vector<config::RouterConfig>& configs,
-                     config::RouterConfig& c, int kind, SplitMix64& rng,
+std::string try_edit(std::vector<ir::RouterConfig>& configs,
+                     ir::RouterConfig& c, int kind, SplitMix64& rng,
                      bool* universe_changing) {
   std::ostringstream what;
   std::string pname;
@@ -219,7 +219,7 @@ std::string try_edit(std::vector<config::RouterConfig>& configs,
 
 }  // namespace
 
-Edit apply_random_edit(const std::vector<config::RouterConfig>& configs,
+Edit apply_random_edit(const std::vector<ir::RouterConfig>& configs,
                        std::uint64_t seed) {
   SplitMix64 rng(seed ^ 0xedD17edD17ULL);
   Edit out;

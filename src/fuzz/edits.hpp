@@ -23,19 +23,19 @@
 // that is the regime the warm path targets.  Edits are a pure function of
 // (configs, seed); an edit that would be a no-op on this snapshot retries
 // with a different kind, so the returned snapshot always differs from the
-// input (config::diff_configs reports exactly one changed router).
+// input (ir::diff_configs reports exactly one changed router).
 #pragma once
 
 #include <cstdint>
 #include <string>
 #include <vector>
 
-#include "config/ast.hpp"
+#include "ir/ir.hpp"
 
 namespace expresso::fuzz {
 
 struct Edit {
-  std::vector<config::RouterConfig> configs;  // the edited snapshot
+  std::vector<ir::RouterConfig> configs;  // the edited snapshot
   std::string router;                         // name of the touched router
   std::string description;                    // what was done
   // Expected invalidation class (advisory: the Session decides for itself by
@@ -43,7 +43,7 @@ struct Edit {
   bool universe_changing = false;
 };
 
-Edit apply_random_edit(const std::vector<config::RouterConfig>& configs,
+Edit apply_random_edit(const std::vector<ir::RouterConfig>& configs,
                        std::uint64_t seed);
 
 }  // namespace expresso::fuzz

@@ -4,16 +4,16 @@
 #include <string>
 #include <vector>
 
-#include "config/ast.hpp"
+#include "ir/frontend.hpp"
 #include "support/util.hpp"
 
 namespace expresso::fuzz {
 
 namespace {
 
-using config::PeerStmt;
-using config::PolicyClause;
-using config::RouterConfig;
+using ir::PeerStmt;
+using ir::PolicyClause;
+using ir::RouterConfig;
 using net::Community;
 using net::CommunityMatcher;
 using net::Ipv4Prefix;
@@ -140,7 +140,7 @@ struct Gen {
   std::string make_policy(RouterConfig& cfg) {
     if (rng.chance(1, 24)) return "ghost";  // undefined on purpose
     const std::string name = "p" + std::to_string(cfg.policies.size());
-    config::RoutePolicy pol;
+    ir::RoutePolicy pol;
     const int clauses = static_cast<int>(rng.below(4));  // 0 = empty policy
     for (int i = 0; i < clauses; ++i) {
       pol.push_back(random_clause(10u * (static_cast<std::uint32_t>(i) + 1),
@@ -282,7 +282,8 @@ struct Gen {
     build_origination();
     build_announcements(s);
     s.pool = pool;
-    s.config_text = config::serialize(routers);
+    s.dialect = opt.dialect;
+    s.config_text = ir::emit(routers, opt.dialect);
     return s;
   }
 };

@@ -31,6 +31,10 @@ struct GenOptions {
   int max_routers = 4;    // internal routers: 1..max_routers
   int max_externals = 3;  // external neighbors: 1..max_externals
   int max_pool = 3;       // candidate prefix pool: 1..max_pool entries
+  // Config dialect the scenario text is emitted in.  The generator builds
+  // the dialect-neutral IR either way; this only selects the frontend, so
+  // the same seed yields semantically identical scenarios in every dialect.
+  ir::Dialect dialect = ir::Dialect::kHuawei;
 };
 
 Scenario generate_scenario(std::uint64_t seed, const GenOptions& opt = {});

@@ -19,6 +19,9 @@ std::string to_repro(const Scenario& s, const std::vector<std::string>& notes) {
     while (std::getline(lines, line)) os << "# " << line << "\n";
   }
   os << "seed " << s.seed << "\n";
+  if (s.dialect != ir::Dialect::kHuawei) {
+    os << "dialect " << ir::dialect_name(s.dialect) << "\n";
+  }
   for (const auto& p : s.pool) os << "pool " << p.to_string() << "\n";
   for (const auto& [name, p] : s.announcements) {
     os << "announce " << name << " " << p.to_string() << "\n";
@@ -69,6 +72,13 @@ Scenario parse_repro(const std::string& text) {
                                  ": bad seed '" + w + "'");
       }
       s.seed = v;
+    } else if (t[0] == "dialect" && t.size() == 2) {
+      const auto d = ir::dialect_from_name(t[1]);
+      if (!d) {
+        throw std::runtime_error("repro line " + std::to_string(lineno) +
+                                 ": unknown dialect '" + t[1] + "'");
+      }
+      s.dialect = *d;
     } else if (t[0] == "pool" && t.size() == 2) {
       auto p = net::Ipv4Prefix::parse(t[1]);
       if (!p) {
@@ -93,8 +103,9 @@ Scenario parse_repro(const std::string& text) {
 }
 
 bool operator==(const Scenario& a, const Scenario& b) {
-  return a.seed == b.seed && a.config_text == b.config_text &&
-         a.pool == b.pool && a.announcements == b.announcements;
+  return a.seed == b.seed && a.dialect == b.dialect &&
+         a.config_text == b.config_text && a.pool == b.pool &&
+         a.announcements == b.announcements;
 }
 
 }  // namespace expresso::fuzz

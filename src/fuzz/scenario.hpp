@@ -14,6 +14,7 @@
 #include <utility>
 #include <vector>
 
+#include "ir/frontend.hpp"
 #include "net/prefix.hpp"
 
 namespace expresso::fuzz {
@@ -22,8 +23,12 @@ struct Scenario {
   // Generator seed (informational once shrinking has mutated the scenario;
   // kept so replays can name their origin).
   std::uint64_t seed = 0;
-  // Configuration in the dialect of src/config (parsed by the differ, so the
-  // parser is always part of the tested pipeline).
+  // The config dialect `config_text` is written in (the differ parses the
+  // text through that dialect's frontend, so a frontend is always part of
+  // the tested pipeline).  Repro files record it with a `dialect` line;
+  // absent means Huawei, keeping pre-dialect repro files replayable.
+  ir::Dialect dialect = ir::Dialect::kHuawei;
+  // Configuration text in `dialect`.
   std::string config_text;
   // Candidate prefixes external neighbors may announce.
   std::vector<net::Ipv4Prefix> pool;

@@ -5,20 +5,19 @@
 #include <string>
 #include <vector>
 
-#include "config/ast.hpp"
-#include "config/parser.hpp"
+#include "ir/frontend.hpp"
 
 namespace expresso::fuzz {
 
 namespace {
 
-using config::RouterConfig;
+using ir::RouterConfig;
 
 // Rebuilds a scenario around mutated configs: re-serializes, and drops
 // announcements/pool entries that no longer reference anything.
 Scenario rebuild(const Scenario& base, const std::vector<RouterConfig>& cfgs) {
   Scenario s = base;
-  s.config_text = config::serialize(cfgs);
+  s.config_text = ir::emit(cfgs, base.dialect);
   std::set<std::string> names;
   for (const auto& cfg : cfgs) {
     names.insert(cfg.name);
@@ -70,7 +69,7 @@ class Shrinker {
   }
 
   std::vector<RouterConfig> configs() const {
-    return config::parse_configs(cur_.config_text);
+    return ir::parse_configs(cur_.config_text, cur_.dialect);
   }
 
   bool drop_announcements() {

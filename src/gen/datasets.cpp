@@ -5,7 +5,7 @@
 #include <set>
 #include <sstream>
 
-#include "config/parser.hpp"
+#include "ir/frontend.hpp"
 #include "support/util.hpp"
 
 namespace expresso::gen {
@@ -225,7 +225,7 @@ struct RegionBuilder {
 // statements are emitted as a textual post-pass.
 std::string add_pr_dr_sessions(const std::string& text, const RegionSpec& spec,
                                int region, bool want_thijack) {
-  std::vector<config::RouterConfig> cfgs = config::parse_configs(text);
+  std::vector<ir::RouterConfig> cfgs = ir::parse_configs(text);
   for (int k = 0; k < spec.num_dr; ++k) {
     const int exclude = want_thijack ? spec.num_pr - 1 : -1;
     int homed = 0;
@@ -238,7 +238,7 @@ std::string add_pr_dr_sessions(const std::string& text, const RegionSpec& spec,
           "dr" + std::to_string(region) + "_" + std::to_string(k);
       for (auto& cfg : cfgs) {
         if (cfg.name != pr_name) continue;
-        config::PeerStmt p;
+        ir::PeerStmt p;
         p.peer = dr_name;
         p.peer_as = 64512 + region * 8 + k;
         p.advertise_default = true;
@@ -247,7 +247,7 @@ std::string add_pr_dr_sessions(const std::string& text, const RegionSpec& spec,
       ++homed;
     }
   }
-  return config::serialize(cfgs);
+  return ir::emit(cfgs, ir::Dialect::kHuawei);
 }
 
 }  // namespace
@@ -329,14 +329,14 @@ Dataset make_csp_wan(Snapshot snap, std::uint64_t seed, int peer_limit) {
     }
   }
   // Global RR mesh across regions.
-  auto cfgs = config::parse_configs(text.str());
+  auto cfgs = ir::parse_configs(text.str());
   for (auto& cfg : cfgs) {
     if (std::find(all_rrs.begin(), all_rrs.end(), cfg.name) == all_rrs.end()) {
       continue;
     }
     for (const auto& other : all_rrs) {
       if (other == cfg.name || cfg.find_peer(other)) continue;
-      config::PeerStmt p;
+      ir::PeerStmt p;
       p.peer = other;
       p.peer_as = 100;
       p.advertise_community = true;
@@ -346,7 +346,7 @@ Dataset make_csp_wan(Snapshot snap, std::uint64_t seed, int peer_limit) {
   }
   full.links -= (all_rrs.size() * (all_rrs.size() - 1)) / 2 -
                 0;  // de-duplicate the double-counted mesh edges
-  full.config_text = config::serialize(cfgs);
+  full.config_text = ir::emit(cfgs, ir::Dialect::kHuawei);
   full.prefixes = count_prefixes(full.config_text);
   full.config_lines = count_lines(full.config_text);
   return full;

@@ -22,7 +22,7 @@
 #include <string>
 #include <vector>
 
-#include "config/ast.hpp"
+#include "ir/ir.hpp"
 #include "net/community.hpp"
 #include "properties/analyzer.hpp"
 

@@ -1,0 +1,76 @@
+#include <sstream>
+
+#include "ir/ir.hpp"
+
+namespace expresso::ir {
+
+namespace {
+
+void canonical_clause(std::ostream& os, const PolicyClause& c) {
+  os << "    clause " << c.node << " " << (c.permit ? "permit" : "deny")
+     << "\n";
+  for (const auto& m : c.match_prefixes) {
+    os << "      match-prefix " << m.base.to_string() << " ge "
+       << static_cast<unsigned>(m.ge) << " le " << static_cast<unsigned>(m.le)
+       << "\n";
+  }
+  for (const auto& m : c.match_communities) {
+    os << "      match-community " << m.pattern() << "\n";
+  }
+  if (c.match_as_path) {
+    os << "      match-as-path \"" << *c.match_as_path << "\"\n";
+  }
+  if (c.set_local_preference) {
+    os << "      set-local-preference " << *c.set_local_preference << "\n";
+  }
+  for (const auto& cm : c.add_communities) {
+    os << "      add-community " << cm.to_string() << "\n";
+  }
+  for (const auto& cm : c.delete_communities) {
+    os << "      delete-community " << cm.to_string() << "\n";
+  }
+  if (c.prepend_as) os << "      prepend-as " << *c.prepend_as << "\n";
+}
+
+}  // namespace
+
+std::string canonical_text(const RouterConfig& cfg) {
+  std::ostringstream os;
+  os << "router " << cfg.name << " asn " << cfg.asn << "\n";
+  for (const auto& p : cfg.networks) {
+    os << "  network " << p.to_string() << "\n";
+  }
+  for (const auto& p : cfg.aggregates) {
+    os << "  aggregate " << p.to_string() << "\n";
+  }
+  for (const auto& s : cfg.statics) {
+    os << "  static " << s.prefix.to_string() << " via " << s.next_hop << "\n";
+  }
+  for (const auto& p : cfg.connected) {
+    os << "  connected " << p.to_string() << "\n";
+  }
+  if (cfg.redistribute_static) os << "  redistribute static\n";
+  if (cfg.redistribute_connected) os << "  redistribute connected\n";
+  for (const auto& [name, policy] : cfg.policies) {  // std::map: sorted
+    os << "  policy " << name << "\n";
+    for (const auto& clause : policy) canonical_clause(os, clause);
+  }
+  for (const auto& p : cfg.peers) {
+    os << "  peer " << p.peer << " as " << p.peer_as;
+    if (p.import_policy) os << " import " << *p.import_policy;
+    if (p.export_policy) os << " export " << *p.export_policy;
+    if (p.advertise_community) os << " advertise-community";
+    if (p.rr_client) os << " rr-client";
+    if (p.advertise_default) os << " advertise-default";
+    os << "\n";
+  }
+  return os.str();
+}
+
+std::string canonical_text(const std::vector<RouterConfig>& cfgs) {
+  std::ostringstream os;
+  for (const auto& cfg : cfgs) os << canonical_text(cfg);
+  return os.str();
+}
+
+}  // namespace expresso::ir

@@ -1,0 +1,76 @@
+// Pluggable config frontends over the dialect-neutral IR (DESIGN.md §12).
+//
+// A Frontend owns one vendor dialect end to end: it parses that dialect's
+// text into ir::RouterConfigs and emits RouterConfigs back as dialect text.
+// The contract every frontend must honour (enforced by the `dialect` test
+// tier):
+//
+//   * parse(emit(x)) == x for any x that itself came out of a parse —
+//     emission loses nothing the parser can produce;
+//   * emit() is deterministic: equal IR in, byte-equal text out;
+//   * parse() is total over its dialect: malformed input throws ParseError
+//     (with a 1-based line number), never yields a half-built IR.
+//
+// Frontends are stateless singletons; frontend(Dialect) hands out process-
+// lifetime references.  parse_configs(text) sniffs the dialect from the
+// first significant keyword (`router` → Huawei, `hostname` → RPSL/Cisco),
+// so single-dialect callers never name a dialect explicitly.
+#pragma once
+
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "ir/ir.hpp"
+
+namespace expresso::ir {
+
+enum class Dialect {
+  kHuawei,  // the paper's Huawei-flavoured dialect (src/config/huawei.cpp)
+  kRpsl,    // RPSL/Cisco-style dialect (src/config/rpsl.cpp)
+};
+
+// "huawei" / "rpsl".
+const char* dialect_name(Dialect d);
+// Inverse of dialect_name; nullopt on unknown names.
+std::optional<Dialect> dialect_from_name(const std::string& name);
+
+struct ParseError : std::runtime_error {
+  ParseError(std::size_t line, const std::string& msg)
+      : std::runtime_error("line " + std::to_string(line) + ": " + msg),
+        line_number(line) {}
+  std::size_t line_number;
+};
+
+class Frontend {
+ public:
+  virtual ~Frontend() = default;
+
+  virtual Dialect dialect() const = 0;
+  const char* name() const { return dialect_name(dialect()); }
+
+  // Parses a multi-router snapshot.  Throws ParseError on malformed input.
+  virtual std::vector<RouterConfig> parse(const std::string& text) const = 0;
+
+  // Emits the IR as this frontend's dialect text (deterministic).
+  virtual std::string emit(const RouterConfig& cfg) const = 0;
+  virtual std::string emit(const std::vector<RouterConfig>& cfgs) const = 0;
+};
+
+// The process-lifetime frontend instance for a dialect.
+const Frontend& frontend(Dialect d);
+
+// Dialect sniffing from the first significant token: `hostname` → kRpsl,
+// anything else (notably `router`) → kHuawei.
+Dialect detect_dialect(const std::string& text);
+
+// Parse with auto-detection / an explicit dialect.
+std::vector<RouterConfig> parse_configs(const std::string& text);
+std::vector<RouterConfig> parse_configs(const std::string& text, Dialect d);
+
+// Emit in an explicit dialect.
+std::string emit(const std::vector<RouterConfig>& cfgs, Dialect d);
+std::string emit(const RouterConfig& cfg, Dialect d);
+
+}  // namespace expresso::ir

@@ -1,9 +1,9 @@
-#include "config/hash.hpp"
+#include "ir/hash.hpp"
 
 #include <algorithm>
 #include <map>
 
-namespace expresso::config {
+namespace expresso::ir {
 
 namespace {
 
@@ -202,4 +202,4 @@ ConfigDelta diff_configs(const std::vector<RouterConfig>& before,
   return d;
 }
 
-}  // namespace expresso::config
+}  // namespace expresso::ir

@@ -1,25 +1,25 @@
-// Stable content hashing and structural diffing of configuration ASTs.
+// Stable content hashing and structural diffing of the policy IR.
 //
 // Every artifact of the staged verification pipeline (expresso::Session) is
 // keyed by a hash of the inputs that produced it.  The hashes here are
-// *content* hashes of the AST — computed field-by-field, independent of
-// pointer values, map iteration incidentals, or the textual whitespace of the
-// source config — so that re-parsing byte-different but structurally equal
-// text yields the same key, and a one-router edit changes exactly that
-// router's key.
+// *content* hashes of the IR — computed field-by-field, independent of
+// pointer values, map iteration incidentals, or the textual whitespace (and,
+// since the IR is dialect-neutral, the *dialect*) of the source config — so
+// that re-parsing byte-different but structurally equal text yields the same
+// key, and a one-router edit changes exactly that router's key.
 //
 // diff_configs() is the entry point of delta-aware invalidation: it matches
 // routers of two snapshots by name and classifies each as added, removed,
-// changed (name present in both, AST hash differs) or unchanged.
+// changed (name present in both, IR hash differs) or unchanged.
 #pragma once
 
 #include <cstdint>
 #include <string>
 #include <vector>
 
-#include "config/ast.hpp"
+#include "ir/ir.hpp"
 
-namespace expresso::config {
+namespace expresso::ir {
 
 // 64-bit content hash of one policy (clause list, in order).
 std::uint64_t ast_hash(const RoutePolicy& policy);
@@ -28,7 +28,7 @@ std::uint64_t ast_hash(const RouterConfig& cfg);
 // Order-insensitive combination over a snapshot: routers hash by (name,
 // ast_hash) so a pure reordering of the config file is not a change.
 std::uint64_t snapshot_hash(const std::vector<RouterConfig>& cfgs);
-// Hash of exactly the config fields that post-SRC stages read *directly*,
+// Hash of exactly the IR fields that post-SRC stages read *directly*,
 // bypassing the symbolic RIBs: FibBuilder::build_router (connected, statics)
 // and net::Network::internal_prefixes (networks, aggregates, connected,
 // statics gated on redistribute_static).  The Session requires this hash to
@@ -44,7 +44,7 @@ std::uint64_t text_hash(const std::string& text);
 struct ConfigDelta {
   std::vector<std::string> added;    // routers only in the new snapshot
   std::vector<std::string> removed;  // routers only in the old snapshot
-  std::vector<std::string> changed;  // present in both, AST hash differs
+  std::vector<std::string> changed;  // present in both, IR hash differs
   std::size_t unchanged = 0;
 
   bool empty() const {
@@ -58,4 +58,4 @@ struct ConfigDelta {
 ConfigDelta diff_configs(const std::vector<RouterConfig>& before,
                          const std::vector<RouterConfig>& after);
 
-}  // namespace expresso::config
+}  // namespace expresso::ir

@@ -1,30 +1,19 @@
-// Configuration AST for the router policy dialect used throughout the paper
-// (figure 4 and the section 7 case studies).  The dialect is Huawei-flavoured:
+// Dialect-neutral policy intermediate representation (DESIGN.md §12).
 //
-//   router PR1
-//    bgp as 300
-//    bgp network 10.0.0.0/16
-//    bgp import-route static
-//    bgp import-route connected
-//    route-policy im1 permit node 100
-//     if-match prefix 100.0.0.0/8 110.0.0.0/8
-//     if-match community 300:100
-//     if-match as-path "100.*"
-//     set-local-preference 200
-//     add-community 300:100
-//     delete-community 300:100
-//     prepend-as 300
-//    route-policy ex1 deny node 100
-//     if-match community 300:100
-//    bgp peer ISP1 AS 100 import im1 export ex1
-//    bgp peer PR2 AS 300 advertise-community
-//    bgp peer DC AS 65500 advertise-default
-//    bgp peer PRx AS 300 rr-client
-//    static 10.1.0.0/16 next-hop PR2
-//    interface prefix 10.0.9.0/31
+// This is the single semantic model every downstream consumer sees: routers,
+// BGP sessions, and route-policies as *ordered* match/action clauses over
+// prefix sets (with RPSL-style length windows), community sets, and AS-path
+// regexes.  Vendor dialects live entirely in the frontends (src/config/):
+// a Frontend parses its dialect's text into this IR and emits the IR back as
+// dialect text, and everything past the frontend — policy compilation,
+// EPVP, session hashing/invalidation, the generators, the fuzzer, and
+// expressod — consumes *only* the IR.  Two configs in different dialects
+// that parse to equal IR are the same network, verify identically, and hash
+// identically (the cross-dialect equivalence tier holds the pipeline to
+// that).
 //
 // Route-policy semantics (matching the paper's Appendix B): clauses of one
-// policy are tried in file order; the first clause whose if-match conditions
+// policy are tried in file order; the first clause whose match conditions
 // all hold decides permit/deny (permit additionally applies the set/add
 // actions); a route matching no clause is denied.
 #pragma once
@@ -38,9 +27,10 @@
 #include "net/community.hpp"
 #include "net/prefix.hpp"
 
-namespace expresso::config {
+namespace expresso::ir {
 
-// One `route-policy NAME permit|deny node N` clause.
+// One route-policy clause (Huawei `route-policy ... node N`, RPSL/Cisco
+// `route-map ... SEQ`).
 struct PolicyClause {
   bool permit = true;
   std::uint32_t node = 0;  // clause sequence number (ordering key)
@@ -62,7 +52,7 @@ struct PolicyClause {
 
 using RoutePolicy = std::vector<PolicyClause>;
 
-// One `bgp peer` statement.
+// One BGP session statement.
 struct PeerStmt {
   std::string peer;          // peer node name
   std::uint32_t peer_as = 0;
@@ -86,14 +76,14 @@ struct RouterConfig {
   std::string name;
   std::uint32_t asn = 0;
 
-  std::vector<net::Ipv4Prefix> networks;   // `bgp network`
-  // `bgp aggregate`: originated whenever a more-specific component route is
+  std::vector<net::Ipv4Prefix> networks;   // originated networks
+  // Aggregates: originated whenever a more-specific component route is
   // present in the RIB (the route-aggregation dependency of paper §3.1).
   std::vector<net::Ipv4Prefix> aggregates;
-  std::vector<StaticRoute> statics;        // `static ... next-hop ...`
-  std::vector<net::Ipv4Prefix> connected;  // `interface prefix`
-  bool redistribute_static = false;        // `bgp import-route static`
-  bool redistribute_connected = false;     // `bgp import-route connected`
+  std::vector<StaticRoute> statics;
+  std::vector<net::Ipv4Prefix> connected;  // interface prefixes
+  bool redistribute_static = false;
+  bool redistribute_connected = false;
 
   std::map<std::string, RoutePolicy> policies;
   std::vector<PeerStmt> peers;
@@ -108,9 +98,12 @@ struct RouterConfig {
   bool operator==(const RouterConfig&) const = default;
 };
 
-// Renders a config back to the dialect text (generators emit text so that
-// the verifier always exercises the parser).
-std::string serialize(const RouterConfig& cfg);
-std::string serialize(const std::vector<RouterConfig>& cfgs);
+// Canonical dialect-neutral rendering of the IR: deterministic (policies in
+// map order, everything else in declaration order), every field explicit.
+// Not a config dialect — no frontend parses it.  Used by golden-file
+// fixtures, cross-dialect debugging, and anywhere a stable human-readable
+// projection of the IR is wanted.
+std::string canonical_text(const RouterConfig& cfg);
+std::string canonical_text(const std::vector<RouterConfig>& cfgs);
 
-}  // namespace expresso::config
+}  // namespace expresso::ir

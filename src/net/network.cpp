@@ -5,7 +5,7 @@
 
 namespace expresso::net {
 
-Network Network::build(std::vector<config::RouterConfig> configs) {
+Network Network::build(std::vector<ir::RouterConfig> configs) {
   Network net;
   net.configs_ = std::move(configs);
 
@@ -55,8 +55,8 @@ Network Network::build(std::vector<config::RouterConfig> configs) {
   // both statements.
   std::set<std::pair<NodeIndex, NodeIndex>> seen;
   auto add_edge = [&](NodeIndex from, NodeIndex to,
-                      const config::PeerStmt* exp,
-                      const config::PeerStmt* imp) {
+                      const ir::PeerStmt* exp,
+                      const ir::PeerStmt* imp) {
     const auto key = std::make_pair(from, to);
     if (seen.count(key)) return;
     seen.insert(key);
@@ -75,7 +75,7 @@ Network Network::build(std::vector<config::RouterConfig> configs) {
     for (const auto& p : cfg.peers) {
       const NodeIndex v = index.at(p.peer);
       // The reverse statement, if the peer also configures the session.
-      const config::PeerStmt* reverse = nullptr;
+      const ir::PeerStmt* reverse = nullptr;
       if (!net.nodes_[v].external) {
         reverse = net.configs_[net.nodes_[v].config_index].find_peer(cfg.name);
       }

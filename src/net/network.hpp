@@ -11,7 +11,7 @@
 #include <string>
 #include <vector>
 
-#include "config/ast.hpp"
+#include "ir/ir.hpp"
 #include "net/prefix.hpp"
 
 namespace expresso::net {
@@ -35,25 +35,25 @@ struct SessionEdge {
   NodeIndex to = 0;
   bool ebgp = false;
   // `from`'s peer statement for `to` (null when `from` is external).
-  const config::PeerStmt* export_stmt = nullptr;
+  const ir::PeerStmt* export_stmt = nullptr;
   // `to`'s peer statement for `from` (null when `to` is external).
-  const config::PeerStmt* import_stmt = nullptr;
+  const ir::PeerStmt* import_stmt = nullptr;
 };
 
 class Network {
  public:
   // Builds the topology.  Throws std::runtime_error on unnamed routers or
   // duplicate router names.
-  static Network build(std::vector<config::RouterConfig> configs);
+  static Network build(std::vector<ir::RouterConfig> configs);
 
   const std::vector<Node>& nodes() const { return nodes_; }
   const Node& node(NodeIndex i) const { return nodes_[i]; }
   std::optional<NodeIndex> find(const std::string& name) const;
 
-  const config::RouterConfig& config_of(NodeIndex i) const {
+  const ir::RouterConfig& config_of(NodeIndex i) const {
     return configs_[nodes_[i].config_index];
   }
-  const std::vector<config::RouterConfig>& configs() const { return configs_; }
+  const std::vector<ir::RouterConfig>& configs() const { return configs_; }
 
   std::uint32_t num_internal() const { return num_internal_; }
   std::uint32_t num_external() const { return num_external_; }
@@ -75,7 +75,7 @@ class Network {
   std::vector<Ipv4Prefix> internal_prefixes() const;
 
  private:
-  std::vector<config::RouterConfig> configs_;
+  std::vector<ir::RouterConfig> configs_;
   std::vector<Node> nodes_;
   std::vector<NodeIndex> internal_;
   std::vector<NodeIndex> external_;

@@ -8,7 +8,7 @@ namespace expresso::policy {
 
 using symbolic::SymbolicRoute;
 
-CompiledPolicy compile_policy(const config::RoutePolicy& policy,
+CompiledPolicy compile_policy(const ir::RoutePolicy& policy,
                               symbolic::Encoding& enc,
                               const symbolic::CommunityAtomizer& atomizer,
                               const automaton::AsAlphabet& alphabet) {

@@ -17,7 +17,7 @@
 #include <vector>
 
 #include "automaton/regex.hpp"
-#include "config/ast.hpp"
+#include "ir/ir.hpp"
 #include "symbolic/community_set.hpp"
 #include "symbolic/encoding.hpp"
 #include "symbolic/route.hpp"
@@ -48,7 +48,7 @@ struct CompiledPolicy {
 
 // Compiles a policy AST.  The clause order follows the AST order (the
 // parser preserves file order), matching first-match semantics.
-CompiledPolicy compile_policy(const config::RoutePolicy& policy,
+CompiledPolicy compile_policy(const ir::RoutePolicy& policy,
                               symbolic::Encoding& enc,
                               const symbolic::CommunityAtomizer& atomizer,
                               const automaton::AsAlphabet& alphabet);

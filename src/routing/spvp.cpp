@@ -88,7 +88,7 @@ bool SpvpEngine::aspath_matches(const std::string& regex,
 }
 
 std::vector<ConcreteRoute> SpvpEngine::apply_policy_ast(
-    const config::RoutePolicy& pol, const ConcreteRoute& r) const {
+    const ir::RoutePolicy& pol, const ConcreteRoute& r) const {
   for (const auto& clause : pol) {
     // All present conditions must hold (first-match semantics).
     if (!clause.match_prefixes.empty()) {

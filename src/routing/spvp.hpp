@@ -95,7 +95,7 @@ class SpvpEngine {
  private:
   std::vector<ConcreteRoute> transfer_edge(const net::SessionEdge& e,
                                            const ConcreteRoute& r) const;
-  std::vector<ConcreteRoute> apply_policy_ast(const config::RoutePolicy& pol,
+  std::vector<ConcreteRoute> apply_policy_ast(const ir::RoutePolicy& pol,
                                               const ConcreteRoute& r) const;
   bool aspath_matches(const std::string& regex,
                       const std::vector<std::uint32_t>& path) const;

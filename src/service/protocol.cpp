@@ -213,6 +213,18 @@ std::string error_payload(std::uint64_t id, const std::string& message,
   return w.take();
 }
 
+std::string overloaded_payload(std::uint64_t id) {
+  support::JsonWriter w;
+  w.begin_object()
+      .key("kind").value("error")
+      .key("error").value("overloaded")
+      .key("id").value(static_cast<std::uint64_t>(id))
+      .key("message").value("tenant overloaded: pending queue full, retry")
+      .key("fatal").value(false)
+      .end_object();
+  return w.take();
+}
+
 std::string hello_payload(std::uint64_t id) {
   support::JsonWriter w;
   w.begin_object()

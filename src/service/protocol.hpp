@@ -13,6 +13,7 @@
 //
 //   {"op":"hello","id":N}
 //   {"op":"update","id":N,"tenant":"...","config":"<full snapshot text>",
+//    "dialect":"huawei"|"rpsl",            // optional; default: sniffed
 //    "blackhole":["10.0.0.0/24",...]}      // blackhole list optional
 //   {"op":"metrics","id":N}
 //   {"op":"ping","id":N}
@@ -97,6 +98,10 @@ std::vector<std::string> verdict_frames(
 
 std::string error_payload(std::uint64_t id, const std::string& message,
                           bool fatal);
+// Backpressure rejection: an error frame additionally tagged
+// "error":"overloaded" so clients can distinguish "slow down and retry"
+// from real failures without parsing prose.
+std::string overloaded_payload(std::uint64_t id);
 std::string hello_payload(std::uint64_t id);
 std::string pong_payload(std::uint64_t id);
 

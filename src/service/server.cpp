@@ -16,6 +16,7 @@
 #include <deque>
 #include <map>
 #include <mutex>
+#include <optional>
 #include <stdexcept>
 #include <string>
 #include <thread>
@@ -23,6 +24,7 @@
 #include <vector>
 
 #include "expresso/session.hpp"
+#include "ir/frontend.hpp"
 #include "net/prefix.hpp"
 #include "obs/trace_check.hpp"
 #include "service/protocol.hpp"
@@ -79,6 +81,8 @@ struct PendingRequest {
   std::shared_ptr<Connection> conn;
   std::uint64_t id = 0;
   std::string config;
+  // Forced config dialect; unset = Session sniffs it from the text.
+  std::optional<ir::Dialect> dialect;
   std::vector<net::Ipv4Prefix> blackhole;
   Clock::time_point enqueued;
 };
@@ -133,6 +137,7 @@ struct Server::Impl {
 
   void admit(const std::shared_ptr<Connection>& conn, std::uint64_t id,
              const std::string& tenant_name, std::string config,
+             std::optional<ir::Dialect> dialect,
              std::vector<net::Ipv4Prefix> blackhole) {
     registry.counter("service.updates").inc();
     std::unique_lock<std::mutex> lock(mu);
@@ -162,7 +167,17 @@ struct Server::Impl {
           .set(static_cast<double>(tenants.size()));
     }
     Tenant* t = it->second.get();
-    t->pending.push_back(PendingRequest{conn, id, std::move(config),
+    // Per-tenant backpressure: past the pending bound the push is refused
+    // outright — an unbounded deque would let one tenant flooding faster
+    // than it verifies grow server memory without limit.
+    if (options.max_pending_per_tenant != 0 &&
+        t->pending.size() >= options.max_pending_per_tenant) {
+      registry.counter("service.rejected_overload").inc();
+      lock.unlock();
+      conn->send_one(overloaded_payload(id));
+      return;
+    }
+    t->pending.push_back(PendingRequest{conn, id, std::move(config), dialect,
                                         std::move(blackhole), Clock::now()});
     if (!t->queued && !t->running) {
       t->queued = true;
@@ -290,7 +305,11 @@ struct Server::Impl {
         t.session = std::make_unique<Session>(so);
         registry.counter("service.sessions_created").inc();
       }
-      t.session->update(last.config);
+      if (last.dialect) {
+        t.session->update(last.config, *last.dialect);
+      } else {
+        t.session->update(last.config);
+      }
       t.session->run_src();
       warm = t.session->stats().warm;
       converged = t.session->stats().converged;
@@ -434,6 +453,15 @@ struct Server::Impl {
             id, "update needs string \"tenant\" and \"config\"", false));
         return;
       }
+      std::optional<ir::Dialect> dialect;
+      if (const obs::JsonValue* d = req.find("dialect")) {
+        if (d->kind != obs::JsonValue::Kind::String ||
+            !(dialect = ir::dialect_from_name(d->str))) {
+          conn->send_one(error_payload(
+              id, "\"dialect\" must be one of \"huawei\", \"rpsl\"", false));
+          return;
+        }
+      }
       std::vector<net::Ipv4Prefix> blackhole;
       if (const obs::JsonValue* bh = req.find("blackhole")) {
         if (bh->kind != obs::JsonValue::Kind::Array) {
@@ -454,7 +482,8 @@ struct Server::Impl {
           blackhole.push_back(*p);
         }
       }
-      admit(conn, id, tenant->str, config->str, std::move(blackhole));
+      admit(conn, id, tenant->str, config->str, dialect,
+            std::move(blackhole));
       return;
     }
     conn->send_one(error_payload(id, "unknown op \"" + op + "\"", false));

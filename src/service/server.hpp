@@ -67,6 +67,11 @@ struct ServerOptions {
   // one warm re-verify.  0 keeps only the natural coalescing (whatever
   // piled up while the tenant waited in the queue).
   int coalesce_ms = 0;
+  // Per-tenant backpressure: a tenant whose pending (coalescing) deque
+  // already holds this many requests has further updates rejected with an
+  // {"error":"overloaded"} frame (counted as service.rejected_overload)
+  // instead of queued unboundedly.  0 disables the bound.
+  std::size_t max_pending_per_tenant = 256;
   // Shadow warm runs with cold ones inside each Session (validation mode).
   bool verify_warm = false;
 };

@@ -50,7 +50,7 @@ std::vector<net::Community> samples_for(const std::string& pattern) {
 }  // namespace
 
 CommunityAtomizer::CommunityAtomizer(
-    const std::vector<config::RouterConfig>& cfgs) {
+    const std::vector<ir::RouterConfig>& cfgs) {
   std::set<std::string> seen_patterns;
   std::vector<net::Community> candidates;
   auto add_matcher = [&](const net::CommunityMatcher& m) {

@@ -22,7 +22,7 @@
 #include <vector>
 
 #include "automaton/dfa.hpp"
-#include "config/ast.hpp"
+#include "ir/ir.hpp"
 #include "net/community.hpp"
 #include "symbolic/encoding.hpp"
 
@@ -32,7 +32,7 @@ namespace expresso::symbolic {
 class CommunityAtomizer {
  public:
   // Scans every `if-match community` pattern and every add/delete literal.
-  explicit CommunityAtomizer(const std::vector<config::RouterConfig>& cfgs);
+  explicit CommunityAtomizer(const std::vector<ir::RouterConfig>& cfgs);
 
   std::uint32_t num_atoms() const {
     return static_cast<std::uint32_t>(atom_samples_.size());

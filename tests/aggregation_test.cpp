@@ -3,7 +3,7 @@
 // the one control-plane dependency between prefixes that EPVP must track.
 #include <gtest/gtest.h>
 
-#include "config/parser.hpp"
+#include "ir/frontend.hpp"
 #include "expresso/verifier.hpp"
 #include "routing/spvp.hpp"
 
@@ -96,7 +96,7 @@ TEST_F(AggregationTest, AggregateIsExportedAndSeenAsInternal) {
 }
 
 TEST_F(AggregationTest, MatchesConcreteOracle) {
-  auto net = net::Network::build(config::parse_configs(kAggNet));
+  auto net = net::Network::build(ir::parse_configs(kAggNet));
   routing::SpvpEngine oracle(net);
   const auto custa = *net.find("CUSTA");
   const auto br = *net.find("BR");
@@ -136,10 +136,10 @@ TEST_F(AggregationTest, AggregateBlackholesUncoveredComponents) {
 }
 
 TEST_F(AggregationTest, ParserRoundTripsAggregates) {
-  const auto cfgs = config::parse_configs(kAggNet);
+  const auto cfgs = ir::parse_configs(kAggNet);
   ASSERT_EQ(cfgs[0].aggregates.size(), 1u);
   EXPECT_EQ(cfgs[0].aggregates[0], agg_);
-  const auto reparsed = config::parse_configs(config::serialize(cfgs));
+  const auto reparsed = ir::parse_configs(ir::emit(cfgs, ir::Dialect::kHuawei));
   EXPECT_EQ(reparsed[0].aggregates, cfgs[0].aggregates);
 }
 

@@ -3,7 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "baselines/enumerator.hpp"
-#include "config/parser.hpp"
+#include "ir/frontend.hpp"
 
 namespace expresso::baselines {
 namespace {
@@ -34,7 +34,7 @@ router PR2
 )";
 
 TEST(MinesweeperStarTest, FindsTheFigure4Leak) {
-  auto net = net::Network::build(config::parse_configs(kFig4));
+  auto net = net::Network::build(ir::parse_configs(kFig4));
   MinesweeperStar ms(net);
   const auto res = ms.check_route_leak_free();
   EXPECT_EQ(res.status, MinesweeperResult::Status::kViolation);
@@ -49,7 +49,7 @@ TEST(MinesweeperStarTest, FixedConfigIsClean) {
   const std::string from = "bgp peer PR2 AS 300";
   fixed.replace(fixed.find(from), from.size(),
                 "bgp peer PR2 AS 300 advertise-community");
-  auto net = net::Network::build(config::parse_configs(fixed));
+  auto net = net::Network::build(ir::parse_configs(fixed));
   MinesweeperStar ms(net);
   const auto res = ms.check_route_leak_free();
   EXPECT_EQ(res.status, MinesweeperResult::Status::kClean);
@@ -71,7 +71,7 @@ router A
  bgp peer P1 AS 100 import imp export good advertise-community
  bgp peer P2 AS 200 import imp export bad advertise-community
 )";
-  auto net = net::Network::build(config::parse_configs(text));
+  auto net = net::Network::build(ir::parse_configs(text));
   MinesweeperStar ms(net);
   const auto bte = *net::Community::parse("65535:1");
   const auto res = ms.check_block_to_external(bte);
@@ -80,7 +80,7 @@ router A
 }
 
 TEST(MinesweeperStarTest, TimeoutBudgetReported) {
-  auto net = net::Network::build(config::parse_configs(kFig4));
+  auto net = net::Network::build(ir::parse_configs(kFig4));
   MinesweeperStar::Options opt;
   opt.max_conflicts_per_query = 1;  // absurdly small budget
   MinesweeperStar ms(net, opt);
@@ -92,7 +92,7 @@ TEST(MinesweeperStarTest, TimeoutBudgetReported) {
 }
 
 TEST(EnumeratorTest, SamplesEnvironmentsAndFindsLeaks) {
-  auto net = net::Network::build(config::parse_configs(kFig4));
+  auto net = net::Network::build(ir::parse_configs(kFig4));
   const auto res = enumerate_environments(net, 50, 42);
   EXPECT_EQ(res.environments_checked, 50u);
   // The figure 4 leak manifests whenever ISP1 announces either filtered

@@ -2,7 +2,7 @@
 
 #include <gtest/gtest.h>
 
-#include "config/parser.hpp"
+#include "ir/frontend.hpp"
 #include "net/community.hpp"
 
 namespace expresso::symbolic {
@@ -47,7 +47,7 @@ TEST(CommunityMatcherTest, ExactWildcardAndClass) {
   EXPECT_FALSE(CommunityMatcher::parse("300:[1-]00"));
 }
 
-std::vector<config::RouterConfig> paper_atom_configs() {
+std::vector<ir::RouterConfig> paper_atom_configs() {
   // Section 4.2's community-atom example: patterns 300:100 and 300:[1-9]00
   // yield three atoms: c1 = 300:100, c2 = 300:[2-9]00, c3 = everything else.
   const char* text = R"(
@@ -60,7 +60,7 @@ router R
   add-community 300:100
  bgp peer E AS 2 import p
 )";
-  return config::parse_configs(text);
+  return ir::parse_configs(text);
 }
 
 TEST(AtomizerTest, PaperExampleYieldsThreeAtoms) {

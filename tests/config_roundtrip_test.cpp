@@ -1,30 +1,64 @@
-// Round-trip property: serialize(parse(x)) re-parses to a structurally equal
-// AST, and serialization is a fixpoint (serialize . parse . serialize ==
-// serialize).  Driven both by the fuzz generator's randomized configs (which
-// cover the whole dialect, including degenerate shapes like empty policies
-// and references to undefined policy names) and by a hand-written config
-// exercising every statement the parser knows.
+// Frontend round-trip property, for *every* dialect: parsing a config to
+// the IR and pushing that IR through any frontend D must satisfy
+// parse_D(emit_D(x)) == x, and emission must be a fixpoint
+// (emit_D . parse_D . emit_D == emit_D).  Driven both by the fuzz
+// generator's randomized configs (which cover the whole semantic model,
+// including degenerate shapes like empty policies and references to
+// undefined policy names) and by hand-written configs exercising every
+// statement each frontend knows.
 #include <gtest/gtest.h>
 
-#include "config/ast.hpp"
-#include "config/parser.hpp"
 #include "fuzz/generator.hpp"
+#include "ir/frontend.hpp"
 
-namespace expresso::config {
+namespace expresso::ir {
 namespace {
 
+constexpr Dialect kAllDialects[] = {Dialect::kHuawei, Dialect::kRpsl};
+
+// Parses `text` (auto-detected dialect) and round-trips the resulting IR
+// through every frontend.
 void expect_roundtrip(const std::string& text) {
   const std::vector<RouterConfig> ast1 = parse_configs(text);
-  const std::string text2 = serialize(ast1);
-  const std::vector<RouterConfig> ast2 = parse_configs(text2);
-  EXPECT_EQ(ast1, ast2) << "original:\n" << text << "re-serialized:\n"
-                        << text2;
-  EXPECT_EQ(text2, serialize(ast2));
+  for (const Dialect d : kAllDialects) {
+    const Frontend& fe = frontend(d);
+    const std::string text2 = fe.emit(ast1);
+    EXPECT_EQ(detect_dialect(text2), d);
+    const std::vector<RouterConfig> ast2 = fe.parse(text2);
+    EXPECT_EQ(ast1, ast2) << "dialect: " << fe.name() << "\noriginal:\n"
+                          << text << "re-emitted:\n"
+                          << text2;
+    EXPECT_EQ(text2, fe.emit(ast2)) << "dialect: " << fe.name();
+  }
 }
 
 TEST(ConfigRoundTrip, RandomizedConfigs) {
   for (std::uint64_t seed = 0; seed < 300; ++seed) {
     expect_roundtrip(fuzz::generate_scenario(seed).config_text);
+  }
+}
+
+TEST(ConfigRoundTrip, RandomizedConfigsEmittedAsRpsl) {
+  // The generator emits through the RPSL frontend; replaying the text
+  // through auto-detection must sniff the dialect and land on the same IR.
+  fuzz::GenOptions opt;
+  opt.dialect = Dialect::kRpsl;
+  for (std::uint64_t seed = 0; seed < 300; ++seed) {
+    const auto s = fuzz::generate_scenario(seed, opt);
+    EXPECT_EQ(detect_dialect(s.config_text), Dialect::kRpsl);
+    expect_roundtrip(s.config_text);
+  }
+}
+
+TEST(ConfigRoundTrip, SameSeedYieldsSameIrInEveryDialect) {
+  fuzz::GenOptions rpsl;
+  rpsl.dialect = Dialect::kRpsl;
+  for (std::uint64_t seed = 0; seed < 100; ++seed) {
+    const auto a = fuzz::generate_scenario(seed);
+    const auto b = fuzz::generate_scenario(seed, rpsl);
+    EXPECT_EQ(parse_configs(a.config_text, Dialect::kHuawei),
+              parse_configs(b.config_text, Dialect::kRpsl))
+        << "seed " << seed;
   }
 }
 
@@ -60,6 +94,128 @@ TEST(ConfigRoundTrip, EveryStatementKind) {
       " bgp peer PR2 AS 300\n");  // self-loop session
 }
 
+TEST(ConfigRoundTrip, EveryRpslStatementKind) {
+  expect_roundtrip(
+      "hostname PR1\n"
+      "router bgp 300\n"
+      "prefix-set ps members { 100.0.0.0/8, 110.0.0.0/8^16-24 }\n"
+      "community-set cs members { 300:100, 300:[1-9]00, no-export }\n"
+      "route-map im1 permit 100\n"
+      " match prefix-set ps\n"
+      " match community-set cs\n"
+      " match as-path \"100.*\"\n"
+      " set local-preference 200\n"
+      " set community add 300:100 no-advertise\n"
+      " set community delete 300:101\n"
+      " set as-path prepend 300\n"
+      "route-map im1 deny 200\n"
+      " match community-set cs\n"
+      "network 10.0.0.0/16\n"
+      "aggregate-address 10.0.0.0/8\n"
+      "redistribute static\n"
+      "redistribute connected\n"
+      "neighbor ISP1 remote-as 100\n"
+      "neighbor ISP1 route-map im1 in\n"
+      "neighbor ISP1 route-map ghost out\n"
+      "neighbor PR2 remote-as 300\n"
+      "neighbor PR2 send-community\n"
+      "neighbor DC remote-as 65500\n"
+      "neighbor DC default-originate\n"
+      "neighbor PRx remote-as 300\n"
+      "neighbor PRx route-reflector-client\n"
+      "ip route 10.1.0.0/16 PR2\n"
+      "interface 10.0.9.0/31\n"
+      "hostname PR2\n"
+      "router bgp 300\n"
+      "neighbor PR1 remote-as 300\n"
+      "neighbor PR2 remote-as 300\n");  // self-loop session
+}
+
+TEST(ConfigRoundTrip, RpslLengthModifiers) {
+  const auto cfgs = parse_configs(
+      "hostname R\n"
+      "router bgp 1\n"
+      "prefix-set ps members 10.0.0.0/8 10.0.0.0/8^+ 10.0.0.0/8^- "
+      "10.0.0.0/8^24 10.0.0.0/8^24-28\n"
+      "route-map p permit 10\n"
+      " match prefix-set ps\n"
+      "neighbor E remote-as 2\n"
+      "neighbor E route-map p in\n");
+  const auto& mp = cfgs[0].policies.at("p")[0].match_prefixes;
+  ASSERT_EQ(mp.size(), 5u);
+  EXPECT_EQ(mp[0].ge, 8);   // bare: exact
+  EXPECT_EQ(mp[0].le, 8);
+  EXPECT_EQ(mp[1].ge, 8);   // ^+: itself and more-specifics
+  EXPECT_EQ(mp[1].le, 32);
+  EXPECT_EQ(mp[2].ge, 9);   // ^-: strictly more-specific
+  EXPECT_EQ(mp[2].le, 32);
+  EXPECT_EQ(mp[3].ge, 24);  // ^24: exactly /24
+  EXPECT_EQ(mp[3].le, 24);
+  EXPECT_EQ(mp[4].ge, 24);  // ^24-28
+  EXPECT_EQ(mp[4].le, 28);
+  expect_roundtrip(emit(cfgs, Dialect::kRpsl));
+}
+
+TEST(ConfigRoundTrip, RpslWellKnownCommunities) {
+  const auto cfgs = parse_configs(
+      "hostname R\n"
+      "router bgp 1\n"
+      "community-set cs members no-export no-advertise\n"
+      "route-map p permit 10\n"
+      " match community-set cs\n"
+      " set community add no-export\n"
+      "neighbor E remote-as 2\n"
+      "neighbor E route-map p in\n");
+  const auto& clause = cfgs[0].policies.at("p")[0];
+  ASSERT_EQ(clause.match_communities.size(), 2u);
+  EXPECT_EQ(clause.match_communities[0].pattern(), "65535:65281");
+  EXPECT_EQ(clause.match_communities[1].pattern(), "65535:65282");
+  ASSERT_EQ(clause.add_communities.size(), 1u);
+  EXPECT_EQ(clause.add_communities[0].to_string(), "65535:65281");
+  // The emitter prefers the aliases back.
+  const std::string text = emit(cfgs, Dialect::kRpsl);
+  EXPECT_NE(text.find("no-export"), std::string::npos);
+  EXPECT_NE(text.find("no-advertise"), std::string::npos);
+}
+
+TEST(ConfigRoundTrip, RpslAsOriginSetDesugarsToRegex) {
+  const auto cfgs = parse_configs(
+      "hostname R\n"
+      "router bgp 1\n"
+      "as-set customers members { 100, 200 }\n"
+      "as-set solo members 300\n"
+      "route-map p permit 10\n"
+      " match as-origin-set customers\n"
+      "route-map q deny 10\n"
+      " match as-origin-set solo\n"
+      "neighbor E remote-as 2\n"
+      "neighbor E route-map p in\n"
+      "neighbor E route-map q out\n");
+  EXPECT_EQ(cfgs[0].policies.at("p")[0].match_as_path, ".*(100|200)");
+  EXPECT_EQ(cfgs[0].policies.at("q")[0].match_as_path, ".*300");
+  // Sugar only: the IR round-trips through the plain as-path form.
+  expect_roundtrip(emit(cfgs, Dialect::kRpsl));
+}
+
+TEST(ConfigRoundTrip, RpslRejectsMalformedInput) {
+  EXPECT_THROW(parse_configs("hostname R\nrouter ospf 1\n"), ParseError);
+  EXPECT_THROW(parse_configs("hostname R\nrouter bgp 1\n"
+                             "route-map p permit 10\n"
+                             " match prefix-set nope\n"),
+               ParseError);  // undefined set
+  EXPECT_THROW(parse_configs("hostname R\nrouter bgp 1\n"
+                             "neighbor E route-map p in\n"),
+               ParseError);  // neighbor without remote-as
+  EXPECT_THROW(parse_configs("hostname R\nrouter bgp 1\n"
+                             "prefix-set ps members 10.0.0.0/8^4-8\n"),
+               ParseError);  // window below the base length
+  EXPECT_THROW(parse_configs("hostname R\nrouter bgp 1\n"
+                             "prefix-set ps members 10.0.0.0/8^24-40\n"),
+               ParseError);  // length > 32
+  EXPECT_THROW(parse_configs("hostname R\n match as-path \".*\"\n"),
+               ParseError);  // match outside any route-map
+}
+
 TEST(ConfigRoundTrip, AstEqualityIsStructural) {
   const std::string text =
       "router R0\n bgp as 65000\n"
@@ -76,4 +232,4 @@ TEST(ConfigRoundTrip, AstEqualityIsStructural) {
 }
 
 }  // namespace
-}  // namespace expresso::config
+}  // namespace expresso::ir

@@ -1,10 +1,10 @@
-#include "config/parser.hpp"
+#include "ir/frontend.hpp"
 
 #include <gtest/gtest.h>
 
 #include "net/network.hpp"
 
-namespace expresso::config {
+namespace expresso::ir {
 namespace {
 
 const char* kFig4 = R"(
@@ -72,11 +72,11 @@ TEST(ParserTest, ParsesFigure4Network) {
 
 TEST(ParserTest, RoundTripsThroughSerializer) {
   const auto cfgs = parse_configs(kFig4);
-  const std::string text = serialize(cfgs);
+  const std::string text = emit(cfgs, Dialect::kHuawei);
   const auto reparsed = parse_configs(text);
   ASSERT_EQ(reparsed.size(), cfgs.size());
   // Semantic spot checks survive the round trip.
-  EXPECT_EQ(serialize(reparsed), text);  // serializer is a fixed point
+  EXPECT_EQ(emit(reparsed, Dialect::kHuawei), text);  // emitter is a fixpoint
   EXPECT_EQ(reparsed[0].policies.at("im1")[0].set_local_preference, 200u);
   EXPECT_EQ(reparsed[1].peers[1].advertise_community, true);
 }
@@ -197,7 +197,7 @@ router B
  bgp peer CDN AS 500
  bgp peer A AS 100
 )";
-  auto net = net::Network::build(config::parse_configs(text));
+  auto net = net::Network::build(ir::parse_configs(text));
   EXPECT_EQ(net.num_external(), 1u);  // CDN peers at both A and B
   const auto cdn = net.find("CDN");
   ASSERT_TRUE(cdn);
@@ -207,9 +207,9 @@ router B
 
 TEST(NetworkTest, RejectsDuplicateRouters) {
   const char* text = "router A\n bgp as 1\nrouter A\n bgp as 2\n";
-  EXPECT_THROW(net::Network::build(config::parse_configs(text)),
+  EXPECT_THROW(net::Network::build(ir::parse_configs(text)),
                std::runtime_error);
 }
 
 }  // namespace
-}  // namespace expresso::config
+}  // namespace expresso::ir

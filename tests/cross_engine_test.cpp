@@ -11,7 +11,7 @@
 #include <sstream>
 
 #include "baselines/minesweeper_star.hpp"
-#include "config/parser.hpp"
+#include "ir/frontend.hpp"
 #include "expresso/verifier.hpp"
 #include "support/util.hpp"
 
@@ -62,10 +62,10 @@ class CrossEngineTest : public ::testing::TestWithParam<std::uint64_t> {};
 TEST_P(CrossEngineTest, LeakExistenceAgreesPerNeighbor) {
   const std::string text = random_network(GetParam());
   SCOPED_TRACE(text);
-  auto network = net::Network::build(config::parse_configs(text));
+  auto network = net::Network::build(ir::parse_configs(text));
 
   // Expresso's answer: neighbors receiving foreign-originated routes.
-  Verifier v(config::parse_configs(text));
+  Verifier v(ir::parse_configs(text));
   std::set<std::string> expresso_flagged;
   for (const auto& viol : v.check_route_leak_free()) {
     expresso_flagged.insert(v.network().node(viol.node).name);

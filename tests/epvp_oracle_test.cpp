@@ -19,7 +19,7 @@
 
 #include "dataplane/fib.hpp"
 #include "epvp/engine.hpp"
-#include "config/parser.hpp"
+#include "ir/frontend.hpp"
 #include "routing/spvp.hpp"
 #include "support/util.hpp"
 
@@ -148,7 +148,7 @@ class OracleTest : public ::testing::TestWithParam<std::uint64_t> {};
 TEST_P(OracleTest, EpvpUnfoldsToSpvp) {
   const std::string text = random_network(GetParam() >> 1);
   SCOPED_TRACE(text);
-  auto network = net::Network::build(config::parse_configs(text));
+  auto network = net::Network::build(ir::parse_configs(text));
 
   epvp::Options options;
   if (GetParam() & 1) {

@@ -9,7 +9,7 @@
 
 #include <gtest/gtest.h>
 
-#include "config/parser.hpp"
+#include "ir/frontend.hpp"
 
 namespace expresso::epvp {
 namespace {
@@ -45,7 +45,7 @@ router PR2
 class Fig4Test : public ::testing::Test {
  protected:
   Fig4Test()
-      : net_(net::Network::build(config::parse_configs(kFig4))),
+      : net_(net::Network::build(ir::parse_configs(kFig4))),
         engine_(net_, Options{}) {
     converged_ = engine_.run();
     pr1_ = *net_.find("PR1");
@@ -182,7 +182,7 @@ TEST_F(Fig4Test, FixingTheMisconfigRemovesTheLeak) {
   const std::string from = "bgp peer PR2 AS 300";
   fixed.replace(fixed.find(from), from.size(),
                 "bgp peer PR2 AS 300 advertise-community");
-  auto net = net::Network::build(config::parse_configs(fixed));
+  auto net = net::Network::build(ir::parse_configs(fixed));
   Engine engine(net, Options{});
   ASSERT_TRUE(engine.run());
   for (const auto e : net.external_nodes()) {

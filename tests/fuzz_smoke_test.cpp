@@ -10,7 +10,7 @@
 
 #include <stdexcept>
 
-#include "config/parser.hpp"
+#include "ir/frontend.hpp"
 #include "fuzz/campaign.hpp"
 #include "fuzz/differ.hpp"
 #include "fuzz/generator.hpp"
@@ -62,7 +62,7 @@ TEST(FuzzSelfTest, PlantedPreferenceBugIsDetectedAndShrunk) {
 
   // Minimality: at most 5 nodes (internal routers + external neighbors).
   const auto network =
-      net::Network::build(config::parse_configs(f.shrunk.config_text));
+      net::Network::build(ir::parse_configs(f.shrunk.config_text));
   EXPECT_LE(network.nodes().size(), 5u)
       << "shrunk repro:\n" << to_repro(f.shrunk, f.notes);
 }

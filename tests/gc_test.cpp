@@ -21,7 +21,7 @@
 #include <vector>
 
 #include "bdd/bdd.hpp"
-#include "config/parser.hpp"
+#include "ir/frontend.hpp"
 #include "dataplane/forwarding.hpp"
 #include "expresso/session.hpp"
 #include "fuzz/edits.hpp"
@@ -304,9 +304,9 @@ TEST(GcEquivalence, SweptSessionMatchesUnsweptAcrossFuzzedEdits) {
   for (int i = 0; i < n; ++i) {
     const std::uint64_t seed = 0x6c000000u + static_cast<std::uint64_t>(i);
     const auto sc = fuzz::generate_scenario(seed);
-    std::vector<config::RouterConfig> base;
+    std::vector<ir::RouterConfig> base;
     try {
-      base = config::parse_configs(sc.config_text);
+      base = ir::parse_configs(sc.config_text);
     } catch (const std::exception&) {
       continue;
     }
@@ -362,7 +362,7 @@ TEST(GcSoak, LongLivedSessionStaysBounded) {
   const int kEdits = env_count("EXPRESSO_GC_SOAK_EDITS", 200);
   const std::uint64_t seed = 0x50a7c0deu;
   const auto sc = fuzz::generate_scenario(seed);
-  auto snapshot = config::parse_configs(sc.config_text);
+  auto snapshot = ir::parse_configs(sc.config_text);
 
   Session on(gc_on_options());
   Session off(gc_off_options());

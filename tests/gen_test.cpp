@@ -7,7 +7,7 @@
 
 #include <set>
 
-#include "config/parser.hpp"
+#include "ir/frontend.hpp"
 
 #include "expresso/verifier.hpp"
 
@@ -135,7 +135,7 @@ TEST(CspWanTest, OldSnapshotStatisticsMatchTable1Magnitudes) {
   EXPECT_GE(d.config_lines, 10000u);
   EXPECT_FALSE(d.planted.empty());
   // The snapshot parses and builds.
-  auto net = net::Network::build(config::parse_configs(d.config_text));
+  auto net = net::Network::build(ir::parse_configs(d.config_text));
   EXPECT_EQ(net.num_internal(), d.nodes);
   EXPECT_EQ(net.num_external(), d.peers);
 }
@@ -151,7 +151,7 @@ TEST(CspWanTest, NewSnapshotIsLarger) {
 
 TEST(CspWanTest, PeerLimitCapsNeighbors) {
   const Dataset d = make_csp_wan(Snapshot::kOld, 7, 10);
-  auto net = net::Network::build(config::parse_configs(d.config_text));
+  auto net = net::Network::build(ir::parse_configs(d.config_text));
   EXPECT_LE(net.num_external(), 10u);
 }
 

@@ -17,7 +17,7 @@
 #include <vector>
 
 #include "bdd/bdd.hpp"
-#include "config/parser.hpp"
+#include "ir/frontend.hpp"
 #include "expresso/session.hpp"
 #include "fuzz/edits.hpp"
 #include "fuzz/generator.hpp"
@@ -114,9 +114,9 @@ TEST(IncrementalEquivalence, WarmUpdateMatchesColdRunAcrossFuzzedEdits) {
   for (int i = 0; i < n; ++i) {
     const std::uint64_t seed = 0xa11ce000u + static_cast<std::uint64_t>(i);
     const auto sc = fuzz::generate_scenario(seed);
-    std::vector<config::RouterConfig> base;
+    std::vector<ir::RouterConfig> base;
     try {
-      base = config::parse_configs(sc.config_text);
+      base = ir::parse_configs(sc.config_text);
     } catch (const std::exception&) {
       continue;  // generator emits only parseable text; belt and braces
     }
@@ -187,7 +187,7 @@ TEST(IncrementalEquivalence, EditChainsStayEquivalent) {
   for (int c = 0; c < kChains; ++c) {
     const std::uint64_t seed = 0xc4a15000u + static_cast<std::uint64_t>(c);
     const auto sc = fuzz::generate_scenario(seed);
-    auto snapshot = config::parse_configs(sc.config_text);
+    auto snapshot = ir::parse_configs(sc.config_text);
 
     Session::SessionOptions opt;
     opt.verify_warm = true;
@@ -234,7 +234,7 @@ TEST(IncrementalEquivalence, VerifyWarmShadowMatchesColdSession) {
   for (int i = 0; i < kScenarios; ++i) {
     const std::uint64_t seed = 0x5eed0000u + static_cast<std::uint64_t>(i);
     const auto sc = fuzz::generate_scenario(seed);
-    const auto base = config::parse_configs(sc.config_text);
+    const auto base = ir::parse_configs(sc.config_text);
     const auto edit = fuzz::apply_random_edit(base, seed * 104729 + 3);
     SCOPED_TRACE("seed=" + std::to_string(seed) + " edit=" +
                  edit.description);

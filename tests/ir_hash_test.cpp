@@ -1,0 +1,287 @@
+// Hash coverage over the policy IR (src/ir/hash.cpp).
+//
+// The Session's artifact keys are only sound if *every* semantically
+// meaningful IR field feeds ast_hash — a field the hash misses is an edit
+// the cache will silently serve stale results for.  This suite makes that
+// provable and keeps it true as the IR grows:
+//
+//   * MemberCountTripwires pins the aggregate member count of every IR
+//     struct with structured bindings.  Adding a field breaks compilation
+//     here, forcing a deliberate decision for ast_hash()/dataplane_hash()
+//     and an entry in the mutation table below.
+//   * EveryIrFieldFeedsAstHash mutates each field in isolation and demands
+//     a different ast_hash — and, for exactly the fields the post-SRC
+//     stages read directly (name, networks, aggregates, statics, connected,
+//     redistribute_static), a different dataplane_hash, while every other
+//     mutation must leave dataplane_hash untouched (a dataplane key that
+//     moved on a policy edit would defeat RIB-equality revalidation).
+#include "ir/hash.hpp"
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <vector>
+
+#include "ir/frontend.hpp"
+
+namespace expresso::ir {
+namespace {
+
+net::Ipv4Prefix pfx(const char* text) { return *net::Ipv4Prefix::parse(text); }
+
+// A baseline router exercising every field with a non-default value, so
+// each mutation below flips exactly one field against a "busy" background.
+RouterConfig base_config() {
+  RouterConfig r;
+  r.name = "R1";
+  r.asn = 65001;
+  r.networks = {pfx("10.0.0.0/16")};
+  r.aggregates = {pfx("10.0.0.0/8")};
+  r.statics = {StaticRoute{pfx("10.1.0.0/16"), "R2"}};
+  r.connected = {pfx("10.0.9.0/31")};
+  r.redistribute_static = true;
+  r.redistribute_connected = false;
+
+  PolicyClause c;
+  c.permit = true;
+  c.node = 10;
+  c.match_prefixes = {net::PrefixMatch::range(pfx("20.0.0.0/8"), 16, 24)};
+  c.match_communities = {*net::CommunityMatcher::parse("300:100")};
+  c.match_as_path = ".*100";
+  c.set_local_preference = 200;
+  c.add_communities = {*net::Community::parse("300:1")};
+  c.delete_communities = {*net::Community::parse("300:2")};
+  c.prepend_as = 65001;
+  r.policies["p"] = {c};
+
+  PeerStmt peer;
+  peer.peer = "E1";
+  peer.peer_as = 100;
+  peer.import_policy = "p";
+  peer.export_policy = "p";
+  r.peers = {peer};
+  return r;
+}
+
+struct Mutation {
+  const char* field;
+  std::function<void(RouterConfig&)> apply;
+  // Whether dataplane_hash must move too: exactly the fields read directly
+  // by FibBuilder / internal_prefixes (see ir/hash.hpp).
+  bool dataplane;
+};
+
+std::vector<Mutation> mutations() {
+  auto clause = [](RouterConfig& r) -> PolicyClause& {
+    return r.policies["p"][0];
+  };
+  return {
+      // --- RouterConfig, member by member --------------------------------
+      {"name", [](RouterConfig& r) { r.name = "R9"; }, true},
+      {"asn", [](RouterConfig& r) { r.asn = 65002; }, false},
+      {"networks", [](RouterConfig& r) { r.networks.push_back(pfx("11.0.0.0/16")); },
+       true},
+      {"aggregates", [](RouterConfig& r) { r.aggregates.clear(); }, true},
+      {"statics.prefix",
+       [](RouterConfig& r) { r.statics[0].prefix = pfx("10.2.0.0/16"); }, true},
+      {"statics.next_hop", [](RouterConfig& r) { r.statics[0].next_hop = "R3"; },
+       true},
+      {"connected", [](RouterConfig& r) { r.connected.clear(); }, true},
+      {"redistribute_static",
+       [](RouterConfig& r) { r.redistribute_static = false; }, true},
+      {"redistribute_connected",
+       [](RouterConfig& r) { r.redistribute_connected = true; }, false},
+      {"policies.key",
+       [](RouterConfig& r) {
+         auto p = r.policies["p"];
+         r.policies.erase("p");
+         r.policies["q"] = p;
+       },
+       false},
+      {"policies.extra_clause",
+       [](RouterConfig& r) { r.policies["p"].push_back(PolicyClause{}); },
+       false},
+      // --- PolicyClause, member by member --------------------------------
+      {"clause.permit", [=](RouterConfig& r) { clause(r).permit = false; },
+       false},
+      {"clause.node", [=](RouterConfig& r) { clause(r).node = 20; }, false},
+      {"clause.match_prefixes.base",
+       [=](RouterConfig& r) { clause(r).match_prefixes[0].base = pfx("21.0.0.0/8"); },
+       false},
+      {"clause.match_prefixes.ge",
+       [=](RouterConfig& r) { clause(r).match_prefixes[0].ge = 17; }, false},
+      {"clause.match_prefixes.le",
+       [=](RouterConfig& r) { clause(r).match_prefixes[0].le = 25; }, false},
+      {"clause.match_communities",
+       [=](RouterConfig& r) {
+         clause(r).match_communities = {*net::CommunityMatcher::parse("300:*")};
+       },
+       false},
+      {"clause.match_as_path.value",
+       [=](RouterConfig& r) { clause(r).match_as_path = ".*200"; }, false},
+      {"clause.match_as_path.presence",
+       [=](RouterConfig& r) { clause(r).match_as_path.reset(); }, false},
+      {"clause.set_local_preference.value",
+       [=](RouterConfig& r) { clause(r).set_local_preference = 300; }, false},
+      {"clause.set_local_preference.presence",
+       [=](RouterConfig& r) { clause(r).set_local_preference.reset(); }, false},
+      {"clause.add_communities.high",
+       [=](RouterConfig& r) { clause(r).add_communities[0].high = 301; },
+       false},
+      {"clause.add_communities.low",
+       [=](RouterConfig& r) { clause(r).add_communities[0].low = 9; }, false},
+      {"clause.delete_communities",
+       [=](RouterConfig& r) { clause(r).delete_communities.clear(); }, false},
+      {"clause.prepend_as",
+       [=](RouterConfig& r) { clause(r).prepend_as = 65002; }, false},
+      // --- PeerStmt, member by member ------------------------------------
+      {"peer.peer", [](RouterConfig& r) { r.peers[0].peer = "E2"; }, false},
+      {"peer.peer_as", [](RouterConfig& r) { r.peers[0].peer_as = 200; },
+       false},
+      {"peer.import_policy.value",
+       [](RouterConfig& r) { r.peers[0].import_policy = "q"; }, false},
+      {"peer.import_policy.presence",
+       [](RouterConfig& r) { r.peers[0].import_policy.reset(); }, false},
+      {"peer.export_policy.value",
+       [](RouterConfig& r) { r.peers[0].export_policy = "q"; }, false},
+      {"peer.export_policy.presence",
+       [](RouterConfig& r) { r.peers[0].export_policy.reset(); }, false},
+      {"peer.advertise_community",
+       [](RouterConfig& r) { r.peers[0].advertise_community = true; }, false},
+      {"peer.rr_client", [](RouterConfig& r) { r.peers[0].rr_client = true; },
+       false},
+      {"peer.advertise_default",
+       [](RouterConfig& r) { r.peers[0].advertise_default = true; }, false},
+      {"peers.extra", [](RouterConfig& r) { r.peers.push_back(r.peers[0]); },
+       false},
+  };
+}
+
+TEST(IrHash, MemberCountTripwires) {
+  // Structured bindings pin each struct's member count.  A new IR field
+  // fails to destructure here; when that happens, (1) decide whether
+  // ast_hash and/or dataplane_hash must cover it (src/ir/hash.cpp), (2) add
+  // a Mutation entry above proving it, (3) re-pin the binding.
+  {
+    auto [name, asn, networks, aggregates, statics, connected, red_static,
+          red_connected, policies, peers] = RouterConfig{};  // 10 members
+    (void)name; (void)asn; (void)networks; (void)aggregates; (void)statics;
+    (void)connected; (void)red_static; (void)red_connected; (void)policies;
+    (void)peers;
+  }
+  {
+    auto [permit, node, match_prefixes, match_communities, match_as_path,
+          set_local_pref, add_communities, delete_communities, prepend_as] =
+        PolicyClause{};  // 9 members
+    (void)permit; (void)node; (void)match_prefixes; (void)match_communities;
+    (void)match_as_path; (void)set_local_pref; (void)add_communities;
+    (void)delete_communities; (void)prepend_as;
+  }
+  {
+    auto [peer, peer_as, import_policy, export_policy, advertise_community,
+          rr_client, advertise_default] = PeerStmt{};  // 7 members
+    (void)peer; (void)peer_as; (void)import_policy; (void)export_policy;
+    (void)advertise_community; (void)rr_client; (void)advertise_default;
+  }
+  {
+    auto [prefix, next_hop] = StaticRoute{};  // 2 members
+    (void)prefix; (void)next_hop;
+  }
+  {
+    auto [base, ge, le] = net::PrefixMatch{};  // 3 members
+    (void)base; (void)ge; (void)le;
+  }
+  {
+    auto [high, low] = net::Community{};  // 2 members
+    (void)high; (void)low;
+  }
+  {
+    auto [addr, len] = net::Ipv4Prefix{};  // 2 members
+    (void)addr; (void)len;
+  }
+}
+
+TEST(IrHash, EveryIrFieldFeedsAstHash) {
+  const RouterConfig base = base_config();
+  const std::uint64_t h0 = ast_hash(base);
+  const std::uint64_t d0 = dataplane_hash(base);
+  for (const auto& m : mutations()) {
+    RouterConfig cfg = base_config();
+    m.apply(cfg);
+    ASSERT_NE(cfg, base) << m.field << ": mutation was a no-op";
+    EXPECT_NE(ast_hash(cfg), h0) << m.field << " is not covered by ast_hash";
+    if (m.dataplane) {
+      EXPECT_NE(dataplane_hash(cfg), d0)
+          << m.field << " must feed dataplane_hash (FibBuilder/"
+          << "internal_prefixes read it directly)";
+    } else {
+      EXPECT_EQ(dataplane_hash(cfg), d0)
+          << m.field << " must NOT move dataplane_hash (it reaches the "
+          << "dataplane only through the symbolic RIBs)";
+    }
+    EXPECT_NE(snapshot_hash({cfg}), snapshot_hash({base})) << m.field;
+  }
+}
+
+TEST(IrHash, PolicyHashSeesClauseOrder) {
+  PolicyClause a;
+  a.node = 10;
+  PolicyClause b;
+  b.node = 20;
+  b.permit = false;
+  EXPECT_NE(ast_hash(RoutePolicy{a, b}), ast_hash(RoutePolicy{b, a}));
+  EXPECT_NE(ast_hash(RoutePolicy{a}), ast_hash(RoutePolicy{a, a}));
+}
+
+TEST(IrHash, SnapshotHashOrderInsensitiveButDuplicateSensitive) {
+  RouterConfig r1 = base_config();
+  RouterConfig r2 = base_config();
+  r2.name = "R2";
+  EXPECT_EQ(snapshot_hash({r1, r2}), snapshot_hash({r2, r1}));
+  // The commutative combine must not self-cancel: two copies of a router
+  // hash differently from zero copies (and from one).
+  EXPECT_NE(snapshot_hash({r1, r1}), snapshot_hash({}));
+  EXPECT_NE(snapshot_hash({r1, r1}), snapshot_hash({r1}));
+}
+
+TEST(IrHash, HashesAreDialectInvariant) {
+  // The same IR emitted through either frontend and re-parsed must key
+  // identically — the invariant that lets a tenant switch dialects without
+  // invalidating a single artifact.
+  const std::vector<RouterConfig> cfgs = {base_config()};
+  const auto huawei = parse_configs(emit(cfgs, Dialect::kHuawei));
+  const auto rpsl = parse_configs(emit(cfgs, Dialect::kRpsl));
+  EXPECT_EQ(snapshot_hash(huawei), snapshot_hash(rpsl));
+  EXPECT_EQ(dataplane_hash(huawei[0]), dataplane_hash(rpsl[0]));
+  EXPECT_EQ(ast_hash(huawei[0]), ast_hash(rpsl[0]));
+  // The *text* keys differ, of course: that is what the parse-stage key
+  // disambiguates.
+  EXPECT_NE(text_hash(emit(cfgs, Dialect::kHuawei)),
+            text_hash(emit(cfgs, Dialect::kRpsl)));
+}
+
+TEST(IrHash, DiffConfigsClassifiesRouters) {
+  RouterConfig r1 = base_config();
+  RouterConfig r2 = base_config();
+  r2.name = "R2";
+  RouterConfig r3 = base_config();
+  r3.name = "R3";
+
+  RouterConfig r2_edit = r2;
+  r2_edit.asn = 65099;
+  const auto d = diff_configs({r1, r2}, {r2_edit, r3});
+  EXPECT_EQ(d.added, std::vector<std::string>{"R3"});
+  EXPECT_EQ(d.removed, std::vector<std::string>{"R1"});
+  EXPECT_EQ(d.changed, std::vector<std::string>{"R2"});
+  EXPECT_EQ(d.unchanged, 0u);
+  EXPECT_FALSE(d.empty());
+  EXPECT_FALSE(d.same_router_set());
+
+  const auto same = diff_configs({r1, r2}, {r2, r1});
+  EXPECT_TRUE(same.empty());
+  EXPECT_TRUE(same.same_router_set());
+  EXPECT_EQ(same.unchanged, 2u);
+}
+
+}  // namespace
+}  // namespace expresso::ir

@@ -16,7 +16,7 @@
 #include <thread>
 #include <vector>
 
-#include "config/parser.hpp"
+#include "ir/frontend.hpp"
 #include "expresso/session.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -244,7 +244,7 @@ TEST(ObsMetricsTest, VerifierStatsViewEqualsRegistryAfterWarmAndColdRun) {
   (void)s.check_route_leak_free();
   (void)s.check_loop_free();
 
-  auto cfgs = config::parse_configs(kConfig);
+  auto cfgs = ir::parse_configs(kConfig);
   cfgs[0].policies["ex"][0].set_local_preference = 130;  // universe-preserving
   s.update(std::move(cfgs));  // warm
   (void)s.check_loop_free();

@@ -11,7 +11,7 @@
 
 #include <sstream>
 
-#include "config/parser.hpp"
+#include "ir/frontend.hpp"
 #include "support/util.hpp"
 
 namespace expresso::policy {
@@ -37,7 +37,7 @@ router R
   add-community 100:1 100:2
  bgp peer E AS 100 import all
 )";
-    cfgs_ = config::parse_configs(text);
+    cfgs_ = ir::parse_configs(text);
     for (std::uint32_t asn : {65000u, 100u}) alphabet_.intern(asn);
     alphabet_.freeze();
     atomizer_ = std::make_unique<symbolic::CommunityAtomizer>(cfgs_);
@@ -47,7 +47,7 @@ router R
   CompiledPolicy compile(const std::string& policy_text) {
     const std::string full = "router R\n bgp as 65000\n" + policy_text +
                              " bgp peer E AS 100 import p\n";
-    auto cfgs = config::parse_configs(full);
+    auto cfgs = ir::parse_configs(full);
     return compile_policy(cfgs[0].policies.at("p"), *enc_, *atomizer_,
                           alphabet_);
   }
@@ -60,7 +60,7 @@ router R
     return r;
   }
 
-  std::vector<config::RouterConfig> cfgs_;
+  std::vector<ir::RouterConfig> cfgs_;
   automaton::AsAlphabet alphabet_;
   std::unique_ptr<symbolic::CommunityAtomizer> atomizer_;
   std::unique_ptr<symbolic::Encoding> enc_;
@@ -205,7 +205,7 @@ TEST_P(PolicyPartitionTest, SymbolicAgreesWithConcreteFirstMatch) {
 
   const std::string full = "router R\n bgp as 65000\n" + pol.str() +
                            " bgp peer E AS 100 import p\n";
-  auto cfgs = config::parse_configs(full);
+  auto cfgs = ir::parse_configs(full);
   const auto& ast = cfgs[0].policies.at("p");
 
   automaton::AsAlphabet alphabet;

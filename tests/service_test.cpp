@@ -13,11 +13,13 @@
 //     contract: an error response or a clean teardown, never a crash, and
 //     the server keeps serving well-formed clients afterwards.  This suite
 //     is re-run under ASan by scripts/check.sh.
-//   * ServiceFairness / ServiceEviction / ServiceCoalescing — multi-tenant
-//     scheduling: bounded queue wait under a one-worker spam load, coldest
-//     idle eviction at the session ceiling with correct cold re-admission,
-//     and burst coalescing collapsing a rapid edit storm into one verify
-//     (with each coalesced request keeping its own blackhole checks).
+//   * ServiceFairness / ServiceEviction / ServiceCoalescing /
+//     ServiceBackpressure — multi-tenant scheduling: bounded queue wait
+//     under a one-worker spam load, coldest idle eviction at the session
+//     ceiling with correct cold re-admission, burst coalescing collapsing a
+//     rapid edit storm into one verify (with each coalesced request keeping
+//     its own blackhole checks), and the per-tenant pending bound answering
+//     floods with {"error":"overloaded"} instead of queuing unboundedly.
 //   * ServiceLifecycle — daemon hygiene: per-connection resources reaped as
 //     clients disconnect, and stop()/start() restartability.
 //
@@ -38,8 +40,8 @@
 #include <thread>
 #include <vector>
 
-#include "config/ast.hpp"
-#include "config/parser.hpp"
+#include "ir/ir.hpp"
+#include "ir/frontend.hpp"
 #include "expresso/session.hpp"
 #include "fuzz/edits.hpp"
 #include "fuzz/generator.hpp"
@@ -48,6 +50,7 @@
 #include "service/client.hpp"
 #include "service/protocol.hpp"
 #include "service/server.hpp"
+#include "support/json_writer.hpp"
 #include "support/util.hpp"
 
 namespace expresso::service {
@@ -129,12 +132,12 @@ TenantChain make_chain(std::uint64_t seed, int edits) {
     chain.blackhole.push_back(p);
     chain.blackhole_strings.push_back(p.to_string());
   }
-  auto snapshot = config::parse_configs(sc.config_text);
+  auto snapshot = ir::parse_configs(sc.config_text);
   for (int e = 0; e < edits; ++e) {
     const auto edit = fuzz::apply_random_edit(
         snapshot, seed * 31 + static_cast<std::uint64_t>(e) * 7 + 13);
     snapshot = edit.configs;
-    chain.edit_texts.push_back(config::serialize(snapshot));
+    chain.edit_texts.push_back(ir::emit(snapshot, ir::Dialect::kHuawei));
   }
   return chain;
 }
@@ -463,6 +466,100 @@ TEST(ServiceFairness, SpammingTenantCannotStarveAnother) {
   // Every admitted request passed through the queue-wait histogram.
   const auto& hist = server.metrics().histogram("service.queue_wait");
   EXPECT_GE(hist.count(), spam_id + 1);
+}
+
+TEST(ServiceBackpressure, PendingBoundRejectsWithOverloadedFrame) {
+  const TenantChain busy = make_chain(0xb0b0, 0);
+  const TenantChain over = make_chain(0xb0b1, 2);
+
+  ServerOptions so;
+  so.workers = 1;
+  so.coalesce_ms = 400;  // pin the lone worker on t-busy while we flood
+  so.max_pending_per_tenant = 2;
+  Server server(so);
+  const std::uint16_t port = server.start();
+
+  // One pipelined connection keeps admission order deterministic: the lone
+  // worker picks up t-busy and lingers in its coalescing window, so the
+  // t-over pushes can only pile into the pending deque.
+  Client client;
+  client.connect("127.0.0.1", port);
+  client.send_raw(Client::update_payload("t-busy", busy.base_text, {}, 1));
+  client.send_raw(Client::update_payload("t-over", over.base_text, {}, 2));
+  client.send_raw(Client::update_payload("t-over", over.edit_texts[0], {}, 3));
+  client.send_raw(Client::update_payload("t-over", over.edit_texts[1], {}, 4));
+
+  // The third t-over push found the deque at the bound and was refused
+  // inline by the reader, so its error frame overtakes every verdict stream.
+  obs::JsonValue frame;
+  ASSERT_TRUE(client.recv(frame));
+  EXPECT_EQ(str_field(frame, "kind"), "error");
+  EXPECT_EQ(str_field(frame, "error"), "overloaded");
+  const obs::JsonValue* fid = frame.find("id");
+  ASSERT_NE(fid, nullptr);
+  EXPECT_EQ(fid->num, 4.0);
+  const obs::JsonValue* fatal = frame.find("fatal");
+  ASSERT_NE(fatal, nullptr);
+  ASSERT_EQ(fatal->kind, obs::JsonValue::Kind::Bool);
+  EXPECT_FALSE(fatal->b);
+
+  // Every admitted push still answers normally.
+  for (std::uint64_t id = 1; id <= 3; ++id) {
+    const auto r = client.collect(id);
+    EXPECT_TRUE(r.ok) << "push " << id << ": " << r.error;
+  }
+  server.stop();
+  EXPECT_EQ(server.metrics().counter("service.rejected_overload").value(), 1u);
+}
+
+TEST(ServiceProtocol, UpdateDialectFieldValidatedAndHonored) {
+  Server server{ServerOptions{}};
+  const std::uint16_t port = server.start();
+  const TenantChain chain = make_chain(0xd1a1, 0);
+  const std::string rpsl_text =
+      ir::emit(ir::parse_configs(chain.base_text), ir::Dialect::kRpsl);
+
+  Client client;
+  client.connect("127.0.0.1", port);
+
+  // An unknown dialect name is rejected before admission and leaves the
+  // connection usable.
+  support::JsonWriter bad;
+  bad.begin_object()
+      .key("op").value("update")
+      .key("id").value(std::uint64_t{1})
+      .key("tenant").value("t-d")
+      .key("config").value(chain.base_text)
+      .key("dialect").value("klingon")
+      .end_object();
+  client.send_raw(bad.take());
+  obs::JsonValue frame;
+  ASSERT_TRUE(client.recv(frame));
+  EXPECT_EQ(str_field(frame, "kind"), "error");
+
+  // Forcing a valid dialect bypasses sniffing, and the verdicts stay
+  // bit-identical to an in-process Session fed the same forced dialect.
+  support::JsonWriter good;
+  good.begin_object()
+      .key("op").value("update")
+      .key("id").value(std::uint64_t{2})
+      .key("tenant").value("t-d")
+      .key("config").value(rpsl_text)
+      .key("dialect").value("rpsl")
+      .end_object();
+  client.send_raw(good.take());
+  const auto r = client.collect(2);
+  ASSERT_TRUE(r.ok) << r.error;
+
+  Session replica = make_replica();
+  replica.update(rpsl_text, ir::Dialect::kRpsl);
+  replica.run_src();
+  const auto expected = verdict_frames(replica, "t-d", 2, {});
+  ASSERT_EQ(r.verdict_payloads.size(), expected.size());
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(r.verdict_payloads[i], expected[i]);
+  }
+  server.stop();
 }
 
 TEST(ServiceEviction, ColdestSessionEvictedAndReadmittedCold) {

@@ -5,8 +5,8 @@
 #include <gtest/gtest.h>
 
 #include "bdd/bdd.hpp"
-#include "config/hash.hpp"
-#include "config/parser.hpp"
+#include "ir/hash.hpp"
+#include "ir/frontend.hpp"
 #include "expresso/verifier.hpp"
 
 namespace expresso {
@@ -30,82 +30,82 @@ router B
 // --- config content hashing -------------------------------------------------
 
 TEST(ConfigHashTest, HashIsStableAcrossCopiesAndReparses) {
-  const auto a = config::parse_configs(kBase);
-  const auto b = config::parse_configs(kBase);
+  const auto a = ir::parse_configs(kBase);
+  const auto b = ir::parse_configs(kBase);
   ASSERT_EQ(a.size(), b.size());
   for (std::size_t i = 0; i < a.size(); ++i) {
-    EXPECT_EQ(config::ast_hash(a[i]), config::ast_hash(b[i]));
+    EXPECT_EQ(ir::ast_hash(a[i]), ir::ast_hash(b[i]));
   }
-  EXPECT_EQ(config::snapshot_hash(a), config::snapshot_hash(b));
-  EXPECT_EQ(config::text_hash(kBase), config::text_hash(std::string(kBase)));
+  EXPECT_EQ(ir::snapshot_hash(a), ir::snapshot_hash(b));
+  EXPECT_EQ(ir::text_hash(kBase), ir::text_hash(std::string(kBase)));
 }
 
 TEST(ConfigHashTest, HashSeesEveryEditedField) {
-  const auto base = config::parse_configs(kBase);
+  const auto base = ir::parse_configs(kBase);
   auto edited = base;
   edited[0].policies["ex"][0].set_local_preference = 121;
-  EXPECT_NE(config::ast_hash(base[0]), config::ast_hash(edited[0]));
-  EXPECT_EQ(config::ast_hash(base[1]), config::ast_hash(edited[1]));
-  EXPECT_NE(config::snapshot_hash(base), config::snapshot_hash(edited));
+  EXPECT_NE(ir::ast_hash(base[0]), ir::ast_hash(edited[0]));
+  EXPECT_EQ(ir::ast_hash(base[1]), ir::ast_hash(edited[1]));
+  EXPECT_NE(ir::snapshot_hash(base), ir::snapshot_hash(edited));
 
   auto toggled = base;
   toggled[1].peers[1].advertise_community = true;
-  EXPECT_NE(config::ast_hash(base[1]), config::ast_hash(toggled[1]));
+  EXPECT_NE(ir::ast_hash(base[1]), ir::ast_hash(toggled[1]));
 }
 
 TEST(ConfigHashTest, SnapshotHashIsOrderInsensitive) {
-  const auto a = config::parse_configs(kBase);
+  const auto a = ir::parse_configs(kBase);
   auto rev = a;
   std::reverse(rev.begin(), rev.end());
-  EXPECT_EQ(config::snapshot_hash(a), config::snapshot_hash(rev));
+  EXPECT_EQ(ir::snapshot_hash(a), ir::snapshot_hash(rev));
 }
 
 TEST(ConfigHashTest, SnapshotHashDoesNotSelfCancel) {
-  const auto a = config::parse_configs(kBase);
+  const auto a = ir::parse_configs(kBase);
   // With a plain XOR combine an even multiset of identical routers cancels
   // itself: two extra copies of A would hash like none.
   auto doubled = a;
   doubled.push_back(a[0]);
   doubled.push_back(a[0]);
-  EXPECT_NE(config::snapshot_hash(a), config::snapshot_hash(doubled));
-  const std::vector<config::RouterConfig> twins{a[0], a[0]};
-  EXPECT_NE(config::snapshot_hash(twins), config::snapshot_hash({}));
+  EXPECT_NE(ir::snapshot_hash(a), ir::snapshot_hash(doubled));
+  const std::vector<ir::RouterConfig> twins{a[0], a[0]};
+  EXPECT_NE(ir::snapshot_hash(twins), ir::snapshot_hash({}));
 }
 
 TEST(ConfigHashTest, DataplaneHashSeesOnlyDataPlaneFields) {
-  const auto base = config::parse_configs(kBase);
+  const auto base = ir::parse_configs(kBase);
 
   // Pure policy edits are invisible: they can only reach the data plane
   // through the RIBs, which the Session compares directly.
   auto policy_edit = base;
   policy_edit[0].policies["ex"][0].set_local_preference = 121;
-  EXPECT_EQ(config::dataplane_hash(base), config::dataplane_hash(policy_edit));
+  EXPECT_EQ(ir::dataplane_hash(base), ir::dataplane_hash(policy_edit));
 
   auto static_edit = base;
   static_edit[0].statics.push_back(
       {*net::Ipv4Prefix::parse("10.7.0.0/16"), "B"});
-  EXPECT_NE(config::dataplane_hash(base), config::dataplane_hash(static_edit));
+  EXPECT_NE(ir::dataplane_hash(base), ir::dataplane_hash(static_edit));
 
   auto conn_edit = base;
   conn_edit[1].connected.push_back(*net::Ipv4Prefix::parse("10.8.0.0/24"));
-  EXPECT_NE(config::dataplane_hash(base), config::dataplane_hash(conn_edit));
+  EXPECT_NE(ir::dataplane_hash(base), ir::dataplane_hash(conn_edit));
 
   // redistribute_static gates statics into internal_prefixes(), so the flag
   // itself is part of the data-plane key.
   auto redist = static_edit;
   redist[0].redistribute_static = true;
-  EXPECT_NE(config::dataplane_hash(static_edit),
-            config::dataplane_hash(redist));
+  EXPECT_NE(ir::dataplane_hash(static_edit),
+            ir::dataplane_hash(redist));
 }
 
 TEST(ConfigDiffTest, ReportsAddedRemovedChangedUnchanged) {
-  const auto before = config::parse_configs(kBase);
+  const auto before = ir::parse_configs(kBase);
   auto after = before;
   after[0].networks.push_back(*net::Ipv4Prefix::parse("10.3.0.0/16"));
   after.push_back(after[1]);
   after.back().name = "C";
 
-  const auto d = config::diff_configs(before, after);
+  const auto d = ir::diff_configs(before, after);
   EXPECT_FALSE(d.empty());
   EXPECT_FALSE(d.same_router_set());
   EXPECT_EQ(d.added, std::vector<std::string>{"C"});
@@ -113,7 +113,7 @@ TEST(ConfigDiffTest, ReportsAddedRemovedChangedUnchanged) {
   EXPECT_EQ(d.changed, std::vector<std::string>{"A"});
   EXPECT_EQ(d.unchanged, 1u);
 
-  const auto same = config::diff_configs(before, before);
+  const auto same = ir::diff_configs(before, before);
   EXPECT_TRUE(same.empty());
   EXPECT_TRUE(same.same_router_set());
   EXPECT_EQ(same.unchanged, 2u);
@@ -160,7 +160,7 @@ TEST(SessionTest, UniversePreservingEditWarmStarts) {
   s.run_src();
   EXPECT_FALSE(s.stats().warm);  // first run is cold by definition
 
-  auto edited = config::parse_configs(kBase);
+  auto edited = ir::parse_configs(kBase);
   edited[0].policies["ex"][0].set_local_preference = 300;
   s.update(edited);
   EXPECT_EQ(s.stats().universe_cache.hits, 1u);  // same alphabet/atoms
@@ -175,7 +175,7 @@ TEST(SessionTest, FreshAsnForcesColdRestart) {
   s.load(kBase);
   s.run_src();
 
-  auto edited = config::parse_configs(kBase);
+  auto edited = ir::parse_configs(kBase);
   edited[0].policies["ex"][0].prepend_as = 64999;  // not in the alphabet
   s.update(edited);
   EXPECT_EQ(s.stats().universe_cache.misses, 2u);  // initial load + this
@@ -192,8 +192,8 @@ TEST(SessionTest, UnchangedFixedPointKeepsSpfAndVerdicts) {
 
   // An unreachable policy clause (clause 10 matches unconditionally) changes
   // the config hash but not the fixed point: SPF and verdicts stay.
-  auto edited = config::parse_configs(kBase);
-  config::PolicyClause dead;
+  auto edited = ir::parse_configs(kBase);
+  ir::PolicyClause dead;
   dead.permit = false;
   dead.node = 20;
   edited[0].policies["ex"].push_back(dead);
@@ -216,7 +216,7 @@ TEST(SessionTest, StaticOnlyEditInvalidatesDataPlane) {
   // run lands on the exact fixed point it was seeded with, yet the FIBs (and
   // thus PECs and forwarding verdicts) move.  The data-plane hash must force
   // the generation bump that RIB comparison alone would skip.
-  auto edited = config::parse_configs(kBase);
+  auto edited = ir::parse_configs(kBase);
   edited[0].statics.push_back({*net::Ipv4Prefix::parse("10.77.0.0/16"), "B"});
   ASSERT_FALSE(edited[0].redistribute_static);
   s.update(edited);
@@ -240,7 +240,7 @@ TEST(SessionTest, ConstPecsThrowsWhileDeltaIsPending) {
   const Session& cs = s;
   EXPECT_NO_THROW(cs.pecs());
 
-  auto edited = config::parse_configs(kBase);
+  auto edited = ir::parse_configs(kBase);
   edited[0].policies["ex"][0].set_local_preference = 90;
   s.update(edited);
   // The delta has not been re-verified: the cached PECs describe the
@@ -257,7 +257,7 @@ TEST(SessionTest, PolicyCacheReusesUntouchedRouters) {
   const auto misses_after_cold = s.stats().policy_cache.misses;
   EXPECT_GT(misses_after_cold, 0u);
 
-  auto edited = config::parse_configs(kBase);
+  auto edited = ir::parse_configs(kBase);
   edited[1].networks.push_back(*net::Ipv4Prefix::parse("10.9.0.0/16"));
   s.update(edited);
   s.run_src();
@@ -273,7 +273,7 @@ TEST(SessionTest, VerifyWarmShadowAgreesOnSimpleNetworks) {
   s.load(kBase);
   s.run_src();
 
-  auto edited = config::parse_configs(kBase);
+  auto edited = ir::parse_configs(kBase);
   edited[0].policies["ex"][0].set_local_preference = 80;
   s.update(edited);
   s.run_src();
@@ -311,7 +311,7 @@ TEST(SessionTest, AnalysisTimersResetWithTheArtifactGeneration) {
 
   // The edit moves the fixed point -> new generation -> the per-generation
   // analysis timers restart from zero before the re-check lands in them.
-  auto edited = config::parse_configs(kBase);
+  auto edited = ir::parse_configs(kBase);
   edited[0].policies["ex"][0].set_local_preference = 300;
   s.update(edited);
   (void)s.check_loop_free();

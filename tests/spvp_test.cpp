@@ -3,7 +3,7 @@
 
 #include <gtest/gtest.h>
 
-#include "config/parser.hpp"
+#include "ir/frontend.hpp"
 
 namespace expresso::routing {
 namespace {
@@ -32,7 +32,7 @@ router C
 
 class SpvpTest : public ::testing::Test {
  protected:
-  SpvpTest() : net_(net::Network::build(config::parse_configs(kTriangle))) {
+  SpvpTest() : net_(net::Network::build(ir::parse_configs(kTriangle))) {
     a_ = *net_.find("A");
     b_ = *net_.find("B");
     c_ = *net_.find("C");

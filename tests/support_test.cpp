@@ -9,7 +9,7 @@
 #include <thread>
 #include <vector>
 
-#include "config/parser.hpp"
+#include "ir/frontend.hpp"
 #include "expresso/verifier.hpp"
 #include "net/prefix.hpp"
 #include "support/thread_pool.hpp"
@@ -69,8 +69,8 @@ TEST(PrefixTest, ParsePrintEdgeCases) {
 }
 
 TEST(VerifierErrorTest, ParseErrorsPropagate) {
-  EXPECT_THROW(Verifier v("garbage in garbage out"), config::ParseError);
-  EXPECT_THROW(Verifier v("router R\n bgp peer"), config::ParseError);
+  EXPECT_THROW(Verifier v("garbage in garbage out"), ir::ParseError);
+  EXPECT_THROW(Verifier v("router R\n bgp peer"), ir::ParseError);
 }
 
 TEST(VerifierErrorTest, EmptyNetworkIsHarmless) {

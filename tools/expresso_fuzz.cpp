@@ -21,11 +21,13 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <optional>
 #include <sstream>
 #include <string>
 
 #include "bench_util.hpp"
 #include "fuzz/campaign.hpp"
+#include "ir/frontend.hpp"
 #include "obs/metrics.hpp"
 #include "fuzz/differ.hpp"
 #include "fuzz/scenario.hpp"
@@ -37,6 +39,7 @@ void usage() {
   std::fprintf(stderr,
                "usage: expresso_fuzz [--seed N] [--runs N] [--max-nodes N]\n"
                "                     [--shrink 0|1] [--threads N] [--out DIR]\n"
+               "                     [--dialect huawei|rpsl]\n"
                "                     [--no-baselines] [--self-test]\n"
                "                     [--replay FILE]\n");
 }
@@ -51,6 +54,11 @@ struct Args {
   bool baselines = true;
   bool self_test = false;
   std::string replay;
+  // Campaign: the dialect scenarios are generated in.  Replay: the repro's
+  // IR is re-emitted in this dialect before diffing (a dialect-translation
+  // replay).  Unset = campaign generates Huawei, replay keeps the repro's
+  // recorded dialect.
+  std::optional<expresso::ir::Dialect> dialect;
 };
 
 bool parse_args(int argc, char** argv, Args& a) {
@@ -84,6 +92,14 @@ bool parse_args(int argc, char** argv, Args& a) {
       const char* v = value();
       if (v == nullptr) return false;
       a.out = v;
+    } else if (arg == "--dialect") {
+      const char* v = value();
+      if (v == nullptr) return false;
+      a.dialect = expresso::ir::dialect_from_name(v);
+      if (!a.dialect) {
+        std::fprintf(stderr, "unknown dialect: %s\n", v);
+        return false;
+      }
     } else if (arg == "--no-baselines") {
       a.baselines = false;
     } else if (arg == "--self-test") {
@@ -119,6 +135,13 @@ int replay(const Args& a) {
   expresso::fuzz::Scenario s;
   try {
     s = expresso::fuzz::parse_repro(buf.str());
+    if (a.dialect && *a.dialect != s.dialect) {
+      // Dialect-translation replay: push the repro through the IR and the
+      // requested frontend, then diff that emission instead.
+      s.config_text = expresso::ir::emit(
+          expresso::ir::parse_configs(s.config_text, s.dialect), *a.dialect);
+      s.dialect = *a.dialect;
+    }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "%s: %s\n", a.replay.c_str(), e.what());
     return 2;
@@ -151,6 +174,7 @@ int campaign(const Args& a) {
   opt.gen.max_routers = (a.max_nodes + 1) / 2;
   opt.gen.max_externals = a.max_nodes - opt.gen.max_routers;
   if (opt.gen.max_externals < 1) opt.gen.max_externals = 1;
+  if (a.dialect) opt.gen.dialect = *a.dialect;
 
   const auto stats = expresso::fuzz::run_campaign(opt);
 

@@ -29,8 +29,8 @@
 #include <vector>
 
 #include "bench_util.hpp"
-#include "config/ast.hpp"
-#include "config/parser.hpp"
+#include "ir/ir.hpp"
+#include "ir/frontend.hpp"
 #include "fuzz/edits.hpp"
 #include "fuzz/generator.hpp"
 #include "obs/trace_check.hpp"
@@ -61,9 +61,9 @@ void run_tenant(const LoadOptions& opt, const std::string& host,
   const std::uint64_t seed =
       opt.seed + static_cast<std::uint64_t>(index) * 1000003u;
   const auto sc = expresso::fuzz::generate_scenario(seed);
-  std::vector<expresso::config::RouterConfig> snapshot;
+  std::vector<expresso::ir::RouterConfig> snapshot;
   try {
-    snapshot = expresso::config::parse_configs(sc.config_text);
+    snapshot = expresso::ir::parse_configs(sc.config_text);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "tenant %d: unparseable scenario: %s\n", index,
                  e.what());
@@ -84,11 +84,16 @@ void run_tenant(const LoadOptions& opt, const std::string& host,
   }
 
   std::uint64_t request_id = 1;
-  auto push = [&](const std::vector<expresso::config::RouterConfig>& cfgs) {
+  // Alternate dialects across tenants so the load run also exercises the
+  // server's per-push frontend sniffing.
+  const expresso::ir::Dialect dialect = (index % 2 == 0)
+                                            ? expresso::ir::Dialect::kHuawei
+                                            : expresso::ir::Dialect::kRpsl;
+  auto push = [&](const std::vector<expresso::ir::RouterConfig>& cfgs) {
     expresso::Stopwatch sw;
     try {
       const auto result = client.update(
-          tenant, expresso::config::serialize(cfgs), blackhole, request_id++);
+          tenant, expresso::ir::emit(cfgs, dialect), blackhole, request_id++);
       out.latencies_ms.push_back(sw.millis());
       if (!result.ok) {
         std::fprintf(stderr, "tenant %d: error response: %s\n", index,
