@@ -49,8 +49,36 @@ ctest --test-dir "$BUILD_DIR" --output-on-failure -L gc
 
 # expressod service tier: end-to-end bit-identity over a 50-edit chain,
 # wire-protocol robustness and multi-tenant scheduling (fairness, eviction,
-# coalescing, backpressure) against a loopback server.
-ctest --test-dir "$BUILD_DIR" --output-on-failure -L service
+# coalescing, backpressure) against a loopback server.  The correlation test
+# additionally re-validates its profile span ids with the standalone trace
+# checker when pointed at the binary.
+EXPRESSO_TRACE_CHECK_BIN="$PWD/$BUILD_DIR/tools/expresso_trace_check" \
+  ctest --test-dir "$BUILD_DIR" --output-on-failure -L service
+
+# Endpoint smoke: a real expressod on ephemeral ports must serve a valid
+# Prometheus exposition and a ready /healthz while verifying, and shut down
+# cleanly on SIGTERM.
+DAEMON_LOG="$BUILD_DIR/check_expressod.log"
+"$BUILD_DIR/tools/expressod" --port 0 --http-port 0 > "$DAEMON_LOG" &
+DAEMON_PID=$!
+trap 'kill "$DAEMON_PID" 2>/dev/null || true' EXIT
+for _ in $(seq 1 50); do
+  grep -q "http diagnostics" "$DAEMON_LOG" && break
+  sleep 0.1
+done
+HTTP_PORT=$(sed -n 's/.*http diagnostics on [0-9.]*:\([0-9]*\).*/\1/p' "$DAEMON_LOG")
+SERVICE_PORT=$(sed -n 's/.*listening on [0-9.]*:\([0-9]*\).*/\1/p' "$DAEMON_LOG")
+[ -n "$HTTP_PORT" ] || { echo "check.sh: expressod never announced its http port" >&2; cat "$DAEMON_LOG" >&2; exit 1; }
+"$BUILD_DIR/tools/expressod_load" --tenants 1 --edits 2 \
+  --connect 127.0.0.1 "$SERVICE_PORT" > /dev/null
+curl -fsS "http://127.0.0.1:$HTTP_PORT/healthz" > /dev/null
+curl -fsS "http://127.0.0.1:$HTTP_PORT/metrics" > "$BUILD_DIR/check_metrics.prom"
+"$BUILD_DIR/tools/expresso_trace_check" --prometheus "$BUILD_DIR/check_metrics.prom"
+grep -q '^service_verifies_total [1-9]' "$BUILD_DIR/check_metrics.prom" \
+  || { echo "check.sh: /metrics shows no verifies after load" >&2; exit 1; }
+kill -TERM "$DAEMON_PID"
+wait "$DAEMON_PID"
+trap - EXIT
 
 # Cross-dialect equivalence: golden fixtures plus the 50-scenario campaign
 # emitting each network in every dialect and demanding byte-identical
@@ -79,11 +107,15 @@ fi
 
 # The concurrency suite under ThreadSanitizer: the lock-free stripe probes,
 # the lossy seqlock ITE cache and the work-stealing deques are exactly where
-# an unsynchronized access would hide.  SKIP_TSAN=1 opts out.
+# an unsynchronized access would hide.  The obs label rides along for the
+# flight recorder's seqlock ring (eight writers lapping a reader) and the
+# logger's cross-thread sink.  SKIP_TSAN=1 opts out.
 if [ "$PRESET" != tsan ] && [ "${SKIP_TSAN:-0}" != 1 ]; then
   cmake --preset tsan
-  cmake --build --preset tsan -j "$JOBS" --target expresso_concurrency_tests
+  cmake --build --preset tsan -j "$JOBS" \
+    --target expresso_concurrency_tests --target expresso_obs_tests
   ctest --test-dir build-tsan --output-on-failure -L concurrency
+  ctest --test-dir build-tsan --output-on-failure -L obs
 fi
 
 # Perf smoke: parallelism must pay.  Fails when the 4-thread run costs more

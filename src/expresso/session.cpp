@@ -7,6 +7,7 @@
 
 #include "ir/frontend.hpp"
 #include "dataplane/fib.hpp"
+#include "obs/log.hpp"
 #include "obs/trace.hpp"
 #include "support/util.hpp"
 
@@ -317,6 +318,9 @@ void Session::run_src() {
   if (seeded && !converged) {
     // A warm start that fails to converge proves nothing about the new
     // configuration — rebuild and run cold before reporting non-convergence.
+    obs::LogEvent(obs::LogLevel::kWarn, "session.cold_fallback")
+        .field("reason", "warm run did not converge")
+        .field("iterations", engine_->iterations());
     build_engine();
     converged = engine_->run();
     warm = false;
@@ -340,6 +344,9 @@ void Session::run_src() {
                        ribs_equal(shadow->all_external_ribs(),
                                   engine_->all_external_ribs());
     if (!agree) {
+      obs::LogEvent(obs::LogLevel::kError, "session.warm_shadow_mismatch")
+          .field("warm_converged", converged)
+          .field("cold_converged", shadow_converged);
       engine_ = std::move(shadow);
       analyzer_ = std::make_unique<properties::Analyzer>(*engine_);
       converged = shadow_converged;
@@ -395,6 +402,13 @@ void Session::run_src() {
       .arg("rib_routes", rib_routes)
       .arg("artifacts_unchanged", unchanged);
   span.end();
+  if (obs::log_enabled(obs::LogLevel::kDebug)) {
+    obs::LogEvent(obs::LogLevel::kDebug, "session.src")
+        .field("warm", warm)
+        .field("converged", converged)
+        .field("iterations", engine_->iterations())
+        .field("seconds", sw.seconds());
+  }
   maybe_gc();
   sample_substrate("src");
 }
@@ -490,6 +504,13 @@ bdd::Manager::GcStats Session::collect_bdd_garbage() {
       .arg("live", st.live)
       .arg("reclaimed", st.reclaimed)
       .arg("roots", st.roots);
+  if (obs::log_enabled(obs::LogLevel::kDebug)) {
+    obs::LogEvent(obs::LogLevel::kDebug, "session.gc")
+        .field("before", st.before)
+        .field("live", st.live)
+        .field("reclaimed", st.reclaimed)
+        .field("roots", st.roots);
+  }
   return st;
 }
 

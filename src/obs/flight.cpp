@@ -1,0 +1,178 @@
+#include "obs/flight.hpp"
+
+#include <cstdio>
+#include <unistd.h>
+
+#include "support/json_writer.hpp"
+
+namespace expresso::obs {
+
+const char* FlightRecorder::event_name(Event e) {
+  switch (e) {
+    case Event::kNone: return "none";
+    case Event::kAdmit: return "admit";
+    case Event::kCoalesce: return "coalesce";
+    case Event::kVerifyStart: return "verify_start";
+    case Event::kVerifyEnd: return "verify_end";
+    case Event::kVerifyError: return "verify_error";
+    case Event::kEvict: return "evict";
+    case Event::kOverload: return "overload";
+    case Event::kReject: return "reject";
+    case Event::kProtocolError: return "protocol_error";
+    case Event::kConnOpen: return "conn_open";
+    case Event::kConnClose: return "conn_close";
+    case Event::kServerStart: return "server_start";
+    case Event::kServerStop: return "server_stop";
+  }
+  return "unknown";
+}
+
+namespace {
+std::size_t round_up_pow2(std::size_t n) {
+  std::size_t p = 64;
+  while (p < n) p <<= 1;
+  return p;
+}
+}  // namespace
+
+FlightRecorder::FlightRecorder(std::size_t capacity)
+    : slots_(round_up_pow2(capacity)),
+      mask_(slots_.size() - 1),
+      base_(std::chrono::steady_clock::now()) {
+  names_.emplace_back();  // id 0 = no tenant
+}
+
+std::uint32_t FlightRecorder::intern(std::string_view tenant) {
+  if (tenant.empty()) return 0;
+  std::lock_guard<std::mutex> lock(names_mu_);
+  for (std::size_t i = 0; i < names_.size(); ++i) {
+    if (names_[i] == tenant) return static_cast<std::uint32_t>(i);
+  }
+  names_.emplace_back(tenant);
+  return static_cast<std::uint32_t>(names_.size() - 1);
+}
+
+void FlightRecorder::record(Event event, std::uint32_t tenant_id,
+                            std::uint64_t request_id, std::uint64_t a,
+                            std::uint64_t b) {
+  const std::uint64_t n = cursor_.fetch_add(1, std::memory_order_relaxed);
+  Slot& slot = slots_[n & mask_];
+  // Invalidate, fill, publish.  A reader that observes seq == n+1 with
+  // acquire is guaranteed to see exactly record n's fields; any other value
+  // means the slot is mid-write or lapped, and the reader skips it.
+  slot.seq.store(0, std::memory_order_relaxed);
+  const auto ts = std::chrono::duration_cast<std::chrono::microseconds>(
+                      std::chrono::steady_clock::now() - base_)
+                      .count();
+  slot.ts_us.store(static_cast<std::uint64_t>(ts), std::memory_order_relaxed);
+  slot.request_id.store(request_id, std::memory_order_relaxed);
+  slot.a.store(a, std::memory_order_relaxed);
+  slot.b.store(b, std::memory_order_relaxed);
+  slot.tenant.store(tenant_id, std::memory_order_relaxed);
+  slot.event.store(static_cast<std::uint8_t>(event),
+                   std::memory_order_relaxed);
+  slot.seq.store(n + 1, std::memory_order_release);
+}
+
+std::vector<FlightRecorder::Entry> FlightRecorder::snapshot() const {
+  std::vector<std::string> names;
+  {
+    std::lock_guard<std::mutex> lock(names_mu_);
+    names = names_;
+  }
+  const std::uint64_t end = cursor_.load(std::memory_order_acquire);
+  const std::uint64_t count =
+      end < slots_.size() ? end : static_cast<std::uint64_t>(slots_.size());
+  std::vector<Entry> out;
+  out.reserve(count);
+  for (std::uint64_t i = end - count; i < end; ++i) {
+    const Slot& slot = slots_[i & mask_];
+    if (slot.seq.load(std::memory_order_acquire) != i + 1) continue;
+    Entry e;
+    e.seq = i;
+    e.ts_us = slot.ts_us.load(std::memory_order_relaxed);
+    e.request_id = slot.request_id.load(std::memory_order_relaxed);
+    e.a = slot.a.load(std::memory_order_relaxed);
+    e.b = slot.b.load(std::memory_order_relaxed);
+    const std::uint32_t t = slot.tenant.load(std::memory_order_relaxed);
+    e.event = static_cast<Event>(slot.event.load(std::memory_order_relaxed));
+    // Re-check: if a writer lapped us mid-read, the fields above may belong
+    // to two different records.  Drop the entry rather than mix them.
+    if (slot.seq.load(std::memory_order_acquire) != i + 1) continue;
+    e.tenant = t < names.size() ? names[t] : std::to_string(t);
+    out.push_back(std::move(e));
+  }
+  return out;
+}
+
+std::string FlightRecorder::to_json(std::uint64_t id) const {
+  const std::vector<Entry> entries = snapshot();
+  support::JsonWriter w;
+  w.begin_object()
+      .key("kind")
+      .value("flight")
+      .key("id")
+      .value(id)
+      .key("capacity")
+      .value(static_cast<std::uint64_t>(capacity()))
+      .key("recorded")
+      .value(recorded())
+      .key("events")
+      .begin_array();
+  for (const Entry& e : entries) {
+    w.begin_object()
+        .key("seq")
+        .value(e.seq)
+        .key("ts_us")
+        .value(e.ts_us)
+        .key("event")
+        .value(event_name(e.event));
+    if (!e.tenant.empty()) w.key("tenant").value(e.tenant);
+    if (e.request_id != 0) w.key("request_id").value(e.request_id);
+    w.key("a").value(e.a).key("b").value(e.b).end_object();
+  }
+  w.end_array().end_object();
+  return w.take();
+}
+
+void FlightRecorder::dump_to_stderr() const {
+  // Fatal-signal path: async-signal-safe-ish by construction — fixed stack
+  // buffers, snprintf, write(2).  No allocation, no locks, names skipped.
+  char line[160];
+  int n = std::snprintf(line, sizeof(line),
+                        "expresso flight recorder: %llu events recorded\n",
+                        static_cast<unsigned long long>(recorded()));
+  if (n > 0) (void)!write(2, line, static_cast<std::size_t>(n));
+  const std::uint64_t end = cursor_.load(std::memory_order_acquire);
+  const std::uint64_t count =
+      end < slots_.size() ? end : static_cast<std::uint64_t>(slots_.size());
+  for (std::uint64_t i = end - count; i < end; ++i) {
+    const Slot& slot = slots_[i & mask_];
+    if (slot.seq.load(std::memory_order_acquire) != i + 1) continue;
+    n = std::snprintf(
+        line, sizeof(line),
+        "  #%llu +%llu.%06llus %s tenant=%u req=%llu a=%llu b=%llu\n",
+        static_cast<unsigned long long>(i),
+        static_cast<unsigned long long>(
+            slot.ts_us.load(std::memory_order_relaxed) / 1000000),
+        static_cast<unsigned long long>(
+            slot.ts_us.load(std::memory_order_relaxed) % 1000000),
+        event_name(
+            static_cast<Event>(slot.event.load(std::memory_order_relaxed))),
+        slot.tenant.load(std::memory_order_relaxed),
+        static_cast<unsigned long long>(
+            slot.request_id.load(std::memory_order_relaxed)),
+        static_cast<unsigned long long>(
+            slot.a.load(std::memory_order_relaxed)),
+        static_cast<unsigned long long>(
+            slot.b.load(std::memory_order_relaxed)));
+    if (n > 0) (void)!write(2, line, static_cast<std::size_t>(n));
+  }
+}
+
+FlightRecorder& FlightRecorder::instance() {
+  static FlightRecorder* recorder = new FlightRecorder(1024);
+  return *recorder;
+}
+
+}  // namespace expresso::obs

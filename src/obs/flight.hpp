@@ -1,0 +1,122 @@
+// Lock-free flight recorder: a fixed-size ring of recent service events
+// (DESIGN.md §13).
+//
+// The registry says *how much*; the flight recorder says *what just
+// happened*: the last N admissions, coalesces, verify start/ends (with a
+// verdict summary), evictions, backpressure rejections and protocol errors,
+// in order — enough to reconstruct the 30 seconds before an incident
+// without logs or tracing enabled.  expressod dumps it over the wire via
+// {"op":"flight"} and best-effort to stderr on a fatal signal.
+//
+// Recording is wait-free and allocation-free after tenant-name interning:
+// one fetch_add claims a slot, a handful of relaxed stores fill it, one
+// release store publishes it.  Readers validate each slot with its sequence
+// word and simply skip torn or overwritten entries — a lossy diagnostic
+// ring, never a synchronization point.  Every member of a slot is an atomic,
+// so concurrent record/dump is TSan-clean by construction.
+//
+// Tenant names are interned to small ids (mutex on first sight of a name
+// only); callers on the hot path cache the id (service::Tenant does).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace expresso::obs {
+
+class FlightRecorder {
+ public:
+  enum class Event : std::uint8_t {
+    kNone = 0,
+    kAdmit,          // request queued for a tenant         a=pending depth
+    kCoalesce,       // request piled onto a busy tenant    a=pending depth
+    kVerifyStart,    // worker began a verify               a=batch size
+    kVerifyEnd,      // verify finished                     a=violations, b=ms
+    kVerifyError,    // verify threw                        a=batch size
+    kEvict,          // session evicted                     a=bdd nodes
+    kOverload,       // backpressure rejection              a=pending depth
+    kReject,         // admission rejected (server full)
+    kProtocolError,  // framing/JSON violation on the wire
+    kConnOpen,       // connection accepted                 a=open count
+    kConnClose,      // connection torn down                a=open count
+    kServerStart,    // service started                     a=port
+    kServerStop,     // service stopping
+  };
+  static const char* event_name(Event e);
+
+  // `capacity` is rounded up to a power of two (minimum 64).
+  explicit FlightRecorder(std::size_t capacity = 1024);
+
+  // Tenant name -> dense id (0 is reserved for "no tenant" / "").  Takes the
+  // intern lock only on first sight of a name.
+  std::uint32_t intern(std::string_view tenant);
+
+  void record(Event event, std::uint32_t tenant_id = 0,
+              std::uint64_t request_id = 0, std::uint64_t a = 0,
+              std::uint64_t b = 0);
+
+  struct Entry {
+    std::uint64_t seq = 0;    // global record index (monotonic)
+    std::uint64_t ts_us = 0;  // microseconds since recorder construction
+    Event event = Event::kNone;
+    std::string tenant;
+    std::uint64_t request_id = 0;
+    std::uint64_t a = 0;
+    std::uint64_t b = 0;
+  };
+
+  // Stable entries currently in the ring, oldest first.  Slots being written
+  // or already lapped by newer records are skipped.
+  std::vector<Entry> snapshot() const;
+
+  // {"kind":"flight","id":<id>,"capacity":N,"recorded":M,"events":[...]}
+  // — the {"op":"flight"} response payload.
+  std::string to_json(std::uint64_t id) const;
+
+  // Best-effort dump for fatal-signal handlers: formats each slot with
+  // snprintf into a stack buffer and write(2)s it to stderr.  No allocation,
+  // no locks (tenant ids are printed raw, names skipped).
+  void dump_to_stderr() const;
+
+  std::size_t capacity() const { return slots_.size(); }
+  // Total records ever (>= capacity means the ring has wrapped).
+  std::uint64_t recorded() const {
+    return cursor_.load(std::memory_order_relaxed);
+  }
+
+  // The process-wide recorder expressod records into ({"op":"flight"} dumps
+  // this one).  Tests build their own instances.
+  static FlightRecorder& instance();
+
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+ private:
+  struct Slot {
+    // 0 = never written; n+1 = record index n is stable here.  Published
+    // with release so the field stores above it are visible to a reader
+    // that acquires it.
+    std::atomic<std::uint64_t> seq{0};
+    std::atomic<std::uint64_t> ts_us{0};
+    std::atomic<std::uint64_t> request_id{0};
+    std::atomic<std::uint64_t> a{0};
+    std::atomic<std::uint64_t> b{0};
+    std::atomic<std::uint32_t> tenant{0};
+    std::atomic<std::uint8_t> event{0};
+  };
+
+  std::vector<Slot> slots_;
+  std::size_t mask_;
+  std::atomic<std::uint64_t> cursor_{0};
+  std::chrono::steady_clock::time_point base_;
+
+  mutable std::mutex names_mu_;
+  std::vector<std::string> names_;  // index = tenant id
+};
+
+}  // namespace expresso::obs

@@ -1,0 +1,258 @@
+#include "obs/log.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <mutex>
+
+#include "support/json_writer.hpp"
+
+namespace expresso::obs {
+
+namespace internal {
+std::atomic<int> g_log_threshold{static_cast<int>(LogLevel::kOff)};
+}  // namespace internal
+
+LogLevel log_level_from_name(std::string_view name) {
+  if (name == "debug") return LogLevel::kDebug;
+  if (name == "info") return LogLevel::kInfo;
+  if (name == "warn" || name == "warning") return LogLevel::kWarn;
+  if (name == "error") return LogLevel::kError;
+  if (name == "off") return LogLevel::kOff;
+  return LogLevel::kInfo;
+}
+
+const char* log_level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "debug";
+    case LogLevel::kInfo: return "info";
+    case LogLevel::kWarn: return "warn";
+    case LogLevel::kError: return "error";
+    case LogLevel::kOff: return "off";
+  }
+  return "info";
+}
+
+struct LogSink::Impl {
+  std::mutex mu;
+  std::string target;        // "", "stderr", "stdout", or a path
+  std::ofstream file;        // open iff target is a path
+  std::uint64_t rate_limit = 2000;  // lines/sec; 0 = unlimited
+
+  // Rate-limit window (guarded by mu — emission already serializes there).
+  std::int64_t window_sec = -1;
+  std::uint64_t window_count = 0;
+  std::uint64_t pending_dropped = 0;
+
+  std::atomic<std::uint64_t> written{0};
+  std::atomic<std::uint64_t> dropped{0};
+
+  void sink(const std::string& line) {
+    if (target == "stderr") {
+      std::fprintf(stderr, "%s\n", line.c_str());
+    } else if (target == "stdout") {
+      std::fprintf(stdout, "%s\n", line.c_str());
+    } else if (file.is_open()) {
+      file << line << '\n';
+      file.flush();  // a crashing daemon must not owe its last lines
+    }
+  }
+};
+
+LogSink::LogSink() : impl_(new Impl) {}
+
+LogSink::~LogSink() {
+  // Leak the impl: LogEvents may still fire from static destructors after
+  // this singleton is torn down, and the threshold guard (set to kOff below)
+  // makes them no-ops without touching freed memory.
+  internal::g_log_threshold.store(static_cast<int>(LogLevel::kOff),
+                                  std::memory_order_relaxed);
+}
+
+LogSink& LogSink::instance() {
+  static LogSink sink;
+  return sink;
+}
+
+namespace {
+// EXPRESSO_LOG / EXPRESSO_LOG_LEVEL / EXPRESSO_LOG_RATE are read once at
+// process start so probes never touch the environment.
+const bool g_env_init = [] {
+  if (const char* p = std::getenv("EXPRESSO_LOG"); p != nullptr && *p) {
+    LogLevel level = LogLevel::kInfo;
+    if (const char* l = std::getenv("EXPRESSO_LOG_LEVEL");
+        l != nullptr && *l) {
+      level = log_level_from_name(l);
+    }
+    LogSink::instance().open(p, level);
+    if (const char* r = std::getenv("EXPRESSO_LOG_RATE");
+        r != nullptr && *r) {
+      char* end = nullptr;
+      const unsigned long long n = std::strtoull(r, &end, 10);
+      if (end != r && *end == '\0') {
+        LogSink::instance().set_rate_limit(n);
+      } else {
+        std::fprintf(stderr,
+                     "expresso: ignoring malformed EXPRESSO_LOG_RATE='%s'\n",
+                     r);
+      }
+    }
+  }
+  return true;
+}();
+}  // namespace
+
+void LogSink::open(const std::string& target, LogLevel threshold) {
+  {
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    if (impl_->file.is_open()) impl_->file.close();
+    impl_->target = target;
+    if (target != "stderr" && target != "stdout") {
+      impl_->file.open(target, std::ios::app);
+      if (!impl_->file) {
+        std::fprintf(stderr, "expresso: cannot open log target %s\n",
+                     target.c_str());
+        impl_->target.clear();
+        threshold = LogLevel::kOff;
+      }
+    }
+    impl_->window_sec = -1;
+    impl_->window_count = 0;
+  }
+  internal::g_log_threshold.store(static_cast<int>(threshold),
+                                  std::memory_order_relaxed);
+}
+
+void LogSink::close() {
+  internal::g_log_threshold.store(static_cast<int>(LogLevel::kOff),
+                                  std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  if (impl_->file.is_open()) impl_->file.close();
+  impl_->target.clear();
+}
+
+void LogSink::set_rate_limit(std::uint64_t lines_per_sec) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  impl_->rate_limit = lines_per_sec;
+}
+
+LogLevel LogSink::threshold() const {
+  return static_cast<LogLevel>(
+      internal::g_log_threshold.load(std::memory_order_relaxed));
+}
+
+std::uint64_t LogSink::lines_written() const {
+  return impl_->written.load(std::memory_order_relaxed);
+}
+
+std::uint64_t LogSink::lines_dropped() const {
+  return impl_->dropped.load(std::memory_order_relaxed);
+}
+
+void LogSink::write_line(const std::string& line) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  const std::int64_t now_sec = std::chrono::duration_cast<std::chrono::seconds>(
+                                   std::chrono::steady_clock::now()
+                                       .time_since_epoch())
+                                   .count();
+  if (now_sec != impl_->window_sec) {
+    impl_->window_sec = now_sec;
+    impl_->window_count = 0;
+    if (impl_->pending_dropped > 0) {
+      // Surface the losses the moment the window reopens, as a line of the
+      // same shape every other event has.
+      impl_->sink("{\"level\":\"warn\",\"event\":\"log.dropped\",\"dropped\":" +
+                  std::to_string(impl_->pending_dropped) + "}");
+      impl_->written.fetch_add(1, std::memory_order_relaxed);
+      impl_->window_count = 1;
+      impl_->pending_dropped = 0;
+    }
+  }
+  if (impl_->rate_limit != 0 && impl_->window_count >= impl_->rate_limit) {
+    impl_->pending_dropped += 1;
+    impl_->dropped.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  impl_->window_count += 1;
+  impl_->sink(line);
+  impl_->written.fetch_add(1, std::memory_order_relaxed);
+}
+
+// --- LogEvent ---------------------------------------------------------------
+
+void LogEvent::begin(LogLevel level, const char* event) {
+  // Wall-clock unix seconds with millisecond precision: log lines correlate
+  // with external systems, unlike the tracer's process-relative microseconds.
+  const double ts =
+      std::chrono::duration<double>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count();
+  char head[96];
+  std::snprintf(head, sizeof(head), "{\"ts\":%.3f,\"level\":\"%s\",\"event\":\"",
+                ts, log_level_name(level));
+  line_ = head;
+  support::json_escape_to(line_, event);
+  line_ += '"';
+}
+
+namespace {
+void field_prefix(std::string& line, const char* key) {
+  line += ",\"";
+  support::json_escape_to(line, key);
+  line += "\":";
+}
+}  // namespace
+
+LogEvent& LogEvent::field(const char* key, std::string_view v) {
+  if (!active_) return *this;
+  field_prefix(line_, key);
+  line_ += '"';
+  support::json_escape_to(line_, v);
+  line_ += '"';
+  return *this;
+}
+
+LogEvent& LogEvent::field(const char* key, double v) {
+  if (!active_) return *this;
+  field_prefix(line_, key);
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  // "inf"/"nan" are not JSON (mirrors support::JsonWriter::normalize).
+  line_ += (std::strstr(buf, "inf") != nullptr ||
+            std::strstr(buf, "nan") != nullptr)
+               ? "null"
+               : buf;
+  return *this;
+}
+
+LogEvent& LogEvent::field(const char* key, bool v) {
+  if (!active_) return *this;
+  field_prefix(line_, key);
+  line_ += v ? "true" : "false";
+  return *this;
+}
+
+LogEvent& LogEvent::field_int(const char* key, std::int64_t v) {
+  if (!active_) return *this;
+  field_prefix(line_, key);
+  line_ += std::to_string(v);
+  return *this;
+}
+
+LogEvent& LogEvent::field_raw(const char* key, std::string_view fragment) {
+  if (!active_) return *this;
+  field_prefix(line_, key);
+  line_ += fragment;
+  return *this;
+}
+
+void LogEvent::emit() {
+  if (!active_) return;
+  active_ = false;
+  line_ += '}';
+  LogSink::instance().write_line(line_);
+}
+
+}  // namespace expresso::obs

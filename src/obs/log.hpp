@@ -1,0 +1,140 @@
+// Structured JSON-lines logger (DESIGN.md §13).
+//
+// Every line is one JSON object — fields, not printf strings — so a
+// long-lived expressod's log is grep-able AND machine-parseable:
+//
+//   {"ts":1754700000.123,"level":"info","event":"service.evict",
+//    "tenant":"edge-7","bdd_nodes":412000}
+//
+// Activation:
+//   * environment: EXPRESSO_LOG=<path>|stderr|stdout (read once at process
+//     start) + EXPRESSO_LOG_LEVEL=debug|info|warn|error (default info) +
+//     EXPRESSO_LOG_RATE=<lines/sec ceiling> (default 2000), or
+//   * programmatic: obs::LogSink::instance().open(target, level).
+//
+// Overhead contract (mirrors the tracer's, DESIGN.md §8): with logging
+// disabled — the default — constructing a LogEvent costs ONE relaxed atomic
+// load and a predicted branch; no clock read, no allocation, no lock.  The
+// warm/cold/GC decision points in Session and every expressod admission /
+// eviction / backpressure decision carry LogEvents on that budget.
+//
+// Rate limiting: the sink enforces a per-second line ceiling so a
+// pathological tenant (or a log-level mistake) cannot turn the logger into
+// the bottleneck; dropped lines are counted and surfaced as one
+// {"event":"log.dropped","dropped":N} line when the window reopens.
+//
+// Threading: LogEvent may be constructed on any thread; emission serializes
+// on the sink's mutex.  Level changes are relaxed-atomic and take effect on
+// the next event.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <type_traits>
+
+namespace expresso::obs {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarn = 2,
+  kError = 3,
+  kOff = 4,  // threshold only; not a valid event level
+};
+
+namespace internal {
+// Threshold every probe is gated on; kOff when logging is disabled.
+extern std::atomic<int> g_log_threshold;
+}  // namespace internal
+
+// The single relaxed load every disabled-path LogEvent costs.
+inline bool log_enabled(LogLevel level) {
+  return static_cast<int>(level) >=
+         internal::g_log_threshold.load(std::memory_order_relaxed);
+}
+
+// Parses "debug"|"info"|"warn"|"error"|"off"; anything else yields kInfo.
+LogLevel log_level_from_name(std::string_view name);
+const char* log_level_name(LogLevel level);
+
+class LogSink {
+ public:
+  static LogSink& instance();
+
+  // Begins emitting events at or above `threshold` into `target`: "stderr",
+  // "stdout", or a file path (append mode).  Re-opening re-targets.
+  void open(const std::string& target, LogLevel threshold = LogLevel::kInfo);
+  // Disables the logger (threshold -> kOff) and closes any file target.
+  void close();
+
+  // Per-second emitted-line ceiling; 0 = unlimited.
+  void set_rate_limit(std::uint64_t lines_per_sec);
+
+  LogLevel threshold() const;
+  std::uint64_t lines_written() const;
+  std::uint64_t lines_dropped() const;
+
+  // Appends one pre-rendered line (no trailing newline).  Applies the rate
+  // limit; callers normally go through LogEvent.
+  void write_line(const std::string& line);
+
+  ~LogSink();
+
+ private:
+  LogSink();
+  struct Impl;
+  Impl* impl_;
+};
+
+// RAII structured event: fields accumulate into a pre-rendered JSON object
+// that the destructor hands to the sink.  When the level is below the
+// threshold, construction stores a bool — nothing else happens (line_ stays
+// an empty SSO string).  `event` must outlive the LogEvent (string literal).
+class LogEvent {
+ public:
+  explicit LogEvent(LogLevel level, const char* event)
+      : active_(log_enabled(level)) {
+    if (active_) begin(level, event);
+  }
+  ~LogEvent() { emit(); }
+
+  LogEvent(const LogEvent&) = delete;
+  LogEvent& operator=(const LogEvent&) = delete;
+
+  // True when this event will be emitted: gate any field gathering that is
+  // not free on this.
+  bool active() const { return active_; }
+
+  LogEvent& field(const char* key, std::string_view v);
+  LogEvent& field(const char* key, const char* v) {
+    return field(key, std::string_view(v));
+  }
+  LogEvent& field(const char* key, const std::string& v) {
+    return field(key, std::string_view(v));
+  }
+  LogEvent& field(const char* key, double v);
+  LogEvent& field(const char* key, bool v);
+  template <typename T,
+            std::enable_if_t<std::is_integral_v<T> && !std::is_same_v<T, bool>,
+                             int> = 0>
+  LogEvent& field(const char* key, T v) {
+    return field_int(key, static_cast<std::int64_t>(v));
+  }
+  // Pre-rendered JSON fragment (object/array), spliced verbatim — used for
+  // the slow-request stage breakdown.  Caller guarantees validity.
+  LogEvent& field_raw(const char* key, std::string_view json_fragment);
+
+  // Emits now (subsequent emit()s and the destructor are no-ops).
+  void emit();
+
+ private:
+  void begin(LogLevel level, const char* event);
+  LogEvent& field_int(const char* key, std::int64_t v);
+
+  bool active_;
+  std::string line_;
+};
+
+}  // namespace expresso::obs

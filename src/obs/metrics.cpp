@@ -106,6 +106,22 @@ void Registry::to_json(support::JsonWriter& w) const {
   w.end_object();
 }
 
+bool Registry::remove_series(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto erase_from = [&](auto& map) {
+    auto it = map.find(name);
+    if (it == map.end()) return false;
+    map.erase(it);
+    return true;
+  };
+  bool removed = false;
+  removed |= erase_from(counters_);
+  removed |= erase_from(gauges_);
+  removed |= erase_from(timers_);
+  removed |= erase_from(histograms_);
+  return removed;
+}
+
 std::string Registry::to_json_document(std::string_view label) const {
   support::JsonWriter body;
   to_json(body);

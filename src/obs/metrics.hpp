@@ -123,6 +123,21 @@ class Registry {
   // Convenience: `{"kind":"metrics","label":<label>, <to_json body>...}`.
   std::string to_json_document(std::string_view label) const;
 
+  // Prometheus text exposition 0.0.4 of every instrument (obs/prometheus.cpp).
+  // Names are sanitized ('.' and other non-metric chars -> '_'); a name
+  // containing '{' is treated as a pre-labeled series ("family{labels}") and
+  // only the family part is sanitized.  Timers render as
+  // <name>_seconds_total + <name>_total; histograms render cumulative
+  // _bucket{le=...}/_sum/_count plus derived p50/p95/p99 quantile gauges.
+  std::string to_prometheus() const;
+
+  // Drops the instrument registered under exactly `name` (any kind).
+  // Returns true when something was removed.  Used to retire tenant-scoped
+  // series on eviction so dead tenants stop appearing in dumps.  Outstanding
+  // references to the removed instrument become invalid — callers that may
+  // race removal must look instruments up by name instead of caching them.
+  bool remove_series(std::string_view name);
+
  private:
   mutable std::mutex mu_;
   std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;

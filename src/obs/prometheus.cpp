@@ -1,0 +1,343 @@
+#include "obs/prometheus.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace expresso::obs {
+
+namespace {
+
+bool name_char(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+         (c >= '0' && c <= '9') || c == '_' || c == ':';
+}
+
+// Splits a registry name into (family, label-block-with-braces-or-empty).
+void split_labels(std::string_view name, std::string_view* family,
+                  std::string_view* labels) {
+  const std::size_t brace = name.find('{');
+  if (brace == std::string_view::npos) {
+    *family = name;
+    *labels = {};
+  } else {
+    *family = name.substr(0, brace);
+    *labels = name.substr(brace);
+  }
+}
+
+void render_value(std::string& out, double v) {
+  if (std::isnan(v)) {
+    out += "NaN";
+  } else if (std::isinf(v)) {
+    out += v > 0 ? "+Inf" : "-Inf";
+  } else {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    out += buf;
+  }
+}
+
+// Inserts `extra` (e.g. le="1") into a label block, creating or extending it.
+std::string merge_label(std::string_view labels, const std::string& extra) {
+  if (labels.empty()) return "{" + extra + "}";
+  std::string out(labels.substr(0, labels.size() - 1));  // drop '}'
+  out += ',';
+  out += extra;
+  out += '}';
+  return out;
+}
+
+struct Series {
+  std::string labels;  // "{...}" or ""
+  double value = 0.0;
+};
+
+// One exposition family: a TYPE line followed by its samples.
+void render_family(std::string& out, const std::string& family,
+                   const char* type, const std::vector<Series>& series) {
+  out += "# TYPE ";
+  out += family;
+  out += ' ';
+  out += type;
+  out += '\n';
+  for (const Series& s : series) {
+    out += family;
+    out += s.labels;
+    out += ' ';
+    render_value(out, s.value);
+    out += '\n';
+  }
+}
+
+// Linear-interpolated quantile from fixed buckets.  Beyond the last finite
+// bound we can only report that bound (the overflow bucket has no upper
+// edge) — the standard fixed-bucket compromise.
+double bucket_quantile(const Histogram& h, double q) {
+  const std::uint64_t total = h.count();
+  if (total == 0) return 0.0;
+  const double target = q * static_cast<double>(total);
+  std::uint64_t cum = 0;
+  double lower = 0.0;
+  for (std::size_t i = 0; i < h.bounds().size(); ++i) {
+    const std::uint64_t in_bucket = h.bucket_count(i);
+    if (static_cast<double>(cum + in_bucket) >= target) {
+      if (in_bucket == 0) return h.bounds()[i];
+      const double frac =
+          (target - static_cast<double>(cum)) / static_cast<double>(in_bucket);
+      return lower + frac * (h.bounds()[i] - lower);
+    }
+    cum += in_bucket;
+    lower = h.bounds()[i];
+  }
+  return h.bounds().empty() ? 0.0 : h.bounds().back();
+}
+
+}  // namespace
+
+std::string prometheus_name(std::string_view name) {
+  std::string out;
+  out.reserve(name.size() + 1);
+  if (!name.empty() && name[0] >= '0' && name[0] <= '9') out += '_';
+  for (char c : name) out += name_char(c) ? c : '_';
+  return out;
+}
+
+std::string Registry::to_prometheus() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Group series by sanitized family so pre-labeled registry names (e.g.
+  // service.tenant.pending{tenant="a"} / {tenant="b"}) share one TYPE line.
+  std::string out;
+  out.reserve(4096);
+
+  {
+    std::map<std::string, std::vector<Series>> families;
+    for (const auto& [name, c] : counters_) {
+      std::string_view family, labels;
+      split_labels(name, &family, &labels);
+      families[prometheus_name(family) + "_total"].push_back(
+          {std::string(labels), static_cast<double>(c->value())});
+    }
+    for (const auto& [family, series] : families) {
+      render_family(out, family, "counter", series);
+    }
+  }
+  {
+    std::map<std::string, std::vector<Series>> families;
+    for (const auto& [name, g] : gauges_) {
+      std::string_view family, labels;
+      split_labels(name, &family, &labels);
+      families[prometheus_name(family)].push_back(
+          {std::string(labels), g->value()});
+    }
+    for (const auto& [family, series] : families) {
+      render_family(out, family, "gauge", series);
+    }
+  }
+  {
+    // A Timer is two counters: accumulated seconds and observation count.
+    std::map<std::string, std::vector<Series>> seconds, counts;
+    for (const auto& [name, t] : timers_) {
+      std::string_view family, labels;
+      split_labels(name, &family, &labels);
+      const std::string base = prometheus_name(family);
+      seconds[base + "_seconds_total"].push_back(
+          {std::string(labels), t->total_seconds()});
+      counts[base + "_total"].push_back(
+          {std::string(labels), static_cast<double>(t->count())});
+    }
+    for (const auto& [family, series] : seconds) {
+      render_family(out, family, "counter", series);
+    }
+    for (const auto& [family, series] : counts) {
+      render_family(out, family, "counter", series);
+    }
+  }
+  for (const auto& [name, h] : histograms_) {
+    std::string_view family, labels;
+    split_labels(name, &family, &labels);
+    const std::string base = prometheus_name(family);
+    out += "# TYPE " + base + " histogram\n";
+    std::uint64_t cum = 0;
+    for (std::size_t i = 0; i < h->bounds().size(); ++i) {
+      cum += h->bucket_count(i);
+      char bound[64];
+      std::snprintf(bound, sizeof(bound), "%.17g", h->bounds()[i]);
+      out += base + "_bucket" +
+             merge_label(labels, std::string("le=\"") + bound + "\"") + ' ';
+      render_value(out, static_cast<double>(cum));
+      out += '\n';
+    }
+    out += base + "_bucket" + merge_label(labels, "le=\"+Inf\"") + ' ';
+    render_value(out, static_cast<double>(h->count()));
+    out += '\n';
+    out += base + "_sum" + std::string(labels) + ' ';
+    render_value(out, h->sum());
+    out += '\n';
+    out += base + "_count" + std::string(labels) + ' ';
+    render_value(out, static_cast<double>(h->count()));
+    out += '\n';
+    // Derived quantiles as a gauge family — scrapers that cannot aggregate
+    // histograms still get p50/p95/p99 directly.
+    out += "# TYPE " + base + "_quantile gauge\n";
+    static const struct { const char* q; double v; } kQuantiles[] = {
+        {"0.5", 0.5}, {"0.95", 0.95}, {"0.99", 0.99}};
+    for (const auto& [q, v] : kQuantiles) {
+      out += base + "_quantile" +
+             merge_label(labels, std::string("q=\"") + q + "\"") + ' ';
+      render_value(out, bucket_quantile(*h, v));
+      out += '\n';
+    }
+  }
+  return out;
+}
+
+namespace {
+
+bool fail(std::string* error, std::size_t line_no, const std::string& msg) {
+  if (error != nullptr) {
+    *error = "line " + std::to_string(line_no) + ": " + msg;
+  }
+  return false;
+}
+
+// Parses `name{label="v",...}` starting at *pos; on success advances *pos
+// past the series and fills `series` with the canonical text.
+bool parse_series(std::string_view line, std::size_t* pos,
+                  std::string* series) {
+  const std::size_t start = *pos;
+  if (start >= line.size() || !name_char(line[start]) ||
+      (line[start] >= '0' && line[start] <= '9')) {
+    return false;
+  }
+  std::size_t i = start;
+  while (i < line.size() && name_char(line[i])) ++i;
+  if (i < line.size() && line[i] == '{') {
+    ++i;
+    while (i < line.size() && line[i] != '}') {
+      // label name
+      if (!name_char(line[i]) || (line[i] >= '0' && line[i] <= '9')) {
+        return false;
+      }
+      while (i < line.size() && name_char(line[i])) ++i;
+      if (i >= line.size() || line[i] != '=') return false;
+      ++i;
+      if (i >= line.size() || line[i] != '"') return false;
+      ++i;
+      while (i < line.size() && line[i] != '"') {
+        if (line[i] == '\\') {
+          ++i;
+          if (i >= line.size() ||
+              (line[i] != '\\' && line[i] != '"' && line[i] != 'n')) {
+            return false;
+          }
+        }
+        ++i;
+      }
+      if (i >= line.size()) return false;
+      ++i;  // closing quote
+      if (i < line.size() && line[i] == ',') ++i;
+    }
+    if (i >= line.size()) return false;
+    ++i;  // '}'
+  }
+  *series = std::string(line.substr(start, i - start));
+  *pos = i;
+  return true;
+}
+
+bool parse_float(std::string_view token, double* out) {
+  if (token == "+Inf" || token == "Inf") {
+    *out = HUGE_VAL;
+    return true;
+  }
+  if (token == "-Inf") {
+    *out = -HUGE_VAL;
+    return true;
+  }
+  if (token == "NaN") {
+    *out = NAN;
+    return true;
+  }
+  const std::string s(token);
+  char* end = nullptr;
+  const double v = std::strtod(s.c_str(), &end);
+  if (end == s.c_str() || *end != '\0') return false;
+  *out = v;
+  return true;
+}
+
+}  // namespace
+
+bool validate_prometheus(std::string_view text, std::string* error,
+                         std::map<std::string, double>* samples) {
+  std::size_t line_no = 0;
+  std::size_t pos = 0;
+  bool saw_sample = false;
+  while (pos <= text.size()) {
+    const std::size_t eol = text.find('\n', pos);
+    const std::string_view line =
+        text.substr(pos, eol == std::string_view::npos ? std::string_view::npos
+                                                       : eol - pos);
+    pos = eol == std::string_view::npos ? text.size() + 1 : eol + 1;
+    ++line_no;
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      // "# TYPE name type" must name a known type; HELP and free comments
+      // pass through.
+      if (line.rfind("# TYPE ", 0) == 0) {
+        const std::string_view rest = line.substr(7);
+        const std::size_t sp = rest.find(' ');
+        if (sp == std::string_view::npos) {
+          return fail(error, line_no, "TYPE line missing type");
+        }
+        const std::string_view type = rest.substr(sp + 1);
+        if (type != "counter" && type != "gauge" && type != "histogram" &&
+            type != "summary" && type != "untyped") {
+          return fail(error, line_no,
+                      "unknown TYPE '" + std::string(type) + "'");
+        }
+      }
+      continue;
+    }
+    std::size_t i = 0;
+    std::string series;
+    if (!parse_series(line, &i, &series)) {
+      return fail(error, line_no, "malformed series name/labels");
+    }
+    if (i >= line.size() || line[i] != ' ') {
+      return fail(error, line_no, "missing value separator");
+    }
+    while (i < line.size() && line[i] == ' ') ++i;
+    std::size_t vend = i;
+    while (vend < line.size() && line[vend] != ' ') ++vend;
+    double value = 0.0;
+    if (!parse_float(line.substr(i, vend - i), &value)) {
+      return fail(error, line_no,
+                  "bad sample value '" +
+                      std::string(line.substr(i, vend - i)) + "'");
+    }
+    // Optional millisecond timestamp.
+    while (vend < line.size() && line[vend] == ' ') ++vend;
+    if (vend < line.size()) {
+      const std::string ts(line.substr(vend));
+      char* end = nullptr;
+      (void)std::strtoll(ts.c_str(), &end, 10);
+      if (end == ts.c_str() || *end != '\0') {
+        return fail(error, line_no, "trailing garbage after value");
+      }
+    }
+    saw_sample = true;
+    if (samples != nullptr) (*samples)[series] = value;
+  }
+  if (!saw_sample) return fail(error, 0, "no samples in exposition");
+  if (error != nullptr) error->clear();
+  return true;
+}
+
+}  // namespace expresso::obs

@@ -1,0 +1,34 @@
+// Prometheus text exposition (format 0.0.4) support for obs::Registry
+// (DESIGN.md §13).
+//
+// Registry::to_prometheus() (declared in metrics.hpp, implemented here)
+// renders every instrument as scrape-able text; this header adds the small
+// validating parser the check.sh endpoint smoke and the service tests use to
+// prove the output is well-formed without depending on a real Prometheus.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+namespace expresso::obs {
+
+// Sanitizes an instrument name into a Prometheus metric name: [a-zA-Z0-9_:]
+// survive, everything else ('.', '-', ...) becomes '_'; a leading digit gets
+// a '_' prefix.  A name containing '{' is split at the first brace and only
+// the family part is sanitized — registry names like
+// service.tenant.pending{tenant="edge-7"} carry their labels through.
+std::string prometheus_name(std::string_view name);
+
+// Validates `text` against the exposition grammar: every non-comment line is
+// `name[{labels}] value[ timestamp]`, every # TYPE names one of
+// counter|gauge|histogram|summary|untyped, label sets are well-formed
+// (quoted, escaped values), and sample values parse as floats (+Inf/-Inf/NaN
+// allowed).  On success fills `samples` (series-with-labels -> value, last
+// occurrence wins) and returns true; on failure sets `error` to a
+// line-numbered message and returns false.
+bool validate_prometheus(std::string_view text, std::string* error,
+                         std::map<std::string, double>* samples = nullptr);
+
+}  // namespace expresso::obs

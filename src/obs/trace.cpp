@@ -15,7 +15,13 @@ namespace expresso::obs {
 
 namespace internal {
 std::atomic<bool> g_tracing{false};
+thread_local const TraceContext* g_trace_ctx = nullptr;
 }  // namespace internal
+
+std::uint64_t next_span_id() {
+  static std::atomic<std::uint64_t> counter{0};
+  return counter.fetch_add(1, std::memory_order_relaxed) + 1;
+}
 
 using support::JsonWriter;
 
@@ -227,13 +233,29 @@ Span& Span::arg(const char* key, bool v) {
 }
 
 void Span::end() {
-  if (!active_) return;
-  active_ = false;
+  const bool profiling = ctx_ != nullptr && ctx_->profile != nullptr;
+  if (!active_ && !profiling) return;
   Tracer& t = Tracer::instance();
   const double now = t.now_us();
-  t.complete_event(name_, cat_, start_us_,
-                   now > start_us_ ? now - start_us_ : 0.0,
-                   support::thread_index(), args_);
+  const double dur = now > start_us_ ? now - start_us_ : 0.0;
+  // One id serves both outputs: the profile breakdown a client receives and
+  // the Chrome-trace span are correlated by carrying the same span_id.
+  const std::uint64_t span_id = next_span_id();
+  if (profiling) {
+    ctx_->profile->add({name_, span_id, start_us_, dur});
+  }
+  if (active_) {
+    if (ctx_ != nullptr) {
+      if (!ctx_->tenant.empty()) arg("tenant", ctx_->tenant);
+      if (!ctx_->trace_id.empty()) arg("trace", ctx_->trace_id);
+      if (ctx_->request_id != 0) arg("request_id", ctx_->request_id);
+    }
+    arg("span_id", span_id);
+    t.complete_event(name_, cat_, start_us_, dur, support::thread_index(),
+                     args_);
+  }
+  active_ = false;
+  ctx_ = nullptr;
 }
 
 }  // namespace expresso::obs

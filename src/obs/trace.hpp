@@ -25,20 +25,93 @@
 
 #include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <type_traits>
+#include <vector>
 
 namespace expresso::obs {
 
+class ProfileCollector;
+
+// Request-scoped correlation (DESIGN.md §13): the service installs a
+// TraceContext on the worker thread around each verify, and every Span that
+// ends on that thread (stage spans run at stage granularity on the caller
+// thread) is tagged with tenant + trace_id + request_id and assigned a
+// process-unique span id.  When `profile` is set, the same spans are also
+// recorded into it even with tracing disabled — that is how
+// {"op":"update","profile":true} gets its per-stage breakdown, and how the
+// returned span ids match the Chrome-trace spans for the same request.
+struct TraceContext {
+  std::string tenant;
+  std::string trace_id;
+  std::uint64_t request_id = 0;
+  ProfileCollector* profile = nullptr;
+};
+
 namespace internal {
 extern std::atomic<bool> g_tracing;
+extern thread_local const TraceContext* g_trace_ctx;
 }  // namespace internal
 
 // The single relaxed load every probe is gated on.
 inline bool tracing_enabled() {
   return internal::g_tracing.load(std::memory_order_relaxed);
 }
+
+inline const TraceContext* current_trace_context() {
+  return internal::g_trace_ctx;
+}
+
+// Process-unique monotonic span id (starts at 1; 0 means "no id").
+std::uint64_t next_span_id();
+
+// RAII installation of a TraceContext on the current thread.  `ctx` must
+// outlive the scope; nesting restores the previous context.
+class ScopedTraceContext {
+ public:
+  explicit ScopedTraceContext(const TraceContext* ctx)
+      : prev_(internal::g_trace_ctx) {
+    internal::g_trace_ctx = ctx;
+  }
+  ~ScopedTraceContext() { internal::g_trace_ctx = prev_; }
+  ScopedTraceContext(const ScopedTraceContext&) = delete;
+  ScopedTraceContext& operator=(const ScopedTraceContext&) = delete;
+
+ private:
+  const TraceContext* prev_;
+};
+
+// Per-stage timings one request accumulated (mutex-guarded: stage spans end
+// on the worker thread, but the collector outlives the scope and readers may
+// differ).
+class ProfileCollector {
+ public:
+  struct Stage {
+    const char* name;  // span name (string literal)
+    std::uint64_t span_id;
+    double start_us;
+    double dur_us;
+  };
+
+  void add(const Stage& s) {
+    std::lock_guard<std::mutex> lock(mu_);
+    stages_.push_back(s);
+  }
+  std::vector<Stage> stages() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return stages_;
+  }
+  void clear() {
+    std::lock_guard<std::mutex> lock(mu_);
+    stages_.clear();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<Stage> stages_;
+};
 
 class Tracer {
  public:
@@ -77,15 +150,22 @@ class Tracer {
   Impl* impl_;
 };
 
-// RAII scope span.  When tracing is disabled, construction stores two
-// pointers and a bool — nothing else happens, nothing is allocated (args_
-// stays an empty SSO string).  `name`/`cat` must be string literals (they
-// are kept by pointer until the destructor fires).
+// RAII scope span.  When tracing is disabled and no profiling TraceContext
+// is installed on this thread, construction stores three pointers and a
+// bool — one relaxed atomic load plus one thread-local pointer read; no
+// clock, no allocation (args_ stays an empty SSO string).  `name`/`cat`
+// must be string literals (they are kept by pointer until the destructor
+// fires).
 class Span {
  public:
   explicit Span(const char* name, const char* cat = "pipeline")
-      : name_(name), cat_(cat), active_(tracing_enabled()) {
-    if (active_) start_us_ = Tracer::instance().now_us();
+      : name_(name),
+        cat_(cat),
+        ctx_(internal::g_trace_ctx),
+        active_(tracing_enabled()) {
+    if (active_ || (ctx_ != nullptr && ctx_->profile != nullptr)) {
+      start_us_ = Tracer::instance().now_us();
+    }
   }
   ~Span() { end(); }
 
@@ -118,6 +198,7 @@ class Span {
 
   const char* name_;
   const char* cat_;
+  const TraceContext* ctx_;  // captured at construction (thread-local)
   bool active_;
   double start_us_ = 0.0;
   std::string args_;  // rendered "\"k\":v" fragments, comma-joined

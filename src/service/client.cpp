@@ -86,7 +86,8 @@ bool Client::recv(obs::JsonValue& out) {
 std::string Client::update_payload(const std::string& tenant,
                                    const std::string& config,
                                    const std::vector<std::string>& blackhole,
-                                   std::uint64_t id) {
+                                   std::uint64_t id,
+                                   const UpdateOptions& opts) {
   // Ids round-trip through JSON doubles; above 2^53 the echoed id would
   // lose precision and collect() could never match its response stream.
   if (id >= (std::uint64_t{1} << 53)) {
@@ -105,6 +106,8 @@ std::string Client::update_payload(const std::string& tenant,
     for (const auto& p : blackhole) w.value(p);
     w.end_array();
   }
+  if (!opts.trace_id.empty()) w.key("trace").value(opts.trace_id);
+  if (opts.profile) w.key("profile").value(true);
   w.end_object();
   return w.take();
 }
@@ -112,8 +115,9 @@ std::string Client::update_payload(const std::string& tenant,
 Client::UpdateResult Client::update(const std::string& tenant,
                                     const std::string& config,
                                     const std::vector<std::string>& blackhole,
-                                    std::uint64_t id) {
-  send_raw(update_payload(tenant, config, blackhole, id));
+                                    std::uint64_t id,
+                                    const UpdateOptions& opts) {
+  send_raw(update_payload(tenant, config, blackhole, id, opts));
   return collect(id);
 }
 
@@ -174,6 +178,39 @@ Client::UpdateResult Client::collect(std::uint64_t id) {
           v != nullptr && v->kind == obs::JsonValue::Kind::Number) {
         result.verify_ms = v->num;
       }
+      if (const auto* v = frame.find("trace");
+          v != nullptr && v->kind == obs::JsonValue::Kind::String) {
+        result.trace_id = v->str;
+      }
+      if (const auto* p = frame.find("profile");
+          p != nullptr && p->kind == obs::JsonValue::Kind::Object) {
+        if (const auto* stages = p->find("stages");
+            stages != nullptr &&
+            stages->kind == obs::JsonValue::Kind::Array) {
+          for (const auto& s : stages->items) {
+            if (s.kind != obs::JsonValue::Kind::Object) continue;
+            ProfileStage stage;
+            if (const auto* n = s.find("name");
+                n != nullptr && n->kind == obs::JsonValue::Kind::String) {
+              stage.name = n->str;
+            }
+            if (const auto* sid = s.find("span_id");
+                sid != nullptr &&
+                sid->kind == obs::JsonValue::Kind::Number && sid->num >= 0) {
+              stage.span_id = static_cast<std::uint64_t>(sid->num);
+            }
+            if (const auto* v2 = s.find("start_ms");
+                v2 != nullptr && v2->kind == obs::JsonValue::Kind::Number) {
+              stage.start_ms = v2->num;
+            }
+            if (const auto* v2 = s.find("ms");
+                v2 != nullptr && v2->kind == obs::JsonValue::Kind::Number) {
+              stage.ms = v2->num;
+            }
+            result.profile.push_back(std::move(stage));
+          }
+        }
+      }
       return result;
     }
     if (kind->str == "error") {
@@ -214,6 +251,18 @@ std::string Client::metrics() {
   std::string payload;
   if (read_frame(fd_, payload) != FrameStatus::kOk) {
     throw std::runtime_error("client: metrics read failed");
+  }
+  return payload;
+}
+
+std::string Client::flight() {
+  support::JsonWriter w;
+  w.begin_object().key("op").value("flight").end_object();
+  send_raw(w.take());
+  if (fd_ < 0) throw std::runtime_error("client: not connected");
+  std::string payload;
+  if (read_frame(fd_, payload) != FrameStatus::kOk) {
+    throw std::runtime_error("client: flight read failed");
   }
   return payload;
 }

@@ -23,6 +23,23 @@
 
 namespace expresso::service {
 
+// Optional update-request knobs beyond the snapshot itself.
+struct UpdateOptions {
+  // Correlation token stamped onto every stage span of this request's
+  // verify and echoed in the done frame's "trace".
+  std::string trace_id;
+  // Ask for the per-stage timing breakdown in the done frame.
+  bool profile = false;
+};
+
+// One row of the done frame's "profile" breakdown.
+struct ProfileStage {
+  std::string name;
+  std::uint64_t span_id = 0;
+  double start_ms = 0;
+  double ms = 0;
+};
+
 class Client {
  public:
   Client() = default;
@@ -56,6 +73,10 @@ class Client {
     std::uint64_t coalesced = 0;
     double queue_wait_ms = 0;
     double verify_ms = 0;
+    // Echo of the request's trace id (empty when none was sent).
+    std::string trace_id;
+    // Per-stage breakdown (empty unless the request set profile).
+    std::vector<ProfileStage> profile;
   };
 
   // Builds an update request for `tenant` carrying the full snapshot text
@@ -63,11 +84,12 @@ class Client {
   // until this id's "done"/"error".  Throws on connection damage.
   UpdateResult update(const std::string& tenant, const std::string& config,
                       const std::vector<std::string>& blackhole = {},
-                      std::uint64_t id = 0);
+                      std::uint64_t id = 0, const UpdateOptions& opts = {});
   // The same request's wire payload without sending it (for pipelining).
   static std::string update_payload(
       const std::string& tenant, const std::string& config,
-      const std::vector<std::string>& blackhole = {}, std::uint64_t id = 0);
+      const std::vector<std::string>& blackhole = {}, std::uint64_t id = 0,
+      const UpdateOptions& opts = {});
   // Collects one in-flight update's response stream by id (after send_raw).
   UpdateResult collect(std::uint64_t id);
 
@@ -75,6 +97,8 @@ class Client {
   bool hello();
   // Raw metrics document from {"op":"metrics"}.
   std::string metrics();
+  // Raw flight-recorder dump from {"op":"flight"}.
+  std::string flight();
 
  private:
   int fd_ = -1;

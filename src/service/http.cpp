@@ -1,0 +1,166 @@
+#include "service/http.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <thread>
+
+namespace expresso::service {
+
+const char* http_status_text(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 503: return "Service Unavailable";
+  }
+  return "Internal Server Error";
+}
+
+struct HttpSidecar::Impl {
+  int listen_fd = -1;
+  std::uint16_t bound_port = 0;
+  std::atomic<bool> running{false};
+  std::thread server;
+  Handler handler;
+
+  static bool send_all(int fd, const std::string& data) {
+    std::size_t off = 0;
+    while (off < data.size()) {
+      const ssize_t n =
+          ::send(fd, data.data() + off, data.size() - off, MSG_NOSIGNAL);
+      if (n <= 0) {
+        if (n < 0 && errno == EINTR) continue;
+        return false;
+      }
+      off += static_cast<std::size_t>(n);
+    }
+    return true;
+  }
+
+  void serve_one(int fd) {
+    // Read until the blank line ending the header block (we ignore bodies:
+    // both endpoints are GETs).  8 KiB is plenty for any scraper.
+    std::string req;
+    char buf[1024];
+    while (req.size() < 8192 && req.find("\r\n\r\n") == std::string::npos &&
+           req.find("\n\n") == std::string::npos) {
+      const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+      if (n <= 0) {
+        if (n < 0 && errno == EINTR) continue;
+        break;
+      }
+      req.append(buf, static_cast<std::size_t>(n));
+    }
+    const std::size_t line_end = req.find('\n');
+    if (line_end == std::string::npos) return;  // no request line: drop
+    std::string line = req.substr(0, line_end);
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+
+    // "GET /path HTTP/1.x"
+    Response resp;
+    const std::size_t sp1 = line.find(' ');
+    const std::size_t sp2 =
+        sp1 == std::string::npos ? std::string::npos : line.find(' ', sp1 + 1);
+    if (sp1 == std::string::npos || sp2 == std::string::npos) {
+      resp = {400, "text/plain; charset=utf-8", "bad request\n"};
+    } else if (line.substr(0, sp1) != "GET") {
+      resp = {405, "text/plain; charset=utf-8", "method not allowed\n"};
+    } else {
+      std::string path = line.substr(sp1 + 1, sp2 - sp1 - 1);
+      const std::size_t query = path.find('?');
+      if (query != std::string::npos) path.resize(query);
+      resp = handler(path);
+    }
+    std::string out = "HTTP/1.0 " + std::to_string(resp.status) + " " +
+                      http_status_text(resp.status) +
+                      "\r\nContent-Type: " + resp.content_type +
+                      "\r\nContent-Length: " + std::to_string(resp.body.size()) +
+                      "\r\nConnection: close\r\n\r\n" +
+                      resp.body;
+    send_all(fd, out);
+  }
+
+  void server_main() {
+    for (;;) {
+      const int fd = ::accept(listen_fd, nullptr, nullptr);
+      if (fd < 0) {
+        if (errno == EINTR) continue;
+        if (!running.load(std::memory_order_relaxed)) return;
+        if (errno == EMFILE || errno == ENFILE || errno == ECONNABORTED ||
+            errno == ENOBUFS || errno == EAGAIN || errno == EPROTO) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(10));
+          continue;
+        }
+        return;
+      }
+      // Bound how long a stuck client can hold the (single) serving thread.
+      timeval tv{2, 0};
+      ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+      ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+      const int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      serve_one(fd);
+      ::close(fd);
+    }
+  }
+};
+
+HttpSidecar::HttpSidecar() : impl_(std::make_unique<Impl>()) {}
+
+HttpSidecar::~HttpSidecar() { stop(); }
+
+std::uint16_t HttpSidecar::start(std::uint16_t port, Handler handler,
+                                 bool bind_any) {
+  Impl& im = *impl_;
+  if (im.running.load()) return im.bound_port;
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw std::runtime_error("http sidecar: socket() failed");
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = bind_any ? htonl(INADDR_ANY) : htonl(INADDR_LOOPBACK);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0 ||
+      ::listen(fd, 16) < 0) {
+    const std::string err = std::strerror(errno);
+    ::close(fd);
+    throw std::runtime_error("http sidecar: cannot listen on port " +
+                             std::to_string(port) + ": " + err);
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  ::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len);
+  im.bound_port = ntohs(bound.sin_port);
+  im.listen_fd = fd;
+  im.handler = std::move(handler);
+  im.running.store(true);
+  im.server = std::thread([this] { impl_->server_main(); });
+  return im.bound_port;
+}
+
+void HttpSidecar::stop() {
+  Impl& im = *impl_;
+  if (!im.running.exchange(false)) return;
+  ::shutdown(im.listen_fd, SHUT_RDWR);
+  ::close(im.listen_fd);
+  if (im.server.joinable()) im.server.join();
+  im.listen_fd = -1;
+}
+
+bool HttpSidecar::running() const {
+  return impl_->running.load(std::memory_order_relaxed);
+}
+
+std::uint16_t HttpSidecar::port() const { return impl_->bound_port; }
+
+}  // namespace expresso::service

@@ -1,0 +1,60 @@
+// Minimal HTTP/1.0 sidecar listener (DESIGN.md §13).
+//
+// expressod's diagnostics plane: GET /metrics (Prometheus text exposition
+// from the server's obs::Registry) and GET /healthz (readiness).  It speaks
+// just enough HTTP for a scraper or a load balancer probe — request line +
+// headers in, status line + Content-Type/Length + body out, one request per
+// connection, connection closed after the response.  It deliberately shares
+// nothing with the verification plane: its own listener fd, its own thread,
+// and a handler callback into the Server, so a slow scrape can never block
+// a verify and a hung verify never blocks a probe.
+//
+// Requests are served inline on the acceptor thread (scrapes are cheap and
+// arrive one at a time); a 2-second socket timeout bounds the damage a stuck
+// client can do.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+namespace expresso::service {
+
+class HttpSidecar {
+ public:
+  struct Response {
+    int status = 200;
+    std::string content_type = "text/plain; charset=utf-8";
+    std::string body;
+  };
+  // Called with the request path ("/metrics") for every GET.  Must be
+  // thread-safe against the caller's other threads; runs on the sidecar's
+  // acceptor thread.
+  using Handler = std::function<Response(const std::string& path)>;
+
+  HttpSidecar();
+  ~HttpSidecar();  // implies stop()
+
+  HttpSidecar(const HttpSidecar&) = delete;
+  HttpSidecar& operator=(const HttpSidecar&) = delete;
+
+  // Binds loopback (`bind_any` widens), listens, spawns the serving thread.
+  // `port` 0 = ephemeral.  Returns the bound port; throws std::runtime_error
+  // on bind failure.
+  std::uint16_t start(std::uint16_t port, Handler handler,
+                      bool bind_any = false);
+  void stop();
+
+  bool running() const;
+  std::uint16_t port() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+// Reason-phrase for the handful of statuses the sidecar emits.
+const char* http_status_text(int status);
+
+}  // namespace expresso::service

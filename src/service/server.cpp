@@ -26,7 +26,10 @@
 #include "expresso/session.hpp"
 #include "ir/frontend.hpp"
 #include "net/prefix.hpp"
+#include "obs/log.hpp"
+#include "obs/trace.hpp"
 #include "obs/trace_check.hpp"
+#include "service/http.hpp"
 #include "service/protocol.hpp"
 #include "support/json_writer.hpp"
 
@@ -84,6 +87,11 @@ struct PendingRequest {
   // Forced config dialect; unset = Session sniffs it from the text.
   std::optional<ir::Dialect> dialect;
   std::vector<net::Ipv4Prefix> blackhole;
+  // Client-chosen correlation token, echoed in the done frame and stamped
+  // onto every stage span this request's verify emits.
+  std::string trace_id;
+  // Client asked for the per-stage timing breakdown in its done frame.
+  bool profile = false;
   Clock::time_point enqueued;
 };
 
@@ -99,8 +107,41 @@ struct Tenant {
   bool queued = false;
   bool running = false;
   std::size_t last_bdd_nodes = 0;  // stats().bdd_nodes after the last verify
+  std::uint32_t flight_id = 0;     // interned once at admission
   Clock::time_point last_active = Clock::now();
 };
+
+// Registry key for a tenant-scoped series: the name carries the labelset
+// ("service.tenant.pending{tenant=\"x\"}"), which to_prometheus() passes
+// through and eviction retires via Registry::remove_series.
+std::string tenant_series(const char* what, const std::string& tenant) {
+  std::string out = "service.tenant.";
+  out += what;
+  out += "{tenant=\"";
+  for (char c : tenant) {
+    if (c == '\\' || c == '"') out += '\\';
+    out += c;
+  }
+  out += "\"}";
+  return out;
+}
+
+// The "stages" array fragment shared by the done frame's "profile" object
+// and the slow-request log line.
+std::string profile_stages_json(const obs::ProfileCollector& collector) {
+  support::JsonWriter w;
+  w.begin_array();
+  for (const auto& s : collector.stages()) {
+    w.begin_object()
+        .key("name").value(s.name)
+        .key("span_id").value(s.span_id)
+        .key("start_ms").value_short(s.start_us / 1e3)
+        .key("ms").value_short(s.dur_us / 1e3)
+        .end_object();
+  }
+  w.end_array();
+  return w.take();
+}
 
 }  // namespace
 
@@ -109,10 +150,14 @@ struct Server::Impl {
 
   ServerOptions options;
   obs::Registry registry;
+  obs::FlightRecorder flight{1024};
 
   int listen_fd = -1;
   std::uint16_t bound_port = 0;
+  std::uint16_t http_bound_port = 0;
   std::atomic<bool> started{false};
+  std::atomic<bool> acceptor_live{false};
+  std::atomic<int> live_workers{0};
   bool stopping = false;  // guarded by mu
 
   std::mutex mu;
@@ -133,12 +178,17 @@ struct Server::Impl {
   std::vector<std::thread> finished_readers;
   std::vector<std::shared_ptr<Connection>> conns;    // guarded by mu
 
+  // Declared last so it is destroyed first: its serving thread calls back
+  // into everything above and must be gone before any of it.
+  HttpSidecar http;
+
   // --- admission -----------------------------------------------------------
 
   void admit(const std::shared_ptr<Connection>& conn, std::uint64_t id,
              const std::string& tenant_name, std::string config,
              std::optional<ir::Dialect> dialect,
-             std::vector<net::Ipv4Prefix> blackhole) {
+             std::vector<net::Ipv4Prefix> blackhole, std::string trace_id,
+             bool profile) {
     registry.counter("service.updates").inc();
     std::unique_lock<std::mutex> lock(mu);
     if (stopping) {
@@ -154,7 +204,13 @@ struct Server::Impl {
       if (tenants.size() >= options.max_sessions &&
           !evict_one_idle_locked()) {
         registry.counter("service.rejected").inc();
+        flight.record(obs::FlightRecorder::Event::kReject, 0, id,
+                      tenants.size());
         lock.unlock();
+        obs::LogEvent(obs::LogLevel::kWarn, "service.reject")
+            .field("tenant", tenant_name)
+            .field("id", id)
+            .field("reason", "server full");
         conn->send_one(error_payload(
             id, "server full: " + std::to_string(options.max_sessions) +
                     " sessions resident, none evictable",
@@ -163,6 +219,7 @@ struct Server::Impl {
       }
       it = tenants.emplace(tenant_name,
                            std::make_unique<Tenant>(tenant_name)).first;
+      it->second->flight_id = flight.intern(tenant_name);
       registry.gauge("service.active_sessions")
           .set(static_cast<double>(tenants.size()));
     }
@@ -173,19 +230,39 @@ struct Server::Impl {
     if (options.max_pending_per_tenant != 0 &&
         t->pending.size() >= options.max_pending_per_tenant) {
       registry.counter("service.rejected_overload").inc();
+      flight.record(obs::FlightRecorder::Event::kOverload, t->flight_id, id,
+                    t->pending.size());
       lock.unlock();
+      obs::LogEvent(obs::LogLevel::kWarn, "service.overload")
+          .field("tenant", tenant_name)
+          .field("id", id);
       conn->send_one(overloaded_payload(id));
       return;
     }
     t->pending.push_back(PendingRequest{conn, id, std::move(config), dialect,
-                                        std::move(blackhole), Clock::now()});
-    if (!t->queued && !t->running) {
+                                        std::move(blackhole),
+                                        std::move(trace_id), profile,
+                                        Clock::now()});
+    registry.gauge(tenant_series("pending", t->name))
+        .set(static_cast<double>(t->pending.size()));
+    const bool coalescing = t->queued || t->running;
+    flight.record(coalescing ? obs::FlightRecorder::Event::kCoalesce
+                             : obs::FlightRecorder::Event::kAdmit,
+                  t->flight_id, id, t->pending.size());
+    if (!coalescing) {
       t->queued = true;
       run_queue.push_back(t);
       work_cv.notify_one();
     } else {
       // The burst will collapse into the tenant's next verify.
       registry.counter("service.coalesced").inc();
+    }
+    if (obs::log_enabled(obs::LogLevel::kDebug)) {
+      lock.unlock();
+      obs::LogEvent(obs::LogLevel::kDebug, "service.admit")
+          .field("tenant", tenant_name)
+          .field("id", id)
+          .field("coalesced", coalescing);
     }
   }
 
@@ -209,14 +286,30 @@ struct Server::Impl {
     return coldest;
   }
 
+  // Destroys one tenant's session and retires its tenant-scoped series —
+  // a dead tenant's gauges frozen at their last value would read as live
+  // state in every scrape from then on.
+  void evict_locked(std::map<std::string, std::unique_ptr<Tenant>>::iterator
+                        victim) {
+    Tenant& t = *victim->second;
+    registry.counter("service.evictions").inc();
+    registry.remove_series(tenant_series("pending", t.name));
+    registry.remove_series(tenant_series("bdd_nodes", t.name));
+    flight.record(obs::FlightRecorder::Event::kEvict, t.flight_id, 0,
+                  t.last_bdd_nodes);
+    obs::LogEvent(obs::LogLevel::kInfo, "service.evict")
+        .field("tenant", t.name)
+        .field("bdd_nodes", t.last_bdd_nodes);
+    tenants.erase(victim);
+    registry.gauge("service.active_sessions")
+        .set(static_cast<double>(tenants.size()));
+  }
+
   // Destroys the coldest idle session.  Returns false when nothing is idle.
   bool evict_one_idle_locked() {
     const auto coldest = coldest_idle_locked();
     if (coldest == tenants.end()) return false;
-    registry.counter("service.evictions").inc();
-    tenants.erase(coldest);
-    registry.gauge("service.active_sessions")
-        .set(static_cast<double>(tenants.size()));
+    evict_locked(coldest);
     return true;
   }
 
@@ -229,17 +322,20 @@ struct Server::Impl {
       const auto coldest = coldest_idle_locked();
       if (coldest == tenants.end()) break;  // everything hot; retry later
       total -= coldest->second->last_bdd_nodes;
-      registry.counter("service.evictions").inc();
-      tenants.erase(coldest);
+      evict_locked(coldest);
     }
-    registry.gauge("service.active_sessions")
-        .set(static_cast<double>(tenants.size()));
     registry.gauge("service.bdd_nodes_total").set(static_cast<double>(total));
   }
 
   // --- verify workers ------------------------------------------------------
 
   void worker_main() {
+    live_workers.fetch_add(1, std::memory_order_relaxed);
+    worker_loop();
+    live_workers.fetch_sub(1, std::memory_order_relaxed);
+  }
+
+  void worker_loop() {
     for (;;) {
       Tenant* t = nullptr;
       {
@@ -273,6 +369,10 @@ struct Server::Impl {
         t->running = false;
         t->last_active = Clock::now();
         if (t->session) t->last_bdd_nodes = t->session->stats().bdd_nodes;
+        registry.gauge(tenant_series("pending", t->name))
+            .set(static_cast<double>(t->pending.size()));
+        registry.gauge(tenant_series("bdd_nodes", t->name))
+            .set(static_cast<double>(t->last_bdd_nodes));
         if (!t->pending.empty() && !stopping && !t->queued) {
           // Work arrived while verifying: back of the queue, not the front —
           // other tenants go first.
@@ -292,6 +392,24 @@ struct Server::Impl {
     // with different blackhole sets drops none of the checks asked for.
     const PendingRequest& last = batch.back();
     const Clock::time_point verify_start = Clock::now();
+
+    // Request-scoped correlation: every stage span this verify emits is
+    // tagged tenant + trace + request id (the *latest* request's — that is
+    // the snapshot being verified), and when any drained request asked for
+    // "profile" (or the slow-request log is armed) the same spans land in
+    // the collector.  Coalesced requests share the one verify's breakdown.
+    bool want_profile = options.slow_request_ms > 0;
+    for (const auto& req : batch) want_profile |= req.profile;
+    obs::ProfileCollector collector;
+    obs::TraceContext trace_ctx;
+    trace_ctx.tenant = t.name;
+    trace_ctx.trace_id = last.trace_id;
+    trace_ctx.request_id = last.id;
+    trace_ctx.profile = want_profile ? &collector : nullptr;
+    obs::ScopedTraceContext scoped_ctx(&trace_ctx);
+
+    flight.record(obs::FlightRecorder::Event::kVerifyStart, t.flight_id,
+                  last.id, batch.size());
     bool warm = false;
     bool converged = false;
     try {
@@ -319,6 +437,12 @@ struct Server::Impl {
       // must not wedge the tenant: answer every request with the error and
       // drop the session so the next push cold-loads from a clean slate.
       registry.counter("service.verify_errors").inc();
+      flight.record(obs::FlightRecorder::Event::kVerifyError, t.flight_id,
+                    last.id, batch.size());
+      obs::LogEvent(obs::LogLevel::kError, "service.verify_error")
+          .field("tenant", t.name)
+          .field("id", last.id)
+          .field("message", e.what());
       t.session.reset();
       const std::string msg = std::string("verify failed: ") + e.what();
       for (const auto& req : batch) {
@@ -328,10 +452,11 @@ struct Server::Impl {
       }
       return;
     }
-    registry.timer("service.verify")
-        .add(seconds_between(verify_start, Clock::now()));
+    const double verify_seconds = seconds_between(verify_start, Clock::now());
+    registry.timer("service.verify").add(verify_seconds);
 
     const std::uint64_t coalesced = batch.size() - 1;
+    std::uint64_t violation_frames = 0;
     for (const auto& req : batch) {
       // Property checks are memoized per generation, so re-rendering the
       // battery per coalesced request costs serialization only.
@@ -347,6 +472,16 @@ struct Server::Impl {
         }
         continue;
       }
+      if (&req == &batch.front()) {
+        for (const auto& f : frames) {
+          if (f.find("\"violations\":[{") != std::string::npos) {
+            ++violation_frames;
+          }
+        }
+      }
+      const double queue_wait_ms =
+          seconds_between(req.enqueued, verify_start) * 1e3;
+      const double verify_ms = seconds_between(verify_start, Clock::now()) * 1e3;
       support::JsonWriter done;
       done.begin_object()
           .key("kind").value("done")
@@ -355,15 +490,49 @@ struct Server::Impl {
           .key("warm").value(warm)
           .key("converged").value(converged)
           .key("coalesced").value(coalesced)
-          .key("queue_wait_ms")
-          .value_short(seconds_between(req.enqueued, verify_start) * 1e3)
-          .key("verify_ms")
-          .value_short(seconds_between(verify_start, Clock::now()) * 1e3)
-          .end_object();
+          .key("queue_wait_ms").value_short(queue_wait_ms)
+          .key("verify_ms").value_short(verify_ms);
+      if (!req.trace_id.empty()) done.key("trace").value(req.trace_id);
+      if (req.profile) {
+        // Stage spans recorded so far, each carrying the span_id its
+        // Chrome-trace twin carries — the correlation the e2e test checks.
+        done.key("profile")
+            .begin_object()
+            .key("stages").value_raw(profile_stages_json(collector))
+            .end_object();
+      }
+      done.end_object();
       frames.push_back(done.take());
       if (!req.conn->send(frames)) {
         registry.counter("service.dropped_responses").inc();
       }
+      if (options.slow_request_ms > 0 &&
+          queue_wait_ms + verify_ms >=
+              static_cast<double>(options.slow_request_ms)) {
+        registry.counter("service.slow_requests").inc();
+        obs::LogEvent ev(obs::LogLevel::kWarn, "service.slow_request");
+        ev.field("tenant", t.name)
+            .field("id", req.id)
+            .field("queue_wait_ms", queue_wait_ms)
+            .field("verify_ms", verify_ms);
+        if (!req.trace_id.empty()) ev.field("trace", req.trace_id);
+        if (ev.active()) {
+          ev.field_raw("stages", profile_stages_json(collector));
+        }
+      }
+    }
+    flight.record(obs::FlightRecorder::Event::kVerifyEnd, t.flight_id, last.id,
+                  violation_frames,
+                  static_cast<std::uint64_t>(verify_seconds * 1e3));
+    if (obs::log_enabled(obs::LogLevel::kInfo)) {
+      obs::LogEvent(obs::LogLevel::kInfo, "service.verify")
+          .field("tenant", t.name)
+          .field("id", last.id)
+          .field("warm", warm)
+          .field("converged", converged)
+          .field("coalesced", coalesced)
+          .field("violation_frames", violation_frames)
+          .field("verify_ms", verify_seconds * 1e3);
     }
   }
 
@@ -387,10 +556,12 @@ struct Server::Impl {
         // Mid-frame disconnects are routine client behavior, not a server
         // fault: count and tear down.
         registry.counter("service.protocol_errors").inc();
+        flight.record(obs::FlightRecorder::Event::kProtocolError);
         break;
       }
       if (st == FrameStatus::kOversized) {
         registry.counter("service.protocol_errors").inc();
+        flight.record(obs::FlightRecorder::Event::kProtocolError);
         conn->send_one(error_payload(
             0, "frame exceeds " + std::to_string(kMaxFrameBytes) + " bytes",
             true));
@@ -401,12 +572,15 @@ struct Server::Impl {
       std::string error;
       if (!obs::parse_json(payload, req, error)) {
         registry.counter("service.protocol_errors").inc();
+        flight.record(obs::FlightRecorder::Event::kProtocolError);
         conn->send_one(error_payload(0, "malformed JSON: " + error, false));
         continue;
       }
       const obs::JsonValue* op = req.find("op");
       if (op == nullptr || op->kind != obs::JsonValue::Kind::String) {
         registry.counter("service.protocol_errors").inc();
+        flight.record(obs::FlightRecorder::Event::kProtocolError,
+                      0, request_id(req));
         conn->send_one(error_payload(request_id(req),
                                      "request lacks a string \"op\"", false));
         continue;
@@ -421,6 +595,7 @@ struct Server::Impl {
     conns.erase(std::remove(conns.begin(), conns.end(), conn), conns.end());
     registry.gauge("service.open_connections")
         .set(static_cast<double>(conns.size()));
+    flight.record(obs::FlightRecorder::Event::kConnClose, 0, 0, conns.size());
     const auto it = readers.find(token);
     if (it != readers.end()) {
       finished_readers.push_back(std::move(it->second));
@@ -441,6 +616,10 @@ struct Server::Impl {
     }
     if (op == "metrics") {
       conn->send_one(registry.to_json_document("expressod"));
+      return;
+    }
+    if (op == "flight") {
+      conn->send_one(flight.to_json(id));
       return;
     }
     if (op == "update") {
@@ -482,8 +661,26 @@ struct Server::Impl {
           blackhole.push_back(*p);
         }
       }
-      admit(conn, id, tenant->str, config->str, dialect,
-            std::move(blackhole));
+      std::string trace_id;
+      if (const obs::JsonValue* tr = req.find("trace")) {
+        if (tr->kind != obs::JsonValue::Kind::String) {
+          conn->send_one(
+              error_payload(id, "\"trace\" must be a string", false));
+          return;
+        }
+        trace_id = tr->str;
+      }
+      bool profile = false;
+      if (const obs::JsonValue* p = req.find("profile")) {
+        if (p->kind != obs::JsonValue::Kind::Bool) {
+          conn->send_one(
+              error_payload(id, "\"profile\" must be a boolean", false));
+          return;
+        }
+        profile = p->b;
+      }
+      admit(conn, id, tenant->str, config->str, dialect, std::move(blackhole),
+            std::move(trace_id), profile);
       return;
     }
     conn->send_one(error_payload(id, "unknown op \"" + op + "\"", false));
@@ -503,6 +700,12 @@ struct Server::Impl {
   }
 
   void acceptor_main() {
+    acceptor_live.store(true, std::memory_order_relaxed);
+    accept_loop();
+    acceptor_live.store(false, std::memory_order_relaxed);
+  }
+
+  void accept_loop() {
     for (;;) {
       const int fd = ::accept(listen_fd, nullptr, nullptr);
       const int err = fd < 0 ? errno : 0;  // before reaping clobbers errno
@@ -536,11 +739,56 @@ struct Server::Impl {
       conns.push_back(conn);
       registry.gauge("service.open_connections")
           .set(static_cast<double>(conns.size()));
+      flight.record(obs::FlightRecorder::Event::kConnOpen, 0, 0, conns.size());
       const std::uint64_t token = next_reader_token++;
       readers.emplace(token, std::thread([this, conn, token] {
                         reader_main(conn, token);
                       }));
     }
+  }
+
+  // --- diagnostics plane ---------------------------------------------------
+
+  std::string health_json(bool* ready_out) {
+    std::unique_lock<std::mutex> lock(mu);
+    const bool accepting =
+        started.load(std::memory_order_relaxed) && !stopping &&
+        acceptor_live.load(std::memory_order_relaxed);
+    const int workers_live = live_workers.load(std::memory_order_relaxed);
+    std::size_t deepest_queue = 0;
+    for (const auto& [name, t] : tenants) {
+      deepest_queue = std::max(deepest_queue, t->pending.size());
+    }
+    const bool saturated = options.max_pending_per_tenant != 0 &&
+                           deepest_queue >= options.max_pending_per_tenant;
+    const std::size_t tenant_count = tenants.size();
+    lock.unlock();
+    const bool ready = accepting && workers_live > 0 && !saturated;
+    if (ready_out != nullptr) *ready_out = ready;
+    support::JsonWriter w;
+    w.begin_object()
+        .key("status").value(ready ? "ok" : "unavailable")
+        .key("accepting").value(accepting)
+        .key("workers_live").value(static_cast<std::int64_t>(workers_live))
+        .key("tenants").value(static_cast<std::uint64_t>(tenant_count))
+        .key("deepest_queue").value(static_cast<std::uint64_t>(deepest_queue))
+        .key("saturated").value(saturated)
+        .end_object();
+    return w.take();
+  }
+
+  HttpSidecar::Response serve_http(const std::string& path) {
+    if (path == "/metrics") {
+      return {200, "text/plain; version=0.0.4; charset=utf-8",
+              registry.to_prometheus()};
+    }
+    if (path == "/healthz") {
+      bool ready = false;
+      std::string body = health_json(&ready);
+      body += '\n';
+      return {ready ? 200 : 503, "application/json", std::move(body)};
+    }
+    return {404, "text/plain; charset=utf-8", "not found\n"};
   }
 };
 
@@ -581,6 +829,18 @@ std::uint16_t Server::start() {
   }
   im.acceptor = std::thread([this] { impl_->acceptor_main(); });
   im.started.store(true);
+  if (im.options.http_port >= 0 && !im.http.running()) {
+    im.http_bound_port = im.http.start(
+        static_cast<std::uint16_t>(im.options.http_port),
+        [this](const std::string& path) { return impl_->serve_http(path); },
+        im.options.bind_any);
+  }
+  im.flight.record(obs::FlightRecorder::Event::kServerStart, 0, 0,
+                   im.bound_port);
+  obs::LogEvent(obs::LogLevel::kInfo, "service.start")
+      .field("port", im.bound_port)
+      .field("http_port", im.http_bound_port)
+      .field("workers", workers);
   return im.bound_port;
 }
 
@@ -592,6 +852,9 @@ void Server::stop() {
     if (im.stopping) return;
     im.stopping = true;
   }
+  im.flight.record(obs::FlightRecorder::Event::kServerStop);
+  obs::LogEvent(obs::LogLevel::kInfo, "service.stop")
+      .field("port", im.bound_port);
   // Unblock the acceptor, then every reader.
   ::shutdown(im.listen_fd, SHUT_RDWR);
   ::close(im.listen_fd);
@@ -611,6 +874,10 @@ void Server::stop() {
   im.workers.clear();
   {
     std::lock_guard<std::mutex> lock(im.mu);
+    for (const auto& [name, t] : im.tenants) {
+      im.registry.remove_series(tenant_series("pending", name));
+      im.registry.remove_series(tenant_series("bdd_nodes", name));
+    }
     im.tenants.clear();
     im.conns.clear();
     im.registry.gauge("service.open_connections").set(0.0);
@@ -623,6 +890,16 @@ void Server::stop() {
 
 std::uint16_t Server::port() const { return impl_->bound_port; }
 
+std::uint16_t Server::http_port() const {
+  return impl_->http.running() ? impl_->http_bound_port : 0;
+}
+
 obs::Registry& Server::metrics() { return impl_->registry; }
+
+obs::FlightRecorder& Server::flight() { return impl_->flight; }
+
+std::string Server::health_json(bool* ready) const {
+  return impl_->health_json(ready);
+}
 
 }  // namespace expresso::service

@@ -40,7 +40,9 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
 
+#include "obs/flight.hpp"
 #include "obs/metrics.hpp"
 
 namespace expresso::service {
@@ -74,6 +76,14 @@ struct ServerOptions {
   std::size_t max_pending_per_tenant = 256;
   // Shadow warm runs with cold ones inside each Session (validation mode).
   bool verify_warm = false;
+  // HTTP diagnostics sidecar (GET /metrics + /healthz, service/http.hpp):
+  // -1 disables it, 0 binds an ephemeral port (start() records it;
+  // Server::http_port() returns it), >0 binds that port.
+  int http_port = -1;
+  // Requests whose queue-wait + verify time exceed this many milliseconds
+  // are logged (warn, event service.slow_request) with their per-stage
+  // breakdown, whether or not the client asked for "profile".  0 disables.
+  int slow_request_ms = 0;
 };
 
 class Server {
@@ -93,9 +103,21 @@ class Server {
   void stop();
 
   std::uint16_t port() const;
+  // Bound port of the HTTP diagnostics sidecar; 0 when disabled.  The
+  // sidecar outlives stop() on purpose: a draining daemon keeps answering
+  // /healthz (503) so probes observe the flip instead of a refused
+  // connection.  It dies with the Server.
+  std::uint16_t http_port() const;
   // The service.* instrument store (also reachable over the wire via
   // {"op":"metrics"}).  Valid for the server's lifetime.
   obs::Registry& metrics();
+  // Recent-event ring ({"op":"flight"} serves this; expressod dumps it on
+  // fatal signals).  Valid for the server's lifetime.
+  obs::FlightRecorder& flight();
+  // Readiness snapshot as the /healthz JSON body; `ready` (optional)
+  // receives the verdict: accepting, workers live, no tenant queue at its
+  // backpressure bound.
+  std::string health_json(bool* ready = nullptr) const;
 
  private:
   struct Impl;

@@ -18,7 +18,10 @@
 
 #include "ir/frontend.hpp"
 #include "expresso/session.hpp"
+#include "obs/flight.hpp"
+#include "obs/log.hpp"
 #include "obs/metrics.hpp"
+#include "obs/prometheus.hpp"
 #include "obs/trace.hpp"
 #include "obs/trace_check.hpp"
 #include "support/thread_pool.hpp"
@@ -338,6 +341,269 @@ TEST(ObsMetricsTest, AppendMetricsLineDropsConsecutiveDuplicates) {
   EXPECT_EQ(read_file(other), "{\"a\":1}\n");
   std::remove(path.c_str());
   std::remove(other.c_str());
+}
+
+// --- structured logger (DESIGN.md §13) --------------------------------------
+
+std::vector<std::string> read_lines(const std::string& path) {
+  std::ifstream in(path);
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  return lines;
+}
+
+TEST(ObsLogTest, DisabledEventsCostNothingAndEmitNothing) {
+  obs::LogSink::instance().close();
+  ASSERT_FALSE(obs::log_enabled(obs::LogLevel::kError));
+  const std::uint64_t before = obs::LogSink::instance().lines_written();
+  {
+    obs::LogEvent ev(obs::LogLevel::kError, "test.ignored");
+    EXPECT_FALSE(ev.active());
+    ev.field("k", "v").field("n", 7);
+  }
+  EXPECT_EQ(obs::LogSink::instance().lines_written(), before);
+}
+
+TEST(ObsLogTest, EveryLineIsOneJsonObjectWithTypedFields) {
+  const std::string path = temp_path("obs_log.jsonl");
+  std::remove(path.c_str());
+  obs::LogSink::instance().open(path, obs::LogLevel::kDebug);
+  {
+    obs::LogEvent ev(obs::LogLevel::kInfo, "test.ev\"ent");
+    ASSERT_TRUE(ev.active());
+    ev.field("tenant", "edge\"7")
+        .field("nodes", std::uint64_t{412000})
+        .field("warm", true)
+        .field("seconds", 0.25)
+        .field_raw("stages", "[{\"name\":\"stage.src\"}]");
+  }
+  obs::LogSink::instance().close();
+
+  const auto lines = read_lines(path);
+  ASSERT_EQ(lines.size(), 1u);
+  obs::JsonValue root;
+  std::string error;
+  ASSERT_TRUE(obs::parse_json(lines[0], root, error)) << error << lines[0];
+  EXPECT_GT(root.find("ts")->num, 1.0e9);  // wall-clock unix seconds
+  EXPECT_EQ(root.find("level")->str, "info");
+  EXPECT_EQ(root.find("event")->str, "test.ev\"ent");
+  EXPECT_EQ(root.find("tenant")->str, "edge\"7");
+  EXPECT_EQ(root.find("nodes")->num, 412000);
+  EXPECT_TRUE(root.find("warm")->b);
+  EXPECT_EQ(root.find("seconds")->num, 0.25);
+  ASSERT_EQ(root.find("stages")->items.size(), 1u);
+  EXPECT_EQ(root.find("stages")->items[0].find("name")->str, "stage.src");
+  std::remove(path.c_str());
+}
+
+TEST(ObsLogTest, ThresholdFiltersLowerLevels) {
+  const std::string path = temp_path("obs_log_level.jsonl");
+  std::remove(path.c_str());
+  obs::LogSink::instance().open(path, obs::LogLevel::kWarn);
+  EXPECT_FALSE(obs::log_enabled(obs::LogLevel::kDebug));
+  EXPECT_FALSE(obs::log_enabled(obs::LogLevel::kInfo));
+  EXPECT_TRUE(obs::log_enabled(obs::LogLevel::kWarn));
+  { obs::LogEvent ev(obs::LogLevel::kInfo, "test.filtered"); }
+  { obs::LogEvent ev(obs::LogLevel::kError, "test.kept"); }
+  obs::LogSink::instance().close();
+
+  const auto lines = read_lines(path);
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_NE(lines[0].find("\"event\":\"test.kept\""), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(ObsLogTest, RateLimitDropsAndCountsExcessLines) {
+  const std::string path = temp_path("obs_log_rate.jsonl");
+  std::remove(path.c_str());
+  obs::LogSink::instance().open(path, obs::LogLevel::kInfo);
+  obs::LogSink::instance().set_rate_limit(5);
+  const std::uint64_t dropped_before = obs::LogSink::instance().lines_dropped();
+  // 20 events inside (at most) two one-second windows: at least 10 must be
+  // dropped even if a window boundary lands mid-burst.
+  for (int i = 0; i < 20; ++i) {
+    obs::LogEvent ev(obs::LogLevel::kInfo, "test.burst");
+    ev.field("i", i);
+  }
+  const std::uint64_t dropped =
+      obs::LogSink::instance().lines_dropped() - dropped_before;
+  EXPECT_GE(dropped, 10u);
+  EXPECT_LE(read_lines(path).size(), 11u);  // 2 windows x 5 + dropped notice
+  obs::LogSink::instance().set_rate_limit(2000);
+  obs::LogSink::instance().close();
+  std::remove(path.c_str());
+}
+
+// --- flight recorder --------------------------------------------------------
+
+TEST(ObsFlightTest, RecordsInOrderAndDumpsValidJson) {
+  obs::FlightRecorder fr(64);
+  const std::uint32_t t1 = fr.intern("edge-1");
+  EXPECT_EQ(fr.intern("edge-1"), t1);  // idempotent
+  EXPECT_NE(fr.intern("edge-2"), t1);
+  fr.record(obs::FlightRecorder::Event::kAdmit, t1, 7, 1);
+  fr.record(obs::FlightRecorder::Event::kVerifyStart, t1, 7, 3);
+  fr.record(obs::FlightRecorder::Event::kVerifyEnd, t1, 7, 0, 12);
+  fr.record(obs::FlightRecorder::Event::kServerStop);
+
+  const auto entries = fr.snapshot();
+  ASSERT_EQ(entries.size(), 4u);
+  EXPECT_EQ(entries[0].seq, 0u);
+  EXPECT_EQ(entries[0].event, obs::FlightRecorder::Event::kAdmit);
+  EXPECT_EQ(entries[0].tenant, "edge-1");
+  EXPECT_EQ(entries[0].request_id, 7u);
+  EXPECT_EQ(entries[2].event, obs::FlightRecorder::Event::kVerifyEnd);
+  EXPECT_EQ(entries[2].b, 12u);
+  EXPECT_EQ(entries[3].tenant, "");  // no tenant
+  for (std::size_t i = 1; i < entries.size(); ++i) {
+    EXPECT_GT(entries[i].seq, entries[i - 1].seq);
+    EXPECT_GE(entries[i].ts_us, entries[i - 1].ts_us);
+  }
+
+  obs::JsonValue root;
+  std::string error;
+  ASSERT_TRUE(obs::parse_json(fr.to_json(42), root, error)) << error;
+  EXPECT_EQ(root.find("kind")->str, "flight");
+  EXPECT_EQ(root.find("id")->num, 42);
+  EXPECT_EQ(root.find("capacity")->num, 64);
+  EXPECT_EQ(root.find("recorded")->num, 4);
+  ASSERT_EQ(root.find("events")->items.size(), 4u);
+  const auto& ev0 = root.find("events")->items[0];
+  EXPECT_EQ(ev0.find("event")->str, "admit");
+  EXPECT_EQ(ev0.find("tenant")->str, "edge-1");
+}
+
+TEST(ObsFlightTest, WraparoundKeepsNewestEntries) {
+  obs::FlightRecorder fr(64);  // rounds to 64 slots
+  const std::uint32_t t = fr.intern("edge-1");
+  for (std::uint64_t i = 0; i < 200; ++i) {
+    fr.record(obs::FlightRecorder::Event::kAdmit, t, i, i);
+  }
+  EXPECT_EQ(fr.recorded(), 200u);
+  const auto entries = fr.snapshot();
+  ASSERT_EQ(entries.size(), fr.capacity());
+  // Oldest-first window ending at the last record.
+  EXPECT_EQ(entries.front().seq, 200u - fr.capacity());
+  EXPECT_EQ(entries.back().seq, 199u);
+  EXPECT_EQ(entries.back().request_id, 199u);
+}
+
+// Eight writers lapping a small ring while a reader snapshots: the seqlock
+// protocol must never yield a torn entry (a slot whose request_id does not
+// match its seq), and TSan must stay quiet (every slot field is atomic).
+TEST(ObsFlightTest, ConcurrentWrapUnderEightWritersIsNeverTorn) {
+  obs::FlightRecorder fr(64);
+  const std::uint32_t t = fr.intern("edge-1");
+  constexpr int kWriters = 8;
+  constexpr std::uint64_t kPerWriter = 5000;
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> torn{0};
+
+  std::thread reader([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      for (const auto& e : fr.snapshot()) {
+        // Writers store request_id == a == their record's payload; a torn
+        // read would pair fields from different laps.
+        if (e.request_id != e.a) torn.fetch_add(1);
+      }
+    }
+  });
+  std::vector<std::thread> writers;
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&, w] {
+      for (std::uint64_t i = 0; i < kPerWriter; ++i) {
+        const std::uint64_t payload = static_cast<std::uint64_t>(w) * kPerWriter + i;
+        fr.record(obs::FlightRecorder::Event::kCoalesce, t, payload, payload);
+      }
+    });
+  }
+  for (auto& th : writers) th.join();
+  stop.store(true);
+  reader.join();
+
+  EXPECT_EQ(torn.load(), 0u);
+  EXPECT_EQ(fr.recorded(), kWriters * kPerWriter);
+  const auto entries = fr.snapshot();
+  EXPECT_EQ(entries.size(), fr.capacity());
+  for (std::size_t i = 1; i < entries.size(); ++i) {
+    EXPECT_GT(entries[i].seq, entries[i - 1].seq);
+  }
+}
+
+// --- Prometheus exposition --------------------------------------------------
+
+TEST(ObsPrometheusTest, RendersValidExpositionWithAllMetricKinds) {
+  obs::Registry reg;
+  reg.counter("service.requests").inc(41);
+  reg.counter("service.tenant.pending{tenant=\"edge-1\"}").inc(3);
+  reg.gauge("service.active_sessions").set(2);
+  reg.timer("stage.src.seconds").add(0.5);
+  reg.timer("stage.src.seconds").add(1.5);
+  obs::Histogram& h = reg.histogram("service.verify_ms", {1.0, 10.0, 100.0});
+  for (int i = 0; i < 100; ++i) h.observe(static_cast<double>(i));
+
+  const std::string text = reg.to_prometheus();
+  std::string error;
+  std::map<std::string, double> samples;
+  ASSERT_TRUE(obs::validate_prometheus(text, &error, &samples))
+      << error << "\n" << text;
+
+  EXPECT_EQ(samples.at("service_requests_total"), 41);
+  EXPECT_EQ(samples.at("service_tenant_pending_total{tenant=\"edge-1\"}"), 3);
+  EXPECT_EQ(samples.at("service_active_sessions"), 2);
+  EXPECT_EQ(samples.at("stage_src_seconds_seconds_total"), 2.0);
+  EXPECT_EQ(samples.at("stage_src_seconds_total"), 2);
+  // Cumulative buckets: observations 0..99 -> 2 <=1, 11 <=10, 100 finite+Inf.
+  EXPECT_EQ(samples.at("service_verify_ms_bucket{le=\"1\"}"), 2);
+  EXPECT_EQ(samples.at("service_verify_ms_bucket{le=\"10\"}"), 11);
+  EXPECT_EQ(samples.at("service_verify_ms_bucket{le=\"+Inf\"}"), 100);
+  EXPECT_EQ(samples.at("service_verify_ms_count"), 100);
+  EXPECT_EQ(samples.at("service_verify_ms_sum"), 99.0 * 100.0 / 2.0);
+  // Interpolated quantiles land inside the right buckets.
+  const double p50 = samples.at("service_verify_ms_quantile{q=\"0.5\"}");
+  EXPECT_GT(p50, 10.0);
+  EXPECT_LE(p50, 100.0);
+  EXPECT_GT(samples.at("service_verify_ms_quantile{q=\"0.99\"}"), p50 - 1e-9);
+}
+
+TEST(ObsPrometheusTest, ValidatorRejectsMalformedExposition) {
+  std::string error;
+  // Unknown TYPE.
+  EXPECT_FALSE(obs::validate_prometheus(
+      "# TYPE x rainbow\nx 1\n", &error));
+  // Bad metric name.
+  EXPECT_FALSE(obs::validate_prometheus("9x 1\n", &error));
+  // Bad value.
+  EXPECT_FALSE(obs::validate_prometheus("x one\n", &error));
+  // Unterminated label block.
+  EXPECT_FALSE(obs::validate_prometheus("x{a=\"b\" 1\n", &error));
+  // No samples at all.
+  EXPECT_FALSE(obs::validate_prometheus("# just a comment\n", &error));
+  // And a well-formed document for contrast.
+  EXPECT_TRUE(obs::validate_prometheus(
+      "# TYPE x counter\nx_total{a=\"b\\\"c\"} 1 1754700000000\n", &error))
+      << error;
+}
+
+TEST(ObsPrometheusTest, RemoveSeriesRetiresEvictedTenantMetrics) {
+  obs::Registry reg;
+  reg.gauge("service.tenant.pending{tenant=\"a\"}").set(4);
+  reg.gauge("service.tenant.pending{tenant=\"b\"}").set(2);
+  reg.counter("service.requests").inc();
+
+  EXPECT_TRUE(reg.remove_series("service.tenant.pending{tenant=\"a\"}"));
+  EXPECT_FALSE(reg.remove_series("service.tenant.pending{tenant=\"a\"}"));
+  EXPECT_FALSE(reg.remove_series("service.never_existed"));
+
+  const std::string text = reg.to_prometheus();
+  EXPECT_EQ(text.find("tenant=\"a\""), std::string::npos);
+  EXPECT_NE(text.find("tenant=\"b\""), std::string::npos);
+  // The JSON dump drops the series too (eviction must not leave stale rows).
+  EXPECT_EQ(reg.to_json_document("x").find("tenant=\\\"a\\\""),
+            std::string::npos);
+  // Re-creating the series after eviction starts fresh.
+  EXPECT_EQ(reg.gauge("service.tenant.pending{tenant=\"a\"}").value(), 0.0);
 }
 
 }  // namespace

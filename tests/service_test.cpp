@@ -34,7 +34,13 @@
 
 #include <chrono>
 #include <cstdint>
+#include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
 #include <stdexcept>
 #include <string>
 #include <thread>
@@ -46,6 +52,9 @@
 #include "fuzz/edits.hpp"
 #include "fuzz/generator.hpp"
 #include "net/prefix.hpp"
+#include "obs/metrics.hpp"
+#include "obs/prometheus.hpp"
+#include "obs/trace.hpp"
 #include "obs/trace_check.hpp"
 #include "service/client.hpp"
 #include "service/protocol.hpp"
@@ -735,6 +744,301 @@ TEST(ServiceMetrics, WireDumpParsesAndCountsActivity) {
   const obs::JsonValue* count = qw->find("count");
   ASSERT_NE(count, nullptr);
   EXPECT_GE(count->num, 2.0);
+  server.stop();
+}
+
+// --- observability: HTTP sidecar, correlation, flight recorder ---------------
+
+// Minimal HTTP/1.0 GET against the diagnostics sidecar.  Returns the status
+// code and fills `body` with everything after the header block.
+int http_get(std::uint16_t port, const std::string& path, std::string* body) {
+  const int fd = raw_connect(port);
+  const std::string req = "GET " + path + " HTTP/1.0\r\n\r\n";
+  send_bytes(fd, req.data(), req.size());
+  std::string response;
+  char buf[4096];
+  ssize_t n;
+  while ((n = ::recv(fd, buf, sizeof(buf), 0)) > 0) {
+    response.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  const std::size_t header_end = response.find("\r\n\r\n");
+  if (body != nullptr) {
+    *body = header_end == std::string::npos
+                ? std::string()
+                : response.substr(header_end + 4);
+  }
+  int status = 0;
+  (void)std::sscanf(response.c_str(), "HTTP/1.%*c %d", &status);
+  return status;
+}
+
+TEST(ServiceHttp, MetricsEndpointAgreesWithWireMetricsDump) {
+  ServerOptions so;
+  so.http_port = 0;  // ephemeral sidecar
+  Server server(so);
+  const std::uint16_t port = server.start();
+  ASSERT_NE(server.http_port(), 0);
+
+  const TenantChain chain = make_chain(0x4771a5, 1);
+  Client client;
+  client.connect("127.0.0.1", port);
+  ASSERT_TRUE(
+      client.update("t-http", chain.base_text, chain.blackhole_strings, 1).ok);
+  ASSERT_TRUE(client
+                  .update("t-http", chain.edit_texts[0],
+                          chain.blackhole_strings, 2)
+                  .ok);
+
+  // Fetch the JSON dump FIRST: the {"op":"metrics"} frame itself counts as
+  // a service.request, so the exposition scraped afterwards (no further
+  // frames in between) sees the identical registry state.
+  std::string error;
+  obs::JsonValue doc;
+  ASSERT_TRUE(obs::parse_json(client.metrics(), doc, error)) << error;
+
+  std::string body;
+  ASSERT_EQ(http_get(server.http_port(), "/metrics", &body), 200);
+  std::map<std::string, double> samples;
+  ASSERT_TRUE(obs::validate_prometheus(body, &error, &samples))
+      << error << "\n" << body;
+
+  // The exposition and the {"op":"metrics"} JSON must be views of the same
+  // registry: every unlabeled service.* counter agrees.
+  const obs::JsonValue* counters = doc.find("counters");
+  ASSERT_NE(counters, nullptr);
+  std::size_t compared = 0;
+  for (const auto& [name, value] : counters->members) {
+    if (name.rfind("service.", 0) != 0 ||
+        name.find('{') != std::string::npos) {
+      continue;
+    }
+    const std::string prom = obs::prometheus_name(name) + "_total";
+    ASSERT_TRUE(samples.count(prom)) << prom << "\n" << body;
+    EXPECT_EQ(samples.at(prom), value.num) << name;
+    ++compared;
+  }
+  EXPECT_GE(compared, 3u);  // requests, verifies, ... actually flowed
+  // Per-tenant series carry the tenant label.
+  EXPECT_TRUE(
+      samples.count("service_tenant_pending{tenant=\"t-http\"}"))
+      << body;
+  // The queue-wait histogram exposes interpolated quantiles.
+  EXPECT_TRUE(samples.count("service_queue_wait_quantile{q=\"0.95\"}"))
+      << body;
+
+  // Unknown paths 404; query strings are stripped before dispatch.
+  EXPECT_EQ(http_get(server.http_port(), "/nope", nullptr), 404);
+  EXPECT_EQ(http_get(server.http_port(), "/healthz?verbose=1", nullptr), 200);
+  server.stop();
+}
+
+TEST(ServiceHttp, HealthzFlipsToUnavailableOnStop) {
+  ServerOptions so;
+  so.http_port = 0;
+  Server server(so);
+  server.start();
+  const std::uint16_t http_port = server.http_port();
+  ASSERT_NE(http_port, 0);
+
+  std::string body;
+  ASSERT_EQ(http_get(http_port, "/healthz", &body), 200);
+  obs::JsonValue doc;
+  std::string error;
+  ASSERT_TRUE(obs::parse_json(body, doc, error)) << error << body;
+  EXPECT_EQ(doc.find("status")->str, "ok");
+  EXPECT_GE(doc.find("workers_live")->num, 1.0);
+
+  // The sidecar outlives stop() so orchestrators observe the drain instead
+  // of a vanished endpoint.
+  server.stop();
+  ASSERT_EQ(http_get(http_port, "/healthz", &body), 503);
+  ASSERT_TRUE(obs::parse_json(body, doc, error)) << error << body;
+  EXPECT_EQ(doc.find("status")->str, "unavailable");
+}
+
+TEST(ServiceObs, ProfiledUpdateBreakdownMatchesChromeTraceSpans) {
+  const std::string trace_path =
+      std::string(::testing::TempDir()) + "service_profile_trace.json";
+  std::remove(trace_path.c_str());
+  obs::Tracer::instance().start(trace_path);
+
+  ServerOptions so;
+  so.workers = 1;
+  Server server(so);
+  const std::uint16_t port = server.start();
+  const TenantChain chain = make_chain(0xc0a1a7e, 0);
+
+  Client client;
+  client.connect("127.0.0.1", port);
+  UpdateOptions uo;
+  uo.trace_id = "corr-1";
+  uo.profile = true;
+  const auto r =
+      client.update("t-prof", chain.base_text, chain.blackhole_strings, 7, uo);
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.trace_id, "corr-1");  // done frame echoes the correlation token
+  ASSERT_FALSE(r.profile.empty());
+  bool saw_pipeline_stage = false;
+  for (const auto& st : r.profile) {
+    EXPECT_NE(st.span_id, 0u) << st.name;
+    EXPECT_GE(st.ms, 0.0) << st.name;
+    if (st.name.rfind("stage.", 0) == 0) saw_pipeline_stage = true;
+  }
+  EXPECT_TRUE(saw_pipeline_stage);
+
+  server.stop();
+  obs::Tracer::instance().stop();
+
+  // Every span id the done frame reported must name a Chrome-trace span
+  // tagged with this request's trace id: the breakdown and the trace are two
+  // views of the same spans.
+  std::ifstream in(trace_path);
+  ASSERT_TRUE(in.good());
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  obs::JsonValue root;
+  std::string error;
+  ASSERT_TRUE(obs::parse_json(buf.str(), root, error)) << error;
+  std::set<std::uint64_t> tagged;
+  for (const auto& ev : root.find("traceEvents")->items) {
+    const obs::JsonValue* args = ev.find("args");
+    if (args == nullptr) continue;
+    const obs::JsonValue* trace = args->find("trace");
+    if (trace == nullptr || trace->str != "corr-1") continue;
+    EXPECT_EQ(args->find("tenant")->str, "t-prof");
+    EXPECT_EQ(args->find("request_id")->num, 7);
+    const obs::JsonValue* span = args->find("span_id");
+    ASSERT_NE(span, nullptr);
+    tagged.insert(static_cast<std::uint64_t>(span->num));
+  }
+  for (const auto& st : r.profile) {
+    EXPECT_TRUE(tagged.count(st.span_id))
+        << st.name << " span_id " << st.span_id;
+  }
+
+  // The standalone checker agrees (exercised from check.sh, which knows
+  // where the build put expresso_trace_check).
+  if (const char* bin = std::getenv("EXPRESSO_TRACE_CHECK_BIN")) {
+    std::string cmd = std::string(bin) + " " + trace_path +
+                      " --trace-id corr-1 --expect-spans ";
+    for (std::size_t i = 0; i < r.profile.size(); ++i) {
+      if (i > 0) cmd += ',';
+      cmd += std::to_string(r.profile[i].span_id);
+    }
+    EXPECT_EQ(std::system(cmd.c_str()), 0) << cmd;
+  }
+  std::remove(trace_path.c_str());
+}
+
+TEST(ServiceObs, ProfilingDoesNotPerturbVerdictBytes) {
+  const TenantChain chain = make_chain(0x5a3e5eed, 2);
+  // Same tenant name, same ids, two fresh servers: one replay profiled, one
+  // plain.  The verdict streams must be byte-identical — profiling is a
+  // read-only observer of the pipeline.
+  auto replay = [&](bool profile) {
+    Server server;
+    const std::uint16_t port = server.start();
+    Client client;
+    client.connect("127.0.0.1", port);
+    UpdateOptions uo;
+    uo.profile = profile;
+    if (profile) uo.trace_id = "bitcheck";
+    std::vector<std::string> frames;
+    std::uint64_t id = 1;
+    auto push = [&](const std::string& text) {
+      const auto r =
+          client.update("t-bits", text, chain.blackhole_strings, id++, uo);
+      ASSERT_TRUE(r.ok) << r.error;
+      EXPECT_EQ(r.profile.empty(), !profile);
+      frames.insert(frames.end(), r.verdict_payloads.begin(),
+                    r.verdict_payloads.end());
+    };
+    push(chain.base_text);
+    for (const auto& text : chain.edit_texts) push(text);
+    server.stop();
+    return frames;
+  };
+  const auto plain = replay(false);
+  const auto profiled = replay(true);
+  ASSERT_EQ(plain.size(), profiled.size());
+  for (std::size_t i = 0; i < plain.size(); ++i) {
+    EXPECT_EQ(plain[i], profiled[i]) << "frame " << i;
+  }
+}
+
+TEST(ServiceEviction, EvictionRetiresTenantMetricSeries) {
+  ServerOptions so;
+  so.max_sessions = 2;
+  so.workers = 1;
+  Server server(so);
+  const std::uint16_t port = server.start();
+
+  Client client;
+  client.connect("127.0.0.1", port);
+  for (int t = 0; t < 3; ++t) {
+    const TenantChain chain =
+        make_chain(0x90c5 + static_cast<std::uint64_t>(t), 0);
+    ASSERT_TRUE(client
+                    .update("t-" + std::to_string(t), chain.base_text,
+                            chain.blackhole_strings,
+                            static_cast<std::uint64_t>(t) + 1)
+                    .ok);
+  }
+  ASSERT_GE(server.metrics().counter("service.evictions").value(), 1u);
+
+  // The evicted tenant's per-tenant series must vanish from the exposition
+  // (a dead tenant reported as an eternal flat line is how dashboards lie),
+  // while the resident tenants keep theirs.
+  const std::string text = server.metrics().to_prometheus();
+  EXPECT_EQ(text.find("tenant=\"t-0\""), std::string::npos) << text;
+  EXPECT_NE(text.find("tenant=\"t-2\""), std::string::npos) << text;
+  server.stop();
+}
+
+TEST(ServiceFlight, WireDumpRecordsServiceLifecycle) {
+  Server server;
+  const std::uint16_t port = server.start();
+  const TenantChain chain = make_chain(0xf119e7, 0);
+
+  Client client;
+  client.connect("127.0.0.1", port);
+  ASSERT_TRUE(
+      client.update("t-fl", chain.base_text, chain.blackhole_strings, 9).ok);
+
+  obs::JsonValue doc;
+  std::string error;
+  ASSERT_TRUE(obs::parse_json(client.flight(), doc, error)) << error;
+  EXPECT_EQ(doc.find("kind")->str, "flight");
+  EXPECT_GE(doc.find("recorded")->num, 4.0);
+  bool saw_start = false, saw_admit = false, saw_verify_end = false;
+  std::uint64_t admit_request = 0;
+  for (const auto& ev : doc.find("events")->items) {
+    const std::string& name = ev.find("event")->str;
+    if (name == "server_start") saw_start = true;
+    if (name == "admit" && str_field(ev, "tenant") == "t-fl") {
+      saw_admit = true;
+      admit_request = static_cast<std::uint64_t>(ev.find("request_id")->num);
+    }
+    if (name == "verify_end") saw_verify_end = true;
+  }
+  EXPECT_TRUE(saw_start);
+  EXPECT_TRUE(saw_admit);
+  EXPECT_TRUE(saw_verify_end);
+  EXPECT_EQ(admit_request, 9u);
+
+  // Protocol damage lands in the ring too (from a throwaway connection).
+  const int fd = raw_connect(port);
+  send_bytes(fd, "\x00\x00\x00\x02{]", 6);
+  obs::JsonValue err_frame = recv_json(fd);
+  EXPECT_EQ(str_field(err_frame, "kind"), "error");
+  ::close(fd);
+  ASSERT_TRUE(obs::parse_json(client.flight(), doc, error)) << error;
+  bool saw_protocol_error = false;
+  for (const auto& ev : doc.find("events")->items) {
+    if (ev.find("event")->str == "protocol_error") saw_protocol_error = true;
+  }
+  EXPECT_TRUE(saw_protocol_error);
   server.stop();
 }
 

@@ -3,14 +3,26 @@
 //   expressod [--port N] [--workers N] [--max-sessions N]
 //             [--session-threads N] [--watermark-nodes N]
 //             [--session-node-budget N] [--coalesce-ms N]
+//             [--http-port N] [--slow-request-ms N]
 //             [--verify-warm] [--listen-any]
 //
 // Environment (flags win):
 //   EXPRESSO_SERVICE_PORT          listen port (default 7447)
 //   EXPRESSO_SERVICE_MAX_SESSIONS  resident-session ceiling (default 64)
+//   EXPRESSO_HTTP_PORT             diagnostics sidecar port serving
+//                                  GET /metrics + /healthz (unset = off,
+//                                  0 = ephemeral)
+//   EXPRESSO_SLOW_REQUEST_MS       log requests slower than this with their
+//                                  per-stage breakdown (unset/0 = off)
+//   EXPRESSO_LOG / EXPRESSO_LOG_LEVEL / EXPRESSO_LOG_RATE
+//                                  structured JSON-lines logging (obs/log.hpp)
 //
 // Runs until SIGINT/SIGTERM, then shuts down gracefully (drains the
 // admission queue, joins every worker and reader, destroys all sessions).
+// On a fatal signal (SIGSEGV/SIGABRT/SIGBUS) the flight recorder — the ring
+// of recent admit/coalesce/verify/evict events — is dumped to stderr before
+// the default handler re-raises, so a crashed daemon leaves a postmortem
+// even with logging and tracing off.
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
@@ -18,6 +30,7 @@
 #include <ctime>
 #include <string>
 
+#include "obs/log.hpp"
 #include "service/server.hpp"
 #include "support/util.hpp"
 
@@ -25,6 +38,18 @@ namespace {
 
 volatile std::sig_atomic_t g_stop = 0;
 void handle_signal(int) { g_stop = 1; }
+
+// Installed only after the server exists; cleared before it dies.
+expresso::obs::FlightRecorder* g_flight = nullptr;
+
+void handle_fatal(int sig) {
+  // Best-effort: the recorder's dump path is fixed-buffer snprintf + write,
+  // no locks, no allocation.  Then fall through to the default disposition
+  // so the exit status still reflects the crash.
+  if (g_flight != nullptr) g_flight->dump_to_stderr();
+  std::signal(sig, SIG_DFL);
+  std::raise(sig);
+}
 
 std::uint64_t parse_arg(const char* flag, const char* value,
                         std::uint64_t max) {
@@ -46,6 +71,14 @@ int main(int argc, char** argv) {
       env_uint("EXPRESSO_SERVICE_PORT", 7447, 65535));
   opt.max_sessions = static_cast<std::size_t>(
       env_uint("EXPRESSO_SERVICE_MAX_SESSIONS", 64, 1u << 20));
+  // EXPRESSO_HTTP_PORT is presence-sensitive (0 means "ephemeral", unset
+  // means "off"), so env_uint's default cannot express it.
+  if (const char* p = std::getenv("EXPRESSO_HTTP_PORT"); p != nullptr && *p) {
+    opt.http_port =
+        static_cast<int>(parse_arg("EXPRESSO_HTTP_PORT", p, 65535));
+  }
+  opt.slow_request_ms = static_cast<int>(
+      env_uint("EXPRESSO_SLOW_REQUEST_MS", 0, 24u * 3600u * 1000u));
 
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
@@ -77,6 +110,13 @@ int main(int argc, char** argv) {
     } else if (a == "--coalesce-ms") {
       opt.coalesce_ms = static_cast<int>(
           parse_arg("--coalesce-ms", next("--coalesce-ms"), 60000));
+    } else if (a == "--http-port") {
+      opt.http_port = static_cast<int>(
+          parse_arg("--http-port", next("--http-port"), 65535));
+    } else if (a == "--slow-request-ms") {
+      opt.slow_request_ms = static_cast<int>(parse_arg(
+          "--slow-request-ms", next("--slow-request-ms"),
+          24u * 3600u * 1000u));
     } else if (a == "--verify-warm") {
       opt.verify_warm = true;
     } else if (a == "--listen-any") {
@@ -86,6 +126,7 @@ int main(int argc, char** argv) {
           "usage: expressod [--port N] [--workers N] [--max-sessions N]\n"
           "                 [--session-threads N] [--watermark-nodes N]\n"
           "                 [--session-node-budget N] [--coalesce-ms N]\n"
+          "                 [--http-port N] [--slow-request-ms N]\n"
           "                 [--verify-warm] [--listen-any]\n");
       return 0;
     } else {
@@ -106,15 +147,28 @@ int main(int argc, char** argv) {
   std::printf("expressod: listening on %s:%u (%d workers, %zu session slots)\n",
               opt.bind_any ? "0.0.0.0" : "127.0.0.1", port, opt.workers,
               opt.max_sessions);
+  if (server.http_port() != 0) {
+    std::printf("expressod: http diagnostics on %s:%u (/metrics, /healthz)\n",
+                opt.bind_any ? "0.0.0.0" : "127.0.0.1", server.http_port());
+  }
   std::fflush(stdout);
 
+  g_flight = &server.flight();
   std::signal(SIGINT, handle_signal);
   std::signal(SIGTERM, handle_signal);
+  std::signal(SIGSEGV, handle_fatal);
+  std::signal(SIGABRT, handle_fatal);
+  std::signal(SIGBUS, handle_fatal);
   while (g_stop == 0) {
     struct timespec ts = {0, 100 * 1000 * 1000};
     nanosleep(&ts, nullptr);
   }
   std::printf("expressod: shutting down\n");
+  std::fflush(stdout);
   server.stop();
+  g_flight = nullptr;
+  std::signal(SIGSEGV, SIG_DFL);
+  std::signal(SIGABRT, SIG_DFL);
+  std::signal(SIGBUS, SIG_DFL);
   return 0;
 }

@@ -8,7 +8,7 @@
 // command exercises the full stack; --connect drives an external expressod.
 //
 //   expressod_load [--tenants N] [--edits N] [--seed S] [--workers N]
-//                  [--coalesce-ms N] [--connect HOST PORT]
+//                  [--coalesce-ms N] [--connect HOST PORT] [--json PATH]
 //
 // Exit code is non-zero when any request failed (protocol error, error
 // frame, or non-converged verify).  With EXPRESSO_BENCH_JSON=1 one summary
@@ -18,6 +18,11 @@
 //   JSON {"bench":"expressod_load","tenants":4,"edits_per_tenant":50,
 //         "requests":204,"errors":0,"p50_ms":...,"p95_ms":...,"p99_ms":...,
 //         "warm_runs":...,"coalesced":...,"evictions":...,"wall_s":...}
+//
+// --json PATH additionally appends the same rows directly to PATH (one JSON
+// object per line, no prefix, regardless of EXPRESSO_BENCH_JSON), and a
+// second pass replays tenant 0's chain with "profile":true so the cost of
+// profile-enabled requests lands next to the plain rows ("profile":1).
 #include <algorithm>
 #include <atomic>
 #include <cstdio>
@@ -48,6 +53,7 @@ struct LoadOptions {
   int coalesce_ms = 0;
   std::string connect_host;  // empty = embed a server
   std::uint16_t connect_port = 0;
+  std::string json_path;  // --json: append summary rows here
 };
 
 struct TenantOutcome {
@@ -57,7 +63,8 @@ struct TenantOutcome {
 };
 
 void run_tenant(const LoadOptions& opt, const std::string& host,
-                std::uint16_t port, int index, TenantOutcome& out) {
+                std::uint16_t port, int index, TenantOutcome& out,
+                bool profile = false) {
   const std::uint64_t seed =
       opt.seed + static_cast<std::uint64_t>(index) * 1000003u;
   const auto sc = expresso::fuzz::generate_scenario(seed);
@@ -72,7 +79,10 @@ void run_tenant(const LoadOptions& opt, const std::string& host,
   }
   std::vector<std::string> blackhole;
   for (const auto& p : sc.pool) blackhole.push_back(p.to_string());
-  const std::string tenant = "tenant-" + std::to_string(index);
+  // The profile pass gets its own tenant so it replays the full cold+edit
+  // chain instead of warm-starting off the plain pass's session.
+  const std::string tenant = (profile ? "profile-tenant-" : "tenant-") +
+                             std::to_string(index);
 
   expresso::service::Client client;
   try {
@@ -90,11 +100,23 @@ void run_tenant(const LoadOptions& opt, const std::string& host,
                                             ? expresso::ir::Dialect::kHuawei
                                             : expresso::ir::Dialect::kRpsl;
   auto push = [&](const std::vector<expresso::ir::RouterConfig>& cfgs) {
+    expresso::service::UpdateOptions uo;
+    if (profile) {
+      uo.profile = true;
+      uo.trace_id = tenant + "-" + std::to_string(request_id);
+    }
     expresso::Stopwatch sw;
     try {
       const auto result = client.update(
-          tenant, expresso::ir::emit(cfgs, dialect), blackhole, request_id++);
+          tenant, expresso::ir::emit(cfgs, dialect), blackhole, request_id++,
+          uo);
       out.latencies_ms.push_back(sw.millis());
+      if (profile && result.ok && result.profile.empty()) {
+        std::fprintf(stderr,
+                     "tenant %d: profile requested but breakdown missing\n",
+                     index);
+        out.errors += 1;
+      }
       if (!result.ok) {
         std::fprintf(stderr, "tenant %d: error response: %s\n", index,
                      result.error.c_str());
@@ -122,6 +144,37 @@ double percentile(std::vector<double>& sorted, double p) {
   const std::size_t idx = static_cast<std::size_t>(
       p / 100.0 * static_cast<double>(sorted.size() - 1) + 0.5);
   return sorted[std::min(idx, sorted.size() - 1)];
+}
+
+// Latency digest of one load pass (plain or profile-enabled).
+struct PassStats {
+  std::size_t requests = 0;
+  int errors = 0;
+  int warm_runs = 0;
+  double wall_s = 0;
+  double p50 = 0, p95 = 0, p99 = 0, mean = 0, pmax = 0;
+};
+
+PassStats summarize(const std::vector<TenantOutcome>& outcomes,
+                    double wall_s) {
+  PassStats s;
+  s.wall_s = wall_s;
+  std::vector<double> latencies;
+  for (const auto& o : outcomes) {
+    latencies.insert(latencies.end(), o.latencies_ms.begin(),
+                     o.latencies_ms.end());
+    s.errors += o.errors;
+    s.warm_runs += o.warm_runs;
+  }
+  std::sort(latencies.begin(), latencies.end());
+  s.requests = latencies.size();
+  for (double v : latencies) s.mean += v;
+  if (!latencies.empty()) s.mean /= static_cast<double>(latencies.size());
+  s.p50 = percentile(latencies, 50);
+  s.p95 = percentile(latencies, 95);
+  s.p99 = percentile(latencies, 99);
+  s.pmax = latencies.empty() ? 0 : latencies.back();
+  return s;
 }
 
 // Pulls one counter out of a metrics document ({"op":"metrics"} response).
@@ -159,11 +212,13 @@ int main(int argc, char** argv) {
     } else if (a == "--connect") {
       opt.connect_host = next();
       opt.connect_port = static_cast<std::uint16_t>(std::atoi(next()));
+    } else if (a == "--json") {
+      opt.json_path = next();
     } else if (a == "--help" || a == "-h") {
       std::printf(
           "usage: expressod_load [--tenants N] [--edits N] [--seed S]\n"
           "                      [--workers N] [--coalesce-ms N]\n"
-          "                      [--connect HOST PORT]\n");
+          "                      [--connect HOST PORT] [--json PATH]\n");
       return 0;
     } else {
       std::fprintf(stderr, "expressod_load: unknown flag '%s'\n", a.c_str());
@@ -197,25 +252,17 @@ int main(int argc, char** argv) {
     });
   }
   for (auto& th : threads) th.join();
-  const double wall_s = wall.seconds();
+  const PassStats plain = summarize(outcomes, wall.seconds());
 
-  std::vector<double> latencies;
-  int errors = 0;
-  int warm_runs = 0;
-  for (const auto& o : outcomes) {
-    latencies.insert(latencies.end(), o.latencies_ms.begin(),
-                     o.latencies_ms.end());
-    errors += o.errors;
-    warm_runs += o.warm_runs;
-  }
-  std::sort(latencies.begin(), latencies.end());
-  double mean = 0;
-  for (double v : latencies) mean += v;
-  if (!latencies.empty()) mean /= static_cast<double>(latencies.size());
-  const double p50 = percentile(latencies, 50);
-  const double p95 = percentile(latencies, 95);
-  const double p99 = percentile(latencies, 99);
-  const double pmax = latencies.empty() ? 0 : latencies.back();
+  // Second pass: tenant 0's chain again, single-threaded, with
+  // "profile":true on every request, so BENCH_expresso.json carries the
+  // profile-enabled latency distribution next to the plain one.
+  expresso::Stopwatch profile_wall;
+  std::vector<TenantOutcome> profile_outcomes(1);
+  run_tenant(opt, host, port, /*index=*/0, profile_outcomes[0],
+             /*profile=*/true);
+  const PassStats profiled = summarize(profile_outcomes,
+                                       profile_wall.seconds());
 
   // Service-side tallies, fetched over the wire like any client would.
   double coalesced = 0, evictions = 0, protocol_errors = 0;
@@ -238,26 +285,54 @@ int main(int argc, char** argv) {
       "expressod_load: %zu requests, %d errors, %d warm | latency ms "
       "p50=%.2f p95=%.2f p99=%.2f mean=%.2f max=%.2f | wall %.2fs | "
       "coalesced=%.0f evictions=%.0f protocol_errors=%.0f\n",
-      latencies.size(), errors, warm_runs, p50, p95, p99, mean, pmax, wall_s,
-      coalesced, evictions, protocol_errors);
+      plain.requests, plain.errors, plain.warm_runs, plain.p50, plain.p95,
+      plain.p99, plain.mean, plain.pmax, plain.wall_s, coalesced, evictions,
+      protocol_errors);
+  std::printf(
+      "expressod_load: profile pass %zu requests, %d errors | latency ms "
+      "p50=%.2f p95=%.2f p99=%.2f mean=%.2f max=%.2f | wall %.2fs\n",
+      profiled.requests, profiled.errors, profiled.p50, profiled.p95,
+      profiled.p99, profiled.mean, profiled.pmax, profiled.wall_s);
 
-  benchutil::JsonRow("expressod_load")
-      .num("tenants", static_cast<std::size_t>(opt.tenants))
-      .num("edits_per_tenant", static_cast<std::size_t>(opt.edits))
-      .num("requests", latencies.size())
-      .num("errors", static_cast<std::size_t>(errors))
-      .num("warm_runs", static_cast<std::size_t>(warm_runs))
-      .num("p50_ms", p50)
-      .num("p95_ms", p95)
-      .num("p99_ms", p99)
-      .num("mean_ms", mean)
-      .num("max_ms", pmax)
-      .num("wall_s", wall_s)
-      .num("coalesced", coalesced)
-      .num("evictions", evictions)
-      .num("protocol_errors", protocol_errors)
-      .emit();
+  auto build_row = [&](const PassStats& s, bool profile, int tenants) {
+    benchutil::JsonRow row("expressod_load");
+    row.boolean("profile", profile)
+        .num("tenants", static_cast<std::size_t>(tenants))
+        .num("edits_per_tenant", static_cast<std::size_t>(opt.edits))
+        .num("requests", s.requests)
+        .num("errors", static_cast<std::size_t>(s.errors))
+        .num("warm_runs", static_cast<std::size_t>(s.warm_runs))
+        .num("p50_ms", s.p50)
+        .num("p95_ms", s.p95)
+        .num("p99_ms", s.p99)
+        .num("mean_ms", s.mean)
+        .num("max_ms", s.pmax)
+        .num("wall_s", s.wall_s);
+    if (!profile) {
+      row.num("coalesced", coalesced)
+          .num("evictions", evictions)
+          .num("protocol_errors", protocol_errors);
+    }
+    return row;
+  };
+  const benchutil::JsonRow plain_row = build_row(plain, false, opt.tenants);
+  const benchutil::JsonRow profile_row = build_row(profiled, true, 1);
+  plain_row.emit();
+  profile_row.emit();
+  if (!opt.json_path.empty()) {
+    std::FILE* f = std::fopen(opt.json_path.c_str(), "a");
+    if (f == nullptr) {
+      std::fprintf(stderr, "expressod_load: cannot open %s for append\n",
+                   opt.json_path.c_str());
+      if (embedded) embedded->stop();
+      return 1;
+    }
+    std::fprintf(f, "%s\n%s\n", plain_row.json().c_str(),
+                 profile_row.json().c_str());
+    std::fclose(f);
+  }
 
   if (embedded) embedded->stop();
+  const int errors = plain.errors + profiled.errors;
   return (errors == 0 && protocol_errors == 0) ? 0 : 1;
 }

@@ -3,6 +3,8 @@
 // step and handy when hacking on the tracer itself.
 //
 //   expresso_trace_check out.json [--require-stages] [--min-events N]
+//                        [--trace-id ID [--expect-spans N,N,...]]
+//   expresso_trace_check --prometheus metrics.txt
 //
 // Checks: strict JSON parse, trace_event structure (name/ph/pid/tid/ts on
 // every event, dur on "X"), and per-thread span nesting.  With
@@ -10,18 +12,69 @@
 // pipeline stages plus at least one EPVP round span and one BDD counter
 // sample (the ISSUE 4 acceptance shape).
 //
-// Exit codes: 0 = valid, 1 = invalid trace, 2 = usage/IO error.
+// --trace-id ID requires at least one span whose args carry trace=ID, and
+// --expect-spans (comma-separated span_id list, e.g. from a done frame's
+// "profile" breakdown) requires every listed id to appear on a span tagged
+// with that trace id — the cross-check that the service's per-request
+// profile rows and the Chrome trace describe the same spans.
+//
+// --prometheus switches to a different job entirely: FILE is a Prometheus
+// text-exposition document (GET /metrics), validated with the same parser
+// the obs tests use.  check.sh's endpoint smoke step runs this.
+//
+// Exit codes: 0 = valid, 1 = invalid trace/exposition, 2 = usage/IO error.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <map>
 #include <set>
 #include <sstream>
 #include <string>
+#include <vector>
 
+#include "obs/prometheus.hpp"
 #include "obs/trace_check.hpp"
+
+namespace {
+
+constexpr const char* kUsage =
+    "usage: expresso_trace_check FILE [--require-stages] [--min-events N]\n"
+    "                            [--trace-id ID [--expect-spans N,N,...]]\n"
+    "       expresso_trace_check --prometheus FILE\n";
+
+bool read_file(const std::string& path, std::string& out) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  out = buf.str();
+  return true;
+}
+
+int check_prometheus(const std::string& path) {
+  std::string text;
+  if (!read_file(path, text)) {
+    std::fprintf(stderr, "cannot read %s\n", path.c_str());
+    return 2;
+  }
+  std::string error;
+  std::map<std::string, double> samples;
+  if (!expresso::obs::validate_prometheus(text, &error, &samples)) {
+    std::fprintf(stderr, "%s: invalid exposition: %s\n", path.c_str(),
+                 error.c_str());
+    return 1;
+  }
+  std::printf("%s: OK (%zu samples)\n", path.c_str(), samples.size());
+  return 0;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   std::string path;
+  std::string prometheus_path;
+  std::string trace_id;
+  std::vector<std::uint64_t> expect_spans;
   bool require_stages = false;
   std::size_t min_events = 1;
   for (int i = 1; i < argc; ++i) {
@@ -29,19 +82,40 @@ int main(int argc, char** argv) {
       require_stages = true;
     } else if (std::strcmp(argv[i], "--min-events") == 0 && i + 1 < argc) {
       min_events = static_cast<std::size_t>(std::stoul(argv[++i]));
+    } else if (std::strcmp(argv[i], "--prometheus") == 0 && i + 1 < argc) {
+      prometheus_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--trace-id") == 0 && i + 1 < argc) {
+      trace_id = argv[++i];
+    } else if (std::strcmp(argv[i], "--expect-spans") == 0 && i + 1 < argc) {
+      const std::string list = argv[++i];
+      std::size_t pos = 0;
+      while (pos < list.size()) {
+        std::size_t used = 0;
+        unsigned long long id = 0;
+        try {
+          id = std::stoull(list.substr(pos), &used);
+        } catch (const std::exception&) {
+          std::fprintf(stderr, "bad --expect-spans list '%s'\n", list.c_str());
+          return 2;
+        }
+        expect_spans.push_back(id);
+        pos += used;
+        if (pos < list.size() && list[pos] == ',') ++pos;
+      }
     } else if (path.empty()) {
       path = argv[i];
     } else {
-      std::fprintf(stderr,
-                   "usage: expresso_trace_check FILE [--require-stages] "
-                   "[--min-events N]\n");
+      std::fputs(kUsage, stderr);
       return 2;
     }
   }
+  if (!prometheus_path.empty()) return check_prometheus(prometheus_path);
+  if (!expect_spans.empty() && trace_id.empty()) {
+    std::fprintf(stderr, "--expect-spans needs --trace-id\n");
+    return 2;
+  }
   if (path.empty()) {
-    std::fprintf(stderr,
-                 "usage: expresso_trace_check FILE [--require-stages] "
-                 "[--min-events N]\n");
+    std::fputs(kUsage, stderr);
     return 2;
   }
 
@@ -92,6 +166,39 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "%s: no substrate counter samples\n", path.c_str());
       return 1;
     }
+  }
+
+  if (!trace_id.empty()) {
+    // Every span the tracer tagged with this request's trace id, by span_id.
+    std::set<std::uint64_t> tagged;
+    for (const auto& ev : root.find("traceEvents")->items) {
+      const auto* args = ev.find("args");
+      if (args == nullptr) continue;
+      const auto* trace = args->find("trace");
+      if (trace == nullptr || trace->str != trace_id) continue;
+      const auto* span = args->find("span_id");
+      if (span != nullptr) {
+        tagged.insert(static_cast<std::uint64_t>(span->num));
+      }
+    }
+    if (tagged.empty()) {
+      std::fprintf(stderr, "%s: no spans tagged trace=%s\n", path.c_str(),
+                   trace_id.c_str());
+      return 1;
+    }
+    for (std::uint64_t id : expect_spans) {
+      if (tagged.count(id) == 0) {
+        std::fprintf(stderr,
+                     "%s: span_id %llu not found among the %zu spans tagged "
+                     "trace=%s\n",
+                     path.c_str(), static_cast<unsigned long long>(id),
+                     tagged.size(), trace_id.c_str());
+        return 1;
+      }
+    }
+    std::printf("%s: trace=%s tags %zu spans (%zu expected ids present)\n",
+                path.c_str(), trace_id.c_str(), tagged.size(),
+                expect_spans.size());
   }
 
   std::printf(
