@@ -76,6 +76,23 @@ if [ "${SKIP_SERVICE_LOAD:-0}" != 1 ] && [ -x "$BUILD_DIR/tools/expressod_load" 
     sed "s/^{/{\"binary\":\"$name\",/" >> "$rows"
 fi
 
+# The repair demo rides along too: the planted-bug campaign, one row of
+# localization accuracy plus warm-vs-cold screening time (DESIGN.md §14).
+# SKIP_REPAIR_DEMO=1 opts out; REPAIR_DEMO_ARGS overrides the shape.
+if [ "${SKIP_REPAIR_DEMO:-0}" != 1 ] && [ -x "$BUILD_DIR/tools/expresso_repair" ] && [ "$#" -eq 0 ]; then
+  name=expresso_repair
+  echo "bench_collect.sh: running $name" >&2
+  # shellcheck disable=SC2086
+  EXPRESSO_BENCH_JSON=1 "$BUILD_DIR/tools/$name" \
+    --demo ${REPAIR_DEMO_ARGS:---scenarios 50} \
+    > "$tmpdir/$name.out" 2>&2 || {
+      echo "bench_collect.sh: $name failed" >&2
+      exit 1
+    }
+  sed -n 's/^JSON //p' "$tmpdir/$name.out" |
+    sed "s/^{/{\"binary\":\"$name\",/" >> "$rows"
+fi
+
 if [ ! -s "$rows" ]; then
   echo "bench_collect.sh: no JSON rows collected" >&2
   exit 1

@@ -71,11 +71,19 @@ SERVICE_PORT=$(sed -n 's/.*listening on [0-9.]*:\([0-9]*\).*/\1/p' "$DAEMON_LOG"
 [ -n "$HTTP_PORT" ] || { echo "check.sh: expressod never announced its http port" >&2; cat "$DAEMON_LOG" >&2; exit 1; }
 "$BUILD_DIR/tools/expressod_load" --tenants 1 --edits 2 \
   --connect 127.0.0.1 "$SERVICE_PORT" > /dev/null
+# {"op":"repair"} against the same live daemon: the Figure 4 route leak must
+# diagnose, repair cleanly and pass the warm-vs-cold cross-check.
+"$BUILD_DIR/tools/expresso_repair" --config tests/data/fig4.huawei \
+  --connect 127.0.0.1 "$SERVICE_PORT" > "$BUILD_DIR/check_repair.out"
+grep -q 'cold cross-check: byte-identical' "$BUILD_DIR/check_repair.out" \
+  || { echo "check.sh: live repair lacks the cold cross-check" >&2; cat "$BUILD_DIR/check_repair.out" >&2; exit 1; }
 curl -fsS "http://127.0.0.1:$HTTP_PORT/healthz" > /dev/null
 curl -fsS "http://127.0.0.1:$HTTP_PORT/metrics" > "$BUILD_DIR/check_metrics.prom"
 "$BUILD_DIR/tools/expresso_trace_check" --prometheus "$BUILD_DIR/check_metrics.prom"
 grep -q '^service_verifies_total [1-9]' "$BUILD_DIR/check_metrics.prom" \
   || { echo "check.sh: /metrics shows no verifies after load" >&2; exit 1; }
+grep -q '^service_repair_requests_total [1-9]' "$BUILD_DIR/check_metrics.prom" \
+  || { echo "check.sh: /metrics shows no repair requests after the smoke" >&2; exit 1; }
 kill -TERM "$DAEMON_PID"
 wait "$DAEMON_PID"
 trap - EXIT
@@ -85,6 +93,30 @@ trap - EXIT
 # canonical verdicts/PECs, cold and warm-after-edit.
 ctest --test-dir "$BUILD_DIR" --output-on-failure -L dialect
 
+# Diagnosis & repair: the >= 50-scenario planted campaign (localizer top-3,
+# clean screening, warm re-verdict byte-identical to a cold verify), the
+# src/gen bug-class round trips, and the checked CLI numeric parsing (also
+# part of tier 1 — this run is for visibility when the repair loop broke).
+ctest --test-dir "$BUILD_DIR" --output-on-failure -L repair
+
+# CLI numeric-parsing regressions at the binary level: a typo'd flag value
+# must name the flag and exit 2 — std::stoull used to throw uncaught and
+# std::atoi silently truncated ports through uint16_t.
+for bad in "expresso_fuzz --seed 12x" \
+           "expresso_fuzz --runs -3" \
+           "expressod_load --connect localhost 70000" \
+           "expressod --port 99999" \
+           "expresso_repair --scenarios nope"; do
+  # shellcheck disable=SC2086
+  if "$BUILD_DIR"/tools/$bad > /dev/null 2> "$BUILD_DIR/check_cli.err"; then
+    echo "check.sh: '$bad' should exit 2" >&2; exit 1
+  elif [ $? -ne 2 ]; then
+    echo "check.sh: '$bad' exited with the wrong status" >&2; exit 1
+  fi
+  grep -q "bad value for" "$BUILD_DIR/check_cli.err" \
+    || { echo "check.sh: '$bad' did not name the offending flag" >&2; exit 1; }
+done
+
 # The ServiceProtocol suite again under AddressSanitizer: truncated frames,
 # oversized length prefixes and mid-request disconnects exercise exactly the
 # buffer-edge and connection-teardown paths where an overread would hide.
@@ -93,6 +125,17 @@ if [ "$PRESET" != asan ] && [ "${SKIP_ASAN_SOAK:-0}" != 1 ]; then
   cmake --preset asan
   cmake --build --preset asan -j "$JOBS" --target expresso_service_tests
   ctest --test-dir build-asan --output-on-failure -R 'service/ServiceProtocol'
+fi
+
+# The repair suite again under AddressSanitizer: screening applies and rolls
+# back IR edits through Session::update in a tight loop — exactly where a
+# use-after-free of a clause or verdict buffer would hide.  A reduced
+# campaign keeps the sanitized pass quick; SKIP_ASAN_SOAK=1 opts out.
+if [ "$PRESET" != asan ] && [ "${SKIP_ASAN_SOAK:-0}" != 1 ]; then
+  cmake --preset asan
+  cmake --build --preset asan -j "$JOBS" --target expresso_repair_tests
+  EXPRESSO_REPAIR_SCENARIOS=12 \
+    ctest --test-dir build-asan --output-on-failure -L repair
 fi
 
 # The GC suite again under AddressSanitizer: sweeps recycle node ids and

@@ -9,6 +9,7 @@
 #include "dataplane/fib.hpp"
 #include "obs/log.hpp"
 #include "obs/trace.hpp"
+#include "repair/repair.hpp"
 #include "support/util.hpp"
 
 namespace expresso {
@@ -754,6 +755,15 @@ std::vector<properties::Violation> Session::check_egress_preference(
 std::string Session::describe(const properties::Violation& v) const {
   ensure_loaded();
   return analyzer_->describe(v);
+}
+
+std::vector<repair::Diagnosis> Session::diagnose() {
+  return repair::diagnose(*this);
+}
+
+std::vector<repair::Diagnosis> Session::diagnose(
+    const repair::RepairSpec& spec) {
+  return repair::diagnose(*this, spec);
 }
 
 }  // namespace expresso

@@ -55,6 +55,11 @@
 
 namespace expresso {
 
+namespace repair {
+struct Diagnosis;
+struct RepairSpec;
+}  // namespace repair
+
 // One pipeline stage's memoization counters (reported via VerifierStats and
 // the EXPRESSO_BENCH_JSON rows).
 struct StageCounter {
@@ -191,6 +196,13 @@ class Session {
       const std::vector<std::string>& neighbor_order);
 
   std::string describe(const properties::Violation& v) const;
+
+  // --- diagnosis (src/repair, DESIGN.md §14) -------------------------------
+  // Runs the repair battery (or the default one) and localizes every
+  // violation to ranked suspect policy terms.  The full candidate-screening
+  // loop is repair::repair(session, spec).
+  std::vector<repair::Diagnosis> diagnose();
+  std::vector<repair::Diagnosis> diagnose(const repair::RepairSpec& spec);
 
   // Forces one BDD mark-and-sweep right now, regardless of pressure: prunes
   // stale cached artifacts (previous-generation verdicts/PECs), gathers the

@@ -1,0 +1,256 @@
+#include "repair/plant.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "gen/datasets.hpp"
+#include "ir/frontend.hpp"
+
+namespace expresso::repair::plant {
+
+namespace {
+
+// The shared region shape: small enough that one scenario verifies in
+// milliseconds, rich enough that every bug class has multiple plant sites
+// (3 PRs x 4 ISPs with multi-PoP homing, one RR tier, one DR).
+constexpr int kNumPr = 3;
+constexpr int kNumPeers = 4;
+
+struct Home {
+  int pr;
+  int peer;
+};
+
+// The (PR, ISP) session pairs make_region() emits for this shape: primary
+// home p % num_pr, plus the multi-PoP secondary for p % 3 == 0.
+std::vector<Home> homes() {
+  std::vector<Home> out;
+  for (int i = 0; i < kNumPr; ++i) {
+    for (int p = 0; p < kNumPeers; ++p) {
+      const bool primary = p % kNumPr == i;
+      const bool secondary = p % 3 == 0 && (p + 1) % kNumPr == i;
+      if (primary || secondary) out.push_back({i, p});
+    }
+  }
+  return out;
+}
+
+std::string pr_name(int i) { return "pr0_" + std::to_string(i); }
+std::string isp_name(int p) { return "isp0_" + std::to_string(p); }
+
+ir::RouterConfig& config_of(std::vector<ir::RouterConfig>& cfgs,
+                            const std::string& name) {
+  for (auto& c : cfgs) {
+    if (c.name == name) return c;
+  }
+  throw std::logic_error("plant: no router " + name);
+}
+
+ir::RoutePolicy& policy_of(std::vector<ir::RouterConfig>& cfgs,
+                           const std::string& router,
+                           const std::string& policy) {
+  auto& cfg = config_of(cfgs, router);
+  const auto it = cfg.policies.find(policy);
+  if (it == cfg.policies.end()) {
+    throw std::logic_error("plant: no policy " + router + "/" + policy);
+  }
+  return it->second;
+}
+
+net::Ipv4Prefix parse_prefix(const std::string& text) {
+  const auto p = net::Ipv4Prefix::parse(text);
+  if (!p) throw std::logic_error("plant: bad prefix " + text);
+  return *p;
+}
+
+// The hijack-victim augmentation: originate a /31 outside the generator's
+// protected 10/8 space at one PR, and guard it with a purpose-built deny
+// clause (node 12, between the generated 11 and 15) in the selected import
+// policies.  The decoy entry keeps the clause meaningful after the plant
+// drops the victim entry — an empty match list would deny everything.
+struct Victim {
+  net::Ipv4Prefix prefix;
+  net::Ipv4Prefix decoy;
+};
+
+Victim add_victim(std::vector<ir::RouterConfig>& cfgs, int origin_pr,
+                  std::size_t variant, bool lp_guards_even) {
+  Victim v;
+  v.prefix = parse_prefix("172.31.0." + std::to_string(2 * (variant % 16)) +
+                          "/31");
+  v.decoy = parse_prefix("172.31.200.0/24");
+  config_of(cfgs, pr_name(origin_pr)).connected.push_back(v.prefix);
+  for (auto& cfg : cfgs) {
+    for (auto& [name, policy] : cfg.policies) {
+      if (name.rfind("im_", 0) != 0) continue;
+      // lp_guards_even: the lp-100 (even-peer) imports keep only a
+      // more-specifics guard — the /31 itself is held off purely by the
+      // best-route order (internal origination wins the path-length
+      // tiebreak at equal local-preference), which is exactly what the
+      // kRaiseLocalPref plant then breaks.  The /32 guard is still needed:
+      // an external more-specific has no internal competitor at any lp.
+      const bool lp_guarded =
+          lp_guards_even && (name.back() - '0') % 2 == 0;
+      ir::PolicyClause guard;
+      guard.permit = false;
+      guard.node = 12;
+      guard.match_prefixes.push_back(
+          lp_guarded ? net::PrefixMatch::range(v.prefix, 32, 32)
+                     : net::PrefixMatch::range(v.prefix, v.prefix.len, 32));
+      guard.match_prefixes.push_back(
+          net::PrefixMatch::range(v.decoy, v.decoy.len, 32));
+      const auto pos = std::upper_bound(
+          policy.begin(), policy.end(), guard,
+          [](const ir::PolicyClause& a, const ir::PolicyClause& b) {
+            return a.node < b.node;
+          });
+      policy.insert(pos, std::move(guard));
+    }
+  }
+  return v;
+}
+
+}  // namespace
+
+const char* to_string(BugClass b) {
+  switch (b) {
+    case BugClass::kDropDenyClause: return "drop-deny-clause";
+    case BugClass::kStripAdvComm: return "strip-advertise-community";
+    case BugClass::kDropPrefixEntry: return "drop-prefix-entry";
+    case BugClass::kRaiseLocalPref: return "raise-local-pref";
+  }
+  return "?";
+}
+
+bool truth_in_top(const std::vector<Term>& terms, const Truth& truth,
+                  std::size_t k) {
+  for (std::size_t i = 0; i < terms.size() && i < k; ++i) {
+    const Term& t = terms[i];
+    if (t.kind != truth.kind || t.router != truth.router) continue;
+    switch (truth.kind) {
+      case Term::Kind::kClause:
+      case Term::Kind::kMissingClause:
+        if (t.policy == truth.policy && t.clause_node == truth.clause_node) {
+          return true;
+        }
+        break;
+      case Term::Kind::kSession:
+        if (t.peer == truth.peer) return true;
+        break;
+      case Term::Kind::kStatic:
+        return true;
+    }
+  }
+  return false;
+}
+
+Scenario make_scenario(std::uint64_t seed, std::size_t index) {
+  gen::RegionSpec spec;
+  spec.name = "campaign";
+  spec.num_pr = kNumPr;
+  spec.num_rr = 1;
+  spec.num_dr = 1;
+  spec.num_peers = kNumPeers;
+  spec.num_prefixes = 6;
+  const gen::Dataset ds =
+      gen::make_region(spec, 0, seed ^ (0x9e3779b97f4a7c15ull * (index + 1)));
+
+  Scenario s;
+  s.bug = static_cast<BugClass>(index % 4);
+  s.clean = ir::parse_configs(ds.config_text);
+  const std::size_t variant = index / 4;
+  const auto all_homes = homes();
+
+  switch (s.bug) {
+    case BugClass::kDropDenyClause: {
+      const Home h = all_homes[variant % all_homes.size()];
+      const std::string ex = "ex_" + isp_name(h.peer);
+      s.broken = s.clean;
+      auto& policy = policy_of(s.broken, pr_name(h.pr), ex);
+      policy.erase(std::remove_if(policy.begin(), policy.end(),
+                                  [](const ir::PolicyClause& c) {
+                                    return c.node == 10;
+                                  }),
+                   policy.end());
+      s.truth = {Term::Kind::kMissingClause, pr_name(h.pr), ex, 10, ""};
+      s.description = "remove no-transit deny 10 from " + pr_name(h.pr) +
+                      "/" + ex;
+      break;
+    }
+    case BugClass::kStripAdvComm: {
+      const int i = static_cast<int>(variant % kNumPr);
+      s.broken = s.clean;
+      auto& cfg = config_of(s.broken, pr_name(i));
+      bool stripped = false;
+      for (auto& p : cfg.peers) {
+        if (p.peer != "rr0_0") continue;
+        p.advertise_community = false;
+        stripped = true;
+      }
+      if (!stripped) throw std::logic_error("plant: no rr session");
+      s.truth = {Term::Kind::kSession, pr_name(i), "", 0, "rr0_0"};
+      s.description = "strip advertise-community on " + pr_name(i) +
+                      " -> rr0_0";
+      break;
+    }
+    case BugClass::kDropPrefixEntry: {
+      // Guard every import; the dropped entry must belong to an lp-200
+      // (odd-peer) import or the announcement loses the best-route tiebreak
+      // to the internal origination and no hijack manifests.
+      std::vector<Home> odd;
+      for (const Home& h : all_homes) {
+        if (h.peer % 2) odd.push_back(h);
+      }
+      const Home h = odd[variant % odd.size()];
+      const int origin_pr = static_cast<int>(variant % kNumPr);
+      const Victim v =
+          add_victim(s.clean, origin_pr, variant, /*lp_guards_even=*/false);
+      const std::string im = "im_" + isp_name(h.peer);
+      s.broken = s.clean;
+      auto& policy = policy_of(s.broken, pr_name(h.pr), im);
+      for (auto& c : policy) {
+        if (c.node != 12) continue;
+        c.match_prefixes.erase(
+            std::remove_if(c.match_prefixes.begin(), c.match_prefixes.end(),
+                           [&](const net::PrefixMatch& m) {
+                             return m.base == v.prefix;
+                           }),
+            c.match_prefixes.end());
+      }
+      s.truth = {Term::Kind::kClause, pr_name(h.pr), im, 12, ""};
+      s.description = "drop " + v.prefix.to_string() + " from deny 12 of " +
+                      pr_name(h.pr) + "/" + im;
+      break;
+    }
+    case BugClass::kRaiseLocalPref: {
+      // Guard only the lp-200 imports: the even-peer announcements of the
+      // victim are held off purely by the local-preference order (internal
+      // origination wins the path-length tiebreak at equal lp), so raising
+      // one even import's lp is the whole bug.
+      std::vector<Home> even;
+      for (const Home& h : all_homes) {
+        if (h.peer % 2 == 0) even.push_back(h);
+      }
+      const Home h = even[variant % even.size()];
+      const int origin_pr = static_cast<int>(variant % kNumPr);
+      add_victim(s.clean, origin_pr, variant, /*lp_guards_even=*/true);
+      const std::string im = "im_" + isp_name(h.peer);
+      s.broken = s.clean;
+      auto& policy = policy_of(s.broken, pr_name(h.pr), im);
+      bool raised = false;
+      for (auto& c : policy) {
+        if (c.node != 20 || !c.permit) continue;
+        c.set_local_preference = 200;
+        raised = true;
+      }
+      if (!raised) throw std::logic_error("plant: no permit 20 to raise");
+      s.truth = {Term::Kind::kClause, pr_name(h.pr), im, 20, ""};
+      s.description = "raise local-preference 100 -> 200 in " +
+                      pr_name(h.pr) + "/" + im;
+      break;
+    }
+  }
+  return s;
+}
+
+}  // namespace expresso::repair::plant

@@ -1,0 +1,54 @@
+// Campaign scenario builder for the repair loop: takes a *clean* generated
+// CSP region (src/gen) and plants one bug from a known class by mutating the
+// parsed IR, keeping exact ground truth of the edit.  Tests and the
+// expresso_repair --demo mode replay these scenarios to hold the localizer
+// to "the truly-edited term ranks in the top 3" and the screening loop to
+// "a clean repair exists" (ISSUE 10 acceptance criteria).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ir/ir.hpp"
+#include "repair/repair.hpp"
+
+namespace expresso::repair::plant {
+
+// The planted bug classes, mirroring what src/gen's organic plants do but
+// with a precise record of the edited term.
+enum class BugClass {
+  kDropDenyClause,   // remove the no-transit deny from one PR export policy
+  kStripAdvComm,     // clear advertise-community on one PR->RR session
+  kDropPrefixEntry,  // drop the victim entry from one import deny list
+  kRaiseLocalPref,   // invert local-preference on one import permit
+};
+
+// Ground truth: the term the localizer must rank.
+struct Truth {
+  Term::Kind kind = Term::Kind::kClause;
+  std::string router;
+  std::string policy;
+  std::uint32_t clause_node = 0;
+  std::string peer;  // kind == kSession
+};
+
+struct Scenario {
+  BugClass bug = BugClass::kDropDenyClause;
+  std::vector<ir::RouterConfig> clean;   // verifies with zero violations
+  std::vector<ir::RouterConfig> broken;  // clean with one planted edit
+  Truth truth;
+  std::string description;
+};
+
+// Deterministic scenario #index: round-robins the bug classes and, within a
+// class, the plant sites of a small generated CSP region.
+Scenario make_scenario(std::uint64_t seed, std::size_t index);
+
+// True when some term in `terms` names the truth within the first `k`.
+bool truth_in_top(const std::vector<Term>& terms, const Truth& truth,
+                  std::size_t k);
+
+const char* to_string(BugClass b);
+
+}  // namespace expresso::repair::plant

@@ -1,0 +1,191 @@
+// Diagnosis & repair mode (DESIGN.md §14) — the selective-symbolic-simulation
+// extension of the verification pipeline (PAPERS.md, arXiv 2409.20306).
+//
+// A verdict tells the operator *that* the network misbehaves under some
+// environment; this module tells them *which policy term did it and what
+// minimal edit fixes it*.  Three stages:
+//
+//   1. localize():  given a properties::Violation, walk the session edges of
+//      its propagation/forwarding path and rank the responsible policy
+//      clauses.  Two signal families combine: symbolic (the clause guard —
+//      prefix window ∧ community atoms — intersected with the violating
+//      routes' D predicates, which still carry the prefix dimensions the
+//      verdict's Cond() quantified out) and structural (permit clauses that
+//      admitted the offending route, deny clauses that fail to cover it,
+//      iBGP sessions that strip the communities a downstream deny matches
+//      on, and clauses diverging from the sibling-majority form of the same
+//      clause node across the network's peer policies — misconfigurations
+//      are outliers).
+//
+//   2. synthesize(): propose minimal IR edits drawn from the bug classes
+//      src/gen plants: insert the sibling-mined missing deny clause, set
+//      advertise-community on a stripping session, restore a dropped
+//      prefix-list entry, lower an inverted local-preference, drop a
+//      hijack-prone connected prefix or the static default of fig 5(c).
+//
+//   3. repair():    screen candidates cheapest-first through
+//      Session::update() + the warm re-verification path, returning the
+//      cheapest candidate whose re-verdict is clean, then cross-check the
+//      winner with a cold verify over a fresh Session (byte-identical
+//      canonical verdicts — the same equivalence the service tier holds the
+//      wire protocol to).  The session is restored to its original snapshot
+//      before returning; RepairOutcome::repaired carries the fix.
+//
+// Surfaced as Session::diagnose(), the {"op":"repair"} verb on expressod and
+// the tools/expresso_repair CLI.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "expresso/session.hpp"
+#include "ir/ir.hpp"
+#include "net/community.hpp"
+#include "net/prefix.hpp"
+#include "properties/analyzer.hpp"
+
+namespace expresso::repair {
+
+// One ranked suspect: a policy clause, a clause missing relative to its
+// sibling policies, a session flag, or a static route.
+struct Term {
+  enum class Kind { kClause, kMissingClause, kSession, kStatic };
+
+  Kind kind = Kind::kClause;
+  std::string router;
+  // kClause/kMissingClause: the policy map key and clause sequence number
+  // (for kMissingClause, the node the sibling-majority policy has here).
+  std::string policy;
+  std::uint32_t clause_node = 0;
+  // kSession: the peer whose PeerStmt is suspect.
+  std::string peer;
+  // kStatic: the static route's destination.
+  std::optional<net::Ipv4Prefix> static_prefix;
+  double score = 0;
+  std::string rationale;
+};
+
+// One violation with its ranked localization.
+struct Diagnosis {
+  properties::Violation violation;
+  std::string property;  // properties::to_string of the violation
+  std::string node;      // observing node's name
+  std::vector<Term> terms;  // highest score first
+};
+
+// One minimal IR edit.
+struct Candidate {
+  enum class Kind {
+    kAddDenyCommunity,      // insert a community deny clause at policy head
+    kAddDenyPrefix,         // insert a prefix deny clause at policy head
+    kAddPrefixToClause,     // append prefix matchers to an existing clause
+    kDropClausePrefix,      // remove prefix matchers from an existing clause
+    kSetAdvertiseCommunity, // set advertise-community on a session
+    kSetLocalPref,          // overwrite a clause's set-local-preference
+    kDropStatic,            // remove a static route
+    kDropConnected,         // remove a connected interface prefix
+  };
+
+  Kind kind = Kind::kAddDenyCommunity;
+  std::string router;
+  std::string policy;
+  std::uint32_t clause_node = 0;
+  std::string peer;  // kSetAdvertiseCommunity
+  // kAddDenyCommunity/kAddDenyPrefix: when set, apply the new clause to
+  // *every* policy (on any router) that exports/imports like `policy` and
+  // lacks it — one coherent network-wide fix (e.g. "adopt the no-transit
+  // convention on every peer export").  The pairs are (router, policy).
+  std::vector<std::pair<std::string, std::string>> also_edit;
+  std::vector<net::CommunityMatcher> match_communities;
+  std::vector<net::PrefixMatch> match_prefixes;
+  std::uint32_t local_pref = 0;           // kSetLocalPref
+  std::optional<net::Ipv4Prefix> prefix;  // kDropStatic / kDropConnected
+  std::size_t cost = 1;  // number of edited statements (screening order)
+  std::string description;
+};
+
+// What to verify: mirrors the expressod battery (route-leak, route-hijack,
+// loop, traffic-hijack, blackhole when the list is non-empty) plus the
+// optional BlockToExternal community.  The per-property toggles matter for
+// transit networks (Internet2 shape): re-exporting external routes is their
+// *job*, so route_leak_free flags every transit route and must be off there.
+struct RepairSpec {
+  bool leak = true;     // route_leak_free
+  bool hijack = true;   // route_hijack_free
+  bool loops = true;    // loop_free
+  bool traffic = true;  // traffic_hijack_free
+  std::vector<net::Ipv4Prefix> blackhole;
+  std::optional<net::Community> bte;
+  std::size_t max_candidates = 12;  // screening budget
+  std::size_t max_terms = 8;        // localization depth per violation
+  bool cold_cross_check = true;     // cold-verify the winner
+};
+
+// One screened candidate: the warm re-verdict after applying it.
+struct ScreenedCandidate {
+  Candidate candidate;
+  bool applied = false;  // the edit was expressible against the snapshot
+  bool clean = false;    // re-verdict has no violations at all
+  std::size_t violations_before = 0;
+  std::size_t violations_after = 0;
+  bool warm = false;     // the re-verify took the warm path
+  double verify_seconds = 0;
+};
+
+struct RepairOutcome {
+  std::vector<Diagnosis> diagnoses;
+  std::vector<Candidate> candidates;        // synthesized, cheapest first
+  std::vector<ScreenedCandidate> screened;  // screening order
+  std::optional<Candidate> winner;          // cheapest clean candidate
+  // The snapshot with the winner applied (empty when there is no winner).
+  std::vector<ir::RouterConfig> repaired;
+  std::size_t baseline_violations = 0;
+  bool clean = false;  // a winner exists, or the baseline was already clean
+  // Winner cross-check: a cold Session over `repaired` must render the
+  // byte-identical canonical battery the warm screen rendered.
+  bool cold_check_ran = false;
+  bool cold_check_passed = false;
+  std::string warm_signature;
+  std::string cold_signature;
+  double warm_screen_seconds = 0;  // total warm re-verify time, all screens
+  double cold_verify_seconds = 0;  // the cross-check's cold verify time
+};
+
+// Canonical rendering of the spec's whole property battery (one line per
+// property, violations sorted, conditions via service::canonical_condition):
+// byte-equal iff the verdicts agree under bdd::structurally_equal.
+std::string verdict_signature(Session& session, const RepairSpec& spec);
+
+// Runs the battery and localizes every violation.  Drives SRC/SPF as needed.
+std::vector<Diagnosis> diagnose(Session& session, const RepairSpec& spec = {});
+
+// Localization of one violation (stage 1 alone).
+std::vector<Term> localize(Session& session, const properties::Violation& v,
+                           std::size_t max_terms = 8);
+
+// Candidate edits for a set of diagnoses, deduplicated, cheapest first.
+std::vector<Candidate> synthesize(Session& session,
+                                  const std::vector<Diagnosis>& diagnoses,
+                                  const RepairSpec& spec);
+
+// Applies one candidate to an IR snapshot.  Returns false (snapshot
+// untouched) when the edit is not expressible (target router/policy/clause
+// vanished).
+bool apply(const Candidate& c, std::vector<ir::RouterConfig>& configs);
+
+// Invoked after each candidate's warm re-verify (the expressod repair verb
+// streams one frame per call).
+using CandidateObserver =
+    std::function<void(const ScreenedCandidate&, std::size_t index)>;
+
+// The full loop: diagnose → synthesize → screen warm → cold cross-check.
+RepairOutcome repair(Session& session, const RepairSpec& spec = {},
+                     const CandidateObserver& observe = {});
+
+const char* to_string(Term::Kind k);
+const char* to_string(Candidate::Kind k);
+
+}  // namespace expresso::repair

@@ -226,6 +226,150 @@ Client::UpdateResult Client::collect(std::uint64_t id) {
   }
 }
 
+std::string Client::repair_payload(const std::string& tenant,
+                                   const std::string& config,
+                                   std::uint64_t id,
+                                   const RepairOptions& opts) {
+  if (id >= (std::uint64_t{1} << 53)) {
+    throw std::invalid_argument("client: request id " + std::to_string(id) +
+                                " not representable in a JSON number "
+                                "(must be < 2^53)");
+  }
+  support::JsonWriter w;
+  w.begin_object()
+      .key("op").value("repair")
+      .key("id").value(static_cast<std::uint64_t>(id))
+      .key("tenant").value(tenant)
+      .key("config").value(config);
+  if (!opts.dialect.empty()) w.key("dialect").value(opts.dialect);
+  if (!opts.blackhole.empty()) {
+    w.key("blackhole").begin_array();
+    for (const auto& p : opts.blackhole) w.value(p);
+    w.end_array();
+  }
+  // Only non-default toggles go on the wire; the server defaults match.
+  if (!opts.leak) w.key("leak").value(false);
+  if (!opts.hijack) w.key("hijack").value(false);
+  if (!opts.loops) w.key("loops").value(false);
+  if (!opts.traffic) w.key("traffic").value(false);
+  if (!opts.bte.empty()) w.key("bte").value(opts.bte);
+  if (opts.max_candidates != 0) {
+    w.key("max_candidates").value(opts.max_candidates);
+  }
+  if (!opts.trace_id.empty()) w.key("trace").value(opts.trace_id);
+  if (opts.profile) w.key("profile").value(true);
+  w.end_object();
+  return w.take();
+}
+
+Client::RepairResult Client::repair(const std::string& tenant,
+                                    const std::string& config,
+                                    std::uint64_t id,
+                                    const RepairOptions& opts) {
+  send_raw(repair_payload(tenant, config, id, opts));
+  return collect_repair(id);
+}
+
+namespace {
+
+double num_field(const obs::JsonValue& v, const char* key, double fallback) {
+  const obs::JsonValue* f = v.find(key);
+  return f != nullptr && f->kind == obs::JsonValue::Kind::Number ? f->num
+                                                                 : fallback;
+}
+
+std::uint64_t uint_field(const obs::JsonValue& v, const char* key) {
+  const double n = num_field(v, key, 0);
+  return n >= 0 ? static_cast<std::uint64_t>(n) : 0;
+}
+
+bool bool_field(const obs::JsonValue& v, const char* key) {
+  const obs::JsonValue* f = v.find(key);
+  return f != nullptr && f->kind == obs::JsonValue::Kind::Bool && f->b;
+}
+
+std::string str_field(const obs::JsonValue& v, const char* key) {
+  const obs::JsonValue* f = v.find(key);
+  return f != nullptr && f->kind == obs::JsonValue::Kind::String ? f->str
+                                                                 : "";
+}
+
+}  // namespace
+
+Client::RepairResult Client::collect_repair(std::uint64_t id) {
+  RepairResult result;
+  for (;;) {
+    obs::JsonValue frame;
+    if (!recv(frame)) {
+      throw std::runtime_error("client: connection closed mid-stream");
+    }
+    const obs::JsonValue* kind = frame.find("kind");
+    if (kind == nullptr || kind->kind != obs::JsonValue::Kind::String) {
+      throw std::runtime_error("client: response frame lacks \"kind\"");
+    }
+    if (uint_field(frame, "id") != id) continue;  // another request's stream
+    if (kind->str == "candidate") {
+      RepairCandidate c;
+      c.index = uint_field(frame, "index");
+      c.edit = str_field(frame, "edit");
+      c.description = str_field(frame, "description");
+      c.cost = uint_field(frame, "cost");
+      c.applied = bool_field(frame, "applied");
+      c.clean = bool_field(frame, "clean");
+      c.violations_before = uint_field(frame, "violations_before");
+      c.violations_after = uint_field(frame, "violations_after");
+      c.warm = bool_field(frame, "warm");
+      c.verify_ms = num_field(frame, "verify_ms", 0);
+      result.candidates.push_back(std::move(c));
+      continue;
+    }
+    if (kind->str == "done") {
+      result.ok = true;
+      result.queue_wait_ms = num_field(frame, "queue_wait_ms", 0);
+      result.verify_ms = num_field(frame, "verify_ms", 0);
+      result.trace_id = str_field(frame, "trace");
+      if (const obs::JsonValue* r = frame.find("repair");
+          r != nullptr && r->kind == obs::JsonValue::Kind::Object) {
+        result.baseline_violations = uint_field(*r, "baseline_violations");
+        result.diagnoses = uint_field(*r, "diagnoses");
+        result.synthesized = uint_field(*r, "candidates");
+        result.screened = uint_field(*r, "screened");
+        result.clean = bool_field(*r, "clean");
+        result.winner = str_field(*r, "winner");
+        result.winner_edit = str_field(*r, "winner_edit");
+        result.cold_check_ran = bool_field(*r, "cold_check_ran");
+        result.cold_check_passed = bool_field(*r, "cold_check_passed");
+        result.warm_screen_ms = num_field(*r, "warm_screen_ms", 0);
+        result.cold_verify_ms = num_field(*r, "cold_verify_ms", 0);
+      }
+      if (const auto* p = frame.find("profile");
+          p != nullptr && p->kind == obs::JsonValue::Kind::Object) {
+        if (const auto* stages = p->find("stages");
+            stages != nullptr &&
+            stages->kind == obs::JsonValue::Kind::Array) {
+          for (const auto& s : stages->items) {
+            if (s.kind != obs::JsonValue::Kind::Object) continue;
+            ProfileStage stage;
+            stage.name = str_field(s, "name");
+            stage.span_id = uint_field(s, "span_id");
+            stage.start_ms = num_field(s, "start_ms", 0);
+            stage.ms = num_field(s, "ms", 0);
+            result.profile.push_back(std::move(stage));
+          }
+        }
+      }
+      return result;
+    }
+    if (kind->str == "error") {
+      result.ok = false;
+      result.error = str_field(frame, "message");
+      return result;
+    }
+    throw std::runtime_error("client: unexpected frame kind \"" + kind->str +
+                             "\"");
+  }
+}
+
 bool Client::hello() {
   support::JsonWriter w;
   w.begin_object().key("op").value("hello").key("id").value(

@@ -32,6 +32,22 @@ struct UpdateOptions {
   bool profile = false;
 };
 
+// Optional repair-request knobs ({"op":"repair"}) beyond the snapshot.
+struct RepairOptions {
+  std::string dialect;  // "huawei"/"rpsl"; empty = server sniffs
+  std::vector<std::string> blackhole;
+  // Battery property toggles (repair::RepairSpec): a transit network turns
+  // `leak` off — re-exporting external routes is its job.
+  bool leak = true;
+  bool hijack = true;
+  bool loops = true;
+  bool traffic = true;
+  std::string bte;  // BlockToExternal community ("65535:666"); empty = off
+  std::uint64_t max_candidates = 0;  // 0 = server default
+  std::string trace_id;
+  bool profile = false;
+};
+
 // One row of the done frame's "profile" breakdown.
 struct ProfileStage {
   std::string name;
@@ -92,6 +108,54 @@ class Client {
       const UpdateOptions& opts = {});
   // Collects one in-flight update's response stream by id (after send_raw).
   UpdateResult collect(std::uint64_t id);
+
+  // One {"kind":"candidate"} frame of a repair stream: a screened edit and
+  // its warm re-verdict delta.
+  struct RepairCandidate {
+    std::uint64_t index = 0;
+    std::string edit;         // Candidate::Kind string
+    std::string description;
+    std::uint64_t cost = 0;
+    bool applied = false;
+    bool clean = false;
+    std::uint64_t violations_before = 0;
+    std::uint64_t violations_after = 0;
+    bool warm = false;
+    double verify_ms = 0;
+  };
+
+  struct RepairResult {
+    bool ok = false;
+    std::string error;
+    std::vector<RepairCandidate> candidates;  // arrival order
+    std::uint64_t baseline_violations = 0;
+    std::uint64_t diagnoses = 0;
+    std::uint64_t synthesized = 0;  // done frame's "candidates"
+    std::uint64_t screened = 0;
+    bool clean = false;
+    std::string winner;       // winning edit's description; empty when none
+    std::string winner_edit;  // winning edit's kind string
+    bool cold_check_ran = false;
+    bool cold_check_passed = false;
+    double warm_screen_ms = 0;
+    double cold_verify_ms = 0;
+    double queue_wait_ms = 0;
+    double verify_ms = 0;
+    std::string trace_id;
+    std::vector<ProfileStage> profile;
+  };
+
+  // Builds an {"op":"repair"} request, sends it, and reads frames until
+  // this id's "done"/"error", collecting the streamed candidate frames.
+  RepairResult repair(const std::string& tenant, const std::string& config,
+                      std::uint64_t id = 0, const RepairOptions& opts = {});
+  // The same request's wire payload without sending it.
+  static std::string repair_payload(const std::string& tenant,
+                                    const std::string& config,
+                                    std::uint64_t id = 0,
+                                    const RepairOptions& opts = {});
+  // Collects one in-flight repair's response stream by id (after send_raw).
+  RepairResult collect_repair(std::uint64_t id);
 
   // {"op":"hello"} handshake; returns false on any mismatch.
   bool hello();

@@ -15,6 +15,11 @@
 //   {"op":"update","id":N,"tenant":"...","config":"<full snapshot text>",
 //    "dialect":"huawei"|"rpsl",            // optional; default: sniffed
 //    "blackhole":["10.0.0.0/24",...]}      // blackhole list optional
+//   {"op":"repair","id":N,"tenant":"...","config":"<full snapshot text>",
+//    "dialect":...,"blackhole":[...],       // as for "update"
+//    "leak":false,...                       // optional battery toggles
+//    "bte":"65535:666",                     // optional BlockToExternal
+//    "max_candidates":12}                   // optional screening budget
 //   {"op":"metrics","id":N}
 //   {"op":"ping","id":N}
 //
@@ -24,7 +29,12 @@
 // is a *stream*: one {"kind":"verdict",...} frame per property check (the
 // frames of one request are written contiguously), terminated by a
 // {"kind":"done",...} frame carrying warm/coalesced/queue-wait/verify-time
-// fields — or a single {"kind":"error","message":...} frame.  Errors carry
+// fields — or a single {"kind":"error","message":...} frame.  A "repair"
+// response is likewise a stream: one {"kind":"candidate",...} frame per
+// screened edit (the edit's kind/description/cost plus its warm re-verdict
+// delta), terminated by a {"kind":"done",...} frame whose "repair" object
+// carries the winner, the warm-vs-cold cross-check and both timings (see
+// repair/repair.hpp and DESIGN.md §14).  Errors carry
 // "fatal":true when the connection is about to be closed (framing-level
 // violations); all other errors leave the connection usable.
 //

@@ -25,7 +25,9 @@
 
 #include "expresso/session.hpp"
 #include "ir/frontend.hpp"
+#include "net/community.hpp"
 #include "net/prefix.hpp"
+#include "repair/repair.hpp"
 #include "obs/log.hpp"
 #include "obs/trace.hpp"
 #include "obs/trace_check.hpp"
@@ -92,6 +94,14 @@ struct PendingRequest {
   std::string trace_id;
   // Client asked for the per-stage timing breakdown in its done frame.
   bool profile = false;
+  // {"op":"repair"}: instead of a plain verify, run the diagnose ->
+  // synthesize -> screen loop (repair/repair.hpp) on this snapshot and
+  // stream one "candidate" frame per screened edit.  `spec.blackhole` is
+  // filled from the request's blackhole list at admission; the other spec
+  // knobs (property toggles, BTE community, screening budget) come from the
+  // request body.
+  bool repair = false;
+  repair::RepairSpec spec;
   Clock::time_point enqueued;
 };
 
@@ -184,12 +194,11 @@ struct Server::Impl {
 
   // --- admission -----------------------------------------------------------
 
-  void admit(const std::shared_ptr<Connection>& conn, std::uint64_t id,
-             const std::string& tenant_name, std::string config,
-             std::optional<ir::Dialect> dialect,
-             std::vector<net::Ipv4Prefix> blackhole, std::string trace_id,
-             bool profile) {
-    registry.counter("service.updates").inc();
+  void admit(const std::string& tenant_name, PendingRequest&& pr) {
+    const std::shared_ptr<Connection> conn = pr.conn;
+    const std::uint64_t id = pr.id;
+    registry.counter(pr.repair ? "service.repair.requests"
+                               : "service.updates").inc();
     std::unique_lock<std::mutex> lock(mu);
     if (stopping) {
       lock.unlock();
@@ -239,10 +248,8 @@ struct Server::Impl {
       conn->send_one(overloaded_payload(id));
       return;
     }
-    t->pending.push_back(PendingRequest{conn, id, std::move(config), dialect,
-                                        std::move(blackhole),
-                                        std::move(trace_id), profile,
-                                        Clock::now()});
+    pr.enqueued = Clock::now();
+    t->pending.push_back(std::move(pr));
     registry.gauge(tenant_series("pending", t->name))
         .set(static_cast<double>(t->pending.size()));
     const bool coalescing = t->queued || t->running;
@@ -363,7 +370,7 @@ struct Server::Impl {
           t->pending.pop_front();
         }
       }
-      if (!batch.empty()) verify_batch(*t, batch);
+      if (!batch.empty()) dispatch_batch(*t, batch);
       {
         std::lock_guard<std::mutex> lock(mu);
         t->running = false;
@@ -382,6 +389,166 @@ struct Server::Impl {
         }
         enforce_watermark_locked();
       }
+    }
+  }
+
+  void ensure_session(Tenant& t) {
+    if (t.session) return;
+    Session::SessionOptions so;
+    so.engine.threads = options.session_threads;
+    so.bdd_gc = true;
+    so.max_bdd_nodes = options.per_session_bdd_budget;
+    so.verify_warm = options.verify_warm;
+    so.metrics_label = "expressod/" + t.name;
+    t.session = std::make_unique<Session>(so);
+    registry.counter("service.sessions_created").inc();
+  }
+
+  // Splits one drained burst into the coalescable update stream and the
+  // repair requests.  Updates keep their collapse-to-latest semantics;
+  // repairs cannot coalesce (each screens candidates against *its own*
+  // snapshot), so they run one by one, preserving arrival order relative
+  // to the updates around them.
+  void dispatch_batch(Tenant& t, std::vector<PendingRequest>& batch) {
+    std::vector<PendingRequest> updates;
+    for (auto& req : batch) {
+      if (!req.repair) {
+        updates.push_back(std::move(req));
+        continue;
+      }
+      if (!updates.empty()) {
+        verify_batch(t, updates);
+        updates.clear();
+      }
+      repair_one(t, req);
+    }
+    if (!updates.empty()) verify_batch(t, updates);
+  }
+
+  // One {"op":"repair"} request: push the snapshot, run the repair loop,
+  // stream a "candidate" frame per screened edit (verdict deltas + warm
+  // flag + per-screen verify time) and finish with a "done" frame carrying
+  // the winner and the warm-vs-cold cross-check.  The repair stages emit
+  // their own spans ("repair.diagnose", "repair.screen", "repair.candidate",
+  // "repair.cold_check"), so with profile/tracing armed they land in the
+  // Chrome trace and the done frame's breakdown like verify stages do.
+  void repair_one(Tenant& t, PendingRequest& req) {
+    const Clock::time_point start = Clock::now();
+    bool want_profile = options.slow_request_ms > 0 || req.profile;
+    obs::ProfileCollector collector;
+    obs::TraceContext trace_ctx;
+    trace_ctx.tenant = t.name;
+    trace_ctx.trace_id = req.trace_id;
+    trace_ctx.request_id = req.id;
+    trace_ctx.profile = want_profile ? &collector : nullptr;
+    obs::ScopedTraceContext scoped_ctx(&trace_ctx);
+
+    flight.record(obs::FlightRecorder::Event::kVerifyStart, t.flight_id,
+                  req.id, 1);
+    req.spec.blackhole = req.blackhole;
+    repair::RepairOutcome out;
+    try {
+      ensure_session(t);
+      if (req.dialect) {
+        t.session->update(req.config, *req.dialect);
+      } else {
+        t.session->update(req.config);
+      }
+      out = repair::repair(
+          *t.session, req.spec,
+          [&](const repair::ScreenedCandidate& sc, std::size_t index) {
+            registry.counter("service.repair.candidates").inc();
+            support::JsonWriter w;
+            w.begin_object()
+                .key("kind").value("candidate")
+                .key("id").value(static_cast<std::uint64_t>(req.id))
+                .key("tenant").value(t.name)
+                .key("index").value(static_cast<std::uint64_t>(index))
+                .key("edit").value(repair::to_string(sc.candidate.kind))
+                .key("description").value(sc.candidate.description)
+                .key("cost")
+                .value(static_cast<std::uint64_t>(sc.candidate.cost))
+                .key("applied").value(sc.applied)
+                .key("clean").value(sc.clean)
+                .key("violations_before")
+                .value(static_cast<std::uint64_t>(sc.violations_before))
+                .key("violations_after")
+                .value(static_cast<std::uint64_t>(sc.violations_after))
+                .key("warm").value(sc.warm)
+                .key("verify_ms").value_short(sc.verify_seconds * 1e3)
+                .end_object();
+            if (!req.conn->send_one(w.take())) {
+              registry.counter("service.dropped_responses").inc();
+            }
+          });
+    } catch (const std::exception& e) {
+      // Same contract as a failed verify: answer with the error and drop
+      // the session so the tenant's next push cold-loads cleanly.
+      registry.counter("service.repair.errors").inc();
+      flight.record(obs::FlightRecorder::Event::kVerifyError, t.flight_id,
+                    req.id, 1);
+      obs::LogEvent(obs::LogLevel::kError, "service.repair_error")
+          .field("tenant", t.name)
+          .field("id", req.id)
+          .field("message", e.what());
+      t.session.reset();
+      if (!req.conn->send_one(error_payload(
+              req.id, std::string("repair failed: ") + e.what(), false))) {
+        registry.counter("service.dropped_responses").inc();
+      }
+      return;
+    }
+    registry.counter(out.clean ? "service.repair.clean"
+                               : "service.repair.no_fix").inc();
+    registry.timer("service.repair.screen").add(out.warm_screen_seconds);
+
+    const double queue_wait_ms = seconds_between(req.enqueued, start) * 1e3;
+    const double repair_ms = seconds_between(start, Clock::now()) * 1e3;
+    support::JsonWriter done;
+    done.begin_object()
+        .key("kind").value("done")
+        .key("id").value(static_cast<std::uint64_t>(req.id))
+        .key("tenant").value(t.name)
+        .key("queue_wait_ms").value_short(queue_wait_ms)
+        .key("verify_ms").value_short(repair_ms)
+        .key("repair").begin_object()
+        .key("baseline_violations")
+        .value(static_cast<std::uint64_t>(out.baseline_violations))
+        .key("diagnoses").value(static_cast<std::uint64_t>(out.diagnoses.size()))
+        .key("candidates").value(static_cast<std::uint64_t>(out.candidates.size()))
+        .key("screened").value(static_cast<std::uint64_t>(out.screened.size()))
+        .key("clean").value(out.clean);
+    if (out.winner) {
+      done.key("winner").value(out.winner->description)
+          .key("winner_edit").value(repair::to_string(out.winner->kind));
+    }
+    done.key("cold_check_ran").value(out.cold_check_ran)
+        .key("cold_check_passed").value(out.cold_check_passed)
+        .key("warm_screen_ms").value_short(out.warm_screen_seconds * 1e3)
+        .key("cold_verify_ms").value_short(out.cold_verify_seconds * 1e3)
+        .end_object();
+    if (!req.trace_id.empty()) done.key("trace").value(req.trace_id);
+    if (req.profile) {
+      done.key("profile")
+          .begin_object()
+          .key("stages").value_raw(profile_stages_json(collector))
+          .end_object();
+    }
+    done.end_object();
+    if (!req.conn->send_one(done.take())) {
+      registry.counter("service.dropped_responses").inc();
+    }
+    flight.record(obs::FlightRecorder::Event::kVerifyEnd, t.flight_id, req.id,
+                  out.baseline_violations,
+                  static_cast<std::uint64_t>(repair_ms));
+    if (obs::log_enabled(obs::LogLevel::kInfo)) {
+      obs::LogEvent(obs::LogLevel::kInfo, "service.repair")
+          .field("tenant", t.name)
+          .field("id", req.id)
+          .field("baseline_violations", out.baseline_violations)
+          .field("screened", out.screened.size())
+          .field("clean", out.clean)
+          .field("repair_ms", repair_ms);
     }
   }
 
@@ -413,16 +580,7 @@ struct Server::Impl {
     bool warm = false;
     bool converged = false;
     try {
-      if (!t.session) {
-        Session::SessionOptions so;
-        so.engine.threads = options.session_threads;
-        so.bdd_gc = true;
-        so.max_bdd_nodes = options.per_session_bdd_budget;
-        so.verify_warm = options.verify_warm;
-        so.metrics_label = "expressod/" + t.name;
-        t.session = std::make_unique<Session>(so);
-        registry.counter("service.sessions_created").inc();
-      }
+      ensure_session(t);
       if (last.dialect) {
         t.session->update(last.config, *last.dialect);
       } else {
@@ -622,26 +780,29 @@ struct Server::Impl {
       conn->send_one(flight.to_json(id));
       return;
     }
-    if (op == "update") {
+    if (op == "update" || op == "repair") {
       const obs::JsonValue* tenant = req.find("tenant");
       const obs::JsonValue* config = req.find("config");
       if (tenant == nullptr || tenant->kind != obs::JsonValue::Kind::String ||
           tenant->str.empty() || config == nullptr ||
           config->kind != obs::JsonValue::Kind::String) {
         conn->send_one(error_payload(
-            id, "update needs string \"tenant\" and \"config\"", false));
+            id, op + " needs string \"tenant\" and \"config\"", false));
         return;
       }
-      std::optional<ir::Dialect> dialect;
+      PendingRequest pr;
+      pr.conn = conn;
+      pr.id = id;
+      pr.config = config->str;
+      pr.repair = op == "repair";
       if (const obs::JsonValue* d = req.find("dialect")) {
         if (d->kind != obs::JsonValue::Kind::String ||
-            !(dialect = ir::dialect_from_name(d->str))) {
+            !(pr.dialect = ir::dialect_from_name(d->str))) {
           conn->send_one(error_payload(
               id, "\"dialect\" must be one of \"huawei\", \"rpsl\"", false));
           return;
         }
       }
-      std::vector<net::Ipv4Prefix> blackhole;
       if (const obs::JsonValue* bh = req.find("blackhole")) {
         if (bh->kind != obs::JsonValue::Kind::Array) {
           conn->send_one(
@@ -658,29 +819,71 @@ struct Server::Impl {
                 id, "\"blackhole\" entries must be prefix strings", false));
             return;
           }
-          blackhole.push_back(*p);
+          pr.blackhole.push_back(*p);
         }
       }
-      std::string trace_id;
       if (const obs::JsonValue* tr = req.find("trace")) {
         if (tr->kind != obs::JsonValue::Kind::String) {
           conn->send_one(
               error_payload(id, "\"trace\" must be a string", false));
           return;
         }
-        trace_id = tr->str;
+        pr.trace_id = tr->str;
       }
-      bool profile = false;
       if (const obs::JsonValue* p = req.find("profile")) {
         if (p->kind != obs::JsonValue::Kind::Bool) {
           conn->send_one(
               error_payload(id, "\"profile\" must be a boolean", false));
           return;
         }
-        profile = p->b;
+        pr.profile = p->b;
       }
-      admit(conn, id, tenant->str, config->str, dialect, std::move(blackhole),
-            std::move(trace_id), profile);
+      if (pr.repair) {
+        // Repair-only knobs: the battery's property toggles (a transit
+        // network must switch route-leak off — re-exporting externals is
+        // its job), the BlockToExternal community, and the screening
+        // budget.  See repair::RepairSpec.
+        const std::pair<const char*, bool*> toggles[] = {
+            {"leak", &pr.spec.leak},
+            {"hijack", &pr.spec.hijack},
+            {"loops", &pr.spec.loops},
+            {"traffic", &pr.spec.traffic}};
+        for (const auto& [name, dest] : toggles) {
+          if (const obs::JsonValue* v = req.find(name)) {
+            if (v->kind != obs::JsonValue::Kind::Bool) {
+              conn->send_one(error_payload(
+                  id, "\"" + std::string(name) + "\" must be a boolean",
+                  false));
+              return;
+            }
+            *dest = v->b;
+          }
+        }
+        if (const obs::JsonValue* b = req.find("bte")) {
+          std::optional<net::Community> c;
+          if (b->kind == obs::JsonValue::Kind::String) {
+            c = net::Community::parse(b->str);
+          }
+          if (!c) {
+            conn->send_one(error_payload(
+                id, "\"bte\" must be a community string like \"65535:666\"",
+                false));
+            return;
+          }
+          pr.spec.bte = *c;
+        }
+        if (const obs::JsonValue* m = req.find("max_candidates")) {
+          if (m->kind != obs::JsonValue::Kind::Number || m->num < 1 ||
+              m->num > 1000) {
+            conn->send_one(error_payload(
+                id, "\"max_candidates\" must be a number in [1, 1000]",
+                false));
+            return;
+          }
+          pr.spec.max_candidates = static_cast<std::size_t>(m->num);
+        }
+      }
+      admit(tenant->str, std::move(pr));
       return;
     }
     conn->send_one(error_payload(id, "unknown op \"" + op + "\"", false));

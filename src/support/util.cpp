@@ -73,23 +73,46 @@ std::uint64_t env_uint(const char* name, std::uint64_t fallback,
                  name, v, static_cast<unsigned long long>(fallback));
     return fallback;
   }
-  char* end = nullptr;
-  errno = 0;
-  const unsigned long long n = std::strtoull(v, &end, 10);
-  if (end == v || *end != '\0' || errno == ERANGE) {
+  const std::optional<std::uint64_t> n = parse_uint(v);
+  if (!n) {
     std::fprintf(stderr,
                  "expresso: ignoring malformed %s='%s' (not an unsigned "
                  "integer), using %llu\n",
                  name, v, static_cast<unsigned long long>(fallback));
     return fallback;
   }
-  if (n > max_value) {
+  if (*n > max_value) {
     std::fprintf(stderr, "expresso: clamping %s=%llu to %llu\n", name,
-                 static_cast<unsigned long long>(n),
+                 static_cast<unsigned long long>(*n),
                  static_cast<unsigned long long>(max_value));
     return max_value;
   }
+  return *n;
+}
+
+std::optional<std::uint64_t> parse_uint(const std::string& s) {
+  if (s.empty() || s[0] < '0' || s[0] > '9') return std::nullopt;
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long n = std::strtoull(s.c_str(), &end, 10);
+  if (end != s.c_str() + s.size() || errno == ERANGE) return std::nullopt;
   return n;
+}
+
+std::uint64_t cli_uint(const char* tool, const char* flag,
+                       const std::string& value, std::uint64_t max_value) {
+  const std::optional<std::uint64_t> n = parse_uint(value);
+  if (!n || *n > max_value) {
+    std::fprintf(stderr, "%s: bad value for %s: '%s'", tool, flag,
+                 value.c_str());
+    if (n && *n > max_value) {
+      std::fprintf(stderr, " (maximum %llu)",
+                   static_cast<unsigned long long>(max_value));
+    }
+    std::fprintf(stderr, "\n");
+    std::exit(2);
+  }
+  return *n;
 }
 
 }  // namespace expresso

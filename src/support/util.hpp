@@ -6,6 +6,7 @@
 
 #include <chrono>
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -88,6 +89,21 @@ std::vector<std::string> split_ws(const std::string& s);
 // Used by the expressod service knobs (EXPRESSO_SERVICE_PORT,
 // EXPRESSO_SERVICE_MAX_SESSIONS).
 std::uint64_t env_uint(const char* name, std::uint64_t fallback,
+                       std::uint64_t max_value = UINT64_MAX);
+
+// Strict unsigned-integer parse shared by env_uint and the CLI flag parsers:
+// the whole string must be decimal digits — no sign, no leading/trailing
+// whitespace, no trailing garbage — and fit in uint64.  nullopt otherwise.
+std::optional<std::uint64_t> parse_uint(const std::string& s);
+
+// Checked CLI-flag parse (the env_uint hardening generalized to argv, shared
+// by expresso_fuzz / expressod_load / expressod / expresso_repair).  Prints
+// "<tool>: bad value for <flag>: '<value>'" to stderr and exits with status
+// 2 when `value` is not an unsigned integer or exceeds `max_value` — a typo
+// must fail loudly, never half-apply (std::stoull would throw; std::atoi
+// would silently yield 0 and silently truncate 70000 through uint16_t).
+std::uint64_t cli_uint(const char* tool, const char* flag,
+                       const std::string& value,
                        std::uint64_t max_value = UINT64_MAX);
 
 }  // namespace expresso

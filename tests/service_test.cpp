@@ -56,6 +56,8 @@
 #include "obs/prometheus.hpp"
 #include "obs/trace.hpp"
 #include "obs/trace_check.hpp"
+#include "repair/plant.hpp"
+#include "repair/repair.hpp"
 #include "service/client.hpp"
 #include "service/protocol.hpp"
 #include "service/server.hpp"
@@ -203,6 +205,110 @@ TEST(ServiceE2E, EditChainVerdictsBitIdenticalToInProcessSession) {
   // The chain overwhelmingly re-verified warm (an edit may legitimately
   // force a cold reload, e.g. when it perturbs the topology).
   EXPECT_GE(warm_runs, chain.edit_texts.size() / 2);
+  server.stop();
+}
+
+// --- {"op":"repair"} ---------------------------------------------------------
+
+TEST(ServiceRepair, StreamedRepairMatchesInProcessLoop) {
+  // A planted scenario pushed through the wire verb must stream the same
+  // screening sequence the in-process loop runs, and land on the same
+  // winner with the warm-vs-cold cross-check intact.
+  const repair::plant::Scenario sc = repair::plant::make_scenario(0xd0c, 0);
+  const std::string broken_text = ir::emit(sc.broken, ir::Dialect::kHuawei);
+
+  Server server;
+  const std::uint16_t port = server.start();
+  Client client;
+  client.connect("127.0.0.1", port);
+
+  RepairOptions opts;
+  opts.profile = true;
+  opts.trace_id = "repair-e2e";
+  const auto result = client.repair("t-repair", broken_text, 1, opts);
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_GT(result.baseline_violations, 0u);
+  EXPECT_TRUE(result.clean);
+  EXPECT_FALSE(result.winner.empty());
+  EXPECT_TRUE(result.cold_check_ran);
+  EXPECT_TRUE(result.cold_check_passed);
+  EXPECT_EQ(result.trace_id, "repair-e2e");
+  EXPECT_EQ(result.screened, result.candidates.size());
+  ASSERT_FALSE(result.candidates.empty());
+  // The stream ends on the winning (clean) candidate; nothing before wins.
+  EXPECT_TRUE(result.candidates.back().clean);
+  EXPECT_EQ(result.candidates.back().description, result.winner);
+  for (std::size_t i = 0; i + 1 < result.candidates.size(); ++i) {
+    EXPECT_FALSE(result.candidates[i].clean);
+  }
+  // The repair stages surface in the profiled breakdown.
+  bool saw_screen = false;
+  for (const auto& s : result.profile) {
+    saw_screen = saw_screen || s.name == "repair.screen";
+  }
+  EXPECT_TRUE(saw_screen) << "no repair.screen span in the done profile";
+
+  // In-process replica of the same loop for the frame-by-frame comparison.
+  Session replica = make_replica();
+  replica.load(sc.broken);
+  const repair::RepairOutcome expected = repair::repair(replica, {});
+  ASSERT_EQ(result.candidates.size(), expected.screened.size());
+  for (std::size_t i = 0; i < expected.screened.size(); ++i) {
+    EXPECT_EQ(result.candidates[i].edit,
+              repair::to_string(expected.screened[i].candidate.kind));
+    EXPECT_EQ(result.candidates[i].description,
+              expected.screened[i].candidate.description);
+    EXPECT_EQ(result.candidates[i].clean, expected.screened[i].clean);
+    EXPECT_EQ(result.candidates[i].violations_after,
+              expected.screened[i].violations_after);
+  }
+  ASSERT_TRUE(expected.winner.has_value());
+  EXPECT_EQ(result.winner, expected.winner->description);
+
+  // The tenant's session survives the repair on its original snapshot: a
+  // follow-up update over the same connection verifies fine and renders
+  // the unrepaired verdicts (the screening loop must not leak its edits).
+  const auto after = client.update("t-repair", broken_text, {}, 2);
+  ASSERT_TRUE(after.ok) << after.error;
+  std::size_t after_violations = 0;
+  for (const auto& frame : after.verdict_payloads) {
+    if (frame.find("\"violations\":[{") != std::string::npos) {
+      ++after_violations;
+    }
+  }
+  EXPECT_GT(after_violations, 0u)
+      << "repair screening leaked its edits into the tenant session";
+
+  server.stop();
+  EXPECT_GE(server.metrics().counter("service.repair.requests").value(), 1u);
+  EXPECT_GE(server.metrics().counter("service.repair.clean").value(), 1u);
+  EXPECT_EQ(server.metrics().counter("service.repair.errors").value(), 0u);
+}
+
+TEST(ServiceRepair, ValidationErrorsLeaveConnectionUsable) {
+  Server server;
+  const std::uint16_t port = server.start();
+  const int fd = raw_connect(port);
+  const auto expect_error = [&](const std::string& payload,
+                                const std::string& needle) {
+    ASSERT_TRUE(write_frame(fd, payload));
+    const obs::JsonValue resp = recv_json(fd);
+    EXPECT_EQ(str_field(resp, "kind"), "error");
+    EXPECT_NE(str_field(resp, "message").find(needle), std::string::npos)
+        << str_field(resp, "message");
+  };
+  expect_error(R"({"op":"repair","id":1})", "needs string");
+  expect_error(
+      R"({"op":"repair","id":2,"tenant":"t","config":"","bte":"nope"})",
+      "community");
+  expect_error(
+      R"({"op":"repair","id":3,"tenant":"t","config":"","max_candidates":0})",
+      "max_candidates");
+  expect_error(
+      R"({"op":"repair","id":4,"tenant":"t","config":"","leak":"yes"})",
+      "boolean");
+  ::close(fd);
+  expect_still_serving(port);
   server.stop();
 }
 

@@ -26,6 +26,7 @@
 #include <string>
 
 #include "bench_util.hpp"
+#include "support/util.hpp"
 #include "fuzz/campaign.hpp"
 #include "ir/frontend.hpp"
 #include "obs/metrics.hpp"
@@ -67,18 +68,23 @@ bool parse_args(int argc, char** argv, Args& a) {
     auto value = [&]() -> const char* {
       return i + 1 < argc ? argv[++i] : nullptr;
     };
+    // Numeric flags go through the checked parse: std::stoull/std::stoi
+    // would throw std::invalid_argument straight out of main on a typo
+    // ("--seed 12x") instead of naming the offending flag and exiting 2.
     if (arg == "--seed") {
       const char* v = value();
       if (v == nullptr) return false;
-      a.seed = std::stoull(v);
+      a.seed = expresso::cli_uint("expresso_fuzz", "--seed", v);
     } else if (arg == "--runs") {
       const char* v = value();
       if (v == nullptr) return false;
-      a.runs = std::stoi(v);
+      a.runs = static_cast<int>(
+          expresso::cli_uint("expresso_fuzz", "--runs", v, 1u << 30));
     } else if (arg == "--max-nodes") {
       const char* v = value();
       if (v == nullptr) return false;
-      a.max_nodes = std::stoi(v);
+      a.max_nodes = static_cast<int>(
+          expresso::cli_uint("expresso_fuzz", "--max-nodes", v, 1u << 20));
       if (a.max_nodes < 2) a.max_nodes = 2;
     } else if (arg == "--shrink") {
       const char* v = value();
@@ -87,7 +93,8 @@ bool parse_args(int argc, char** argv, Args& a) {
     } else if (arg == "--threads") {
       const char* v = value();
       if (v == nullptr) return false;
-      a.threads = std::stoi(v);
+      a.threads = static_cast<int>(
+          expresso::cli_uint("expresso_fuzz", "--threads", v, 4096));
     } else if (arg == "--out") {
       const char* v = value();
       if (v == nullptr) return false;

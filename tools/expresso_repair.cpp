@@ -1,0 +1,379 @@
+// expresso_repair — diagnosis & repair CLI (DESIGN.md §14).
+//
+// Replay mode (default): load a snapshot — either a fuzz repro file written
+// by tools/expresso_fuzz (--repro FILE, the recorded dialect is honored) or
+// raw configuration text (--config FILE) — then run the repair loop
+// (repair/repair.hpp): localize every violating policy term, synthesize
+// candidate edits, screen them cheapest-first through warm re-verification
+// and cold-cross-check the winner.  Prints the ranked terms, the screening
+// log and the winner.
+//
+// Demo mode: --demo runs --scenarios planted scenarios (repair/plant.hpp,
+// the same campaign the "repair" ctest label asserts on) and reports
+// localization accuracy plus warm-screening vs cold-verify timing.  With
+// EXPRESSO_BENCH_JSON=1 one machine-readable `JSON {...}` row lands on
+// stdout (scripts/bench_collect.sh folds it into BENCH_expresso.json).
+//
+// Exit codes: 0 = clean repair found for every violating snapshot (or the
+// battery was already clean), 1 = some snapshot has no clean candidate (or
+// a demo scenario missed its localization), 2 = usage/IO error.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "expresso/session.hpp"
+#include "fuzz/scenario.hpp"
+#include "ir/frontend.hpp"
+#include "net/community.hpp"
+#include "net/prefix.hpp"
+#include "repair/plant.hpp"
+#include "repair/repair.hpp"
+#include "service/client.hpp"
+#include "support/util.hpp"
+
+namespace {
+
+using expresso::cli_uint;
+
+void usage() {
+  std::fprintf(
+      stderr,
+      "usage: expresso_repair [--repro FILE | --config FILE]\n"
+      "                       [--demo] [--scenarios N] [--seed N]\n"
+      "                       [--max-candidates N] [--bte COMMUNITY]\n"
+      "                       [--blackhole PREFIX]...\n"
+      "                       [--no-leak] [--no-hijack] [--no-loops]\n"
+      "                       [--no-traffic]\n"
+      "                       [--connect HOST PORT] [--tenant NAME]\n");
+}
+
+struct Args {
+  std::string repro;
+  std::string config;
+  bool demo = false;
+  std::size_t scenarios = 50;
+  std::uint64_t seed = 0xa11ce;
+  expresso::repair::RepairSpec spec;
+  // --connect: run the loop inside a live expressod via {"op":"repair"}
+  // instead of in-process, printing the streamed candidate frames.
+  std::string connect_host;
+  std::uint16_t connect_port = 0;
+  std::string tenant = "expresso_repair";
+};
+
+bool parse_args(int argc, char** argv, Args& a) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--repro") {
+      const char* v = value();
+      if (v == nullptr) return false;
+      a.repro = v;
+    } else if (arg == "--config") {
+      const char* v = value();
+      if (v == nullptr) return false;
+      a.config = v;
+    } else if (arg == "--demo") {
+      a.demo = true;
+    } else if (arg == "--scenarios") {
+      const char* v = value();
+      if (v == nullptr) return false;
+      a.scenarios = static_cast<std::size_t>(
+          cli_uint("expresso_repair", "--scenarios", v, 1u << 20));
+    } else if (arg == "--seed") {
+      const char* v = value();
+      if (v == nullptr) return false;
+      a.seed = cli_uint("expresso_repair", "--seed", v);
+    } else if (arg == "--max-candidates") {
+      const char* v = value();
+      if (v == nullptr) return false;
+      a.spec.max_candidates = static_cast<std::size_t>(
+          cli_uint("expresso_repair", "--max-candidates", v, 1000));
+      if (a.spec.max_candidates == 0) a.spec.max_candidates = 1;
+    } else if (arg == "--bte") {
+      const char* v = value();
+      if (v == nullptr) return false;
+      const auto c = expresso::net::Community::parse(v);
+      if (!c) {
+        std::fprintf(stderr, "expresso_repair: bad community for --bte: '%s'\n",
+                     v);
+        return false;
+      }
+      a.spec.bte = *c;
+    } else if (arg == "--blackhole") {
+      const char* v = value();
+      if (v == nullptr) return false;
+      const auto p = expresso::net::Ipv4Prefix::parse(v);
+      if (!p) {
+        std::fprintf(stderr,
+                     "expresso_repair: bad prefix for --blackhole: '%s'\n", v);
+        return false;
+      }
+      a.spec.blackhole.push_back(*p);
+    } else if (arg == "--connect") {
+      const char* host = value();
+      const char* port = value();
+      if (host == nullptr || port == nullptr) return false;
+      a.connect_host = host;
+      a.connect_port = static_cast<std::uint16_t>(
+          cli_uint("expresso_repair", "--connect", port, 65535));
+    } else if (arg == "--tenant") {
+      const char* v = value();
+      if (v == nullptr) return false;
+      a.tenant = v;
+    } else if (arg == "--no-leak") {
+      a.spec.leak = false;
+    } else if (arg == "--no-hijack") {
+      a.spec.hijack = false;
+    } else if (arg == "--no-loops") {
+      a.spec.loops = false;
+    } else if (arg == "--no-traffic") {
+      a.spec.traffic = false;
+    } else if (arg == "--help" || arg == "-h") {
+      usage();
+      std::exit(0);
+    } else {
+      std::fprintf(stderr, "expresso_repair: unknown flag '%s'\n",
+                   arg.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+// The screening log + outcome, shared by both modes' verbose paths.
+void print_outcome(const expresso::repair::RepairOutcome& out) {
+  namespace repair = expresso::repair;
+  std::printf("baseline: %zu violation(s), %zu diagnosis(es)\n",
+              out.baseline_violations, out.diagnoses.size());
+  for (const auto& d : out.diagnoses) {
+    std::printf("  %s at %s\n", d.property.c_str(), d.node.c_str());
+    for (const auto& t : d.terms) {
+      std::printf("    %5.2f %-15s %s", t.score, repair::to_string(t.kind),
+                  t.router.c_str());
+      if (!t.policy.empty()) {
+        std::printf("/%s node %u", t.policy.c_str(), t.clause_node);
+      }
+      if (!t.peer.empty()) std::printf(" peer %s", t.peer.c_str());
+      if (t.static_prefix) {
+        std::printf(" static %s", t.static_prefix->to_string().c_str());
+      }
+      std::printf("  (%s)\n", t.rationale.c_str());
+    }
+  }
+  std::printf("screened %zu of %zu candidate(s):\n", out.screened.size(),
+              out.candidates.size());
+  for (const auto& sc : out.screened) {
+    std::printf("  [%s] %-22s %s: %zu -> %zu violations (%s, %.1f ms)\n",
+                sc.clean ? "CLEAN" : sc.applied ? "dirty" : "skip ",
+                repair::to_string(sc.candidate.kind),
+                sc.candidate.description.c_str(), sc.violations_before,
+                sc.violations_after, sc.warm ? "warm" : "cold",
+                sc.verify_seconds * 1e3);
+  }
+  if (out.winner) {
+    std::printf("winner: %s\n", out.winner->description.c_str());
+    std::printf("cold cross-check: %s (warm screen %.1f ms, cold verify "
+                "%.1f ms)\n",
+                out.cold_check_passed ? "byte-identical" : "DIVERGED",
+                out.warm_screen_seconds * 1e3, out.cold_verify_seconds * 1e3);
+  } else if (out.clean) {
+    std::printf("battery already clean; nothing to repair\n");
+  } else {
+    std::printf("no clean candidate\n");
+  }
+}
+
+// {"op":"repair"} against a live expressod: the same loop, run inside the
+// daemon, with the screening log arriving as streamed candidate frames.
+int remote_repair(const Args& a, const std::string& config_text,
+                  const std::string& dialect) {
+  namespace service = expresso::service;
+  service::RepairOptions opts;
+  opts.dialect = dialect;
+  for (const auto& p : a.spec.blackhole) {
+    opts.blackhole.push_back(p.to_string());
+  }
+  opts.leak = a.spec.leak;
+  opts.hijack = a.spec.hijack;
+  opts.loops = a.spec.loops;
+  opts.traffic = a.spec.traffic;
+  if (a.spec.bte) opts.bte = a.spec.bte->to_string();
+  opts.max_candidates = a.spec.max_candidates;
+  service::Client client;
+  service::Client::RepairResult r;
+  try {
+    client.connect(a.connect_host, a.connect_port);
+    r = client.repair(a.tenant, config_text, 1, opts);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "expresso_repair: %s\n", e.what());
+    return 2;
+  }
+  if (!r.ok) {
+    std::fprintf(stderr, "expresso_repair: server error: %s\n",
+                 r.error.c_str());
+    return 2;
+  }
+  std::printf("baseline: %llu violation(s), %llu diagnosis(es) "
+              "(tenant %s @ %s:%u)\n",
+              static_cast<unsigned long long>(r.baseline_violations),
+              static_cast<unsigned long long>(r.diagnoses), a.tenant.c_str(),
+              a.connect_host.c_str(), a.connect_port);
+  std::printf("screened %llu of %llu candidate(s):\n",
+              static_cast<unsigned long long>(r.screened),
+              static_cast<unsigned long long>(r.synthesized));
+  for (const auto& c : r.candidates) {
+    std::printf("  [%s] %-22s %s: %llu -> %llu violations (%s, %.1f ms)\n",
+                c.clean ? "CLEAN" : c.applied ? "dirty" : "skip ",
+                c.edit.c_str(), c.description.c_str(),
+                static_cast<unsigned long long>(c.violations_before),
+                static_cast<unsigned long long>(c.violations_after),
+                c.warm ? "warm" : "cold", c.verify_ms);
+  }
+  if (!r.winner.empty()) {
+    std::printf("winner: %s\n", r.winner.c_str());
+    std::printf("cold cross-check: %s (warm screen %.1f ms, cold verify "
+                "%.1f ms)\n",
+                r.cold_check_passed ? "byte-identical" : "DIVERGED",
+                r.warm_screen_ms, r.cold_verify_ms);
+  } else if (r.clean) {
+    std::printf("battery already clean; nothing to repair\n");
+  } else {
+    std::printf("no clean candidate\n");
+  }
+  if (!r.clean) return 1;
+  return r.cold_check_ran && !r.cold_check_passed ? 1 : 0;
+}
+
+int replay(const Args& a) {
+  std::ifstream in(a.repro.empty() ? a.config : a.repro);
+  if (!in) {
+    std::fprintf(stderr, "expresso_repair: cannot read %s\n",
+                 (a.repro.empty() ? a.config : a.repro).c_str());
+    return 2;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+
+  std::string config_text = buf.str();
+  std::string dialect;
+  expresso::fuzz::Scenario s;
+  if (!a.repro.empty()) {
+    try {
+      s = expresso::fuzz::parse_repro(config_text);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "expresso_repair: %s\n", e.what());
+      return 2;
+    }
+    config_text = s.config_text;
+    dialect = expresso::ir::dialect_name(s.dialect);
+  }
+  if (!a.connect_host.empty()) return remote_repair(a, config_text, dialect);
+
+  expresso::Session session;
+  try {
+    if (dialect.empty()) {
+      session.update(config_text);
+    } else {
+      session.update(config_text, s.dialect);
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "expresso_repair: %s\n", e.what());
+    return 2;
+  }
+
+  const expresso::repair::RepairOutcome out =
+      expresso::repair::repair(session, a.spec);
+  print_outcome(out);
+  if (!out.clean) return 1;
+  return out.cold_check_ran && !out.cold_check_passed ? 1 : 0;
+}
+
+int demo(const Args& a) {
+  namespace plant = expresso::repair::plant;
+  std::size_t manifested = 0, top1 = 0, top3 = 0, repaired = 0, screens = 0;
+  std::size_t warm_screens = 0;
+  double warm_screen_s = 0, cold_verify_s = 0;
+  expresso::Stopwatch wall;
+  for (std::size_t i = 0; i < a.scenarios; ++i) {
+    const plant::Scenario sc = plant::make_scenario(a.seed, i);
+    expresso::Session session;
+    session.load(sc.broken);
+    const expresso::repair::RepairOutcome out =
+        expresso::repair::repair(session, a.spec);
+    if (out.baseline_violations == 0) continue;
+    ++manifested;
+    bool in3 = false, in1 = false;
+    for (const auto& d : out.diagnoses) {
+      in3 = in3 || plant::truth_in_top(d.terms, sc.truth, 3);
+      in1 = in1 || plant::truth_in_top(d.terms, sc.truth, 1);
+    }
+    top3 += in3;
+    top1 += in1;
+    if (out.winner && out.cold_check_passed) ++repaired;
+    screens += out.screened.size();
+    for (const auto& s : out.screened) warm_screens += s.warm;
+    warm_screen_s += out.warm_screen_seconds;
+    cold_verify_s += out.cold_verify_seconds;
+  }
+  const double warm_ms_per_screen =
+      screens > 0 ? warm_screen_s * 1e3 / static_cast<double>(screens) : 0;
+  const double cold_ms_per_verify =
+      repaired > 0 ? cold_verify_s * 1e3 / static_cast<double>(repaired) : 0;
+  const double speedup =
+      warm_ms_per_screen > 0 ? cold_ms_per_verify / warm_ms_per_screen : 0;
+  std::printf(
+      "repair demo: %zu scenarios (%zu manifested) | localization top-1 "
+      "%zu top-3 %zu | clean repairs %zu | %zu screens (%zu warm, "
+      "%.2f ms avg) vs cold verify %.2f ms avg => x%.1f | wall %.1fs\n",
+      a.scenarios, manifested, top1, top3, repaired, screens, warm_screens,
+      warm_ms_per_screen, cold_ms_per_verify, speedup, wall.seconds());
+  benchutil::JsonRow("repair_demo")
+      .num("seed", static_cast<std::size_t>(a.seed))
+      .num("scenarios", a.scenarios)
+      .num("manifested", manifested)
+      .num("localized_top1", top1)
+      .num("localized_top3", top3)
+      .num("clean_repairs", repaired)
+      .num("screens", screens)
+      .num("warm_screens", warm_screens)
+      .num("warm_screen_s", warm_screen_s)
+      .num("cold_verify_s", cold_verify_s)
+      .num("warm_ms_per_screen", warm_ms_per_screen)
+      .num("cold_ms_per_verify", cold_ms_per_verify)
+      .num("warm_vs_cold_speedup", speedup)
+      .num("wall_s", wall.seconds())
+      .emit();
+  return manifested == a.scenarios && top3 == manifested &&
+                 repaired == manifested
+             ? 0
+             : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args a;
+  if (!parse_args(argc, argv, a)) {
+    usage();
+    return 2;
+  }
+  if (a.demo) return demo(a);
+  if (a.repro.empty() && a.config.empty()) {
+    usage();
+    return 2;
+  }
+  if (!a.repro.empty() && !a.config.empty()) {
+    std::fprintf(stderr,
+                 "expresso_repair: --repro and --config are exclusive\n");
+    return 2;
+  }
+  return replay(a);
+}

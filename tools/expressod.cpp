@@ -51,15 +51,11 @@ void handle_fatal(int sig) {
   std::raise(sig);
 }
 
+// The checked parse shared with expresso_fuzz / expressod_load (it used to
+// live here as a private strtoull wrapper).
 std::uint64_t parse_arg(const char* flag, const char* value,
                         std::uint64_t max) {
-  char* end = nullptr;
-  const unsigned long long n = std::strtoull(value, &end, 10);
-  if (end == value || *end != '\0' || n > max) {
-    std::fprintf(stderr, "expressod: bad value for %s: '%s'\n", flag, value);
-    std::exit(2);
-  }
-  return n;
+  return expresso::cli_uint("expressod", flag, value, max);
 }
 
 }  // namespace

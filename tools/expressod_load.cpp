@@ -199,19 +199,30 @@ int main(int argc, char** argv) {
       }
       return argv[++i];
     };
+    // Checked numeric parsing: std::atoi silently turned a typo into 0 (a
+    // "--tenants 4x" run quietly became single-tenant) and the PORT of
+    // --connect silently truncated through uint16_t, so --connect host
+    // 70000 dialed port 4464 instead of failing.
     if (a == "--tenants") {
-      opt.tenants = std::max(1, std::atoi(next()));
+      opt.tenants = std::max(
+          1, static_cast<int>(expresso::cli_uint("expressod_load", "--tenants",
+                                                 next(), 1u << 20)));
     } else if (a == "--edits") {
-      opt.edits = std::max(0, std::atoi(next()));
+      opt.edits = static_cast<int>(
+          expresso::cli_uint("expressod_load", "--edits", next(), 1u << 30));
     } else if (a == "--seed") {
-      opt.seed = std::strtoull(next(), nullptr, 0);
+      opt.seed = expresso::cli_uint("expressod_load", "--seed", next());
     } else if (a == "--workers") {
-      opt.workers = std::max(1, std::atoi(next()));
+      opt.workers = std::max(
+          1, static_cast<int>(expresso::cli_uint("expressod_load", "--workers",
+                                                 next(), 1024)));
     } else if (a == "--coalesce-ms") {
-      opt.coalesce_ms = std::max(0, std::atoi(next()));
+      opt.coalesce_ms = static_cast<int>(expresso::cli_uint(
+          "expressod_load", "--coalesce-ms", next(), 60000));
     } else if (a == "--connect") {
       opt.connect_host = next();
-      opt.connect_port = static_cast<std::uint16_t>(std::atoi(next()));
+      opt.connect_port = static_cast<std::uint16_t>(
+          expresso::cli_uint("expressod_load", "--connect", next(), 65535));
     } else if (a == "--json") {
       opt.json_path = next();
     } else if (a == "--help" || a == "-h") {
